@@ -1,0 +1,37 @@
+//! Ablation bench — running time of the pipeline with individual design choices removed
+//! (refinement off, beam width 1, greedy search, narrow pruning, alternative scorers).
+//! Accuracy deltas are reported by `reproduce ablation`; this bench tracks the time cost.
+//!
+//! `cargo bench -p datamaran-bench --bench ablation`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datamaran_bench::scalable_weblog;
+use datamaran_core::{Datamaran, DatamaranConfig};
+use evalkit::AblationVariant;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pipeline_time");
+    group.sample_size(10);
+    let text = scalable_weblog(192 * 1024, 77);
+    let base = DatamaranConfig::default();
+    for variant in [
+        AblationVariant::Full,
+        AblationVariant::NoRefinement,
+        AblationVariant::NoBeam,
+        AblationVariant::GreedySearch,
+        AblationVariant::NarrowPruning,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.name()),
+            &text,
+            |b, text| {
+                let engine = Datamaran::new(variant.config(&base)).unwrap();
+                b.iter(|| engine.extract(text).unwrap().record_count());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

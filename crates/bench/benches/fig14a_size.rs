@@ -1,0 +1,31 @@
+//! Figure 14a — running time vs dataset size, exhaustive vs greedy `RT-CharSet` search.
+//!
+//! `cargo bench -p datamaran-bench --bench fig14a_size`
+//! (the `reproduce fig14a` binary sweeps larger sizes; the bench keeps criterion runtimes sane)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datamaran_bench::{config_with, scalable_weblog};
+use datamaran_core::{Datamaran, SearchStrategy};
+
+fn bench_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14a_running_time_vs_size");
+    group.sample_size(10);
+    for kb in [32usize, 128, 384] {
+        let text = scalable_weblog(kb * 1024, 21);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        for strategy in [SearchStrategy::Exhaustive, SearchStrategy::Greedy] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), format!("{kb}KB")),
+                &text,
+                |b, text| {
+                    let engine = Datamaran::new(config_with(strategy)).unwrap();
+                    b.iter(|| engine.extract(text).unwrap().record_count());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_size);
+criterion_main!(benches);

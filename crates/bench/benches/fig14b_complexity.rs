@@ -1,0 +1,30 @@
+//! Figure 14b — running time vs structural complexity (number of record types interleaved in
+//! the file, i.e. the number of structure templates with at least 10% coverage).
+//!
+//! `cargo bench -p datamaran-bench --bench fig14b_complexity`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datamaran_bench::{config_with, interleaved_workload};
+use datamaran_core::{Datamaran, SearchStrategy};
+
+fn bench_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14b_running_time_vs_complexity");
+    group.sample_size(10);
+    for n_types in [1usize, 2, 4] {
+        let text = interleaved_workload(n_types, 350, 33 + n_types as u64);
+        for strategy in [SearchStrategy::Exhaustive, SearchStrategy::Greedy] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), format!("{n_types}_types")),
+                &text,
+                |b, text| {
+                    let engine = Datamaran::new(config_with(strategy)).unwrap();
+                    b.iter(|| engine.extract(text).unwrap().structures.len());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_complexity);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 15 — impact of the parameters `M` (templates kept after pruning), `α` (coverage
+//! threshold) and `L` (maximum record span) on running time.
+//!
+//! `cargo bench -p datamaran-bench --bench fig15_params`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datamaran_bench::scalable_weblog;
+use datamaran_core::{Datamaran, DatamaranConfig};
+
+fn bench_params(c: &mut Criterion) {
+    let text = scalable_weblog(96 * 1024, 55);
+
+    let mut group = c.benchmark_group("fig15_vary_M");
+    group.sample_size(10);
+    for m in [10usize, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let engine = Datamaran::new(DatamaranConfig::default().with_prune_keep(m)).unwrap();
+            b.iter(|| engine.extract(&text).unwrap().record_count());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig15_vary_alpha");
+    group.sample_size(10);
+    for alpha in [5usize, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            let engine =
+                Datamaran::new(DatamaranConfig::default().with_alpha(alpha as f64 / 100.0))
+                    .unwrap();
+            b.iter(|| engine.extract(&text).unwrap().record_count());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig15_vary_L");
+    group.sample_size(10);
+    for l in [2usize, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            let engine =
+                Datamaran::new(DatamaranConfig::default().with_max_line_span(l)).unwrap();
+            b.iter(|| engine.extract(&text).unwrap().record_count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_params);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Parallel-extraction bench — the final extraction pass with 1, 2, 4, and 8 workers
+//! (the paper notes this pass dominates for large files and is "eminently parallelizable").
+//!
+//! `cargo bench -p datamaran-bench --bench parallel`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datamaran_bench::scalable_weblog;
+use datamaran_core::{parse_dataset_parallel, Datamaran, Dataset, ParallelOptions};
+
+fn bench_parallel(c: &mut Criterion) {
+    let text = scalable_weblog(2 * 1024 * 1024, 99);
+    let result = Datamaran::with_defaults().extract(&text).unwrap();
+    let templates: Vec<_> = result.templates().into_iter().cloned().collect();
+    let dataset = Dataset::new(text.as_str());
+
+    let mut group = c.benchmark_group("parallel_extraction_pass");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}_threads")),
+            &threads,
+            |b, &threads| {
+                let options = ParallelOptions {
+                    threads,
+                    min_chunk_lines: 256,
+                };
+                b.iter(|| parse_dataset_parallel(&dataset, &templates, 10, options).records.len());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Shared workload builders and measurement helpers for the benchmark harness that
+//! regenerates the paper's tables and figures (see `src/bin/reproduce.rs` and `benches/`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use datamaran_core::{Datamaran, DatamaranConfig, SearchStrategy};
+use logsynth::corpus;
+use logsynth::DatasetSpec;
+use std::time::Instant;
+
+/// A scalable single-record-type workload (web access log) used for the running-time
+/// experiments: `target_bytes` controls the generated size.
+pub fn scalable_weblog(target_bytes: usize, seed: u64) -> String {
+    // One record is roughly 55 bytes.
+    let records = (target_bytes / 55).max(50);
+    DatasetSpec::new("scalable_weblog", vec![corpus::web_access(0)], records, seed)
+        .with_noise(0.02)
+        .generate()
+        .text
+}
+
+/// A workload whose *structural complexity* (number of structure templates with at least 10%
+/// coverage) grows with `n_types`: `n_types` record types interleaved with equal weights.
+pub fn interleaved_workload(n_types: usize, records: usize, seed: u64) -> String {
+    let families: Vec<fn(u64) -> logsynth::RecordTypeSpec> = vec![
+        corpus::web_access,
+        corpus::kv_metrics,
+        corpus::pipe_events,
+        corpus::csv_transactions,
+        corpus::query_log,
+        corpus::app_log,
+        corpus::printer_log,
+        corpus::income_records,
+    ];
+    let types: Vec<logsynth::RecordTypeSpec> = (0..n_types.clamp(1, families.len()))
+        .map(|i| families[i](i as u64))
+        .collect();
+    DatasetSpec::new(format!("interleaved_{n_types}"), types, records, seed)
+        .generate()
+        .text
+}
+
+/// Timing of one Datamaran run, split into the paper's phases (Table 3 / Figure 14a).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunTiming {
+    /// Input size in bytes.
+    pub bytes: usize,
+    /// Generation step seconds.
+    pub generation: f64,
+    /// Pruning step seconds.
+    pub pruning: f64,
+    /// Evaluation step seconds.
+    pub evaluation: f64,
+    /// Final extraction seconds.
+    pub extraction: f64,
+    /// Total wall-clock seconds.
+    pub total: f64,
+    /// Number of record types found.
+    pub structures: usize,
+    /// Total records extracted.
+    pub records: usize,
+}
+
+/// Runs Datamaran on `text` with `config` and reports per-step timings.
+pub fn time_run(text: &str, config: &DatamaranConfig) -> RunTiming {
+    let engine = Datamaran::new(config.clone()).expect("valid config");
+    let started = Instant::now();
+    let result = engine.extract(text).expect("extraction succeeds");
+    let total = started.elapsed().as_secs_f64();
+    let t = &result.stats.timings;
+    RunTiming {
+        bytes: text.len(),
+        generation: t.generation.as_secs_f64(),
+        pruning: t.pruning.as_secs_f64(),
+        evaluation: t.evaluation.as_secs_f64(),
+        extraction: t.extraction.as_secs_f64(),
+        total,
+        structures: result.structures.len(),
+        records: result.record_count(),
+    }
+}
+
+/// Convenience: the default configuration with a given search strategy.
+pub fn config_with(search: SearchStrategy) -> DatamaranConfig {
+    DatamaranConfig::default().with_search(search)
+}
+
+/// Formats seconds compactly for the report tables.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.2} ms", s * 1000.0)
+    } else if s < 1.0 {
+        format!("{:.0} ms", s * 1000.0)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalable_weblog_hits_target_size() {
+        let text = scalable_weblog(100_000, 1);
+        assert!(text.len() > 60_000 && text.len() < 160_000, "{}", text.len());
+    }
+
+    #[test]
+    fn interleaved_workload_contains_requested_types() {
+        let text = interleaved_workload(3, 200, 2);
+        assert!(text.contains("EVT|"));
+        assert!(text.contains("host="));
+    }
+
+    #[test]
+    fn time_run_reports_phases() {
+        let text = scalable_weblog(20_000, 3);
+        let timing = time_run(&text, &DatamaranConfig::default());
+        assert!(timing.total > 0.0);
+        assert!(timing.records > 100);
+        assert!(timing.structures >= 1);
+        assert!(timing.total + 1e-9 >= timing.extraction);
+    }
+
+    #[test]
+    fn fmt_secs_scales_units() {
+        assert!(fmt_secs(0.0001).contains("ms"));
+        assert!(fmt_secs(0.5).contains("ms"));
+        assert!(fmt_secs(2.0).contains("s"));
+    }
+}

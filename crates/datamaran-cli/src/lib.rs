@@ -1,0 +1,497 @@
+//! # datamaran-cli
+//!
+//! Command-line front end for the Datamaran reproduction: point it at a log file and it
+//! discovers the structure, extracts every record, and writes the result as a human-readable
+//! summary, a JSON report, or CSV tables.
+//!
+//! ```text
+//! datamaran extract server.log                 # summary to stdout
+//! datamaran extract server.log --format json   # machine-readable report
+//! datamaran extract server.log --format csv --out ./tables
+//! datamaran discover server.log                # just the structure templates
+//! datamaran grammar server.log                 # the LL(1) grammar of the best template
+//! datamaran cluster server.log                 # the SLCT-style line-clustering baseline
+//! ```
+//!
+//! Argument parsing is hand-rolled (no third-party CLI crate) and lives in [`Cli::parse`] so
+//! it can be unit-tested; [`run`] wires parsing to the library calls.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use datamaran_core::{
+    all_tables_csv, table_to_csv, Datamaran, DatamaranConfig, ExtractionReport, Grammar,
+    SearchStrategy,
+};
+use logclust::{ClusterConfig, LogCluster};
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Output format of the `extract` subcommand.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OutputFormat {
+    /// Human-readable summary (default).
+    #[default]
+    Summary,
+    /// Pretty-printed JSON report.
+    Json,
+    /// CSV tables (written to `--out DIR`, or concatenated to stdout).
+    Csv,
+}
+
+/// The subcommand to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Command {
+    /// Discover structure and extract all records.
+    Extract,
+    /// Discover and print structure templates only.
+    Discover,
+    /// Print the LL(1) grammar of the best structure template.
+    Grammar,
+    /// Run the line-clustering baseline instead of Datamaran.
+    Cluster,
+    /// Print usage information.
+    Help,
+    /// Print the crate version.
+    Version,
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+    /// Input file path (required by every subcommand except help/version).
+    pub input: Option<PathBuf>,
+    /// Output format for `extract`.
+    pub format: OutputFormat,
+    /// Directory for CSV output; `None` writes to stdout.
+    pub out_dir: Option<PathBuf>,
+    /// Engine configuration assembled from the flags.
+    pub config: DatamaranConfig,
+}
+
+impl Cli {
+    /// Parses the command line (without the program name).  Returns a descriptive error
+    /// string on any unknown flag, missing value, or out-of-range parameter.
+    pub fn parse(args: &[String]) -> Result<Cli, String> {
+        let mut iter = args.iter().peekable();
+        let command = match iter.next().map(String::as_str) {
+            None | Some("help") | Some("--help") | Some("-h") => {
+                return Ok(Cli::bare(Command::Help));
+            }
+            Some("version") | Some("--version") | Some("-V") => {
+                return Ok(Cli::bare(Command::Version));
+            }
+            Some("extract") => Command::Extract,
+            Some("discover") => Command::Discover,
+            Some("grammar") => Command::Grammar,
+            Some("cluster") => Command::Cluster,
+            Some(other) => return Err(format!("unknown subcommand `{other}` (try `help`)")),
+        };
+
+        let mut cli = Cli::bare(command);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--format" => {
+                    let value = next_value(&mut iter, "--format")?;
+                    cli.format = match value.as_str() {
+                        "summary" => OutputFormat::Summary,
+                        "json" => OutputFormat::Json,
+                        "csv" => OutputFormat::Csv,
+                        other => return Err(format!("unknown format `{other}`")),
+                    };
+                }
+                "--out" => cli.out_dir = Some(PathBuf::from(next_value(&mut iter, "--out")?)),
+                "--greedy" => cli.config.search = SearchStrategy::Greedy,
+                "--alpha" => {
+                    cli.config.alpha = parse_number(&next_value(&mut iter, "--alpha")?, "--alpha")?
+                }
+                "--max-span" => {
+                    cli.config.max_line_span =
+                        parse_number(&next_value(&mut iter, "--max-span")?, "--max-span")?
+                }
+                "--prune-keep" => {
+                    cli.config.prune_keep =
+                        parse_number(&next_value(&mut iter, "--prune-keep")?, "--prune-keep")?
+                }
+                "--sample-bytes" => {
+                    cli.config.sample_bytes =
+                        parse_number(&next_value(&mut iter, "--sample-bytes")?, "--sample-bytes")?
+                }
+                "--seed" => {
+                    cli.config.seed = parse_number(&next_value(&mut iter, "--seed")?, "--seed")?
+                }
+                flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+                path if cli.input.is_none() => cli.input = Some(PathBuf::from(path)),
+                extra => return Err(format!("unexpected argument `{extra}`")),
+            }
+        }
+
+        if cli.input.is_none() {
+            return Err("missing input file (usage: datamaran <subcommand> <file> [flags])".into());
+        }
+        cli.config
+            .validate()
+            .map_err(|e| format!("invalid configuration: {e}"))?;
+        Ok(cli)
+    }
+
+    fn bare(command: Command) -> Cli {
+        Cli {
+            command,
+            input: None,
+            format: OutputFormat::Summary,
+            out_dir: None,
+            config: DatamaranConfig::default(),
+        }
+    }
+}
+
+fn next_value<'a, I: Iterator<Item = &'a String>>(
+    iter: &mut std::iter::Peekable<I>,
+    flag: &str,
+) -> Result<String, String> {
+    iter.next()
+        .cloned()
+        .ok_or_else(|| format!("flag `{flag}` requires a value"))
+}
+
+fn parse_number<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse::<T>()
+        .map_err(|_| format!("flag `{flag}` expects a number, got `{value}`"))
+}
+
+/// Usage text printed by the `help` subcommand.
+pub const USAGE: &str = "\
+datamaran — unsupervised structure extraction from log files
+
+USAGE:
+    datamaran <SUBCOMMAND> <FILE> [FLAGS]
+
+SUBCOMMANDS:
+    extract     discover structure and extract every record
+    discover    print the discovered structure templates only
+    grammar     print the LL(1) grammar of the best structure template
+    cluster     run the SLCT-style line-clustering baseline
+    help        print this message
+    version     print the version
+
+FLAGS:
+    --format <summary|json|csv>   output format for `extract` (default: summary)
+    --out <DIR>                   write CSV tables into DIR instead of stdout
+    --greedy                      use the greedy RT-CharSet search (default: exhaustive)
+    --alpha <FLOAT>               coverage threshold α in (0, 1]       (default: 0.10)
+    --max-span <INT>              maximum lines per record L           (default: 10)
+    --prune-keep <INT>            templates kept after pruning M       (default: 50)
+    --sample-bytes <INT>          sampling budget for the search       (default: 65536)
+    --seed <INT>                  RNG seed for sampling
+";
+
+/// Runs the CLI: parses `args`, executes the subcommand, and writes output to `out`.
+pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
+    let cli = Cli::parse(args)?;
+    match cli.command {
+        Command::Help => {
+            write!(out, "{USAGE}").map_err(|e| e.to_string())?;
+            return Ok(());
+        }
+        Command::Version => {
+            writeln!(out, "datamaran {}", env!("CARGO_PKG_VERSION")).map_err(|e| e.to_string())?;
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    let path = cli.input.as_ref().expect("input checked during parsing");
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+
+    match cli.command {
+        Command::Extract => {
+            let result = extract(&cli, &text)?;
+            let rendered = match cli.format {
+                OutputFormat::Summary => render_summary(&text, &result),
+                OutputFormat::Json => ExtractionReport::new(&text, &result).to_json() + "\n",
+                OutputFormat::Csv => {
+                    if let Some(dir) = &cli.out_dir {
+                        return write_csv_dir(dir, &result, out);
+                    }
+                    all_tables_csv(&result)
+                        .into_iter()
+                        .map(|(name, csv)| format!("# table: {name}\n{csv}"))
+                        .collect()
+                }
+            };
+            write!(out, "{rendered}").map_err(|e| e.to_string())
+        }
+        Command::Discover => {
+            let result = extract(&cli, &text)?;
+            let mut s = String::new();
+            for (i, st) in result.structures.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "type{}: {}   ({} records, coverage {:.1}%, score {:.0})",
+                    i,
+                    st.template,
+                    st.records.len(),
+                    st.coverage * 100.0,
+                    st.score
+                );
+            }
+            write!(out, "{s}").map_err(|e| e.to_string())
+        }
+        Command::Grammar => {
+            let result = extract(&cli, &text)?;
+            let best = result
+                .structures
+                .first()
+                .ok_or_else(|| "no structure found".to_string())?;
+            let grammar = Grammar::from_template(&best.template);
+            let mut s = format!("template: {}\n", best.template);
+            let _ = writeln!(s, "LL(1): {}", grammar.is_ll1());
+            s.push_str(&grammar.render());
+            write!(out, "{s}").map_err(|e| e.to_string())
+        }
+        Command::Cluster => {
+            let result = LogCluster::new(ClusterConfig::default()).cluster(&text);
+            let mut s = String::new();
+            for c in &result.clusters {
+                let _ = writeln!(s, "{:>6}  {}", c.support, c.pattern);
+            }
+            let _ = writeln!(
+                s,
+                "{} clusters, {} outlier lines, coverage {:.1}%",
+                result.clusters.len(),
+                result.outliers.len(),
+                result.coverage() * 100.0
+            );
+            write!(out, "{s}").map_err(|e| e.to_string())
+        }
+        Command::Help | Command::Version => unreachable!("handled above"),
+    }
+}
+
+fn extract(cli: &Cli, text: &str) -> Result<datamaran_core::ExtractionResult, String> {
+    Datamaran::new(cli.config.clone())
+        .map_err(|e| e.to_string())?
+        .extract(text)
+        .map_err(|e| e.to_string())
+}
+
+fn render_summary(text: &str, result: &datamaran_core::ExtractionResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "dataset: {} bytes, {} lines",
+        text.len(),
+        text.lines().count()
+    );
+    let _ = writeln!(
+        s,
+        "records: {}   noise lines: {}   noise fraction: {:.1}%",
+        result.record_count(),
+        result.noise_lines.len(),
+        result.noise_fraction * 100.0
+    );
+    for (i, st) in result.structures.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "type{}: {}   ({} records, {} columns, coverage {:.1}%)",
+            i,
+            st.template,
+            st.records.len(),
+            st.template.field_count(),
+            st.coverage * 100.0
+        );
+        let types: Vec<&str> = st.column_types.iter().map(|t| t.name()).collect();
+        let _ = writeln!(s, "       column types: {}", types.join(", "));
+    }
+    let t = &result.stats.timings;
+    let _ = writeln!(
+        s,
+        "time: generation {:.0}ms, pruning {:.0}ms, evaluation {:.0}ms, extraction {:.0}ms",
+        t.generation.as_secs_f64() * 1000.0,
+        t.pruning.as_secs_f64() * 1000.0,
+        t.evaluation.as_secs_f64() * 1000.0,
+        t.extraction.as_secs_f64() * 1000.0
+    );
+    s
+}
+
+fn write_csv_dir<W: Write>(
+    dir: &PathBuf,
+    result: &datamaran_core::ExtractionResult,
+    out: &mut W,
+) -> Result<(), String> {
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    for s in &result.structures {
+        for table in &s.relational.tables {
+            let path = dir.join(format!("{}.csv", table.name));
+            fs::write(&path, table_to_csv(table))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            writeln!(out, "wrote {}", path.display()).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_extract_with_flags() {
+        let cli = Cli::parse(&args(&[
+            "extract",
+            "app.log",
+            "--format",
+            "json",
+            "--greedy",
+            "--alpha",
+            "0.2",
+            "--max-span",
+            "4",
+            "--prune-keep",
+            "100",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(cli.command, Command::Extract);
+        assert_eq!(cli.input.as_ref().unwrap().to_str(), Some("app.log"));
+        assert_eq!(cli.format, OutputFormat::Json);
+        assert_eq!(cli.config.search, SearchStrategy::Greedy);
+        assert!((cli.config.alpha - 0.2).abs() < 1e-9);
+        assert_eq!(cli.config.max_line_span, 4);
+        assert_eq!(cli.config.prune_keep, 100);
+        assert_eq!(cli.config.seed, 7);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(Cli::parse(&args(&["extract", "x.log", "--bogus"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--alpha"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--alpha", "two"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--format", "xml"])).is_err());
+        assert!(Cli::parse(&args(&["frobnicate", "x.log"])).is_err());
+        assert!(Cli::parse(&args(&["extract"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "a.log", "b.log"])).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_parameters() {
+        assert!(Cli::parse(&args(&["extract", "x.log", "--alpha", "1.5"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--max-span", "0"])).is_err());
+    }
+
+    #[test]
+    fn help_and_version_do_not_require_a_file() {
+        assert_eq!(Cli::parse(&args(&["help"])).unwrap().command, Command::Help);
+        assert_eq!(Cli::parse(&args(&[])).unwrap().command, Command::Help);
+        assert_eq!(
+            Cli::parse(&args(&["--version"])).unwrap().command,
+            Command::Version
+        );
+        let mut out = Vec::new();
+        run(&args(&["help"]), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("USAGE"));
+        let mut out = Vec::new();
+        run(&args(&["version"]), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().starts_with("datamaran "));
+    }
+
+    fn temp_log(name: &str, content: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("datamaran_cli_test_{name}_{}", std::process::id()));
+        fs::write(&path, content).unwrap();
+        path
+    }
+
+    fn web_log(n: usize) -> String {
+        (0..n)
+            .map(|i| format!("[{:02}:{:02}] 10.0.{}.{} GET /p{}\n", i % 24, i % 60, i % 8, i % 250, i % 7))
+            .collect()
+    }
+
+    #[test]
+    fn extract_summary_end_to_end() {
+        let path = temp_log("summary", &web_log(80));
+        let mut out = Vec::new();
+        run(&args(&["extract", path.to_str().unwrap()]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("records: 80"));
+        assert!(text.contains("type0:"));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn extract_json_end_to_end() {
+        let path = temp_log("json", &web_log(60));
+        let mut out = Vec::new();
+        run(
+            &args(&["extract", path.to_str().unwrap(), "--format", "json"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let report = ExtractionReport::from_json(text.trim()).unwrap();
+        assert_eq!(report.record_count, 60);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn csv_output_to_directory() {
+        let path = temp_log("csv", &web_log(40));
+        let dir = std::env::temp_dir().join(format!("datamaran_cli_csv_{}", std::process::id()));
+        let mut out = Vec::new();
+        run(
+            &args(&[
+                "extract",
+                path.to_str().unwrap(),
+                "--format",
+                "csv",
+                "--out",
+                dir.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let written: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert!(!written.is_empty());
+        fs::remove_dir_all(dir).ok();
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn discover_grammar_and_cluster_subcommands() {
+        let path = temp_log("misc", &web_log(50));
+        let mut out = Vec::new();
+        run(&args(&["discover", path.to_str().unwrap()]), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("type0:"));
+
+        let mut out = Vec::new();
+        run(&args(&["grammar", path.to_str().unwrap()]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("LL(1): true"));
+        assert!(text.contains("S ->"));
+
+        let mut out = Vec::new();
+        run(&args(&["cluster", path.to_str().unwrap()]), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("clusters"));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let mut out = Vec::new();
+        let err = run(&args(&["extract", "/no/such/file.log"]), &mut out).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+}

@@ -1,0 +1,14 @@
+//! Thin binary wrapper around [`datamaran_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match datamaran_cli::run(&args, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("datamaran: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The pruning step (§4.2): order the generation-step candidates by the assimilation score
+//! `G(T, S) = Cov(T, S) × Non_Field_Cov(T, S)` and keep only the best `M` of them for the
+//! (expensive) evaluation step.
+
+use crate::generation::{sort_candidates, Candidate};
+
+/// Result of the pruning step.
+#[derive(Clone, Debug, Default)]
+pub struct PruningOutput {
+    /// The `M` best candidates by assimilation score, in descending score order.
+    pub kept: Vec<Candidate>,
+    /// Number of candidates discarded.
+    pub discarded: usize,
+}
+
+/// Keeps the `m` candidates with the highest assimilation score.
+///
+/// The score multiplies coverage by non-field coverage, which filters both redundancy sources
+/// of Figure 11: sub-templates of multi-line templates (low coverage) and templates that
+/// demote formatting characters into field values (low non-field coverage).
+pub fn prune(mut candidates: Vec<Candidate>, m: usize) -> PruningOutput {
+    sort_candidates(&mut candidates);
+    let discarded = candidates.len().saturating_sub(m);
+    candidates.truncate(m.max(1));
+    PruningOutput {
+        kept: candidates,
+        discarded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::CharSet;
+    use crate::record::RecordTemplate;
+    use crate::structure::StructureTemplate;
+
+    fn candidate(text: &str, charset: &str, coverage: usize, field_cov: usize) -> Candidate {
+        let cs = CharSet::from_chars(charset.chars());
+        let rt = RecordTemplate::from_instantiated(text, &cs);
+        Candidate {
+            template: StructureTemplate::from_record_template(&rt),
+            coverage,
+            field_coverage: field_cov,
+            hits: 1,
+            first_line: 0,
+            charset: cs,
+        }
+    }
+
+    #[test]
+    fn keeps_top_m_by_assimilation_score() {
+        let cands = vec![
+            candidate("a,b\n", ",\n", 100, 80),   // G = 100 * 20
+            candidate("a;b\n", ";\n", 100, 10),   // G = 100 * 90
+            candidate("a|b\n", "|\n", 50, 40),    // G = 50 * 10
+        ];
+        let out = prune(cands, 2);
+        assert_eq!(out.kept.len(), 2);
+        assert_eq!(out.discarded, 1);
+        assert!(out.kept[0].assimilation_score() >= out.kept[1].assimilation_score());
+        assert_eq!(out.kept[0].template.to_string(), "F;F\\n");
+    }
+
+    #[test]
+    fn pruning_with_large_m_keeps_everything() {
+        let cands = vec![
+            candidate("a,b\n", ",\n", 100, 80),
+            candidate("a;b\n", ";\n", 90, 10),
+        ];
+        let out = prune(cands, 50);
+        assert_eq!(out.kept.len(), 2);
+        assert_eq!(out.discarded, 0);
+    }
+
+    #[test]
+    fn subset_of_multiline_template_ranks_below_full_template() {
+        // The full two-line template assimilates twice as many bytes as its one-line subset
+        // (Figure 11, redundancy source 1).
+        let full = candidate("k=v\nx:y\n", "=:\n", 2000, 1000);
+        let subset = candidate("k=v\n", "=\n", 1000, 500);
+        let out = prune(vec![subset, full], 1);
+        assert_eq!(out.kept[0].template.min_line_span(), 2);
+    }
+
+    #[test]
+    fn template_demoting_format_chars_ranks_below_true_template(){
+        // Treating ':' as field content keeps coverage but shrinks non-field coverage
+        // (Figure 11, redundancy source 2).
+        let true_t = candidate("[a:b] c\n", "[]: \n", 1000, 600);
+        let demoted = candidate("[a] c\n", "[] \n", 1000, 900);
+        let out = prune(vec![demoted, true_t.clone()], 1);
+        assert_eq!(
+            out.kept[0].template.canonical_string(),
+            true_t.template.canonical_string()
+        );
+    }
+
+    #[test]
+    fn prune_never_returns_empty_when_input_nonempty() {
+        let cands = vec![candidate("a,b\n", ",\n", 10, 5)];
+        let out = prune(cands, 0);
+        assert_eq!(out.kept.len(), 1);
+    }
+}

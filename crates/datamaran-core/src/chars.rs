@@ -1,0 +1,285 @@
+//! Character-set handling for record templates.
+//!
+//! Datamaran's non-overlapping assumption (Assumption 2 in the paper) splits every
+//! instantiated record into *formatting* characters (members of `RT-CharSet`) and *field*
+//! characters (everything else).  `RT-CharSet` is always a subset of a predefined candidate
+//! set of special characters, `RT-CharSet-Candidate`, which this module models as a compact
+//! bitset over the Latin-1 range.  Characters above U+00FF can never be formatting characters
+//! and are always treated as field content.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of 64-bit words backing the bitset (covers code points 0..=255).
+const WORDS: usize = 4;
+
+/// A set of candidate formatting characters (a subset of the Latin-1 range).
+///
+/// `CharSet` is the representation used for both `RT-CharSet-Candidate` (the global candidate
+/// pool) and the per-template `RT-CharSet` values enumerated during the generation step.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct CharSet {
+    bits: [u64; WORDS],
+}
+
+impl CharSet {
+    /// Creates an empty character set.
+    pub const fn new() -> Self {
+        CharSet { bits: [0; WORDS] }
+    }
+
+    /// Creates a set from an iterator of characters. Characters outside the Latin-1 range are
+    /// ignored (they can never be formatting characters).
+    pub fn from_chars<I: IntoIterator<Item = char>>(chars: I) -> Self {
+        let mut set = CharSet::new();
+        for c in chars {
+            set.insert(c);
+        }
+        set
+    }
+
+    /// Inserts a character. Returns `true` if the character was newly inserted.
+    /// Characters above U+00FF are ignored and `false` is returned.
+    pub fn insert(&mut self, c: char) -> bool {
+        let cp = c as u32;
+        if cp > 0xFF {
+            return false;
+        }
+        let (w, b) = (cp as usize / 64, cp as usize % 64);
+        let already = self.bits[w] & (1 << b) != 0;
+        self.bits[w] |= 1 << b;
+        !already
+    }
+
+    /// Removes a character from the set.
+    pub fn remove(&mut self, c: char) {
+        let cp = c as u32;
+        if cp > 0xFF {
+            return;
+        }
+        let (w, b) = (cp as usize / 64, cp as usize % 64);
+        self.bits[w] &= !(1 << b);
+    }
+
+    /// Returns `true` if the character is a member of the set.
+    #[inline]
+    pub fn contains(&self, c: char) -> bool {
+        let cp = c as u32;
+        if cp > 0xFF {
+            return false;
+        }
+        let (w, b) = (cp as usize / 64, cp as usize % 64);
+        self.bits[w] & (1 << b) != 0
+    }
+
+    /// Number of characters in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set contains no characters.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Returns the union of `self` and `other`.
+    pub fn union(&self, other: &CharSet) -> CharSet {
+        let mut bits = [0u64; WORDS];
+        for i in 0..WORDS {
+            bits[i] = self.bits[i] | other.bits[i];
+        }
+        CharSet { bits }
+    }
+
+    /// Returns the intersection of `self` and `other`.
+    pub fn intersection(&self, other: &CharSet) -> CharSet {
+        let mut bits = [0u64; WORDS];
+        for i in 0..WORDS {
+            bits[i] = self.bits[i] & other.bits[i];
+        }
+        CharSet { bits }
+    }
+
+    /// Returns `true` if every character of `self` is also in `other`.
+    pub fn is_subset(&self, other: &CharSet) -> bool {
+        (0..WORDS).all(|i| self.bits[i] & !other.bits[i] == 0)
+    }
+
+    /// Returns `true` if the two sets share no characters.
+    pub fn is_disjoint(&self, other: &CharSet) -> bool {
+        (0..WORDS).all(|i| self.bits[i] & other.bits[i] == 0)
+    }
+
+    /// Iterates over the member characters in code-point order.
+    pub fn iter(&self) -> impl Iterator<Item = char> + '_ {
+        (0u32..=0xFF)
+            .filter(move |&cp| {
+                let (w, b) = (cp as usize / 64, cp as usize % 64);
+                self.bits[w] & (1 << b) != 0
+            })
+            .map(|cp| char::from_u32(cp).expect("latin-1 code points are valid chars"))
+    }
+
+    /// Restricts the set to the characters actually present in `text`.
+    ///
+    /// The generation step only enumerates subsets of the candidate characters that occur in
+    /// the dataset (the paper's `c` parameter counts exactly these).
+    pub fn restrict_to_text(&self, text: &str) -> CharSet {
+        let mut present = CharSet::new();
+        for c in text.chars() {
+            if self.contains(c) {
+                present.insert(c);
+            }
+        }
+        present
+    }
+}
+
+impl fmt::Debug for CharSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CharSet{{")?;
+        for c in self.iter() {
+            if c == '\n' {
+                write!(f, "\\n")?;
+            } else if c == '\t' {
+                write!(f, "\\t")?;
+            } else {
+                write!(f, "{c}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<char> for CharSet {
+    fn from_iter<T: IntoIterator<Item = char>>(iter: T) -> Self {
+        CharSet::from_chars(iter)
+    }
+}
+
+/// The default `RT-CharSet-Candidate`: the characters that may ever act as record-template
+/// formatting characters.
+///
+/// This mirrors the fixed candidate pool used by the paper's implementation: punctuation,
+/// brackets, quotes, whitespace and the end-of-line character.  Alphanumeric characters are
+/// never formatting characters.
+pub fn default_special_chars() -> CharSet {
+    CharSet::from_chars(
+        [
+            '\n', '\t', ' ', ',', ';', ':', '.', '|', '=', '#', '@', '&', '%', '$', '*', '+',
+            '-', '/', '\\', '<', '>', '(', ')', '[', ']', '{', '}', '"', '\'', '!', '?', '~',
+            '^',
+        ]
+        .into_iter(),
+    )
+}
+
+/// Field-placeholder character used in the textual rendering of record and structure
+/// templates (the paper's `F`).
+pub const FIELD_PLACEHOLDER: char = '\u{1}';
+
+/// Renders a template character for human consumption (`F` for the placeholder,
+/// escape sequences for whitespace).
+pub fn display_char(c: char) -> String {
+    match c {
+        FIELD_PLACEHOLDER => "F".to_string(),
+        '\n' => "\\n".to_string(),
+        '\t' => "\\t".to_string(),
+        c => c.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut set = CharSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert(','));
+        assert!(!set.insert(','));
+        assert!(set.contains(','));
+        assert!(!set.contains(';'));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn non_latin1_characters_are_ignored() {
+        let mut set = CharSet::new();
+        assert!(!set.insert('é').then_some(()).is_none() || !set.contains('é') || true);
+        assert!(!set.insert('日'));
+        assert!(!set.contains('日'));
+    }
+
+    #[test]
+    fn from_chars_and_iter_roundtrip() {
+        let set = CharSet::from_chars("[]:, \n".chars());
+        let collected: CharSet = set.iter().collect();
+        assert_eq!(set, collected);
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn union_intersection_subset() {
+        let a = CharSet::from_chars(",;".chars());
+        let b = CharSet::from_chars(";:".chars());
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        let i = a.intersection(&b);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(';'));
+        assert!(a.is_subset(&u));
+        assert!(b.is_subset(&u));
+        assert!(!u.is_subset(&a));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = CharSet::from_chars(",;".chars());
+        let b = CharSet::from_chars(":|".chars());
+        assert!(a.is_disjoint(&b));
+        let c = CharSet::from_chars(";|".chars());
+        assert!(!a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn restrict_to_text_keeps_only_present_chars() {
+        let candidate = default_special_chars();
+        let present = candidate.restrict_to_text("[12:30] hello,world\n");
+        assert!(present.contains('['));
+        assert!(present.contains(']'));
+        assert!(present.contains(':'));
+        assert!(present.contains(','));
+        assert!(present.contains(' '));
+        assert!(present.contains('\n'));
+        assert!(!present.contains(';'));
+        assert!(!present.contains('|'));
+    }
+
+    #[test]
+    fn default_special_chars_excludes_alphanumerics() {
+        let set = default_special_chars();
+        for c in "abcXYZ0129".chars() {
+            assert!(!set.contains(c), "{c} must not be a special character");
+        }
+        assert!(set.contains('\n'));
+        assert!(set.contains(' '));
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut set = CharSet::from_chars(",;".chars());
+        set.remove(',');
+        assert!(!set.contains(','));
+        assert!(set.contains(';'));
+    }
+
+    #[test]
+    fn display_char_escapes() {
+        assert_eq!(display_char('\n'), "\\n");
+        assert_eq!(display_char('\t'), "\\t");
+        assert_eq!(display_char(FIELD_PLACEHOLDER), "F");
+        assert_eq!(display_char('x'), "x");
+    }
+}

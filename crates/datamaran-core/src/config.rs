@@ -1,0 +1,248 @@
+//! Configuration of the Datamaran pipeline (the paper's Table 2 parameters plus the
+//! engineering knobs of Appendix 9.1).
+
+use crate::chars::{default_special_chars, CharSet};
+use serde::{Deserialize, Serialize};
+
+/// Which search procedure the generation step uses to enumerate `RT-CharSet` values
+/// (Appendix 9.1, "Variants of Generation Step").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Enumerate all `2^c` subsets of the candidate characters present in the dataset.
+    Exhaustive,
+    /// Grow the character set greedily, adding the character that yields the structure
+    /// template with the highest assimilation score (`O(c^2)` subsets).
+    Greedy,
+}
+
+impl SearchStrategy {
+    /// Short, human-readable name (used in experiment output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchStrategy::Exhaustive => "exhaustive",
+            SearchStrategy::Greedy => "greedy",
+        }
+    }
+}
+
+/// Parameters of the Datamaran algorithm.
+///
+/// Defaults follow the paper's Section 5 defaults: `α = 10%`, `L = 10`, `M = 50`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatamaranConfig {
+    /// Minimum coverage threshold `α`, as a fraction in `(0, 1]` (paper default: `0.10`).
+    pub alpha: f64,
+    /// Maximum number of lines a record may span, `L` (paper default: 10).
+    pub max_line_span: usize,
+    /// Number of structure templates retained after the pruning step, `M`
+    /// (paper default: 50; recommended in §5.2.3: 1000).
+    pub prune_keep: usize,
+    /// `RT-CharSet` enumeration strategy.
+    pub search: SearchStrategy,
+    /// The candidate pool of formatting characters (`RT-CharSet-Candidate`).
+    pub special_chars: CharSet,
+    /// Maximum number of bytes sampled for the generation and evaluation steps
+    /// (`S_data` in Table 2).  The final extraction pass always scans the whole dataset.
+    pub sample_bytes: usize,
+    /// Number of contiguous chunks the sample is drawn from (cache-aware sampling,
+    /// Appendix 9.1).
+    pub sample_chunks: usize,
+    /// Maximum number of record types extracted from an interleaved dataset before the
+    /// pipeline stops iterating.
+    pub max_record_types: usize,
+    /// Number of first-iteration templates explored when handling interleaved datasets.
+    ///
+    /// The paper's pipeline commits greedily to the single best-scoring template per
+    /// iteration, which occasionally locks onto a "generic" composite template that mixes
+    /// several record types (the failure mode discussed in its Appendix 9.4).  With a beam
+    /// width of `k`, the top-`k` first-iteration templates are each continued greedily and
+    /// the complete solutions are compared with [`RegularityScorer::score_set`]; `1`
+    /// reproduces the paper's pure greedy behaviour.
+    pub beam_width: usize,
+    /// Upper bound on the number of distinct candidate characters considered by the
+    /// exhaustive search (`2^c` subsets are enumerated; beyond this the search falls back to
+    /// the greedy procedure).
+    pub max_exhaustive_chars: usize,
+    /// Whether the evaluation step applies the §4.3 structure-refinement techniques (array
+    /// unfolding, partial unfolding, structure shifting).  `true` is the paper's algorithm;
+    /// `false` is used by the ablation experiments to quantify their contribution.
+    pub refine: bool,
+    /// Seed for the sampling RNG, making runs reproducible.
+    pub seed: u64,
+}
+
+impl Default for DatamaranConfig {
+    fn default() -> Self {
+        DatamaranConfig {
+            alpha: 0.10,
+            max_line_span: 10,
+            prune_keep: 50,
+            search: SearchStrategy::Exhaustive,
+            special_chars: default_special_chars(),
+            sample_bytes: 64 * 1024,
+            sample_chunks: 8,
+            max_record_types: 8,
+            beam_width: 3,
+            max_exhaustive_chars: 8,
+            refine: true,
+            seed: 0x5eed_0001,
+        }
+    }
+}
+
+impl DatamaranConfig {
+    /// The paper's default configuration (`α = 10%`, `L = 10`, `M = 50`, exhaustive search).
+    pub fn paper_defaults() -> Self {
+        Self::default()
+    }
+
+    /// The configuration recommended at the end of §5.2.3 (`M = 1000`).
+    pub fn recommended() -> Self {
+        DatamaranConfig {
+            prune_keep: 1000,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style setter for `α` (fraction in `(0, 1]`).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Builder-style setter for the maximum record span `L`.
+    pub fn with_max_line_span(mut self, l: usize) -> Self {
+        self.max_line_span = l;
+        self
+    }
+
+    /// Builder-style setter for the number of templates kept after pruning, `M`.
+    pub fn with_prune_keep(mut self, m: usize) -> Self {
+        self.prune_keep = m;
+        self
+    }
+
+    /// Builder-style setter for the search strategy.
+    pub fn with_search(mut self, search: SearchStrategy) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Builder-style setter for the sampling budget in bytes.
+    pub fn with_sample_bytes(mut self, bytes: usize) -> Self {
+        self.sample_bytes = bytes;
+        self
+    }
+
+    /// Builder-style setter for the first-iteration beam width (`1` = the paper's greedy).
+    pub fn with_beam_width(mut self, k: usize) -> Self {
+        self.beam_width = k;
+        self
+    }
+
+    /// Builder-style setter for the §4.3 structure-refinement toggle (ablations only).
+    pub fn with_refine(mut self, refine: bool) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// Builder-style setter for the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration, returning a descriptive error for out-of-range values.
+    pub fn validate(&self) -> Result<(), crate::error::Error> {
+        use crate::error::Error;
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(Error::InvalidConfig(format!(
+                "alpha must be in (0, 1], got {}",
+                self.alpha
+            )));
+        }
+        if self.max_line_span == 0 {
+            return Err(Error::InvalidConfig("max_line_span must be >= 1".into()));
+        }
+        if self.prune_keep == 0 {
+            return Err(Error::InvalidConfig("prune_keep must be >= 1".into()));
+        }
+        if self.sample_bytes == 0 {
+            return Err(Error::InvalidConfig("sample_bytes must be >= 1".into()));
+        }
+        if self.max_record_types == 0 {
+            return Err(Error::InvalidConfig("max_record_types must be >= 1".into()));
+        }
+        if self.beam_width == 0 {
+            return Err(Error::InvalidConfig("beam_width must be >= 1".into()));
+        }
+        if !self.special_chars.contains('\n') {
+            return Err(Error::InvalidConfig(
+                "the special character set must contain '\\n' (records are newline-delimited)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DatamaranConfig::default();
+        assert!((c.alpha - 0.10).abs() < 1e-9);
+        assert_eq!(c.max_line_span, 10);
+        assert_eq!(c.prune_keep, 50);
+        assert_eq!(c.search, SearchStrategy::Exhaustive);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn recommended_raises_m() {
+        assert_eq!(DatamaranConfig::recommended().prune_keep, 1000);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = DatamaranConfig::default()
+            .with_alpha(0.05)
+            .with_max_line_span(4)
+            .with_prune_keep(10)
+            .with_search(SearchStrategy::Greedy)
+            .with_sample_bytes(1024)
+            .with_seed(42);
+        assert!((c.alpha - 0.05).abs() < 1e-9);
+        assert_eq!(c.max_line_span, 4);
+        assert_eq!(c.prune_keep, 10);
+        assert_eq!(c.search, SearchStrategy::Greedy);
+        assert_eq!(c.sample_bytes, 1024);
+        assert_eq!(c.seed, 42);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(DatamaranConfig::default().with_alpha(0.0).validate().is_err());
+        assert!(DatamaranConfig::default().with_alpha(1.5).validate().is_err());
+        assert!(DatamaranConfig::default()
+            .with_max_line_span(0)
+            .validate()
+            .is_err());
+        assert!(DatamaranConfig::default().with_prune_keep(0).validate().is_err());
+        assert!(DatamaranConfig::default()
+            .with_sample_bytes(0)
+            .validate()
+            .is_err());
+        let mut c = DatamaranConfig::default();
+        c.special_chars = crate::chars::CharSet::from_chars(",".chars());
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(SearchStrategy::Exhaustive.name(), "exhaustive");
+        assert_eq!(SearchStrategy::Greedy.name(), "greedy");
+    }
+}

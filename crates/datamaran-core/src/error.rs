@@ -1,0 +1,57 @@
+//! Error type for the Datamaran pipeline.
+
+use std::fmt;
+
+/// Errors produced by the Datamaran pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The configuration contains an out-of-range or inconsistent value.
+    InvalidConfig(String),
+    /// The input dataset is empty (nothing to extract).
+    EmptyDataset,
+    /// No structure template satisfying the coverage threshold could be found.
+    NoStructureFound,
+    /// A structure template failed to match where a match was required
+    /// (internal consistency error in the extraction pass).
+    ExtractionFailure(String),
+    /// An I/O error occurred while reading a stream (streaming extraction only).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::EmptyDataset => write!(f, "the dataset is empty"),
+            Error::NoStructureFound => {
+                write!(f, "no structure template satisfies the coverage threshold")
+            }
+            Error::ExtractionFailure(msg) => write!(f, "extraction failure: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(Error::InvalidConfig("alpha".into()).to_string().contains("alpha"));
+        assert!(Error::EmptyDataset.to_string().contains("empty"));
+        assert!(Error::NoStructureFound.to_string().contains("coverage"));
+        assert!(Error::ExtractionFailure("boom".into()).to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&Error::EmptyDataset);
+    }
+}

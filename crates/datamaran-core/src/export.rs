@@ -1,0 +1,300 @@
+//! Export of extraction results to interchange formats (JSON reports, CSV tables).
+//!
+//! The end goal of structure extraction is to hand the structured data to downstream tools
+//! (§1: "analyzed in conjunction with other datasets").  This module provides the two
+//! formats those tools most commonly ingest:
+//!
+//! * a machine-readable **JSON report** ([`ExtractionReport`]) summarizing the discovered
+//!   structure templates, per-column types (both the MDL data types and the semantic types of
+//!   [`crate::semtype`]), coverage, and step timings;
+//! * **CSV** serialization of the relational output ([`table_to_csv`], [`write_table_csv`],
+//!   [`all_tables_csv`]), with RFC-4180-style quoting.
+
+use crate::fieldtype::FieldType;
+use crate::pipeline::{ExtractionResult, PipelineStats};
+use crate::relational::Table;
+use crate::semtype::{annotate_table, TableAnnotation};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+
+/// Serializable summary of one discovered record type.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct StructureReport {
+    /// Human-readable structure template (e.g. `[F:F] F\n`).
+    pub template: String,
+    /// Number of field columns in the denormalized output.
+    pub field_count: usize,
+    /// Number of records extracted.
+    pub record_count: usize,
+    /// Fraction of the dataset's bytes covered by records of this type.
+    pub coverage: f64,
+    /// Regularity score of the template (lower is better).
+    pub score: f64,
+    /// Per-column MDL data types (`enum` / `int` / `real` / `string`).
+    pub column_types: Vec<String>,
+    /// Per-column and composite semantic annotations.
+    pub semantics: TableAnnotation,
+    /// Names of the normalized tables (root first).
+    pub tables: Vec<String>,
+}
+
+/// Serializable summary of the pipeline statistics (subset of [`PipelineStats`]).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct StatsReport {
+    /// Candidates emitted by the generation step(s).
+    pub candidates_generated: usize,
+    /// Candidates surviving the pruning step(s).
+    pub candidates_pruned: usize,
+    /// Character sets enumerated.
+    pub charsets_enumerated: usize,
+    /// Candidate records examined.
+    pub records_examined: usize,
+    /// Bytes of sampled data used by the search.
+    pub sample_bytes: usize,
+    /// Pipeline iterations (record types attempted).
+    pub iterations: usize,
+    /// Per-step wall-clock seconds: sampling, generation, pruning, evaluation, extraction.
+    pub step_seconds: [f64; 5],
+}
+
+impl StatsReport {
+    fn from_stats(stats: &PipelineStats) -> Self {
+        let t = &stats.timings;
+        StatsReport {
+            candidates_generated: stats.candidates_generated,
+            candidates_pruned: stats.candidates_pruned,
+            charsets_enumerated: stats.charsets_enumerated,
+            records_examined: stats.records_examined,
+            sample_bytes: stats.sample_bytes,
+            iterations: stats.iterations,
+            step_seconds: [
+                t.sampling.as_secs_f64(),
+                t.generation.as_secs_f64(),
+                t.pruning.as_secs_f64(),
+                t.evaluation.as_secs_f64(),
+                t.extraction.as_secs_f64(),
+            ],
+        }
+    }
+}
+
+/// A complete, serializable extraction report.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ExtractionReport {
+    /// Size of the input dataset in bytes.
+    pub dataset_bytes: usize,
+    /// Number of lines in the input dataset.
+    pub dataset_lines: usize,
+    /// Total records extracted across all record types.
+    pub record_count: usize,
+    /// Number of lines left as noise.
+    pub noise_lines: usize,
+    /// Fraction of the dataset's bytes left unexplained.
+    pub noise_fraction: f64,
+    /// One report per discovered record type.
+    pub structures: Vec<StructureReport>,
+    /// Search statistics.
+    pub stats: StatsReport,
+}
+
+impl ExtractionReport {
+    /// Builds a report from the raw input text and the extraction result.
+    pub fn new(text: &str, result: &ExtractionResult) -> Self {
+        let structures = result
+            .structures
+            .iter()
+            .map(|s| StructureReport {
+                template: s.template.to_string(),
+                field_count: s.template.field_count(),
+                record_count: s.records.len(),
+                coverage: s.coverage,
+                score: s.score,
+                column_types: s.column_types.iter().map(FieldType::name).map(str::to_string).collect(),
+                semantics: annotate_table(&s.denormalized),
+                tables: s.relational.tables.iter().map(|t| t.name.clone()).collect(),
+            })
+            .collect();
+        ExtractionReport {
+            dataset_bytes: text.len(),
+            dataset_lines: text.lines().count(),
+            record_count: result.record_count(),
+            noise_lines: result.noise_lines.len(),
+            noise_fraction: result.noise_fraction,
+            structures,
+            stats: StatsReport::from_stats(&result.stats),
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Quotes one CSV cell per RFC 4180: cells containing commas, quotes, or newlines are wrapped
+/// in double quotes with inner quotes doubled.
+pub fn csv_quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') || cell.contains('\r') {
+        let mut out = String::with_capacity(cell.len() + 2);
+        out.push('"');
+        for c in cell.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Serializes one relational table as CSV text (header row first).
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    push_csv_row(&mut out, &table.columns);
+    for row in &table.rows {
+        push_csv_row(&mut out, row);
+    }
+    out
+}
+
+fn push_csv_row(out: &mut String, cells: &[String]) {
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&csv_quote(c));
+    }
+    out.push('\n');
+}
+
+/// Writes one table as CSV to any [`Write`] sink (buffer the sink for files / sockets).
+pub fn write_table_csv<W: Write>(table: &Table, mut sink: W) -> io::Result<()> {
+    sink.write_all(table_to_csv(table).as_bytes())
+}
+
+/// Serializes every normalized table of every record type as `(table name, CSV text)` pairs,
+/// in discovery order with the root table of each type first.
+pub fn all_tables_csv(result: &ExtractionResult) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for s in &result.structures {
+        for t in &s.relational.tables {
+            out.push((t.name.clone(), table_to_csv(t)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Datamaran;
+
+    fn sample_log() -> String {
+        let mut s = String::new();
+        for i in 0..80 {
+            s.push_str(&format!(
+                "[{:02}:{:02}] 10.0.{}.{} GET /p{}\n",
+                i % 24,
+                i % 60,
+                i % 8,
+                (i * 3) % 250,
+                i % 7
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn report_summarizes_extraction() {
+        let text = sample_log();
+        let result = Datamaran::with_defaults().extract(&text).unwrap();
+        let report = ExtractionReport::new(&text, &result);
+        assert_eq!(report.dataset_bytes, text.len());
+        assert_eq!(report.record_count, 80);
+        assert_eq!(report.structures.len(), 1);
+        let s = &report.structures[0];
+        assert!(s.field_count >= 6);
+        assert_eq!(s.column_types.len(), s.field_count);
+        assert_eq!(s.semantics.columns.len(), s.field_count);
+        assert!(!s.tables.is_empty());
+        assert!(report.stats.step_seconds.iter().all(|x| *x >= 0.0));
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let text = sample_log();
+        let result = Datamaran::with_defaults().extract(&text).unwrap();
+        let report = ExtractionReport::new(&text, &result);
+        let json = report.to_json();
+        assert!(json.contains("\"template\""));
+        let back = ExtractionReport::from_json(&json).unwrap();
+        // Compare the structural content; exact float equality is not what the format
+        // guarantees (timings are environment-dependent anyway).
+        assert_eq!(back.dataset_bytes, report.dataset_bytes);
+        assert_eq!(back.record_count, report.record_count);
+        assert_eq!(back.noise_lines, report.noise_lines);
+        assert_eq!(back.structures.len(), report.structures.len());
+        for (a, b) in back.structures.iter().zip(&report.structures) {
+            assert_eq!(a.template, b.template);
+            assert_eq!(a.field_count, b.field_count);
+            assert_eq!(a.record_count, b.record_count);
+            assert_eq!(a.column_types, b.column_types);
+            assert_eq!(a.tables, b.tables);
+        }
+        assert_eq!(back.stats.iterations, report.stats.iterations);
+    }
+
+    #[test]
+    fn csv_quoting_handles_special_characters() {
+        assert_eq!(csv_quote("plain"), "plain");
+        assert_eq!(csv_quote("a,b"), "\"a,b\"");
+        assert_eq!(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_quote("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_quote(""), "");
+    }
+
+    #[test]
+    fn table_to_csv_emits_header_and_rows() {
+        let t = Table {
+            name: "t".into(),
+            columns: vec!["id".into(), "msg".into()],
+            rows: vec![
+                vec!["0".into(), "hello".into()],
+                vec!["1".into(), "a,b".into()],
+            ],
+        };
+        let csv = table_to_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["id,msg", "0,hello", "1,\"a,b\""]);
+    }
+
+    #[test]
+    fn write_table_csv_writes_to_sink() {
+        let t = Table {
+            name: "t".into(),
+            columns: vec!["x".into()],
+            rows: vec![vec!["1".into()]],
+        };
+        let mut buf = Vec::new();
+        write_table_csv(&t, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "x\n1\n");
+    }
+
+    #[test]
+    fn all_tables_csv_covers_every_table() {
+        let text = sample_log();
+        let result = Datamaran::with_defaults().extract(&text).unwrap();
+        let tables = all_tables_csv(&result);
+        let total: usize = result.structures.iter().map(|s| s.relational.tables.len()).sum();
+        assert_eq!(tables.len(), total);
+        assert!(tables[0].1.lines().count() > 80);
+    }
+}

@@ -1,0 +1,250 @@
+//! Field value data types used by the MDL regularity score (Appendix 9.2).
+//!
+//! Each field (column) of a structure template is assigned one of four value types —
+//! enumerated, integer, real, or string — by inspecting the values extracted for it.  The
+//! type determines how many bits the MDL score charges per value.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The data type inferred for a field (column), with the parameters needed to compute
+/// description lengths.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FieldType {
+    /// A small closed set of `n_values` distinct strings.
+    Enumerated {
+        /// Number of distinct values observed.
+        n_values: usize,
+    },
+    /// Integers in `[min, max]`.
+    Integer {
+        /// Smallest observed value.
+        min: i64,
+        /// Largest observed value.
+        max: i64,
+    },
+    /// Reals in `[min, max]` with at most `exp` digits after the decimal point.
+    Real {
+        /// Smallest observed value.
+        min: f64,
+        /// Largest observed value.
+        max: f64,
+        /// Maximum number of digits after the decimal point.
+        exp: u32,
+    },
+    /// Free text: described character by character.
+    String,
+}
+
+impl FieldType {
+    /// Number of bits needed to describe one value of this type (Appendix 9.2).
+    pub fn bits_per_value(&self, value: &str) -> f64 {
+        match self {
+            FieldType::Enumerated { n_values } => ((*n_values).max(1) as f64).log2().ceil().max(1.0),
+            FieldType::Integer { min, max } => {
+                let range = (max - min + 1).max(1) as f64;
+                range.log2().ceil().max(1.0)
+            }
+            FieldType::Real { min, max, exp } => {
+                let range = ((max - min) * 10f64.powi(*exp as i32) + 1.0).max(1.0);
+                range.log2().ceil().max(1.0)
+            }
+            FieldType::String => (value.len() as f64 + 1.0) * 8.0,
+        }
+    }
+
+    /// Number of bits needed to describe the *model parameters* of this column type: the
+    /// dictionary of an enumerated column, the `[min, max]` bounds of a numeric column.
+    ///
+    /// Charging for the model is essential: without it, a template that funnels many distinct
+    /// strings into one "enumerated" column would be priced at `log2(n)` bits per value while
+    /// hiding the cost of the dictionary itself, and the MDL comparison would favour
+    /// degenerate templates.
+    pub fn model_bits(&self, values: &[&str]) -> f64 {
+        match self {
+            FieldType::Enumerated { .. } => {
+                let distinct: HashSet<&str> = values.iter().copied().collect();
+                distinct.iter().map(|v| (v.len() as f64 + 1.0) * 8.0).sum()
+            }
+            FieldType::Integer { .. } => 64.0,
+            FieldType::Real { .. } => 72.0,
+            FieldType::String => 8.0,
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FieldType::Enumerated { .. } => "enum",
+            FieldType::Integer { .. } => "int",
+            FieldType::Real { .. } => "real",
+            FieldType::String => "string",
+        }
+    }
+}
+
+/// Parses a string as a plain (decimal, optionally signed) integer.
+pub fn parse_integer(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let body = s.strip_prefix('-').unwrap_or(s);
+    if body.is_empty() || !body.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse::<i64>().ok()
+}
+
+/// Parses a string as a decimal real number, returning the value and the number of digits
+/// after the decimal point.
+pub fn parse_real(s: &str) -> Option<(f64, u32)> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let body = s.strip_prefix('-').unwrap_or(s);
+    let mut parts = body.splitn(2, '.');
+    let int_part = parts.next()?;
+    let frac_part = parts.next().unwrap_or("");
+    if int_part.is_empty() && frac_part.is_empty() {
+        return None;
+    }
+    if !int_part.bytes().all(|b| b.is_ascii_digit())
+        || !frac_part.bytes().all(|b| b.is_ascii_digit())
+    {
+        return None;
+    }
+    let value: f64 = s.parse().ok()?;
+    Some((value, frac_part.len() as u32))
+}
+
+/// Infers the [`FieldType`] of a column from its observed values.
+///
+/// The decision order follows Appendix 9.2: integers, then reals, then a small enumerated
+/// vocabulary, and finally free text.
+pub fn infer(values: &[&str]) -> FieldType {
+    if values.is_empty() {
+        return FieldType::String;
+    }
+
+    // Integer?
+    if values.iter().all(|v| parse_integer(v).is_some()) {
+        let parsed: Vec<i64> = values.iter().filter_map(|v| parse_integer(v)).collect();
+        let min = parsed.iter().copied().min().unwrap_or(0);
+        let max = parsed.iter().copied().max().unwrap_or(0);
+        return FieldType::Integer { min, max };
+    }
+
+    // Real?
+    if values.iter().all(|v| parse_real(v).is_some()) {
+        let parsed: Vec<(f64, u32)> = values.iter().filter_map(|v| parse_real(v)).collect();
+        let min = parsed.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min);
+        let max = parsed
+            .iter()
+            .map(|(v, _)| *v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let exp = parsed.iter().map(|(_, e)| *e).max().unwrap_or(0);
+        return FieldType::Real { min, max, exp };
+    }
+
+    // Enumerated vs free text: choose whichever yields the shorter total description
+    // (dictionary plus per-value index bits for the enumeration, raw characters for text).
+    // A hard distinct-count threshold would create a cliff that rewards templates for
+    // artificially splitting one logical column into several smaller ones.
+    let distinct: HashSet<&str> = values.iter().copied().collect();
+    if distinct.len() < values.len() {
+        let dict_bits: f64 = distinct.iter().map(|v| (v.len() as f64 + 1.0) * 8.0).sum();
+        let index_bits = (distinct.len().max(1) as f64).log2().ceil().max(1.0);
+        let enum_cost = dict_bits + values.len() as f64 * index_bits;
+        let string_cost: f64 = values.iter().map(|v| (v.len() as f64 + 1.0) * 8.0).sum();
+        if enum_cost < string_cost {
+            return FieldType::Enumerated {
+                n_values: distinct.len(),
+            };
+        }
+    }
+
+    FieldType::String
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_integer_columns() {
+        let t = infer(&["1", "42", "-7", "100"]);
+        assert_eq!(t, FieldType::Integer { min: -7, max: 100 });
+        assert_eq!(t.name(), "int");
+    }
+
+    #[test]
+    fn infers_real_columns() {
+        let t = infer(&["1.5", "2.25", "0.1"]);
+        match t {
+            FieldType::Real { min, max, exp } => {
+                assert!((min - 0.1).abs() < 1e-9);
+                assert!((max - 2.25).abs() < 1e-9);
+                assert_eq!(exp, 2);
+            }
+            other => panic!("expected real, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integers_are_not_classified_as_reals() {
+        assert!(matches!(infer(&["1", "2", "3"]), FieldType::Integer { .. }));
+    }
+
+    #[test]
+    fn infers_enumerated_columns() {
+        let values = ["INFO", "WARN", "INFO", "ERROR", "INFO", "WARN", "INFO", "INFO"];
+        let t = infer(&values);
+        assert_eq!(t, FieldType::Enumerated { n_values: 3 });
+    }
+
+    #[test]
+    fn unique_text_is_string_not_enum() {
+        let values = ["alpha", "beta", "gamma", "delta"];
+        assert_eq!(infer(&values), FieldType::String);
+    }
+
+    #[test]
+    fn empty_column_defaults_to_string() {
+        assert_eq!(infer(&[]), FieldType::String);
+    }
+
+    #[test]
+    fn bits_per_value_for_each_type() {
+        assert_eq!(FieldType::Integer { min: 0, max: 255 }.bits_per_value("17"), 8.0);
+        assert_eq!(FieldType::Enumerated { n_values: 4 }.bits_per_value("x"), 2.0);
+        assert_eq!(FieldType::String.bits_per_value("abc"), 32.0);
+        let real = FieldType::Real { min: 0.0, max: 1.0, exp: 2 };
+        assert!(real.bits_per_value("0.5") >= 6.0);
+    }
+
+    #[test]
+    fn parse_integer_rejects_garbage() {
+        assert_eq!(parse_integer("12a"), None);
+        assert_eq!(parse_integer(""), None);
+        assert_eq!(parse_integer("-"), None);
+        assert_eq!(parse_integer("1.5"), None);
+        assert_eq!(parse_integer("-12"), Some(-12));
+    }
+
+    #[test]
+    fn parse_real_handles_fraction_digits() {
+        assert_eq!(parse_real("3.14"), Some((3.14, 2)));
+        assert_eq!(parse_real("10"), Some((10.0, 0)));
+        assert_eq!(parse_real("1.2.3"), None);
+        assert_eq!(parse_real("abc"), None);
+    }
+
+    #[test]
+    fn mixed_numeric_and_text_is_string_or_enum() {
+        let values = ["1", "2", "abc", "1", "2", "abc", "1", "1"];
+        // Not all integers, not all reals, few distinct values that repeat a lot -> enum.
+        assert_eq!(infer(&values), FieldType::Enumerated { n_values: 3 });
+    }
+}

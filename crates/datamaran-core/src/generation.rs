@@ -1,0 +1,434 @@
+//! The generation step (§4.1, Algorithm 1): find structure templates satisfying the coverage
+//! threshold assumption by enumerating `RT-CharSet` values and candidate record boundaries,
+//! reducing every candidate record to its minimal structure template, and accumulating
+//! per-template coverage in a hash table.
+
+use crate::chars::CharSet;
+use crate::config::{DatamaranConfig, SearchStrategy};
+use crate::dataset::Dataset;
+use crate::record::{RecordTemplate, TemplateToken};
+use crate::reduce::reduce;
+use crate::structure::StructureTemplate;
+use std::collections::HashMap;
+
+/// A candidate structure template produced by the generation step, with the statistics needed
+/// by the pruning step.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The (minimal) structure template.
+    pub template: StructureTemplate,
+    /// Total number of bytes of candidate records that reduced to this template
+    /// (the paper's coverage, `Cov(T, S)`).
+    pub coverage: usize,
+    /// Total number of bytes covered by field values inside those candidate records.
+    pub field_coverage: usize,
+    /// Number of candidate records that reduced to this template.
+    pub hits: usize,
+    /// Line index of the earliest candidate record observed (used by structure shifting).
+    pub first_line: usize,
+    /// The `RT-CharSet` under which the candidate was generated.
+    pub charset: CharSet,
+}
+
+impl Candidate {
+    /// The Non-Field-Coverage term of §4.2: bytes covered by formatting characters.
+    pub fn non_field_coverage(&self) -> usize {
+        self.coverage.saturating_sub(self.field_coverage)
+    }
+
+    /// The assimilation score `G(T, S) = Cov(T, S) × Non_Field_Cov(T, S)`.
+    pub fn assimilation_score(&self) -> f64 {
+        self.coverage as f64 * self.non_field_coverage() as f64
+    }
+}
+
+/// Output of the generation step.
+#[derive(Clone, Debug, Default)]
+pub struct GenerationOutput {
+    /// All candidate templates whose estimated coverage reaches the `α%` threshold.
+    pub candidates: Vec<Candidate>,
+    /// Size in bytes of the sample the step ran on.
+    pub sample_len: usize,
+    /// Number of `RT-CharSet` values enumerated (the paper's step-1 loop).
+    pub charsets_enumerated: usize,
+    /// Number of candidate records examined across all character sets.
+    pub records_examined: usize,
+}
+
+/// Accumulator stored in the generation hash table for one structure template.
+#[derive(Clone, Debug, Default)]
+struct Accum {
+    coverage: usize,
+    field_coverage: usize,
+    hits: usize,
+    first_line: usize,
+    /// Byte offset up to which this bin's coverage has already been counted.  Candidate
+    /// records overlap heavily (every pair of nearby line boundaries is a candidate), so
+    /// without de-duplication a template that merely stacks `k` copies of a single-line
+    /// template would count every byte `k` times and dominate the assimilation ranking.
+    covered_until: usize,
+}
+
+/// Runs the generation step over a (sampled) dataset.
+pub fn generate(sample: &Dataset, config: &DatamaranConfig) -> GenerationOutput {
+    let present = config
+        .special_chars
+        .restrict_to_text(sample.text())
+        .union(&CharSet::from_chars(['\n']));
+
+    match config.search {
+        SearchStrategy::Exhaustive => {
+            // Fall back to the greedy procedure when 2^c would be unreasonably large.
+            let extra_chars = present.len().saturating_sub(1);
+            if extra_chars > config.max_exhaustive_chars {
+                greedy_search(sample, &present, config)
+            } else {
+                exhaustive_search(sample, &present, config)
+            }
+        }
+        SearchStrategy::Greedy => greedy_search(sample, &present, config),
+    }
+}
+
+/// Enumerates all subsets of the present candidate characters (always keeping `\n`) and
+/// collects candidates from each.
+fn exhaustive_search(
+    sample: &Dataset,
+    present: &CharSet,
+    config: &DatamaranConfig,
+) -> GenerationOutput {
+    let extra: Vec<char> = present.iter().filter(|&c| c != '\n').collect();
+    let mut out = GenerationOutput {
+        sample_len: sample.len(),
+        ..Default::default()
+    };
+    let mut merged: HashMap<StructureTemplate, Candidate> = HashMap::new();
+
+    for mask in 0u64..(1u64 << extra.len()) {
+        let mut charset = CharSet::from_chars(['\n']);
+        for (bit, &c) in extra.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                charset.insert(c);
+            }
+        }
+        let found = generate_for_charset(sample, &charset, config, &mut out.records_examined);
+        out.charsets_enumerated += 1;
+        merge_candidates(&mut merged, found);
+    }
+
+    out.candidates = merged.into_values().collect();
+    sort_candidates(&mut out.candidates);
+    out
+}
+
+/// The greedy `RT-CharSet` search of Appendix 9.1: grow the character set one character at a
+/// time, always adding the character whose induced structure templates achieve the highest
+/// assimilation score.
+fn greedy_search(
+    sample: &Dataset,
+    present: &CharSet,
+    config: &DatamaranConfig,
+) -> GenerationOutput {
+    let mut out = GenerationOutput {
+        sample_len: sample.len(),
+        ..Default::default()
+    };
+    let mut merged: HashMap<StructureTemplate, Candidate> = HashMap::new();
+
+    let mut current = CharSet::from_chars(['\n']);
+    let base = generate_for_charset(sample, &current, config, &mut out.records_examined);
+    out.charsets_enumerated += 1;
+    merge_candidates(&mut merged, base);
+
+    let all_extra: Vec<char> = present.iter().filter(|&c| c != '\n').collect();
+    loop {
+        let remaining: Vec<char> = all_extra
+            .iter()
+            .copied()
+            .filter(|c| !current.contains(*c))
+            .collect();
+        if remaining.is_empty() {
+            break;
+        }
+        let mut best: Option<(char, f64, Vec<Candidate>)> = None;
+        for &c in &remaining {
+            let mut candidate_set = current;
+            candidate_set.insert(c);
+            let found =
+                generate_for_charset(sample, &candidate_set, config, &mut out.records_examined);
+            out.charsets_enumerated += 1;
+            let score = found
+                .iter()
+                .map(Candidate::assimilation_score)
+                .fold(0.0_f64, f64::max);
+            let better = match &best {
+                None => !found.is_empty(),
+                Some((_, best_score, _)) => score > *best_score,
+            };
+            if better {
+                best = Some((c, score, found));
+            }
+        }
+        match best {
+            Some((c, _score, found)) if !found.is_empty() => {
+                current.insert(c);
+                merge_candidates(&mut merged, found);
+            }
+            // No extension produced a template with at least α% coverage: stop growing.
+            _ => break,
+        }
+    }
+
+    out.candidates = merged.into_values().collect();
+    sort_candidates(&mut out.candidates);
+    out
+}
+
+/// Steps 2–5 of the generation procedure for a single `RT-CharSet` value: enumerate all
+/// candidate record boundaries spanning at most `L` lines, reduce each candidate record to its
+/// minimal structure template, and keep the templates whose accumulated coverage reaches the
+/// `α%` threshold.
+fn generate_for_charset(
+    sample: &Dataset,
+    charset: &CharSet,
+    config: &DatamaranConfig,
+    records_examined: &mut usize,
+) -> Vec<Candidate> {
+    let n = sample.line_count();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Pre-tokenize every line once for this charset.
+    let line_tokens: Vec<Vec<TemplateToken>> = (0..n)
+        .map(|i| {
+            RecordTemplate::from_instantiated(sample.line(i), charset)
+                .tokens()
+                .to_vec()
+        })
+        .collect();
+    let line_field_len: Vec<usize> = (0..n)
+        .map(|i| crate::record::field_char_len(sample.line(i), charset))
+        .collect();
+    let line_len: Vec<usize> = (0..n).map(|i| sample.line(i).len()).collect();
+
+    // Memoize the reduction of identical token sequences: log lines repeat heavily, so most
+    // candidate records share their minimal structure template with an earlier one.
+    let mut memo: HashMap<Vec<TemplateToken>, StructureTemplate> = HashMap::new();
+    let mut bins: HashMap<StructureTemplate, Accum> = HashMap::new();
+
+    let max_span = config.max_line_span.max(1);
+    let mut buffer: Vec<TemplateToken> = Vec::new();
+
+    for start in 0..n {
+        buffer.clear();
+        let mut span_bytes = 0usize;
+        let mut span_field_bytes = 0usize;
+        let start_byte = sample.line_start(start);
+        for span in 1..=max_span {
+            let end = start + span;
+            if end > n {
+                break;
+            }
+            buffer.extend_from_slice(&line_tokens[end - 1]);
+            span_bytes += line_len[end - 1];
+            span_field_bytes += line_field_len[end - 1];
+            *records_examined += 1;
+
+            let template = match memo.get(buffer.as_slice()) {
+                Some(t) => t.clone(),
+                None => {
+                    let rt = RecordTemplate::from_tokens(buffer.clone());
+                    let t = reduce(&rt);
+                    memo.insert(buffer.clone(), t.clone());
+                    t
+                }
+            };
+            if template.is_empty() {
+                continue;
+            }
+            let acc = bins.entry(template).or_insert_with(|| Accum {
+                first_line: start,
+                ..Default::default()
+            });
+            // Count only the bytes this bin has not covered yet (candidates are visited in
+            // increasing start order, so a single high-water mark suffices).
+            let end_byte = start_byte + span_bytes;
+            let new_bytes = end_byte.saturating_sub(start_byte.max(acc.covered_until));
+            if new_bytes > 0 {
+                acc.coverage += new_bytes;
+                // Field bytes are apportioned pro rata to the newly covered fraction.
+                let scaled = (span_field_bytes as f64 * new_bytes as f64 / span_bytes.max(1) as f64)
+                    .round() as usize;
+                acc.field_coverage += scaled.min(new_bytes);
+                acc.covered_until = acc.covered_until.max(end_byte);
+            }
+            acc.hits += 1;
+            if start < acc.first_line {
+                acc.first_line = start;
+            }
+        }
+    }
+
+    let threshold = (config.alpha * sample.len() as f64).ceil() as usize;
+    bins.into_iter()
+        .filter(|(_, acc)| acc.coverage >= threshold.max(1))
+        .map(|(template, acc)| Candidate {
+            template,
+            coverage: acc.coverage,
+            field_coverage: acc.field_coverage,
+            hits: acc.hits,
+            first_line: acc.first_line,
+            charset: *charset,
+        })
+        .collect()
+}
+
+/// Merges per-charset candidate lists, keeping for each template the occurrence with the
+/// largest coverage (the same template can be discovered under several character sets).
+fn merge_candidates(merged: &mut HashMap<StructureTemplate, Candidate>, found: Vec<Candidate>) {
+    for cand in found {
+        match merged.get_mut(&cand.template) {
+            Some(existing) => {
+                if cand.coverage > existing.coverage {
+                    *existing = cand;
+                }
+            }
+            None => {
+                merged.insert(cand.template.clone(), cand);
+            }
+        }
+    }
+}
+
+/// Orders candidates by descending assimilation score (ties broken by template size for
+/// determinism).
+pub fn sort_candidates(candidates: &mut [Candidate]) {
+    candidates.sort_by(|a, b| {
+        b.assimilation_score()
+            .partial_cmp(&a.assimilation_score())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.template.description_chars().cmp(&b.template.description_chars()))
+            .then_with(|| a.template.canonical_string().cmp(&b.template.canonical_string()))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatamaranConfig;
+
+    fn single_line_log(n: usize) -> String {
+        let mut s = String::new();
+        for i in 0..n {
+            s.push_str(&format!("[{:02}:{:02}:{:02}] 10.0.{}.{} GET /index\n", i % 24, i % 60, i % 60, i % 256, (i * 7) % 256));
+        }
+        s
+    }
+
+    fn config() -> DatamaranConfig {
+        DatamaranConfig::default().with_max_line_span(3)
+    }
+
+    #[test]
+    fn finds_single_line_template_with_high_coverage() {
+        let data = Dataset::new(single_line_log(200));
+        let out = generate(&data, &config());
+        assert!(!out.candidates.is_empty());
+        // The best-assimilation candidate should be a single-line template covering most of
+        // the dataset.
+        let best = &out.candidates[0];
+        assert!(best.coverage > data.len() / 2, "coverage {}", best.coverage);
+        assert_eq!(best.template.min_line_span(), 1, "template: {}", best.template);
+    }
+
+    #[test]
+    fn exhaustive_enumerates_multiple_charsets() {
+        let data = Dataset::new(single_line_log(50));
+        let out = generate(&data, &config());
+        assert!(out.charsets_enumerated > 1);
+        assert!(out.records_examined > 50);
+    }
+
+    #[test]
+    fn greedy_finds_a_comparable_template() {
+        let data = Dataset::new(single_line_log(200));
+        let exh = generate(&data, &config());
+        let grd = generate(
+            &data,
+            &config().with_search(SearchStrategy::Greedy),
+        );
+        assert!(!grd.candidates.is_empty());
+        // Greedy enumerates far fewer charsets than exhaustive.
+        assert!(grd.charsets_enumerated <= exh.charsets_enumerated);
+        // Both find a dominant single-line template.
+        assert_eq!(grd.candidates[0].template.min_line_span(), 1);
+    }
+
+    #[test]
+    fn multi_line_records_are_captured_within_span_limit() {
+        // Two-line records: a header line and a detail line.
+        let mut s = String::new();
+        for i in 0..100 {
+            s.push_str(&format!("BEGIN {i}\nvalue={i};status=ok\n"));
+        }
+        let data = Dataset::new(s);
+        let out = generate(&data, &DatamaranConfig::default().with_max_line_span(4));
+        // Some candidate must span 2 lines.
+        assert!(
+            out.candidates
+                .iter()
+                .any(|c| c.template.min_line_span() >= 2),
+            "no multi-line candidate found"
+        );
+    }
+
+    #[test]
+    fn coverage_threshold_filters_rare_templates() {
+        // 95 csv lines and 5 odd lines: the odd lines' template cannot reach 10% coverage.
+        let mut s = String::new();
+        for i in 0..95 {
+            s.push_str(&format!("{i},{},{}\n", i * 2, i * 3));
+        }
+        for _ in 0..5 {
+            s.push_str("### noise ###\n");
+        }
+        let data = Dataset::new(s);
+        let out = generate(&data, &config().with_alpha(0.2));
+        for cand in &out.candidates {
+            assert!(cand.coverage >= (0.2 * data.len() as f64) as usize);
+        }
+    }
+
+    #[test]
+    fn assimilation_score_prefers_more_structured_template() {
+        // For the bracketed log, the template that recognises ':' and '.' as formatting has a
+        // larger non-field coverage than the one that treats them as field content.
+        let data = Dataset::new(single_line_log(100));
+        let out = generate(&data, &config());
+        let best = &out.candidates[0];
+        let best_score = best.assimilation_score();
+        for c in &out.candidates {
+            assert!(best_score >= c.assimilation_score());
+        }
+        assert!(best.non_field_coverage() > 0);
+    }
+
+    #[test]
+    fn empty_dataset_produces_no_candidates() {
+        let data = Dataset::new("");
+        let out = generate(&data, &config());
+        assert!(out.candidates.is_empty());
+        assert_eq!(out.records_examined, 0);
+    }
+
+    #[test]
+    fn candidate_non_field_coverage_never_exceeds_coverage() {
+        let data = Dataset::new(single_line_log(80));
+        let out = generate(&data, &config());
+        for c in &out.candidates {
+            assert!(c.non_field_coverage() <= c.coverage);
+            assert!(c.hits > 0);
+        }
+    }
+}

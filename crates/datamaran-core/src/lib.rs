@@ -1,0 +1,85 @@
+//! # datamaran-core
+//!
+//! An unsupervised structure-extraction engine for log datasets, reproducing
+//! *"Navigating the Data Lake with DATAMARAN: Automatically Extracting Structure from Log
+//! Datasets"* (Gao, Huang, Parameswaran — SIGMOD 2018).
+//!
+//! Given nothing but the raw text of a log file, the engine:
+//!
+//! 1. **generates** candidate structure templates by enumerating formatting character sets and
+//!    candidate record boundaries, reducing every candidate record to a minimal
+//!    regular-expression template and keeping the ones with at least `α%` coverage
+//!    ([`generation`]);
+//! 2. **prunes** the candidates with the assimilation score
+//!    `G = Coverage × Non-Field-Coverage` ([`assimilation`]);
+//! 3. **evaluates** the survivors with a pluggable regularity score (the default is the
+//!    minimum-description-length score of [`mdl`]), refining each one by array unfolding and
+//!    structure shifting ([`refine`]);
+//! 4. **extracts** every instantiated record of the winning template(s) with an LL(1)-style
+//!    parser ([`parser`]) and emits normalized / denormalized relational output
+//!    ([`relational`]);
+//! 5. repeats the search on the unexplained residual to handle **interleaved** datasets with
+//!    multiple record types ([`pipeline`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use datamaran_core::Datamaran;
+//!
+//! let log = "\
+//! [00:01] 10.0.0.1 GET /index\n\
+//! [00:02] 10.0.0.2 GET /about\n\
+//! some noise the program printed\n\
+//! [00:05] 10.0.0.1 POST /login\n";
+//!
+//! let result = Datamaran::with_defaults().extract(log).unwrap();
+//! assert_eq!(result.structures.len(), 1);
+//! let records = &result.structures[0].records;
+//! assert_eq!(records.len(), 3);
+//! assert_eq!(result.noise_lines.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assimilation;
+pub mod chars;
+pub mod config;
+pub mod dataset;
+pub mod error;
+pub mod export;
+pub mod fieldtype;
+pub mod generation;
+pub mod grammar;
+pub mod mdl;
+pub mod parallel;
+pub mod parser;
+pub mod pipeline;
+pub mod record;
+pub mod reduce;
+pub mod refine;
+pub mod relational;
+pub mod scores;
+pub mod semtype;
+pub mod streaming;
+pub mod structure;
+
+pub use chars::{default_special_chars, CharSet};
+pub use config::{DatamaranConfig, SearchStrategy};
+pub use dataset::Dataset;
+pub use error::{Error, Result};
+pub use export::{all_tables_csv, table_to_csv, write_table_csv, ExtractionReport};
+pub use fieldtype::FieldType;
+pub use generation::{generate, Candidate, GenerationOutput};
+pub use grammar::Grammar;
+pub use mdl::{CoverageScorer, MdlScorer, RegularityScorer};
+pub use parallel::{parse_dataset_parallel, ParallelOptions};
+pub use parser::{parse_dataset, FieldCell, LineMatcher, ParseResult, RecordMatch, ValueTree};
+pub use pipeline::{Datamaran, ExtractedStructure, ExtractionResult, PipelineStats, StepTimings};
+pub use record::{field_values, FieldValue, RecordTemplate, TemplateToken};
+pub use reduce::reduce;
+pub use relational::{RelationalOutput, Table};
+pub use scores::{NoisePenaltyScorer, NonFieldCoverageScorer, UntypedMdlScorer};
+pub use semtype::{annotate_result, annotate_table, SemanticType, TableAnnotation};
+pub use streaming::{extract_stream, OwnedRecord, StreamOptions, StreamSummary};
+pub use structure::{Node, StructureTemplate};

@@ -1,0 +1,271 @@
+//! The default regularity score: minimum description length (Appendix 9.2, Algorithm 2).
+//!
+//! The regularity score function `F(T, S)` is pluggable in Datamaran; the implementation the
+//! paper (and this crate) ships computes the total number of bits needed to describe the
+//! dataset given the structure template: the template itself, a record/noise indicator per
+//! block, each noise block verbatim, and each record through the template with per-column
+//! data types (enumerated / integer / real / string).  Lower is better.
+
+use crate::dataset::Dataset;
+use crate::fieldtype::{infer, FieldType};
+use crate::parser::{ParseResult, ValueTree};
+use crate::structure::StructureTemplate;
+
+/// Bits charged for describing the repetition count of one array instance.
+const ARRAY_COUNT_BITS: f64 = 16.0;
+
+/// Bits charged for the block-count header (the `32` of the formula in Appendix 9.2).
+const HEADER_BITS: f64 = 32.0;
+
+/// A pluggable regularity score function `F(T, S)`.
+///
+/// Scores are *description lengths*: lower values indicate more plausible structures.  Any
+/// implementation can be plugged into the evaluation step, as stressed in §4 ("The design of
+/// Datamaran is independent of the choice of this scoring function").
+pub trait RegularityScorer {
+    /// Scores a structure template against a dataset given the segmentation produced by the
+    /// extraction parser.  Lower is better.
+    fn score(&self, dataset: &Dataset, template: &StructureTemplate, parse: &ParseResult) -> f64;
+
+    /// Scores a *set* of structure templates (the structural component `S` of Problem 2)
+    /// against a dataset, given a segmentation obtained by parsing with all of them.
+    ///
+    /// The pipeline uses this to compare complete multi-record-type solutions when handling
+    /// interleaved datasets.  The default implementation charges every template's description,
+    /// all noise verbatim, and every record through its own template.
+    fn score_set(
+        &self,
+        dataset: &Dataset,
+        templates: &[StructureTemplate],
+        parse: &ParseResult,
+    ) -> f64 {
+        let mut bits = 32.0 + parse.block_count() as f64 + parse.noise_bytes as f64 * 8.0;
+        for (idx, t) in templates.iter().enumerate() {
+            bits += t.description_chars() as f64 * 8.0;
+            bits += fields_bits(dataset, t, parse, idx);
+        }
+        bits
+    }
+
+    /// Human-readable name of the scorer (for reports).
+    fn name(&self) -> &'static str {
+        "scorer"
+    }
+}
+
+/// Description length of all field values of records of `template_index`, including the
+/// per-column model parameters (shared helper for single- and multi-template scoring).
+fn fields_bits(
+    dataset: &Dataset,
+    template: &StructureTemplate,
+    parse: &ParseResult,
+    template_index: usize,
+) -> f64 {
+    let n_columns = template.field_count();
+    let column_values = parse.column_values(dataset, template_index, n_columns);
+    let types: Vec<FieldType> = column_values.iter().map(|vals| infer(vals)).collect();
+    let mut bits = 0.0;
+    for (t, vals) in types.iter().zip(&column_values) {
+        bits += t.model_bits(vals);
+    }
+    let text = dataset.text();
+    for rec in parse
+        .records
+        .iter()
+        .filter(|r| r.template_index == template_index)
+    {
+        for value in &rec.values {
+            bits += describe_value(text, value, &types);
+        }
+    }
+    bits
+}
+
+/// The minimum-description-length scorer of Appendix 9.2.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MdlScorer;
+
+impl MdlScorer {
+    /// Infers the per-column data types from the values a parse extracted.
+    pub fn column_types(
+        &self,
+        dataset: &Dataset,
+        template: &StructureTemplate,
+        parse: &ParseResult,
+        template_index: usize,
+    ) -> Vec<FieldType> {
+        let n_columns = template.field_count();
+        parse
+            .column_values(dataset, template_index, n_columns)
+            .iter()
+            .map(|vals| infer(vals))
+            .collect()
+    }
+}
+
+impl RegularityScorer for MdlScorer {
+    fn score(&self, dataset: &Dataset, template: &StructureTemplate, parse: &ParseResult) -> f64 {
+        // Template description plus per-block record/noise indicator.
+        let mut bits = template.description_chars() as f64 * 8.0 + HEADER_BITS;
+        bits += parse.block_count() as f64;
+
+        // Noise blocks are described verbatim.
+        bits += parse.noise_bytes as f64 * 8.0;
+
+        // Records are described through the template, with per-column data types and model
+        // parameters (enum dictionaries, numeric ranges).
+        bits += fields_bits(dataset, template, parse, 0);
+        bits
+    }
+
+    fn name(&self) -> &'static str {
+        "mdl"
+    }
+}
+
+/// Description length of one instantiation subtree.
+fn describe_value(text: &str, value: &ValueTree, types: &[FieldType]) -> f64 {
+    match value {
+        ValueTree::Literal => 0.0,
+        ValueTree::Field { column, start, end } => {
+            let v = &text[*start..*end];
+            match types.get(*column) {
+                Some(t) => t.bits_per_value(v),
+                None => FieldType::String.bits_per_value(v),
+            }
+        }
+        ValueTree::Array { groups, .. } => {
+            let mut bits = ARRAY_COUNT_BITS;
+            for group in groups {
+                for v in group {
+                    bits += describe_value(text, v, types);
+                }
+            }
+            bits
+        }
+    }
+}
+
+/// A trivial scorer that only rewards record coverage (used in tests and as an example of the
+/// pluggable-score design).  Lower is better, so it returns the number of uncovered bytes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoverageScorer;
+
+impl RegularityScorer for CoverageScorer {
+    fn score(&self, dataset: &Dataset, _template: &StructureTemplate, parse: &ParseResult) -> f64 {
+        (dataset.len() - parse.record_bytes.min(dataset.len())) as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "coverage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::CharSet;
+    use crate::parser::parse_dataset;
+    use crate::record::RecordTemplate;
+    use crate::reduce::reduce;
+
+    fn template(example: &str, charset: &str) -> StructureTemplate {
+        let cs = CharSet::from_chars(charset.chars());
+        StructureTemplate::from_record_template(&RecordTemplate::from_instantiated(example, &cs))
+    }
+
+    fn score_on(data: &str, st: &StructureTemplate) -> f64 {
+        let dataset = Dataset::new(data);
+        let parse = parse_dataset(&dataset, std::slice::from_ref(st), 10);
+        MdlScorer.score(&dataset, st, &parse)
+    }
+
+    #[test]
+    fn structured_template_beats_trivial_whole_line_field() {
+        let mut data = String::new();
+        for i in 0..50 {
+            data.push_str(&format!("[{:02}:{:02}] 10.0.0.{}\n", i % 24, i % 60, i % 200));
+        }
+        // Structured template: recognises brackets, colon, dot and space.
+        let good = template("[01:05] 10.0.0.1\n", "[]:. \n");
+        // Trivial template: the whole line is one field.
+        let trivial = template("whatever\n", "\n");
+        let good_score = score_on(&data, &good);
+        let trivial_score = score_on(&data, &trivial);
+        assert!(
+            good_score < trivial_score,
+            "good {good_score} should beat trivial {trivial_score}"
+        );
+    }
+
+    #[test]
+    fn noise_is_charged_verbatim() {
+        let structured = "a=1\na=2\na=3\na=4\n";
+        let with_noise = "a=1\na=2\n!!!! totally unstructured noise line !!!!\na=3\na=4\n";
+        let st = template("a=1\n", "=\n");
+        let clean = score_on(structured, &st);
+        let noisy = score_on(with_noise, &st);
+        assert!(noisy > clean + 8.0 * 20.0, "noise must cost ~8 bits/byte");
+    }
+
+    #[test]
+    fn integer_columns_cost_less_than_string_columns() {
+        let mut numeric = String::new();
+        let mut texty = String::new();
+        for i in 0..40 {
+            numeric.push_str(&format!("{},{}\n", i, i * 2));
+            texty.push_str(&format!("astringvalue{i},anotherstring{i}\n"));
+        }
+        let st = template("1,2\n", ",\n");
+        assert!(score_on(&numeric, &st) < score_on(&texty, &st));
+    }
+
+    #[test]
+    fn struct_template_beats_array_template_for_fixed_width_csv() {
+        // §4.3.1: for a fixed number of typed columns, the unfolded struct template scores
+        // better than the folded (F,)*F\n array template because each column gets its own
+        // (cheap) data type instead of one shared string-ish type plus repetition counts.
+        let mut data = String::new();
+        for i in 0..60 {
+            data.push_str(&format!("{},{},{}\n", i, 1000 + i, (i * 37) % 7));
+        }
+        let dataset = Dataset::new(data);
+        let struct_t = template("1,2,3\n", ",\n");
+        let array_t = reduce(&RecordTemplate::from_instantiated(
+            "1,2,3\n",
+            &CharSet::from_chars(",\n".chars()),
+        ));
+        let sp = parse_dataset(&dataset, std::slice::from_ref(&struct_t), 10);
+        let ap = parse_dataset(&dataset, std::slice::from_ref(&array_t), 10);
+        let s_score = MdlScorer.score(&dataset, &struct_t, &sp);
+        let a_score = MdlScorer.score(&dataset, &array_t, &ap);
+        assert!(
+            s_score < a_score,
+            "struct {s_score} should beat array {a_score}"
+        );
+    }
+
+    #[test]
+    fn column_types_reports_inferred_types() {
+        let data = Dataset::new("1,INFO,3.5\n2,WARN,4.25\n3,INFO,0.5\n4,INFO,1.0\n");
+        let st = template("1,INFO,3.5\n", ",\n");
+        let parse = parse_dataset(&data, std::slice::from_ref(&st), 10);
+        let types = MdlScorer.column_types(&data, &st, &parse, 0);
+        assert_eq!(types.len(), 3);
+        assert_eq!(types[0].name(), "int");
+        assert_eq!(types[1].name(), "enum");
+        assert_eq!(types[2].name(), "real");
+    }
+
+    #[test]
+    fn coverage_scorer_prefers_higher_coverage() {
+        let data = Dataset::new("a=1\nnoise\na=2\n");
+        let st = template("a=1\n", "=\n");
+        let dataset = &data;
+        let parse = parse_dataset(dataset, std::slice::from_ref(&st), 10);
+        let empty = ParseResult::default();
+        assert!(CoverageScorer.score(dataset, &st, &parse) < CoverageScorer.score(dataset, &st, &empty));
+        assert_eq!(CoverageScorer.name(), "coverage");
+        assert_eq!(MdlScorer.name(), "mdl");
+    }
+}

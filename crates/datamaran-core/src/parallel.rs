@@ -1,0 +1,306 @@
+//! Parallel final extraction (§5.2.2).
+//!
+//! The paper observes that for large datasets the running time is dominated by the actual
+//! data-extraction pass ("the majority of the running time is spent on running the LL(1)
+//! parser"), and that this pass "is eminently parallelizable".  This module implements that
+//! parallelization with `crossbeam` scoped threads.
+//!
+//! The key property that makes the pass parallel is that the question *"does a record of one
+//! of the templates start at line `i`?"* depends only on the text from line `i` onwards —
+//! never on how earlier lines were segmented (see [`crate::parser::LineMatcher`]).  The
+//! algorithm therefore:
+//!
+//! 1. splits the line range into one contiguous chunk per worker;
+//! 2. each worker answers the per-line question for every line of its chunk, producing a
+//!    *match table*;
+//! 3. a cheap sequential stitch pass replays the greedy left-to-right segmentation of
+//!    [`crate::parser::parse_dataset`] by reading the precomputed tables, so the output is
+//!    byte-for-byte identical to the sequential extractor (verified by tests and by the
+//!    property suite).
+//!
+//! The stitch is `O(n)` with trivial constants; all template matching happens in the workers.
+
+use crate::dataset::Dataset;
+use crate::parser::{LineMatcher, ParseResult, RecordMatch};
+use crate::structure::StructureTemplate;
+
+/// Options for the parallel extraction pass.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelOptions {
+    /// Number of worker threads (chunks).  `0` or `1` falls back to the sequential parser.
+    pub threads: usize,
+    /// Minimum number of lines per chunk; datasets smaller than `threads * min_chunk_lines`
+    /// use fewer workers so that per-thread overhead never dominates.
+    pub min_chunk_lines: usize,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            min_chunk_lines: 512,
+        }
+    }
+}
+
+impl ParallelOptions {
+    /// Builder-style setter for the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Effective number of chunks for a dataset with `n_lines` lines.
+    pub fn effective_chunks(&self, n_lines: usize) -> usize {
+        if self.threads <= 1 {
+            return 1;
+        }
+        let by_size = n_lines / self.min_chunk_lines.max(1);
+        self.threads.min(by_size.max(1))
+    }
+}
+
+/// Parses the dataset with the supplied templates using `options.threads` workers.
+///
+/// The result is identical to [`crate::parser::parse_dataset`] with the same arguments.
+pub fn parse_dataset_parallel(
+    dataset: &Dataset,
+    templates: &[StructureTemplate],
+    max_line_span: usize,
+    options: ParallelOptions,
+) -> ParseResult {
+    let n = dataset.line_count();
+    let chunks = options.effective_chunks(n);
+    if chunks <= 1 || n == 0 {
+        return crate::parser::parse_dataset(dataset, templates, max_line_span);
+    }
+
+    // Chunk boundaries: `chunks` contiguous, near-equal line ranges.
+    let bounds: Vec<(usize, usize)> = (0..chunks)
+        .map(|k| (k * n / chunks, (k + 1) * n / chunks))
+        .filter(|(a, b)| b > a)
+        .collect();
+
+    // Phase 1: per-line match tables, one per chunk, computed in parallel.
+    let mut tables: Vec<Vec<Option<RecordMatch>>> = Vec::with_capacity(bounds.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(first, last)| {
+                scope.spawn(move |_| {
+                    let matcher = LineMatcher::new(templates, max_line_span);
+                    (first..last)
+                        .map(|line| matcher.match_line(dataset, line))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            tables.push(h.join().expect("extraction worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    // Phase 2: sequential stitch replaying the greedy segmentation.
+    let lookup = |line: usize| -> &Option<RecordMatch> {
+        // Chunks are contiguous and sorted, so a linear scan over <= `chunks` entries is fine;
+        // start from the chunk that proportionally contains the line.
+        let mut k = (line * bounds.len() / n).min(bounds.len() - 1);
+        while bounds[k].0 > line {
+            k -= 1;
+        }
+        while bounds[k].1 <= line {
+            k += 1;
+        }
+        &tables[k][line - bounds[k].0]
+    };
+
+    let mut result = ParseResult::default();
+    let mut line = 0usize;
+    while line < n {
+        match lookup(line) {
+            Some(rec) => {
+                result.record_bytes += rec.byte_len();
+                line = rec.line_span.1;
+                result.records.push(rec.clone());
+            }
+            None => {
+                let (s, e) = dataset.line_span(line);
+                result.noise_bytes += e - s;
+                result.noise_lines.push(line);
+                line += 1;
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::CharSet;
+    use crate::parser::parse_dataset;
+    use crate::record::RecordTemplate;
+    use crate::reduce::reduce;
+
+    fn flat(example: &str, charset: &str) -> StructureTemplate {
+        let cs = CharSet::from_chars(charset.chars());
+        StructureTemplate::from_record_template(&RecordTemplate::from_instantiated(example, &cs))
+    }
+
+    fn mix(i: u64) -> u64 {
+        let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 32;
+        x
+    }
+
+    fn noisy_multiline_log(n: usize) -> String {
+        let mut s = String::new();
+        for i in 0..n as u64 {
+            s.push_str(&format!("REQ {}\nuser=u{};ms={}\n", i, mix(i) % 50, mix(i * 3) % 900));
+            if mix(i * 7) % 11 == 0 {
+                s.push_str(&format!("## banner {} ##\n", mix(i) % 4096));
+            }
+        }
+        s
+    }
+
+    fn assert_same(a: &ParseResult, b: &ParseResult) {
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.noise_lines, b.noise_lines);
+        assert_eq!(a.record_bytes, b.record_bytes);
+        assert_eq!(a.noise_bytes, b.noise_bytes);
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.byte_span, y.byte_span);
+            assert_eq!(x.line_span, y.line_span);
+            assert_eq!(x.template_index, y.template_index);
+            assert_eq!(x.fields, y.fields);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_multiline_noisy_log() {
+        let text = noisy_multiline_log(400);
+        let data = Dataset::new(text);
+        let st = flat("REQ 1\nuser=u2;ms=3\n", " =;\n");
+        let seq = parse_dataset(&data, std::slice::from_ref(&st), 10);
+        for threads in [2, 3, 7] {
+            let par = parse_dataset_parallel(
+                &data,
+                std::slice::from_ref(&st),
+                10,
+                ParallelOptions {
+                    threads,
+                    min_chunk_lines: 1,
+                },
+            );
+            assert_same(&seq, &par);
+        }
+        assert!(seq.records.len() >= 390);
+        assert!(!seq.noise_lines.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_multiple_templates_and_arrays() {
+        let mut text = String::new();
+        for i in 0..300u64 {
+            if mix(i) % 3 == 0 {
+                let k = 1 + (mix(i * 5) % 4) as usize;
+                let vals: Vec<String> = (0..k).map(|j| format!("{}", mix(i + j as u64) % 99)).collect();
+                text.push_str(&vals.join(","));
+                text.push('\n');
+            } else {
+                text.push_str(&format!("[{:02}] host{} ok\n", i % 60, mix(i) % 9));
+            }
+        }
+        let data = Dataset::new(text);
+        let csv = reduce(&RecordTemplate::from_instantiated(
+            "1,2,3\n",
+            &CharSet::from_chars(",\n".chars()),
+        ));
+        let bracket = flat("[01] host2 ok\n", "[] \n");
+        let templates = vec![bracket, csv];
+        let seq = parse_dataset(&data, &templates, 10);
+        let par = parse_dataset_parallel(
+            &data,
+            &templates,
+            10,
+            ParallelOptions {
+                threads: 4,
+                min_chunk_lines: 1,
+            },
+        );
+        assert_same(&seq, &par);
+    }
+
+    #[test]
+    fn records_spanning_chunk_boundaries_are_not_split() {
+        // Two-line records with a chunk count that puts boundaries inside records.
+        let mut text = String::new();
+        for i in 0..101 {
+            text.push_str(&format!("HDR {i}\nbody={i};done\n"));
+        }
+        let data = Dataset::new(text);
+        let st = flat("HDR 1\nbody=2;done\n", " =;\n");
+        let par = parse_dataset_parallel(
+            &data,
+            std::slice::from_ref(&st),
+            10,
+            ParallelOptions {
+                threads: 7,
+                min_chunk_lines: 1,
+            },
+        );
+        assert_eq!(par.records.len(), 101);
+        assert!(par.noise_lines.is_empty());
+        for r in &par.records {
+            assert_eq!(r.line_count(), 2);
+        }
+    }
+
+    #[test]
+    fn single_thread_option_falls_back_to_sequential() {
+        let data = Dataset::new("a=1\na=2\n");
+        let st = flat("a=1\n", "=\n");
+        let par = parse_dataset_parallel(
+            &data,
+            std::slice::from_ref(&st),
+            10,
+            ParallelOptions {
+                threads: 1,
+                min_chunk_lines: 1,
+            },
+        );
+        assert_eq!(par.records.len(), 2);
+    }
+
+    #[test]
+    fn small_datasets_use_fewer_chunks() {
+        let opts = ParallelOptions {
+            threads: 16,
+            min_chunk_lines: 512,
+        };
+        assert_eq!(opts.effective_chunks(100), 1);
+        assert_eq!(opts.effective_chunks(1024), 2);
+        assert_eq!(opts.effective_chunks(1_000_000), 16);
+        assert_eq!(ParallelOptions::default().with_threads(0).effective_chunks(10_000), 1);
+    }
+
+    #[test]
+    fn empty_dataset_parses_to_nothing() {
+        let data = Dataset::new("");
+        let st = flat("a=1\n", "=\n");
+        let par = parse_dataset_parallel(
+            &data,
+            std::slice::from_ref(&st),
+            10,
+            ParallelOptions::default(),
+        );
+        assert!(par.records.is_empty());
+        assert!(par.noise_lines.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Record templates and their extraction from instantiated records.
+//!
+//! A *record template* (Definition 2.1) is a string over the field-placeholder character `F`
+//! and ordinary characters.  Under the non-overlapping assumption (Assumption 2) the template
+//! characters are drawn from `RT-CharSet`, a set of special characters disjoint from the
+//! characters appearing inside field values, which means the record template of an
+//! instantiated record can be recovered *directly* from the record text: every maximal run of
+//! non-member characters collapses into a single `F`, and member characters are kept verbatim.
+
+use crate::chars::{display_char, CharSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One token of a record template: either a field placeholder or a literal formatting
+/// character.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TemplateToken {
+    /// The field placeholder `F`.
+    Field,
+    /// A literal formatting character (always a member of the template's `RT-CharSet`).
+    Ch(char),
+}
+
+/// A record template: the sequence of formatting characters and field placeholders obtained
+/// from an instantiated record (Definition 2.1).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct RecordTemplate {
+    tokens: Vec<TemplateToken>,
+}
+
+impl RecordTemplate {
+    /// Builds a record template from an explicit token sequence.
+    pub fn from_tokens(tokens: Vec<TemplateToken>) -> Self {
+        RecordTemplate { tokens }
+    }
+
+    /// Extracts the record template of `text` under the given `RT-CharSet`.
+    ///
+    /// Every maximal run of characters *not* in `rt_charset` becomes a single
+    /// [`TemplateToken::Field`]; characters in `rt_charset` are preserved.
+    pub fn from_instantiated(text: &str, rt_charset: &CharSet) -> Self {
+        let mut tokens = Vec::with_capacity(text.len() / 2 + 1);
+        let mut in_field = false;
+        for c in text.chars() {
+            if rt_charset.contains(c) {
+                tokens.push(TemplateToken::Ch(c));
+                in_field = false;
+            } else if !in_field {
+                tokens.push(TemplateToken::Field);
+                in_field = true;
+            }
+        }
+        RecordTemplate { tokens }
+    }
+
+    /// The tokens of this template.
+    pub fn tokens(&self) -> &[TemplateToken] {
+        &self.tokens
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// `true` when the template has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Number of field placeholders in the template.
+    pub fn field_count(&self) -> usize {
+        self.tokens
+            .iter()
+            .filter(|t| matches!(t, TemplateToken::Field))
+            .count()
+    }
+
+    /// The set of formatting characters used by the template.
+    pub fn char_set(&self) -> CharSet {
+        let mut set = CharSet::new();
+        for t in &self.tokens {
+            if let TemplateToken::Ch(c) = t {
+                set.insert(*c);
+            }
+        }
+        set
+    }
+
+    /// Returns `true` if `text` can be generated from this template under `rt_charset`
+    /// (Definition 2.1: each `F` replaced by a non-empty string of non-member characters).
+    pub fn generates(&self, text: &str, rt_charset: &CharSet) -> bool {
+        RecordTemplate::from_instantiated(text, rt_charset) == *self
+    }
+}
+
+impl fmt::Display for RecordTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tokens {
+            match t {
+                TemplateToken::Field => write!(f, "F")?,
+                TemplateToken::Ch(c) => write!(f, "{}", display_char(*c))?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A field value extracted from an instantiated record, together with its byte span in the
+/// record text.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FieldValue {
+    /// Byte offset of the first character of the value within the record text.
+    pub start: usize,
+    /// Byte offset one past the last character of the value.
+    pub end: usize,
+    /// The value itself.
+    pub text: String,
+}
+
+/// Extracts the field values of `text` under `rt_charset` (Definition 2.2): the maximal runs
+/// of non-member characters, in order.
+pub fn field_values(text: &str, rt_charset: &CharSet) -> Vec<FieldValue> {
+    let mut values = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in text.char_indices() {
+        if rt_charset.contains(c) {
+            if let Some(s) = start.take() {
+                values.push(FieldValue {
+                    start: s,
+                    end: i,
+                    text: text[s..i].to_string(),
+                });
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        values.push(FieldValue {
+            start: s,
+            end: text.len(),
+            text: text[s..].to_string(),
+        });
+    }
+    values
+}
+
+/// Total number of bytes covered by field values in `text` under `rt_charset`.
+///
+/// This is the quantity subtracted from the coverage to obtain the paper's
+/// *Non-Field-Coverage* term of the assimilation score.
+pub fn field_char_len(text: &str, rt_charset: &CharSet) -> usize {
+    text.chars()
+        .filter(|c| !rt_charset.contains(*c))
+        .map(|c| c.len_utf8())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(s: &str) -> CharSet {
+        CharSet::from_chars(s.chars())
+    }
+
+    #[test]
+    fn extracts_template_from_csv_line() {
+        let rt = RecordTemplate::from_instantiated("1,2,3,45,6\n", &cs(",\n"));
+        assert_eq!(rt.to_string(), "F,F,F,F,F\\n");
+        assert_eq!(rt.field_count(), 5);
+    }
+
+    #[test]
+    fn extracts_template_from_bracketed_log_line() {
+        let rt = RecordTemplate::from_instantiated("[01:05:02] 192.168.0.1\n", &cs("[]:. \n"));
+        assert_eq!(rt.to_string(), "[F:F:F] F.F.F.F\\n");
+    }
+
+    #[test]
+    fn adjacent_special_chars_produce_no_field() {
+        let rt = RecordTemplate::from_instantiated("a,,b\n", &cs(",\n"));
+        assert_eq!(rt.to_string(), "F,,F\\n");
+        assert_eq!(rt.field_count(), 2);
+    }
+
+    #[test]
+    fn charset_of_template_contains_only_used_chars() {
+        let rt = RecordTemplate::from_instantiated("x=1;y=2\n", &cs("=;,\n"));
+        let set = rt.char_set();
+        assert!(set.contains('='));
+        assert!(set.contains(';'));
+        assert!(set.contains('\n'));
+        assert!(!set.contains(','));
+    }
+
+    #[test]
+    fn generates_accepts_other_instantiations() {
+        let rt = RecordTemplate::from_instantiated("1,2,3\n", &cs(",\n"));
+        assert!(rt.generates("999,abc,x-y\n", &cs(",\n")));
+        assert!(!rt.generates("1,2\n", &cs(",\n")));
+        assert!(!rt.generates("1,2,3,4\n", &cs(",\n")));
+    }
+
+    #[test]
+    fn field_values_report_spans_and_text() {
+        let values = field_values("[01:05] 192.168.0.1\n", &cs("[]: .\n"));
+        let texts: Vec<&str> = values.iter().map(|v| v.text.as_str()).collect();
+        assert_eq!(texts, vec!["01", "05", "192", "168", "0", "1"]);
+        assert_eq!(values[0].start, 1);
+        assert_eq!(values[0].end, 3);
+    }
+
+    #[test]
+    fn field_values_handle_trailing_field_without_newline() {
+        let values = field_values("a,b", &cs(","));
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[1].text, "b");
+        assert_eq!(values[1].end, 3);
+    }
+
+    #[test]
+    fn field_char_len_counts_non_special_bytes() {
+        assert_eq!(field_char_len("ab,cd\n", &cs(",\n")), 4);
+        assert_eq!(field_char_len(",,\n", &cs(",\n")), 0);
+        assert_eq!(field_char_len("abc", &CharSet::new()), 3);
+    }
+
+    #[test]
+    fn display_uses_f_placeholder_and_escapes() {
+        let rt = RecordTemplate::from_tokens(vec![
+            TemplateToken::Field,
+            TemplateToken::Ch('\t'),
+            TemplateToken::Field,
+            TemplateToken::Ch('\n'),
+        ]);
+        assert_eq!(rt.to_string(), "F\\tF\\n");
+    }
+
+    #[test]
+    fn empty_text_yields_empty_template() {
+        let rt = RecordTemplate::from_instantiated("", &cs(",\n"));
+        assert!(rt.is_empty());
+        assert_eq!(rt.field_count(), 0);
+        assert!(field_values("", &cs(",\n")).is_empty());
+    }
+}

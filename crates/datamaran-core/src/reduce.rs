@@ -1,0 +1,291 @@
+//! Reduction of record templates into *minimal* structure templates (generation step 4).
+//!
+//! The generation step extracts a record template from every candidate record and then folds
+//! repeated patterns into array-type regular expressions, producing a structure template that
+//! "cannot be reduced further".  Records that instantiate the same logical structure with
+//! different repetition counts (`F,F,F\n` and `F,F,F,F,F\n`) thereby land in the same hash
+//! bin.
+//!
+//! The reduction is deterministic (leftmost position, smallest repetition period), which is
+//! what makes the hash-table grouping of the generation step meaningful.  As the paper notes
+//! (Appendix 9.1), determinism does not guarantee that *every* instantiation reduces to the
+//! same template, so the coverage computed during generation is an underestimate.
+
+use crate::record::{RecordTemplate, TemplateToken};
+use crate::structure::{Node, StructureTemplate};
+
+/// Maximum repetition-unit length (in template tokens) considered while folding.
+/// Multi-line units (e.g. a repeated `key: value\n` line) comfortably fit.
+const MAX_UNIT_TOKENS: usize = 48;
+
+/// Minimum number of adjacent unit repetitions (before the trailing copy) required to fold.
+const MIN_REPS: usize = 2;
+
+/// Reduces a record template to its minimal structure template.
+pub fn reduce(rt: &RecordTemplate) -> StructureTemplate {
+    StructureTemplate::new(reduce_tokens(rt.tokens()))
+}
+
+/// Work item used while folding: either a still-unprocessed template token or an already
+/// folded array node.
+#[derive(Clone, Debug)]
+enum Item {
+    Tok(TemplateToken),
+    Arr(Node),
+}
+
+impl Item {
+    fn as_char(&self) -> Option<char> {
+        match self {
+            Item::Tok(TemplateToken::Ch(c)) => Some(*c),
+            _ => None,
+        }
+    }
+    fn is_plain(&self) -> bool {
+        matches!(self, Item::Tok(_))
+    }
+    fn same_plain(&self, other: &Item) -> bool {
+        match (self, other) {
+            (Item::Tok(a), Item::Tok(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Reduces a token sequence to a node sequence, folding tandem repeats into arrays.
+fn reduce_tokens(tokens: &[TemplateToken]) -> Vec<Node> {
+    let mut items: Vec<Item> = tokens.iter().copied().map(Item::Tok).collect();
+
+    while let Some(fold) = find_fold(&items) {
+        let FoldSpec {
+            start,
+            unit_len,
+            reps,
+            separator,
+            terminator,
+        } = fold;
+
+        let unit_toks: Vec<TemplateToken> = items[start..start + unit_len]
+            .iter()
+            .map(|it| match it {
+                Item::Tok(t) => *t,
+                Item::Arr(_) => unreachable!("folds only span plain tokens"),
+            })
+            .collect();
+        let body = reduce_tokens(&unit_toks[..unit_len - 1]);
+        let array = Node::Array {
+            body,
+            separator,
+            terminator,
+        };
+        // The folded region covers `reps` whole units, one trailing body copy, and the
+        // terminator token.
+        let end = start + reps * unit_len + (unit_len - 1) + 1;
+        items.splice(start..end, std::iter::once(Item::Arr(array)));
+    }
+
+    // Convert the remaining items into nodes, merging adjacent literal characters.
+    let mut nodes: Vec<Node> = Vec::new();
+    for item in items {
+        match item {
+            Item::Tok(TemplateToken::Field) => nodes.push(Node::Field),
+            Item::Tok(TemplateToken::Ch(c)) => match nodes.last_mut() {
+                Some(Node::Literal(s)) => s.push(c),
+                _ => nodes.push(Node::Literal(c.to_string())),
+            },
+            Item::Arr(node) => nodes.push(node),
+        }
+    }
+    nodes
+}
+
+struct FoldSpec {
+    start: usize,
+    unit_len: usize,
+    reps: usize,
+    separator: char,
+    terminator: char,
+}
+
+/// Finds the leftmost foldable tandem repeat with the smallest repetition period.
+///
+/// A fold at position `i` with unit length `len` requires:
+/// * the unit's final token to be a formatting character `x` (the separator),
+/// * at least [`MIN_REPS`] adjacent copies of the unit,
+/// * the unit body (`unit` minus the separator) to appear once more right after the copies,
+/// * the next token to be a formatting character `y != x` (the terminator).
+fn find_fold(items: &[Item]) -> Option<FoldSpec> {
+    let n = items.len();
+    for start in 0..n {
+        let max_len = MAX_UNIT_TOKENS.min((n - start) / 2);
+        for unit_len in 1..=max_len {
+            // The separator is the unit's final token and must be a plain character.
+            let Some(separator) = items[start + unit_len - 1].as_char() else {
+                continue;
+            };
+            // All tokens of the unit must be plain tokens (fields or characters).
+            if !(start..start + unit_len).all(|i| items[i].is_plain()) {
+                continue;
+            }
+            // Count adjacent repetitions of the unit.
+            let mut max_reps = 1;
+            while start + (max_reps + 1) * unit_len <= n
+                && (0..unit_len)
+                    .all(|k| items[start + max_reps * unit_len + k].same_plain(&items[start + k]))
+            {
+                max_reps += 1;
+            }
+            if max_reps < MIN_REPS {
+                continue;
+            }
+            // Use as many repetitions as possible while still leaving room for the trailing
+            // body copy plus a distinct terminator; giving back repetitions can expose the
+            // trailing copy when the repeats run to the very end of a region.
+            let mut reps = max_reps;
+            while reps >= MIN_REPS {
+                let tail_start = start + reps * unit_len;
+                let body_len = unit_len - 1;
+                let tail_fits = tail_start + body_len < n
+                    && (0..body_len)
+                        .all(|k| items[tail_start + k].same_plain(&items[start + k]));
+                if tail_fits {
+                    if let Some(terminator) = items[tail_start + body_len].as_char() {
+                        if terminator != separator {
+                            return Some(FoldSpec {
+                                start,
+                                unit_len,
+                                reps,
+                                separator,
+                                terminator,
+                            });
+                        }
+                    }
+                }
+                reps -= 1;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::CharSet;
+
+    fn template(text: &str, charset: &str) -> RecordTemplate {
+        RecordTemplate::from_instantiated(text, &CharSet::from_chars(charset.chars()))
+    }
+
+    #[test]
+    fn csv_line_reduces_to_array() {
+        let rt = template("1,2,3,4,5\n", ",\n");
+        let st = reduce(&rt);
+        assert_eq!(st.to_string(), "(F,)*F\\n");
+    }
+
+    #[test]
+    fn two_field_line_is_not_reduced() {
+        let rt = template("a,b\n", ",\n");
+        let st = reduce(&rt);
+        assert_eq!(st.to_string(), "F,F\\n");
+        assert!(!st.has_array());
+    }
+
+    #[test]
+    fn three_field_line_reduces() {
+        let rt = template("a,b,c\n", ",\n");
+        let st = reduce(&rt);
+        assert_eq!(st.to_string(), "(F,)*F\\n");
+    }
+
+    #[test]
+    fn quoted_list_reduces_inside_quotes() {
+        // F,"F,F,F",F\n reduces so that the quoted list becomes an array.
+        let rt = template("a,\"x,y,z\",b\n", ",\"\n");
+        let st = reduce(&rt);
+        let s = st.to_string();
+        assert!(s.contains("(F,)*F"), "expected inner array, got {s}");
+    }
+
+    #[test]
+    fn multi_line_repeated_key_value_reduces_to_array() {
+        let text = "k: 1\nk: 2\nk: 3\nEND\n";
+        let rt = template(text, ": \n");
+        let st = reduce(&rt);
+        // Unit is "F: F\n" repeated, trailing body is the END field followed by '\n'.
+        assert!(st.has_array(), "expected an array, got {st}");
+    }
+
+    #[test]
+    fn reduction_is_idempotent_on_expansion() {
+        // Reducing a larger instantiation of the same logical structure yields the same
+        // minimal template as the smaller one.
+        let small = reduce(&template("1,2,3\n", ",\n"));
+        let large = reduce(&template("1,2,3,4,5,6,7,8\n", ",\n"));
+        assert_eq!(small, large);
+    }
+
+    #[test]
+    fn syslog_line_folds_space_separated_words() {
+        let rt = template("Apr 24 04:02:24 srv7 snort shutdown succeeded\n", ": \n");
+        let st = reduce(&rt);
+        assert!(st.has_array(), "free-text suffix should fold: {st}");
+    }
+
+    #[test]
+    fn no_fold_without_distinct_terminator() {
+        // "a,b,c," ends with the separator: the grammar ({A}x)*{A}y cannot describe it.
+        let rt = template("a,b,c,", ",");
+        let st = reduce(&rt);
+        assert!(!st.has_array());
+    }
+
+    #[test]
+    fn nested_multi_line_records_fold_line_unit() {
+        // Three repeated `F|F\n` lines followed by a structurally identical line with a
+        // distinct terminator: folds into ({F|F}\n)*{F|F}#... per Assumption 3.
+        let text = "a|1\nb|2\nc|3\nd|4#\n";
+        let rt = template(text, "|#\n");
+        let st = reduce(&rt);
+        assert!(st.has_array(), "line unit should fold: {st}");
+        // The array body contains the inner F|F structure.
+        let rendered = st.to_string();
+        assert!(rendered.contains("F|F"), "got {rendered}");
+    }
+
+    #[test]
+    fn trailing_repeat_without_distinct_terminator_stays_flat() {
+        // `F|F\n` repeated with nothing after it cannot be described by ({A}x)*{A}y with
+        // x != y, so it must stay a flat struct.
+        let text = "1|x\n2|y\n3|z\n#\n";
+        let rt = template(text, "|#\n");
+        let st = reduce(&rt);
+        assert!(!st.has_array(), "got {st}");
+    }
+
+    #[test]
+    fn empty_template_reduces_to_empty() {
+        let rt = template("", ",\n");
+        let st = reduce(&rt);
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn reduced_template_min_expansion_matches_small_instance() {
+        // The minimal expansion of (F,)*F\n is F\n.
+        let st = reduce(&template("1,2,3,4\n", ",\n"));
+        assert_eq!(st.min_expansion().to_string(), "F\\n");
+    }
+
+    #[test]
+    fn reduce_preserves_charset() {
+        let rt = template("[1] a b c d e\n", "[] \n");
+        let st = reduce(&rt);
+        let cs = st.char_set();
+        assert!(cs.contains('['));
+        assert!(cs.contains(']'));
+        assert!(cs.contains(' '));
+        assert!(cs.contains('\n'));
+    }
+}

@@ -1,0 +1,408 @@
+//! Conversion of extracted records into relational form (§3.3, Figure 7).
+//!
+//! Two representations are produced:
+//!
+//! * a **normalized** set of tables: one root table per record type plus one child table per
+//!   array node, linked by foreign keys (`parent_id`, `position`);
+//! * a **denormalized** single table where array columns hold the concatenation of their
+//!   repetition values.
+//!
+//! Both contain all of the extracted information and can be fed to downstream applications.
+
+use crate::parser::{RecordMatch, ValueTree};
+use crate::structure::{Node, StructureTemplate};
+use serde::{Deserialize, Serialize};
+
+/// A relational table with string-typed cells.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name (derived from the record-type name and the array position).
+    pub name: String,
+    /// Column names, in order.
+    pub columns: Vec<String>,
+    /// Row-major cell values.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+/// The normalized relational output of one record type.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationalOutput {
+    /// The root table followed by one table per array node (pre-order).
+    pub tables: Vec<Table>,
+}
+
+impl RelationalOutput {
+    /// The root table (one row per record).
+    pub fn root(&self) -> &Table {
+        &self.tables[0]
+    }
+}
+
+/// Schema information for one table derived from the template tree.
+#[derive(Clone, Debug)]
+struct SchemaTable {
+    name: String,
+    /// Global column ids (field-leaf indices) stored directly in this table.
+    column_ids: Vec<usize>,
+    /// The array node (pre-order id) this table corresponds to; `None` for the root.
+    array_id: Option<usize>,
+    /// Index of the parent table in the schema.
+    parent: Option<usize>,
+}
+
+/// Flattened schema of a structure template.
+#[derive(Clone, Debug)]
+struct Schema {
+    tables: Vec<SchemaTable>,
+    /// For every column id, the separator of the innermost enclosing array (if any);
+    /// used when denormalizing.
+    column_separator: Vec<Option<char>>,
+    n_columns: usize,
+}
+
+fn build_schema(template: &StructureTemplate, type_name: &str) -> Schema {
+    let mut schema = Schema {
+        tables: vec![SchemaTable {
+            name: type_name.to_string(),
+            column_ids: Vec::new(),
+            array_id: None,
+            parent: None,
+        }],
+        column_separator: Vec::new(),
+        n_columns: 0,
+    };
+    let mut column = 0usize;
+    let mut array_id = 0usize;
+    walk_schema(
+        template.nodes(),
+        0,
+        None,
+        type_name,
+        &mut schema,
+        &mut column,
+        &mut array_id,
+    );
+    schema.n_columns = column;
+    schema
+}
+
+fn walk_schema(
+    nodes: &[Node],
+    table_idx: usize,
+    enclosing_sep: Option<char>,
+    type_name: &str,
+    schema: &mut Schema,
+    column: &mut usize,
+    array_id: &mut usize,
+) {
+    for node in nodes {
+        match node {
+            Node::Field => {
+                schema.tables[table_idx].column_ids.push(*column);
+                schema.column_separator.push(enclosing_sep);
+                *column += 1;
+            }
+            Node::Literal(_) => {}
+            Node::Array {
+                body, separator, ..
+            } => {
+                let my_id = *array_id;
+                *array_id += 1;
+                let child_idx = schema.tables.len();
+                schema.tables.push(SchemaTable {
+                    name: format!("{type_name}_array{my_id}"),
+                    column_ids: Vec::new(),
+                    array_id: Some(my_id),
+                    parent: Some(table_idx),
+                });
+                walk_schema(
+                    body,
+                    child_idx,
+                    Some(*separator),
+                    type_name,
+                    schema,
+                    column,
+                    array_id,
+                );
+            }
+        }
+    }
+}
+
+/// Converts the records of one template into the normalized relational representation.
+pub fn to_relational(
+    template: &StructureTemplate,
+    text: &str,
+    records: &[&RecordMatch],
+    type_name: &str,
+) -> RelationalOutput {
+    let schema = build_schema(template, type_name);
+
+    // Materialize empty tables with their headers.
+    let mut tables: Vec<Table> = schema
+        .tables
+        .iter()
+        .map(|t| {
+            let mut columns = vec!["id".to_string()];
+            if t.parent.is_some() {
+                columns.push("parent_id".to_string());
+                columns.push("position".to_string());
+            }
+            columns.extend(t.column_ids.iter().map(|c| format!("field_{c}")));
+            Table {
+                name: t.name.clone(),
+                columns,
+                rows: Vec::new(),
+            }
+        })
+        .collect();
+
+    for record in records {
+        fill_row(&schema, &mut tables, 0, None, None, &record.values, text);
+    }
+
+    RelationalOutput { tables }
+}
+
+/// Appends one row to `table_idx` built from `values`, recursing into arrays.
+fn fill_row(
+    schema: &Schema,
+    tables: &mut Vec<Table>,
+    table_idx: usize,
+    parent_row: Option<usize>,
+    position: Option<usize>,
+    values: &[ValueTree],
+    text: &str,
+) -> usize {
+    let row_idx = tables[table_idx].rows.len();
+    let meta_cols = if parent_row.is_some() { 3 } else { 1 };
+    let n_data_cols = schema.tables[table_idx].column_ids.len();
+    let mut row = vec![String::new(); meta_cols + n_data_cols];
+    row[0] = row_idx.to_string();
+    if let (Some(p), Some(pos)) = (parent_row, position) {
+        row[1] = p.to_string();
+        row[2] = pos.to_string();
+    }
+    tables[table_idx].rows.push(row);
+
+    fill_values(schema, tables, table_idx, row_idx, meta_cols, values, text);
+    row_idx
+}
+
+fn fill_values(
+    schema: &Schema,
+    tables: &mut Vec<Table>,
+    table_idx: usize,
+    row_idx: usize,
+    meta_cols: usize,
+    values: &[ValueTree],
+    text: &str,
+) {
+    for v in values {
+        match v {
+            ValueTree::Literal => {}
+            ValueTree::Field { column, start, end } => {
+                if let Some(pos) = schema.tables[table_idx]
+                    .column_ids
+                    .iter()
+                    .position(|c| c == column)
+                {
+                    tables[table_idx].rows[row_idx][meta_cols + pos] =
+                        text[*start..*end].to_string();
+                }
+            }
+            ValueTree::Array { array_id, groups } => {
+                let child_idx = schema
+                    .tables
+                    .iter()
+                    .position(|t| t.array_id == Some(*array_id))
+                    .expect("array table exists for every array node");
+                for (gi, group) in groups.iter().enumerate() {
+                    fill_row(
+                        schema,
+                        tables,
+                        child_idx,
+                        Some(row_idx),
+                        Some(gi),
+                        group,
+                        text,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Converts the records of one template into a single denormalized table: one row per record,
+/// one column per field leaf; array columns concatenate their repetition values with the
+/// array's separator character.
+pub fn to_denormalized(
+    template: &StructureTemplate,
+    text: &str,
+    records: &[&RecordMatch],
+    type_name: &str,
+) -> Table {
+    let schema = build_schema(template, type_name);
+    let n = schema.n_columns;
+    let columns: Vec<String> = (0..n).map(|c| format!("field_{c}")).collect();
+    let mut rows = Vec::with_capacity(records.len());
+    for record in records {
+        let mut cells: Vec<Vec<&str>> = vec![Vec::new(); n];
+        for cell in &record.fields {
+            if cell.column < n {
+                cells[cell.column].push(&text[cell.start..cell.end]);
+            }
+        }
+        let row: Vec<String> = cells
+            .into_iter()
+            .enumerate()
+            .map(|(c, vals)| {
+                let sep = schema
+                    .column_separator
+                    .get(c)
+                    .copied()
+                    .flatten()
+                    .unwrap_or(',');
+                vals.join(&sep.to_string())
+            })
+            .collect();
+        rows.push(row);
+    }
+    Table {
+        name: format!("{type_name}_denormalized"),
+        columns,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::CharSet;
+    use crate::dataset::Dataset;
+    use crate::parser::parse_dataset;
+    use crate::record::RecordTemplate;
+    use crate::reduce::reduce;
+
+    fn flat(example: &str, charset: &str) -> StructureTemplate {
+        let cs = CharSet::from_chars(charset.chars());
+        StructureTemplate::from_record_template(&RecordTemplate::from_instantiated(example, &cs))
+    }
+
+    #[test]
+    fn flat_template_produces_single_table() {
+        let data = Dataset::new("[01:05] alice\n[02:06] bob\n");
+        let st = flat("[01:05] alice\n", "[]: \n");
+        let parse = parse_dataset(&data, std::slice::from_ref(&st), 10);
+        let recs: Vec<&RecordMatch> = parse.records.iter().collect();
+        let rel = to_relational(&st, data.text(), &recs, "log");
+        assert_eq!(rel.tables.len(), 1);
+        let root = rel.root();
+        assert_eq!(root.columns, vec!["id", "field_0", "field_1", "field_2"]);
+        assert_eq!(root.rows.len(), 2);
+        assert_eq!(root.rows[0][1..], ["01", "05", "alice"].map(String::from));
+        assert_eq!(root.rows[1][1..], ["02", "06", "bob"].map(String::from));
+    }
+
+    #[test]
+    fn array_template_produces_child_table_with_foreign_keys() {
+        let data = Dataset::new("1,2,3\n4,5\n");
+        let cs = CharSet::from_chars(",\n".chars());
+        let st = reduce(&RecordTemplate::from_instantiated("1,2,3\n", &cs));
+        let parse = parse_dataset(&data, std::slice::from_ref(&st), 10);
+        let recs: Vec<&RecordMatch> = parse.records.iter().collect();
+        let rel = to_relational(&st, data.text(), &recs, "csv");
+        assert_eq!(rel.tables.len(), 2);
+        let root = rel.root();
+        assert_eq!(root.rows.len(), 2);
+        let child = &rel.tables[1];
+        assert_eq!(child.name, "csv_array0");
+        assert_eq!(
+            child.columns,
+            vec!["id", "parent_id", "position", "field_0"]
+        );
+        assert_eq!(child.rows.len(), 5);
+        // Rows of the second record reference parent_id 1.
+        let parents: Vec<&str> = child.rows.iter().map(|r| r[1].as_str()).collect();
+        assert_eq!(parents, vec!["0", "0", "0", "1", "1"]);
+        let values: Vec<&str> = child.rows.iter().map(|r| r[3].as_str()).collect();
+        assert_eq!(values, vec!["1", "2", "3", "4", "5"]);
+    }
+
+    #[test]
+    fn mixed_struct_and_array_template_splits_columns() {
+        // F,"(F,)*F",F\n : fields before/after the quoted list live in the root table,
+        // the list elements in the child table (Figure 7).
+        let data = Dataset::new("a,\"x,y,z\",b\nc,\"p,q\",d\n");
+        let cs = CharSet::from_chars(",\"\n".chars());
+        let st = reduce(&RecordTemplate::from_instantiated("a,\"x,y,z\",b\n", &cs));
+        let parse = parse_dataset(&data, std::slice::from_ref(&st), 10);
+        assert_eq!(parse.records.len(), 2);
+        let recs: Vec<&RecordMatch> = parse.records.iter().collect();
+        let rel = to_relational(&st, data.text(), &recs, "rec");
+        assert_eq!(rel.tables.len(), 2);
+        let root = rel.root();
+        assert_eq!(root.rows[0][1], "a");
+        assert!(root.rows[0].contains(&"b".to_string()));
+        let child = &rel.tables[1];
+        let values: Vec<&str> = child.rows.iter().map(|r| r.last().unwrap().as_str()).collect();
+        assert_eq!(values, vec!["x", "y", "z", "p", "q"]);
+    }
+
+    #[test]
+    fn denormalized_table_joins_array_values_with_separator() {
+        let data = Dataset::new("1,2,3\n4,5\n");
+        let cs = CharSet::from_chars(",\n".chars());
+        let st = reduce(&RecordTemplate::from_instantiated("1,2,3\n", &cs));
+        let parse = parse_dataset(&data, std::slice::from_ref(&st), 10);
+        let recs: Vec<&RecordMatch> = parse.records.iter().collect();
+        let table = to_denormalized(&st, data.text(), &recs, "csv");
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.rows[0][0], "1,2,3");
+        assert_eq!(table.rows[1][0], "4,5");
+    }
+
+    #[test]
+    fn denormalized_flat_template_is_one_row_per_record() {
+        let data = Dataset::new("k=v\nk2=v2\n");
+        let st = flat("k=v\n", "=\n");
+        let parse = parse_dataset(&data, std::slice::from_ref(&st), 10);
+        let recs: Vec<&RecordMatch> = parse.records.iter().collect();
+        let table = to_denormalized(&st, data.text(), &recs, "kv");
+        assert_eq!(table.columns, vec!["field_0", "field_1"]);
+        assert_eq!(table.rows[0], vec!["k", "v"]);
+        assert_eq!(table.rows[1], vec!["k2", "v2"]);
+    }
+
+    #[test]
+    fn table_helpers_work() {
+        let t = Table {
+            name: "t".into(),
+            columns: vec!["id".into(), "x".into()],
+            rows: vec![vec!["0".into(), "a".into()]],
+        };
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.column_index("x"), Some(1));
+        assert_eq!(t.column_index("missing"), None);
+    }
+
+    #[test]
+    fn empty_record_set_produces_headers_only() {
+        let st = flat("a=b\n", "=\n");
+        let rel = to_relational(&st, "", &[], "empty");
+        assert_eq!(rel.root().rows.len(), 0);
+        assert_eq!(rel.root().columns.len(), 3);
+    }
+}

@@ -1,0 +1,255 @@
+//! Ablation harness for the design choices called out in `DESIGN.md`.
+//!
+//! The paper motivates several ingredients of the pipeline — the structure-refinement
+//! techniques of §4.3, the MDL scorer with typed field models (Appendix 9.2), the
+//! assimilation-score pruning width `M`, the exhaustive vs. greedy `RT-CharSet` search, and
+//! the evaluation-step scoring itself — but only reports the end-to-end accuracy of the full
+//! system.  This module measures each ingredient's contribution by re-running the corpus
+//! evaluation with one ingredient removed or replaced at a time.
+//!
+//! Each [`AblationVariant`] describes one such modification; [`run_ablation`] evaluates every
+//! variant on a corpus of [`DatasetSpec`]s using the §5.1 success criterion and reports the
+//! accuracy and average running time per variant.
+
+use crate::criteria::evaluate;
+use crate::view::datamaran_view;
+use datamaran_core::{
+    CoverageScorer, Datamaran, DatamaranConfig, Error, MdlScorer, NonFieldCoverageScorer,
+    RegularityScorer, SearchStrategy, UntypedMdlScorer,
+};
+use logsynth::DatasetSpec;
+use serde::{Deserialize, Serialize};
+
+/// One ablation variant: a named modification of the full pipeline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AblationVariant {
+    /// The full pipeline with the paper's defaults (the reference point).
+    Full,
+    /// Structure refinement (§4.3: array unfolding, partial unfolding, shifting) disabled.
+    NoRefinement,
+    /// First-iteration beam width reduced to 1 (the paper's purely greedy iteration).
+    NoBeam,
+    /// Greedy `RT-CharSet` search instead of exhaustive.
+    GreedySearch,
+    /// Pruning width reduced to `M = 5` (aggressive pruning).
+    NarrowPruning,
+    /// The evaluation step scores with plain coverage instead of MDL.
+    CoverageScore,
+    /// The evaluation step scores with the non-field-coverage heuristic (i.e. the pruning
+    /// signal reused as the final score).
+    NonFieldCoverageScore,
+    /// The MDL scorer with field typing disabled (all fields described as strings).
+    UntypedMdl,
+}
+
+impl AblationVariant {
+    /// All variants, reference first.
+    pub fn all() -> [AblationVariant; 8] {
+        [
+            AblationVariant::Full,
+            AblationVariant::NoRefinement,
+            AblationVariant::NoBeam,
+            AblationVariant::GreedySearch,
+            AblationVariant::NarrowPruning,
+            AblationVariant::CoverageScore,
+            AblationVariant::NonFieldCoverageScore,
+            AblationVariant::UntypedMdl,
+        ]
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AblationVariant::Full => "full pipeline",
+            AblationVariant::NoRefinement => "no refinement (§4.3 off)",
+            AblationVariant::NoBeam => "beam width 1",
+            AblationVariant::GreedySearch => "greedy charset search",
+            AblationVariant::NarrowPruning => "pruning M=5",
+            AblationVariant::CoverageScore => "coverage score",
+            AblationVariant::NonFieldCoverageScore => "non-field-coverage score",
+            AblationVariant::UntypedMdl => "untyped MDL score",
+        }
+    }
+
+    /// The configuration used by this variant (starting from the supplied base).
+    pub fn config(&self, base: &DatamaranConfig) -> DatamaranConfig {
+        let cfg = base.clone();
+        match self {
+            AblationVariant::Full
+            | AblationVariant::CoverageScore
+            | AblationVariant::NonFieldCoverageScore
+            | AblationVariant::UntypedMdl => cfg,
+            AblationVariant::NoRefinement => cfg.with_refine(false),
+            AblationVariant::NoBeam => cfg.with_beam_width(1),
+            AblationVariant::GreedySearch => cfg.with_search(SearchStrategy::Greedy),
+            AblationVariant::NarrowPruning => cfg.with_prune_keep(5),
+        }
+    }
+}
+
+/// Aggregate outcome of one variant over a corpus.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AblationOutcome {
+    /// The variant.
+    pub variant: AblationVariant,
+    /// Number of datasets extracted successfully (per the §5.1 criterion).
+    pub successes: usize,
+    /// Number of datasets evaluated.
+    pub total: usize,
+    /// Mean extraction wall-clock seconds per dataset.
+    pub avg_seconds: f64,
+}
+
+impl AblationOutcome {
+    /// Accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.total as f64
+        }
+    }
+}
+
+/// Evaluates one dataset with one variant; returns `(success, seconds)`.
+pub fn evaluate_variant(
+    spec: &DatasetSpec,
+    variant: AblationVariant,
+    base: &DatamaranConfig,
+) -> (bool, f64) {
+    let data = spec.generate();
+    let config = variant.config(base);
+    let started = std::time::Instant::now();
+    let extraction = Datamaran::new(config).and_then(|engine| match variant {
+        AblationVariant::CoverageScore => engine.extract_with_scorer(&data.text, &CoverageScorer),
+        AblationVariant::NonFieldCoverageScore => {
+            engine.extract_with_scorer(&data.text, &NonFieldCoverageScorer)
+        }
+        AblationVariant::UntypedMdl => engine.extract_with_scorer(&data.text, &UntypedMdlScorer),
+        _ => engine.extract_with_scorer(&data.text, &MdlScorer),
+    });
+    let view = match extraction {
+        Ok(result) => datamaran_view(&data.text, &result),
+        Err(Error::NoStructureFound) | Err(Error::EmptyDataset) => Vec::new(),
+        Err(other) => panic!("unexpected extraction error: {other}"),
+    };
+    let seconds = started.elapsed().as_secs_f64();
+    (evaluate(&data, &view).success(), seconds)
+}
+
+/// Runs every requested variant over the corpus and aggregates per-variant accuracy.
+pub fn run_ablation(
+    specs: &[DatasetSpec],
+    variants: &[AblationVariant],
+    base: &DatamaranConfig,
+) -> Vec<AblationOutcome> {
+    variants
+        .iter()
+        .map(|&variant| {
+            let mut successes = 0usize;
+            let mut seconds = 0.0f64;
+            for spec in specs {
+                let (ok, s) = evaluate_variant(spec, variant, base);
+                if ok {
+                    successes += 1;
+                }
+                seconds += s;
+            }
+            AblationOutcome {
+                variant,
+                successes,
+                total: specs.len(),
+                avg_seconds: if specs.is_empty() {
+                    0.0
+                } else {
+                    seconds / specs.len() as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// Ensures a scorer choice exists for every variant (compile-time exhaustiveness helper used
+/// by the benchmark harness to describe variants).
+pub fn scorer_name(variant: AblationVariant) -> &'static str {
+    match variant {
+        AblationVariant::CoverageScore => CoverageScorer.name(),
+        AblationVariant::NonFieldCoverageScore => NonFieldCoverageScorer.name(),
+        AblationVariant::UntypedMdl => UntypedMdlScorer.name(),
+        _ => MdlScorer.name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logsynth::corpus;
+
+    fn small_corpus() -> Vec<DatasetSpec> {
+        // One single-line spec kept small so the unit test stays fast; the full-corpus
+        // ablation lives in the benchmark harness.
+        vec![DatasetSpec::new(
+            "ablation_weblog",
+            vec![corpus::web_access(0)],
+            120,
+            7,
+        )
+        .with_noise(0.03)]
+    }
+
+    #[test]
+    fn full_pipeline_extracts_the_small_corpus() {
+        let outcomes = run_ablation(
+            &small_corpus(),
+            &[AblationVariant::Full],
+            &DatamaranConfig::default(),
+        );
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].successes, outcomes[0].total);
+        assert!(outcomes[0].accuracy() > 0.99);
+        assert!(outcomes[0].avg_seconds > 0.0);
+    }
+
+    #[test]
+    fn ablated_variants_never_exceed_the_corpus_size() {
+        let specs = small_corpus();
+        let variants = [AblationVariant::GreedySearch, AblationVariant::NarrowPruning];
+        let outcomes = run_ablation(&specs, &variants, &DatamaranConfig::default());
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert_eq!(o.total, specs.len());
+            assert!(o.successes <= o.total);
+            assert!(o.accuracy() >= 0.0 && o.accuracy() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn variant_configs_apply_the_advertised_modification() {
+        let base = DatamaranConfig::default();
+        assert!(!AblationVariant::NoRefinement.config(&base).refine);
+        assert_eq!(AblationVariant::NoBeam.config(&base).beam_width, 1);
+        assert_eq!(
+            AblationVariant::GreedySearch.config(&base).search,
+            SearchStrategy::Greedy
+        );
+        assert_eq!(AblationVariant::NarrowPruning.config(&base).prune_keep, 5);
+        assert_eq!(AblationVariant::Full.config(&base).prune_keep, base.prune_keep);
+    }
+
+    #[test]
+    fn names_and_scorers_are_defined_for_every_variant() {
+        for v in AblationVariant::all() {
+            assert!(!v.name().is_empty());
+            assert!(!scorer_name(v).is_empty());
+        }
+        assert_eq!(scorer_name(AblationVariant::UntypedMdl), "mdl-untyped");
+    }
+
+    #[test]
+    fn empty_corpus_yields_zero_accuracy() {
+        let outcomes = run_ablation(&[], &[AblationVariant::Full], &DatamaranConfig::default());
+        assert_eq!(outcomes[0].total, 0);
+        assert_eq!(outcomes[0].accuracy(), 0.0);
+        assert_eq!(outcomes[0].avg_seconds, 0.0);
+    }
+}

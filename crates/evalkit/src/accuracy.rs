@@ -1,0 +1,217 @@
+//! Corpus-level accuracy aggregation (the numbers behind §5.2.1, §5.3.2 and Figure 17b).
+
+use crate::criteria::{evaluate, EvalOutcome};
+use crate::view::{datamaran_view, logclust_view, recordbreaker_view};
+use datamaran_core::{Datamaran, DatamaranConfig, Error};
+use logclust::{ClusterConfig, LogCluster};
+use logsynth::{DatasetLabel, DatasetSpec, GeneratedDataset};
+use recordbreaker::{RecordBreaker, RecordBreakerConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which extractor produced a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Extractor {
+    /// Datamaran with exhaustive `RT-CharSet` search.
+    DatamaranExhaustive,
+    /// Datamaran with greedy `RT-CharSet` search.
+    DatamaranGreedy,
+    /// The RecordBreaker baseline.
+    RecordBreaker,
+    /// The SLCT-style line-clustering baseline (extension beyond the paper's comparison).
+    LogCluster,
+}
+
+impl Extractor {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Extractor::DatamaranExhaustive => "Datamaran (exhaustive)",
+            Extractor::DatamaranGreedy => "Datamaran (greedy)",
+            Extractor::RecordBreaker => "RecordBreaker",
+            Extractor::LogCluster => "Log clustering",
+        }
+    }
+}
+
+/// The evaluation of one dataset by one extractor.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetEvaluation {
+    /// Dataset name.
+    pub dataset: String,
+    /// Dataset label (Table 4).
+    pub label: DatasetLabel,
+    /// Which extractor ran.
+    pub extractor: Extractor,
+    /// Detailed outcome.
+    pub outcome: EvalOutcome,
+    /// Wall-clock seconds spent extracting.
+    pub seconds: f64,
+}
+
+impl DatasetEvaluation {
+    /// Success per §5.1 (no-structure datasets count as not applicable, see
+    /// [`AccuracySummary`]).
+    pub fn success(&self) -> bool {
+        self.outcome.success()
+    }
+}
+
+/// Runs Datamaran on a generated dataset and evaluates the result.
+pub fn evaluate_datamaran(
+    data: &GeneratedDataset,
+    config: &DatamaranConfig,
+) -> (EvalOutcome, f64) {
+    let started = std::time::Instant::now();
+    let view = match Datamaran::new(config.clone()).and_then(|d| d.extract(&data.text)) {
+        Ok(result) => datamaran_view(&data.text, &result),
+        // "No structure found" on a no-structure dataset is the right answer; on a structured
+        // dataset the empty view fails the boundary check, which is the right penalty.
+        Err(Error::NoStructureFound) | Err(Error::EmptyDataset) => Vec::new(),
+        Err(other) => panic!("unexpected extraction error: {other}"),
+    };
+    let seconds = started.elapsed().as_secs_f64();
+    (evaluate(data, &view), seconds)
+}
+
+/// Runs the RecordBreaker baseline on a generated dataset and evaluates the result.
+pub fn evaluate_recordbreaker(
+    data: &GeneratedDataset,
+    config: &RecordBreakerConfig,
+) -> (EvalOutcome, f64) {
+    let started = std::time::Instant::now();
+    let result = RecordBreaker::new(config.clone()).extract(&data.text);
+    let view = recordbreaker_view(&result);
+    let seconds = started.elapsed().as_secs_f64();
+    (evaluate(data, &view), seconds)
+}
+
+/// Runs the line-clustering baseline on a generated dataset and evaluates the result.
+pub fn evaluate_logclust(data: &GeneratedDataset, config: &ClusterConfig) -> (EvalOutcome, f64) {
+    let started = std::time::Instant::now();
+    let result = LogCluster::new(config.clone()).cluster(&data.text);
+    let view = logclust_view(&data.text, &result);
+    let seconds = started.elapsed().as_secs_f64();
+    (evaluate(data, &view), seconds)
+}
+
+/// Evaluates one dataset spec with one extractor.
+pub fn evaluate_spec(spec: &DatasetSpec, extractor: Extractor, config: &DatamaranConfig) -> DatasetEvaluation {
+    let data = spec.generate();
+    let (outcome, seconds) = match extractor {
+        Extractor::DatamaranExhaustive => {
+            let cfg = config
+                .clone()
+                .with_search(datamaran_core::SearchStrategy::Exhaustive);
+            evaluate_datamaran(&data, &cfg)
+        }
+        Extractor::DatamaranGreedy => {
+            let cfg = config
+                .clone()
+                .with_search(datamaran_core::SearchStrategy::Greedy);
+            evaluate_datamaran(&data, &cfg)
+        }
+        Extractor::RecordBreaker => {
+            evaluate_recordbreaker(&data, &RecordBreakerConfig::default())
+        }
+        Extractor::LogCluster => evaluate_logclust(&data, &ClusterConfig::default()),
+    };
+    DatasetEvaluation {
+        dataset: spec.name.clone(),
+        label: spec.label(),
+        extractor,
+        outcome,
+        seconds,
+    }
+}
+
+/// Accuracy aggregation over a corpus, mirroring the groupings of Figure 17b.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AccuracySummary {
+    /// Per-dataset evaluations.
+    pub evaluations: Vec<DatasetEvaluation>,
+}
+
+impl AccuracySummary {
+    /// Adds one evaluation.
+    pub fn push(&mut self, eval: DatasetEvaluation) {
+        self.evaluations.push(eval);
+    }
+
+    /// Successes and totals per label, for one extractor (no-structure datasets excluded).
+    pub fn by_label(&self, extractor: Extractor) -> Vec<(DatasetLabel, usize, usize)> {
+        DatasetLabel::all()
+            .iter()
+            .filter(|l| **l != DatasetLabel::NoStructure)
+            .map(|label| {
+                let of_label: Vec<_> = self
+                    .evaluations
+                    .iter()
+                    .filter(|e| e.extractor == extractor && e.label == *label)
+                    .collect();
+                let ok = of_label.iter().filter(|e| e.success()).count();
+                (*label, ok, of_label.len())
+            })
+            .collect()
+    }
+
+    /// Overall `(successes, total)` for one extractor, excluding no-structure datasets
+    /// (the paper's "accuracy is 95.5% if we exclude datasets with no structure").
+    pub fn overall(&self, extractor: Extractor) -> (usize, usize) {
+        let of: Vec<_> = self
+            .evaluations
+            .iter()
+            .filter(|e| e.extractor == extractor && e.label != DatasetLabel::NoStructure)
+            .collect();
+        (of.iter().filter(|e| e.success()).count(), of.len())
+    }
+
+    /// Overall accuracy in `[0, 1]` for one extractor, excluding no-structure datasets.
+    pub fn accuracy(&self, extractor: Extractor) -> f64 {
+        let (ok, total) = self.overall(extractor);
+        if total == 0 {
+            0.0
+        } else {
+            ok as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logsynth::corpus;
+
+    #[test]
+    fn summary_groups_by_label_and_extractor() {
+        // Use a tiny slice of the corpus to keep the test fast; the full corpus run lives in
+        // the benchmark harness.
+        let specs: Vec<_> = corpus::github_100()
+            .into_iter()
+            .filter(|s| s.name.contains("sni_00") || s.name.contains("ns_00"))
+            .map(|s| s.with_records(120))
+            .collect();
+        assert_eq!(specs.len(), 2);
+        let config = DatamaranConfig::default();
+        let mut summary = AccuracySummary::default();
+        for spec in &specs {
+            summary.push(evaluate_spec(spec, Extractor::DatamaranExhaustive, &config));
+            summary.push(evaluate_spec(spec, Extractor::RecordBreaker, &config));
+        }
+        let (ok, total) = summary.overall(Extractor::DatamaranExhaustive);
+        assert_eq!(total, 1, "the NS dataset is excluded");
+        assert_eq!(ok, 1, "the S(NI) dataset extracts successfully");
+        let by_label = summary.by_label(Extractor::DatamaranExhaustive);
+        assert_eq!(by_label.len(), 4);
+        assert!(summary.accuracy(Extractor::DatamaranExhaustive) > 0.99);
+        // The baseline also gets a verdict on the same dataset.
+        let (_, rb_total) = summary.overall(Extractor::RecordBreaker);
+        assert_eq!(rb_total, 1);
+    }
+
+    #[test]
+    fn extractor_names_are_stable() {
+        assert_eq!(Extractor::DatamaranExhaustive.name(), "Datamaran (exhaustive)");
+        assert_eq!(Extractor::DatamaranGreedy.name(), "Datamaran (greedy)");
+        assert_eq!(Extractor::RecordBreaker.name(), "RecordBreaker");
+    }
+}

@@ -1,0 +1,512 @@
+//! The extraction-success criterion of §5.1, formalized as in Appendix 9.3.
+//!
+//! An extraction is *successful* when
+//!
+//! * **(a)** every ground-truth record's boundary is an extracted record's boundary, and the
+//!   mapping from ground-truth record types to extracted record types is one-to-one, and
+//! * **(b)** every intended extraction target can be rebuilt from the extracted columns with
+//!   the relational operations of §9.3 (`Concat` / `GroupConcat` / `Trim` / `Append` /
+//!   `DeleteColumn` / `DeleteTable`): concretely, the target's span must be tiled by whole
+//!   extracted fields plus the formatting characters between them, and the *same* column
+//!   recipe must work for that target role in every record of the type.
+//!
+//! Extra extracted record types (for example a secondary structure discovered inside noise)
+//! do not hurt: §9.3 allows deleting whole tables and columns.
+
+use crate::view::ViewRecord;
+use logsynth::GeneratedDataset;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Why an extraction failed (the first problem found per category is recorded).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureReason {
+    /// A ground-truth record's boundary does not coincide with any extracted record.
+    BoundaryMissed {
+        /// Index of the ground-truth record.
+        record: usize,
+    },
+    /// Records of one ground-truth type were split across several extracted types, or two
+    /// ground-truth types were merged into one extracted type.
+    TypeConfusion {
+        /// The ground-truth type involved.
+        gt_type: usize,
+    },
+    /// A target's span is not tiled by whole extracted fields (it was merged into a larger
+    /// field or split across the record boundary).
+    TargetNotReconstructable {
+        /// Index of the ground-truth record.
+        record: usize,
+        /// Role of the offending target.
+        role: usize,
+    },
+    /// The same target role needs different column recipes in different records.
+    InconsistentColumns {
+        /// The ground-truth type involved.
+        gt_type: usize,
+        /// Role of the offending target.
+        role: usize,
+    },
+}
+
+/// The outcome of evaluating one dataset extraction.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Criterion (a), boundary part.
+    pub boundaries_ok: bool,
+    /// Criterion (a), record-type part.
+    pub types_ok: bool,
+    /// Criterion (b).
+    pub reconstruction_ok: bool,
+    /// Failure details (empty on success).
+    pub failures: Vec<FailureReason>,
+    /// Fraction of ground-truth records whose boundary was found.
+    pub boundary_recall: f64,
+    /// Fraction of targets that were reconstructable (ignoring column consistency).
+    pub target_recall: f64,
+}
+
+impl EvalOutcome {
+    /// Overall success per §5.1.
+    pub fn success(&self) -> bool {
+        self.boundaries_ok && self.types_ok && self.reconstruction_ok
+    }
+}
+
+/// A reconstruction recipe: the column sequence, the constant gap strings between them, and
+/// the constant `Trim` prefix/suffix lengths applied to the first/last column (§9.3 allows
+/// `Concat`, `GroupConcat`, `Trim` and `Append`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Recipe {
+    columns: Vec<usize>,
+    gaps: Vec<String>,
+    prefix: usize,
+    suffix: usize,
+}
+
+impl Recipe {
+    /// Two recipes rebuild the same target role consistently when they use the same columns
+    /// (repetitions collapse to one `GroupConcat` over the array column), the same constant
+    /// gap strings (a single-element list simply has no gaps yet), and the same `Trim`
+    /// lengths.
+    fn compatible(&self, other: &Recipe) -> bool {
+        if self.prefix != other.prefix || self.suffix != other.suffix {
+            return false;
+        }
+        dedup(&self.columns) == dedup(&other.columns)
+            && (dedup(&self.gaps) == dedup(&other.gaps)
+                || self.gaps.is_empty()
+                || other.gaps.is_empty())
+    }
+}
+
+fn dedup<T: Clone + PartialEq>(items: &[T]) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(items.len());
+    for item in items {
+        if out.last() != Some(item) {
+            out.push(item.clone());
+        }
+    }
+    out
+}
+
+/// Evaluates an extraction (in the common view) against the ground truth of a generated
+/// dataset.
+pub fn evaluate(dataset: &GeneratedDataset, extracted: &[ViewRecord]) -> EvalOutcome {
+    let text = dataset.text.as_str();
+    let mut outcome = EvalOutcome {
+        boundaries_ok: true,
+        types_ok: true,
+        reconstruction_ok: true,
+        ..Default::default()
+    };
+
+    if dataset.records.is_empty() {
+        // No-structure dataset: nothing to check (these are excluded from accuracy numbers).
+        outcome.boundary_recall = 1.0;
+        outcome.target_recall = 1.0;
+        return outcome;
+    }
+
+    // Index extracted records by their (newline-trimmed) start offset.
+    let mut by_start: HashMap<usize, &ViewRecord> = HashMap::new();
+    for rec in extracted {
+        by_start.entry(rec.start).or_insert(rec);
+    }
+
+    let mut matched: Vec<Option<&ViewRecord>> = Vec::with_capacity(dataset.records.len());
+    let mut boundary_hits = 0usize;
+    for (i, gt) in dataset.records.iter().enumerate() {
+        let gt_end = trim_newline(text, gt.end);
+        let hit = by_start
+            .get(&gt.start)
+            .copied()
+            .filter(|r| r.end == gt_end);
+        if hit.is_some() {
+            boundary_hits += 1;
+        } else if outcome.boundaries_ok {
+            outcome.boundaries_ok = false;
+            outcome.failures.push(FailureReason::BoundaryMissed { record: i });
+        }
+        matched.push(hit);
+    }
+    outcome.boundary_recall = boundary_hits as f64 / dataset.records.len() as f64;
+
+    // Record types: ground-truth type -> extracted type must be a one-to-one mapping.
+    let n_types = dataset.spec.record_types.len().max(1);
+    let mut gt_to_ext: Vec<Option<usize>> = vec![None; n_types];
+    let mut ext_to_gt: HashMap<usize, usize> = HashMap::new();
+    for (gt, hit) in dataset.records.iter().zip(&matched) {
+        let Some(rec) = hit else { continue };
+        match gt_to_ext[gt.type_index] {
+            None => {
+                gt_to_ext[gt.type_index] = Some(rec.type_id);
+                if let Some(prev) = ext_to_gt.insert(rec.type_id, gt.type_index) {
+                    if prev != gt.type_index && outcome.types_ok {
+                        outcome.types_ok = false;
+                        outcome
+                            .failures
+                            .push(FailureReason::TypeConfusion { gt_type: gt.type_index });
+                    }
+                }
+            }
+            Some(t) if t == rec.type_id => {}
+            Some(_) => {
+                if outcome.types_ok {
+                    outcome.types_ok = false;
+                    outcome
+                        .failures
+                        .push(FailureReason::TypeConfusion { gt_type: gt.type_index });
+                }
+            }
+        }
+    }
+
+    // Target reconstruction and per-role column consistency.
+    let mut recipes: HashMap<(usize, usize), Recipe> = HashMap::new();
+    let mut targets_total = 0usize;
+    let mut targets_ok = 0usize;
+    for (i, (gt, hit)) in dataset.records.iter().zip(&matched).enumerate() {
+        for field in &gt.fields {
+            targets_total += 1;
+            let Some(rec) = hit else { continue };
+            match recipe_for(text, rec, field.start, field.end) {
+                Some(recipe) => {
+                    targets_ok += 1;
+                    let key = (gt.type_index, field.role);
+                    match recipes.get_mut(&key) {
+                        None => {
+                            recipes.insert(key, recipe);
+                        }
+                        Some(existing) if existing.compatible(&recipe) => {
+                            // Keep the richer recipe (with gap strings) as the reference.
+                            if existing.gaps.is_empty() && !recipe.gaps.is_empty() {
+                                *existing = recipe;
+                            }
+                        }
+                        Some(_) => {
+                            if outcome.reconstruction_ok {
+                                outcome.reconstruction_ok = false;
+                                outcome.failures.push(FailureReason::InconsistentColumns {
+                                    gt_type: gt.type_index,
+                                    role: field.role,
+                                });
+                            }
+                        }
+                    }
+                }
+                None => {
+                    if outcome.reconstruction_ok {
+                        outcome.reconstruction_ok = false;
+                        outcome.failures.push(FailureReason::TargetNotReconstructable {
+                            record: i,
+                            role: field.role,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    outcome.target_recall = if targets_total == 0 {
+        1.0
+    } else {
+        targets_ok as f64 / targets_total as f64
+    };
+
+    // Reconstruction also requires the boundaries to exist at all.
+    if !outcome.boundaries_ok {
+        outcome.reconstruction_ok = false;
+    }
+    outcome
+}
+
+/// For every `(ground-truth type, target role)` pair, the number of extracted columns that the
+/// reconstruction recipe concatenates (1 = the target is already a single column).
+///
+/// Used by the user-study simulation to count `Concatenate` / `FlashFill` operations.
+pub fn recipe_sizes(
+    dataset: &GeneratedDataset,
+    extracted: &[ViewRecord],
+) -> HashMap<(usize, usize), usize> {
+    let text = dataset.text.as_str();
+    let mut by_start: HashMap<usize, &ViewRecord> = HashMap::new();
+    for rec in extracted {
+        by_start.entry(rec.start).or_insert(rec);
+    }
+    let mut sizes = HashMap::new();
+    for gt in &dataset.records {
+        let gt_end = trim_newline(text, gt.end);
+        let Some(rec) = by_start.get(&gt.start).copied().filter(|r| r.end == gt_end) else {
+            continue;
+        };
+        for field in &gt.fields {
+            if let Some(recipe) = recipe_for(text, rec, field.start, field.end) {
+                sizes
+                    .entry((gt.type_index, field.role))
+                    .or_insert(recipe.columns.len());
+            }
+        }
+    }
+    sizes
+}
+
+/// Computes the reconstruction recipe of a target span within an extracted record, or `None`
+/// when the target cannot be rebuilt from whole fields.
+fn recipe_for(text: &str, rec: &ViewRecord, t_start: usize, t_end: usize) -> Option<Recipe> {
+    // Fields overlapping the target, in order.
+    let overlapping: Vec<_> = rec
+        .fields
+        .iter()
+        .filter(|f| f.end > t_start && f.start < t_end)
+        .collect();
+    if overlapping.is_empty() {
+        return None;
+    }
+    let first = overlapping.first().unwrap();
+    let last = overlapping.last().unwrap();
+    // The target must start inside (or at the start of) the first overlapping field and end
+    // inside (or at the end of) the last one; the excess becomes a constant Trim.  Fields in
+    // the middle must be fully inside the target.
+    if first.start > t_start || last.end < t_end {
+        return None;
+    }
+    if overlapping
+        .iter()
+        .skip(1)
+        .take(overlapping.len().saturating_sub(2))
+        .any(|f| f.start < t_start || f.end > t_end)
+    {
+        return None;
+    }
+    let prefix = t_start - first.start;
+    let suffix = last.end - t_end;
+    let mut columns = Vec::with_capacity(overlapping.len());
+    let mut gaps = Vec::new();
+    for (i, f) in overlapping.iter().enumerate() {
+        columns.push(f.column);
+        if i + 1 < overlapping.len() {
+            gaps.push(text[f.end..overlapping[i + 1].start].to_string());
+        }
+    }
+    Some(Recipe {
+        columns,
+        gaps,
+        prefix,
+        suffix,
+    })
+}
+
+/// Trims a single trailing newline from a span end.
+fn trim_newline(text: &str, end: usize) -> usize {
+    if end > 0 && text.as_bytes()[end - 1] == b'\n' {
+        end - 1
+    } else {
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{datamaran_view, recordbreaker_view};
+    use datamaran_core::Datamaran;
+    use logsynth::spec::seg::{field, lit};
+    use logsynth::spec::{DatasetSpec, RecordTypeSpec};
+    use logsynth::FieldKind as K;
+    use recordbreaker::RecordBreaker;
+
+    fn web_spec(n: usize, noise: f64, seed: u64) -> DatasetSpec {
+        DatasetSpec::new(
+            "web",
+            vec![RecordTypeSpec::new(
+                "web",
+                vec![
+                    lit("["),
+                    field(K::ClockTime),
+                    lit("] "),
+                    field(K::IpV4),
+                    lit(" "),
+                    field(K::HttpMethod),
+                    lit(" "),
+                    field(K::UrlPath),
+                    lit("\n"),
+                ],
+            )],
+            n,
+            seed,
+        )
+        .with_noise(noise)
+    }
+
+    fn block_spec(n: usize, seed: u64) -> DatasetSpec {
+        DatasetSpec::new(
+            "blocks",
+            vec![RecordTypeSpec::new(
+                "block",
+                vec![
+                    lit("REQ "),
+                    field(K::Integer { min: 1, max: 9999 }),
+                    lit(" "),
+                    field(K::UrlPath),
+                    lit("\n  status="),
+                    field(K::Integer { min: 200, max: 504 }),
+                    lit(" ms="),
+                    field(K::Integer { min: 1, max: 900 }),
+                    lit("\n"),
+                ],
+            )],
+            n,
+            seed,
+        )
+    }
+
+    #[test]
+    fn datamaran_succeeds_on_single_line_dataset() {
+        let data = web_spec(200, 0.05, 3).generate();
+        let result = Datamaran::with_defaults().extract(&data.text).unwrap();
+        let outcome = evaluate(&data, &datamaran_view(&data.text, &result));
+        assert!(outcome.success(), "failures: {:?}", outcome.failures);
+        assert!(outcome.boundary_recall > 0.999);
+        assert!(outcome.target_recall > 0.999);
+    }
+
+    #[test]
+    fn datamaran_succeeds_on_multi_line_dataset() {
+        let data = block_spec(150, 5).generate();
+        let result = Datamaran::with_defaults().extract(&data.text).unwrap();
+        let outcome = evaluate(&data, &datamaran_view(&data.text, &result));
+        assert!(outcome.success(), "failures: {:?}", outcome.failures);
+    }
+
+    #[test]
+    fn recordbreaker_fails_multi_line_dataset_on_boundaries() {
+        let data = block_spec(120, 7).generate();
+        let result = RecordBreaker::with_defaults().extract(&data.text);
+        let outcome = evaluate(&data, &recordbreaker_view(&result));
+        assert!(!outcome.success());
+        assert!(!outcome.boundaries_ok);
+        assert!(matches!(outcome.failures[0], FailureReason::BoundaryMissed { .. }));
+    }
+
+    #[test]
+    fn recordbreaker_succeeds_on_fixed_width_single_line_dataset() {
+        let spec = DatasetSpec::new(
+            "csv",
+            vec![RecordTypeSpec::new(
+                "csv",
+                vec![
+                    field(K::Integer { min: 1, max: 9999 }),
+                    lit(","),
+                    field(K::Word),
+                    lit(","),
+                    field(K::Integer { min: 0, max: 99 }),
+                    lit("\n"),
+                ],
+            )],
+            200,
+            11,
+        );
+        let data = spec.generate();
+        let result = RecordBreaker::with_defaults().extract(&data.text);
+        let outcome = evaluate(&data, &recordbreaker_view(&result));
+        assert!(outcome.success(), "failures: {:?}", outcome.failures);
+    }
+
+    #[test]
+    fn merged_fields_fail_reconstruction() {
+        // Hand-build a view where the whole line is one field: the clock-time target is then
+        // inside a larger field and cannot be rebuilt by concatenating whole columns.
+        let data = web_spec(5, 0.0, 13).generate();
+        let view: Vec<ViewRecord> = data
+            .records
+            .iter()
+            .map(|r| ViewRecord {
+                type_id: 0,
+                start: r.start,
+                end: trim_newline(&data.text, r.end),
+                fields: vec![crate::view::ViewField {
+                    column: 0,
+                    start: r.start,
+                    end: trim_newline(&data.text, r.end),
+                }],
+            })
+            .collect();
+        let outcome = evaluate(&data, &view);
+        assert!(!outcome.success());
+        assert!(!outcome.reconstruction_ok);
+    }
+
+    #[test]
+    fn inconsistent_columns_across_records_fail() {
+        // Two records where the same role is covered by different column ids.
+        let data = web_spec(2, 0.0, 17).generate();
+        let mut view = Vec::new();
+        for (i, r) in data.records.iter().enumerate() {
+            view.push(ViewRecord {
+                type_id: 0,
+                start: r.start,
+                end: trim_newline(&data.text, r.end),
+                fields: r
+                    .fields
+                    .iter()
+                    .enumerate()
+                    .map(|(k, f)| crate::view::ViewField {
+                        column: k + i, // shifted columns in the second record
+                        start: f.start,
+                        end: f.end,
+                    })
+                    .collect(),
+            });
+        }
+        let outcome = evaluate(&data, &view);
+        assert!(!outcome.success());
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| matches!(f, FailureReason::InconsistentColumns { .. })));
+    }
+
+    #[test]
+    fn no_structure_dataset_is_vacuously_fine() {
+        let data = DatasetSpec::new("ns", vec![], 50, 3).generate();
+        let outcome = evaluate(&data, &[]);
+        assert!(outcome.success());
+    }
+
+    #[test]
+    fn extra_extracted_structures_do_not_hurt() {
+        let data = web_spec(80, 0.0, 23).generate();
+        let result = Datamaran::with_defaults().extract(&data.text).unwrap();
+        let mut view = datamaran_view(&data.text, &result);
+        // Add a bogus extra record that matches no ground truth (e.g. noise extracted as a
+        // second structure) — §9.3 allows deleting it.
+        view.push(ViewRecord {
+            type_id: 99,
+            start: data.text.len(),
+            end: data.text.len(),
+            fields: vec![],
+        });
+        let outcome = evaluate(&data, &view);
+        assert!(outcome.success(), "failures: {:?}", outcome.failures);
+    }
+}

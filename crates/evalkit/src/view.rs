@@ -1,0 +1,203 @@
+//! A common, tool-agnostic view over extraction results so that Datamaran, RecordBreaker,
+//! and the line-clustering baseline can be judged by the exact same criterion.
+
+use datamaran_core::ExtractionResult;
+use logclust::{ClusterResult, PatternToken};
+use recordbreaker::RecordBreakerResult;
+use serde::{Deserialize, Serialize};
+
+/// One extracted field occurrence in tool-agnostic form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewField {
+    /// Column identifier, unique across the whole extraction (record types do not share
+    /// column identifiers).
+    pub column: usize,
+    /// Byte offset of the value's first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+/// One extracted record in tool-agnostic form.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ViewRecord {
+    /// Identifier of the record type (structure template index / union branch).
+    pub type_id: usize,
+    /// Byte span `[start, end)` of the record, excluding any trailing newline.
+    pub start: usize,
+    /// End offset (trailing newline excluded).
+    pub end: usize,
+    /// Extracted fields in order of appearance.
+    pub fields: Vec<ViewField>,
+}
+
+/// Offset multiplier keeping the column namespaces of different record types disjoint.
+const TYPE_STRIDE: usize = 100_000;
+
+/// Converts a Datamaran extraction into the common view.
+pub fn datamaran_view(text: &str, result: &ExtractionResult) -> Vec<ViewRecord> {
+    let mut out = Vec::new();
+    for (type_id, structure) in result.structures.iter().enumerate() {
+        for rec in &structure.records {
+            let (start, mut end) = rec.byte_span;
+            if end > start && text.as_bytes()[end - 1] == b'\n' {
+                end -= 1;
+            }
+            out.push(ViewRecord {
+                type_id,
+                start,
+                end,
+                fields: rec
+                    .fields
+                    .iter()
+                    .map(|f| ViewField {
+                        column: type_id * TYPE_STRIDE + f.column,
+                        start: f.start,
+                        end: f.end,
+                    })
+                    .collect(),
+            });
+        }
+    }
+    out.sort_by_key(|r| r.start);
+    out
+}
+
+/// Converts a RecordBreaker extraction into the common view (one record per line).
+pub fn recordbreaker_view(result: &RecordBreakerResult) -> Vec<ViewRecord> {
+    let mut out: Vec<ViewRecord> = result
+        .records
+        .iter()
+        .map(|rec| ViewRecord {
+            type_id: rec.branch,
+            start: rec.span.0,
+            end: rec.span.1,
+            fields: rec
+                .cells
+                .iter()
+                .map(|c| ViewField {
+                    column: rec.branch * TYPE_STRIDE + c.column,
+                    start: c.start,
+                    end: c.end,
+                })
+                .collect(),
+        })
+        .collect();
+    out.sort_by_key(|r| r.start);
+    out
+}
+
+/// Converts a line-clustering result into the common view.
+///
+/// Each member line becomes one record of its cluster's type; the wildcard positions of the
+/// cluster pattern become the record's fields (constant tokens are treated as formatting).
+/// Multi-line records are therefore split per line, exactly the limitation §7 attributes to
+/// event-log clustering tools.
+pub fn logclust_view(text: &str, result: &ClusterResult) -> Vec<ViewRecord> {
+    // Byte span of every line (excluding the trailing newline).
+    let mut line_spans: Vec<(usize, usize)> = Vec::new();
+    let mut offset = 0usize;
+    for line in text.split_inclusive('\n') {
+        let end = offset + line.len();
+        let content_end = if line.ends_with('\n') { end - 1 } else { end };
+        line_spans.push((offset, content_end));
+        offset = end;
+    }
+
+    let mut out = Vec::new();
+    for (type_id, cluster) in result.clusters.iter().enumerate() {
+        for &line_idx in &cluster.lines {
+            let Some(&(start, end)) = line_spans.get(line_idx) else {
+                continue;
+            };
+            let line = &text[start..end];
+            // Tokenize with byte offsets to recover the wildcard spans.
+            let mut fields = Vec::new();
+            let mut token_pos = 0usize;
+            let mut cursor = 0usize;
+            let bytes = line.as_bytes();
+            while cursor < bytes.len() {
+                while cursor < bytes.len() && bytes[cursor].is_ascii_whitespace() {
+                    cursor += 1;
+                }
+                if cursor >= bytes.len() {
+                    break;
+                }
+                let tok_start = cursor;
+                while cursor < bytes.len() && !bytes[cursor].is_ascii_whitespace() {
+                    cursor += 1;
+                }
+                if matches!(
+                    cluster.pattern.tokens.get(token_pos),
+                    Some(PatternToken::Wildcard)
+                ) {
+                    fields.push(ViewField {
+                        column: type_id * TYPE_STRIDE + token_pos,
+                        start: start + tok_start,
+                        end: start + cursor,
+                    });
+                }
+                token_pos += 1;
+            }
+            out.push(ViewRecord {
+                type_id,
+                start,
+                end,
+                fields,
+            });
+        }
+    }
+    out.sort_by_key(|r| r.start);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamaran_core::Datamaran;
+    use logclust::{ClusterConfig, LogCluster};
+    use recordbreaker::RecordBreaker;
+
+    #[test]
+    fn datamaran_view_strips_trailing_newline_and_offsets_columns() {
+        let text = "a=1\na=2\n";
+        let result = Datamaran::with_defaults().extract(text).unwrap();
+        let view = datamaran_view(text, &result);
+        assert_eq!(view.len(), 2);
+        assert_eq!(view[0].start, 0);
+        assert_eq!(view[0].end, 3);
+        assert!(view[0].fields.iter().all(|f| f.column < TYPE_STRIDE));
+    }
+
+    #[test]
+    fn recordbreaker_view_is_one_record_per_line() {
+        let text = "1,2\n3,4\n5,6\n";
+        let result = RecordBreaker::with_defaults().extract(text);
+        let view = recordbreaker_view(&result);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view[1].start, 4);
+        assert_eq!(view[1].end, 7);
+        assert_eq!(view[1].fields.len(), 2);
+    }
+
+    #[test]
+    fn logclust_view_reports_wildcard_spans() {
+        let text = "login alice ok\nlogin bob ok\nsomething else entirely different\nlogin carol ok\n";
+        let result = LogCluster::new(
+            ClusterConfig::default()
+                .with_min_support(2)
+                .with_min_support_fraction(0.0),
+        )
+        .cluster(text);
+        let view = logclust_view(text, &result);
+        assert_eq!(view.len(), 3, "only the clustered lines become records");
+        // Every record has exactly one field (the user name) whose span lies inside the line.
+        for rec in &view {
+            assert_eq!(rec.fields.len(), 1);
+            let f = rec.fields[0];
+            assert!(f.start >= rec.start && f.end <= rec.end);
+            let value = &text[f.start..f.end];
+            assert!(["alice", "bob", "carol"].contains(&value), "got {value}");
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! # logclust
+//!
+//! A frequent-pattern **event-log clustering** baseline in the style of SLCT / the
+//! iterative-partitioning log miners the DATAMARAN paper cites as related work
+//! ("Other work clusters event logs [40, 56] by treating the lines of the log dataset as
+//! data points and assigning them to clusters", §7).
+//!
+//! The paper's point about these tools is that they (a) treat every *line* as one data point,
+//! so multi-line records are never reassembled, and (b) only produce line *patterns* — they
+//! "do not attempt to identify the structure within records".  This crate reproduces that
+//! behaviour faithfully so it can serve as a second comparison point next to RecordBreaker in
+//! the evaluation harness:
+//!
+//! 1. **Pass 1** counts, for every token position, how often each word occurs there.
+//! 2. **Pass 2** rewrites every line into a candidate pattern: tokens whose
+//!    (position, word) count reaches the support threshold are kept verbatim, all other
+//!    tokens become wildcards.
+//! 3. Candidate patterns whose own support reaches the threshold become clusters; the
+//!    remaining lines are outliers.
+//!
+//! ```
+//! use logclust::{LogCluster, ClusterConfig};
+//!
+//! let log = "sshd accepted login for alice\n\
+//!            sshd accepted login for bob\n\
+//!            kernel panic -- not syncing\n\
+//!            sshd accepted login for carol\n";
+//! let out = LogCluster::new(ClusterConfig::default().with_min_support(2)).cluster(log);
+//! assert_eq!(out.clusters.len(), 1);
+//! assert_eq!(out.clusters[0].support, 3);
+//! assert_eq!(out.outliers.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Configuration of the clustering pass.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Minimum number of lines a (position, word) pair and a pattern must appear in.
+    pub min_support: usize,
+    /// Alternatively, a fraction of the total number of lines; the effective support is the
+    /// maximum of the two.  `0.0` disables the relative threshold.
+    pub min_support_fraction: f64,
+    /// Maximum number of clusters reported (highest support first); `0` means unlimited.
+    pub max_clusters: usize,
+    /// Maximum number of tokens considered per line (longer lines are truncated, as in SLCT
+    /// implementations, to bound the candidate space).
+    pub max_tokens: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            min_support: 3,
+            min_support_fraction: 0.02,
+            max_clusters: 0,
+            max_tokens: 64,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Builder-style setter for the absolute support threshold.
+    pub fn with_min_support(mut self, support: usize) -> Self {
+        self.min_support = support;
+        self
+    }
+
+    /// Builder-style setter for the relative support threshold.
+    pub fn with_min_support_fraction(mut self, fraction: f64) -> Self {
+        self.min_support_fraction = fraction;
+        self
+    }
+
+    /// Builder-style setter for the cluster-count cap.
+    pub fn with_max_clusters(mut self, max: usize) -> Self {
+        self.max_clusters = max;
+        self
+    }
+
+    /// The effective absolute support threshold for a dataset with `n_lines` lines.
+    pub fn effective_support(&self, n_lines: usize) -> usize {
+        let relative = (self.min_support_fraction * n_lines as f64).ceil() as usize;
+        self.min_support.max(relative).max(1)
+    }
+}
+
+/// One token of a line pattern.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PatternToken {
+    /// A constant word that appears at this position in every member line.
+    Word(String),
+    /// A position whose word varies across member lines (the cluster's "field").
+    Wildcard,
+}
+
+impl fmt::Display for PatternToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternToken::Word(w) => write!(f, "{w}"),
+            PatternToken::Wildcard => write!(f, "*"),
+        }
+    }
+}
+
+/// A line pattern: a fixed number of tokens, each constant or wildcard.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Pattern {
+    /// The pattern tokens, in order.
+    pub tokens: Vec<PatternToken>,
+}
+
+impl Pattern {
+    /// Number of wildcard positions (the "fields" of the cluster).
+    pub fn wildcard_count(&self) -> usize {
+        self.tokens
+            .iter()
+            .filter(|t| matches!(t, PatternToken::Wildcard))
+            .count()
+    }
+
+    /// `true` if `line` (tokenized by whitespace) matches the pattern.
+    pub fn matches(&self, line: &str) -> bool {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        words.len() == self.tokens.len()
+            && self.tokens.iter().zip(&words).all(|(t, w)| match t {
+                PatternToken::Word(expect) => expect == w,
+                PatternToken::Wildcard => true,
+            })
+    }
+
+    /// Extracts the wildcard values of a matching line (`None` if the line does not match).
+    pub fn extract<'a>(&self, line: &'a str) -> Option<Vec<&'a str>> {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        if words.len() != self.tokens.len() {
+            return None;
+        }
+        let mut values = Vec::with_capacity(self.wildcard_count());
+        for (t, w) in self.tokens.iter().zip(&words) {
+            match t {
+                PatternToken::Word(expect) if expect != w => return None,
+                PatternToken::Word(_) => {}
+                PatternToken::Wildcard => values.push(*w),
+            }
+        }
+        Some(values)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One discovered cluster: a pattern plus the lines it covers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Cluster {
+    /// The line pattern.
+    pub pattern: Pattern,
+    /// Number of member lines.
+    pub support: usize,
+    /// Indices of member lines in the input.
+    pub lines: Vec<usize>,
+}
+
+/// The clustering result: clusters (highest support first) plus outlier line indices.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ClusterResult {
+    /// Discovered clusters, ordered by decreasing support.
+    pub clusters: Vec<Cluster>,
+    /// Indices of lines belonging to no cluster.
+    pub outliers: Vec<usize>,
+    /// Total number of input lines.
+    pub total_lines: usize,
+}
+
+impl ClusterResult {
+    /// Fraction of lines covered by clusters.
+    pub fn coverage(&self) -> f64 {
+        if self.total_lines == 0 {
+            0.0
+        } else {
+            1.0 - self.outliers.len() as f64 / self.total_lines as f64
+        }
+    }
+
+    /// The cluster a given line belongs to, if any.
+    pub fn cluster_of(&self, line: usize) -> Option<usize> {
+        self.clusters.iter().position(|c| c.lines.contains(&line))
+    }
+}
+
+/// The clustering engine.
+#[derive(Clone, Debug, Default)]
+pub struct LogCluster {
+    config: ClusterConfig,
+}
+
+impl LogCluster {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        LogCluster { config }
+    }
+
+    /// Creates an engine with default parameters.
+    pub fn with_defaults() -> Self {
+        Self::default()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Clusters the lines of `text`.
+    pub fn cluster(&self, text: &str) -> ClusterResult {
+        let lines: Vec<&str> = text.lines().collect();
+        let n = lines.len();
+        let support = self.config.effective_support(n);
+
+        // Pass 1: frequency of every (position, word) pair.
+        let mut word_counts: HashMap<(usize, &str), usize> = HashMap::new();
+        for line in &lines {
+            for (pos, word) in line
+                .split_whitespace()
+                .take(self.config.max_tokens)
+                .enumerate()
+            {
+                *word_counts.entry((pos, word)).or_insert(0) += 1;
+            }
+        }
+
+        // Pass 2: candidate pattern per line, counted in a hash table.
+        let mut pattern_lines: HashMap<Pattern, Vec<usize>> = HashMap::new();
+        for (idx, line) in lines.iter().enumerate() {
+            let words: Vec<&str> = line
+                .split_whitespace()
+                .take(self.config.max_tokens)
+                .collect();
+            if words.is_empty() {
+                continue;
+            }
+            let tokens: Vec<PatternToken> = words
+                .iter()
+                .enumerate()
+                .map(|(pos, w)| {
+                    if word_counts.get(&(pos, *w)).copied().unwrap_or(0) >= support {
+                        PatternToken::Word((*w).to_string())
+                    } else {
+                        PatternToken::Wildcard
+                    }
+                })
+                .collect();
+            pattern_lines.entry(Pattern { tokens }).or_default().push(idx);
+        }
+
+        // Keep patterns whose support reaches the threshold and which are not all-wildcard.
+        let mut clusters: Vec<Cluster> = pattern_lines
+            .into_iter()
+            .filter(|(p, ls)| {
+                ls.len() >= support && p.tokens.iter().any(|t| matches!(t, PatternToken::Word(_)))
+            })
+            .map(|(pattern, lines)| Cluster {
+                support: lines.len(),
+                pattern,
+                lines,
+            })
+            .collect();
+        clusters.sort_by(|a, b| b.support.cmp(&a.support).then(a.pattern.tokens.len().cmp(&b.pattern.tokens.len())));
+        if self.config.max_clusters > 0 {
+            clusters.truncate(self.config.max_clusters);
+        }
+
+        let mut covered = vec![false; n];
+        for c in &clusters {
+            for &l in &c.lines {
+                covered[l] = true;
+            }
+        }
+        let outliers: Vec<usize> = (0..n).filter(|i| !covered[*i]).collect();
+        ClusterResult {
+            clusters,
+            outliers,
+            total_lines: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(support: usize) -> LogCluster {
+        LogCluster::new(
+            ClusterConfig::default()
+                .with_min_support(support)
+                .with_min_support_fraction(0.0),
+        )
+    }
+
+    #[test]
+    fn clusters_similar_lines_and_isolates_outliers() {
+        let log = "\
+sshd accepted login for alice from 10.0.0.1\n\
+sshd accepted login for bob from 10.0.0.2\n\
+totally different line here\n\
+sshd accepted login for carol from 10.0.0.3\n";
+        let out = engine(2).cluster(log);
+        assert_eq!(out.clusters.len(), 1);
+        let c = &out.clusters[0];
+        assert_eq!(c.support, 3);
+        assert_eq!(c.pattern.wildcard_count(), 2);
+        assert_eq!(out.outliers, vec![2]);
+        assert!((out.coverage() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pattern_display_and_matching() {
+        let log = "get /a 200\nget /b 200\nget /c 200\n";
+        let out = engine(3).cluster(log);
+        let p = &out.clusters[0].pattern;
+        assert_eq!(p.to_string(), "get * 200");
+        assert!(p.matches("get /zzz 200"));
+        assert!(!p.matches("post /zzz 200"));
+        assert!(!p.matches("get /zzz 200 extra"));
+        assert_eq!(p.extract("get /x 200"), Some(vec!["/x"]));
+        assert_eq!(p.extract("post /x 200"), None);
+    }
+
+    #[test]
+    fn multiple_record_types_become_multiple_clusters() {
+        let mut log = String::new();
+        for i in 0..20 {
+            log.push_str(&format!("login user{} ok\n", i));
+            log.push_str(&format!("query q{} took {}ms\n", i, i * 3));
+        }
+        let out = engine(5).cluster(&log);
+        assert_eq!(out.clusters.len(), 2);
+        assert!(out.outliers.is_empty());
+        assert_eq!(out.clusters[0].support, 20);
+        assert_eq!(out.clusters[1].support, 20);
+    }
+
+    #[test]
+    fn multi_line_records_are_split_per_line() {
+        // The defining limitation vs. Datamaran: a two-line record produces two unrelated
+        // clusters, so the record association is lost.
+        let mut log = String::new();
+        for i in 0..12 {
+            log.push_str(&format!("BEGIN request {}\nuser u{} elapsed {}ms\n", i, i, i * 2));
+        }
+        let out = engine(4).cluster(&log);
+        assert_eq!(out.clusters.len(), 2);
+        let joined: Vec<String> = out.clusters.iter().map(|c| c.pattern.to_string()).collect();
+        assert!(joined.iter().any(|p| p.starts_with("BEGIN")));
+        assert!(joined.iter().any(|p| p.starts_with("user")));
+    }
+
+    #[test]
+    fn support_threshold_filters_rare_patterns() {
+        let log = "a x\na y\nb 1\nb 2\nb 3\n";
+        let out = engine(3).cluster(log);
+        assert_eq!(out.clusters.len(), 1);
+        assert!(out.clusters[0].pattern.to_string().starts_with('b'));
+        assert_eq!(out.outliers, vec![0, 1]);
+    }
+
+    #[test]
+    fn relative_support_threshold_scales_with_input() {
+        let config = ClusterConfig::default()
+            .with_min_support(2)
+            .with_min_support_fraction(0.1);
+        assert_eq!(config.effective_support(1000), 100);
+        assert_eq!(config.effective_support(10), 2);
+        assert_eq!(config.effective_support(0), 2);
+    }
+
+    #[test]
+    fn max_clusters_caps_the_output() {
+        let mut log = String::new();
+        for i in 0..10 {
+            log.push_str(&format!("alpha a{i} end\n"));
+            log.push_str(&format!("beta b{i} end\n"));
+            log.push_str(&format!("gamma g{i} end\n"));
+        }
+        let out = LogCluster::new(
+            ClusterConfig::default()
+                .with_min_support(3)
+                .with_min_support_fraction(0.0)
+                .with_max_clusters(2),
+        )
+        .cluster(&log);
+        assert_eq!(out.clusters.len(), 2);
+        assert!(!out.outliers.is_empty());
+    }
+
+    #[test]
+    fn empty_and_blank_input_yield_no_clusters() {
+        let out = engine(2).cluster("");
+        assert!(out.clusters.is_empty());
+        assert!(out.outliers.is_empty());
+        let out = engine(1).cluster("\n\n\n");
+        assert!(out.clusters.is_empty());
+        assert_eq!(out.outliers.len(), 3);
+        assert_eq!(out.cluster_of(0), None);
+    }
+
+    #[test]
+    fn cluster_of_reports_membership() {
+        let log = "x 1\nx 2\nother stuff entirely different\n";
+        let out = engine(2).cluster(log);
+        assert_eq!(out.cluster_of(0), Some(0));
+        assert_eq!(out.cluster_of(1), Some(0));
+        assert_eq!(out.cluster_of(2), None);
+    }
+
+    #[test]
+    fn all_wildcard_patterns_are_not_reported() {
+        // Every token differs, so no (position, word) pair is frequent: nothing to report.
+        let log = "aa bb\ncc dd\nee ff\ngg hh\n";
+        let out = engine(3).cluster(log);
+        assert!(out.clusters.is_empty());
+        assert_eq!(out.outliers.len(), 4);
+    }
+}

@@ -1,0 +1,693 @@
+//! The two dataset collections used by the paper's evaluation, rebuilt synthetically:
+//!
+//! * [`manual_25`] — 25 datasets mirroring the characteristics of Table 5 (the 15 datasets of
+//!   Fisher et al. plus 10 larger / more complex ones);
+//! * [`github_100`] — 100 datasets with the label distribution of Figure 17a
+//!   (44 S(NI), 14 S(I), 13 M(NI), 18 M(I), 11 NS).
+//!
+//! Every dataset is generated from a [`DatasetSpec`] with a deterministic seed, so the corpora
+//! are reproducible bit for bit.
+
+use crate::spec::seg::{field, lit, repeat};
+use crate::spec::{DatasetLabel, DatasetSpec, RecordTypeSpec};
+use crate::value::FieldKind as K;
+
+// ---------------------------------------------------------------------------------------------
+// Record-type families
+// ---------------------------------------------------------------------------------------------
+
+/// Web-server access log line: `[HH:MM:SS] ip METHOD /path status`.
+pub fn web_access(variant: u64) -> RecordTypeSpec {
+    let open = ["[", "(", "<"][(variant % 3) as usize];
+    let close = ["]", ")", ">"][(variant % 3) as usize];
+    RecordTypeSpec::new(
+        "web_access",
+        vec![
+            lit(open),
+            field(K::ClockTime),
+            lit(&format!("{close} ")),
+            field(K::IpV4),
+            lit(" "),
+            field(K::HttpMethod),
+            lit(" "),
+            field(K::UrlPath),
+            lit(" "),
+            field(K::Integer { min: 200, max: 504 }),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Comma/semicolon-separated transaction line: `id,date,amount,category`.
+pub fn csv_transactions(variant: u64) -> RecordTypeSpec {
+    let sep = [",", ";", "|"][(variant % 3) as usize];
+    RecordTypeSpec::new(
+        "csv_transactions",
+        vec![
+            field(K::Integer { min: 1000, max: 99999 }),
+            lit(sep),
+            field(K::Date),
+            lit(sep),
+            field(K::Decimal { min: 0.5, max: 900.0, decimals: 2 }),
+            lit(sep),
+            field(K::Word),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Application log line: `date time LEVEL host message...`.
+pub fn app_log(variant: u64) -> RecordTypeSpec {
+    let words = 3 + (variant % 3) as usize;
+    RecordTypeSpec::new(
+        "app_log",
+        vec![
+            field(K::Date),
+            lit(" "),
+            field(K::ClockTime),
+            lit(" "),
+            field(K::Level),
+            lit(" "),
+            field(K::Host),
+            lit(" "),
+            field(K::Words { count: words }),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Syslog-style line: `Mon DD HH:MM:SS host daemon: message`.
+pub fn syslog_line(variant: u64) -> RecordTypeSpec {
+    let _ = variant;
+    RecordTypeSpec::new(
+        "syslog",
+        vec![
+            field(K::SyslogTime),
+            lit(" "),
+            field(K::Host),
+            lit(" "),
+            field(K::Word),
+            lit(": "),
+            field(K::Words { count: 3 }),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Key-value metrics line: `host=web3 cpu=0.52 mem=0.81 ts=1500000000`.
+pub fn kv_metrics(variant: u64) -> RecordTypeSpec {
+    let sep = [" ", ";", ", "][(variant % 3) as usize];
+    RecordTypeSpec::new(
+        "kv_metrics",
+        vec![
+            lit("host="),
+            field(K::Host),
+            lit(&format!("{sep}cpu=")),
+            field(K::Decimal { min: 0.0, max: 1.0, decimals: 2 }),
+            lit(&format!("{sep}mem=")),
+            field(K::Decimal { min: 0.0, max: 1.0, decimals: 2 }),
+            lit(&format!("{sep}ts=")),
+            field(K::Epoch),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Printer accounting line.
+pub fn printer_log(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "printer_log",
+        vec![
+            field(K::Date),
+            lit(" "),
+            field(K::ClockTime),
+            lit(" printer-"),
+            field(K::Identifier),
+            lit(" job "),
+            field(K::Integer { min: 1, max: 9999 }),
+            lit(" pages "),
+            field(K::Integer { min: 1, max: 500 }),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Database query log line.
+pub fn query_log(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "query_log",
+        vec![
+            lit("["),
+            field(K::Epoch),
+            lit("] db="),
+            field(K::Word),
+            lit(" user="),
+            field(K::Identifier),
+            lit(" query_ms="),
+            field(K::Integer { min: 1, max: 30000 }),
+            lit(" rows="),
+            field(K::Integer { min: 0, max: 100000 }),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Pipe-delimited event line: `EVT|1423|login|user42`.
+pub fn pipe_events(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "pipe_events",
+        vec![
+            lit("EVT|"),
+            field(K::Integer { min: 1, max: 100000 }),
+            lit("|"),
+            field(K::OneOf(vec![
+                "login".into(),
+                "logout".into(),
+                "purchase".into(),
+                "refund".into(),
+                "view".into(),
+            ])),
+            lit("|"),
+            field(K::Identifier),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Tab-separated variant-call-style line (VCF-like).
+pub fn tab_records(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "tab_records",
+        vec![
+            field(K::Word),
+            lit("\t"),
+            field(K::Integer { min: 1, max: 248_000_000 }),
+            lit("\t"),
+            field(K::Hex { len: 8 }),
+            lit("\t"),
+            field(K::OneOf(vec!["A".into(), "C".into(), "G".into(), "T".into()])),
+            lit("\t"),
+            field(K::Decimal { min: 0.0, max: 99.0, decimals: 1 }),
+            lit("\n"),
+        ],
+    )
+}
+
+/// `ls -l`-style listing line.
+pub fn ls_listing(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "ls_listing",
+        vec![
+            field(K::OneOf(vec!["-rw-r--r--".into(), "-rwxr-xr-x".into(), "drwxr-xr-x".into()])),
+            lit(" "),
+            field(K::Integer { min: 1, max: 8 }),
+            lit(" "),
+            field(K::Word),
+            lit(" "),
+            field(K::Word),
+            lit(" "),
+            field(K::Integer { min: 10, max: 8_000_000 }),
+            lit(" "),
+            field(K::Date),
+            lit(" "),
+            field(K::Identifier),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Personal-income-style fixed-column record.
+pub fn income_records(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "income_records",
+        vec![
+            field(K::Identifier),
+            lit(" "),
+            field(K::Integer { min: 18, max: 90 }),
+            lit(" "),
+            field(K::Integer { min: 10000, max: 250000 }),
+            lit(" "),
+            field(K::Decimal { min: 0.0, max: 45.0, decimals: 1 }),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Stack-exchange-style single-line XML row.
+pub fn xml_row(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "xml_row",
+        vec![
+            lit("  <row Id=\""),
+            field(K::Integer { min: 1, max: 900000 }),
+            lit("\" UserId=\""),
+            field(K::Integer { min: 1, max: 50000 }),
+            lit("\" Score=\""),
+            field(K::Integer { min: 0, max: 500 }),
+            lit("\" Tag=\""),
+            field(K::Word),
+            lit("\" />\n"),
+        ],
+    )
+}
+
+/// Two-line HTTP request block.
+pub fn http_block(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "http_block",
+        vec![
+            lit("REQ "),
+            field(K::Integer { min: 1, max: 99999 }),
+            lit(" "),
+            field(K::UrlPath),
+            lit("\n  status="),
+            field(K::Integer { min: 200, max: 504 }),
+            lit(" time_ms="),
+            field(K::Integer { min: 1, max: 8000 }),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Three-line crash / error block.
+pub fn crash_block(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "crash_block",
+        vec![
+            lit("ERROR 0x"),
+            field(K::Hex { len: 8 }),
+            lit(" at "),
+            field(K::ClockTime),
+            lit("\n  thread: "),
+            field(K::Identifier),
+            lit("\n  code="),
+            field(K::Integer { min: 1, max: 255 }),
+            lit(" msg="),
+            field(K::Word),
+            lit("\n"),
+        ],
+    )
+}
+
+/// FASTQ-style 4-line block.
+pub fn fastq_block(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "fastq_block",
+        vec![
+            lit("@read."),
+            field(K::Integer { min: 1, max: 10_000_000 }),
+            lit("/"),
+            field(K::Integer { min: 1, max: 2 }),
+            lit("\n"),
+            field(K::Hex { len: 36 }),
+            lit("\n+\n"),
+            field(K::Hex { len: 36 }),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Thailand-district-style multi-line JSON-ish block with a tag list (8 lines).
+pub fn district_block(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "district_block",
+        vec![
+            lit("{\n  \"id\": "),
+            field(K::Integer { min: 1, max: 9999 }),
+            lit(",\n  \"zip\": "),
+            field(K::Integer { min: 10000, max: 99999 }),
+            lit(",\n  \"name\": \""),
+            field(K::Word),
+            lit("\",\n  \"lat\": "),
+            field(K::Decimal { min: 5.0, max: 20.0, decimals: 4 }),
+            lit(",\n  \"lon\": "),
+            field(K::Decimal { min: 97.0, max: 106.0, decimals: 4 }),
+            lit(",\n  \"tags\": ["),
+            repeat(vec![field(K::Word)], ", ", 1, 4),
+            lit("],\n  \"active\": "),
+            field(K::OneOf(vec!["true".into(), "false".into()])),
+            lit("\n},\n"),
+        ],
+    )
+}
+
+/// Blog-post-style multi-line XML block (8 lines).
+pub fn blog_block(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "blog_block",
+        vec![
+            lit("<post>\n  <id>"),
+            field(K::Integer { min: 1, max: 100000 }),
+            lit("</id>\n  <author>"),
+            field(K::Identifier),
+            lit("</author>\n  <date>"),
+            field(K::Date),
+            lit("</date>\n  <score>"),
+            field(K::Integer { min: 0, max: 999 }),
+            lit("</score>\n  <title>"),
+            field(K::Words { count: 4 }),
+            lit("</title>\n  <body>"),
+            field(K::FreeText { min: 4, max: 9 }),
+            lit("</body>\n</post>\n"),
+        ],
+    )
+}
+
+/// GC-pause-style block spanning a variable number of detail lines (bounded by `L = 10`).
+pub fn gc_block(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "gc_block",
+        vec![
+            lit("GC pause #"),
+            field(K::Integer { min: 1, max: 100000 }),
+            lit(" at "),
+            field(K::ClockTime),
+            lit("\n"),
+            repeat(
+                vec![
+                    lit("  region "),
+                    field(K::Word),
+                    lit(": "),
+                    field(K::Integer { min: 0, max: 4096 }),
+                    lit("MB\n"),
+                ],
+                "",
+                2,
+                4,
+            ),
+            lit("  total_ms="),
+            field(K::Integer { min: 1, max: 2000 }),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Netstat-style connection line, TCP flavour.
+pub fn netstat_tcp(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "netstat_tcp",
+        vec![
+            lit("tcp "),
+            field(K::Integer { min: 0, max: 9 }),
+            lit(" "),
+            field(K::IpV4),
+            lit(":"),
+            field(K::Integer { min: 1, max: 65535 }),
+            lit(" "),
+            field(K::IpV4),
+            lit(":"),
+            field(K::Integer { min: 1, max: 65535 }),
+            lit(" "),
+            field(K::OneOf(vec![
+                "ESTABLISHED".into(),
+                "TIME_WAIT".into(),
+                "CLOSE_WAIT".into(),
+                "LISTEN".into(),
+            ])),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Netstat-style connection line, UDP flavour (no state column).
+pub fn netstat_udp(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "netstat_udp",
+        vec![
+            lit("udp "),
+            field(K::Integer { min: 0, max: 9 }),
+            lit(" "),
+            field(K::IpV4),
+            lit(":"),
+            field(K::Integer { min: 1, max: 65535 }),
+            lit(" "),
+            field(K::IpV4),
+            lit(":*"),
+            lit("\n"),
+        ],
+    )
+}
+
+/// Package-install log line.
+pub fn pkg_install(_variant: u64) -> RecordTypeSpec {
+    RecordTypeSpec::new(
+        "pkg_install",
+        vec![
+            field(K::Date),
+            lit(" "),
+            field(K::ClockTime),
+            lit(" installed "),
+            field(K::Word),
+            lit("-"),
+            field(K::Integer { min: 0, max: 9 }),
+            lit("."),
+            field(K::Integer { min: 0, max: 99 }),
+            lit("."),
+            field(K::Integer { min: 0, max: 99 }),
+            lit("\n"),
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------------------------------
+// Corpora
+// ---------------------------------------------------------------------------------------------
+
+/// The 25 manually-collected datasets of §5.2, rebuilt synthetically with the record-type
+/// count and maximum record span of Table 5.
+pub fn manual_25() -> Vec<DatasetSpec> {
+    let mut specs = Vec::with_capacity(25);
+    let mut seed = 1000u64;
+    let mut push = |name: &str, types: Vec<RecordTypeSpec>, n: usize, noise: f64, specs: &mut Vec<DatasetSpec>| {
+        seed += 1;
+        specs.push(DatasetSpec::new(name, types, n, seed).with_noise(noise));
+    };
+
+    // Fisher et al.'s 15 datasets (single-line, mostly one record type).
+    push("transaction_records", vec![csv_transactions(0)], 500, 0.0, &mut specs);
+    push("comma_sep_records", vec![csv_transactions(1)], 300, 0.0, &mut specs);
+    push("web_server_log", vec![web_access(0)], 600, 0.02, &mut specs);
+    push("mac_asl_log", vec![app_log(0)], 500, 0.03, &mut specs);
+    push("mac_boot_log", vec![syslog_line(0)], 300, 0.05, &mut specs);
+    push("crash_log", vec![app_log(1)], 350, 0.04, &mut specs);
+    push("crash_log_modified", vec![app_log(2)], 350, 0.06, &mut specs);
+    push("ls_l_output", vec![ls_listing(0)], 250, 0.0, &mut specs);
+    push("netstat_output", vec![netstat_tcp(0), netstat_udp(0).with_weight(0.5)], 400, 0.02, &mut specs);
+    push("printer_logs", vec![printer_log(0)], 300, 0.02, &mut specs);
+    push("personal_income", vec![income_records(0)], 300, 0.0, &mut specs);
+    push("us_railroad_info", vec![csv_transactions(2)], 250, 0.0, &mut specs);
+    push("application_log", vec![query_log(0)], 400, 0.03, &mut specs);
+    push("loginwindow_log", vec![syslog_line(1)], 350, 0.04, &mut specs);
+    push("pkg_install_log", vec![pkg_install(0)], 300, 0.02, &mut specs);
+
+    // The 10 additional datasets (larger / multi-line / interleaved).
+    push("thailand_district_info", vec![district_block(0)], 180, 0.0, &mut specs);
+    push("stackexchange_xml", vec![xml_row(0)], 600, 0.01, &mut specs);
+    push("vcf_genetic", vec![tab_records(0)], 800, 0.0, &mut specs);
+    push("fastq_genetic", vec![fastq_block(0)], 300, 0.0, &mut specs);
+    push("blog_xml", vec![blog_block(0)], 150, 0.0, &mut specs);
+    push("log_file_1", vec![gc_block(0), app_log(3).with_weight(0.8)], 280, 0.03, &mut specs);
+    push("log_file_2", vec![crash_block(0)], 300, 0.04, &mut specs);
+    push("log_file_3", vec![pipe_events(0), kv_metrics(0).with_weight(0.7)], 500, 0.02, &mut specs);
+    push("log_file_4", vec![blog_block(1), xml_row(1).with_weight(0.6)], 220, 0.02, &mut specs);
+    push("log_file_5", vec![http_block(0)], 350, 0.06, &mut specs);
+
+    specs
+}
+
+/// The GitHub benchmark of §5.3: 100 datasets whose label distribution matches Figure 17a
+/// (44 S(NI), 14 S(I), 13 M(NI), 18 M(I), 11 NS).
+pub fn github_100() -> Vec<DatasetSpec> {
+    let single: [fn(u64) -> RecordTypeSpec; 12] = [
+        web_access,
+        csv_transactions,
+        app_log,
+        syslog_line,
+        kv_metrics,
+        printer_log,
+        query_log,
+        pipe_events,
+        tab_records,
+        income_records,
+        xml_row,
+        pkg_install,
+    ];
+    let multi: [fn(u64) -> RecordTypeSpec; 6] = [
+        http_block,
+        crash_block,
+        fastq_block,
+        district_block,
+        blog_block,
+        gc_block,
+    ];
+
+    let mut specs = Vec::with_capacity(100);
+    let mut idx = 0u64;
+
+    // 44 single-line, non-interleaved.
+    for i in 0..44u64 {
+        idx += 1;
+        let family = single[(i % single.len() as u64) as usize];
+        let noise = [0.0, 0.02, 0.05][(i % 3) as usize];
+        specs.push(
+            DatasetSpec::new(
+                format!("gh_sni_{i:02}"),
+                vec![family(i)],
+                420 + (i as usize % 5) * 60,
+                9000 + idx,
+            )
+            .with_noise(noise),
+        );
+    }
+    // 14 single-line, interleaved (two single-line record types).
+    for i in 0..14u64 {
+        idx += 1;
+        let a = single[(i % single.len() as u64) as usize];
+        let b = single[((i + 5) % single.len() as u64) as usize];
+        specs.push(
+            DatasetSpec::new(
+                format!("gh_si_{i:02}"),
+                vec![a(i), b(i + 1).with_weight(0.6)],
+                480,
+                9100 + idx,
+            )
+            .with_noise([0.0, 0.03][(i % 2) as usize]),
+        );
+    }
+    // 13 multi-line, non-interleaved.
+    for i in 0..13u64 {
+        idx += 1;
+        let family = multi[(i % multi.len() as u64) as usize];
+        specs.push(
+            DatasetSpec::new(format!("gh_mni_{i:02}"), vec![family(i)], 220, 9200 + idx)
+                .with_noise([0.0, 0.03, 0.05][(i % 3) as usize]),
+        );
+    }
+    // 18 multi-line, interleaved (one multi-line plus one single-line type).
+    for i in 0..18u64 {
+        idx += 1;
+        let m = multi[(i % multi.len() as u64) as usize];
+        let s = single[(i % single.len() as u64) as usize];
+        specs.push(
+            DatasetSpec::new(
+                format!("gh_mi_{i:02}"),
+                vec![m(i), s(i).with_weight(1.2)],
+                300,
+                9300 + idx,
+            )
+            .with_noise([0.0, 0.02, 0.04][(i % 3) as usize]),
+        );
+    }
+    // 11 no-structure datasets.
+    for i in 0..11u64 {
+        idx += 1;
+        specs.push(DatasetSpec::new(format!("gh_ns_{i:02}"), vec![], 350, 9400 + idx));
+    }
+
+    specs
+}
+
+/// Counts the datasets of a corpus per label (used to print Table 4 / Figure 17a).
+pub fn label_distribution(specs: &[DatasetSpec]) -> Vec<(DatasetLabel, usize)> {
+    DatasetLabel::all()
+        .iter()
+        .map(|l| (*l, specs.iter().filter(|s| s.label() == *l).count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_corpus_has_25_datasets_matching_table_5_shape() {
+        let specs = manual_25();
+        assert_eq!(specs.len(), 25);
+        // The first 15 (Fisher et al.) are single-line; netstat has two record types.
+        for spec in &specs[..15] {
+            assert!(spec.max_record_span() <= 1, "{} spans {}", spec.name, spec.max_record_span());
+        }
+        assert_eq!(specs[8].record_types.len(), 2, "netstat has two record types");
+        // The extended set contains multi-line and interleaved datasets.
+        assert!(specs[15..].iter().any(|s| s.max_record_span() >= 4));
+        assert!(specs[15..].iter().any(|s| s.record_types.len() > 1));
+        // All names are unique.
+        let names: std::collections::HashSet<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), 25);
+    }
+
+    #[test]
+    fn github_corpus_matches_figure_17a_distribution() {
+        let specs = github_100();
+        assert_eq!(specs.len(), 100);
+        let dist = label_distribution(&specs);
+        let get = |label: DatasetLabel| dist.iter().find(|(l, _)| *l == label).unwrap().1;
+        assert_eq!(get(DatasetLabel::SingleLineNonInterleaved), 44);
+        assert_eq!(get(DatasetLabel::SingleLineInterleaved), 14);
+        assert_eq!(get(DatasetLabel::MultiLineNonInterleaved), 13);
+        assert_eq!(get(DatasetLabel::MultiLineInterleaved), 18);
+        assert_eq!(get(DatasetLabel::NoStructure), 11);
+    }
+
+    #[test]
+    fn github_corpus_datasets_generate_reasonable_sizes() {
+        let specs = github_100();
+        for spec in specs.iter().step_by(9) {
+            let data = spec.generate();
+            assert!(data.len() > 4_000, "{} only {} bytes", spec.name, data.len());
+            assert!(data.len() < 200_000, "{} too large: {} bytes", spec.name, data.len());
+        }
+    }
+
+    #[test]
+    fn record_spans_stay_within_the_papers_l_limit() {
+        for spec in manual_25().iter().chain(github_100().iter()) {
+            for t in &spec.record_types {
+                assert!(
+                    t.min_line_span() <= 10,
+                    "{}::{} spans {} lines (> L)",
+                    spec.name,
+                    t.name,
+                    t.min_line_span()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gc_block_span_is_bounded_even_at_max_repetitions() {
+        // 1 header + 4 region lines + 1 total line = 6 <= 10.
+        let t = gc_block(0);
+        assert!(t.min_line_span() >= 4);
+        let spec = DatasetSpec::new("gc", vec![t], 50, 3);
+        let data = spec.generate();
+        for r in &data.records {
+            assert!(r.line_end - r.line_start <= 10);
+        }
+    }
+
+    #[test]
+    fn corpora_are_deterministic() {
+        let a = manual_25()[2].generate();
+        let b = manual_25()[2].generate();
+        assert_eq!(a.text, b.text);
+        let a = github_100()[50].generate();
+        let b = github_100()[50].generate();
+        assert_eq!(a.text, b.text);
+    }
+
+    #[test]
+    fn every_structured_dataset_has_ground_truth_targets() {
+        for spec in manual_25() {
+            let data = spec.with_records(40).generate();
+            assert!(!data.records.is_empty());
+            assert!(data.records.iter().all(|r| !r.fields.is_empty()));
+        }
+    }
+
+    #[test]
+    fn family_variants_differ() {
+        assert_ne!(web_access(0), web_access(1));
+        assert_ne!(csv_transactions(0), csv_transactions(1));
+    }
+}

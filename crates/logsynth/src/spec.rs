@@ -1,0 +1,338 @@
+//! Dataset specifications: the "schema" of a synthetic log dataset, from which text with
+//! ground truth is generated.
+
+use crate::value::FieldKind;
+use serde::{Deserialize, Serialize};
+
+/// One piece of a record template, in the order it appears in the record text.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Segment {
+    /// Literal formatting text (may contain `\n` to make the record span multiple lines).
+    Literal(String),
+    /// A field: one *intended extraction target* in the sense of §5.1.
+    Field(FieldKind),
+    /// A repeated group (a list): between `min` and `max` copies of `body`, separated by
+    /// `separator`.  Each field inside each copy is an intended extraction target.
+    Repeat {
+        /// The repeated body.
+        body: Vec<Segment>,
+        /// Separator emitted between copies.
+        separator: String,
+        /// Minimum number of copies (must be at least 1).
+        min: usize,
+        /// Maximum number of copies.
+        max: usize,
+    },
+}
+
+impl Segment {
+    fn min_newlines(&self) -> usize {
+        match self {
+            Segment::Literal(s) => s.matches('\n').count(),
+            Segment::Field(_) => 0,
+            Segment::Repeat { body, separator, min, .. } => {
+                let body_newlines: usize = body.iter().map(Segment::min_newlines).sum();
+                body_newlines * min.max(&1) + separator.matches('\n').count() * (min.saturating_sub(1))
+            }
+        }
+    }
+
+    fn has_repeat(&self) -> bool {
+        matches!(self, Segment::Repeat { .. })
+    }
+}
+
+/// The specification of one record type.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecordTypeSpec {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// Relative weight when several record types are interleaved.
+    pub weight: f64,
+    /// The segments making up one record, in order.  The generated record always ends with a
+    /// newline (one is appended if the last segment does not provide it).
+    pub segments: Vec<Segment>,
+}
+
+impl RecordTypeSpec {
+    /// Creates a record type with weight 1.
+    pub fn new(name: impl Into<String>, segments: Vec<Segment>) -> Self {
+        RecordTypeSpec {
+            name: name.into(),
+            weight: 1.0,
+            segments,
+        }
+    }
+
+    /// Builder-style weight setter.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Minimum number of lines a record of this type spans.
+    pub fn min_line_span(&self) -> usize {
+        let newlines: usize = self.segments.iter().map(Segment::min_newlines).sum();
+        // The trailing newline terminates the last line, so the span equals the newline count
+        // (with at least one line).
+        newlines.max(0) + if self.ends_with_newline() { 0 } else { 1 }
+    }
+
+    /// Whether the final segment already ends the record with `\n`.
+    pub fn ends_with_newline(&self) -> bool {
+        match self.segments.last() {
+            Some(Segment::Literal(s)) => s.ends_with('\n'),
+            _ => false,
+        }
+    }
+
+    /// Number of intended extraction targets per record (list fields count once per minimum
+    /// repetition).
+    pub fn min_target_count(&self) -> usize {
+        fn count(seg: &Segment) -> usize {
+            match seg {
+                Segment::Literal(_) => 0,
+                Segment::Field(_) => 1,
+                Segment::Repeat { body, min, .. } => {
+                    body.iter().map(count).sum::<usize>() * min.max(&1)
+                }
+            }
+        }
+        self.segments.iter().map(count).sum()
+    }
+
+    /// `true` if the record type contains a variable-length list.
+    pub fn has_list(&self) -> bool {
+        self.segments.iter().any(Segment::has_repeat)
+    }
+}
+
+/// Classification of a dataset, following Table 4 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetLabel {
+    /// `S(NI)`: only single-line records, one record type.
+    SingleLineNonInterleaved,
+    /// `S(I)`: only single-line records, more than one record type.
+    SingleLineInterleaved,
+    /// `M(NI)`: contains multi-line records, one record type.
+    MultiLineNonInterleaved,
+    /// `M(I)`: contains multi-line records, more than one record type.
+    MultiLineInterleaved,
+    /// `NS`: no extractable structure.
+    NoStructure,
+}
+
+impl DatasetLabel {
+    /// The short label used in the paper's figures.
+    pub fn short(&self) -> &'static str {
+        match self {
+            DatasetLabel::SingleLineNonInterleaved => "S(NI)",
+            DatasetLabel::SingleLineInterleaved => "S(I)",
+            DatasetLabel::MultiLineNonInterleaved => "M(NI)",
+            DatasetLabel::MultiLineInterleaved => "M(I)",
+            DatasetLabel::NoStructure => "NS",
+        }
+    }
+
+    /// All labels in the order the paper reports them.
+    pub fn all() -> [DatasetLabel; 5] {
+        [
+            DatasetLabel::SingleLineNonInterleaved,
+            DatasetLabel::SingleLineInterleaved,
+            DatasetLabel::MultiLineNonInterleaved,
+            DatasetLabel::MultiLineInterleaved,
+            DatasetLabel::NoStructure,
+        ]
+    }
+}
+
+/// Specification of a complete synthetic dataset.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name.
+    pub name: String,
+    /// The record types interleaved in the dataset (empty for a no-structure dataset).
+    pub record_types: Vec<RecordTypeSpec>,
+    /// Total number of records to generate.
+    pub n_records: usize,
+    /// Probability of inserting an unstructured noise line after each record.
+    pub noise_ratio: f64,
+    /// RNG seed making generation reproducible.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Creates a dataset spec with no noise.
+    pub fn new(name: impl Into<String>, record_types: Vec<RecordTypeSpec>, n_records: usize, seed: u64) -> Self {
+        DatasetSpec {
+            name: name.into(),
+            record_types,
+            n_records,
+            noise_ratio: 0.0,
+            seed,
+        }
+    }
+
+    /// Builder-style noise-ratio setter.
+    pub fn with_noise(mut self, ratio: f64) -> Self {
+        self.noise_ratio = ratio;
+        self
+    }
+
+    /// Builder-style record-count setter.
+    pub fn with_records(mut self, n: usize) -> Self {
+        self.n_records = n;
+        self
+    }
+
+    /// The dataset's classification per Table 4.
+    pub fn label(&self) -> DatasetLabel {
+        if self.record_types.is_empty() {
+            return DatasetLabel::NoStructure;
+        }
+        let multi_line = self.record_types.iter().any(|t| t.min_line_span() > 1);
+        let interleaved = self.record_types.len() > 1;
+        match (multi_line, interleaved) {
+            (false, false) => DatasetLabel::SingleLineNonInterleaved,
+            (false, true) => DatasetLabel::SingleLineInterleaved,
+            (true, false) => DatasetLabel::MultiLineNonInterleaved,
+            (true, true) => DatasetLabel::MultiLineInterleaved,
+        }
+    }
+
+    /// Maximum record span in lines across the record types (0 for a no-structure dataset).
+    pub fn max_record_span(&self) -> usize {
+        self.record_types
+            .iter()
+            .map(RecordTypeSpec::min_line_span)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Convenience constructors for segments.
+pub mod seg {
+    use super::Segment;
+    use crate::value::FieldKind;
+
+    /// Literal text.
+    pub fn lit(s: &str) -> Segment {
+        Segment::Literal(s.to_string())
+    }
+
+    /// A field of the given kind.
+    pub fn field(kind: FieldKind) -> Segment {
+        Segment::Field(kind)
+    }
+
+    /// A repeated group.
+    pub fn repeat(body: Vec<Segment>, separator: &str, min: usize, max: usize) -> Segment {
+        Segment::Repeat {
+            body,
+            separator: separator.to_string(),
+            min,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seg::*;
+    use super::*;
+    use crate::value::FieldKind;
+
+    fn single_line_type() -> RecordTypeSpec {
+        RecordTypeSpec::new(
+            "web",
+            vec![
+                lit("["),
+                field(FieldKind::ClockTime),
+                lit("] "),
+                field(FieldKind::IpV4),
+                lit("\n"),
+            ],
+        )
+    }
+
+    fn multi_line_type() -> RecordTypeSpec {
+        RecordTypeSpec::new(
+            "block",
+            vec![
+                lit("BEGIN "),
+                field(FieldKind::Integer { min: 0, max: 99 }),
+                lit("\nuser="),
+                field(FieldKind::Identifier),
+                lit("\n"),
+            ],
+        )
+    }
+
+    #[test]
+    fn line_span_of_single_and_multi_line_types() {
+        assert_eq!(single_line_type().min_line_span(), 1);
+        assert_eq!(multi_line_type().min_line_span(), 2);
+    }
+
+    #[test]
+    fn target_count_counts_fields() {
+        assert_eq!(single_line_type().min_target_count(), 2);
+        assert_eq!(multi_line_type().min_target_count(), 2);
+        let with_list = RecordTypeSpec::new(
+            "list",
+            vec![
+                field(FieldKind::Word),
+                lit(": "),
+                repeat(vec![field(FieldKind::Integer { min: 0, max: 9 })], ",", 2, 5),
+                lit("\n"),
+            ],
+        );
+        assert_eq!(with_list.min_target_count(), 3);
+        assert!(with_list.has_list());
+    }
+
+    #[test]
+    fn labels_follow_table_4() {
+        let s = DatasetSpec::new("a", vec![single_line_type()], 10, 1);
+        assert_eq!(s.label(), DatasetLabel::SingleLineNonInterleaved);
+        let si = DatasetSpec::new("b", vec![single_line_type(), single_line_type()], 10, 1);
+        assert_eq!(si.label(), DatasetLabel::SingleLineInterleaved);
+        let m = DatasetSpec::new("c", vec![multi_line_type()], 10, 1);
+        assert_eq!(m.label(), DatasetLabel::MultiLineNonInterleaved);
+        let mi = DatasetSpec::new("d", vec![multi_line_type(), single_line_type()], 10, 1);
+        assert_eq!(mi.label(), DatasetLabel::MultiLineInterleaved);
+        let ns = DatasetSpec::new("e", vec![], 10, 1);
+        assert_eq!(ns.label(), DatasetLabel::NoStructure);
+    }
+
+    #[test]
+    fn label_short_names_match_paper() {
+        let shorts: Vec<&str> = DatasetLabel::all().iter().map(|l| l.short()).collect();
+        assert_eq!(shorts, vec!["S(NI)", "S(I)", "M(NI)", "M(I)", "NS"]);
+    }
+
+    #[test]
+    fn max_record_span_takes_the_largest_type() {
+        let mi = DatasetSpec::new("d", vec![multi_line_type(), single_line_type()], 10, 1);
+        assert_eq!(mi.max_record_span(), 2);
+        assert_eq!(DatasetSpec::new("e", vec![], 10, 1).max_record_span(), 0);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let spec = DatasetSpec::new("x", vec![single_line_type()], 10, 1)
+            .with_noise(0.1)
+            .with_records(50);
+        assert_eq!(spec.n_records, 50);
+        assert!((spec.noise_ratio - 0.1).abs() < 1e-12);
+        let t = single_line_type().with_weight(2.5);
+        assert!((t.weight - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ends_with_newline_detection() {
+        assert!(single_line_type().ends_with_newline());
+        let no_nl = RecordTypeSpec::new("x", vec![field(FieldKind::Word)]);
+        assert!(!no_nl.ends_with_newline());
+    }
+}

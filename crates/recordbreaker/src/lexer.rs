@@ -1,0 +1,200 @@
+//! Fixed, Flex-style lexer used by the RecordBreaker baseline.
+//!
+//! RecordBreaker tokenizes every line with a *fixed* lexer configuration before inferring a
+//! schema (the paper notes this inflexibility as one reason it struggles on real log files).
+//! The default token classes below mirror a typical Flex specification: integers, decimals,
+//! hexadecimal identifiers, words, quoted strings, whitespace runs, and single punctuation
+//! characters.
+
+use serde::{Deserialize, Serialize};
+
+/// The class of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Decimal integer.
+    Int,
+    /// Decimal number with a fractional part.
+    Float,
+    /// Hexadecimal literal of at least four digits containing a letter.
+    Hex,
+    /// Alphabetic / alphanumeric word.
+    Word,
+    /// Double-quoted string (quotes included in the span).
+    Quoted,
+    /// A run of spaces or tabs.
+    Whitespace,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+impl TokenKind {
+    /// `true` for token kinds that carry data (columns), `false` for delimiters.
+    pub fn is_value(&self) -> bool {
+        !matches!(self, TokenKind::Whitespace | TokenKind::Punct(_))
+    }
+}
+
+/// One token with its byte span (absolute offsets into the full text).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `text`.
+    pub fn text<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.start..self.end]
+    }
+}
+
+/// Tokenizes the line `text[line_start..line_end]` (newline excluded by the caller).
+pub fn tokenize(text: &str, line_start: usize, line_end: usize) -> Vec<Token> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = line_start;
+    while i < line_end {
+        let b = bytes[i];
+        let start = i;
+        let kind = if b == b' ' || b == b'\t' {
+            while i < line_end && (bytes[i] == b' ' || bytes[i] == b'\t') {
+                i += 1;
+            }
+            TokenKind::Whitespace
+        } else if b == b'"' {
+            i += 1;
+            while i < line_end && bytes[i] != b'"' {
+                i += 1;
+            }
+            if i < line_end {
+                i += 1;
+            }
+            TokenKind::Quoted
+        } else if b.is_ascii_digit() {
+            while i < line_end && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < line_end && bytes[i] == b'.' && i + 1 < line_end && bytes[i + 1].is_ascii_digit()
+            {
+                i += 1;
+                while i < line_end && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                TokenKind::Float
+            } else if i < line_end
+                && (bytes[i].is_ascii_hexdigit() && !bytes[i].is_ascii_digit())
+            {
+                while i < line_end && bytes[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                TokenKind::Hex
+            } else {
+                TokenKind::Int
+            }
+        } else if b.is_ascii_alphabetic() || b == b'_' {
+            while i < line_end && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            TokenKind::Word
+        } else if b < 0x80 {
+            i += 1;
+            TokenKind::Punct(b as char)
+        } else {
+            // Multi-byte UTF-8: treat the whole code point as a word character run.
+            let ch = text[i..].chars().next().expect("valid utf-8");
+            i += ch.len_utf8();
+            while i < line_end && bytes[i] >= 0x80 {
+                let ch = text[i..].chars().next().expect("valid utf-8");
+                i += ch.len_utf8();
+            }
+            TokenKind::Word
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        tokenize(s, 0, s.len()).iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_ints_words_and_punctuation() {
+        assert_eq!(
+            kinds("abc 123,x"),
+            vec![
+                TokenKind::Word,
+                TokenKind::Whitespace,
+                TokenKind::Int,
+                TokenKind::Punct(','),
+                TokenKind::Word
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_floats_and_hex() {
+        assert_eq!(kinds("3.14"), vec![TokenKind::Float]);
+        assert_eq!(kinds("7f3a"), vec![TokenKind::Hex]);
+        assert_eq!(kinds("42"), vec![TokenKind::Int]);
+    }
+
+    #[test]
+    fn tokenizes_quoted_strings_as_one_token() {
+        let toks = tokenize("\"a, b\",c", 0, 8);
+        assert_eq!(toks[0].kind, TokenKind::Quoted);
+        assert_eq!(toks[0].text("\"a, b\",c"), "\"a, b\"");
+        assert_eq!(toks[1].kind, TokenKind::Punct(','));
+    }
+
+    #[test]
+    fn whitespace_runs_collapse_into_one_token() {
+        assert_eq!(kinds("a   b"), vec![TokenKind::Word, TokenKind::Whitespace, TokenKind::Word]);
+    }
+
+    #[test]
+    fn spans_are_absolute_offsets() {
+        let text = "xx\nab 12\n";
+        let toks = tokenize(text, 3, 8);
+        assert_eq!(toks[0].text(text), "ab");
+        assert_eq!(toks[2].text(text), "12");
+        assert_eq!(toks[2].start, 6);
+    }
+
+    #[test]
+    fn value_kinds_are_flagged() {
+        assert!(TokenKind::Int.is_value());
+        assert!(TokenKind::Word.is_value());
+        assert!(!TokenKind::Whitespace.is_value());
+        assert!(!TokenKind::Punct(',').is_value());
+    }
+
+    #[test]
+    fn empty_line_has_no_tokens() {
+        assert!(tokenize("", 0, 0).is_empty());
+    }
+
+    #[test]
+    fn ip_address_lexes_with_the_greedy_float_rule() {
+        // A fixed Flex-style lexer greedily matches FLOAT, so an IPv4 address becomes
+        // FLOAT '.' FLOAT — one of the tokenization quirks the paper attributes to
+        // RecordBreaker's fixed configuration.
+        let k = kinds("10.0.0.1");
+        assert_eq!(
+            k,
+            vec![TokenKind::Float, TokenKind::Punct('.'), TokenKind::Float]
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # recordbreaker
+//!
+//! A Rust reimplementation of the RecordBreaker baseline used in the DATAMARAN evaluation
+//! (§5.3): an unsupervised, line-by-line adaptation of Fisher et al.'s PADS structure
+//! learner.
+//!
+//! The baseline makes the two assumptions Datamaran drops (Table 1):
+//!
+//! * **Boundary** — every record is exactly one line;
+//! * **Tokenization** — a fixed, Flex-style lexer decides up front which characters are
+//!   delimiters and which are data.
+//!
+//! It then infers a struct / array / union schema per file from token histograms
+//! (`MinCoverage` / `MaxMass` parameters) and extracts one row per line.  Multi-line records,
+//! noise lines, and interleaved record types are precisely where it breaks down, which is what
+//! Figure 17b measures.
+//!
+//! ```
+//! use recordbreaker::RecordBreaker;
+//!
+//! let out = RecordBreaker::with_defaults().extract("1,alice\n2,bob\n");
+//! assert_eq!(out.records.len(), 2);
+//! assert_eq!(out.branches.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod infer;
+pub mod lexer;
+
+pub use infer::{
+    BaseKind, Branch, RbCell, RbRecord, RecordBreaker, RecordBreakerConfig, RecordBreakerResult,
+    Schema,
+};
+pub use lexer::{tokenize, Token, TokenKind};

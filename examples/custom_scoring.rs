@@ -1,0 +1,68 @@
+//! Pluggable regularity scores (§4: "we can plug in any reasonable scoring function into
+//! Datamaran, and the algorithm would function as before").
+//!
+//! This example extracts the same noisy log with four different scorers and shows how the
+//! chosen structure template changes (or does not), which is exactly what the ablation
+//! benchmark measures corpus-wide.
+//!
+//! Run with `cargo run --release --example custom_scoring`.
+
+use datamaran::core::{
+    CoverageScorer, Datamaran, MdlScorer, NoisePenaltyScorer, NonFieldCoverageScorer,
+    RegularityScorer, UntypedMdlScorer,
+};
+
+fn sample_log() -> String {
+    let mut log = String::new();
+    for i in 0..250u64 {
+        log.push_str(&format!(
+            "{:02}:{:02}:{:02} srv{} request id={} latency={}ms status={}\n",
+            i % 24,
+            (i * 3) % 60,
+            (i * 7) % 60,
+            i % 5,
+            1000 + i,
+            (i * 13) % 750,
+            [200, 200, 200, 404, 500][(i % 5) as usize],
+        ));
+        if i % 29 == 11 {
+            log.push_str("--- health check probe, no request body ---\n");
+        }
+    }
+    log
+}
+
+fn run<S: RegularityScorer>(name: &str, scorer: &S, log: &str) {
+    let result = Datamaran::with_defaults()
+        .extract_with_scorer(log, scorer)
+        .expect("extraction succeeds");
+    let s = &result.structures[0];
+    println!(
+        "{name:<22} template {:<60} records {:>4}  columns {:>2}  noise {:>4.1}%",
+        s.template.to_string(),
+        s.records.len(),
+        s.template.field_count(),
+        result.noise_fraction * 100.0
+    );
+}
+
+fn main() {
+    let log = sample_log();
+    println!("dataset: {} bytes, {} lines\n", log.len(), log.lines().count());
+
+    run("MDL (default)", &MdlScorer, &log);
+    run("MDL untyped", &UntypedMdlScorer, &log);
+    run("coverage only", &CoverageScorer, &log);
+    run("non-field coverage", &NonFieldCoverageScorer, &log);
+    run(
+        "MDL, noise weight 3x",
+        &NoisePenaltyScorer::new(MdlScorer, 3.0),
+        &log,
+    );
+
+    println!(
+        "\nAll scorers run through the identical generation/pruning/evaluation pipeline; only\n\
+         the evaluation-step ranking changes, so differences in the chosen template isolate\n\
+         the contribution of the scoring function."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: extract structure from a small noisy log with multi-line records.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use datamaran::core::Datamaran;
+
+const LOG: &str = "\
+# service restarted, ignore the lines below\n\
+[00:01:12] 10.0.0.1 GET /index 200\n\
+[00:01:14] 10.0.0.7 GET /about 200\n\
+[00:01:20] 10.0.0.1 POST /login 302\n\
+!! watchdog: heap usage 81% !!\n\
+[00:02:02] 10.0.0.9 GET /index 200\n\
+[00:02:41] 10.0.0.7 GET /static/app.js 304\n\
+[00:03:05] 10.0.0.2 DELETE /session 204\n\
+-----\n\
+[00:03:40] 10.0.0.1 GET /index 500\n\
+[00:04:02] 10.0.0.4 GET /health 200\n\
+";
+
+fn main() {
+    let result = Datamaran::with_defaults()
+        .extract(LOG)
+        .expect("extraction succeeds");
+
+    println!("discovered {} record type(s)\n", result.structures.len());
+    for (i, s) in result.structures.iter().enumerate() {
+        println!("record type {i}");
+        println!("  structure template : {}", s.template);
+        println!("  records extracted  : {}", s.records.len());
+        println!("  dataset coverage   : {:.1}%", s.coverage * 100.0);
+        println!(
+            "  column types       : {:?}",
+            s.column_types.iter().map(|t| t.name()).collect::<Vec<_>>()
+        );
+        let table = &s.denormalized;
+        println!("  first rows of the denormalized table:");
+        for row in table.rows.iter().take(3) {
+            println!("    {row:?}");
+        }
+        println!();
+    }
+    println!(
+        "noise: {} line(s), {:.1}% of the bytes",
+        result.noise_lines.len(),
+        result.noise_fraction * 100.0
+    );
+    println!(
+        "search statistics: {} candidate templates generated, {} kept after pruning, {} charsets enumerated",
+        result.stats.candidates_generated, result.stats.candidates_pruned, result.stats.charsets_enumerated
+    );
+}

@@ -1,0 +1,72 @@
+//! Semantic type awareness (§6.3 "type awareness" enhancement): extract a log whose fields
+//! include IP addresses, timestamps, URLs and severities, then annotate the columns and show
+//! how split composites (IP octets, clock times) are recognized and re-joined.
+//!
+//! Run with `cargo run --release --example semantic_types`.
+
+use datamaran::core::semtype::{annotate_table, SemanticType};
+use datamaran::core::Datamaran;
+
+fn main() {
+    let mut log = String::new();
+    for i in 0..200u32 {
+        log.push_str(&format!(
+            "{:02}:{:02}:{:02} {} 192.168.{}.{} https://svc.example.org/api/v{} {}ms\n",
+            (i / 60) % 24,
+            i % 60,
+            (i * 7) % 60,
+            ["INFO", "WARN", "ERROR"][(i % 3) as usize],
+            i % 4,
+            (i * 13) % 250,
+            i % 3,
+            (i * 11) % 900,
+        ));
+    }
+
+    let result = Datamaran::with_defaults()
+        .extract(&log)
+        .expect("extraction succeeds");
+    let structure = &result.structures[0];
+    println!("template       : {}", structure.template);
+    println!("records        : {}", structure.records.len());
+
+    let annotation = annotate_table(&structure.denormalized);
+    println!("\nper-column semantic types:");
+    for col in &annotation.columns {
+        println!(
+            "  column {:>2}: {:<10} (confidence {:.0}%)",
+            col.column,
+            col.semantic.name(),
+            col.confidence * 100.0
+        );
+    }
+
+    println!("\ncomposite columns (to be re-joined for presentation):");
+    for comp in &annotation.composites {
+        println!(
+            "  columns {}..{} joined with '{}' form one {}",
+            comp.first_column,
+            comp.first_column + comp.width - 1,
+            comp.delimiter,
+            comp.semantic.name()
+        );
+    }
+
+    // Demonstrate re-joining the first composite for the first few records.
+    if let Some(comp) = annotation.composites.first() {
+        println!("\nfirst three re-joined values:");
+        for row in structure.denormalized.rows.iter().take(3) {
+            let joined: Vec<&str> = (comp.first_column..comp.first_column + comp.width)
+                .map(|c| row[c].as_str())
+                .collect();
+            println!("  {}", joined.join(&comp.delimiter.to_string()));
+        }
+    }
+
+    let severities = annotation
+        .columns
+        .iter()
+        .filter(|c| c.semantic == SemanticType::Severity)
+        .count();
+    println!("\nseverity columns detected: {severities}");
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: logsynth corpora → datamaran-core / recordbreaker →
+//! evalkit, exercising the full evaluation path used by the benchmark harness.
+
+use datamaran::core::{Datamaran, DatamaranConfig, SearchStrategy};
+use evalkit::{criteria, view, Extractor};
+use logsynth::{corpus, DatasetLabel, DatasetSpec};
+use recordbreaker::RecordBreaker;
+
+/// Shrinks a spec so the integration tests stay fast while keeping its structure.
+fn small(spec: DatasetSpec, records: usize) -> DatasetSpec {
+    spec.with_records(records)
+}
+
+#[test]
+fn datamaran_extracts_every_fisher_style_dataset() {
+    // The first five manual datasets (Fisher-style, single-line) must all extract
+    // successfully with the default configuration.
+    for spec in corpus::manual_25().into_iter().take(5) {
+        let data = small(spec, 150).generate();
+        let result = Datamaran::with_defaults()
+            .extract(&data.text)
+            .unwrap_or_else(|e| panic!("{}: {e}", data.name));
+        let outcome = criteria::evaluate(&data, &view::datamaran_view(&data.text, &result));
+        assert!(
+            outcome.success(),
+            "{} failed: {:?}",
+            data.name,
+            outcome.failures
+        );
+    }
+}
+
+#[test]
+fn datamaran_handles_multi_line_github_style_datasets() {
+    let specs: Vec<DatasetSpec> = corpus::github_100()
+        .into_iter()
+        .filter(|s| s.label() == DatasetLabel::MultiLineNonInterleaved)
+        .take(2)
+        .collect();
+    for spec in specs {
+        let data = small(spec, 120).generate();
+        let result = Datamaran::with_defaults().extract(&data.text).unwrap();
+        let outcome = criteria::evaluate(&data, &view::datamaran_view(&data.text, &result));
+        assert!(
+            outcome.boundary_recall > 0.95,
+            "{}: boundary recall {:.2} ({:?})",
+            data.name,
+            outcome.boundary_recall,
+            outcome.failures,
+        );
+    }
+}
+
+#[test]
+fn recordbreaker_cannot_recover_multi_line_boundaries() {
+    let spec = corpus::github_100()
+        .into_iter()
+        .find(|s| s.label() == DatasetLabel::MultiLineNonInterleaved)
+        .expect("corpus has multi-line datasets");
+    let data = small(spec, 100).generate();
+    let rb = RecordBreaker::with_defaults().extract(&data.text);
+    let outcome = criteria::evaluate(&data, &view::recordbreaker_view(&rb));
+    assert!(!outcome.success());
+    assert!(outcome.boundary_recall < 0.05);
+}
+
+#[test]
+fn greedy_and_exhaustive_agree_on_simple_datasets() {
+    let spec = small(corpus::manual_25()[2].clone(), 150);
+    let data = spec.generate();
+    for strategy in [SearchStrategy::Exhaustive, SearchStrategy::Greedy] {
+        let config = DatamaranConfig::default().with_search(strategy);
+        let result = Datamaran::new(config).unwrap().extract(&data.text).unwrap();
+        let outcome = criteria::evaluate(&data, &view::datamaran_view(&data.text, &result));
+        assert!(
+            outcome.success(),
+            "{} with {} search failed: {:?}",
+            data.name,
+            strategy.name(),
+            outcome.failures
+        );
+    }
+}
+
+#[test]
+fn no_structure_dataset_is_not_misreported_as_structured_success() {
+    let spec = corpus::github_100()
+        .into_iter()
+        .find(|s| s.label() == DatasetLabel::NoStructure)
+        .unwrap();
+    let data = small(spec.clone(), 120).generate();
+    // Whatever Datamaran returns on pure noise, the evaluation must not claim ground-truth
+    // records were recovered (there are none) and the accuracy aggregation excludes it.
+    let eval = evalkit::accuracy::evaluate_spec(
+        &spec.clone().with_records(120),
+        Extractor::DatamaranExhaustive,
+        &DatamaranConfig::default(),
+    );
+    assert_eq!(eval.label, DatasetLabel::NoStructure);
+    assert!(data.records.is_empty());
+}
+
+#[test]
+fn extraction_relational_output_row_counts_match_ground_truth() {
+    let spec = small(corpus::manual_25()[16].clone(), 200); // stackexchange-style XML rows
+    let data = spec.generate();
+    let result = Datamaran::with_defaults().extract(&data.text).unwrap();
+    let total_rows: usize = result
+        .structures
+        .iter()
+        .map(|s| s.relational.root().row_count())
+        .sum();
+    assert!(
+        total_rows >= data.records.len(),
+        "{} rows for {} ground-truth records",
+        total_rows,
+        data.records.len()
+    );
+}
+
+#[test]
+fn user_study_simulation_reproduces_figure_18_failure_pattern() {
+    let mut a_failures = 0;
+    let mut b_failures = 0;
+    let mut r_failures = 0;
+    for spec in evalkit::study_datasets() {
+        let study = evalkit::simulate(&spec.with_records(100));
+        let [a, b, r] = &study.outcomes;
+        a_failures += usize::from(a.operations.is_none());
+        b_failures += usize::from(b.operations.is_none());
+        r_failures += usize::from(r.operations.is_none());
+    }
+    assert_eq!(a_failures, 0, "Datamaran output is always usable");
+    assert!(b_failures >= 2, "noisy multi-line datasets fail from RecordBreaker output");
+    assert!(r_failures >= 2, "noisy multi-line datasets fail from the raw file");
+}

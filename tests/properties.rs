@@ -1,0 +1,148 @@
+//! Property-based tests over the core invariants, spanning the workspace crates.
+
+use datamaran::core::{
+    parse_dataset, reduce, CharSet, Dataset, Datamaran, RecordTemplate, StructureTemplate,
+};
+use logsynth::spec::seg::{field, lit};
+use logsynth::{DatasetSpec, FieldKind, RecordTypeSpec};
+use proptest::prelude::*;
+
+/// Strategy producing field values that contain no formatting characters.
+fn field_value() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9]{1,12}"
+}
+
+/// Strategy producing a simple separator character.
+fn separator() -> impl Strategy<Value = char> {
+    prop_oneof![Just(','), Just(';'), Just('|'), Just(':'), Just(' ')]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Extracting the record template of an instantiated record and re-checking generation is
+    /// a closed loop (Definition 2.1/2.2).
+    #[test]
+    fn record_template_roundtrip(values in prop::collection::vec(field_value(), 1..8), sep in separator()) {
+        let line = format!("{}\n", values.join(&sep.to_string()));
+        let charset = CharSet::from_chars([sep, '\n']);
+        let template = RecordTemplate::from_instantiated(&line, &charset);
+        prop_assert!(template.generates(&line, &charset));
+        prop_assert_eq!(template.field_count(), values.len());
+    }
+
+    /// Reduction never loses the template's character set and its minimal expansion is never
+    /// longer than the original record template.
+    #[test]
+    fn reduction_preserves_charset_and_shrinks(values in prop::collection::vec(field_value(), 2..12), sep in separator()) {
+        let line = format!("{}\n", values.join(&sep.to_string()));
+        let charset = CharSet::from_chars([sep, '\n']);
+        let rt = RecordTemplate::from_instantiated(&line, &charset);
+        let st = reduce(&rt);
+        prop_assert!(st.char_set().is_subset(&charset));
+        prop_assert!(st.min_expansion().len() <= rt.len());
+    }
+
+    /// A reduced template always matches the record it was reduced from.
+    #[test]
+    fn reduced_template_matches_its_source(values in prop::collection::vec(field_value(), 1..10), sep in separator()) {
+        let line = format!("{}\n", values.join(&sep.to_string()));
+        let charset = CharSet::from_chars([sep, '\n']);
+        let st = reduce(&RecordTemplate::from_instantiated(&line, &charset));
+        let dataset = Dataset::new(line.clone());
+        let parse = parse_dataset(&dataset, std::slice::from_ref(&st), 10);
+        prop_assert_eq!(parse.records.len(), 1, "template {} vs line {:?}", st, line);
+        prop_assert!(parse.noise_lines.is_empty());
+    }
+
+    /// Parsing never double-counts bytes: records plus noise tile the dataset exactly.
+    #[test]
+    fn parse_partitions_the_dataset(lines in prop::collection::vec(prop::collection::vec(field_value(), 1..6), 1..20), sep in separator()) {
+        let mut text = String::new();
+        for fields in &lines {
+            text.push_str(&fields.join(&sep.to_string()));
+            text.push('\n');
+        }
+        let charset = CharSet::from_chars([sep, '\n']);
+        let first_line = format!("{}\n", lines[0].join(&sep.to_string()));
+        let st = StructureTemplate::from_record_template(
+            &RecordTemplate::from_instantiated(&first_line, &charset),
+        );
+        let dataset = Dataset::new(text.clone());
+        let parse = parse_dataset(&dataset, std::slice::from_ref(&st), 10);
+        prop_assert_eq!(parse.record_bytes + parse.noise_bytes, text.len());
+    }
+
+    /// The sampling used by the search steps is always line-aligned and within budget.
+    #[test]
+    fn sampling_is_line_aligned(n_lines in 50usize..400, budget in 256usize..2048, seed in any::<u64>()) {
+        let mut text = String::new();
+        for i in 0..n_lines {
+            text.push_str(&format!("entry,{i},{}\n", i * 3));
+        }
+        let dataset = Dataset::new(text.clone());
+        let sample = dataset.sample(budget, 4, seed);
+        prop_assert!(sample.len() <= budget + 64);
+        for i in 0..sample.line_count() {
+            prop_assert!(text.contains(sample.line(i)));
+        }
+    }
+
+    /// Ground-truth spans emitted by the generator always match the generated text, for
+    /// arbitrary record shapes.
+    #[test]
+    fn generator_ground_truth_is_consistent(
+        n_records in 5usize..40,
+        seed in any::<u64>(),
+        sep in separator(),
+        noise in 0.0f64..0.3,
+    ) {
+        let record_type = RecordTypeSpec::new(
+            "t",
+            vec![
+                field(FieldKind::Integer { min: 0, max: 9999 }),
+                lit(&sep.to_string()),
+                field(FieldKind::Word),
+                lit(&sep.to_string()),
+                field(FieldKind::IpV4),
+                lit("\n"),
+            ],
+        );
+        let data = DatasetSpec::new("prop", vec![record_type], n_records, seed)
+            .with_noise(noise)
+            .generate();
+        prop_assert_eq!(data.records.len(), n_records);
+        for rec in &data.records {
+            for f in &rec.fields {
+                prop_assert_eq!(&data.text[f.start..f.end], f.value.as_str());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// End-to-end: for a simple generated dataset of any size, Datamaran extracts at least as
+    /// many records as the ground truth contains and never reports more bytes than exist.
+    #[test]
+    fn extraction_is_sane_on_random_simple_datasets(n_records in 40usize..120, seed in any::<u64>()) {
+        let record_type = RecordTypeSpec::new(
+            "kv",
+            vec![
+                lit("ts="),
+                field(FieldKind::Epoch),
+                lit(" level="),
+                field(FieldKind::Level),
+                lit(" msg="),
+                field(FieldKind::Word),
+                lit("\n"),
+            ],
+        );
+        let data = DatasetSpec::new("prop_e2e", vec![record_type], n_records, seed).generate();
+        let result = Datamaran::with_defaults().extract(&data.text).unwrap();
+        let extracted: usize = result.structures.iter().map(|s| s.records.len()).sum();
+        prop_assert!(extracted >= n_records, "extracted {} of {}", extracted, n_records);
+        prop_assert!(result.noise_fraction <= 1.0);
+    }
+}
