@@ -36,8 +36,7 @@ fn bench_params(c: &mut Criterion) {
     group.sample_size(10);
     for l in [2usize, 15] {
         group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
-            let engine =
-                Datamaran::new(DatamaranConfig::default().with_max_line_span(l)).unwrap();
+            let engine = Datamaran::new(DatamaranConfig::default().with_max_line_span(l)).unwrap();
             b.iter(|| engine.extract(&text).unwrap().record_count());
         });
     }

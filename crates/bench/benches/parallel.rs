@@ -25,7 +25,11 @@ fn bench_parallel(c: &mut Criterion) {
                     threads,
                     min_chunk_lines: 256,
                 };
-                b.iter(|| parse_dataset_parallel(&dataset, &templates, 10, options).records.len());
+                b.iter(|| {
+                    parse_dataset_parallel(&dataset, &templates, 10, options)
+                        .records
+                        .len()
+                });
             },
         );
     }

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use datamaran_bench::scalable_weblog;
 use datamaran_core::{
-    assimilation::prune, generate, parse_dataset, refine::Refiner, Dataset, DatamaranConfig,
+    assimilation::prune, generate, parse_dataset, refine::Refiner, DatamaranConfig, Dataset,
     MdlScorer,
 };
 
@@ -25,7 +25,11 @@ fn bench_steps(c: &mut Criterion) {
 
     let generation = generate(&sample, &config);
     group.bench_function("pruning", |b| {
-        b.iter(|| prune(generation.candidates.clone(), config.prune_keep).kept.len())
+        b.iter(|| {
+            prune(generation.candidates.clone(), config.prune_keep)
+                .kept
+                .len()
+        })
     });
 
     let pruned = prune(generation.candidates.clone(), config.prune_keep);

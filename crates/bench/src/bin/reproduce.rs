@@ -22,11 +22,28 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let mut sections: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "--fast").collect();
+    let mut sections: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| *a != "--fast")
+        .collect();
     if sections.is_empty() || sections.contains(&"all") {
         sections = vec![
-            "table1", "table2", "table5", "manual-accuracy", "table3", "fig14a", "fig14b",
-            "fig15", "fig16", "table4", "fig17a", "fig17b", "fig18", "ablation",
+            "table1",
+            "table2",
+            "table5",
+            "manual-accuracy",
+            "table3",
+            "fig14a",
+            "fig14b",
+            "fig15",
+            "fig16",
+            "table4",
+            "fig17a",
+            "fig17b",
+            "fig18",
+            "ablation",
+            "generation",
         ];
     }
     let started = Instant::now();
@@ -46,10 +63,14 @@ fn main() {
             "fig17b" => fig17b(fast),
             "fig18" => fig18(fast),
             "ablation" => ablation(fast),
+            "generation" => generation_bench(fast),
             other => eprintln!("unknown section `{other}` (skipped)"),
         }
     }
-    println!("\n[reproduce] finished in {}", fmt_secs(started.elapsed().as_secs_f64()));
+    println!(
+        "\n[reproduce] finished in {}",
+        fmt_secs(started.elapsed().as_secs_f64())
+    );
 }
 
 fn heading(title: &str) {
@@ -64,7 +85,10 @@ fn heading(title: &str) {
 
 fn table1() {
     heading("Table 1 — Assumption comparison chart");
-    println!("{:<22}{:>16}{:>12}", "Assumption", "RecordBreaker", "Datamaran");
+    println!(
+        "{:<22}{:>16}{:>12}",
+        "Assumption", "RecordBreaker", "Datamaran"
+    );
     for (name, rb, dm) in [
         ("Coverage Threshold", "No", "Yes"),
         ("Non-overlapping", "Yes", "Yes"),
@@ -79,11 +103,17 @@ fn table1() {
 fn table2() {
     heading("Table 2 — Parameters and defaults used in this reproduction");
     let c = DatamaranConfig::default();
-    println!("alpha (min coverage threshold)     : {:.0}%", c.alpha * 100.0);
+    println!(
+        "alpha (min coverage threshold)     : {:.0}%",
+        c.alpha * 100.0
+    );
     println!("L (max record span, lines)         : {}", c.max_line_span);
     println!("M (templates kept after pruning)   : {}", c.prune_keep);
     println!("search strategy                    : {}", c.search.name());
-    println!("sample budget (S_data)             : {} KiB", c.sample_bytes / 1024);
+    println!(
+        "sample budget (S_data)             : {} KiB",
+        c.sample_bytes / 1024
+    );
     println!("beam width (interleaved handling)  : {}", c.beam_width);
 }
 
@@ -279,12 +309,27 @@ fn fig16(fast: bool) {
     );
 
     let grid: Vec<(String, DatamaranConfig)> = vec![
-        ("M=10,  a=10%, L=10".into(), DatamaranConfig::default().with_prune_keep(10)),
+        (
+            "M=10,  a=10%, L=10".into(),
+            DatamaranConfig::default().with_prune_keep(10),
+        ),
         ("M=50,  a=10%, L=10".into(), DatamaranConfig::default()),
-        ("M=1000,a=10%, L=10".into(), DatamaranConfig::default().with_prune_keep(1000)),
-        ("M=50,  a=5%,  L=10".into(), DatamaranConfig::default().with_alpha(0.05)),
-        ("M=50,  a=20%, L=10".into(), DatamaranConfig::default().with_alpha(0.20)),
-        ("M=50,  a=10%, L=5 ".into(), DatamaranConfig::default().with_max_line_span(5)),
+        (
+            "M=1000,a=10%, L=10".into(),
+            DatamaranConfig::default().with_prune_keep(1000),
+        ),
+        (
+            "M=50,  a=5%,  L=10".into(),
+            DatamaranConfig::default().with_alpha(0.05),
+        ),
+        (
+            "M=50,  a=20%, L=10".into(),
+            DatamaranConfig::default().with_alpha(0.20),
+        ),
+        (
+            "M=50,  a=10%, L=5 ".into(),
+            DatamaranConfig::default().with_max_line_span(5),
+        ),
     ];
     println!("{:<22}{:>28}", "configuration", "finds optimal template");
     for (name, config) in grid {
@@ -318,11 +363,26 @@ fn fig16(fast: bool) {
 fn table4() {
     heading("Table 4 — GitHub dataset labels");
     for (label, desc) in [
-        ("S (Single-line)", "dataset consists of only single-line records"),
-        ("M (Multi-line)", "dataset contains records spanning multiple lines"),
-        ("NI (Non-Interleaved)", "dataset consists of only one type of records"),
-        ("I (Interleaved)", "dataset contains more than one type of records"),
-        ("NS (No Structure)", "dataset has no structure or violates the §3 assumptions"),
+        (
+            "S (Single-line)",
+            "dataset consists of only single-line records",
+        ),
+        (
+            "M (Multi-line)",
+            "dataset contains records spanning multiple lines",
+        ),
+        (
+            "NI (Non-Interleaved)",
+            "dataset consists of only one type of records",
+        ),
+        (
+            "I (Interleaved)",
+            "dataset contains more than one type of records",
+        ),
+        (
+            "NS (No Structure)",
+            "dataset has no structure or violates the §3 assumptions",
+        ),
     ] {
         println!("  {label:<22} {desc}");
     }
@@ -491,7 +551,12 @@ fn ablation(fast: bool) {
         .with_noise(0.02),
     ];
     if !fast {
-        specs.push(DatasetSpec::new("abl_lists", vec![corpus::district_block(0)], records / 2, 15));
+        specs.push(DatasetSpec::new(
+            "abl_lists",
+            vec![corpus::district_block(0)],
+            records / 2,
+            15,
+        ));
         specs.push(
             DatasetSpec::new("abl_query", vec![corpus::query_log(0)], records, 16).with_noise(0.03),
         );
@@ -513,4 +578,43 @@ fn ablation(fast: bool) {
         );
     }
     println!("(the full pipeline is the reference; drops isolate each ingredient's contribution)");
+}
+
+// -------------------------------------------------------------------------------------------
+// Generation engine benchmark — span backend vs. legacy string-token backend
+
+/// Times the exhaustive generation step with both backends on a ~1 MB synthetic sample
+/// (128 KB with `--fast`) and writes the result to `BENCH_generation.json` so the perf
+/// trajectory of the hot path has a recorded baseline.
+fn generation_bench(fast: bool) {
+    heading("Generation engine — span projections vs. legacy re-tokenization");
+    let bytes = if fast { 128 * 1024 } else { 1024 * 1024 };
+    let bench = datamaran_bench::generation_benchmark(bytes, 1);
+    println!(
+        "sample: {} bytes / {} lines, {} charsets enumerated, {} candidate records",
+        bench.sample_bytes, bench.sample_lines, bench.charsets_enumerated, bench.records_examined
+    );
+    println!("{:<10}{:>14}{:>22}", "backend", "wall time", "records/sec");
+    println!(
+        "{:<10}{:>14}{:>22.0}",
+        "legacy",
+        fmt_secs(bench.legacy_secs),
+        bench.legacy_records_per_sec()
+    );
+    println!(
+        "{:<10}{:>14}{:>22.0}",
+        "spans",
+        fmt_secs(bench.spans_secs),
+        bench.spans_records_per_sec()
+    );
+    println!(
+        "speedup: {:.2}x, outputs identical: {}",
+        bench.speedup(),
+        bench.outputs_identical
+    );
+    let path = "BENCH_generation.json";
+    match std::fs::write(path, bench.to_json() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
 }

@@ -14,10 +14,15 @@ use std::time::Instant;
 pub fn scalable_weblog(target_bytes: usize, seed: u64) -> String {
     // One record is roughly 55 bytes.
     let records = (target_bytes / 55).max(50);
-    DatasetSpec::new("scalable_weblog", vec![corpus::web_access(0)], records, seed)
-        .with_noise(0.02)
-        .generate()
-        .text
+    DatasetSpec::new(
+        "scalable_weblog",
+        vec![corpus::web_access(0)],
+        records,
+        seed,
+    )
+    .with_noise(0.02)
+    .generate()
+    .text
 }
 
 /// A workload whose *structural complexity* (number of structure templates with at least 10%
@@ -86,6 +91,187 @@ pub fn config_with(search: SearchStrategy) -> DatamaranConfig {
     DatamaranConfig::default().with_search(search)
 }
 
+/// A scalable single-record-type workload whose candidate-character palette (6 characters
+/// beyond `\n`) is small enough that the generation step's **exhaustive** search really
+/// enumerates all `2^c` charsets instead of falling back to the greedy procedure.  Used by
+/// the generation micro-benchmark, where exhaustive legacy-vs-spans is the comparison the
+/// acceptance numbers are recorded against.
+pub fn exhaustive_weblog(target_bytes: usize, seed: u64) -> String {
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^ (x >> 32)
+    }
+    const PAGES: [&str; 6] = ["index", "about", "cart", "login", "search", "api"];
+    let mut out = String::with_capacity(target_bytes + 64);
+    let mut i = seed;
+    while out.len() < target_bytes {
+        let h = mix(i);
+        out.push_str(&format!(
+            "[{:02}:{:02}:{:02}] 10.{}.{}.{} GET /{}/{}\n",
+            h % 24,
+            (h >> 8) % 60,
+            (h >> 16) % 60,
+            (h >> 24) % 256,
+            (h >> 32) % 256,
+            (h >> 40) % 256,
+            PAGES[(h >> 48) as usize % PAGES.len()],
+            mix(i ^ 0xABCD) % 1000,
+        ));
+        i += 1;
+    }
+    out
+}
+
+/// Outcome of the generation micro-benchmark comparing the span backend against the legacy
+/// string-token backend on the same sample (see `reproduce -- generation` and
+/// `benches/generation.rs`).
+#[derive(Clone, Debug)]
+pub struct GenerationBench {
+    /// Sample size in bytes.
+    pub sample_bytes: usize,
+    /// Sample line count.
+    pub sample_lines: usize,
+    /// Charsets enumerated per run (identical across backends).
+    pub charsets_enumerated: usize,
+    /// Candidate records examined per run (identical across backends).
+    pub records_examined: usize,
+    /// Candidates emitted (identical across backends).
+    pub candidates: usize,
+    /// Best wall-clock seconds of the legacy backend.
+    pub legacy_secs: f64,
+    /// Best wall-clock seconds of the span backend.
+    pub spans_secs: f64,
+    /// `true` when both backends emitted identical candidates and statistics.
+    pub outputs_identical: bool,
+}
+
+impl GenerationBench {
+    /// Candidate records examined per second, legacy backend.
+    pub fn legacy_records_per_sec(&self) -> f64 {
+        self.records_examined as f64 / self.legacy_secs
+    }
+
+    /// Candidate records examined per second, span backend.
+    pub fn spans_records_per_sec(&self) -> f64 {
+        self.records_examined as f64 / self.spans_secs
+    }
+
+    /// Wall-clock speedup of the span backend over the legacy backend.
+    pub fn speedup(&self) -> f64 {
+        self.legacy_secs / self.spans_secs
+    }
+
+    /// Serializes the result as the `BENCH_generation.json` document.
+    pub fn to_json(&self) -> String {
+        use datamaran_core::JsonValue;
+        JsonValue::Object(vec![
+            (
+                "benchmark".into(),
+                JsonValue::String("generation_exhaustive".into()),
+            ),
+            (
+                "sample_bytes".into(),
+                JsonValue::Number(self.sample_bytes as f64),
+            ),
+            (
+                "sample_lines".into(),
+                JsonValue::Number(self.sample_lines as f64),
+            ),
+            (
+                "charsets_enumerated".into(),
+                JsonValue::Number(self.charsets_enumerated as f64),
+            ),
+            (
+                "records_examined".into(),
+                JsonValue::Number(self.records_examined as f64),
+            ),
+            (
+                "candidates".into(),
+                JsonValue::Number(self.candidates as f64),
+            ),
+            (
+                "legacy_wall_secs".into(),
+                JsonValue::Number(self.legacy_secs),
+            ),
+            ("spans_wall_secs".into(), JsonValue::Number(self.spans_secs)),
+            (
+                "legacy_records_per_sec".into(),
+                JsonValue::Number(self.legacy_records_per_sec()),
+            ),
+            (
+                "spans_records_per_sec".into(),
+                JsonValue::Number(self.spans_records_per_sec()),
+            ),
+            ("speedup".into(), JsonValue::Number(self.speedup())),
+            ("generation_threads".into(), JsonValue::Number(1.0)),
+            (
+                "outputs_identical".into(),
+                JsonValue::Bool(self.outputs_identical),
+            ),
+        ])
+        .to_pretty()
+    }
+}
+
+/// Runs the generation step on an `exhaustive_weblog` sample of `target_bytes` with both
+/// backends (`runs` timed repetitions each, best run kept) and cross-checks that they emit
+/// identical candidates.
+pub fn generation_benchmark(target_bytes: usize, runs: usize) -> GenerationBench {
+    use datamaran_core::{generate, Dataset, GenerationBackend};
+
+    let text = exhaustive_weblog(target_bytes, 14);
+    let data = Dataset::new(text);
+    // Both backends pinned to one worker thread: the recorded speedup measures the
+    // span/interning algorithm, not host parallelism (the legacy path has no parallel
+    // mode, so an unpinned comparison would conflate the two).
+    let legacy_cfg = DatamaranConfig::default()
+        .with_generation_backend(GenerationBackend::Legacy)
+        .with_generation_threads(1);
+    let spans_cfg = DatamaranConfig::default()
+        .with_generation_backend(GenerationBackend::Spans)
+        .with_generation_threads(1);
+
+    let legacy_out = generate(&data, &legacy_cfg);
+    let spans_out = generate(&data, &spans_cfg);
+    let outputs_identical = legacy_out.candidates.len() == spans_out.candidates.len()
+        && legacy_out.records_examined == spans_out.records_examined
+        && legacy_out
+            .candidates
+            .iter()
+            .zip(&spans_out.candidates)
+            .all(|(a, b)| {
+                a.template == b.template
+                    && a.coverage == b.coverage
+                    && a.field_coverage == b.field_coverage
+                    && a.hits == b.hits
+                    && a.charset == b.charset
+            });
+
+    let best_of = |config: &DatamaranConfig| -> f64 {
+        (0..runs.max(1))
+            .map(|_| {
+                let started = Instant::now();
+                let out = generate(&data, config);
+                assert!(!out.candidates.is_empty());
+                started.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    GenerationBench {
+        sample_bytes: data.len(),
+        sample_lines: data.line_count(),
+        charsets_enumerated: spans_out.charsets_enumerated,
+        records_examined: spans_out.records_examined,
+        candidates: spans_out.candidates.len(),
+        legacy_secs: best_of(&legacy_cfg),
+        spans_secs: best_of(&spans_cfg),
+        outputs_identical,
+    }
+}
+
 /// Formats seconds compactly for the report tables.
 pub fn fmt_secs(s: f64) -> String {
     if s < 0.001 {
@@ -104,7 +290,11 @@ mod tests {
     #[test]
     fn scalable_weblog_hits_target_size() {
         let text = scalable_weblog(100_000, 1);
-        assert!(text.len() > 60_000 && text.len() < 160_000, "{}", text.len());
+        assert!(
+            text.len() > 60_000 && text.len() < 160_000,
+            "{}",
+            text.len()
+        );
     }
 
     #[test]

@@ -207,8 +207,8 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
     }
 
     let path = cli.input.as_ref().expect("input checked during parsing");
-    let text = fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
 
     match cli.command {
         Command::Extract => {
@@ -409,14 +409,24 @@ mod tests {
     }
 
     fn temp_log(name: &str, content: &str) -> PathBuf {
-        let path = std::env::temp_dir().join(format!("datamaran_cli_test_{name}_{}", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("datamaran_cli_test_{name}_{}", std::process::id()));
         fs::write(&path, content).unwrap();
         path
     }
 
     fn web_log(n: usize) -> String {
         (0..n)
-            .map(|i| format!("[{:02}:{:02}] 10.0.{}.{} GET /p{}\n", i % 24, i % 60, i % 8, i % 250, i % 7))
+            .map(|i| {
+                format!(
+                    "[{:02}:{:02}] 10.0.{}.{} GET /p{}\n",
+                    i % 24,
+                    i % 60,
+                    i % 8,
+                    i % 250,
+                    i % 7
+                )
+            })
             .collect()
     }
 

@@ -51,9 +51,9 @@ mod tests {
     #[test]
     fn keeps_top_m_by_assimilation_score() {
         let cands = vec![
-            candidate("a,b\n", ",\n", 100, 80),   // G = 100 * 20
-            candidate("a;b\n", ";\n", 100, 10),   // G = 100 * 90
-            candidate("a|b\n", "|\n", 50, 40),    // G = 50 * 10
+            candidate("a,b\n", ",\n", 100, 80), // G = 100 * 20
+            candidate("a;b\n", ";\n", 100, 10), // G = 100 * 90
+            candidate("a|b\n", "|\n", 50, 40),  // G = 50 * 10
         ];
         let out = prune(cands, 2);
         assert_eq!(out.kept.len(), 2);
@@ -84,7 +84,7 @@ mod tests {
     }
 
     #[test]
-    fn template_demoting_format_chars_ranks_below_true_template(){
+    fn template_demoting_format_chars_ranks_below_true_template() {
         // Treating ':' as field content keeps coverage but shrinks non-field coverage
         // (Figure 11, redundancy source 2).
         let true_t = candidate("[a:b] c\n", "[]: \n", 1000, 600);

@@ -2,11 +2,10 @@
 //! engineering knobs of Appendix 9.1).
 
 use crate::chars::{default_special_chars, CharSet};
-use serde::{Deserialize, Serialize};
 
 /// Which search procedure the generation step uses to enumerate `RT-CharSet` values
 /// (Appendix 9.1, "Variants of Generation Step").
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SearchStrategy {
     /// Enumerate all `2^c` subsets of the candidate characters present in the dataset.
     Exhaustive,
@@ -25,10 +24,37 @@ impl SearchStrategy {
     }
 }
 
+/// Which implementation the generation step runs on.
+///
+/// Both backends emit byte-identical candidates (enforced by the equivalence property
+/// suite); the span backend is the production path, the legacy backend is kept as the
+/// oracle for differential testing and as the baseline for the generation benchmarks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GenerationBackend {
+    /// Single-pass superset tokenization with per-charset span projections, interned
+    /// template ids, and multi-threaded charset enumeration (see [`crate::span`] and
+    /// [`crate::intern`]).
+    #[default]
+    Spans,
+    /// The original implementation: re-tokenizes every line for every enumerated charset
+    /// and keys its hash tables on owned token vectors and template trees.
+    Legacy,
+}
+
+impl GenerationBackend {
+    /// Short, human-readable name (used in experiment output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GenerationBackend::Spans => "spans",
+            GenerationBackend::Legacy => "legacy",
+        }
+    }
+}
+
 /// Parameters of the Datamaran algorithm.
 ///
 /// Defaults follow the paper's Section 5 defaults: `α = 10%`, `L = 10`, `M = 50`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DatamaranConfig {
     /// Minimum coverage threshold `α`, as a fraction in `(0, 1]` (paper default: `0.10`).
     pub alpha: f64,
@@ -69,6 +95,13 @@ pub struct DatamaranConfig {
     pub refine: bool,
     /// Seed for the sampling RNG, making runs reproducible.
     pub seed: u64,
+    /// Which generation-step implementation to run (span projections vs. the legacy
+    /// per-charset re-tokenizer).
+    pub generation_backend: GenerationBackend,
+    /// Worker threads for the generation step's charset enumeration.  `0` means one per
+    /// available core; `1` forces the sequential path.  Results are identical for any
+    /// value (the merge of per-thread results is order-independent).
+    pub generation_threads: usize,
 }
 
 impl Default for DatamaranConfig {
@@ -86,6 +119,8 @@ impl Default for DatamaranConfig {
             max_exhaustive_chars: 8,
             refine: true,
             seed: 0x5eed_0001,
+            generation_backend: GenerationBackend::default(),
+            generation_threads: 0,
         }
     }
 }
@@ -149,6 +184,18 @@ impl DatamaranConfig {
     /// Builder-style setter for the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the generation backend.
+    pub fn with_generation_backend(mut self, backend: GenerationBackend) -> Self {
+        self.generation_backend = backend;
+        self
+    }
+
+    /// Builder-style setter for the generation worker-thread count (`0` = auto).
+    pub fn with_generation_threads(mut self, threads: usize) -> Self {
+        self.generation_threads = threads;
         self
     }
 
@@ -224,19 +271,30 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(DatamaranConfig::default().with_alpha(0.0).validate().is_err());
-        assert!(DatamaranConfig::default().with_alpha(1.5).validate().is_err());
+        assert!(DatamaranConfig::default()
+            .with_alpha(0.0)
+            .validate()
+            .is_err());
+        assert!(DatamaranConfig::default()
+            .with_alpha(1.5)
+            .validate()
+            .is_err());
         assert!(DatamaranConfig::default()
             .with_max_line_span(0)
             .validate()
             .is_err());
-        assert!(DatamaranConfig::default().with_prune_keep(0).validate().is_err());
+        assert!(DatamaranConfig::default()
+            .with_prune_keep(0)
+            .validate()
+            .is_err());
         assert!(DatamaranConfig::default()
             .with_sample_bytes(0)
             .validate()
             .is_err());
-        let mut c = DatamaranConfig::default();
-        c.special_chars = crate::chars::CharSet::from_chars(",".chars());
+        let c = DatamaranConfig {
+            special_chars: crate::chars::CharSet::from_chars(",".chars()),
+            ..DatamaranConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -12,8 +12,9 @@ use rand::{Rng, SeedableRng};
 #[derive(Clone, Debug)]
 pub struct Dataset {
     text: String,
-    /// Byte offset of the first character of each line.  `line_starts.len()` equals the
-    /// number of lines; a sentinel equal to `text.len()` is appended for span arithmetic.
+    /// Byte offset of the first character of each line, with a sentinel equal to
+    /// `text.len()` appended for span arithmetic: `line_starts.len()` is the number of lines
+    /// plus one (and empty for an empty dataset).
     line_starts: Vec<usize>,
 }
 
@@ -21,7 +22,7 @@ impl Dataset {
     /// Builds a dataset from raw text, indexing line boundaries.
     pub fn new(text: impl Into<String>) -> Self {
         let text = text.into();
-        let mut line_starts = Vec::with_capacity(text.len() / 32 + 1);
+        let mut line_starts = Vec::with_capacity(text.len() / 32 + 2);
         if !text.is_empty() {
             line_starts.push(0);
             for (i, b) in text.bytes().enumerate() {
@@ -29,6 +30,7 @@ impl Dataset {
                     line_starts.push(i + 1);
                 }
             }
+            line_starts.push(text.len());
         }
         Dataset { text, line_starts }
     }
@@ -50,18 +52,12 @@ impl Dataset {
 
     /// Number of lines (the paper's `n`).
     pub fn line_count(&self) -> usize {
-        self.line_starts.len()
+        self.line_starts.len().saturating_sub(1)
     }
 
     /// Byte span `[start, end)` of line `i` (including its trailing `\n` if present).
     pub fn line_span(&self, i: usize) -> (usize, usize) {
-        let start = self.line_starts[i];
-        let end = if i + 1 < self.line_starts.len() {
-            self.line_starts[i + 1]
-        } else {
-            self.text.len()
-        };
-        (start, end)
+        (self.line_starts[i], self.line_starts[i + 1])
     }
 
     /// Text of line `i`, including its trailing `\n` if present.
@@ -81,7 +77,8 @@ impl Dataset {
         &self.text[s..e]
     }
 
-    /// Byte offset where line `i` starts.
+    /// Byte offset where line `i` starts.  `i` may equal [`Dataset::line_count`], in which
+    /// case the sentinel offset `text.len()` is returned.
     pub fn line_start(&self, i: usize) -> usize {
         self.line_starts[i]
     }

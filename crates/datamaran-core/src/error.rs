@@ -43,10 +43,14 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(Error::InvalidConfig("alpha".into()).to_string().contains("alpha"));
+        assert!(Error::InvalidConfig("alpha".into())
+            .to_string()
+            .contains("alpha"));
         assert!(Error::EmptyDataset.to_string().contains("empty"));
         assert!(Error::NoStructureFound.to_string().contains("coverage"));
-        assert!(Error::ExtractionFailure("boom".into()).to_string().contains("boom"));
+        assert!(Error::ExtractionFailure("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 
     #[test]

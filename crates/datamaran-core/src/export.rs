@@ -11,14 +11,16 @@
 //!   [`all_tables_csv`]), with RFC-4180-style quoting.
 
 use crate::fieldtype::FieldType;
+use crate::json::{JsonError, JsonValue};
 use crate::pipeline::{ExtractionResult, PipelineStats};
 use crate::relational::Table;
-use crate::semtype::{annotate_table, TableAnnotation};
-use serde::{Deserialize, Serialize};
+use crate::semtype::{
+    annotate_table, ColumnAnnotation, CompositeColumn, SemanticType, TableAnnotation,
+};
 use std::io::{self, Write};
 
 /// Serializable summary of one discovered record type.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StructureReport {
     /// Human-readable structure template (e.g. `[F:F] F\n`).
     pub template: String,
@@ -39,7 +41,7 @@ pub struct StructureReport {
 }
 
 /// Serializable summary of the pipeline statistics (subset of [`PipelineStats`]).
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StatsReport {
     /// Candidates emitted by the generation step(s).
     pub candidates_generated: usize,
@@ -79,7 +81,7 @@ impl StatsReport {
 }
 
 /// A complete, serializable extraction report.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExtractionReport {
     /// Size of the input dataset in bytes.
     pub dataset_bytes: usize,
@@ -109,7 +111,12 @@ impl ExtractionReport {
                 record_count: s.records.len(),
                 coverage: s.coverage,
                 score: s.score,
-                column_types: s.column_types.iter().map(FieldType::name).map(str::to_string).collect(),
+                column_types: s
+                    .column_types
+                    .iter()
+                    .map(FieldType::name)
+                    .map(str::to_string)
+                    .collect(),
                 semantics: annotate_table(&s.denormalized),
                 tables: s.relational.tables.iter().map(|t| t.name.clone()).collect(),
             })
@@ -127,13 +134,214 @@ impl ExtractionReport {
 
     /// Serializes the report as pretty-printed JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        self.to_json_value().to_pretty()
     }
 
     /// Parses a report back from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&JsonValue::parse(json)?)
     }
+
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("dataset_bytes".into(), num(self.dataset_bytes)),
+            ("dataset_lines".into(), num(self.dataset_lines)),
+            ("record_count".into(), num(self.record_count)),
+            ("noise_lines".into(), num(self.noise_lines)),
+            (
+                "noise_fraction".into(),
+                JsonValue::Number(self.noise_fraction),
+            ),
+            (
+                "structures".into(),
+                JsonValue::Array(self.structures.iter().map(structure_to_json).collect()),
+            ),
+            ("stats".into(), stats_to_json(&self.stats)),
+        ])
+    }
+
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(ExtractionReport {
+            dataset_bytes: v.require("dataset_bytes")?.as_usize()?,
+            dataset_lines: v.require("dataset_lines")?.as_usize()?,
+            record_count: v.require("record_count")?.as_usize()?,
+            noise_lines: v.require("noise_lines")?.as_usize()?,
+            noise_fraction: v.require("noise_fraction")?.as_f64()?,
+            structures: v
+                .require("structures")?
+                .as_array()?
+                .iter()
+                .map(structure_from_json)
+                .collect::<Result<_, _>>()?,
+            stats: stats_from_json(v.require("stats")?)?,
+        })
+    }
+}
+
+fn num(n: usize) -> JsonValue {
+    JsonValue::Number(n as f64)
+}
+
+fn strings(items: &[String]) -> JsonValue {
+    JsonValue::Array(items.iter().map(|s| JsonValue::String(s.clone())).collect())
+}
+
+fn string_vec(v: &JsonValue) -> Result<Vec<String>, JsonError> {
+    v.as_array()?
+        .iter()
+        .map(|item| item.as_str().map(str::to_string))
+        .collect()
+}
+
+fn structure_to_json(s: &StructureReport) -> JsonValue {
+    JsonValue::Object(vec![
+        ("template".into(), JsonValue::String(s.template.clone())),
+        ("field_count".into(), num(s.field_count)),
+        ("record_count".into(), num(s.record_count)),
+        ("coverage".into(), JsonValue::Number(s.coverage)),
+        ("score".into(), JsonValue::Number(s.score)),
+        ("column_types".into(), strings(&s.column_types)),
+        ("semantics".into(), semantics_to_json(&s.semantics)),
+        ("tables".into(), strings(&s.tables)),
+    ])
+}
+
+fn structure_from_json(v: &JsonValue) -> Result<StructureReport, JsonError> {
+    Ok(StructureReport {
+        template: v.require("template")?.as_str()?.to_string(),
+        field_count: v.require("field_count")?.as_usize()?,
+        record_count: v.require("record_count")?.as_usize()?,
+        coverage: v.require("coverage")?.as_f64()?,
+        score: v.require("score")?.as_f64()?,
+        column_types: string_vec(v.require("column_types")?)?,
+        semantics: semantics_from_json(v.require("semantics")?)?,
+        tables: string_vec(v.require("tables")?)?,
+    })
+}
+
+fn semantics_to_json(annotation: &TableAnnotation) -> JsonValue {
+    let columns = annotation
+        .columns
+        .iter()
+        .map(|c| {
+            JsonValue::Object(vec![
+                ("column".into(), num(c.column)),
+                (
+                    "semantic".into(),
+                    JsonValue::String(c.semantic.name().into()),
+                ),
+                ("confidence".into(), JsonValue::Number(c.confidence)),
+            ])
+        })
+        .collect();
+    let composites = annotation
+        .composites
+        .iter()
+        .map(|c| {
+            JsonValue::Object(vec![
+                ("first_column".into(), num(c.first_column)),
+                ("width".into(), num(c.width)),
+                (
+                    "delimiter".into(),
+                    JsonValue::String(c.delimiter.to_string()),
+                ),
+                (
+                    "semantic".into(),
+                    JsonValue::String(c.semantic.name().into()),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::Object(vec![
+        ("columns".into(), JsonValue::Array(columns)),
+        ("composites".into(), JsonValue::Array(composites)),
+    ])
+}
+
+fn semantic_from_json(v: &JsonValue) -> Result<SemanticType, JsonError> {
+    let name = v.as_str()?;
+    SemanticType::from_name(name)
+        .ok_or_else(|| JsonError::shape(format!("unknown semantic type {name:?}")))
+}
+
+fn semantics_from_json(v: &JsonValue) -> Result<TableAnnotation, JsonError> {
+    let columns = v
+        .require("columns")?
+        .as_array()?
+        .iter()
+        .map(|c| {
+            Ok(ColumnAnnotation {
+                column: c.require("column")?.as_usize()?,
+                semantic: semantic_from_json(c.require("semantic")?)?,
+                confidence: c.require("confidence")?.as_f64()?,
+            })
+        })
+        .collect::<Result<_, JsonError>>()?;
+    let composites = v
+        .require("composites")?
+        .as_array()?
+        .iter()
+        .map(|c| {
+            let delimiter = c.require("delimiter")?.as_str()?;
+            Ok(CompositeColumn {
+                first_column: c.require("first_column")?.as_usize()?,
+                width: c.require("width")?.as_usize()?,
+                delimiter: delimiter
+                    .chars()
+                    .next()
+                    .ok_or_else(|| JsonError::shape("empty composite delimiter"))?,
+                semantic: semantic_from_json(c.require("semantic")?)?,
+            })
+        })
+        .collect::<Result<_, JsonError>>()?;
+    Ok(TableAnnotation {
+        columns,
+        composites,
+    })
+}
+
+fn stats_to_json(stats: &StatsReport) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "candidates_generated".into(),
+            num(stats.candidates_generated),
+        ),
+        ("candidates_pruned".into(), num(stats.candidates_pruned)),
+        ("charsets_enumerated".into(), num(stats.charsets_enumerated)),
+        ("records_examined".into(), num(stats.records_examined)),
+        ("sample_bytes".into(), num(stats.sample_bytes)),
+        ("iterations".into(), num(stats.iterations)),
+        (
+            "step_seconds".into(),
+            JsonValue::Array(
+                stats
+                    .step_seconds
+                    .iter()
+                    .map(|s| JsonValue::Number(*s))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn stats_from_json(v: &JsonValue) -> Result<StatsReport, JsonError> {
+    let seconds = v.require("step_seconds")?.as_array()?;
+    if seconds.len() != 5 {
+        return Err(JsonError::shape("step_seconds must have 5 entries"));
+    }
+    let mut step_seconds = [0.0f64; 5];
+    for (slot, value) in step_seconds.iter_mut().zip(seconds) {
+        *slot = value.as_f64()?;
+    }
+    Ok(StatsReport {
+        candidates_generated: v.require("candidates_generated")?.as_usize()?,
+        candidates_pruned: v.require("candidates_pruned")?.as_usize()?,
+        charsets_enumerated: v.require("charsets_enumerated")?.as_usize()?,
+        records_examined: v.require("records_examined")?.as_usize()?,
+        sample_bytes: v.require("sample_bytes")?.as_usize()?,
+        iterations: v.require("iterations")?.as_usize()?,
+        step_seconds,
+    })
 }
 
 /// Quotes one CSV cell per RFC 4180: cells containing commas, quotes, or newlines are wrapped
@@ -293,7 +501,11 @@ mod tests {
         let text = sample_log();
         let result = Datamaran::with_defaults().extract(&text).unwrap();
         let tables = all_tables_csv(&result);
-        let total: usize = result.structures.iter().map(|s| s.relational.tables.len()).sum();
+        let total: usize = result
+            .structures
+            .iter()
+            .map(|s| s.relational.tables.len())
+            .sum();
         assert_eq!(tables.len(), total);
         assert!(tables[0].1.lines().count() > 80);
     }

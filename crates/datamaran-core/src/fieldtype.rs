@@ -4,12 +4,11 @@
 //! enumerated, integer, real, or string — by inspecting the values extracted for it.  The
 //! type determines how many bits the MDL score charges per value.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// The data type inferred for a field (column), with the parameters needed to compute
 /// description lengths.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum FieldType {
     /// A small closed set of `n_values` distinct strings.
     Enumerated {
@@ -40,7 +39,9 @@ impl FieldType {
     /// Number of bits needed to describe one value of this type (Appendix 9.2).
     pub fn bits_per_value(&self, value: &str) -> f64 {
         match self {
-            FieldType::Enumerated { n_values } => ((*n_values).max(1) as f64).log2().ceil().max(1.0),
+            FieldType::Enumerated { n_values } => {
+                ((*n_values).max(1) as f64).log2().ceil().max(1.0)
+            }
             FieldType::Integer { min, max } => {
                 let range = (max - min + 1).max(1) as f64;
                 range.log2().ceil().max(1.0)
@@ -199,7 +200,9 @@ mod tests {
 
     #[test]
     fn infers_enumerated_columns() {
-        let values = ["INFO", "WARN", "INFO", "ERROR", "INFO", "WARN", "INFO", "INFO"];
+        let values = [
+            "INFO", "WARN", "INFO", "ERROR", "INFO", "WARN", "INFO", "INFO",
+        ];
         let t = infer(&values);
         assert_eq!(t, FieldType::Enumerated { n_values: 3 });
     }
@@ -217,10 +220,20 @@ mod tests {
 
     #[test]
     fn bits_per_value_for_each_type() {
-        assert_eq!(FieldType::Integer { min: 0, max: 255 }.bits_per_value("17"), 8.0);
-        assert_eq!(FieldType::Enumerated { n_values: 4 }.bits_per_value("x"), 2.0);
+        assert_eq!(
+            FieldType::Integer { min: 0, max: 255 }.bits_per_value("17"),
+            8.0
+        );
+        assert_eq!(
+            FieldType::Enumerated { n_values: 4 }.bits_per_value("x"),
+            2.0
+        );
         assert_eq!(FieldType::String.bits_per_value("abc"), 32.0);
-        let real = FieldType::Real { min: 0.0, max: 1.0, exp: 2 };
+        let real = FieldType::Real {
+            min: 0.0,
+            max: 1.0,
+            exp: 2,
+        };
         assert!(real.bits_per_value("0.5") >= 6.0);
     }
 
@@ -235,7 +248,7 @@ mod tests {
 
     #[test]
     fn parse_real_handles_fraction_digits() {
-        assert_eq!(parse_real("3.14"), Some((3.14, 2)));
+        assert_eq!(parse_real("8.25"), Some((8.25, 2)));
         assert_eq!(parse_real("10"), Some((10.0, 0)));
         assert_eq!(parse_real("1.2.3"), None);
         assert_eq!(parse_real("abc"), None);

@@ -1,0 +1,112 @@
+//! Fast, non-cryptographic hashing for the generation engine's internal tables.
+//!
+//! The generation hot loop performs one hash-map probe per candidate record (tens of
+//! millions per run).  The standard library's SipHash is DoS-resistant but an order of
+//! magnitude slower than needed for these *internal* tables, whose keys are derived from
+//! the dataset itself and never cross a trust boundary.  This module implements the `Fx`
+//! hash function (the compiler's own table hasher): one rotate-xor-multiply per word.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx word hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (chunk, rest) = bytes.split_at(8);
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (chunk, rest) = bytes.split_at(4);
+            self.add_word(u32::from_le_bytes(chunk.try_into().expect("4-byte chunk")) as u64);
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_word(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_inputs_hash_differently() {
+        let inputs: Vec<Vec<u8>> = (0u32..1000).map(|i| i.to_le_bytes().to_vec()).collect();
+        let hashes: FxHashSet<u64> = inputs.iter().map(|b| hash_of(b)).collect();
+        assert_eq!(hashes.len(), inputs.len());
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_of(b"hello world"), hash_of(b"hello world"));
+        assert_ne!(hash_of(b"hello world"), hash_of(b"hello worlds"));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut map: FxHashMap<Box<[u32]>, usize> = FxHashMap::default();
+        map.insert(vec![1, 2, 3].into(), 7);
+        assert_eq!(map.get([1u32, 2, 3].as_slice()), Some(&7));
+        assert_eq!(map.get([1u32, 2].as_slice()), None);
+    }
+}

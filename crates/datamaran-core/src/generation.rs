@@ -2,14 +2,40 @@
 //! threshold assumption by enumerating `RT-CharSet` values and candidate record boundaries,
 //! reducing every candidate record to its minimal structure template, and accumulating
 //! per-template coverage in a hash table.
+//!
+//! Two backends implement the step (selected by
+//! [`DatamaranConfig::generation_backend`](crate::config::DatamaranConfig)):
+//!
+//! * **Spans** (default, [`GenerationBackend::Spans`]): the sample is tokenized **once**
+//!   under the superset of all candidate characters ([`crate::span::LineIndex`]); each
+//!   enumerated subset charset re-derives every line's template by an `O(#occurrences)`
+//!   projection instead of a fresh scan, the record → minimal-template reduction is memoized
+//!   into interned [`TemplateId`]s ([`crate::intern`]) so the hash tables key on `u32`s, and
+//!   the `2^c` (exhaustive) / `O(c²)` (greedy) charset evaluations run on scoped worker
+//!   threads.  The inner per-record loop performs no per-token heap allocation: the token
+//!   buffer, projection arena, and accumulator table are all reused.
+//! * **Legacy** ([`GenerationBackend::Legacy`]): the original implementation — one full
+//!   re-tokenization pass per charset, hash tables keyed on owned token vectors and template
+//!   trees.  Kept as the differential-testing oracle and benchmark baseline.
+//!
+//! Both backends produce identical candidates (same templates, same coverage statistics),
+//! which the equivalence property suite enforces.
 
 use crate::chars::CharSet;
-use crate::config::{DatamaranConfig, SearchStrategy};
+use crate::config::{DatamaranConfig, GenerationBackend, SearchStrategy};
 use crate::dataset::Dataset;
+use crate::fxhash::FxHashMap;
+use crate::intern::{TemplateId, TemplateInterner};
+use crate::parallel::{chunk_bounds, effective_workers, resolve_threads};
 use crate::record::{RecordTemplate, TemplateToken};
 use crate::reduce::reduce;
+use crate::span::LineIndex;
 use crate::structure::StructureTemplate;
 use std::collections::HashMap;
+
+/// Each exhaustive-search worker should get at least this many charsets (a charset
+/// evaluation is a full pass over the sample, so even small batches amortize spawn cost).
+const MIN_CHARSETS_PER_WORKER: usize = 2;
 
 /// A candidate structure template produced by the generation step, with the statistics needed
 /// by the pruning step.
@@ -69,6 +95,36 @@ struct Accum {
     covered_until: usize,
 }
 
+impl Accum {
+    /// Steps 3–5 of the generation procedure for one candidate record: count the bytes not
+    /// yet covered by this bin (apportioning field bytes pro rata) and record the hit.
+    /// Shared verbatim by both backends — candidate statistics must match bit-for-bit.
+    fn record_candidate(
+        &mut self,
+        start: usize,
+        start_byte: usize,
+        span_bytes: usize,
+        span_field_bytes: usize,
+    ) {
+        // Count only the bytes this bin has not covered yet (candidates are visited in
+        // increasing start order, so a single high-water mark suffices).
+        let end_byte = start_byte + span_bytes;
+        let new_bytes = end_byte.saturating_sub(start_byte.max(self.covered_until));
+        if new_bytes > 0 {
+            self.coverage += new_bytes;
+            // Field bytes are apportioned pro rata to the newly covered fraction.
+            let scaled = (span_field_bytes as f64 * new_bytes as f64 / span_bytes.max(1) as f64)
+                .round() as usize;
+            self.field_coverage += scaled.min(new_bytes);
+            self.covered_until = self.covered_until.max(end_byte);
+        }
+        self.hits += 1;
+        if start < self.first_line {
+            self.first_line = start;
+        }
+    }
+}
+
 /// Runs the generation step over a (sampled) dataset.
 pub fn generate(sample: &Dataset, config: &DatamaranConfig) -> GenerationOutput {
     let present = config
@@ -76,221 +132,59 @@ pub fn generate(sample: &Dataset, config: &DatamaranConfig) -> GenerationOutput 
         .restrict_to_text(sample.text())
         .union(&CharSet::from_chars(['\n']));
 
-    match config.search {
-        SearchStrategy::Exhaustive => {
-            // Fall back to the greedy procedure when 2^c would be unreasonably large.
-            let extra_chars = present.len().saturating_sub(1);
-            if extra_chars > config.max_exhaustive_chars {
-                greedy_search(sample, &present, config)
+    let use_greedy = match config.search {
+        // Fall back to the greedy procedure when 2^c would be unreasonably large.
+        SearchStrategy::Exhaustive => present.len().saturating_sub(1) > config.max_exhaustive_chars,
+        SearchStrategy::Greedy => true,
+    };
+
+    match config.generation_backend {
+        GenerationBackend::Spans => {
+            let engine = SpanEngine::new(sample, present, config);
+            if use_greedy {
+                engine.greedy_search()
             } else {
-                exhaustive_search(sample, &present, config)
+                engine.exhaustive_search()
             }
         }
-        SearchStrategy::Greedy => greedy_search(sample, &present, config),
+        GenerationBackend::Legacy => {
+            if use_greedy {
+                legacy::greedy_search(sample, &present, config)
+            } else {
+                legacy::exhaustive_search(sample, &present, config)
+            }
+        }
     }
 }
 
-/// Enumerates all subsets of the present candidate characters (always keeping `\n`) and
-/// collects candidates from each.
-fn exhaustive_search(
-    sample: &Dataset,
-    present: &CharSet,
-    config: &DatamaranConfig,
-) -> GenerationOutput {
-    let extra: Vec<char> = present.iter().filter(|&c| c != '\n').collect();
-    let mut out = GenerationOutput {
-        sample_len: sample.len(),
-        ..Default::default()
-    };
-    let mut merged: HashMap<StructureTemplate, Candidate> = HashMap::new();
-
-    for mask in 0u64..(1u64 << extra.len()) {
-        let mut charset = CharSet::from_chars(['\n']);
-        for (bit, &c) in extra.iter().enumerate() {
-            if mask & (1 << bit) != 0 {
-                charset.insert(c);
-            }
+/// Builds the subset charset of `extra` selected by `mask`, always including `\n`.
+fn mask_to_charset(mask: u64, extra: &[char]) -> CharSet {
+    let mut charset = CharSet::from_chars(['\n']);
+    for (bit, &c) in extra.iter().enumerate() {
+        if mask & (1 << bit) != 0 {
+            charset.insert(c);
         }
-        let found = generate_for_charset(sample, &charset, config, &mut out.records_examined);
-        out.charsets_enumerated += 1;
-        merge_candidates(&mut merged, found);
     }
-
-    out.candidates = merged.into_values().collect();
-    sort_candidates(&mut out.candidates);
-    out
+    charset
 }
 
-/// The greedy `RT-CharSet` search of Appendix 9.1: grow the character set one character at a
-/// time, always adding the character whose induced structure templates achieve the highest
-/// assimilation score.
-fn greedy_search(
-    sample: &Dataset,
-    present: &CharSet,
-    config: &DatamaranConfig,
-) -> GenerationOutput {
-    let mut out = GenerationOutput {
-        sample_len: sample.len(),
-        ..Default::default()
-    };
-    let mut merged: HashMap<StructureTemplate, Candidate> = HashMap::new();
-
-    let mut current = CharSet::from_chars(['\n']);
-    let base = generate_for_charset(sample, &current, config, &mut out.records_examined);
-    out.charsets_enumerated += 1;
-    merge_candidates(&mut merged, base);
-
-    let all_extra: Vec<char> = present.iter().filter(|&c| c != '\n').collect();
-    loop {
-        let remaining: Vec<char> = all_extra
-            .iter()
-            .copied()
-            .filter(|c| !current.contains(*c))
-            .collect();
-        if remaining.is_empty() {
-            break;
-        }
-        let mut best: Option<(char, f64, Vec<Candidate>)> = None;
-        for &c in &remaining {
-            let mut candidate_set = current;
-            candidate_set.insert(c);
-            let found =
-                generate_for_charset(sample, &candidate_set, config, &mut out.records_examined);
-            out.charsets_enumerated += 1;
-            let score = found
-                .iter()
-                .map(Candidate::assimilation_score)
-                .fold(0.0_f64, f64::max);
-            let better = match &best {
-                None => !found.is_empty(),
-                Some((_, best_score, _)) => score > *best_score,
-            };
-            if better {
-                best = Some((c, score, found));
-            }
-        }
-        match best {
-            Some((c, _score, found)) if !found.is_empty() => {
-                current.insert(c);
-                merge_candidates(&mut merged, found);
-            }
-            // No extension produced a template with at least α% coverage: stop growing.
-            _ => break,
-        }
-    }
-
-    out.candidates = merged.into_values().collect();
-    sort_candidates(&mut out.candidates);
-    out
+/// `true` when `new` should replace `old` as the representative discovery of one template:
+/// larger coverage wins, ties go to the charset that the sequential enumeration would have
+/// visited first.  Total order → the merge result is independent of evaluation order, which
+/// is what makes the multi-threaded enumeration deterministic.
+fn replaces(new: &Candidate, old: &Candidate) -> bool {
+    new.coverage > old.coverage
+        || (new.coverage == old.coverage
+            && new.charset.cmp_enumeration_order(&old.charset) == std::cmp::Ordering::Less)
 }
 
-/// Steps 2–5 of the generation procedure for a single `RT-CharSet` value: enumerate all
-/// candidate record boundaries spanning at most `L` lines, reduce each candidate record to its
-/// minimal structure template, and keep the templates whose accumulated coverage reaches the
-/// `α%` threshold.
-fn generate_for_charset(
-    sample: &Dataset,
-    charset: &CharSet,
-    config: &DatamaranConfig,
-    records_examined: &mut usize,
-) -> Vec<Candidate> {
-    let n = sample.line_count();
-    if n == 0 {
-        return Vec::new();
-    }
-
-    // Pre-tokenize every line once for this charset.
-    let line_tokens: Vec<Vec<TemplateToken>> = (0..n)
-        .map(|i| {
-            RecordTemplate::from_instantiated(sample.line(i), charset)
-                .tokens()
-                .to_vec()
-        })
-        .collect();
-    let line_field_len: Vec<usize> = (0..n)
-        .map(|i| crate::record::field_char_len(sample.line(i), charset))
-        .collect();
-    let line_len: Vec<usize> = (0..n).map(|i| sample.line(i).len()).collect();
-
-    // Memoize the reduction of identical token sequences: log lines repeat heavily, so most
-    // candidate records share their minimal structure template with an earlier one.
-    let mut memo: HashMap<Vec<TemplateToken>, StructureTemplate> = HashMap::new();
-    let mut bins: HashMap<StructureTemplate, Accum> = HashMap::new();
-
-    let max_span = config.max_line_span.max(1);
-    let mut buffer: Vec<TemplateToken> = Vec::new();
-
-    for start in 0..n {
-        buffer.clear();
-        let mut span_bytes = 0usize;
-        let mut span_field_bytes = 0usize;
-        let start_byte = sample.line_start(start);
-        for span in 1..=max_span {
-            let end = start + span;
-            if end > n {
-                break;
-            }
-            buffer.extend_from_slice(&line_tokens[end - 1]);
-            span_bytes += line_len[end - 1];
-            span_field_bytes += line_field_len[end - 1];
-            *records_examined += 1;
-
-            let template = match memo.get(buffer.as_slice()) {
-                Some(t) => t.clone(),
-                None => {
-                    let rt = RecordTemplate::from_tokens(buffer.clone());
-                    let t = reduce(&rt);
-                    memo.insert(buffer.clone(), t.clone());
-                    t
-                }
-            };
-            if template.is_empty() {
-                continue;
-            }
-            let acc = bins.entry(template).or_insert_with(|| Accum {
-                first_line: start,
-                ..Default::default()
-            });
-            // Count only the bytes this bin has not covered yet (candidates are visited in
-            // increasing start order, so a single high-water mark suffices).
-            let end_byte = start_byte + span_bytes;
-            let new_bytes = end_byte.saturating_sub(start_byte.max(acc.covered_until));
-            if new_bytes > 0 {
-                acc.coverage += new_bytes;
-                // Field bytes are apportioned pro rata to the newly covered fraction.
-                let scaled = (span_field_bytes as f64 * new_bytes as f64 / span_bytes.max(1) as f64)
-                    .round() as usize;
-                acc.field_coverage += scaled.min(new_bytes);
-                acc.covered_until = acc.covered_until.max(end_byte);
-            }
-            acc.hits += 1;
-            if start < acc.first_line {
-                acc.first_line = start;
-            }
-        }
-    }
-
-    let threshold = (config.alpha * sample.len() as f64).ceil() as usize;
-    bins.into_iter()
-        .filter(|(_, acc)| acc.coverage >= threshold.max(1))
-        .map(|(template, acc)| Candidate {
-            template,
-            coverage: acc.coverage,
-            field_coverage: acc.field_coverage,
-            hits: acc.hits,
-            first_line: acc.first_line,
-            charset: *charset,
-        })
-        .collect()
-}
-
-/// Merges per-charset candidate lists, keeping for each template the occurrence with the
-/// largest coverage (the same template can be discovered under several character sets).
+/// Merges per-charset candidate lists, keeping for each template the occurrence selected by
+/// [`replaces`] (the same template can be discovered under several character sets).
 fn merge_candidates(merged: &mut HashMap<StructureTemplate, Candidate>, found: Vec<Candidate>) {
     for cand in found {
         match merged.get_mut(&cand.template) {
             Some(existing) => {
-                if cand.coverage > existing.coverage {
+                if replaces(&cand, existing) {
                     *existing = cand;
                 }
             }
@@ -301,6 +195,48 @@ fn merge_candidates(merged: &mut HashMap<StructureTemplate, Candidate>, found: V
     }
 }
 
+/// Asserts that two generation outputs are identical in every observable respect: sample
+/// statistics and, per candidate, template, coverage, field coverage, hits, first line,
+/// and charset.  This is the oracle of the spans-vs-legacy differential test suites (unit
+/// tests here and `tests/span_equivalence.rs`); hidden from docs, not for production use.
+#[doc(hidden)]
+pub fn assert_outputs_identical(a: &GenerationOutput, b: &GenerationOutput, label: &str) {
+    assert_eq!(a.sample_len, b.sample_len, "{label}: sample_len");
+    assert_eq!(
+        a.charsets_enumerated, b.charsets_enumerated,
+        "{label}: charsets_enumerated"
+    );
+    assert_eq!(
+        a.records_examined, b.records_examined,
+        "{label}: records_examined"
+    );
+    assert_eq!(
+        a.candidates.len(),
+        b.candidates.len(),
+        "{label}: candidate count"
+    );
+    for (x, y) in a.candidates.iter().zip(&b.candidates) {
+        assert_eq!(x.template, y.template, "{label}: template");
+        assert_eq!(
+            x.coverage, y.coverage,
+            "{label}: coverage of {}",
+            x.template
+        );
+        assert_eq!(
+            x.field_coverage, y.field_coverage,
+            "{label}: field_coverage of {}",
+            x.template
+        );
+        assert_eq!(x.hits, y.hits, "{label}: hits of {}", x.template);
+        assert_eq!(
+            x.first_line, y.first_line,
+            "{label}: first_line of {}",
+            x.template
+        );
+        assert_eq!(x.charset, y.charset, "{label}: charset of {}", x.template);
+    }
+}
+
 /// Orders candidates by descending assimilation score (ties broken by template size for
 /// determinism).
 pub fn sort_candidates(candidates: &mut [Candidate]) {
@@ -308,9 +244,649 @@ pub fn sort_candidates(candidates: &mut [Candidate]) {
         b.assimilation_score()
             .partial_cmp(&a.assimilation_score())
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.template.description_chars().cmp(&b.template.description_chars()))
-            .then_with(|| a.template.canonical_string().cmp(&b.template.canonical_string()))
+            .then_with(|| {
+                a.template
+                    .description_chars()
+                    .cmp(&b.template.description_chars())
+            })
+            .then_with(|| {
+                a.template
+                    .canonical_string()
+                    .cmp(&b.template.canonical_string())
+            })
     });
+}
+
+// ---------------------------------------------------------------------------------------
+// Span backend
+// ---------------------------------------------------------------------------------------
+
+/// Store of interned line *token sequences*, shared across charsets within one worker.
+///
+/// Distinct shape classes can project to the same token sequence under a given subset
+/// (they may differ only in demoted characters), so sequences — not classes — are the
+/// sound per-line key for the record memo: a window of sequence ids uniquely determines
+/// the record's token concatenation.
+#[derive(Clone, Debug, Default)]
+struct SeqStore {
+    map: FxHashMap<Box<[TemplateToken]>, u32>,
+    flat: Vec<TemplateToken>,
+    /// `flat` range of sequence `s`: `offsets[s]..offsets[s + 1]`.
+    offsets: Vec<u32>,
+}
+
+impl SeqStore {
+    fn intern(&mut self, tokens: &[TemplateToken]) -> u32 {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        if let Some(&id) = self.map.get(tokens) {
+            return id;
+        }
+        let id = (self.offsets.len() - 1) as u32;
+        self.flat.extend_from_slice(tokens);
+        self.offsets.push(self.flat.len() as u32);
+        self.map.insert(tokens.into(), id);
+        id
+    }
+
+    fn tokens(&self, id: u32) -> &[TemplateToken] {
+        &self.flat[self.offsets[id as usize] as usize..self.offsets[id as usize + 1] as usize]
+    }
+
+    fn token_count(&self, id: u32) -> usize {
+        (self.offsets[id as usize + 1] - self.offsets[id as usize]) as usize
+    }
+}
+
+/// Line projections of the whole sample under one subset charset: per-line sequence ids
+/// and field-byte counts, derived from per-*class* projections (all buffers reused across
+/// charsets — no per-line or per-token allocation).
+#[derive(Clone, Debug, Default)]
+struct ProjectedLines {
+    /// Interned token-sequence id of each line.
+    line_seq: Vec<u32>,
+    /// Field-byte count of each line under the projected charset.
+    field_len: Vec<u32>,
+    /// Per-class scratch: sequence id and kept (formatting) bytes.
+    class_seq: Vec<u32>,
+    class_kept: Vec<u32>,
+    /// Reusable projection buffer.
+    scratch: Vec<TemplateToken>,
+}
+
+impl ProjectedLines {
+    fn project(&mut self, index: &LineIndex, subset: &CharSet, seqs: &mut SeqStore) {
+        self.class_seq.clear();
+        self.class_kept.clear();
+        for c in 0..index.class_count() as u32 {
+            self.scratch.clear();
+            index.project_class(c, subset, &mut self.scratch);
+            self.class_seq.push(seqs.intern(&self.scratch));
+            self.class_kept
+                .push(index.class_kept_bytes(c, subset) as u32);
+        }
+        self.line_seq.clear();
+        self.field_len.clear();
+        for i in 0..index.line_count() {
+            let class = index.class_of(i) as usize;
+            self.line_seq.push(self.class_seq[class]);
+            self.field_len
+                .push(index.line_len(i) as u32 - self.class_kept[class]);
+        }
+    }
+}
+
+/// Dense accumulator table keyed by [`TemplateId`], reset per charset via an epoch stamp
+/// (no per-charset clearing or rehashing).
+#[derive(Clone, Debug, Default)]
+struct Bins {
+    accums: Vec<Accum>,
+    epoch_mark: Vec<u64>,
+    epoch: u64,
+    touched: Vec<TemplateId>,
+}
+
+impl Bins {
+    fn begin_charset(&mut self) {
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    fn accum(&mut self, id: TemplateId, first_line: usize) -> &mut Accum {
+        let idx = id.index();
+        if idx >= self.accums.len() {
+            self.accums.resize(idx + 1, Accum::default());
+            self.epoch_mark.resize(idx + 1, 0);
+        }
+        if self.epoch_mark[idx] != self.epoch {
+            self.epoch_mark[idx] = self.epoch;
+            self.accums[idx] = Accum {
+                first_line,
+                ..Default::default()
+            };
+            self.touched.push(id);
+        }
+        &mut self.accums[idx]
+    }
+}
+
+/// Per-worker mutable state: interner, sequence store, window memo, accumulator table, and
+/// the reusable projection buffers.  Each worker thread owns one, so the hot loop is
+/// lock-free; per-thread results are merged deterministically at the end.
+#[derive(Default)]
+struct WorkerState {
+    interner: TemplateInterner,
+    seqs: SeqStore,
+    /// Memo of line-sequence-id windows → interned minimal template.  The window (at most
+    /// `L` `u32`s) is the whole hash key for a candidate record, replacing the legacy
+    /// path's hash of the record's full token vector.
+    window_memo: FxHashMap<Box<[u32]>, TemplateId>,
+    bins: Bins,
+    proj: ProjectedLines,
+    /// Reusable token buffer for materializing a window's record template on memo miss.
+    buffer: Vec<TemplateToken>,
+}
+
+/// One template's best discovery within a worker, pending materialization.
+#[derive(Clone, Copy, Debug)]
+struct PartialCandidate {
+    coverage: usize,
+    field_coverage: usize,
+    hits: usize,
+    first_line: usize,
+    charset: CharSet,
+}
+
+impl PartialCandidate {
+    fn materialize(self, template: StructureTemplate) -> Candidate {
+        Candidate {
+            template,
+            coverage: self.coverage,
+            field_coverage: self.field_coverage,
+            hits: self.hits,
+            first_line: self.first_line,
+            charset: self.charset,
+        }
+    }
+}
+
+/// `true` when `new` should replace `old` (id-keyed version of [`replaces`]).
+fn partial_replaces(new: &PartialCandidate, old: &PartialCandidate) -> bool {
+    new.coverage > old.coverage
+        || (new.coverage == old.coverage
+            && new.charset.cmp_enumeration_order(&old.charset) == std::cmp::Ordering::Less)
+}
+
+/// The span-projection generation engine: superset tokenization shared immutably across
+/// worker threads, per-charset projections, interned accumulators.
+struct SpanEngine<'a> {
+    sample: &'a Dataset,
+    present: CharSet,
+    config: &'a DatamaranConfig,
+    index: LineIndex,
+}
+
+impl<'a> SpanEngine<'a> {
+    fn new(sample: &'a Dataset, present: CharSet, config: &'a DatamaranConfig) -> Self {
+        let index = LineIndex::build(sample, &present);
+        SpanEngine {
+            sample,
+            present,
+            config,
+            index,
+        }
+    }
+
+    /// Steps 2–5 for a single `RT-CharSet`: project every line, enumerate candidate record
+    /// boundaries spanning at most `L` lines, reduce each candidate to its interned minimal
+    /// template, and accumulate coverage.  Candidates reaching the `α%` threshold are merged
+    /// into the worker's `found` table.
+    fn generate_for_charset(
+        &self,
+        state: &mut WorkerState,
+        charset: &CharSet,
+        records_examined: &mut usize,
+        found: &mut HashMap<TemplateId, PartialCandidate>,
+    ) {
+        let n = self.index.line_count();
+        if n == 0 {
+            return;
+        }
+        state.proj.project(&self.index, charset, &mut state.seqs);
+        state.bins.begin_charset();
+
+        let max_span = self.config.max_line_span.max(1);
+        let line_seq = std::mem::take(&mut state.proj.line_seq);
+        for start in 0..n {
+            let mut span_bytes = 0usize;
+            let mut span_field_bytes = 0usize;
+            let mut span_tokens = 0usize;
+            let start_byte = self.sample.line_start(start);
+            for span in 1..=max_span {
+                let end = start + span;
+                if end > n {
+                    break;
+                }
+                span_bytes += self.index.line_len(end - 1);
+                span_field_bytes += state.proj.field_len[end - 1] as usize;
+                span_tokens += state.seqs.token_count(line_seq[end - 1]);
+                *records_examined += 1;
+
+                if span_tokens == 0 {
+                    continue;
+                }
+                let window = &line_seq[start..end];
+                let id = match state.window_memo.get(window) {
+                    Some(&id) => id,
+                    None => {
+                        // First sighting of this window: materialize the record's token
+                        // sequence, reduce it to its minimal template, intern both.
+                        state.buffer.clear();
+                        for &seq in window {
+                            state.buffer.extend_from_slice(state.seqs.tokens(seq));
+                        }
+                        let template = reduce(&RecordTemplate::from_tokens(state.buffer.clone()));
+                        let id = state.interner.intern(template);
+                        state.window_memo.insert(window.into(), id);
+                        id
+                    }
+                };
+                state.bins.accum(id, start).record_candidate(
+                    start,
+                    start_byte,
+                    span_bytes,
+                    span_field_bytes,
+                );
+            }
+        }
+        state.proj.line_seq = line_seq;
+
+        let threshold = ((self.config.alpha * self.sample.len() as f64).ceil() as usize).max(1);
+        for &id in &state.bins.touched {
+            let acc = &state.bins.accums[id.index()];
+            if acc.coverage < threshold {
+                continue;
+            }
+            let partial = PartialCandidate {
+                coverage: acc.coverage,
+                field_coverage: acc.field_coverage,
+                hits: acc.hits,
+                first_line: acc.first_line,
+                charset: *charset,
+            };
+            match found.get_mut(&id) {
+                Some(existing) => {
+                    if partial_replaces(&partial, existing) {
+                        *existing = partial;
+                    }
+                }
+                None => {
+                    found.insert(id, partial);
+                }
+            }
+        }
+    }
+
+    /// Evaluates one charset in isolation (greedy search needs the per-charset candidate
+    /// list rather than a running merge).
+    fn candidates_for_charset(
+        &self,
+        state: &mut WorkerState,
+        charset: &CharSet,
+        records_examined: &mut usize,
+    ) -> Vec<Candidate> {
+        let mut found = HashMap::new();
+        self.generate_for_charset(state, charset, records_examined, &mut found);
+        found
+            .into_iter()
+            .map(|(id, partial)| partial.materialize(state.interner.get(id).clone()))
+            .collect()
+    }
+
+    /// Enumerates all subsets of the present candidate characters (always keeping `\n`)
+    /// across worker threads and merges the per-thread results deterministically.
+    fn exhaustive_search(&self) -> GenerationOutput {
+        let extra: Vec<char> = self.present.iter().filter(|&c| c != '\n').collect();
+        let n_masks = 1usize << extra.len();
+        let mut out = GenerationOutput {
+            sample_len: self.sample.len(),
+            charsets_enumerated: n_masks,
+            ..Default::default()
+        };
+
+        let workers = effective_workers(
+            resolve_threads(self.config.generation_threads),
+            n_masks,
+            MIN_CHARSETS_PER_WORKER,
+        );
+        let bounds = chunk_bounds(n_masks, workers);
+        let extra = &extra;
+
+        // Each worker owns its interner / memo / bins and merges its mask range locally
+        // (keyed by template id); materialized results are merged globally afterwards.
+        let results: Vec<(Vec<Candidate>, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .map(|&(lo, hi)| {
+                    scope.spawn(move || {
+                        let mut state = WorkerState::default();
+                        let mut records = 0usize;
+                        let mut found: HashMap<TemplateId, PartialCandidate> = HashMap::new();
+                        for mask in lo..hi {
+                            let charset = mask_to_charset(mask as u64, extra);
+                            self.generate_for_charset(
+                                &mut state,
+                                &charset,
+                                &mut records,
+                                &mut found,
+                            );
+                        }
+                        let candidates = found
+                            .into_iter()
+                            .map(|(id, p)| p.materialize(state.interner.get(id).clone()))
+                            .collect();
+                        (candidates, records)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("generation worker panicked"))
+                .collect()
+        });
+
+        let mut merged: HashMap<StructureTemplate, Candidate> = HashMap::new();
+        for (candidates, records) in results {
+            out.records_examined += records;
+            merge_candidates(&mut merged, candidates);
+        }
+        out.candidates = merged.into_values().collect();
+        sort_candidates(&mut out.candidates);
+        out
+    }
+
+    /// The greedy `RT-CharSet` search of Appendix 9.1: grow the character set one character
+    /// at a time, always adding the character whose induced structure templates achieve the
+    /// highest assimilation score.  Each round's extension candidates are evaluated on
+    /// worker threads; the selection replays the sequential order, so the result is
+    /// identical to a single-threaded run.
+    fn greedy_search(&self) -> GenerationOutput {
+        let mut out = GenerationOutput {
+            sample_len: self.sample.len(),
+            ..Default::default()
+        };
+        let mut merged: HashMap<StructureTemplate, Candidate> = HashMap::new();
+
+        // One persistent state per worker slot: the sequence store and window memo carry
+        // across rounds, so a window is reduced at most once per worker for the whole
+        // search rather than once per round (the memo is pure, so reuse cannot change
+        // results).
+        let max_workers = resolve_threads(self.config.generation_threads);
+        let mut states: Vec<WorkerState> = vec![WorkerState::default()];
+
+        let mut current = CharSet::from_chars(['\n']);
+        let base = self.candidates_for_charset(&mut states[0], &current, &mut out.records_examined);
+        out.charsets_enumerated += 1;
+        merge_candidates(&mut merged, base);
+
+        let all_extra: Vec<char> = self.present.iter().filter(|&c| c != '\n').collect();
+        loop {
+            let remaining: Vec<char> = all_extra
+                .iter()
+                .copied()
+                .filter(|c| !current.contains(*c))
+                .collect();
+            if remaining.is_empty() {
+                break;
+            }
+
+            // Evaluate every one-character extension, in parallel chunks.
+            let workers = effective_workers(max_workers, remaining.len(), 1);
+            let bounds = chunk_bounds(remaining.len(), workers);
+            while states.len() < bounds.len() {
+                states.push(WorkerState::default());
+            }
+            let remaining_ref = &remaining;
+            let current_set = current;
+            let evaluations: Vec<(Vec<Candidate>, usize)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .zip(states.iter_mut())
+                    .map(|(&(lo, hi), state)| {
+                        scope.spawn(move || {
+                            (lo..hi)
+                                .map(|i| {
+                                    let mut candidate_set = current_set;
+                                    candidate_set.insert(remaining_ref[i]);
+                                    let mut records = 0usize;
+                                    let found = self.candidates_for_charset(
+                                        state,
+                                        &candidate_set,
+                                        &mut records,
+                                    );
+                                    (found, records)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("generation worker panicked"))
+                    .collect()
+            });
+
+            // Replay the sequential selection over the evaluations, in `remaining` order.
+            out.charsets_enumerated += remaining.len();
+            let mut best: Option<(char, f64, Vec<Candidate>)> = None;
+            for (&c, (found, records)) in remaining.iter().zip(evaluations) {
+                out.records_examined += records;
+                let score = found
+                    .iter()
+                    .map(Candidate::assimilation_score)
+                    .fold(0.0_f64, f64::max);
+                let better = match &best {
+                    None => !found.is_empty(),
+                    Some((_, best_score, _)) => score > *best_score,
+                };
+                if better {
+                    best = Some((c, score, found));
+                }
+            }
+            match best {
+                Some((c, _score, found)) if !found.is_empty() => {
+                    current.insert(c);
+                    merge_candidates(&mut merged, found);
+                }
+                // No extension produced a template with at least α% coverage: stop growing.
+                _ => break,
+            }
+        }
+
+        out.candidates = merged.into_values().collect();
+        sort_candidates(&mut out.candidates);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Legacy backend (differential-testing oracle and benchmark baseline)
+// ---------------------------------------------------------------------------------------
+
+mod legacy {
+    use super::*;
+
+    /// Enumerates all subsets of the present candidate characters (always keeping `\n`) and
+    /// collects candidates from each, sequentially re-tokenizing the sample per subset.
+    pub(super) fn exhaustive_search(
+        sample: &Dataset,
+        present: &CharSet,
+        config: &DatamaranConfig,
+    ) -> GenerationOutput {
+        let extra: Vec<char> = present.iter().filter(|&c| c != '\n').collect();
+        let mut out = GenerationOutput {
+            sample_len: sample.len(),
+            ..Default::default()
+        };
+        let mut merged: HashMap<StructureTemplate, Candidate> = HashMap::new();
+
+        for mask in 0u64..(1u64 << extra.len()) {
+            let charset = mask_to_charset(mask, &extra);
+            let found = generate_for_charset(sample, &charset, config, &mut out.records_examined);
+            out.charsets_enumerated += 1;
+            merge_candidates(&mut merged, found);
+        }
+
+        out.candidates = merged.into_values().collect();
+        sort_candidates(&mut out.candidates);
+        out
+    }
+
+    /// The greedy `RT-CharSet` search of Appendix 9.1, single-threaded.
+    pub(super) fn greedy_search(
+        sample: &Dataset,
+        present: &CharSet,
+        config: &DatamaranConfig,
+    ) -> GenerationOutput {
+        let mut out = GenerationOutput {
+            sample_len: sample.len(),
+            ..Default::default()
+        };
+        let mut merged: HashMap<StructureTemplate, Candidate> = HashMap::new();
+
+        let mut current = CharSet::from_chars(['\n']);
+        let base = generate_for_charset(sample, &current, config, &mut out.records_examined);
+        out.charsets_enumerated += 1;
+        merge_candidates(&mut merged, base);
+
+        let all_extra: Vec<char> = present.iter().filter(|&c| c != '\n').collect();
+        loop {
+            let remaining: Vec<char> = all_extra
+                .iter()
+                .copied()
+                .filter(|c| !current.contains(*c))
+                .collect();
+            if remaining.is_empty() {
+                break;
+            }
+            let mut best: Option<(char, f64, Vec<Candidate>)> = None;
+            for &c in &remaining {
+                let mut candidate_set = current;
+                candidate_set.insert(c);
+                let found =
+                    generate_for_charset(sample, &candidate_set, config, &mut out.records_examined);
+                out.charsets_enumerated += 1;
+                let score = found
+                    .iter()
+                    .map(Candidate::assimilation_score)
+                    .fold(0.0_f64, f64::max);
+                let better = match &best {
+                    None => !found.is_empty(),
+                    Some((_, best_score, _)) => score > *best_score,
+                };
+                if better {
+                    best = Some((c, score, found));
+                }
+            }
+            match best {
+                Some((c, _score, found)) if !found.is_empty() => {
+                    current.insert(c);
+                    merge_candidates(&mut merged, found);
+                }
+                // No extension produced a template with at least α% coverage: stop growing.
+                _ => break,
+            }
+        }
+
+        out.candidates = merged.into_values().collect();
+        sort_candidates(&mut out.candidates);
+        out
+    }
+
+    /// Steps 2–5 of the generation procedure for a single `RT-CharSet` value, re-tokenizing
+    /// every line from scratch (the pre-span implementation).
+    pub(super) fn generate_for_charset(
+        sample: &Dataset,
+        charset: &CharSet,
+        config: &DatamaranConfig,
+        records_examined: &mut usize,
+    ) -> Vec<Candidate> {
+        let n = sample.line_count();
+        if n == 0 {
+            return Vec::new();
+        }
+
+        // Pre-tokenize every line once for this charset.
+        let line_tokens: Vec<Vec<TemplateToken>> = (0..n)
+            .map(|i| {
+                RecordTemplate::from_instantiated(sample.line(i), charset)
+                    .tokens()
+                    .to_vec()
+            })
+            .collect();
+        let line_field_len: Vec<usize> = (0..n)
+            .map(|i| crate::record::field_char_len(sample.line(i), charset))
+            .collect();
+        let line_len: Vec<usize> = (0..n).map(|i| sample.line(i).len()).collect();
+
+        // Memoize the reduction of identical token sequences: log lines repeat heavily, so
+        // most candidate records share their minimal structure template with an earlier one.
+        let mut memo: HashMap<Vec<TemplateToken>, StructureTemplate> = HashMap::new();
+        let mut bins: HashMap<StructureTemplate, Accum> = HashMap::new();
+
+        let max_span = config.max_line_span.max(1);
+        let mut buffer: Vec<TemplateToken> = Vec::new();
+
+        for start in 0..n {
+            buffer.clear();
+            let mut span_bytes = 0usize;
+            let mut span_field_bytes = 0usize;
+            let start_byte = sample.line_start(start);
+            for span in 1..=max_span {
+                let end = start + span;
+                if end > n {
+                    break;
+                }
+                buffer.extend_from_slice(&line_tokens[end - 1]);
+                span_bytes += line_len[end - 1];
+                span_field_bytes += line_field_len[end - 1];
+                *records_examined += 1;
+
+                let template = match memo.get(buffer.as_slice()) {
+                    Some(t) => t.clone(),
+                    None => {
+                        let rt = RecordTemplate::from_tokens(buffer.clone());
+                        let t = reduce(&rt);
+                        memo.insert(buffer.clone(), t.clone());
+                        t
+                    }
+                };
+                if template.is_empty() {
+                    continue;
+                }
+                bins.entry(template)
+                    .or_insert_with(|| Accum {
+                        first_line: start,
+                        ..Default::default()
+                    })
+                    .record_candidate(start, start_byte, span_bytes, span_field_bytes);
+            }
+        }
+
+        let threshold = (config.alpha * sample.len() as f64).ceil() as usize;
+        bins.into_iter()
+            .filter(|(_, acc)| acc.coverage >= threshold.max(1))
+            .map(|(template, acc)| Candidate {
+                template,
+                coverage: acc.coverage,
+                field_coverage: acc.field_coverage,
+                hits: acc.hits,
+                first_line: acc.first_line,
+                charset: *charset,
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -321,7 +897,14 @@ mod tests {
     fn single_line_log(n: usize) -> String {
         let mut s = String::new();
         for i in 0..n {
-            s.push_str(&format!("[{:02}:{:02}:{:02}] 10.0.{}.{} GET /index\n", i % 24, i % 60, i % 60, i % 256, (i * 7) % 256));
+            s.push_str(&format!(
+                "[{:02}:{:02}:{:02}] 10.0.{}.{} GET /index\n",
+                i % 24,
+                i % 60,
+                i % 60,
+                i % 256,
+                (i * 7) % 256
+            ));
         }
         s
     }
@@ -339,7 +922,12 @@ mod tests {
         // the dataset.
         let best = &out.candidates[0];
         assert!(best.coverage > data.len() / 2, "coverage {}", best.coverage);
-        assert_eq!(best.template.min_line_span(), 1, "template: {}", best.template);
+        assert_eq!(
+            best.template.min_line_span(),
+            1,
+            "template: {}",
+            best.template
+        );
     }
 
     #[test]
@@ -354,10 +942,7 @@ mod tests {
     fn greedy_finds_a_comparable_template() {
         let data = Dataset::new(single_line_log(200));
         let exh = generate(&data, &config());
-        let grd = generate(
-            &data,
-            &config().with_search(SearchStrategy::Greedy),
-        );
+        let grd = generate(&data, &config().with_search(SearchStrategy::Greedy));
         assert!(!grd.candidates.is_empty());
         // Greedy enumerates far fewer charsets than exhaustive.
         assert!(grd.charsets_enumerated <= exh.charsets_enumerated);
@@ -430,5 +1015,80 @@ mod tests {
             assert!(c.non_field_coverage() <= c.coverage);
             assert!(c.hits > 0);
         }
+    }
+
+    fn workloads() -> Vec<(&'static str, String)> {
+        let mut multi = String::new();
+        for i in 0..120 {
+            multi.push_str(&format!("REQ {i}\nuser=u{};ms={}\n", i % 9, (i * 37) % 500));
+            if i % 11 == 0 {
+                multi.push_str("## banner ##\n");
+            }
+        }
+        let mut csv = String::new();
+        for i in 0..150 {
+            csv.push_str(&format!("{i},{},{},\"x,y\"\n", i * 2, i % 7));
+        }
+        vec![
+            ("weblog", single_line_log(150)),
+            ("multiline", multi),
+            ("csv_quoted", csv),
+            ("tiny", "a b\n".to_string()),
+            ("no_trailing_newline", "k=1\nk=2\nk=3".to_string()),
+        ]
+    }
+
+    #[test]
+    fn span_backend_matches_legacy_exhaustive() {
+        for (name, text) in workloads() {
+            let data = Dataset::new(text);
+            let spans = generate(
+                &data,
+                &config().with_generation_backend(GenerationBackend::Spans),
+            );
+            let legacy = generate(
+                &data,
+                &config().with_generation_backend(GenerationBackend::Legacy),
+            );
+            assert_outputs_identical(&spans, &legacy, name);
+        }
+    }
+
+    #[test]
+    fn span_backend_matches_legacy_greedy() {
+        for (name, text) in workloads() {
+            let data = Dataset::new(text);
+            let base = config().with_search(SearchStrategy::Greedy);
+            let spans = generate(
+                &data,
+                &base
+                    .clone()
+                    .with_generation_backend(GenerationBackend::Spans),
+            );
+            let legacy = generate(
+                &data,
+                &base
+                    .clone()
+                    .with_generation_backend(GenerationBackend::Legacy),
+            );
+            assert_outputs_identical(&spans, &legacy, name);
+        }
+    }
+
+    #[test]
+    fn span_backend_is_thread_count_invariant() {
+        let data = Dataset::new(single_line_log(120));
+        let sequential = generate(&data, &config().with_generation_threads(1));
+        for threads in [2, 3, 8] {
+            let parallel = generate(&data, &config().with_generation_threads(threads));
+            assert_outputs_identical(&sequential, &parallel, &format!("{threads} threads"));
+        }
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(GenerationBackend::Spans.name(), "spans");
+        assert_eq!(GenerationBackend::Legacy.name(), "legacy");
+        assert_eq!(GenerationBackend::default(), GenerationBackend::Spans);
     }
 }

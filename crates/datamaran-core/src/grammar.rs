@@ -157,7 +157,10 @@ impl Grammar {
                         lhs: r,
                         rhs: vec![Symbol::T(Terminal::FieldChar), Symbol::N(r)],
                     });
-                    self.productions.push(Production { lhs: r, rhs: vec![] });
+                    self.productions.push(Production {
+                        lhs: r,
+                        rhs: vec![],
+                    });
                     rhs.push(Symbol::N(f));
                 }
                 Node::Literal(s) => {
@@ -316,12 +319,12 @@ impl Grammar {
         let first = self.first_sets();
         let follow = self.follow_sets();
         let mut conflicts = Vec::new();
-        for nt in 0..self.nonterminals.len() {
+        for (nt, follow_set) in follow.iter().enumerate() {
             let mut seen: BTreeSet<Terminal> = BTreeSet::new();
             for p in self.productions.iter().filter(|p| p.lhs == nt) {
                 let (mut predict, nullable) = self.first_of_sequence(&p.rhs, &first);
                 if nullable {
-                    predict.extend(follow[nt].terminals.iter().copied());
+                    predict.extend(follow_set.terminals.iter().copied());
                 }
                 for t in predict {
                     if !seen.insert(t) {

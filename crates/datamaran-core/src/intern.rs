@@ -1,0 +1,104 @@
+//! Hash-consing of structure templates (the generation step's `TemplateInterner`).
+//!
+//! The generation hash table historically keyed its bins on whole [`StructureTemplate`]
+//! trees, re-hashing a tree for every candidate record.  The interner collapses each
+//! distinct template to a dense [`TemplateId`], so the hot loops key their accumulators on
+//! a `u32`.  The memo from candidate-record keys to ids lives next to the generation hot
+//! loop (`generation.rs`), keyed on windows of interned per-line sequence ids.
+
+use crate::fxhash::FxHashMap;
+use crate::structure::StructureTemplate;
+
+/// Dense identifier of an interned [`StructureTemplate`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TemplateId(u32);
+
+impl TemplateId {
+    /// The id as a dense index (`0..interner.len()`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Hash-consing table assigning dense [`TemplateId`]s to structure templates.
+#[derive(Clone, Debug, Default)]
+pub struct TemplateInterner {
+    by_template: FxHashMap<StructureTemplate, TemplateId>,
+    templates: Vec<StructureTemplate>,
+}
+
+impl TemplateInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a template, returning its id (existing id if already known).
+    pub fn intern(&mut self, template: StructureTemplate) -> TemplateId {
+        if let Some(&id) = self.by_template.get(&template) {
+            return id;
+        }
+        let id = TemplateId(self.templates.len() as u32);
+        self.templates.push(template.clone());
+        self.by_template.insert(template, id);
+        id
+    }
+
+    /// The template behind an id.
+    pub fn get(&self, id: TemplateId) -> &StructureTemplate {
+        &self.templates[id.index()]
+    }
+
+    /// Number of distinct templates interned.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// `true` when no template has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::CharSet;
+    use crate::record::RecordTemplate;
+    use crate::reduce::reduce;
+
+    fn reduced(text: &str, charset: &str) -> StructureTemplate {
+        reduce(&RecordTemplate::from_instantiated(
+            text,
+            &CharSet::from_chars(charset.chars()),
+        ))
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut interner = TemplateInterner::new();
+        let a = reduced("1,2\n", ",\n");
+        let b = reduced("x;y\n", ";\n");
+        let ia = interner.intern(a.clone());
+        let ib = interner.intern(b.clone());
+        assert_ne!(ia, ib);
+        assert_eq!(interner.intern(a.clone()), ia);
+        assert_eq!(interner.len(), 2);
+        assert!(!interner.is_empty());
+        assert_eq!(interner.get(ia), &a);
+        assert_eq!(interner.get(ib), &b);
+        assert_eq!(ia.index(), 0);
+        assert_eq!(ib.index(), 1);
+    }
+
+    #[test]
+    fn expansions_of_one_structure_intern_to_one_id() {
+        let mut interner = TemplateInterner::new();
+        // Different repetition counts of the same logical structure reduce to one template.
+        let small = interner.intern(reduced("1,2,3\n", ",\n"));
+        let large = interner.intern(reduced("1,2,3,4,5,6\n", ",\n"));
+        assert_eq!(small, large);
+        assert_eq!(interner.len(), 1);
+        assert_eq!(interner.get(small).to_string(), "(F,)*F\\n");
+    }
+}

@@ -49,8 +49,11 @@ pub mod dataset;
 pub mod error;
 pub mod export;
 pub mod fieldtype;
+pub mod fxhash;
 pub mod generation;
 pub mod grammar;
+pub mod intern;
+pub mod json;
 pub mod mdl;
 pub mod parallel;
 pub mod parser;
@@ -61,17 +64,20 @@ pub mod refine;
 pub mod relational;
 pub mod scores;
 pub mod semtype;
+pub mod span;
 pub mod streaming;
 pub mod structure;
 
 pub use chars::{default_special_chars, CharSet};
-pub use config::{DatamaranConfig, SearchStrategy};
+pub use config::{DatamaranConfig, GenerationBackend, SearchStrategy};
 pub use dataset::Dataset;
 pub use error::{Error, Result};
 pub use export::{all_tables_csv, table_to_csv, write_table_csv, ExtractionReport};
 pub use fieldtype::FieldType;
 pub use generation::{generate, Candidate, GenerationOutput};
 pub use grammar::Grammar;
+pub use intern::{TemplateId, TemplateInterner};
+pub use json::{JsonError, JsonValue};
 pub use mdl::{CoverageScorer, MdlScorer, RegularityScorer};
 pub use parallel::{parse_dataset_parallel, ParallelOptions};
 pub use parser::{parse_dataset, FieldCell, LineMatcher, ParseResult, RecordMatch, ValueTree};
@@ -81,5 +87,6 @@ pub use reduce::reduce;
 pub use relational::{RelationalOutput, Table};
 pub use scores::{NoisePenaltyScorer, NonFieldCoverageScorer, UntypedMdlScorer};
 pub use semtype::{annotate_result, annotate_table, SemanticType, TableAnnotation};
+pub use span::{field_spans, tokenize_spans, LineIndex, SpanToken, SpanTokenKind};
 pub use streaming::{extract_stream, OwnedRecord, StreamOptions, StreamSummary};
 pub use structure::{Node, StructureTemplate};

@@ -184,7 +184,12 @@ mod tests {
     fn structured_template_beats_trivial_whole_line_field() {
         let mut data = String::new();
         for i in 0..50 {
-            data.push_str(&format!("[{:02}:{:02}] 10.0.0.{}\n", i % 24, i % 60, i % 200));
+            data.push_str(&format!(
+                "[{:02}:{:02}] 10.0.0.{}\n",
+                i % 24,
+                i % 60,
+                i % 200
+            ));
         }
         // Structured template: recognises brackets, colon, dot and space.
         let good = template("[01:05] 10.0.0.1\n", "[]:. \n");
@@ -264,7 +269,9 @@ mod tests {
         let dataset = &data;
         let parse = parse_dataset(dataset, std::slice::from_ref(&st), 10);
         let empty = ParseResult::default();
-        assert!(CoverageScorer.score(dataset, &st, &parse) < CoverageScorer.score(dataset, &st, &empty));
+        assert!(
+            CoverageScorer.score(dataset, &st, &parse) < CoverageScorer.score(dataset, &st, &empty)
+        );
         assert_eq!(CoverageScorer.name(), "coverage");
         assert_eq!(MdlScorer.name(), "mdl");
     }

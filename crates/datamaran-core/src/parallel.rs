@@ -3,7 +3,7 @@
 //! The paper observes that for large datasets the running time is dominated by the actual
 //! data-extraction pass ("the majority of the running time is spent on running the LL(1)
 //! parser"), and that this pass "is eminently parallelizable".  This module implements that
-//! parallelization with `crossbeam` scoped threads.
+//! parallelization with `std::thread::scope` scoped threads.
 //!
 //! The key property that makes the pass parallel is that the question *"does a record of one
 //! of the templates start at line `i`?"* depends only on the text from line `i` onwards —
@@ -54,11 +54,40 @@ impl ParallelOptions {
 
     /// Effective number of chunks for a dataset with `n_lines` lines.
     pub fn effective_chunks(&self, n_lines: usize) -> usize {
-        if self.threads <= 1 {
-            return 1;
-        }
-        let by_size = n_lines / self.min_chunk_lines.max(1);
-        self.threads.min(by_size.max(1))
+        effective_workers(self.threads, n_lines, self.min_chunk_lines)
+    }
+}
+
+/// Number of workers worth spawning for `n_items` units of work: the requested `threads`,
+/// capped so that each worker gets at least `min_items_per_worker` items (per-thread
+/// overhead must never dominate).  `0` or `1` threads means sequential.
+///
+/// Shared by the parallel extraction pass and the generation step's charset enumeration.
+pub fn effective_workers(threads: usize, n_items: usize, min_items_per_worker: usize) -> usize {
+    if threads <= 1 {
+        return 1;
+    }
+    let by_size = n_items / min_items_per_worker.max(1);
+    threads.min(by_size.max(1))
+}
+
+/// Splits `0..n` into at most `chunks` contiguous, near-equal, non-empty ranges.
+pub fn chunk_bounds(n: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.max(1);
+    (0..chunks)
+        .map(|k| (k * n / chunks, (k + 1) * n / chunks))
+        .filter(|(a, b)| b > a)
+        .collect()
+}
+
+/// Resolves a thread-count knob: `0` means "one per available core".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     }
 }
 
@@ -78,18 +107,15 @@ pub fn parse_dataset_parallel(
     }
 
     // Chunk boundaries: `chunks` contiguous, near-equal line ranges.
-    let bounds: Vec<(usize, usize)> = (0..chunks)
-        .map(|k| (k * n / chunks, (k + 1) * n / chunks))
-        .filter(|(a, b)| b > a)
-        .collect();
+    let bounds = chunk_bounds(n, chunks);
 
     // Phase 1: per-line match tables, one per chunk, computed in parallel.
     let mut tables: Vec<Vec<Option<RecordMatch>>> = Vec::with_capacity(bounds.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = bounds
             .iter()
             .map(|&(first, last)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let matcher = LineMatcher::new(templates, max_line_span);
                     (first..last)
                         .map(|line| matcher.match_line(dataset, line))
@@ -100,8 +126,7 @@ pub fn parse_dataset_parallel(
         for h in handles {
             tables.push(h.join().expect("extraction worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     // Phase 2: sequential stitch replaying the greedy segmentation.
     let lookup = |line: usize| -> &Option<RecordMatch> {
@@ -161,8 +186,13 @@ mod tests {
     fn noisy_multiline_log(n: usize) -> String {
         let mut s = String::new();
         for i in 0..n as u64 {
-            s.push_str(&format!("REQ {}\nuser=u{};ms={}\n", i, mix(i) % 50, mix(i * 3) % 900));
-            if mix(i * 7) % 11 == 0 {
+            s.push_str(&format!(
+                "REQ {}\nuser=u{};ms={}\n",
+                i,
+                mix(i) % 50,
+                mix(i * 3) % 900
+            ));
+            if mix(i * 7).is_multiple_of(11) {
                 s.push_str(&format!("## banner {} ##\n", mix(i) % 4096));
             }
         }
@@ -208,9 +238,11 @@ mod tests {
     fn parallel_matches_sequential_with_multiple_templates_and_arrays() {
         let mut text = String::new();
         for i in 0..300u64 {
-            if mix(i) % 3 == 0 {
+            if mix(i).is_multiple_of(3) {
                 let k = 1 + (mix(i * 5) % 4) as usize;
-                let vals: Vec<String> = (0..k).map(|j| format!("{}", mix(i + j as u64) % 99)).collect();
+                let vals: Vec<String> = (0..k)
+                    .map(|j| format!("{}", mix(i + j as u64) % 99))
+                    .collect();
                 text.push_str(&vals.join(","));
                 text.push('\n');
             } else {
@@ -287,7 +319,12 @@ mod tests {
         assert_eq!(opts.effective_chunks(100), 1);
         assert_eq!(opts.effective_chunks(1024), 2);
         assert_eq!(opts.effective_chunks(1_000_000), 16);
-        assert_eq!(ParallelOptions::default().with_threads(0).effective_chunks(10_000), 1);
+        assert_eq!(
+            ParallelOptions::default()
+                .with_threads(0)
+                .effective_chunks(10_000),
+            1
+        );
     }
 
     #[test]

@@ -13,11 +13,10 @@
 use crate::chars::CharSet;
 use crate::dataset::Dataset;
 use crate::structure::{Node, StructureTemplate};
-use serde::{Deserialize, Serialize};
 
 /// One extracted field occurrence: which template column it instantiates and where its value
 /// lives in the dataset text.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FieldCell {
     /// Index of the field leaf in the template (pre-order numbering).
     pub column: usize,
@@ -29,7 +28,7 @@ pub struct FieldCell {
 
 /// The instantiation tree of one record: mirrors the structure template, with concrete spans
 /// at the field leaves and one group per array repetition.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ValueTree {
     /// A field leaf instantiated by the byte span `[start, end)`.
     Field {
@@ -52,7 +51,7 @@ pub enum ValueTree {
 }
 
 /// A matched (instantiated) record.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RecordMatch {
     /// Which of the supplied templates matched.
     pub template_index: usize,
@@ -79,7 +78,7 @@ impl RecordMatch {
 }
 
 /// Segmentation of a dataset into records of the supplied templates and noise lines.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ParseResult {
     /// Matched records in document order.
     pub records: Vec<RecordMatch>,
@@ -203,7 +202,9 @@ impl<'a> LineMatcher<'a> {
                 // The record must end exactly at a line boundary and respect the span limit.
                 let end_line = line_of_offset(dataset, end, line);
                 let ends_on_boundary = end == text.len()
-                    || end_line.map(|l| dataset.line_start(l) == end).unwrap_or(false);
+                    || end_line
+                        .map(|l| dataset.line_start(l) == end)
+                        .unwrap_or(false);
                 let line_span_end = end_line.unwrap_or(n);
                 if ends_on_boundary && line_span_end - line <= self.max_line_span && end > start {
                     return Some(RecordMatch {
@@ -443,7 +444,7 @@ mod tests {
     fn extracts_field_values_per_column() {
         let data = Dataset::new("[01:05] alice\n[02:06] bob\n");
         let st = template("[01:05] alice\n", "[]: \n");
-        let result = parse_dataset(&data, &[st.clone()], 10);
+        let result = parse_dataset(&data, std::slice::from_ref(&st), 10);
         let cols = result.column_values(&data, 0, st.field_count());
         assert_eq!(cols[0], vec!["01", "02"]);
         assert_eq!(cols[1], vec!["05", "06"]);
@@ -474,7 +475,7 @@ mod tests {
     fn array_columns_accumulate_all_repetition_values() {
         let data = Dataset::new("1,2,3\n4,5\n");
         let st = array_template("1,2,3\n", ",\n");
-        let result = parse_dataset(&data, &[st.clone()], 10);
+        let result = parse_dataset(&data, std::slice::from_ref(&st), 10);
         let cols = result.column_values(&data, 0, st.field_count());
         assert_eq!(cols[0], vec!["1", "2", "3", "4", "5"]);
     }

@@ -199,7 +199,7 @@ impl Datamaran {
         let structures = self.build_structures(&full, &templates, &parse);
         stats.timings.extraction += started.elapsed();
 
-        let noise_fraction = if full.len() == 0 {
+        let noise_fraction = if full.is_empty() {
             0.0
         } else {
             parse.noise_bytes as f64 / full.len() as f64
@@ -228,10 +228,7 @@ impl Datamaran {
                 templates.iter().map(|(t, _)| t.clone()).collect();
             let parse = parse_dataset(full, &template_list, self.config.max_line_span);
             let runs = parse.noise_runs(full);
-            let residual: String = runs
-                .iter()
-                .map(|(s, e)| &full.text()[*s..*e])
-                .collect();
+            let residual: String = runs.iter().map(|(s, e)| &full.text()[*s..*e]).collect();
             // Stop when the residual is too small to contain another α-covered record type
             // (Assumption 1 applies to the whole dataset).
             if residual.len() < (self.config.alpha * full.len() as f64) as usize
@@ -329,7 +326,10 @@ impl Datamaran {
         scorer: &S,
         stats: &mut PipelineStats,
     ) -> Result<Option<(StructureTemplate, f64)>> {
-        Ok(self.discover_ranked(text, scorer, stats, 1)?.into_iter().next())
+        Ok(self
+            .discover_ranked(text, scorer, stats, 1)?
+            .into_iter()
+            .next())
     }
 
     /// Evaluates every pruned candidate and reports the best template per the scorer without
@@ -378,10 +378,8 @@ impl Datamaran {
                     .collect();
                 let record_refs: Vec<&RecordMatch> = records.iter().collect();
                 let type_name = format!("type{idx}");
-                let relational =
-                    to_relational(template, full.text(), &record_refs, &type_name);
-                let denormalized =
-                    to_denormalized(template, full.text(), &record_refs, &type_name);
+                let relational = to_relational(template, full.text(), &record_refs, &type_name);
+                let denormalized = to_denormalized(template, full.text(), &record_refs, &type_name);
                 let column_types = {
                     // Restrict the parse to this template's records for type inference.
                     let sub = ParseResult {
@@ -449,7 +447,12 @@ mod tests {
             text.push_str(&format!("REQ {i}\nuser=u{i};ms={}\n", i * 3));
         }
         let result = Datamaran::with_defaults().extract(&text).unwrap();
-        assert_eq!(result.structures.len(), 1, "templates: {:?}", result.templates());
+        assert_eq!(
+            result.structures.len(),
+            1,
+            "templates: {:?}",
+            result.templates()
+        );
         let s = &result.structures[0];
         assert_eq!(s.records.len(), 80);
         assert!(s.template.min_line_span() >= 2, "template {}", s.template);
@@ -526,7 +529,10 @@ mod tests {
     #[test]
     fn greedy_search_also_extracts() {
         let config = DatamaranConfig::default().with_search(SearchStrategy::Greedy);
-        let result = Datamaran::new(config).unwrap().extract(&web_log(100)).unwrap();
+        let result = Datamaran::new(config)
+            .unwrap()
+            .extract(&web_log(100))
+            .unwrap();
         assert_eq!(result.structures[0].records.len(), 100);
     }
 

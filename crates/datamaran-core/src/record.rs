@@ -8,12 +8,11 @@
 //! non-member characters collapses into a single `F`, and member characters are kept verbatim.
 
 use crate::chars::{display_char, CharSet};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One token of a record template: either a field placeholder or a literal formatting
 /// character.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TemplateToken {
     /// The field placeholder `F`.
     Field,
@@ -23,7 +22,7 @@ pub enum TemplateToken {
 
 /// A record template: the sequence of formatting characters and field placeholders obtained
 /// from an instantiated record (Definition 2.1).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct RecordTemplate {
     tokens: Vec<TemplateToken>,
 }
@@ -108,7 +107,7 @@ impl fmt::Display for RecordTemplate {
 
 /// A field value extracted from an instantiated record, together with its byte span in the
 /// record text.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FieldValue {
     /// Byte offset of the first character of the value within the record text.
     pub start: usize,
@@ -120,30 +119,18 @@ pub struct FieldValue {
 
 /// Extracts the field values of `text` under `rt_charset` (Definition 2.2): the maximal runs
 /// of non-member characters, in order.
+///
+/// This is the owned-copy convenience API; hot paths that only need positions should use
+/// [`crate::span::field_spans`] (the shared tokenizer behind both).
 pub fn field_values(text: &str, rt_charset: &CharSet) -> Vec<FieldValue> {
-    let mut values = Vec::new();
-    let mut start: Option<usize> = None;
-    for (i, c) in text.char_indices() {
-        if rt_charset.contains(c) {
-            if let Some(s) = start.take() {
-                values.push(FieldValue {
-                    start: s,
-                    end: i,
-                    text: text[s..i].to_string(),
-                });
-            }
-        } else if start.is_none() {
-            start = Some(i);
-        }
-    }
-    if let Some(s) = start {
-        values.push(FieldValue {
-            start: s,
-            end: text.len(),
-            text: text[s..].to_string(),
-        });
-    }
-    values
+    crate::span::field_spans(text, rt_charset)
+        .into_iter()
+        .map(|span| FieldValue {
+            start: span.start as usize,
+            end: span.end as usize,
+            text: text[span.start as usize..span.end as usize].to_string(),
+        })
+        .collect()
 }
 
 /// Total number of bytes covered by field values in `text` under `rt_charset`.

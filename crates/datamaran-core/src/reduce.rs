@@ -146,8 +146,7 @@ fn find_fold(items: &[Item]) -> Option<FoldSpec> {
                 let tail_start = start + reps * unit_len;
                 let body_len = unit_len - 1;
                 let tail_fits = tail_start + body_len < n
-                    && (0..body_len)
-                        .all(|k| items[tail_start + k].same_plain(&items[start + k]));
+                    && (0..body_len).all(|k| items[tail_start + k].same_plain(&items[start + k]));
                 if tail_fits {
                     if let Some(terminator) = items[tail_start + body_len].as_char() {
                         if terminator != separator {

@@ -11,10 +11,9 @@
 
 use crate::parser::{RecordMatch, ValueTree};
 use crate::structure::{Node, StructureTemplate};
-use serde::{Deserialize, Serialize};
 
 /// A relational table with string-typed cells.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Table {
     /// Table name (derived from the record-type name and the array position).
     pub name: String,
@@ -37,7 +36,7 @@ impl Table {
 }
 
 /// The normalized relational output of one record type.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RelationalOutput {
     /// The root table followed by one table per array node (pre-order).
     pub tables: Vec<Table>,
@@ -357,7 +356,11 @@ mod tests {
         assert_eq!(root.rows[0][1], "a");
         assert!(root.rows[0].contains(&"b".to_string()));
         let child = &rel.tables[1];
-        let values: Vec<&str> = child.rows.iter().map(|r| r.last().unwrap().as_str()).collect();
+        let values: Vec<&str> = child
+            .rows
+            .iter()
+            .map(|r| r.last().unwrap().as_str())
+            .collect();
         assert_eq!(values, vec!["x", "y", "z", "p", "q"]);
     }
 

@@ -180,7 +180,10 @@ mod tests {
         let clean = "k=1\nk=2\n";
         let base_clean = score_on(&MdlScorer, clean, &template);
         let weighted_clean = score_on(&NoisePenaltyScorer::new(MdlScorer, 3.0), clean, &template);
-        assert!((base_clean - weighted_clean).abs() < 1e-9, "no noise, no change");
+        assert!(
+            (base_clean - weighted_clean).abs() < 1e-9,
+            "no noise, no change"
+        );
         assert!((NoisePenaltyScorer::new(MdlScorer, 2.0).noise_weight() - 2.0).abs() < 1e-12);
     }
 
@@ -195,7 +198,9 @@ mod tests {
         // The untyped scorer may legitimately settle on a different (e.g. composite
         // multi-line) template than the typed one; what matters here is that the pipeline
         // accepts the scorer and still explains essentially the whole file.
-        let a = engine.extract_with_scorer(&text, &UntypedMdlScorer).unwrap();
+        let a = engine
+            .extract_with_scorer(&text, &UntypedMdlScorer)
+            .unwrap();
         assert!(a.record_count() > 0);
         assert!(a.noise_fraction < 0.05, "noise {}", a.noise_fraction);
         // Scaling the noise term does not change anything on a noise-free file, so the

@@ -18,10 +18,9 @@
 use crate::fieldtype::parse_integer;
 use crate::pipeline::ExtractionResult;
 use crate::relational::Table;
-use serde::{Deserialize, Serialize};
 
 /// Semantic classification of a field value.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum SemanticType {
     /// A dotted-quad IPv4 address, e.g. `192.168.0.1`.
     IpV4,
@@ -84,6 +83,31 @@ impl SemanticType {
             SemanticType::Identifier => "identifier",
             SemanticType::Text => "text",
         }
+    }
+
+    /// Inverse of [`SemanticType::name`]: parses the short lowercase name back.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "ipv4" => SemanticType::IpV4,
+            "ipv6" => SemanticType::IpV6,
+            "date" => SemanticType::Date,
+            "time" => SemanticType::Time,
+            "timestamp" => SemanticType::Timestamp,
+            "url" => SemanticType::Url,
+            "path" => SemanticType::Path,
+            "email" => SemanticType::Email,
+            "uuid" => SemanticType::Uuid,
+            "mac" => SemanticType::MacAddress,
+            "hex_id" => SemanticType::HexId,
+            "integer" => SemanticType::Integer,
+            "real" => SemanticType::Real,
+            "percentage" => SemanticType::Percentage,
+            "byte_size" => SemanticType::ByteSize,
+            "severity" => SemanticType::Severity,
+            "identifier" => SemanticType::Identifier,
+            "text" => SemanticType::Text,
+            _ => return None,
+        })
     }
 
     /// `true` for types that carry a single numeric value.
@@ -161,7 +185,7 @@ pub fn detect(value: &str) -> SemanticType {
 }
 
 /// A column-level semantic annotation.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ColumnAnnotation {
     /// Column index in the table.
     pub column: usize,
@@ -173,7 +197,7 @@ pub struct ColumnAnnotation {
 
 /// A run of adjacent columns that, joined with a fixed delimiter, form one composite value
 /// (e.g. four octet columns forming an IPv4 address).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CompositeColumn {
     /// The first column of the run.
     pub first_column: usize,
@@ -186,7 +210,7 @@ pub struct CompositeColumn {
 }
 
 /// Semantic annotation of one table: per-column types plus composite column runs.
-#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct TableAnnotation {
     /// One annotation per column, in column order.
     pub columns: Vec<ColumnAnnotation>,
@@ -217,15 +241,12 @@ pub fn infer_column(values: &[&str]) -> (SemanticType, f64) {
     if total == 0 {
         return (SemanticType::Text, 0.0);
     }
-    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     let (best, n) = counts[0];
     let confidence = n as f64 / total as f64;
     if confidence >= COLUMN_AGREEMENT {
         (best, confidence)
-    } else if counts
-        .iter()
-        .all(|(t, _)| *t != SemanticType::Text)
-    {
+    } else if counts.iter().all(|(t, _)| *t != SemanticType::Text) {
         (SemanticType::Identifier, confidence)
     } else {
         (SemanticType::Text, confidence)
@@ -388,9 +409,9 @@ fn is_date(v: &str) -> bool {
     for sep in ['-', '/'] {
         let parts: Vec<&str> = v.split(sep).collect();
         if parts.len() == 3
-            && parts.iter().all(|p| {
-                !p.is_empty() && p.len() <= 4 && p.bytes().all(|b| b.is_ascii_digit())
-            })
+            && parts
+                .iter()
+                .all(|p| !p.is_empty() && p.len() <= 4 && p.bytes().all(|b| b.is_ascii_digit()))
         {
             // Either the first (YYYY-MM-DD) or the last (DD-MM-YYYY) component is a year.
             let year_first = parts[0].len() == 4;
@@ -415,9 +436,9 @@ fn is_time(v: &str) -> bool {
     }
     let parts: Vec<&str> = hms.split(':').collect();
     (parts.len() == 2 || parts.len() == 3)
-        && parts.iter().all(|p| {
-            (p.len() == 1 || p.len() == 2) && p.bytes().all(|b| b.is_ascii_digit())
-        })
+        && parts
+            .iter()
+            .all(|p| (p.len() == 1 || p.len() == 2) && p.bytes().all(|b| b.is_ascii_digit()))
         && parts[0].parse::<u32>().map(|h| h < 24).unwrap_or(false)
         && parts[1..]
             .iter()
@@ -486,8 +507,8 @@ fn is_byte_size(v: &str) -> bool {
 
 fn is_severity(v: &str) -> bool {
     const LEVELS: &[&str] = &[
-        "TRACE", "DEBUG", "INFO", "NOTICE", "WARN", "WARNING", "ERROR", "ERR", "CRITICAL",
-        "FATAL", "PANIC",
+        "TRACE", "DEBUG", "INFO", "NOTICE", "WARN", "WARNING", "ERROR", "ERR", "CRITICAL", "FATAL",
+        "PANIC",
     ];
     LEVELS.iter().any(|l| v.eq_ignore_ascii_case(l))
 }
@@ -536,7 +557,10 @@ mod tests {
     #[test]
     fn detects_ipv6() {
         assert_eq!(detect("fe80::1a2b:3c4d:5e6f:7a8b"), SemanticType::IpV6);
-        assert_eq!(detect("2001:0db8:0000:0000:0000:ff00:0042:8329"), SemanticType::IpV6);
+        assert_eq!(
+            detect("2001:0db8:0000:0000:0000:ff00:0042:8329"),
+            SemanticType::IpV6
+        );
         assert_ne!(detect("04:02:24"), SemanticType::IpV6);
     }
 
@@ -562,7 +586,10 @@ mod tests {
 
     #[test]
     fn detects_ids_and_numbers() {
-        assert_eq!(detect("123e4567-e89b-12d3-a456-426614174000"), SemanticType::Uuid);
+        assert_eq!(
+            detect("123e4567-e89b-12d3-a456-426614174000"),
+            SemanticType::Uuid
+        );
         assert_eq!(detect("aa:bb:cc:dd:ee:ff"), SemanticType::MacAddress);
         assert_eq!(detect("deadbeef42"), SemanticType::HexId);
         assert_eq!(detect("0x7ffe12ab"), SemanticType::HexId);
@@ -623,10 +650,7 @@ mod tests {
     fn annotate_table_types_every_column() {
         let t = table(
             &["a", "b", "c"],
-            &[
-                &["10.0.0.1", "GET", "42"],
-                &["10.0.0.2", "POST", "17"],
-            ],
+            &[&["10.0.0.1", "GET", "42"], &["10.0.0.2", "POST", "17"]],
         );
         let ann = annotate_table(&t);
         assert_eq!(ann.columns.len(), 3);

@@ -1,0 +1,395 @@
+//! Zero-copy span tokenization for the generation hot path.
+//!
+//! The generation step (§4.1, Algorithm 1) historically re-tokenized every sampled line for
+//! every enumerated `RT-CharSet` value — `2^c` passes over the sample for the exhaustive
+//! search.  This module replaces those passes with a **single** tokenization pass under the
+//! *superset* charset (every candidate character present in the sample) followed by cheap
+//! per-charset *projections*:
+//!
+//! * [`LineIndex::build`] scans the sample once, records the formatting-character
+//!   occurrence pattern of every line, and collapses lines with identical patterns into
+//!   **shape classes** (log lines repeat heavily, so a sample has orders of magnitude fewer
+//!   classes than lines).  Field *content* is never copied — only patterns are kept.
+//! * [`LineIndex::project_class`] derives a class's record-template token sequence under any
+//!   subset charset in `O(#occurrences)`: member characters are kept, non-member characters
+//!   are demoted back into field content (merging with the neighbouring runs), and no
+//!   per-token heap allocation happens (tokens are appended to a caller-owned buffer).
+//!   Projecting per *class* instead of per line makes a whole-sample projection
+//!   `O(#classes × pattern length + #lines)`.
+//! * [`LineIndex::field_bytes`] computes the per-line field-byte count under a subset from
+//!   the class's kept-byte total, replacing a full rescan of the line.
+//!
+//! The module also exposes the span-level view itself ([`SpanToken`], [`tokenize_spans`],
+//! [`field_spans`]): tokens that borrow the tokenized text as `Range<u32>` byte spans
+//! instead of owning copies, which is what keeps the per-record inner loop allocation-free.
+
+use crate::chars::CharSet;
+use crate::dataset::Dataset;
+use crate::fxhash::FxHashMap;
+use crate::record::TemplateToken;
+use std::ops::Range;
+
+/// The kind of a [`SpanToken`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpanTokenKind {
+    /// A maximal run of field (non-formatting) bytes.
+    Field,
+    /// One formatting character.
+    Ch(char),
+}
+
+/// One token of a tokenized line: its kind plus the byte span it occupies in the source
+/// text.  Unlike [`TemplateToken`]-based tokenization paired with owned field strings, a
+/// `SpanToken` never copies text — consumers slice the original dataset on demand.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpanToken {
+    /// What the span contains.
+    pub kind: SpanTokenKind,
+    /// Byte span `[start, end)` into the tokenized text.
+    pub span: Range<u32>,
+}
+
+impl SpanToken {
+    /// The spanned slice of `text`.
+    pub fn slice<'t>(&self, text: &'t str) -> &'t str {
+        &text[self.span.start as usize..self.span.end as usize]
+    }
+}
+
+/// Tokenizes `text` under `charset`, appending one [`SpanToken`] per formatting character
+/// and per maximal field run to `out`.  Zero-copy and allocation-free apart from `out`'s
+/// amortized growth; equivalent to `RecordTemplate::from_instantiated` plus
+/// `field_values`, but without materializing any string.
+pub fn tokenize_spans(text: &str, charset: &CharSet, out: &mut Vec<SpanToken>) {
+    assert!(
+        text.len() <= u32::MAX as usize,
+        "span tokenization is limited to texts under 4 GiB"
+    );
+    let mut field_start: Option<u32> = None;
+    for (i, c) in text.char_indices() {
+        if charset.contains(c) {
+            if let Some(s) = field_start.take() {
+                out.push(SpanToken {
+                    kind: SpanTokenKind::Field,
+                    span: s..i as u32,
+                });
+            }
+            out.push(SpanToken {
+                kind: SpanTokenKind::Ch(c),
+                span: i as u32..(i + c.len_utf8()) as u32,
+            });
+        } else if field_start.is_none() {
+            field_start = Some(i as u32);
+        }
+    }
+    if let Some(s) = field_start {
+        out.push(SpanToken {
+            kind: SpanTokenKind::Field,
+            span: s..text.len() as u32,
+        });
+    }
+}
+
+/// The byte spans of the field values of `text` under `charset` (Definition 2.2), borrowed
+/// rather than copied.
+pub fn field_spans(text: &str, charset: &CharSet) -> Vec<Range<u32>> {
+    let mut tokens = Vec::new();
+    tokenize_spans(text, charset, &mut tokens);
+    tokens
+        .into_iter()
+        .filter(|t| t.kind == SpanTokenKind::Field)
+        .map(|t| t.span)
+        .collect()
+}
+
+/// One formatting-character occurrence of a shape class, packed into 16 bits:
+/// code point (8) | utf8-length-minus-one (1) | gap-before flag (1).
+///
+/// The packing doubles as the class's hashable signature (with
+/// [`TRAILING_GAP_SENTINEL`] appended), so the build pass interns each line with a single
+/// small-slice hash.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct PackedOcc(u16);
+
+impl PackedOcc {
+    fn new(ch: u8, utf8_len: u8, gap_before: bool) -> Self {
+        debug_assert!(utf8_len == 1 || utf8_len == 2);
+        PackedOcc((ch as u16) | (((utf8_len - 1) as u16) << 8) | ((gap_before as u16) << 9))
+    }
+
+    fn ch(self) -> char {
+        (self.0 & 0xFF) as u8 as char
+    }
+
+    fn utf8_len(self) -> usize {
+        (((self.0 >> 8) & 1) + 1) as usize
+    }
+
+    fn gap_before(self) -> bool {
+        self.0 & (1 << 9) != 0
+    }
+}
+
+/// Signature terminator encoding the trailing-gap flag; distinct from every packed
+/// occurrence (those are `<= 0x3FF`).
+const TRAILING_GAP_SENTINEL: u16 = 0xFC00;
+
+/// Per-line index of superset formatting-character occurrences, built once per sample and
+/// shared (immutably) by every per-charset projection — including across worker threads.
+///
+/// Lines with identical occurrence patterns share a **shape class**; projections and
+/// kept-byte totals are computed per class, per-line data is reduced to a class id and a
+/// byte length.
+#[derive(Clone, Debug, Default)]
+pub struct LineIndex {
+    /// Class-level occurrence arena.
+    occs: Vec<PackedOcc>,
+    /// `occs` range of class `c`: `class_offsets[c]..class_offsets[c + 1]`.
+    class_offsets: Vec<u32>,
+    /// Whether lines of class `c` end with a non-empty field run after the last occurrence.
+    class_trailing_gap: Vec<bool>,
+    /// Shape class of each line.
+    line_class: Vec<u32>,
+    /// Byte length of each line (including its trailing `\n` when present).
+    line_len: Vec<u32>,
+}
+
+impl LineIndex {
+    /// Scans every line of `sample` once, recording the occurrences of `superset` members
+    /// and interning identical occurrence patterns into shape classes.
+    pub fn build(sample: &Dataset, superset: &CharSet) -> LineIndex {
+        let n = sample.line_count();
+        let mut index = LineIndex {
+            class_offsets: vec![0],
+            line_class: Vec::with_capacity(n),
+            line_len: Vec::with_capacity(n),
+            ..Default::default()
+        };
+        let mut classes: FxHashMap<Box<[u16]>, u32> = FxHashMap::default();
+        let mut signature: Vec<u16> = Vec::new();
+        for i in 0..n {
+            let line = sample.line(i);
+            signature.clear();
+            let mut gap = false;
+            for c in line.chars() {
+                if superset.contains(c) {
+                    signature.push(PackedOcc::new(c as u8, c.len_utf8() as u8, gap).0);
+                    gap = false;
+                } else {
+                    gap = true;
+                }
+            }
+            signature.push(TRAILING_GAP_SENTINEL | gap as u16);
+            let class = match classes.get(signature.as_slice()) {
+                Some(&c) => c,
+                None => {
+                    let c = index.class_offsets.len() as u32 - 1;
+                    index.occs.extend(
+                        signature[..signature.len() - 1]
+                            .iter()
+                            .map(|&p| PackedOcc(p)),
+                    );
+                    index.class_offsets.push(index.occs.len() as u32);
+                    index.class_trailing_gap.push(gap);
+                    classes.insert(signature.as_slice().into(), c);
+                    c
+                }
+            };
+            index.line_class.push(class);
+            index.line_len.push(line.len() as u32);
+        }
+        index
+    }
+
+    /// Number of indexed lines.
+    pub fn line_count(&self) -> usize {
+        self.line_len.len()
+    }
+
+    /// Number of distinct shape classes.
+    pub fn class_count(&self) -> usize {
+        self.class_trailing_gap.len()
+    }
+
+    /// Shape class of line `i`.
+    pub fn class_of(&self, i: usize) -> u32 {
+        self.line_class[i]
+    }
+
+    /// Byte length of line `i`.
+    pub fn line_len(&self, i: usize) -> usize {
+        self.line_len[i] as usize
+    }
+
+    fn class_occs(&self, c: u32) -> &[PackedOcc] {
+        &self.occs
+            [self.class_offsets[c as usize] as usize..self.class_offsets[c as usize + 1] as usize]
+    }
+
+    /// Appends class `c`'s record-template tokens under `subset` to `out`.
+    ///
+    /// Produces exactly the token sequence of
+    /// `RecordTemplate::from_instantiated(line, subset)` for every line of the class:
+    /// members of `subset` are kept as [`TemplateToken::Ch`]; everything else (field runs
+    /// *and* demoted superset characters) merges into [`TemplateToken::Field`] runs.
+    /// Multi-line candidate records are the concatenation of per-line projections,
+    /// mirroring how the generation step has always assembled them.
+    pub fn project_class(&self, c: u32, subset: &CharSet, out: &mut Vec<TemplateToken>) {
+        let mut pending = false;
+        for occ in self.class_occs(c) {
+            pending |= occ.gap_before();
+            if subset.contains(occ.ch()) {
+                if pending {
+                    out.push(TemplateToken::Field);
+                    pending = false;
+                }
+                out.push(TemplateToken::Ch(occ.ch()));
+            } else {
+                // Demoted: the character itself becomes field content.
+                pending = true;
+            }
+        }
+        if pending | self.class_trailing_gap[c as usize] {
+            out.push(TemplateToken::Field);
+        }
+    }
+
+    /// Appends line `i`'s record-template tokens under `subset` to `out` (the per-line view
+    /// of [`LineIndex::project_class`]).
+    pub fn project_line(&self, i: usize, subset: &CharSet, out: &mut Vec<TemplateToken>) {
+        self.project_class(self.line_class[i], subset, out);
+    }
+
+    /// Total bytes of the `subset` members occurring in lines of class `c`.
+    pub fn class_kept_bytes(&self, c: u32, subset: &CharSet) -> usize {
+        self.class_occs(c)
+            .iter()
+            .filter(|occ| subset.contains(occ.ch()))
+            .map(|occ| occ.utf8_len())
+            .sum()
+    }
+
+    /// Byte count of field content of line `i` under `subset`: the line length minus the
+    /// bytes of the subset members occurring in it (equivalent to
+    /// `record::field_char_len(line, subset)`).
+    pub fn field_bytes(&self, i: usize, subset: &CharSet) -> usize {
+        self.line_len(i) - self.class_kept_bytes(self.line_class[i], subset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordTemplate;
+
+    fn cs(s: &str) -> CharSet {
+        CharSet::from_chars(s.chars())
+    }
+
+    fn project_all(index: &LineIndex, subset: &CharSet, line: usize) -> Vec<TemplateToken> {
+        let mut out = Vec::new();
+        index.project_line(line, subset, &mut out);
+        out
+    }
+
+    #[test]
+    fn projection_matches_direct_tokenization() {
+        let text = "[01:05] 10.0.0.1 GET /index\nplain words only\n=,=;\n\n[9] x\n";
+        let sample = Dataset::new(text);
+        let superset = cs("[]:. /=,;\n ");
+        let index = LineIndex::build(&sample, &superset);
+        for subset_str in ["\n", ",\n", "[]:\n", "[]:. \n", "=;\n", "[]:. /=,;\n "] {
+            let subset = cs(subset_str);
+            for i in 0..sample.line_count() {
+                let expected = RecordTemplate::from_instantiated(sample.line(i), &subset);
+                let got = project_all(&index, &subset, i);
+                assert_eq!(got, expected.tokens(), "line {i:?} under {subset_str:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn field_bytes_match_field_char_len() {
+        let text = "[01:05] 10.0.0.1 GET /index\nüber=schön\n";
+        let sample = Dataset::new(text);
+        let superset = cs("[]:. /=\n");
+        let index = LineIndex::build(&sample, &superset);
+        for subset_str in ["\n", "=\n", "[]:. /=\n"] {
+            let subset = cs(subset_str);
+            for i in 0..sample.line_count() {
+                assert_eq!(
+                    index.field_bytes(i, &subset),
+                    crate::record::field_char_len(sample.line(i), &subset),
+                    "line {i} under {subset_str:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_line_shapes_share_a_class() {
+        let text = "1,2,3\n44,55,66\n7,8\nx,y,z\n";
+        let sample = Dataset::new(text);
+        let index = LineIndex::build(&sample, &cs(",\n"));
+        // "1,2,3", "44,55,66" and "x,y,z" share an occurrence pattern; "7,8" does not.
+        assert_eq!(index.class_count(), 2);
+        assert_eq!(index.class_of(0), index.class_of(1));
+        assert_eq!(index.class_of(0), index.class_of(3));
+        assert_ne!(index.class_of(0), index.class_of(2));
+        // Lengths stay per line even within a shared class.
+        assert_eq!(index.line_len(0), 6);
+        assert_eq!(index.line_len(1), 9);
+    }
+
+    #[test]
+    fn latin1_two_byte_formatting_chars_are_tracked() {
+        // '§' (U+00A7) is Latin-1 but 2 bytes in UTF-8; charsets may contain it.
+        let text = "a§b§c\n";
+        let sample = Dataset::new(text);
+        let superset = cs("§\n");
+        let index = LineIndex::build(&sample, &superset);
+        assert_eq!(index.field_bytes(0, &superset), 3);
+        let expected = RecordTemplate::from_instantiated("a§b§c\n", &superset);
+        assert_eq!(project_all(&index, &superset, 0), expected.tokens());
+    }
+
+    #[test]
+    fn span_tokens_cover_the_line_exactly() {
+        let text = "a,bb;ccc\n";
+        let charset = cs(",;\n");
+        let mut tokens = Vec::new();
+        tokenize_spans(text, &charset, &mut tokens);
+        // Spans tile the text with no gaps or overlaps.
+        let mut cursor = 0u32;
+        for t in &tokens {
+            assert_eq!(t.span.start, cursor);
+            cursor = t.span.end;
+        }
+        assert_eq!(cursor as usize, text.len());
+        let fields: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == SpanTokenKind::Field)
+            .map(|t| t.slice(text))
+            .collect();
+        assert_eq!(fields, vec!["a", "bb", "ccc"]);
+    }
+
+    #[test]
+    fn field_spans_borrow_without_copying() {
+        let text = "[01:05] 192.168.0.1\n";
+        let spans = field_spans(text, &cs("[]: .\n"));
+        let texts: Vec<&str> = spans
+            .iter()
+            .map(|r| &text[r.start as usize..r.end as usize])
+            .collect();
+        assert_eq!(texts, vec!["01", "05", "192", "168", "0", "1"]);
+    }
+
+    #[test]
+    fn empty_dataset_builds_empty_index() {
+        let sample = Dataset::new("");
+        let index = LineIndex::build(&sample, &cs(",\n"));
+        assert_eq!(index.line_count(), 0);
+        assert_eq!(index.class_count(), 0);
+    }
+}

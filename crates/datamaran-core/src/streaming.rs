@@ -91,8 +91,7 @@ pub fn extract_stream<R: BufRead, F: FnMut(OwnedRecord)>(
         return Err(Error::EmptyDataset);
     }
     let head_result = engine.extract(&buffer)?;
-    let templates: Vec<StructureTemplate> =
-        head_result.templates().into_iter().cloned().collect();
+    let templates: Vec<StructureTemplate> = head_result.templates().into_iter().cloned().collect();
     if templates.is_empty() {
         return Err(Error::NoStructureFound);
     }
@@ -130,10 +129,7 @@ pub fn extract_stream<R: BufRead, F: FnMut(OwnedRecord)>(
                     }
                     sink(OwnedRecord {
                         template_index: rec.template_index,
-                        line_span: (
-                            global_line + rec.line_span.0,
-                            global_line + rec.line_span.1,
-                        ),
+                        line_span: (global_line + rec.line_span.0, global_line + rec.line_span.1),
                         columns,
                     });
                     summary.records += 1;
@@ -203,7 +199,12 @@ mod tests {
     fn kv_log(n: usize) -> String {
         let mut s = String::new();
         for i in 0..n {
-            s.push_str(&format!("host=h{};cpu={};mem={}\n", i % 12, i % 100, (i * 7) % 512));
+            s.push_str(&format!(
+                "host=h{};cpu={};mem={}\n",
+                i % 12,
+                i % 100,
+                (i * 7) % 512
+            ));
             if i % 23 == 5 {
                 s.push_str("--- rotating log file ---\n");
             }

@@ -14,11 +14,10 @@
 
 use crate::chars::{display_char, CharSet};
 use crate::record::{RecordTemplate, TemplateToken};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A node of a structure template.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Node {
     /// A field placeholder (`F`).
     Field,
@@ -165,7 +164,7 @@ impl Node {
 }
 
 /// A structure template: the top-level Struct sequence of [`Node`]s.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct StructureTemplate {
     nodes: Vec<Node>,
 }
@@ -304,7 +303,10 @@ mod tests {
 
     #[test]
     fn display_of_struct_template() {
-        let rt = RecordTemplate::from_instantiated("[01:05] x\n", &CharSet::from_chars("[]: \n".chars()));
+        let rt = RecordTemplate::from_instantiated(
+            "[01:05] x\n",
+            &CharSet::from_chars("[]: \n".chars()),
+        );
         let st = StructureTemplate::from_record_template(&rt);
         assert_eq!(st.to_string(), "[F:F] F\\n");
         assert_eq!(st.field_count(), 3);
@@ -340,10 +342,8 @@ mod tests {
 
     #[test]
     fn min_line_span_counts_newlines() {
-        let rt = RecordTemplate::from_instantiated(
-            "a: 1\nb: 2\n",
-            &CharSet::from_chars(": \n".chars()),
-        );
+        let rt =
+            RecordTemplate::from_instantiated("a: 1\nb: 2\n", &CharSet::from_chars(": \n".chars()));
         let st = StructureTemplate::from_record_template(&rt);
         assert_eq!(st.min_line_span(), 2);
     }
@@ -357,7 +357,8 @@ mod tests {
 
     #[test]
     fn from_record_template_merges_adjacent_literals() {
-        let rt = RecordTemplate::from_instantiated("a) (b\n", &CharSet::from_chars("() \n".chars()));
+        let rt =
+            RecordTemplate::from_instantiated("a) (b\n", &CharSet::from_chars("() \n".chars()));
         let st = StructureTemplate::from_record_template(&rt);
         assert_eq!(st.nodes().len(), 4); // F, ") (", F, "\n"
         match &st.nodes()[1] {

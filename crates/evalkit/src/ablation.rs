@@ -18,10 +18,9 @@ use datamaran_core::{
     RegularityScorer, SearchStrategy, UntypedMdlScorer,
 };
 use logsynth::DatasetSpec;
-use serde::{Deserialize, Serialize};
 
 /// One ablation variant: a named modification of the full pipeline.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AblationVariant {
     /// The full pipeline with the paper's defaults (the reference point).
     Full,
@@ -88,7 +87,7 @@ impl AblationVariant {
 }
 
 /// Aggregate outcome of one variant over a corpus.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AblationOutcome {
     /// The variant.
     pub variant: AblationVariant,
@@ -188,13 +187,10 @@ mod tests {
     fn small_corpus() -> Vec<DatasetSpec> {
         // One single-line spec kept small so the unit test stays fast; the full-corpus
         // ablation lives in the benchmark harness.
-        vec![DatasetSpec::new(
-            "ablation_weblog",
-            vec![corpus::web_access(0)],
-            120,
-            7,
-        )
-        .with_noise(0.03)]
+        vec![
+            DatasetSpec::new("ablation_weblog", vec![corpus::web_access(0)], 120, 7)
+                .with_noise(0.03),
+        ]
     }
 
     #[test]
@@ -213,7 +209,10 @@ mod tests {
     #[test]
     fn ablated_variants_never_exceed_the_corpus_size() {
         let specs = small_corpus();
-        let variants = [AblationVariant::GreedySearch, AblationVariant::NarrowPruning];
+        let variants = [
+            AblationVariant::GreedySearch,
+            AblationVariant::NarrowPruning,
+        ];
         let outcomes = run_ablation(&specs, &variants, &DatamaranConfig::default());
         assert_eq!(outcomes.len(), 2);
         for o in &outcomes {
@@ -233,7 +232,10 @@ mod tests {
             SearchStrategy::Greedy
         );
         assert_eq!(AblationVariant::NarrowPruning.config(&base).prune_keep, 5);
-        assert_eq!(AblationVariant::Full.config(&base).prune_keep, base.prune_keep);
+        assert_eq!(
+            AblationVariant::Full.config(&base).prune_keep,
+            base.prune_keep
+        );
     }
 
     #[test]

@@ -6,10 +6,9 @@ use datamaran_core::{Datamaran, DatamaranConfig, Error};
 use logclust::{ClusterConfig, LogCluster};
 use logsynth::{DatasetLabel, DatasetSpec, GeneratedDataset};
 use recordbreaker::{RecordBreaker, RecordBreakerConfig};
-use serde::{Deserialize, Serialize};
 
 /// Which extractor produced a result.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Extractor {
     /// Datamaran with exhaustive `RT-CharSet` search.
     DatamaranExhaustive,
@@ -34,7 +33,7 @@ impl Extractor {
 }
 
 /// The evaluation of one dataset by one extractor.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DatasetEvaluation {
     /// Dataset name.
     pub dataset: String,
@@ -57,10 +56,7 @@ impl DatasetEvaluation {
 }
 
 /// Runs Datamaran on a generated dataset and evaluates the result.
-pub fn evaluate_datamaran(
-    data: &GeneratedDataset,
-    config: &DatamaranConfig,
-) -> (EvalOutcome, f64) {
+pub fn evaluate_datamaran(data: &GeneratedDataset, config: &DatamaranConfig) -> (EvalOutcome, f64) {
     let started = std::time::Instant::now();
     let view = match Datamaran::new(config.clone()).and_then(|d| d.extract(&data.text)) {
         Ok(result) => datamaran_view(&data.text, &result),
@@ -95,7 +91,11 @@ pub fn evaluate_logclust(data: &GeneratedDataset, config: &ClusterConfig) -> (Ev
 }
 
 /// Evaluates one dataset spec with one extractor.
-pub fn evaluate_spec(spec: &DatasetSpec, extractor: Extractor, config: &DatamaranConfig) -> DatasetEvaluation {
+pub fn evaluate_spec(
+    spec: &DatasetSpec,
+    extractor: Extractor,
+    config: &DatamaranConfig,
+) -> DatasetEvaluation {
     let data = spec.generate();
     let (outcome, seconds) = match extractor {
         Extractor::DatamaranExhaustive => {
@@ -110,9 +110,7 @@ pub fn evaluate_spec(spec: &DatasetSpec, extractor: Extractor, config: &Datamara
                 .with_search(datamaran_core::SearchStrategy::Greedy);
             evaluate_datamaran(&data, &cfg)
         }
-        Extractor::RecordBreaker => {
-            evaluate_recordbreaker(&data, &RecordBreakerConfig::default())
-        }
+        Extractor::RecordBreaker => evaluate_recordbreaker(&data, &RecordBreakerConfig::default()),
         Extractor::LogCluster => evaluate_logclust(&data, &ClusterConfig::default()),
     };
     DatasetEvaluation {
@@ -125,7 +123,7 @@ pub fn evaluate_spec(spec: &DatasetSpec, extractor: Extractor, config: &Datamara
 }
 
 /// Accuracy aggregation over a corpus, mirroring the groupings of Figure 17b.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct AccuracySummary {
     /// Per-dataset evaluations.
     pub evaluations: Vec<DatasetEvaluation>,
@@ -210,7 +208,10 @@ mod tests {
 
     #[test]
     fn extractor_names_are_stable() {
-        assert_eq!(Extractor::DatamaranExhaustive.name(), "Datamaran (exhaustive)");
+        assert_eq!(
+            Extractor::DatamaranExhaustive.name(),
+            "Datamaran (exhaustive)"
+        );
         assert_eq!(Extractor::DatamaranGreedy.name(), "Datamaran (greedy)");
         assert_eq!(Extractor::RecordBreaker.name(), "RecordBreaker");
     }

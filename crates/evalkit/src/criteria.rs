@@ -15,11 +15,10 @@
 
 use crate::view::ViewRecord;
 use logsynth::GeneratedDataset;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Why an extraction failed (the first problem found per category is recorded).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FailureReason {
     /// A ground-truth record's boundary does not coincide with any extracted record.
     BoundaryMissed {
@@ -50,7 +49,7 @@ pub enum FailureReason {
 }
 
 /// The outcome of evaluating one dataset extraction.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct EvalOutcome {
     /// Criterion (a), boundary part.
     pub boundaries_ok: bool,
@@ -138,15 +137,14 @@ pub fn evaluate(dataset: &GeneratedDataset, extracted: &[ViewRecord]) -> EvalOut
     let mut boundary_hits = 0usize;
     for (i, gt) in dataset.records.iter().enumerate() {
         let gt_end = trim_newline(text, gt.end);
-        let hit = by_start
-            .get(&gt.start)
-            .copied()
-            .filter(|r| r.end == gt_end);
+        let hit = by_start.get(&gt.start).copied().filter(|r| r.end == gt_end);
         if hit.is_some() {
             boundary_hits += 1;
         } else if outcome.boundaries_ok {
             outcome.boundaries_ok = false;
-            outcome.failures.push(FailureReason::BoundaryMissed { record: i });
+            outcome
+                .failures
+                .push(FailureReason::BoundaryMissed { record: i });
         }
         matched.push(hit);
     }
@@ -164,9 +162,9 @@ pub fn evaluate(dataset: &GeneratedDataset, extracted: &[ViewRecord]) -> EvalOut
                 if let Some(prev) = ext_to_gt.insert(rec.type_id, gt.type_index) {
                     if prev != gt.type_index && outcome.types_ok {
                         outcome.types_ok = false;
-                        outcome
-                            .failures
-                            .push(FailureReason::TypeConfusion { gt_type: gt.type_index });
+                        outcome.failures.push(FailureReason::TypeConfusion {
+                            gt_type: gt.type_index,
+                        });
                     }
                 }
             }
@@ -174,9 +172,9 @@ pub fn evaluate(dataset: &GeneratedDataset, extracted: &[ViewRecord]) -> EvalOut
             Some(_) => {
                 if outcome.types_ok {
                     outcome.types_ok = false;
-                    outcome
-                        .failures
-                        .push(FailureReason::TypeConfusion { gt_type: gt.type_index });
+                    outcome.failures.push(FailureReason::TypeConfusion {
+                        gt_type: gt.type_index,
+                    });
                 }
             }
         }
@@ -218,10 +216,12 @@ pub fn evaluate(dataset: &GeneratedDataset, extracted: &[ViewRecord]) -> EvalOut
                 None => {
                     if outcome.reconstruction_ok {
                         outcome.reconstruction_ok = false;
-                        outcome.failures.push(FailureReason::TargetNotReconstructable {
-                            record: i,
-                            role: field.role,
-                        });
+                        outcome
+                            .failures
+                            .push(FailureReason::TargetNotReconstructable {
+                                record: i,
+                                role: field.role,
+                            });
                     }
                 }
             }
@@ -405,7 +405,10 @@ mod tests {
         let outcome = evaluate(&data, &recordbreaker_view(&result));
         assert!(!outcome.success());
         assert!(!outcome.boundaries_ok);
-        assert!(matches!(outcome.failures[0], FailureReason::BoundaryMissed { .. }));
+        assert!(matches!(
+            outcome.failures[0],
+            FailureReason::BoundaryMissed { .. }
+        ));
     }
 
     #[test]

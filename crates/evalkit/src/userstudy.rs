@@ -25,10 +25,9 @@ use crate::view::{datamaran_view, recordbreaker_view, ViewRecord};
 use datamaran_core::{Datamaran, DatamaranConfig};
 use logsynth::{DatasetSpec, GeneratedDataset};
 use recordbreaker::RecordBreaker;
-use serde::{Deserialize, Serialize};
 
 /// The three starting points the participants work from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Source {
     /// The raw log file.
     Raw,
@@ -50,7 +49,7 @@ impl Source {
 }
 
 /// The simulated outcome for one (dataset, source) pair.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StudyOutcome {
     /// The starting point.
     pub source: Source,
@@ -60,7 +59,7 @@ pub struct StudyOutcome {
 }
 
 /// The simulated outcomes of one dataset for all three sources.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DatasetStudy {
     /// Dataset name.
     pub dataset: String,
@@ -150,10 +149,7 @@ fn merge_and_delete_ops(data: &GeneratedDataset, view: &[ViewRecord], n_roles: u
     // Targets that no recipe reaches must be rebuilt by hand from the raw text: count one
     // FlashFill each.
     let manual = n_roles.saturating_sub(reconstructable);
-    let total_columns: usize = view
-        .first()
-        .map(|r| r.fields.len())
-        .unwrap_or(0);
+    let total_columns: usize = view.first().map(|r| r.fields.len()).unwrap_or(0);
     let delete_pass = usize::from(total_columns > n_roles);
     merges + manual + delete_pass + 1
 }
@@ -162,15 +158,49 @@ fn merge_and_delete_ops(data: &GeneratedDataset, view: &[ViewRecord], n_roles: u
 /// datasets with a regular pattern, and two multi-line datasets with noise.
 pub fn study_datasets() -> Vec<DatasetSpec> {
     use logsynth::corpus;
-    let pick = |name: &str, records: usize, noise: f64, seed: u64, types: Vec<logsynth::RecordTypeSpec>| {
+    let pick = |name: &str,
+                records: usize,
+                noise: f64,
+                seed: u64,
+                types: Vec<logsynth::RecordTypeSpec>| {
         DatasetSpec::new(name, types, records, seed).with_noise(noise)
     };
     vec![
-        pick("study1_weblog_single_line", 300, 0.0, 71, vec![corpus::web_access(0)]),
-        pick("study2_district_multi_line", 120, 0.0, 72, vec![corpus::district_block(0)]),
-        pick("study3_blog_multi_line", 120, 0.0, 73, vec![corpus::blog_block(0)]),
-        pick("study4_http_multi_line_noisy", 200, 0.08, 74, vec![corpus::http_block(0)]),
-        pick("study5_crash_multi_line_noisy", 160, 0.08, 75, vec![corpus::crash_block(0)]),
+        pick(
+            "study1_weblog_single_line",
+            300,
+            0.0,
+            71,
+            vec![corpus::web_access(0)],
+        ),
+        pick(
+            "study2_district_multi_line",
+            120,
+            0.0,
+            72,
+            vec![corpus::district_block(0)],
+        ),
+        pick(
+            "study3_blog_multi_line",
+            120,
+            0.0,
+            73,
+            vec![corpus::blog_block(0)],
+        ),
+        pick(
+            "study4_http_multi_line_noisy",
+            200,
+            0.08,
+            74,
+            vec![corpus::http_block(0)],
+        ),
+        pick(
+            "study5_crash_multi_line_noisy",
+            160,
+            0.08,
+            75,
+            vec![corpus::crash_block(0)],
+        ),
     ]
 }
 

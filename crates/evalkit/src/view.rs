@@ -4,10 +4,9 @@
 use datamaran_core::ExtractionResult;
 use logclust::{ClusterResult, PatternToken};
 use recordbreaker::RecordBreakerResult;
-use serde::{Deserialize, Serialize};
 
 /// One extracted field occurrence in tool-agnostic form.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ViewField {
     /// Column identifier, unique across the whole extraction (record types do not share
     /// column identifiers).
@@ -19,7 +18,7 @@ pub struct ViewField {
 }
 
 /// One extracted record in tool-agnostic form.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ViewRecord {
     /// Identifier of the record type (structure template index / union branch).
     pub type_id: usize,
@@ -182,7 +181,8 @@ mod tests {
 
     #[test]
     fn logclust_view_reports_wildcard_spans() {
-        let text = "login alice ok\nlogin bob ok\nsomething else entirely different\nlogin carol ok\n";
+        let text =
+            "login alice ok\nlogin bob ok\nsomething else entirely different\nlogin carol ok\n";
         let result = LogCluster::new(
             ClusterConfig::default()
                 .with_min_support(2)

@@ -34,12 +34,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Configuration of the clustering pass.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// Minimum number of lines a (position, word) pair and a pattern must appear in.
     pub min_support: usize,
@@ -91,7 +90,7 @@ impl ClusterConfig {
 }
 
 /// One token of a line pattern.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum PatternToken {
     /// A constant word that appears at this position in every member line.
     Word(String),
@@ -109,7 +108,7 @@ impl fmt::Display for PatternToken {
 }
 
 /// A line pattern: a fixed number of tokens, each constant or wildcard.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Pattern {
     /// The pattern tokens, in order.
     pub tokens: Vec<PatternToken>,
@@ -165,7 +164,7 @@ impl fmt::Display for Pattern {
 }
 
 /// One discovered cluster: a pattern plus the lines it covers.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Cluster {
     /// The line pattern.
     pub pattern: Pattern,
@@ -176,7 +175,7 @@ pub struct Cluster {
 }
 
 /// The clustering result: clusters (highest support first) plus outlier line indices.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ClusterResult {
     /// Discovered clusters, ordered by decreasing support.
     pub clusters: Vec<Cluster>,
@@ -263,7 +262,10 @@ impl LogCluster {
                     }
                 })
                 .collect();
-            pattern_lines.entry(Pattern { tokens }).or_default().push(idx);
+            pattern_lines
+                .entry(Pattern { tokens })
+                .or_default()
+                .push(idx);
         }
 
         // Keep patterns whose support reaches the threshold and which are not all-wildcard.
@@ -278,7 +280,11 @@ impl LogCluster {
                 lines,
             })
             .collect();
-        clusters.sort_by(|a, b| b.support.cmp(&a.support).then(a.pattern.tokens.len().cmp(&b.pattern.tokens.len())));
+        clusters.sort_by(|a, b| {
+            b.support
+                .cmp(&a.support)
+                .then(a.pattern.tokens.len().cmp(&b.pattern.tokens.len()))
+        });
         if self.config.max_clusters > 0 {
             clusters.truncate(self.config.max_clusters);
         }
@@ -359,7 +365,12 @@ sshd accepted login for carol from 10.0.0.3\n";
         // clusters, so the record association is lost.
         let mut log = String::new();
         for i in 0..12 {
-            log.push_str(&format!("BEGIN request {}\nuser u{} elapsed {}ms\n", i, i, i * 2));
+            log.push_str(&format!(
+                "BEGIN request {}\nuser u{} elapsed {}ms\n",
+                i,
+                i,
+                i * 2
+            ));
         }
         let out = engine(4).cluster(&log);
         assert_eq!(out.clusters.len(), 2);

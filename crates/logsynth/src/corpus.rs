@@ -44,11 +44,18 @@ pub fn csv_transactions(variant: u64) -> RecordTypeSpec {
     RecordTypeSpec::new(
         "csv_transactions",
         vec![
-            field(K::Integer { min: 1000, max: 99999 }),
+            field(K::Integer {
+                min: 1000,
+                max: 99999,
+            }),
             lit(sep),
             field(K::Date),
             lit(sep),
-            field(K::Decimal { min: 0.5, max: 900.0, decimals: 2 }),
+            field(K::Decimal {
+                min: 0.5,
+                max: 900.0,
+                decimals: 2,
+            }),
             lit(sep),
             field(K::Word),
             lit("\n"),
@@ -103,9 +110,17 @@ pub fn kv_metrics(variant: u64) -> RecordTypeSpec {
             lit("host="),
             field(K::Host),
             lit(&format!("{sep}cpu=")),
-            field(K::Decimal { min: 0.0, max: 1.0, decimals: 2 }),
+            field(K::Decimal {
+                min: 0.0,
+                max: 1.0,
+                decimals: 2,
+            }),
             lit(&format!("{sep}mem=")),
-            field(K::Decimal { min: 0.0, max: 1.0, decimals: 2 }),
+            field(K::Decimal {
+                min: 0.0,
+                max: 1.0,
+                decimals: 2,
+            }),
             lit(&format!("{sep}ts=")),
             field(K::Epoch),
             lit("\n"),
@@ -146,7 +161,10 @@ pub fn query_log(_variant: u64) -> RecordTypeSpec {
             lit(" query_ms="),
             field(K::Integer { min: 1, max: 30000 }),
             lit(" rows="),
-            field(K::Integer { min: 0, max: 100000 }),
+            field(K::Integer {
+                min: 0,
+                max: 100000,
+            }),
             lit("\n"),
         ],
     )
@@ -158,7 +176,10 @@ pub fn pipe_events(_variant: u64) -> RecordTypeSpec {
         "pipe_events",
         vec![
             lit("EVT|"),
-            field(K::Integer { min: 1, max: 100000 }),
+            field(K::Integer {
+                min: 1,
+                max: 100000,
+            }),
             lit("|"),
             field(K::OneOf(vec![
                 "login".into(),
@@ -181,13 +202,25 @@ pub fn tab_records(_variant: u64) -> RecordTypeSpec {
         vec![
             field(K::Word),
             lit("\t"),
-            field(K::Integer { min: 1, max: 248_000_000 }),
+            field(K::Integer {
+                min: 1,
+                max: 248_000_000,
+            }),
             lit("\t"),
             field(K::Hex { len: 8 }),
             lit("\t"),
-            field(K::OneOf(vec!["A".into(), "C".into(), "G".into(), "T".into()])),
+            field(K::OneOf(vec![
+                "A".into(),
+                "C".into(),
+                "G".into(),
+                "T".into(),
+            ])),
             lit("\t"),
-            field(K::Decimal { min: 0.0, max: 99.0, decimals: 1 }),
+            field(K::Decimal {
+                min: 0.0,
+                max: 99.0,
+                decimals: 1,
+            }),
             lit("\n"),
         ],
     )
@@ -198,7 +231,11 @@ pub fn ls_listing(_variant: u64) -> RecordTypeSpec {
     RecordTypeSpec::new(
         "ls_listing",
         vec![
-            field(K::OneOf(vec!["-rw-r--r--".into(), "-rwxr-xr-x".into(), "drwxr-xr-x".into()])),
+            field(K::OneOf(vec![
+                "-rw-r--r--".into(),
+                "-rwxr-xr-x".into(),
+                "drwxr-xr-x".into(),
+            ])),
             lit(" "),
             field(K::Integer { min: 1, max: 8 }),
             lit(" "),
@@ -206,7 +243,10 @@ pub fn ls_listing(_variant: u64) -> RecordTypeSpec {
             lit(" "),
             field(K::Word),
             lit(" "),
-            field(K::Integer { min: 10, max: 8_000_000 }),
+            field(K::Integer {
+                min: 10,
+                max: 8_000_000,
+            }),
             lit(" "),
             field(K::Date),
             lit(" "),
@@ -225,9 +265,16 @@ pub fn income_records(_variant: u64) -> RecordTypeSpec {
             lit(" "),
             field(K::Integer { min: 18, max: 90 }),
             lit(" "),
-            field(K::Integer { min: 10000, max: 250000 }),
+            field(K::Integer {
+                min: 10000,
+                max: 250000,
+            }),
             lit(" "),
-            field(K::Decimal { min: 0.0, max: 45.0, decimals: 1 }),
+            field(K::Decimal {
+                min: 0.0,
+                max: 45.0,
+                decimals: 1,
+            }),
             lit("\n"),
         ],
     )
@@ -239,7 +286,10 @@ pub fn xml_row(_variant: u64) -> RecordTypeSpec {
         "xml_row",
         vec![
             lit("  <row Id=\""),
-            field(K::Integer { min: 1, max: 900000 }),
+            field(K::Integer {
+                min: 1,
+                max: 900000,
+            }),
             lit("\" UserId=\""),
             field(K::Integer { min: 1, max: 50000 }),
             lit("\" Score=\""),
@@ -295,7 +345,10 @@ pub fn fastq_block(_variant: u64) -> RecordTypeSpec {
         "fastq_block",
         vec![
             lit("@read."),
-            field(K::Integer { min: 1, max: 10_000_000 }),
+            field(K::Integer {
+                min: 1,
+                max: 10_000_000,
+            }),
             lit("/"),
             field(K::Integer { min: 1, max: 2 }),
             lit("\n"),
@@ -315,13 +368,24 @@ pub fn district_block(_variant: u64) -> RecordTypeSpec {
             lit("{\n  \"id\": "),
             field(K::Integer { min: 1, max: 9999 }),
             lit(",\n  \"zip\": "),
-            field(K::Integer { min: 10000, max: 99999 }),
+            field(K::Integer {
+                min: 10000,
+                max: 99999,
+            }),
             lit(",\n  \"name\": \""),
             field(K::Word),
             lit("\",\n  \"lat\": "),
-            field(K::Decimal { min: 5.0, max: 20.0, decimals: 4 }),
+            field(K::Decimal {
+                min: 5.0,
+                max: 20.0,
+                decimals: 4,
+            }),
             lit(",\n  \"lon\": "),
-            field(K::Decimal { min: 97.0, max: 106.0, decimals: 4 }),
+            field(K::Decimal {
+                min: 97.0,
+                max: 106.0,
+                decimals: 4,
+            }),
             lit(",\n  \"tags\": ["),
             repeat(vec![field(K::Word)], ", ", 1, 4),
             lit("],\n  \"active\": "),
@@ -337,7 +401,10 @@ pub fn blog_block(_variant: u64) -> RecordTypeSpec {
         "blog_block",
         vec![
             lit("<post>\n  <id>"),
-            field(K::Integer { min: 1, max: 100000 }),
+            field(K::Integer {
+                min: 1,
+                max: 100000,
+            }),
             lit("</id>\n  <author>"),
             field(K::Identifier),
             lit("</author>\n  <date>"),
@@ -359,7 +426,10 @@ pub fn gc_block(_variant: u64) -> RecordTypeSpec {
         "gc_block",
         vec![
             lit("GC pause #"),
-            field(K::Integer { min: 1, max: 100000 }),
+            field(K::Integer {
+                min: 1,
+                max: 100000,
+            }),
             lit(" at "),
             field(K::ClockTime),
             lit("\n"),
@@ -458,38 +528,114 @@ pub fn pkg_install(_variant: u64) -> RecordTypeSpec {
 pub fn manual_25() -> Vec<DatasetSpec> {
     let mut specs = Vec::with_capacity(25);
     let mut seed = 1000u64;
-    let mut push = |name: &str, types: Vec<RecordTypeSpec>, n: usize, noise: f64, specs: &mut Vec<DatasetSpec>| {
+    let mut push = |name: &str,
+                    types: Vec<RecordTypeSpec>,
+                    n: usize,
+                    noise: f64,
+                    specs: &mut Vec<DatasetSpec>| {
         seed += 1;
         specs.push(DatasetSpec::new(name, types, n, seed).with_noise(noise));
     };
 
     // Fisher et al.'s 15 datasets (single-line, mostly one record type).
-    push("transaction_records", vec![csv_transactions(0)], 500, 0.0, &mut specs);
-    push("comma_sep_records", vec![csv_transactions(1)], 300, 0.0, &mut specs);
+    push(
+        "transaction_records",
+        vec![csv_transactions(0)],
+        500,
+        0.0,
+        &mut specs,
+    );
+    push(
+        "comma_sep_records",
+        vec![csv_transactions(1)],
+        300,
+        0.0,
+        &mut specs,
+    );
     push("web_server_log", vec![web_access(0)], 600, 0.02, &mut specs);
     push("mac_asl_log", vec![app_log(0)], 500, 0.03, &mut specs);
     push("mac_boot_log", vec![syslog_line(0)], 300, 0.05, &mut specs);
     push("crash_log", vec![app_log(1)], 350, 0.04, &mut specs);
-    push("crash_log_modified", vec![app_log(2)], 350, 0.06, &mut specs);
+    push(
+        "crash_log_modified",
+        vec![app_log(2)],
+        350,
+        0.06,
+        &mut specs,
+    );
     push("ls_l_output", vec![ls_listing(0)], 250, 0.0, &mut specs);
-    push("netstat_output", vec![netstat_tcp(0), netstat_udp(0).with_weight(0.5)], 400, 0.02, &mut specs);
+    push(
+        "netstat_output",
+        vec![netstat_tcp(0), netstat_udp(0).with_weight(0.5)],
+        400,
+        0.02,
+        &mut specs,
+    );
     push("printer_logs", vec![printer_log(0)], 300, 0.02, &mut specs);
-    push("personal_income", vec![income_records(0)], 300, 0.0, &mut specs);
-    push("us_railroad_info", vec![csv_transactions(2)], 250, 0.0, &mut specs);
+    push(
+        "personal_income",
+        vec![income_records(0)],
+        300,
+        0.0,
+        &mut specs,
+    );
+    push(
+        "us_railroad_info",
+        vec![csv_transactions(2)],
+        250,
+        0.0,
+        &mut specs,
+    );
     push("application_log", vec![query_log(0)], 400, 0.03, &mut specs);
-    push("loginwindow_log", vec![syslog_line(1)], 350, 0.04, &mut specs);
-    push("pkg_install_log", vec![pkg_install(0)], 300, 0.02, &mut specs);
+    push(
+        "loginwindow_log",
+        vec![syslog_line(1)],
+        350,
+        0.04,
+        &mut specs,
+    );
+    push(
+        "pkg_install_log",
+        vec![pkg_install(0)],
+        300,
+        0.02,
+        &mut specs,
+    );
 
     // The 10 additional datasets (larger / multi-line / interleaved).
-    push("thailand_district_info", vec![district_block(0)], 180, 0.0, &mut specs);
+    push(
+        "thailand_district_info",
+        vec![district_block(0)],
+        180,
+        0.0,
+        &mut specs,
+    );
     push("stackexchange_xml", vec![xml_row(0)], 600, 0.01, &mut specs);
     push("vcf_genetic", vec![tab_records(0)], 800, 0.0, &mut specs);
     push("fastq_genetic", vec![fastq_block(0)], 300, 0.0, &mut specs);
     push("blog_xml", vec![blog_block(0)], 150, 0.0, &mut specs);
-    push("log_file_1", vec![gc_block(0), app_log(3).with_weight(0.8)], 280, 0.03, &mut specs);
+    push(
+        "log_file_1",
+        vec![gc_block(0), app_log(3).with_weight(0.8)],
+        280,
+        0.03,
+        &mut specs,
+    );
     push("log_file_2", vec![crash_block(0)], 300, 0.04, &mut specs);
-    push("log_file_3", vec![pipe_events(0), kv_metrics(0).with_weight(0.7)], 500, 0.02, &mut specs);
-    push("log_file_4", vec![blog_block(1), xml_row(1).with_weight(0.6)], 220, 0.02, &mut specs);
+    push(
+        "log_file_3",
+        vec![pipe_events(0), kv_metrics(0).with_weight(0.7)],
+        500,
+        0.02,
+        &mut specs,
+    );
+    push(
+        "log_file_4",
+        vec![blog_block(1), xml_row(1).with_weight(0.6)],
+        220,
+        0.02,
+        &mut specs,
+    );
     push("log_file_5", vec![http_block(0)], 350, 0.06, &mut specs);
 
     specs
@@ -581,7 +727,12 @@ pub fn github_100() -> Vec<DatasetSpec> {
     // 11 no-structure datasets.
     for i in 0..11u64 {
         idx += 1;
-        specs.push(DatasetSpec::new(format!("gh_ns_{i:02}"), vec![], 350, 9400 + idx));
+        specs.push(DatasetSpec::new(
+            format!("gh_ns_{i:02}"),
+            vec![],
+            350,
+            9400 + idx,
+        ));
     }
 
     specs
@@ -605,14 +756,24 @@ mod tests {
         assert_eq!(specs.len(), 25);
         // The first 15 (Fisher et al.) are single-line; netstat has two record types.
         for spec in &specs[..15] {
-            assert!(spec.max_record_span() <= 1, "{} spans {}", spec.name, spec.max_record_span());
+            assert!(
+                spec.max_record_span() <= 1,
+                "{} spans {}",
+                spec.name,
+                spec.max_record_span()
+            );
         }
-        assert_eq!(specs[8].record_types.len(), 2, "netstat has two record types");
+        assert_eq!(
+            specs[8].record_types.len(),
+            2,
+            "netstat has two record types"
+        );
         // The extended set contains multi-line and interleaved datasets.
         assert!(specs[15..].iter().any(|s| s.max_record_span() >= 4));
         assert!(specs[15..].iter().any(|s| s.record_types.len() > 1));
         // All names are unique.
-        let names: std::collections::HashSet<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> =
+            specs.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names.len(), 25);
     }
 
@@ -634,8 +795,18 @@ mod tests {
         let specs = github_100();
         for spec in specs.iter().step_by(9) {
             let data = spec.generate();
-            assert!(data.len() > 4_000, "{} only {} bytes", spec.name, data.len());
-            assert!(data.len() < 200_000, "{} too large: {} bytes", spec.name, data.len());
+            assert!(
+                data.len() > 4_000,
+                "{} only {} bytes",
+                spec.name,
+                data.len()
+            );
+            assert!(
+                data.len() < 200_000,
+                "{} too large: {} bytes",
+                spec.name,
+                data.len()
+            );
         }
     }
 

@@ -2,10 +2,9 @@
 //! ground truth is generated.
 
 use crate::value::FieldKind;
-use serde::{Deserialize, Serialize};
 
 /// One piece of a record template, in the order it appears in the record text.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Segment {
     /// Literal formatting text (may contain `\n` to make the record span multiple lines).
     Literal(String),
@@ -30,9 +29,15 @@ impl Segment {
         match self {
             Segment::Literal(s) => s.matches('\n').count(),
             Segment::Field(_) => 0,
-            Segment::Repeat { body, separator, min, .. } => {
+            Segment::Repeat {
+                body,
+                separator,
+                min,
+                ..
+            } => {
                 let body_newlines: usize = body.iter().map(Segment::min_newlines).sum();
-                body_newlines * min.max(&1) + separator.matches('\n').count() * (min.saturating_sub(1))
+                body_newlines * min.max(&1)
+                    + separator.matches('\n').count() * (min.saturating_sub(1))
             }
         }
     }
@@ -43,7 +48,7 @@ impl Segment {
 }
 
 /// The specification of one record type.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RecordTypeSpec {
     /// Human-readable name (used in reports).
     pub name: String,
@@ -75,7 +80,7 @@ impl RecordTypeSpec {
         let newlines: usize = self.segments.iter().map(Segment::min_newlines).sum();
         // The trailing newline terminates the last line, so the span equals the newline count
         // (with at least one line).
-        newlines.max(0) + if self.ends_with_newline() { 0 } else { 1 }
+        newlines + if self.ends_with_newline() { 0 } else { 1 }
     }
 
     /// Whether the final segment already ends the record with `\n`.
@@ -108,7 +113,7 @@ impl RecordTypeSpec {
 }
 
 /// Classification of a dataset, following Table 4 of the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DatasetLabel {
     /// `S(NI)`: only single-line records, one record type.
     SingleLineNonInterleaved,
@@ -147,7 +152,7 @@ impl DatasetLabel {
 }
 
 /// Specification of a complete synthetic dataset.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DatasetSpec {
     /// Dataset name.
     pub name: String,
@@ -163,7 +168,12 @@ pub struct DatasetSpec {
 
 impl DatasetSpec {
     /// Creates a dataset spec with no noise.
-    pub fn new(name: impl Into<String>, record_types: Vec<RecordTypeSpec>, n_records: usize, seed: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        record_types: Vec<RecordTypeSpec>,
+        n_records: usize,
+        seed: u64,
+    ) -> Self {
         DatasetSpec {
             name: name.into(),
             record_types,
@@ -283,7 +293,12 @@ mod tests {
             vec![
                 field(FieldKind::Word),
                 lit(": "),
-                repeat(vec![field(FieldKind::Integer { min: 0, max: 9 })], ",", 2, 5),
+                repeat(
+                    vec![field(FieldKind::Integer { min: 0, max: 9 })],
+                    ",",
+                    2,
+                    5,
+                ),
                 lit("\n"),
             ],
         );

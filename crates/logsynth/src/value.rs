@@ -3,15 +3,49 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Small English-ish word pool used for free-text fields and noise.
 pub(crate) const WORDS: &[&str] = &[
-    "request", "timeout", "cache", "worker", "queue", "shutdown", "startup", "succeeded",
-    "failed", "retrying", "connection", "closed", "opened", "thread", "pool", "flush", "disk",
-    "memory", "snapshot", "replica", "primary", "election", "heartbeat", "session", "token",
-    "expired", "refresh", "upload", "download", "schema", "migration", "rollback", "commit",
-    "index", "compaction", "latency", "throughput", "partition", "rebalance", "leader",
+    "request",
+    "timeout",
+    "cache",
+    "worker",
+    "queue",
+    "shutdown",
+    "startup",
+    "succeeded",
+    "failed",
+    "retrying",
+    "connection",
+    "closed",
+    "opened",
+    "thread",
+    "pool",
+    "flush",
+    "disk",
+    "memory",
+    "snapshot",
+    "replica",
+    "primary",
+    "election",
+    "heartbeat",
+    "session",
+    "token",
+    "expired",
+    "refresh",
+    "upload",
+    "download",
+    "schema",
+    "migration",
+    "rollback",
+    "commit",
+    "index",
+    "compaction",
+    "latency",
+    "throughput",
+    "partition",
+    "rebalance",
+    "leader",
 ];
 
 /// Host-name fragments.
@@ -34,7 +68,7 @@ const MONTHS: &[&str] = &[
 /// characters (dots in IPs, slashes in paths, colons in times) is part of the kind's realism —
 /// Datamaran is expected to split them into fine-grained fields and the evaluation criterion
 /// checks that the original value can be reconstructed by concatenation (§5.1).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum FieldKind {
     /// Uniform integer in `[min, max]`.
     Integer {
@@ -209,7 +243,11 @@ mod tests {
     fn all_kinds() -> Vec<FieldKind> {
         vec![
             FieldKind::Integer { min: -5, max: 900 },
-            FieldKind::Decimal { min: 0.0, max: 10.0, decimals: 3 },
+            FieldKind::Decimal {
+                min: 0.0,
+                max: 10.0,
+                decimals: 3,
+            },
             FieldKind::IpV4,
             FieldKind::ClockTime,
             FieldKind::Date,
@@ -245,7 +283,10 @@ mod tests {
     fn integer_respects_bounds() {
         let mut rng = rng();
         for _ in 0..100 {
-            let v: i64 = FieldKind::Integer { min: 3, max: 9 }.generate(&mut rng).parse().unwrap();
+            let v: i64 = FieldKind::Integer { min: 3, max: 9 }
+                .generate(&mut rng)
+                .parse()
+                .unwrap();
             assert!((3..=9).contains(&v));
         }
     }
@@ -253,7 +294,12 @@ mod tests {
     #[test]
     fn decimal_has_requested_precision() {
         let mut rng = rng();
-        let v = FieldKind::Decimal { min: 0.0, max: 1.0, decimals: 2 }.generate(&mut rng);
+        let v = FieldKind::Decimal {
+            min: 0.0,
+            max: 1.0,
+            decimals: 2,
+        }
+        .generate(&mut rng);
         let frac = v.split('.').nth(1).unwrap();
         assert_eq!(frac.len(), 2);
     }
@@ -318,7 +364,10 @@ mod tests {
     #[test]
     fn constant_is_constant() {
         let mut rng = rng();
-        assert_eq!(FieldKind::Constant("fixed".into()).generate(&mut rng), "fixed");
+        assert_eq!(
+            FieldKind::Constant("fixed".into()).generate(&mut rng),
+            "fixed"
+        );
     }
 
     #[test]

@@ -16,11 +16,10 @@
 //! that the result can be evaluated with the same reconstruction criterion as Datamaran.
 
 use crate::lexer::{tokenize, Token, TokenKind};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Tuning parameters of the baseline (the `MaxMass` / `MinCoverage` of the paper).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RecordBreakerConfig {
     /// Minimum fraction of lines of a branch that must contain a delimiter for it to drive a
     /// struct/array split.
@@ -46,7 +45,7 @@ impl Default for RecordBreakerConfig {
 }
 
 /// The inferred schema of one branch.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Schema {
     /// A sequence of children separated by a fixed delimiter.
     Struct(
@@ -82,7 +81,7 @@ pub enum Schema {
 }
 
 /// Base column types reported by the baseline.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BaseKind {
     /// Integer column.
     Int,
@@ -95,7 +94,7 @@ pub enum BaseKind {
 }
 
 /// One extracted cell: a column of a branch plus the byte span of its value.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RbCell {
     /// Column identifier (within the record's branch).
     pub column: usize,
@@ -106,7 +105,7 @@ pub struct RbCell {
 }
 
 /// One extracted record (always exactly one input line).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RbRecord {
     /// Line index in the input.
     pub line: usize,
@@ -119,7 +118,7 @@ pub struct RbRecord {
 }
 
 /// One union branch: the schema and the number of columns it defines.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Branch {
     /// Coarse delimiter shape shared by the branch's lines.
     pub shape: String,
@@ -132,7 +131,7 @@ pub struct Branch {
 }
 
 /// The complete output of the baseline on one file.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RecordBreakerResult {
     /// Union branches (RecordBreaker writes one output file per branch).
     pub branches: Vec<Branch>,
@@ -179,10 +178,7 @@ impl RecordBreaker {
             lines.push((start, text.len()));
         }
 
-        let tokens: Vec<Vec<Token>> = lines
-            .iter()
-            .map(|&(s, e)| tokenize(text, s, e))
-            .collect();
+        let tokens: Vec<Vec<Token>> = lines.iter().map(|&(s, e)| tokenize(text, s, e)).collect();
 
         // Top-level union: group lines by coarse delimiter shape.
         let shapes: Vec<String> = tokens.iter().map(|t| shape_of(t)).collect();
@@ -190,8 +186,7 @@ impl RecordBreaker {
         for (i, s) in shapes.iter().enumerate() {
             groups.entry(s.as_str()).or_default().push(i);
         }
-        let mut group_list: Vec<(&str, Vec<usize>)> =
-            groups.into_iter().map(|(k, v)| (k, v)).collect();
+        let mut group_list: Vec<(&str, Vec<usize>)> = groups.into_iter().collect();
         group_list.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
 
         let mut branches = Vec::new();
@@ -202,7 +197,8 @@ impl RecordBreaker {
                 // Remaining lines fall into a catch-all blob branch.
                 break;
             }
-            let chunk_refs: Vec<&[Token]> = line_idx.iter().map(|&i| tokens[i].as_slice()).collect();
+            let chunk_refs: Vec<&[Token]> =
+                line_idx.iter().map(|&i| tokens[i].as_slice()).collect();
             let mut columns = 0usize;
             let mut cells: Vec<Vec<RbCell>> = vec![Vec::new(); chunk_refs.len()];
             let schema = self.infer(text, &chunk_refs, &mut columns, &mut cells, 0);
@@ -375,7 +371,8 @@ impl RecordBreaker {
         depth: usize,
     ) -> Schema {
         let mut children = Vec::new();
-        let parts: Vec<Vec<&[Token]>> = chunks.iter().map(|c| split_at(c, delim, Some(k))).collect();
+        let parts: Vec<Vec<&[Token]>> =
+            chunks.iter().map(|c| split_at(c, delim, Some(k))).collect();
         let width = k + 1;
         for col in 0..width {
             let sub: Vec<&[Token]> = parts
@@ -427,7 +424,7 @@ impl RecordBreaker {
 /// Splits a token slice at occurrences of `delim` (whitespace maps to `' '`).  With
 /// `limit = Some(k)` only the first `k` occurrences split; the delimiter tokens themselves are
 /// dropped.
-fn split_at<'a>(tokens: &'a [Token], delim: char, limit: Option<usize>) -> Vec<&'a [Token]> {
+fn split_at(tokens: &[Token], delim: char, limit: Option<usize>) -> Vec<&[Token]> {
     let mut parts = Vec::new();
     let mut start = 0usize;
     let mut used = 0usize;
@@ -516,7 +513,7 @@ mod tests {
     fn variable_length_lists_become_arrays() {
         let text = "1,2,3\n4,5\n6,7,8,9\n1,2\n5,6,7\n";
         let out = RecordBreaker::with_defaults().extract(text);
-        assert_eq!(out.branches.len() >= 1, true);
+        assert!(!out.branches.is_empty());
         // All values extracted, sharing one column id (the array body).
         let all_cols: std::collections::HashSet<usize> = out
             .records
@@ -569,11 +566,10 @@ mod tests {
         let out = RecordBreaker::with_defaults().extract(text);
         // The quoted string is one token, but the comma *inside* it is not a split point only
         // if the lexer kept it quoted; verify the quoted text is one cell somewhere.
-        let found = out.records.iter().any(|r| {
-            r.cells
-                .iter()
-                .any(|c| cell_text(text, c).contains("a, b"))
-        });
+        let found = out
+            .records
+            .iter()
+            .any(|r| r.cells.iter().any(|c| cell_text(text, c).contains("a, b")));
         assert!(found);
     }
 

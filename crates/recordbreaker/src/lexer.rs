@@ -6,10 +6,8 @@
 //! hexadecimal identifiers, words, quoted strings, whitespace runs, and single punctuation
 //! characters.
 
-use serde::{Deserialize, Serialize};
-
 /// The class of a token.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TokenKind {
     /// Decimal integer.
     Int,
@@ -35,7 +33,7 @@ impl TokenKind {
 }
 
 /// One token with its byte span (absolute offsets into the full text).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Token {
     /// Token class.
     pub kind: TokenKind,
@@ -85,9 +83,7 @@ pub fn tokenize(text: &str, line_start: usize, line_end: usize) -> Vec<Token> {
                     i += 1;
                 }
                 TokenKind::Float
-            } else if i < line_end
-                && (bytes[i].is_ascii_hexdigit() && !bytes[i].is_ascii_digit())
-            {
+            } else if i < line_end && (bytes[i].is_ascii_hexdigit() && !bytes[i].is_ascii_digit()) {
                 while i < line_end && bytes[i].is_ascii_hexdigit() {
                     i += 1;
                 }
@@ -161,7 +157,10 @@ mod tests {
 
     #[test]
     fn whitespace_runs_collapse_into_one_token() {
-        assert_eq!(kinds("a   b"), vec![TokenKind::Word, TokenKind::Whitespace, TokenKind::Word]);
+        assert_eq!(
+            kinds("a   b"),
+            vec![TokenKind::Word, TokenKind::Whitespace, TokenKind::Word]
+        );
     }
 
     #[test]

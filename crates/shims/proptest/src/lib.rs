@@ -1,0 +1,512 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate stands in for the real
+//! `proptest`.  It keeps the same source-level API — the [`proptest!`] macro, `prop_assert*`
+//! macros, [`prelude::Just`], [`prop_oneof!`], `prop::collection::vec`, `any::<T>()`, string
+//! character-class strategies, and ranges as strategies — backed by a deterministic seeded
+//! generator.  Failing cases report the generated inputs; shrinking is not implemented.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, f64);
+
+    /// Uniform choice among boxed alternatives (the engine behind `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from its alternatives. Panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rand::RngCore::next_u64(rng) & 1 == 1
+        }
+    }
+
+    /// Strategy for [`Arbitrary`] types, created by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    /// Boxes a strategy (used by `prop_oneof!` to erase the alternatives' types).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// String strategy interpreting a small regex subset: literal characters and
+    /// `[class]{m,n}` / `[class]{m}` / `[class]` atoms, where `class` supports ranges
+    /// (`a-z`) and plain characters.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                    let class = expand_class(&chars[i + 1..close], pattern);
+                    i = close + 1;
+                    let (lo, hi, next) = parse_repeat(&chars, i, pattern);
+                    i = next;
+                    let n = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+                    for _ in 0..n {
+                        out.push(class[rng.gen_range(0..class.len())]);
+                    }
+                }
+                '\\' => {
+                    i += 1;
+                    if i < chars.len() {
+                        out.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+        assert!(!class.is_empty(), "empty character class in {pattern:?}");
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                assert!(lo <= hi, "bad range in class of {pattern:?}");
+                for cp in lo..=hi {
+                    out.push(char::from_u32(cp).expect("valid class char"));
+                }
+                i += 3;
+            } else {
+                out.push(class[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Parses an optional `{m}` / `{m,n}` suffix at `chars[i..]`; returns `(lo, hi, next_i)`.
+    fn parse_repeat(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        if i >= chars.len() || chars[i] != '{' {
+            return (1, 1, i);
+        }
+        let close = chars[i..]
+            .iter()
+            .position(|&c| c == '}')
+            .map(|p| i + p)
+            .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+        let body: String = chars[i + 1..close].iter().collect();
+        let (lo, hi) = match body.split_once(',') {
+            Some((a, b)) => (
+                a.trim().parse().expect("repeat lower bound"),
+                b.trim().parse().expect("repeat upper bound"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("repeat count");
+                (n, n)
+            }
+        };
+        (lo, hi, close + 1)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case runner used by the [`proptest!`](crate::proptest) macro expansion.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration of a property test (case count).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property within one generated case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    /// Drives the generated cases of one property test.
+    pub struct TestRunner {
+        rng: StdRng,
+        cases: u32,
+        case_index: u32,
+    }
+
+    impl TestRunner {
+        /// Creates a runner deterministically seeded from the test name.
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRunner {
+                rng: StdRng::seed_from_u64(seed),
+                cases: config.cases,
+                case_index: 0,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The generator for the current case.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+
+        /// Records one case outcome, panicking with the generated inputs on failure.
+        pub fn check(&mut self, result: Result<(), TestCaseError>, inputs: &[(&str, String)]) {
+            self.case_index += 1;
+            if let Err(err) = result {
+                let rendered: Vec<String> = inputs
+                    .iter()
+                    .map(|(name, value)| format!("{name} = {value}"))
+                    .collect();
+                panic!(
+                    "property failed at case {}/{}: {}\n  inputs: {}",
+                    self.case_index,
+                    self.cases,
+                    err.message,
+                    rendered.join(", ")
+                );
+            }
+        }
+    }
+}
+
+/// `prop::` namespace mirroring upstream's module layout.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! The glob-imported API surface.
+
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests; mirrors upstream's `proptest!` macro for the patterns used in
+/// this workspace.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for _case in 0..runner.cases() {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), runner.rng());
+                    )*
+                    let inputs = [$((stringify!($arg), format!("{:?}", &$arg))),*];
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    runner.check(outcome, &inputs);
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)*),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a),
+                stringify!($b),
+                lhs
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_generates_within_class_and_length() {
+        use crate::strategy::Strategy;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9]{1,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 12, "bad len: {s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric()),
+                "bad char: {s:?}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro surface compiles and runs: vec + oneof + range + any.
+        #[test]
+        fn macro_surface_works(
+            values in prop::collection::vec("[a-z]{1,4}", 1..5),
+            sep in prop_oneof![Just(','), Just(';')],
+            n in 3usize..9,
+            seed in any::<u64>(),
+        ) {
+            prop_assert!(!values.is_empty() && values.len() < 5);
+            prop_assert!(sep == ',' || sep == ';');
+            prop_assert!((3..9).contains(&n));
+            prop_assert_eq!(seed, seed);
+            prop_assert_ne!(n, 100);
+        }
+    }
+}

@@ -14,13 +14,20 @@ fn main() {
     let record_type = RecordTypeSpec::new(
         "orders",
         vec![
-            field(FieldKind::Integer { min: 1000, max: 9999 }),
+            field(FieldKind::Integer {
+                min: 1000,
+                max: 9999,
+            }),
             lit(","),
             field(FieldKind::Date),
             lit(",\""),
             repeat(vec![field(FieldKind::Word)], ",", 1, 5),
             lit("\","),
-            field(FieldKind::Decimal { min: 1.0, max: 500.0, decimals: 2 }),
+            field(FieldKind::Decimal {
+                min: 1.0,
+                max: 500.0,
+                decimals: 2,
+            }),
             lit("\n"),
         ],
     );
@@ -39,7 +46,12 @@ fn main() {
     println!();
     println!("normalized output ({} tables):", s.relational.tables.len());
     for table in &s.relational.tables {
-        println!("  table `{}` — {} rows, columns {:?}", table.name, table.row_count(), table.columns);
+        println!(
+            "  table `{}` — {} rows, columns {:?}",
+            table.name,
+            table.row_count(),
+            table.columns
+        );
         for row in table.rows.iter().take(2) {
             println!("    {row:?}");
         }

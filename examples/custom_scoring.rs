@@ -48,7 +48,11 @@ fn run<S: RegularityScorer>(name: &str, scorer: &S, log: &str) {
 
 fn main() {
     let log = sample_log();
-    println!("dataset: {} bytes, {} lines\n", log.len(), log.lines().count());
+    println!(
+        "dataset: {} bytes, {} lines\n",
+        log.len(),
+        log.lines().count()
+    );
 
     run("MDL (default)", &MdlScorer, &log);
     run("MDL untyped", &UntypedMdlScorer, &log);

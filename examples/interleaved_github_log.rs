@@ -32,7 +32,10 @@ fn main() {
     );
 
     let result = Datamaran::with_defaults().extract(&data.text).unwrap();
-    println!("Datamaran discovered {} record types:", result.structures.len());
+    println!(
+        "Datamaran discovered {} record types:",
+        result.structures.len()
+    );
     for (i, s) in result.structures.iter().enumerate() {
         println!(
             "  type {i}: {:5} records, coverage {:5.1}%   {}",
@@ -44,14 +47,23 @@ fn main() {
 
     let outcome = criteria::evaluate(&data, &view::datamaran_view(&data.text, &result));
     println!();
-    println!("record boundaries found : {:.1}%", outcome.boundary_recall * 100.0);
-    println!("targets rebuildable     : {:.1}%", outcome.target_recall * 100.0);
+    println!(
+        "record boundaries found : {:.1}%",
+        outcome.boundary_recall * 100.0
+    );
+    println!(
+        "targets rebuildable     : {:.1}%",
+        outcome.target_recall * 100.0
+    );
     println!("successful per §5.1     : {}", outcome.success());
 
     // Show the normalized relational output of the first record type.
     let root = result.structures[0].relational.root();
     println!();
-    println!("normalized root table of type 0 ({} rows):", root.row_count());
+    println!(
+        "normalized root table of type 0 ({} rows):",
+        root.row_count()
+    );
     println!("  columns: {:?}", root.columns);
     for row in root.rows.iter().take(3) {
         println!("  {row:?}");

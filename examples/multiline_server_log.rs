@@ -14,8 +14,8 @@ use recordbreaker::RecordBreaker;
 
 fn main() {
     // Two-line HTTP request blocks with ~8% unstructured noise lines in between.
-    let spec = DatasetSpec::new("server_blocks", vec![corpus::http_block(0)], 400, 42)
-        .with_noise(0.08);
+    let spec =
+        DatasetSpec::new("server_blocks", vec![corpus::http_block(0)], 400, 42).with_noise(0.08);
     let data = spec.generate();
     println!(
         "generated {} bytes, {} records, {} noise lines\n",
@@ -30,9 +30,18 @@ fn main() {
     let dm_outcome = criteria::evaluate(&data, &dm_view);
     println!("{}:", Extractor::DatamaranExhaustive.name());
     println!("  template            : {}", result.structures[0].template);
-    println!("  records extracted   : {}", result.structures[0].records.len());
-    println!("  boundaries found    : {:.1}%", dm_outcome.boundary_recall * 100.0);
-    println!("  targets rebuildable : {:.1}%", dm_outcome.target_recall * 100.0);
+    println!(
+        "  records extracted   : {}",
+        result.structures[0].records.len()
+    );
+    println!(
+        "  boundaries found    : {:.1}%",
+        dm_outcome.boundary_recall * 100.0
+    );
+    println!(
+        "  targets rebuildable : {:.1}%",
+        dm_outcome.target_recall * 100.0
+    );
     println!("  successful per §5.1 : {}\n", dm_outcome.success());
 
     // --- RecordBreaker baseline --------------------------------------------------------
@@ -41,7 +50,10 @@ fn main() {
     println!("{}:", Extractor::RecordBreaker.name());
     println!("  output files        : {}", rb.branches.len());
     println!("  rows (one per line) : {}", rb.records.len());
-    println!("  boundaries found    : {:.1}%", rb_outcome.boundary_recall * 100.0);
+    println!(
+        "  boundaries found    : {:.1}%",
+        rb_outcome.boundary_recall * 100.0
+    );
     println!("  successful per §5.1 : {}", rb_outcome.success());
     println!();
     println!(

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release --example parallel_extraction`.
 
-use datamaran::core::{parse_dataset_parallel, Dataset, Datamaran, ParallelOptions};
+use datamaran::core::{parse_dataset_parallel, Datamaran, Dataset, ParallelOptions};
 use datamaran::logsynth::{corpus, DatasetSpec};
 use std::time::Instant;
 
@@ -19,7 +19,11 @@ fn main() {
     )
     .with_noise(0.01);
     let text = spec.generate().text;
-    println!("dataset: {:.1} MB, {} lines", text.len() as f64 / 1e6, text.lines().count());
+    println!(
+        "dataset: {:.1} MB, {} lines",
+        text.len() as f64 / 1e6,
+        text.lines().count()
+    );
 
     // Structure discovery (sample-bounded, cheap).
     let engine = Datamaran::with_defaults();

@@ -10,8 +10,8 @@ use std::io::Cursor;
 
 fn main() {
     // Simulate a large multi-line log arriving as a stream (an HTTP request/response trace).
-    let spec = DatasetSpec::new("streaming_demo", vec![corpus::http_block(0)], 30_000, 3)
-        .with_noise(0.01);
+    let spec =
+        DatasetSpec::new("streaming_demo", vec![corpus::http_block(0)], 30_000, 3).with_noise(0.01);
     let text = spec.generate().text;
     println!(
         "stream: {:.1} MB, {} lines (multi-line records)",
@@ -26,7 +26,7 @@ fn main() {
         &engine,
         Cursor::new(text),
         StreamOptions {
-            head_bytes: 128 * 1024,  // structure discovery buffer
+            head_bytes: 128 * 1024,   // structure discovery buffer
             window_bytes: 256 * 1024, // bounded working set for the rest of the stream
         },
         |record| {
@@ -49,12 +49,7 @@ fn main() {
 
     println!("\nfirst records:");
     for r in &first_records {
-        let preview: Vec<String> = r
-            .columns
-            .iter()
-            .map(|c| c.join(","))
-            .take(6)
-            .collect();
+        let preview: Vec<String> = r.columns.iter().map(|c| c.join(",")).take(6).collect();
         println!(
             "  lines {:>5}-{:<5} type{}  [{}]",
             r.line_span.0,

@@ -1,6 +1,6 @@
 //! Facade crate re-exporting the Datamaran reproduction workspace.
 pub use datamaran_core as core;
+pub use datamaran_core::{Datamaran, DatamaranConfig};
 pub use evalkit;
 pub use logsynth;
 pub use recordbreaker;
-pub use datamaran_core::{Datamaran, DatamaranConfig};

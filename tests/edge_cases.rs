@@ -27,7 +27,15 @@ fn whitespace_only_input_does_not_panic() {
 fn pure_noise_reports_no_structure() {
     // Every line is unique prose with no repeated formatting skeleton.
     let mut text = String::new();
-    let words = ["lorem", "ipsum", "dolor", "sit", "amet", "consectetur", "adipiscing"];
+    let words = [
+        "lorem",
+        "ipsum",
+        "dolor",
+        "sit",
+        "amet",
+        "consectetur",
+        "adipiscing",
+    ];
     for i in 0..60usize {
         let mut line = String::new();
         for j in 0..(3 + (i * 7) % 5) {
@@ -89,7 +97,11 @@ fn unicode_field_values_are_preserved() {
     let mut text = String::new();
     let names = ["数据湖", "журнал", "ログ", "café", "naïve", "Ωmega"];
     for i in 0..120 {
-        text.push_str(&format!("[{:03}] user={} status=ok\n", i, names[i % names.len()]));
+        text.push_str(&format!(
+            "[{:03}] user={} status=ok\n",
+            i,
+            names[i % names.len()]
+        ));
     }
     let result = engine().extract(&text).unwrap();
     assert_eq!(result.record_count(), 120);
@@ -120,14 +132,21 @@ fn records_longer_than_the_span_limit_are_not_merged() {
     // records (it may extract a line-level structure or report noise instead).
     let mut text = String::new();
     for i in 0..60 {
-        text.push_str(&format!("open {i}\nstep a={i}\nstep b={}\nclose {i}\n", i * 2));
+        text.push_str(&format!(
+            "open {i}\nstep a={i}\nstep b={}\nclose {i}\n",
+            i * 2
+        ));
     }
     let config = DatamaranConfig::default().with_max_line_span(2);
     let result = Datamaran::new(config).unwrap().extract(&text);
     if let Ok(r) = result {
         for s in &r.structures {
             for rec in &s.records {
-                assert!(rec.line_count() <= 2, "record spans {} lines", rec.line_count());
+                assert!(
+                    rec.line_count() <= 2,
+                    "record spans {} lines",
+                    rec.line_count()
+                );
             }
         }
     }
@@ -164,14 +183,21 @@ fn interleaved_types_with_heavy_noise_never_merge_noise_into_records() {
         }
         if h % 13 == 0 {
             noise += 1;
-            text.push_str(&format!("### checkpoint {} written to /var/tmp ###\n", h % 7));
+            text.push_str(&format!(
+                "### checkpoint {} written to /var/tmp ###\n",
+                h % 7
+            ));
         }
     }
     let result = engine().extract(&text).unwrap();
     assert!(noise > 0);
     // All 200 structured lines must be explained by some record type; the checkpoint banners
     // may be noise or a third type but must not inflate any record's span.
-    assert!(result.record_count() >= 200, "got {}", result.record_count());
+    assert!(
+        result.record_count() >= 200,
+        "got {}",
+        result.record_count()
+    );
     for s in &result.structures {
         for rec in &s.records {
             assert_eq!(rec.line_count(), 1);

@@ -131,6 +131,12 @@ fn user_study_simulation_reproduces_figure_18_failure_pattern() {
         r_failures += usize::from(r.operations.is_none());
     }
     assert_eq!(a_failures, 0, "Datamaran output is always usable");
-    assert!(b_failures >= 2, "noisy multi-line datasets fail from RecordBreaker output");
-    assert!(r_failures >= 2, "noisy multi-line datasets fail from the raw file");
+    assert!(
+        b_failures >= 2,
+        "noisy multi-line datasets fail from RecordBreaker output"
+    );
+    assert!(
+        r_failures >= 2,
+        "noisy multi-line datasets fail from the raw file"
+    );
 }

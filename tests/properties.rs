@@ -1,7 +1,7 @@
 //! Property-based tests over the core invariants, spanning the workspace crates.
 
 use datamaran::core::{
-    parse_dataset, reduce, CharSet, Dataset, Datamaran, RecordTemplate, StructureTemplate,
+    parse_dataset, reduce, CharSet, Datamaran, Dataset, RecordTemplate, StructureTemplate,
 };
 use logsynth::spec::seg::{field, lit};
 use logsynth::{DatasetSpec, FieldKind, RecordTypeSpec};
