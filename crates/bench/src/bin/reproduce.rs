@@ -22,10 +22,11 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let check = args.iter().any(|a| a == "--check");
     let mut sections: Vec<&str> = args
         .iter()
         .map(|s| s.as_str())
-        .filter(|a| *a != "--fast")
+        .filter(|a| *a != "--fast" && *a != "--check")
         .collect();
     if sections.is_empty() || sections.contains(&"all") {
         sections = vec![
@@ -44,9 +45,11 @@ fn main() {
             "fig18",
             "ablation",
             "generation",
+            "extraction",
         ];
     }
     let started = Instant::now();
+    let mut regressed = false;
     for section in sections {
         match section {
             "table1" => table1(),
@@ -63,7 +66,8 @@ fn main() {
             "fig17b" => fig17b(fast),
             "fig18" => fig18(fast),
             "ablation" => ablation(fast),
-            "generation" => generation_bench(fast),
+            "generation" => regressed |= !generation_bench(fast, check),
+            "extraction" => regressed |= !extraction_bench(fast, check),
             other => eprintln!("unknown section `{other}` (skipped)"),
         }
     }
@@ -71,6 +75,65 @@ fn main() {
         "\n[reproduce] finished in {}",
         fmt_secs(started.elapsed().as_secs_f64())
     );
+    if regressed {
+        eprintln!(
+            "[reproduce] FAIL: benchmark gate (span-vs-legacy speedup dropped >20% vs the \
+             committed baseline, or backend outputs diverged)"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Fraction of the committed baseline value a fresh run must reach: the CI
+/// perf-regression gate fails on a >20% drop.
+const REGRESSION_TOLERANCE: f64 = 0.80;
+
+/// Reads one numeric key from a committed baseline JSON document.
+fn baseline_value(path: &str, key: &str) -> Option<f64> {
+    use datamaran_core::JsonValue;
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| JsonValue::parse(&text).ok())
+        .and_then(|v| v.get(key).and_then(|n| n.as_f64().ok()))
+}
+
+/// The >20%-regression gate, applied to the *speedup* (span throughput divided by legacy
+/// throughput, both measured in the same run): hardware and runner-speed factors cancel
+/// out of the ratio, so the committed baseline transfers across machines — absolute
+/// records/sec would flag every slower CI runner as a regression.  The absolute
+/// throughput comparison is printed as context.  The baseline is read *before* the fresh
+/// result overwrites the file; a missing or unreadable baseline passes with a warning so
+/// first runs and fresh clones are not blocked.
+fn check_baseline(
+    path: &str,
+    throughput_key: &str,
+    fresh_throughput: f64,
+    fresh_speedup: f64,
+) -> bool {
+    if let Some(base) = baseline_value(path, throughput_key) {
+        if base > 0.0 {
+            println!(
+                "regression gate (context): {throughput_key} = {fresh_throughput:.0} vs baseline {base:.0} ({:+.1}%, machine-relative, not gated)",
+                (fresh_throughput / base - 1.0) * 100.0,
+            );
+        }
+    }
+    match baseline_value(path, "speedup") {
+        Some(base) if base > 0.0 => {
+            let ratio = fresh_speedup / base;
+            let ok = ratio >= REGRESSION_TOLERANCE;
+            println!(
+                "regression gate: speedup {fresh_speedup:.2}x vs baseline {base:.2}x ({:+.1}%) -> {}",
+                (ratio - 1.0) * 100.0,
+                if ok { "OK" } else { "REGRESSED" }
+            );
+            ok
+        }
+        _ => {
+            println!("regression gate: no usable baseline at {path} (key speedup); skipping");
+            true
+        }
+    }
 }
 
 fn heading(title: &str) {
@@ -585,8 +648,9 @@ fn ablation(fast: bool) {
 
 /// Times the exhaustive generation step with both backends on a ~1 MB synthetic sample
 /// (128 KB with `--fast`) and writes the result to `BENCH_generation.json` so the perf
-/// trajectory of the hot path has a recorded baseline.
-fn generation_bench(fast: bool) {
+/// trajectory of the hot path has a recorded baseline.  With `check`, the fresh span
+/// throughput is gated against the committed baseline; returns `false` on regression.
+fn generation_bench(fast: bool, check: bool) -> bool {
     heading("Generation engine — span projections vs. legacy re-tokenization");
     let bytes = if fast { 128 * 1024 } else { 1024 * 1024 };
     let bench = datamaran_bench::generation_benchmark(bytes, 1);
@@ -613,8 +677,77 @@ fn generation_bench(fast: bool) {
         bench.outputs_identical
     );
     let path = "BENCH_generation.json";
+    let ok = !check
+        || check_baseline(
+            path,
+            "spans_records_per_sec",
+            bench.spans_records_per_sec(),
+            bench.speedup(),
+        );
     match std::fs::write(path, bench.to_json() + "\n") {
         Ok(()) => println!("wrote {path}"),
         Err(err) => eprintln!("could not write {path}: {err}"),
     }
+    ok && bench.outputs_identical
+}
+
+// -------------------------------------------------------------------------------------------
+// Extraction engine benchmark — span instruction tables vs. legacy tree walker
+
+/// Times the final extraction pass with both backends on a ~1 MB dataset (128 KB with
+/// `--fast`) and writes the result to `BENCH_extraction.json`.  With `check`, the fresh
+/// span throughput is gated against the committed baseline; returns `false` on regression.
+fn extraction_bench(fast: bool, check: bool) -> bool {
+    heading("Extraction engine — compiled instruction tables vs. tree-walking LL(1) parser");
+    let bytes = if fast { 128 * 1024 } else { 1024 * 1024 };
+    let runs = if fast { 3 } else { 5 };
+    let bench = datamaran_bench::extraction_benchmark(bytes, runs);
+    println!(
+        "dataset: {} bytes / {} lines, template {}, {} records",
+        bench.sample_bytes, bench.sample_lines, bench.template, bench.records
+    );
+    println!(
+        "{:<20}{:>14}{:>18}{:>14}",
+        "backend", "wall time", "records/sec", "MB/sec"
+    );
+    println!(
+        "{:<20}{:>14}{:>18.0}{:>14.1}",
+        "legacy",
+        fmt_secs(bench.legacy_secs),
+        bench.legacy_records_per_sec(),
+        bench.legacy_mb_per_sec()
+    );
+    println!(
+        "{:<20}{:>14}{:>18.0}{:>14.1}",
+        "span",
+        fmt_secs(bench.span_secs),
+        bench.span_records_per_sec(),
+        bench.span_mb_per_sec()
+    );
+    println!(
+        "{:<20}{:>14}{:>18.0}{:>14.1}",
+        "span+materialize",
+        fmt_secs(bench.span_materialized_secs),
+        bench.records as f64 / bench.span_materialized_secs,
+        bench.sample_bytes as f64 / bench.span_materialized_secs / (1024.0 * 1024.0)
+    );
+    println!(
+        "speedup: {:.2}x ({:.2}x with ParseResult materialization), outputs identical: {}",
+        bench.speedup(),
+        bench.speedup_materialized(),
+        bench.outputs_identical
+    );
+    let path = "BENCH_extraction.json";
+    let ok = !check
+        || check_baseline(
+            path,
+            "span_records_per_sec",
+            bench.span_records_per_sec(),
+            bench.speedup(),
+        );
+    match std::fs::write(path, bench.to_json() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    ok && bench.outputs_identical
 }

@@ -272,6 +272,182 @@ pub fn generation_benchmark(target_bytes: usize, runs: usize) -> GenerationBench
     }
 }
 
+/// Outcome of the extraction micro-benchmark comparing the span instruction-table engine
+/// against the legacy tree-walking parser on the same dataset and template (see
+/// `reproduce -- extraction` and `benches/extraction.rs`).
+#[derive(Clone, Debug)]
+pub struct ExtractionBench {
+    /// Dataset size in bytes.
+    pub sample_bytes: usize,
+    /// Dataset line count.
+    pub sample_lines: usize,
+    /// Records extracted per run (identical across backends).
+    pub records: usize,
+    /// Human-readable rendering of the benchmarked template.
+    pub template: String,
+    /// Best wall-clock seconds of the legacy tree walker.
+    pub legacy_secs: f64,
+    /// Best wall-clock seconds of the span engine (native flat-arena output).
+    pub span_secs: f64,
+    /// Best wall-clock seconds of the span engine including materialization of the
+    /// tree-walker-compatible `ParseResult` (what the pipeline consumes).
+    pub span_materialized_secs: f64,
+    /// `true` when both backends produced byte-identical parses and relational tables.
+    pub outputs_identical: bool,
+}
+
+impl ExtractionBench {
+    /// Megabytes extracted per second, legacy backend.
+    pub fn legacy_mb_per_sec(&self) -> f64 {
+        self.sample_bytes as f64 / self.legacy_secs / (1024.0 * 1024.0)
+    }
+
+    /// Megabytes extracted per second, span backend.
+    pub fn span_mb_per_sec(&self) -> f64 {
+        self.sample_bytes as f64 / self.span_secs / (1024.0 * 1024.0)
+    }
+
+    /// Records extracted per second, legacy backend.
+    pub fn legacy_records_per_sec(&self) -> f64 {
+        self.records as f64 / self.legacy_secs
+    }
+
+    /// Records extracted per second, span backend.
+    pub fn span_records_per_sec(&self) -> f64 {
+        self.records as f64 / self.span_secs
+    }
+
+    /// Wall-clock speedup of the span engine over the tree walker.
+    pub fn speedup(&self) -> f64 {
+        self.legacy_secs / self.span_secs
+    }
+
+    /// Speedup including the `ParseResult` materialization.
+    pub fn speedup_materialized(&self) -> f64 {
+        self.legacy_secs / self.span_materialized_secs
+    }
+
+    /// Serializes the result as the `BENCH_extraction.json` document.
+    pub fn to_json(&self) -> String {
+        use datamaran_core::JsonValue;
+        JsonValue::Object(vec![
+            (
+                "benchmark".into(),
+                JsonValue::String("extraction_ll1".into()),
+            ),
+            (
+                "sample_bytes".into(),
+                JsonValue::Number(self.sample_bytes as f64),
+            ),
+            (
+                "sample_lines".into(),
+                JsonValue::Number(self.sample_lines as f64),
+            ),
+            ("records".into(), JsonValue::Number(self.records as f64)),
+            ("template".into(), JsonValue::String(self.template.clone())),
+            (
+                "legacy_wall_secs".into(),
+                JsonValue::Number(self.legacy_secs),
+            ),
+            ("span_wall_secs".into(), JsonValue::Number(self.span_secs)),
+            (
+                "span_materialized_wall_secs".into(),
+                JsonValue::Number(self.span_materialized_secs),
+            ),
+            (
+                "legacy_records_per_sec".into(),
+                JsonValue::Number(self.legacy_records_per_sec()),
+            ),
+            (
+                "span_records_per_sec".into(),
+                JsonValue::Number(self.span_records_per_sec()),
+            ),
+            (
+                "legacy_mb_per_sec".into(),
+                JsonValue::Number(self.legacy_mb_per_sec()),
+            ),
+            (
+                "span_mb_per_sec".into(),
+                JsonValue::Number(self.span_mb_per_sec()),
+            ),
+            ("speedup".into(), JsonValue::Number(self.speedup())),
+            (
+                "speedup_materialized".into(),
+                JsonValue::Number(self.speedup_materialized()),
+            ),
+            ("extraction_threads".into(), JsonValue::Number(1.0)),
+            (
+                "outputs_identical".into(),
+                JsonValue::Bool(self.outputs_identical),
+            ),
+        ])
+        .to_pretty()
+    }
+}
+
+/// Runs the final extraction pass on an `exhaustive_weblog` dataset of `target_bytes` with
+/// both backends (`runs` timed repetitions each, best run kept, both pinned to one worker
+/// thread) and cross-checks that they produce byte-identical parses and relational tables.
+pub fn extraction_benchmark(target_bytes: usize, runs: usize) -> ExtractionBench {
+    use datamaran_core::{
+        parse_dataset, parse_dataset_span, to_denormalized, to_relational, Dataset, RecordMatch,
+        Table,
+    };
+
+    let text = exhaustive_weblog(target_bytes, 14);
+    // Discover the template once with the paper-default engine (deterministic: fixed seed,
+    // sample-bounded), then benchmark the pass the pipeline actually runs with it.
+    let (template, _) = Datamaran::with_defaults()
+        .discover_structure(&text)
+        .expect("weblog has structure")
+        .expect("a template is found");
+    let templates = vec![template];
+    let max_span = DatamaranConfig::default().max_line_span;
+    let data = Dataset::new(text);
+
+    // Correctness first: the parses and the relational conversions must agree exactly.
+    let legacy = parse_dataset(&data, &templates, max_span);
+    let span = parse_dataset_span(&data, &templates, max_span).to_parse_result(&templates);
+    let same_records = legacy == span;
+    let as_refs = |parse: &[RecordMatch]| -> Vec<Table> {
+        let refs: Vec<&RecordMatch> = parse.iter().collect();
+        let mut tables = to_relational(&templates[0], data.text(), &refs, "bench").tables;
+        tables.push(to_denormalized(&templates[0], data.text(), &refs, "bench"));
+        tables
+    };
+    let outputs_identical = same_records && as_refs(&legacy.records) == as_refs(&span.records);
+
+    let best_of = |f: &dyn Fn() -> usize| -> f64 {
+        (0..runs.max(1))
+            .map(|_| {
+                let started = Instant::now();
+                assert!(f() > 0);
+                started.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    ExtractionBench {
+        sample_bytes: data.len(),
+        sample_lines: data.line_count(),
+        records: legacy.records.len(),
+        template: templates[0].to_string(),
+        legacy_secs: best_of(&|| parse_dataset(&data, &templates, max_span).records.len()),
+        span_secs: best_of(&|| {
+            parse_dataset_span(&data, &templates, max_span)
+                .records
+                .len()
+        }),
+        span_materialized_secs: best_of(&|| {
+            parse_dataset_span(&data, &templates, max_span)
+                .to_parse_result(&templates)
+                .records
+                .len()
+        }),
+        outputs_identical,
+    }
+}
+
 /// Formats seconds compactly for the report tables.
 pub fn fmt_secs(s: f64) -> String {
     if s < 0.001 {

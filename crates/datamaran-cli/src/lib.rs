@@ -20,8 +20,8 @@
 #![forbid(unsafe_code)]
 
 use datamaran_core::{
-    all_tables_csv, table_to_csv, Datamaran, DatamaranConfig, ExtractionReport, Grammar,
-    SearchStrategy,
+    all_tables_csv, table_to_csv, Datamaran, DatamaranConfig, ExtractionBackend, ExtractionReport,
+    Grammar, SearchStrategy,
 };
 use logclust::{ClusterConfig, LogCluster};
 use std::fmt::Write as _;
@@ -124,6 +124,26 @@ impl Cli {
                 "--seed" => {
                     cli.config.seed = parse_number(&next_value(&mut iter, "--seed")?, "--seed")?
                 }
+                "--extraction-backend" => {
+                    let value = next_value(&mut iter, "--extraction-backend")?;
+                    cli.config.extraction_backend = match value.as_str() {
+                        "span" => ExtractionBackend::Span,
+                        "legacy" => ExtractionBackend::Legacy,
+                        other => return Err(format!("unknown extraction backend `{other}`")),
+                    };
+                }
+                "--extraction-threads" => {
+                    cli.config.extraction_threads = parse_number(
+                        &next_value(&mut iter, "--extraction-threads")?,
+                        "--extraction-threads",
+                    )?
+                }
+                "--generation-threads" => {
+                    cli.config.generation_threads = parse_number(
+                        &next_value(&mut iter, "--generation-threads")?,
+                        "--generation-threads",
+                    )?
+                }
                 flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
                 path if cli.input.is_none() => cli.input = Some(PathBuf::from(path)),
                 extra => return Err(format!("unexpected argument `{extra}`")),
@@ -189,6 +209,10 @@ FLAGS:
     --prune-keep <INT>            templates kept after pruning M       (default: 50)
     --sample-bytes <INT>          sampling budget for the search       (default: 65536)
     --seed <INT>                  RNG seed for sampling
+    --extraction-backend <span|legacy>
+                                  final-pass extraction engine         (default: span)
+    --extraction-threads <INT>    extraction worker threads, 0 = auto  (default: 0)
+    --generation-threads <INT>    generation worker threads, 0 = auto  (default: 0)
 ";
 
 /// Runs the CLI: parses `args`, executes the subcommand, and writes output to `out`.
@@ -373,6 +397,25 @@ mod tests {
         assert_eq!(cli.config.max_line_span, 4);
         assert_eq!(cli.config.prune_keep, 100);
         assert_eq!(cli.config.seed, 7);
+    }
+
+    #[test]
+    fn parses_extraction_flags() {
+        let cli = Cli::parse(&args(&[
+            "extract",
+            "app.log",
+            "--extraction-backend",
+            "legacy",
+            "--extraction-threads",
+            "4",
+            "--generation-threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(cli.config.extraction_backend, ExtractionBackend::Legacy);
+        assert_eq!(cli.config.extraction_threads, 4);
+        assert_eq!(cli.config.generation_threads, 2);
+        assert!(Cli::parse(&args(&["extract", "x.log", "--extraction-backend", "fast"])).is_err());
     }
 
     #[test]

@@ -51,6 +51,42 @@ impl GenerationBackend {
     }
 }
 
+/// Which implementation the final extraction pass runs on.
+///
+/// Both backends produce byte-identical [`crate::parser::ParseResult`]s and relational
+/// tables (enforced by `tests/extraction_equivalence.rs`); the span backend is the
+/// production path, the legacy tree walker is kept as the differential oracle and the
+/// baseline for the extraction benchmarks — mirroring [`GenerationBackend`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExtractionBackend {
+    /// Compiled instruction tables matched over raw byte spans with table-driven delimiter
+    /// scanning and flat output arenas (see [`crate::extract`]).
+    #[default]
+    Span,
+    /// The original recursive-descent tree walker ([`crate::parser`]).
+    Legacy,
+}
+
+impl ExtractionBackend {
+    /// Short, human-readable name (used in experiment output and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExtractionBackend::Span => "span",
+            ExtractionBackend::Legacy => "legacy",
+        }
+    }
+}
+
+/// Reads a worker-thread override from the environment (used by the scheduled CI job that
+/// soaks the multi-thread merge paths on hosts with real cores; dev boxes and default runs
+/// are unaffected).  Invalid or absent values fall back to `default`.
+fn env_threads(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
 /// Parameters of the Datamaran algorithm.
 ///
 /// Defaults follow the paper's Section 5 defaults: `α = 10%`, `L = 10`, `M = 50`.
@@ -102,6 +138,13 @@ pub struct DatamaranConfig {
     /// available core; `1` forces the sequential path.  Results are identical for any
     /// value (the merge of per-thread results is order-independent).
     pub generation_threads: usize,
+    /// Which extraction implementation the final pass runs on (span instruction tables vs.
+    /// the legacy tree walker).
+    pub extraction_backend: ExtractionBackend,
+    /// Worker threads for the final extraction pass.  `0` means one per available core;
+    /// `1` forces the sequential path.  Results are identical for any value (the stitch
+    /// replays the sequential segmentation deterministically).
+    pub extraction_threads: usize,
 }
 
 impl Default for DatamaranConfig {
@@ -120,7 +163,9 @@ impl Default for DatamaranConfig {
             refine: true,
             seed: 0x5eed_0001,
             generation_backend: GenerationBackend::default(),
-            generation_threads: 0,
+            generation_threads: env_threads("DATAMARAN_GENERATION_THREADS", 0),
+            extraction_backend: ExtractionBackend::default(),
+            extraction_threads: env_threads("DATAMARAN_EXTRACTION_THREADS", 0),
         }
     }
 }
@@ -196,6 +241,18 @@ impl DatamaranConfig {
     /// Builder-style setter for the generation worker-thread count (`0` = auto).
     pub fn with_generation_threads(mut self, threads: usize) -> Self {
         self.generation_threads = threads;
+        self
+    }
+
+    /// Builder-style setter for the extraction backend.
+    pub fn with_extraction_backend(mut self, backend: ExtractionBackend) -> Self {
+        self.extraction_backend = backend;
+        self
+    }
+
+    /// Builder-style setter for the extraction worker-thread count (`0` = auto).
+    pub fn with_extraction_threads(mut self, threads: usize) -> Self {
+        self.extraction_threads = threads;
         self
     }
 
@@ -302,5 +359,18 @@ mod tests {
     fn strategy_names() {
         assert_eq!(SearchStrategy::Exhaustive.name(), "exhaustive");
         assert_eq!(SearchStrategy::Greedy.name(), "greedy");
+    }
+
+    #[test]
+    fn extraction_backend_defaults_and_builders() {
+        assert_eq!(ExtractionBackend::default(), ExtractionBackend::Span);
+        assert_eq!(ExtractionBackend::Span.name(), "span");
+        assert_eq!(ExtractionBackend::Legacy.name(), "legacy");
+        let c = DatamaranConfig::default()
+            .with_extraction_backend(ExtractionBackend::Legacy)
+            .with_extraction_threads(3);
+        assert_eq!(c.extraction_backend, ExtractionBackend::Legacy);
+        assert_eq!(c.extraction_threads, 3);
+        assert!(c.validate().is_ok());
     }
 }

@@ -57,6 +57,10 @@ pub struct StatsReport {
     pub iterations: usize,
     /// Per-step wall-clock seconds: sampling, generation, pruning, evaluation, extraction.
     pub step_seconds: [f64; 5],
+    /// Extraction backend the final pass ran on (`span` or `legacy`).
+    pub extraction_backend: String,
+    /// Worker threads the final extraction pass was sharded across.
+    pub extraction_threads: usize,
 }
 
 impl StatsReport {
@@ -76,6 +80,8 @@ impl StatsReport {
                 t.evaluation.as_secs_f64(),
                 t.extraction.as_secs_f64(),
             ],
+            extraction_backend: stats.extraction_backend.clone(),
+            extraction_threads: stats.extraction_threads,
         }
     }
 }
@@ -312,6 +318,11 @@ fn stats_to_json(stats: &StatsReport) -> JsonValue {
         ("sample_bytes".into(), num(stats.sample_bytes)),
         ("iterations".into(), num(stats.iterations)),
         (
+            "extraction_backend".into(),
+            JsonValue::String(stats.extraction_backend.clone()),
+        ),
+        ("extraction_threads".into(), num(stats.extraction_threads)),
+        (
             "step_seconds".into(),
             JsonValue::Array(
                 stats
@@ -341,6 +352,15 @@ fn stats_from_json(v: &JsonValue) -> Result<StatsReport, JsonError> {
         sample_bytes: v.require("sample_bytes")?.as_usize()?,
         iterations: v.require("iterations")?.as_usize()?,
         step_seconds,
+        // Reports written before the span extraction engine lack these two fields.
+        extraction_backend: match v.get("extraction_backend") {
+            Some(b) => b.as_str()?.to_string(),
+            None => String::new(),
+        },
+        extraction_threads: match v.get("extraction_threads") {
+            Some(t) => t.as_usize()?,
+            None => 0,
+        },
     })
 }
 

@@ -1,0 +1,1037 @@
+//! Span-based extraction engine: compiled instruction tables over raw byte spans (§5.2.2).
+//!
+//! The original extractor ([`crate::parser`]) re-walks the structure-template *tree* for
+//! every record: recursive descent over [`Node`]s, per-character `CharSet` membership tests
+//! through `char_indices`, and two heap allocations per record (the `ValueTree` vector and
+//! the `FieldCell` vector).  After PR 1 made generation ~81× faster this pass became the
+//! pipeline's dominant cost, exactly as the paper observes ("the majority of the running
+//! time is spent on running the LL(1) parser").
+//!
+//! This module rebuilds the pass on the zero-copy span infrastructure:
+//!
+//! * [`compile`] flattens each [`StructureTemplate`] **once** into a linear instruction
+//!   table ([`Op`]): literal runs point into an interned byte arena, field ops carry their
+//!   pre-computed column index, and array nodes become a begin/end op pair with the
+//!   separator/terminator pre-encoded as UTF-8 bytes.  Matching is a single loop over the
+//!   table — no recursion, no per-record tree walk.  [`decompile`] inverts the compilation
+//!   (round-tripping is enforced by a property suite).
+//! * Field values are delimited by scanning raw bytes against a 256-entry formatting-class
+//!   table ([`ByteClass`]) — the memchr-style "find the next delimiter byte" loop — instead
+//!   of decoding code points and probing a bitset per character.
+//! * Matches land in flat arenas ([`SpanParse`]): one shared `FieldCell` vector plus one
+//!   repetition-count vector, so the per-record hot loop performs **zero** heap
+//!   allocations.  The instantiation trees of the old API are materialized only at the
+//!   boundary ([`SpanParse::to_parse_result`]), and are byte-identical to the tree walker's
+//!   (enforced by `tests/extraction_equivalence.rs`).
+//! * [`parse_dataset_span_parallel`] shards record-boundary extraction across scoped worker
+//!   threads exactly like the generation engine ([`crate::parallel`]): per-line match
+//!   tables into worker-local arenas, then a cheap sequential stitch that replays the
+//!   greedy segmentation deterministically — output is identical for any thread count.
+//!
+//! The tree-walking extractor survives as
+//! [`ExtractionBackend::Legacy`](crate::config::ExtractionBackend) — the differential
+//! oracle and benchmark baseline, mirroring what `GenerationBackend::Legacy` is to the
+//! generation engine.
+
+use crate::chars::CharSet;
+use crate::config::{DatamaranConfig, ExtractionBackend};
+use crate::dataset::Dataset;
+use crate::parallel::{chunk_bounds, resolve_threads, ParallelOptions};
+use crate::parser::{line_of_offset, FieldCell, ParseResult, RecordMatch, ValueTree};
+use crate::structure::{Node, StructureTemplate};
+
+/// A formatting delimiter (array separator or terminator) with its UTF-8 encoding
+/// pre-computed.  Formatting characters are Latin-1, so the encoding is 1 or 2 bytes; a
+/// complete char encoding is never a prefix of a different char's encoding, which is what
+/// makes plain byte-prefix comparison exact.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Delim {
+    ch: char,
+    bytes: [u8; 2],
+    len: u8,
+}
+
+impl Delim {
+    fn new(ch: char) -> Self {
+        let mut buf = [0u8; 4];
+        let encoded = ch.encode_utf8(&mut buf);
+        debug_assert!(encoded.len() <= 2, "formatting characters are Latin-1");
+        let mut bytes = [0u8; 2];
+        bytes[..encoded.len()].copy_from_slice(encoded.as_bytes());
+        Delim {
+            ch,
+            bytes,
+            len: encoded.len() as u8,
+        }
+    }
+
+    /// The delimiter character.
+    pub fn ch(&self) -> char {
+        self.ch
+    }
+
+    /// `true` when the text at `pos` starts with this delimiter.
+    #[inline]
+    fn matches(&self, text: &[u8], pos: usize) -> bool {
+        let len = self.len as usize;
+        pos + len <= text.len() && text[pos..pos + len] == self.bytes[..len]
+    }
+}
+
+/// One instruction of a compiled structure template.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Match one literal byte (the overwhelmingly common literal shape — ':', ',', '\n' —
+    /// kept out of the arena so the hot loop compares a register, not a memcmp).
+    Byte {
+        /// The literal byte.
+        byte: u8,
+    },
+    /// Match the interned literal bytes `lit_bytes[start..start + len]`.
+    Literal {
+        /// Offset into the compiled template's literal arena.
+        start: u32,
+        /// Length of the literal run in bytes.
+        len: u32,
+    },
+    /// Match a maximal non-empty run of field bytes and record it as `column`.
+    Field {
+        /// Pre-computed column index (pre-order field numbering of the template).
+        column: u32,
+    },
+    /// Enter array `array_id`; its matching [`Op::ArrayEnd`] sits at `end_ip`.
+    ArrayBegin {
+        /// Pre-order array numbering of the template.
+        array_id: u32,
+        /// Instruction index of the matching [`Op::ArrayEnd`].
+        end_ip: u32,
+    },
+    /// End of an array body: a separator continues at `body_ip`, a terminator falls
+    /// through, anything else fails the match (the LL(1) single-character decision).
+    ArrayEnd {
+        /// Instruction index of the first body op.
+        body_ip: u32,
+        /// The repetition separator.
+        separator: Delim,
+        /// The array terminator (must differ from the separator).
+        terminator: Delim,
+    },
+}
+
+/// 256-entry formatting-character class table over the Latin-1 code points, the byte-level
+/// projection of a [`CharSet`].  ASCII bytes are classified directly; the only multi-byte
+/// UTF-8 sequences that can encode a formatting character are the 2-byte sequences led by
+/// `0xC2`/`0xC3` (U+0080..=U+00FF), which are classified by their decoded code point.
+#[derive(Clone)]
+pub struct ByteClass {
+    fmt: [bool; 256],
+}
+
+impl ByteClass {
+    /// Builds the class table of `charset`.
+    pub fn new(charset: &CharSet) -> Self {
+        let mut fmt = [false; 256];
+        for (cp, slot) in fmt.iter_mut().enumerate() {
+            let c = char::from_u32(cp as u32).expect("latin-1 code points are valid chars");
+            *slot = charset.contains(c);
+        }
+        ByteClass { fmt }
+    }
+
+    /// Byte offset of the first formatting character at or after `start` — the end of the
+    /// maximal field run beginning there.  Equivalent to [`crate::parser`]'s char-decoding
+    /// scan, but table-driven over raw bytes: the ASCII fast path is a memchr-style
+    /// branchless-predicate sweep (iterator `position` compiles to a tight, bounds-check
+    /// free loop), and only non-ASCII lead bytes fall into the decoding path.
+    #[inline]
+    fn scan_field(&self, text: &[u8], start: usize) -> usize {
+        let mut i = start;
+        loop {
+            let rest = &text[i..];
+            match rest.iter().position(|&b| b >= 0x80 || self.fmt[b as usize]) {
+                None => return text.len(),
+                Some(j) => {
+                    i += j;
+                    let b = text[i];
+                    if b < 0x80 {
+                        return i;
+                    } else if b == 0xC2 || b == 0xC3 {
+                        // The only lead bytes of Latin-1 (U+0080..=U+00FF) code points.
+                        let cp = (((b & 0x1F) as usize) << 6) | (text[i + 1] & 0x3F) as usize;
+                        if self.fmt[cp] {
+                            return i;
+                        }
+                        i += 2;
+                    } else if b < 0xE0 {
+                        i += 2;
+                    } else if b < 0xF0 {
+                        i += 3;
+                    } else {
+                        i += 4;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A structure template compiled to a flat instruction table (plus the byte-class table of
+/// its `RT-CharSet`).  Built once per template per extraction pass, shared immutably across
+/// worker threads.
+pub struct CompiledTemplate {
+    ops: Vec<Op>,
+    lit_bytes: Vec<u8>,
+    charset: CharSet,
+    class: ByteClass,
+    field_count: u32,
+    array_count: u32,
+}
+
+impl CompiledTemplate {
+    /// The instruction table.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The template's `RT-CharSet`.
+    pub fn charset(&self) -> &CharSet {
+        &self.charset
+    }
+
+    /// Number of field columns.
+    pub fn field_count(&self) -> usize {
+        self.field_count as usize
+    }
+
+    /// Number of array nodes.
+    pub fn array_count(&self) -> usize {
+        self.array_count as usize
+    }
+
+    /// Runs the instruction table at byte offset `start`, appending matched cells and array
+    /// repetition counts to the arenas.  Returns the end offset on success; on failure the
+    /// arenas are rolled back.  Purely iterative — the LL(1) property means no
+    /// backtracking, so there is no parse stack beyond the array-nesting slots.
+    fn run(
+        &self,
+        text: &[u8],
+        start: usize,
+        cells: &mut Vec<FieldCell>,
+        reps: &mut Vec<u32>,
+        stack: &mut Vec<(usize, u32)>,
+    ) -> Option<usize> {
+        let cells_mark = cells.len();
+        let reps_mark = reps.len();
+        stack.clear();
+        let ops: &[Op] = &self.ops;
+        let mut pos = start;
+        let mut ip = 0usize;
+        while let Some(op) = ops.get(ip) {
+            match *op {
+                Op::Byte { byte } => {
+                    if pos < text.len() && text[pos] == byte {
+                        pos += 1;
+                        ip += 1;
+                    } else {
+                        cells.truncate(cells_mark);
+                        reps.truncate(reps_mark);
+                        return None;
+                    }
+                }
+                Op::Field { column } => {
+                    let end = self.class.scan_field(text, pos);
+                    if end == pos {
+                        cells.truncate(cells_mark);
+                        reps.truncate(reps_mark);
+                        return None;
+                    }
+                    cells.push(FieldCell {
+                        column: column as usize,
+                        start: pos,
+                        end,
+                    });
+                    pos = end;
+                    ip += 1;
+                }
+                Op::Literal { start: ls, len } => {
+                    let lit = &self.lit_bytes[ls as usize..(ls + len) as usize];
+                    if text.len() - pos >= lit.len() && &text[pos..pos + lit.len()] == lit {
+                        pos += lit.len();
+                        ip += 1;
+                    } else {
+                        cells.truncate(cells_mark);
+                        reps.truncate(reps_mark);
+                        return None;
+                    }
+                }
+                Op::ArrayBegin { .. } => {
+                    // Reserve the repetition-count slot now so counts appear in pre-order
+                    // (the order the materializer consumes them in).
+                    stack.push((reps.len(), 0));
+                    reps.push(0);
+                    ip += 1;
+                }
+                Op::ArrayEnd {
+                    body_ip,
+                    separator,
+                    terminator,
+                } => {
+                    let top = stack.last_mut().expect("ArrayEnd implies ArrayBegin");
+                    top.1 += 1;
+                    if terminator.matches(text, pos) {
+                        pos += terminator.len as usize;
+                        let (slot, count) = stack.pop().expect("non-empty stack");
+                        reps[slot] = count;
+                        ip += 1;
+                    } else if separator.matches(text, pos) {
+                        pos += separator.len as usize;
+                        ip = body_ip as usize;
+                    } else {
+                        cells.truncate(cells_mark);
+                        reps.truncate(reps_mark);
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(pos)
+    }
+}
+
+/// Compiles a structure template into its flat instruction table.
+pub fn compile(template: &StructureTemplate) -> CompiledTemplate {
+    let mut compiled = CompiledTemplate {
+        ops: Vec::new(),
+        lit_bytes: Vec::new(),
+        charset: template.char_set(),
+        class: ByteClass::new(&template.char_set()),
+        field_count: 0,
+        array_count: 0,
+    };
+    let mut column = 0u32;
+    let mut array_id = 0u32;
+    compile_nodes(
+        template.nodes(),
+        &mut compiled.ops,
+        &mut compiled.lit_bytes,
+        &mut column,
+        &mut array_id,
+    );
+    compiled.field_count = column;
+    compiled.array_count = array_id;
+    compiled
+}
+
+/// Recursive op emission.  Column and array numbering is static pre-order — identical to
+/// the numbering the tree walker assigns dynamically (each array repetition re-instantiates
+/// the same body columns).
+fn compile_nodes(
+    nodes: &[Node],
+    ops: &mut Vec<Op>,
+    lit_bytes: &mut Vec<u8>,
+    column: &mut u32,
+    array_id: &mut u32,
+) {
+    for node in nodes {
+        match node {
+            Node::Field => {
+                ops.push(Op::Field { column: *column });
+                *column += 1;
+            }
+            Node::Literal(s) => {
+                if s.len() == 1 && s.as_bytes()[0] < 0x80 {
+                    ops.push(Op::Byte {
+                        byte: s.as_bytes()[0],
+                    });
+                } else {
+                    let start = lit_bytes.len() as u32;
+                    lit_bytes.extend_from_slice(s.as_bytes());
+                    ops.push(Op::Literal {
+                        start,
+                        len: s.len() as u32,
+                    });
+                }
+            }
+            Node::Array {
+                body,
+                separator,
+                terminator,
+            } => {
+                let my_id = *array_id;
+                *array_id += 1;
+                let begin_ip = ops.len();
+                ops.push(Op::ArrayBegin {
+                    array_id: my_id,
+                    end_ip: 0, // patched below
+                });
+                compile_nodes(body, ops, lit_bytes, column, array_id);
+                let end_ip = ops.len() as u32;
+                ops.push(Op::ArrayEnd {
+                    body_ip: begin_ip as u32 + 1,
+                    separator: Delim::new(*separator),
+                    terminator: Delim::new(*terminator),
+                });
+                let Op::ArrayBegin { end_ip: slot, .. } = &mut ops[begin_ip] else {
+                    unreachable!("begin_ip points at the ArrayBegin just pushed");
+                };
+                *slot = end_ip;
+            }
+        }
+    }
+}
+
+/// Reconstructs the structure template a [`CompiledTemplate`] was compiled from.  The
+/// compilation is lossless: `decompile(&compile(t)) == t` for every template (enforced by
+/// the round-trip property suite).
+pub fn decompile(compiled: &CompiledTemplate) -> StructureTemplate {
+    let mut ip = 0usize;
+    let nodes = decompile_range(
+        &compiled.ops,
+        &compiled.lit_bytes,
+        &mut ip,
+        compiled.ops.len(),
+    );
+    StructureTemplate::new(nodes)
+}
+
+fn decompile_range(ops: &[Op], lit_bytes: &[u8], ip: &mut usize, end: usize) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while *ip < end {
+        match ops[*ip] {
+            Op::Byte { byte } => {
+                nodes.push(Node::Literal((byte as char).to_string()));
+                *ip += 1;
+            }
+            Op::Literal { start, len } => {
+                let bytes = &lit_bytes[start as usize..(start + len) as usize];
+                nodes.push(Node::Literal(
+                    String::from_utf8(bytes.to_vec()).expect("literal arena holds valid UTF-8"),
+                ));
+                *ip += 1;
+            }
+            Op::Field { .. } => {
+                nodes.push(Node::Field);
+                *ip += 1;
+            }
+            Op::ArrayBegin { end_ip, .. } => {
+                *ip += 1;
+                let body = decompile_range(ops, lit_bytes, ip, end_ip as usize);
+                let Op::ArrayEnd {
+                    separator,
+                    terminator,
+                    ..
+                } = ops[end_ip as usize]
+                else {
+                    unreachable!("end_ip points at the matching ArrayEnd");
+                };
+                nodes.push(Node::Array {
+                    body,
+                    separator: separator.ch(),
+                    terminator: terminator.ch(),
+                });
+                *ip = end_ip as usize + 1;
+            }
+            Op::ArrayEnd { .. } => unreachable!("ArrayEnd is consumed by its ArrayBegin"),
+        }
+    }
+    nodes
+}
+
+/// One matched record in a [`SpanParse`]: metadata plus ranges into the shared arenas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Which of the supplied templates matched.
+    pub template_index: u32,
+    /// Byte span `[start, end)` of the record in the dataset text.
+    pub byte_span: (usize, usize),
+    /// Line span `[first, last)` of the record.
+    pub line_span: (usize, usize),
+    /// Range of this record's cells in [`SpanParse::cells`].
+    pub cell_range: (u32, u32),
+    /// Range of this record's array repetition counts in [`SpanParse::reps`]
+    /// (pre-order by array occurrence in match order).
+    pub rep_range: (u32, u32),
+}
+
+impl SpanRecord {
+    /// Length of the record in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.byte_span.1 - self.byte_span.0
+    }
+}
+
+/// Flat, arena-backed extraction output of the span engine — the allocation-free
+/// counterpart of [`ParseResult`].  All extracted information is here: record boundaries,
+/// every field cell, and the repetition count of every array occurrence (the instantiation
+/// tree is fully determined by the template plus these counts).
+#[derive(Clone, Debug, Default)]
+pub struct SpanParse {
+    /// Matched records in document order.
+    pub records: Vec<SpanRecord>,
+    /// Field-cell arena (cells of each record are contiguous, in match order).
+    pub cells: Vec<FieldCell>,
+    /// Array repetition-count arena.
+    pub reps: Vec<u32>,
+    /// Indices of lines that belong to no record.
+    pub noise_lines: Vec<usize>,
+    /// Total bytes covered by records.
+    pub record_bytes: usize,
+    /// Total bytes covered by noise lines.
+    pub noise_bytes: usize,
+}
+
+impl SpanParse {
+    /// The cells of one record.
+    pub fn record_cells(&self, rec: &SpanRecord) -> &[FieldCell] {
+        &self.cells[rec.cell_range.0 as usize..rec.cell_range.1 as usize]
+    }
+
+    /// The repetition counts of one record.
+    pub fn record_reps(&self, rec: &SpanRecord) -> &[u32] {
+        &self.reps[rec.rep_range.0 as usize..rec.rep_range.1 as usize]
+    }
+
+    /// Materializes the tree-walker-compatible [`ParseResult`] (instantiation trees and
+    /// per-record cell vectors).  Byte-identical to what [`crate::parser::parse_dataset`]
+    /// produces on the same input — the differential suite compares the two directly.
+    pub fn to_parse_result(&self, templates: &[StructureTemplate]) -> ParseResult {
+        let mut result = ParseResult {
+            records: Vec::with_capacity(self.records.len()),
+            noise_lines: self.noise_lines.clone(),
+            record_bytes: self.record_bytes,
+            noise_bytes: self.noise_bytes,
+        };
+        for rec in &self.records {
+            let cells = self.record_cells(rec);
+            let reps = self.record_reps(rec);
+            let mut cell_iter = cells.iter();
+            let mut rep_iter = reps.iter();
+            let mut array_id = 0usize;
+            let values = build_values(
+                templates[rec.template_index as usize].nodes(),
+                &mut cell_iter,
+                &mut rep_iter,
+                &mut array_id,
+            );
+            debug_assert!(cell_iter.next().is_none(), "all cells consumed");
+            debug_assert!(rep_iter.next().is_none(), "all repetition counts consumed");
+            result.records.push(RecordMatch {
+                template_index: rec.template_index as usize,
+                byte_span: rec.byte_span,
+                line_span: rec.line_span,
+                values,
+                fields: cells.to_vec(),
+            });
+        }
+        result
+    }
+}
+
+/// Rebuilds the instantiation trees of one record from the template shape plus the flat
+/// cell and repetition-count streams.  Array numbering replays the tree walker's dynamic
+/// scheme: each repetition re-numbers inner arrays from the same base, and siblings after
+/// an array continue past the whole reserved body range.
+fn build_values(
+    nodes: &[Node],
+    cells: &mut std::slice::Iter<'_, FieldCell>,
+    reps: &mut std::slice::Iter<'_, u32>,
+    array_id: &mut usize,
+) -> Vec<ValueTree> {
+    nodes
+        .iter()
+        .map(|node| match node {
+            Node::Field => {
+                let cell = cells.next().expect("cell stream matches template shape");
+                ValueTree::Field {
+                    column: cell.column,
+                    start: cell.start,
+                    end: cell.end,
+                }
+            }
+            Node::Literal(_) => ValueTree::Literal,
+            Node::Array { body, .. } => {
+                let my_id = *array_id;
+                *array_id += 1;
+                let count = *reps.next().expect("rep stream matches template shape");
+                let groups = (0..count)
+                    .map(|_| {
+                        let mut inner_id = *array_id;
+                        build_values(body, cells, reps, &mut inner_id)
+                    })
+                    .collect();
+                *array_id += body.iter().map(Node::array_count).sum::<usize>();
+                ValueTree::Array {
+                    array_id: my_id,
+                    groups,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Reusable per-thread scratch for span matching: the array-nesting slots plus the
+/// cell/rep staging buffers used by per-record materialization
+/// ([`SpanLineMatcher::match_line_record`]), so repeated calls allocate only the two
+/// vectors the returned [`RecordMatch`] owns — the same per-record cost as the tree
+/// walker.
+#[derive(Clone, Debug, Default)]
+pub struct SpanScratch {
+    stack: Vec<(usize, u32)>,
+    cells: Vec<FieldCell>,
+    reps: Vec<u32>,
+}
+
+/// Pre-compiled matcher for a fixed template set, the span engine's counterpart of
+/// [`crate::parser::LineMatcher`].  Owns its compiled tables (and a copy of the templates
+/// for materialization), so it borrows nothing and can be shared immutably across scoped
+/// worker threads.
+pub struct SpanLineMatcher {
+    compiled: Vec<CompiledTemplate>,
+    templates: Vec<StructureTemplate>,
+    max_line_span: usize,
+}
+
+impl SpanLineMatcher {
+    /// Compiles `templates`; `max_line_span` is the paper's `L` parameter.
+    pub fn new(templates: &[StructureTemplate], max_line_span: usize) -> Self {
+        SpanLineMatcher {
+            compiled: templates.iter().map(compile).collect(),
+            templates: templates.to_vec(),
+            max_line_span,
+        }
+    }
+
+    /// Attempts to match one record starting at `line`, appending its cells and repetition
+    /// counts to the supplied arenas.  Same template order and acceptance rules as the
+    /// tree walker: first template whose match ends on a line boundary within the span
+    /// limit wins.
+    pub fn match_line_into(
+        &self,
+        dataset: &Dataset,
+        line: usize,
+        cells: &mut Vec<FieldCell>,
+        reps: &mut Vec<u32>,
+        scratch: &mut SpanScratch,
+    ) -> Option<SpanRecord> {
+        let text = dataset.text().as_bytes();
+        let n = dataset.line_count();
+        let start = dataset.line_start(line);
+        for (idx, ct) in self.compiled.iter().enumerate() {
+            if ct.ops.is_empty() {
+                continue;
+            }
+            let cell_mark = cells.len() as u32;
+            let rep_mark = reps.len() as u32;
+            if let Some(end) = ct.run(text, start, cells, reps, &mut scratch.stack) {
+                let end_line = line_of_offset(dataset, end, line);
+                let ends_on_boundary = end == text.len()
+                    || end_line
+                        .map(|l| dataset.line_start(l) == end)
+                        .unwrap_or(false);
+                let line_span_end = end_line.unwrap_or(n);
+                if ends_on_boundary && line_span_end - line <= self.max_line_span && end > start {
+                    return Some(SpanRecord {
+                        template_index: idx as u32,
+                        byte_span: (start, end),
+                        line_span: (line, line_span_end),
+                        cell_range: (cell_mark, cells.len() as u32),
+                        rep_range: (rep_mark, reps.len() as u32),
+                    });
+                }
+                // Matched but rejected by the boundary/span rules: roll the arenas back and
+                // try the next template, exactly like the tree walker.
+                cells.truncate(cell_mark as usize);
+                reps.truncate(rep_mark as usize);
+            }
+        }
+        None
+    }
+
+    /// Convenience for callers that want one materialized [`RecordMatch`] per line (the
+    /// streaming extractor): matches and immediately builds the instantiation tree.
+    pub fn match_line_record(
+        &self,
+        dataset: &Dataset,
+        line: usize,
+        scratch: &mut SpanScratch,
+    ) -> Option<RecordMatch> {
+        let mut cells = std::mem::take(&mut scratch.cells);
+        let mut reps = std::mem::take(&mut scratch.reps);
+        cells.clear();
+        reps.clear();
+        let rec = self.match_line_into(dataset, line, &mut cells, &mut reps, scratch);
+        let result = rec.map(|rec| {
+            let mut cell_iter = cells.iter();
+            let mut rep_iter = reps.iter();
+            let mut array_id = 0usize;
+            let values = build_values(
+                self.templates[rec.template_index as usize].nodes(),
+                &mut cell_iter,
+                &mut rep_iter,
+                &mut array_id,
+            );
+            RecordMatch {
+                template_index: rec.template_index as usize,
+                byte_span: rec.byte_span,
+                line_span: rec.line_span,
+                values,
+                fields: cells.clone(),
+            }
+        });
+        scratch.cells = cells;
+        scratch.reps = reps;
+        result
+    }
+
+    /// The templates this matcher was built from.
+    pub fn templates(&self) -> &[StructureTemplate] {
+        &self.templates
+    }
+
+    /// Greedy left-to-right segmentation of the whole dataset (the sequential engine).
+    fn parse(&self, dataset: &Dataset) -> SpanParse {
+        let n = dataset.line_count();
+        let mut out = SpanParse::default();
+        let mut scratch = SpanScratch::default();
+        let mut line = 0usize;
+        while line < n {
+            match self.match_line_into(dataset, line, &mut out.cells, &mut out.reps, &mut scratch) {
+                Some(rec) => {
+                    out.record_bytes += rec.byte_len();
+                    line = rec.line_span.1;
+                    out.records.push(rec);
+                }
+                None => {
+                    let (s, e) = dataset.line_span(line);
+                    out.noise_bytes += e - s;
+                    out.noise_lines.push(line);
+                    line += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Sequential span extraction: segments the dataset exactly like
+/// [`crate::parser::parse_dataset`], producing the flat [`SpanParse`] representation.
+pub fn parse_dataset_span(
+    dataset: &Dataset,
+    templates: &[StructureTemplate],
+    max_line_span: usize,
+) -> SpanParse {
+    SpanLineMatcher::new(templates, max_line_span).parse(dataset)
+}
+
+/// Per-chunk worker output of the parallel engine: per-line match table plus the worker's
+/// private arenas (ranges in the records are worker-local until the stitch).
+struct ChunkMatches {
+    first: usize,
+    matches: Vec<Option<SpanRecord>>,
+    cells: Vec<FieldCell>,
+    reps: Vec<u32>,
+}
+
+/// Parallel span extraction with `options.threads` scoped workers and a deterministic
+/// sequential stitch; the result is identical to [`parse_dataset_span`] for any thread
+/// count (the per-line match question depends only on the text from that line onwards).
+pub fn parse_dataset_span_parallel(
+    dataset: &Dataset,
+    templates: &[StructureTemplate],
+    max_line_span: usize,
+    options: ParallelOptions,
+) -> SpanParse {
+    let n = dataset.line_count();
+    let chunks = options.effective_chunks(n);
+    let matcher = SpanLineMatcher::new(templates, max_line_span);
+    if chunks <= 1 || n == 0 {
+        return matcher.parse(dataset);
+    }
+
+    let bounds = chunk_bounds(n, chunks);
+    let matcher = &matcher;
+
+    // Phase 1: per-line match tables into worker-local arenas, in parallel.
+    let tables: Vec<ChunkMatches> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(first, last)| {
+                scope.spawn(move || {
+                    let mut chunk = ChunkMatches {
+                        first,
+                        matches: Vec::with_capacity(last - first),
+                        cells: Vec::new(),
+                        reps: Vec::new(),
+                    };
+                    let mut scratch = SpanScratch::default();
+                    for line in first..last {
+                        chunk.matches.push(matcher.match_line_into(
+                            dataset,
+                            line,
+                            &mut chunk.cells,
+                            &mut chunk.reps,
+                            &mut scratch,
+                        ));
+                    }
+                    chunk
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("extraction worker panicked"))
+            .collect()
+    });
+
+    // Phase 2: sequential stitch replaying the greedy segmentation, copying each selected
+    // record's arena slices into the merged arenas in document order.
+    let mut out = SpanParse::default();
+    let mut line = 0usize;
+    let mut k = 0usize;
+    while line < n {
+        while line >= tables[k].first + tables[k].matches.len() {
+            k += 1;
+        }
+        let chunk = &tables[k];
+        match &chunk.matches[line - chunk.first] {
+            Some(rec) => {
+                let cell_base = out.cells.len() as u32;
+                let rep_base = out.reps.len() as u32;
+                out.cells.extend_from_slice(
+                    &chunk.cells[rec.cell_range.0 as usize..rec.cell_range.1 as usize],
+                );
+                out.reps.extend_from_slice(
+                    &chunk.reps[rec.rep_range.0 as usize..rec.rep_range.1 as usize],
+                );
+                out.record_bytes += rec.byte_len();
+                line = rec.line_span.1;
+                out.records.push(SpanRecord {
+                    cell_range: (cell_base, out.cells.len() as u32),
+                    rep_range: (rep_base, out.reps.len() as u32),
+                    ..*rec
+                });
+            }
+            None => {
+                let (s, e) = dataset.line_span(line);
+                out.noise_bytes += e - s;
+                out.noise_lines.push(line);
+                line += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The extraction pass the pipeline runs: dispatches on
+/// [`DatamaranConfig::extraction_backend`] and shards across
+/// [`DatamaranConfig::extraction_threads`] workers, returning the tree-walker-compatible
+/// [`ParseResult`] either way.  Output is byte-identical across backends and thread counts.
+pub fn extract_records(
+    dataset: &Dataset,
+    templates: &[StructureTemplate],
+    config: &DatamaranConfig,
+) -> ParseResult {
+    let options =
+        ParallelOptions::default().with_threads(resolve_threads(config.extraction_threads));
+    match config.extraction_backend {
+        ExtractionBackend::Span => {
+            parse_dataset_span_parallel(dataset, templates, config.max_line_span, options)
+                .to_parse_result(templates)
+        }
+        ExtractionBackend::Legacy => crate::parallel::parse_dataset_parallel(
+            dataset,
+            templates,
+            config.max_line_span,
+            options,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dataset;
+    use crate::record::RecordTemplate;
+    use crate::reduce::reduce;
+
+    fn flat(example: &str, charset: &str) -> StructureTemplate {
+        let cs = CharSet::from_chars(charset.chars());
+        StructureTemplate::from_record_template(&RecordTemplate::from_instantiated(example, &cs))
+    }
+
+    fn array(example: &str, charset: &str) -> StructureTemplate {
+        let cs = CharSet::from_chars(charset.chars());
+        reduce(&RecordTemplate::from_instantiated(example, &cs))
+    }
+
+    fn assert_same(a: &ParseResult, b: &ParseResult, label: &str) {
+        assert_eq!(a.records.len(), b.records.len(), "{label}: record count");
+        assert_eq!(a.noise_lines, b.noise_lines, "{label}: noise lines");
+        assert_eq!(a.record_bytes, b.record_bytes, "{label}: record bytes");
+        assert_eq!(a.noise_bytes, b.noise_bytes, "{label}: noise bytes");
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.template_index, y.template_index, "{label}");
+            assert_eq!(x.byte_span, y.byte_span, "{label}");
+            assert_eq!(x.line_span, y.line_span, "{label}");
+            assert_eq!(x.fields, y.fields, "{label}");
+            assert_eq!(x.values, y.values, "{label}");
+        }
+        // Field-drift backstop: whatever fields ParseResult grows, full equality holds.
+        assert_eq!(a, b, "{label}: full ParseResult equality");
+    }
+
+    fn check(text: &str, templates: &[StructureTemplate], label: &str) {
+        let data = Dataset::new(text);
+        let legacy = parse_dataset(&data, templates, 10);
+        let span = parse_dataset_span(&data, templates, 10).to_parse_result(templates);
+        assert_same(&legacy, &span, label);
+        for threads in [2, 3, 7] {
+            let par = parse_dataset_span_parallel(
+                &data,
+                templates,
+                10,
+                ParallelOptions {
+                    threads,
+                    min_chunk_lines: 1,
+                },
+            )
+            .to_parse_result(templates);
+            assert_same(&legacy, &par, &format!("{label} ({threads} threads)"));
+        }
+    }
+
+    #[test]
+    fn compile_round_trips_flat_and_array_templates() {
+        for t in [
+            flat("[01:05] alice\n", "[]: \n"),
+            flat("a) (b\n", "() \n"),
+            array("1,2,3\n", ",\n"),
+            array("a,\"x,y,z\",b\n", ",\"\n"),
+            array("k: 1\nk: 2\nk: 3\nEND\n", ": \n"),
+            StructureTemplate::new(vec![]),
+        ] {
+            assert_eq!(decompile(&compile(&t)), t, "round trip of {t}");
+        }
+    }
+
+    #[test]
+    fn compiled_counts_match_template() {
+        let t = array("a,\"x,y,z\",b\n", ",\"\n");
+        let c = compile(&t);
+        assert_eq!(c.field_count(), t.field_count());
+        assert!(c.array_count() >= 1);
+    }
+
+    #[test]
+    fn matches_simple_records_identically() {
+        let st = flat("[01:05] alice\n", "[]: \n");
+        check(
+            "[01:05] alice\n[02:06] bob\nnoise here!!\n[03:07] carol\n",
+            &[st],
+            "simple",
+        );
+    }
+
+    #[test]
+    fn matches_array_records_identically() {
+        let st = array("1,2,3\n", ",\n");
+        check("1,2,3\n4,5\n6,7,8,9\nnoise;;\n10,11\n", &[st], "array");
+    }
+
+    #[test]
+    fn matches_multi_line_and_interleaved_identically() {
+        let a = flat("BEGIN 1\nvalue=10;ok\n", " =;\n");
+        let b = flat("A|1\n", "|\n");
+        let mut text = String::new();
+        for i in 0..50 {
+            if i % 3 == 0 {
+                text.push_str(&format!("A|{i}\n"));
+            } else {
+                text.push_str(&format!("BEGIN {i}\nvalue={};ok\n", i * 7));
+            }
+            if i % 11 == 0 {
+                text.push_str("### noise ###\n");
+            }
+        }
+        check(&text, &[a, b], "interleaved");
+    }
+
+    #[test]
+    fn nested_arrays_materialize_identically() {
+        // A multi-line window whose reduction nests an array inside an array body.
+        let text = "a|1\nb|2\nc|3\nd|4#\na|5\nb|6\nc|7\nd|8#\n";
+        let st = array("a|1\nb|2\nc|3\nd|4#\n", "|#\n");
+        assert!(st.has_array(), "test needs an array template: {st}");
+        check(text, std::slice::from_ref(&st), "nested");
+    }
+
+    #[test]
+    fn latin1_delimiters_match_byte_for_byte() {
+        let st = flat("a§b\n", "§\n");
+        check("a§b\nx§y\nplain line\n", &[st], "latin1");
+    }
+
+    #[test]
+    fn non_latin1_content_is_field_material() {
+        let st = flat("k=v\n", "=\n");
+        check("k=v\n日本=語\nnoise\n", &[st], "utf8");
+    }
+
+    #[test]
+    fn empty_template_never_matches() {
+        let st = StructureTemplate::new(vec![]);
+        check("a\nb\n", &[st], "empty");
+    }
+
+    #[test]
+    fn span_limit_and_boundary_rules_replicated() {
+        let st = flat("x:1\n", ":\n");
+        let data = Dataset::new("x:1\nx:2\n");
+        let span = parse_dataset_span(&data, std::slice::from_ref(&st), 0);
+        assert!(span.records.is_empty());
+        assert_eq!(span.noise_lines.len(), 2);
+        // Record ending mid-line is rejected.
+        let st2 = flat("a-b\n", "-\n");
+        check("a-b\nc-d junk-x\n", &[st2], "mid-line");
+    }
+
+    #[test]
+    fn no_trailing_newline_still_matches() {
+        let st = flat("k=v\n", "=\n");
+        let data = Dataset::new("k=v\nk2=v2");
+        // The final line lacks '\n', so only the first line matches — same as legacy.
+        let legacy = parse_dataset(&data, std::slice::from_ref(&st), 10);
+        let span = parse_dataset_span(&data, std::slice::from_ref(&st), 10).to_parse_result(&[st]);
+        assert_same(&legacy, &span, "no trailing newline");
+    }
+
+    #[test]
+    fn match_line_record_materializes_like_tree_walker() {
+        let st = array("1,2,3\n", ",\n");
+        let data = Dataset::new("7,8,9\n");
+        let matcher = SpanLineMatcher::new(std::slice::from_ref(&st), 10);
+        let mut scratch = SpanScratch::default();
+        let rec = matcher.match_line_record(&data, 0, &mut scratch).unwrap();
+        let legacy = parse_dataset(&data, std::slice::from_ref(&st), 10);
+        assert_eq!(rec.fields, legacy.records[0].fields);
+        assert_eq!(rec.values, legacy.records[0].values);
+    }
+
+    #[test]
+    fn extract_records_dispatches_both_backends() {
+        let mut text = String::new();
+        for i in 0..40 {
+            text.push_str(&format!("{i},{},{}\n", i * 2, i % 5));
+        }
+        let data = Dataset::new(text);
+        let st = array("1,2,3\n", ",\n");
+        let templates = vec![st];
+        let span_cfg = DatamaranConfig::default().with_extraction_threads(2);
+        let legacy_cfg = DatamaranConfig::default()
+            .with_extraction_backend(ExtractionBackend::Legacy)
+            .with_extraction_threads(1);
+        let a = extract_records(&data, &templates, &span_cfg);
+        let b = extract_records(&data, &templates, &legacy_cfg);
+        assert_same(&a, &b, "dispatch");
+    }
+}

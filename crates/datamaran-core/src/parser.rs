@@ -51,7 +51,7 @@ pub enum ValueTree {
 }
 
 /// A matched (instantiated) record.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RecordMatch {
     /// Which of the supplied templates matched.
     pub template_index: usize,
@@ -78,7 +78,7 @@ impl RecordMatch {
 }
 
 /// Segmentation of a dataset into records of the supplied templates and noise lines.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ParseResult {
     /// Matched records in document order.
     pub records: Vec<RecordMatch>,
@@ -253,7 +253,9 @@ pub fn parse_dataset(
 
 /// Returns the line index whose start offset equals or follows `offset`, searching forward
 /// from `hint`.  Returns `None` if `offset` is at or beyond the end of the text.
-fn line_of_offset(dataset: &Dataset, offset: usize, hint: usize) -> Option<usize> {
+/// Shared with the span extraction engine ([`crate::extract`]), which applies the same
+/// boundary and span-limit rules.
+pub(crate) fn line_of_offset(dataset: &Dataset, offset: usize, hint: usize) -> Option<usize> {
     if offset >= dataset.len() {
         return None;
     }
@@ -378,13 +380,7 @@ fn match_node(
 
 /// Number of array nodes in a node sequence (recursively).
 fn count_arrays(nodes: &[Node]) -> usize {
-    nodes
-        .iter()
-        .map(|n| match n {
-            Node::Array { body, .. } => 1 + count_arrays(body),
-            _ => 0,
-        })
-        .sum()
+    nodes.iter().map(Node::array_count).sum()
 }
 
 /// Returns the end offset of the maximal run of non-formatting characters starting at `start`.

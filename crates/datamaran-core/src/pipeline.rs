@@ -6,10 +6,11 @@ use crate::assimilation::prune;
 use crate::config::DatamaranConfig;
 use crate::dataset::Dataset;
 use crate::error::{Error, Result};
+use crate::extract::extract_records;
 use crate::fieldtype::FieldType;
 use crate::generation::{generate, Candidate};
 use crate::mdl::{MdlScorer, RegularityScorer};
-use crate::parser::{parse_dataset, ParseResult, RecordMatch};
+use crate::parser::{ParseResult, RecordMatch};
 use crate::refine::Refiner;
 use crate::relational::{to_denormalized, to_relational, RelationalOutput, Table};
 use crate::structure::StructureTemplate;
@@ -59,6 +60,10 @@ pub struct PipelineStats {
     pub sample_bytes: usize,
     /// Number of pipeline iterations (record types attempted).
     pub iterations: usize,
+    /// Name of the extraction backend the final pass ran on (`span` or `legacy`).
+    pub extraction_backend: String,
+    /// Worker threads the final extraction pass was configured with (resolved; `>= 1`).
+    pub extraction_threads: usize,
 }
 
 /// One extracted record type: its structure template and everything derived from it.
@@ -160,7 +165,11 @@ impl Datamaran {
             return Err(Error::EmptyDataset);
         }
         let full = Dataset::new(text);
-        let mut stats = PipelineStats::default();
+        let mut stats = PipelineStats {
+            extraction_backend: self.config.extraction_backend.name().to_string(),
+            extraction_threads: crate::parallel::resolve_threads(self.config.extraction_threads),
+            ..Default::default()
+        };
 
         // First iteration: the top `beam_width` refined templates over the whole dataset.
         stats.iterations += 1;
@@ -182,7 +191,7 @@ impl Datamaran {
         for seed_candidate in first {
             let solution = self.continue_greedy(&full, seed_candidate, scorer, &mut stats)?;
             let list: Vec<StructureTemplate> = solution.iter().map(|(t, _)| t.clone()).collect();
-            let parse = parse_dataset(&solution_sample, &list, self.config.max_line_span);
+            let parse = extract_records(&solution_sample, &list, &self.config);
             let total = scorer.score_set(&solution_sample, &list, &parse);
             match &best {
                 Some((_, best_total)) if total >= *best_total => {}
@@ -191,11 +200,12 @@ impl Datamaran {
         }
         let templates = best.expect("at least one branch").0;
 
-        // Final extraction over the whole dataset with every discovered template.
+        // Final extraction over the whole dataset with every discovered template, on the
+        // configured extraction backend sharded across the configured worker threads.
         let started = Instant::now();
         let template_list: Vec<StructureTemplate> =
             templates.iter().map(|(t, _)| t.clone()).collect();
-        let parse = parse_dataset(&full, &template_list, self.config.max_line_span);
+        let parse = extract_records(&full, &template_list, &self.config);
         let structures = self.build_structures(&full, &templates, &parse);
         stats.timings.extraction += started.elapsed();
 
@@ -226,7 +236,7 @@ impl Datamaran {
         for _ in 1..self.config.max_record_types {
             let template_list: Vec<StructureTemplate> =
                 templates.iter().map(|(t, _)| t.clone()).collect();
-            let parse = parse_dataset(full, &template_list, self.config.max_line_span);
+            let parse = extract_records(full, &template_list, &self.config);
             let runs = parse.noise_runs(full);
             let residual: String = runs.iter().map(|(s, e)| &full.text()[*s..*e]).collect();
             // Stop when the residual is too small to contain another α-covered record type
@@ -551,8 +561,38 @@ mod tests {
     }
 
     #[test]
+    fn extraction_backends_agree_end_to_end() {
+        use crate::config::ExtractionBackend;
+        let mut text = String::new();
+        for i in 0..90u64 {
+            if mix(i).is_multiple_of(5) {
+                text.push_str(&format!("{i},{},{}\n", mix(i) % 40, mix(i * 3) % 9));
+            } else {
+                text.push_str(&format!("[{:02}:{:02}] host{} ok\n", i % 24, i % 60, i % 4));
+            }
+        }
+        let span = Datamaran::with_defaults().extract(&text).unwrap();
+        let legacy = Datamaran::new(
+            DatamaranConfig::default().with_extraction_backend(ExtractionBackend::Legacy),
+        )
+        .unwrap()
+        .extract(&text)
+        .unwrap();
+        assert_eq!(span.noise_lines, legacy.noise_lines);
+        assert_eq!(span.structures.len(), legacy.structures.len());
+        for (a, b) in span.structures.iter().zip(&legacy.structures) {
+            assert_eq!(a.template, b.template);
+            assert_eq!(a.relational, b.relational, "template {}", a.template);
+            assert_eq!(a.denormalized, b.denormalized, "template {}", a.template);
+        }
+        assert_eq!(span.stats.extraction_backend, "span");
+        assert_eq!(legacy.stats.extraction_backend, "legacy");
+    }
+
+    #[test]
     fn stats_report_step_activity() {
         let result = Datamaran::with_defaults().extract(&web_log(60)).unwrap();
+        assert!(result.stats.extraction_threads >= 1);
         assert!(result.stats.candidates_generated > 0);
         assert!(result.stats.candidates_pruned > 0);
         assert!(result.stats.charsets_enumerated > 0);

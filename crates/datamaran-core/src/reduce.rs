@@ -21,6 +21,16 @@ const MAX_UNIT_TOKENS: usize = 48;
 /// Minimum number of adjacent unit repetitions (before the trailing copy) required to fold.
 const MIN_REPS: usize = 2;
 
+/// Maximum token count on which tandem-repeat folding is attempted.  Every fold restarts
+/// [`find_fold`] from the left, so a window with many small repeats costs
+/// `O(folds × tokens × MAX_UNIT_TOKENS²)` — quadratic in the window length when fold count
+/// scales with it.  Real candidate records sit far below this cap (an `L`-line window of
+/// ordinary log lines is a few hundred tokens); a pathological window (very long lines, or
+/// thousands of short repeated groups) is left as a flat Struct template instead of
+/// stalling the generation step.  Both generation backends share this function, so the cap
+/// cannot break their differential equivalence.
+const MAX_FOLD_TOKENS: usize = 4096;
+
 /// Reduces a record template to its minimal structure template.
 pub fn reduce(rt: &RecordTemplate) -> StructureTemplate {
     StructureTemplate::new(reduce_tokens(rt.tokens()))
@@ -53,10 +63,12 @@ impl Item {
 }
 
 /// Reduces a token sequence to a node sequence, folding tandem repeats into arrays.
+/// Sequences longer than [`MAX_FOLD_TOKENS`] skip the folding pass (see the cap's doc).
 fn reduce_tokens(tokens: &[TemplateToken]) -> Vec<Node> {
     let mut items: Vec<Item> = tokens.iter().copied().map(Item::Tok).collect();
 
-    while let Some(fold) = find_fold(&items) {
+    while items.len() <= MAX_FOLD_TOKENS {
+        let Some(fold) = find_fold(&items) else { break };
         let FoldSpec {
             start,
             unit_len,
@@ -261,6 +273,45 @@ mod tests {
         let rt = template(text, "|#\n");
         let st = reduce(&rt);
         assert!(!st.has_array(), "got {st}");
+    }
+
+    #[test]
+    fn pathological_long_window_skips_folding_fast() {
+        // A multi-line window made of thousands of small repeated groups: every group folds
+        // separately, and each fold restarts the leftmost scan — the quadratic blow-up
+        // noted in the ROADMAP.  Uncapped, this window takes minutes; with the
+        // `MAX_FOLD_TOKENS` cap it reduces (to a flat Struct) in microseconds, which is
+        // what lets this regression test terminate at all.
+        let mut text = String::new();
+        for i in 0..3000 {
+            text.push_str(&format!("a{i},b,c;\n"));
+        }
+        let rt = template(&text, ",;\n");
+        assert!(
+            rt.len() > super::MAX_FOLD_TOKENS,
+            "window must exceed the cap"
+        );
+        let started = std::time::Instant::now();
+        let st = reduce(&rt);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "capped reduction must be near-instant"
+        );
+        assert!(!st.has_array(), "above the cap the window stays flat");
+        assert_eq!(st.field_count(), rt.field_count());
+    }
+
+    #[test]
+    fn windows_below_the_cap_still_fold() {
+        // The same shape just below the cap folds normally (the cap only affects
+        // pathological windows).
+        let mut text = String::new();
+        for i in 0..300 {
+            text.push_str(&format!("a{i},b,c;\n"));
+        }
+        let rt = template(&text, ",;\n");
+        assert!(rt.len() <= super::MAX_FOLD_TOKENS);
+        assert!(reduce(&rt).has_array());
     }
 
     #[test]

@@ -19,12 +19,46 @@
 //! stream length, and the emitted segmentation is identical to what the in-memory extractor
 //! would produce on the concatenated input (checked by tests).
 
+use crate::config::ExtractionBackend;
 use crate::dataset::Dataset;
 use crate::error::{Error, Result};
-use crate::parser::LineMatcher;
+use crate::extract::{SpanLineMatcher, SpanScratch};
+use crate::parser::{LineMatcher, RecordMatch};
 use crate::pipeline::Datamaran;
 use crate::structure::StructureTemplate;
 use std::io::BufRead;
+
+/// Per-window matcher honouring the engine's configured extraction backend (both produce
+/// identical matches; the span matcher avoids the per-record tree walk).
+enum WindowMatcher<'a> {
+    Legacy(LineMatcher<'a>),
+    Span(Box<SpanLineMatcher>, SpanScratch),
+}
+
+impl<'a> WindowMatcher<'a> {
+    fn new(
+        templates: &'a [StructureTemplate],
+        max_span: usize,
+        backend: ExtractionBackend,
+    ) -> Self {
+        match backend {
+            ExtractionBackend::Legacy => {
+                WindowMatcher::Legacy(LineMatcher::new(templates, max_span))
+            }
+            ExtractionBackend::Span => WindowMatcher::Span(
+                Box::new(SpanLineMatcher::new(templates, max_span)),
+                SpanScratch::default(),
+            ),
+        }
+    }
+
+    fn match_line(&mut self, dataset: &Dataset, line: usize) -> Option<RecordMatch> {
+        match self {
+            WindowMatcher::Legacy(m) => m.match_line(dataset, line),
+            WindowMatcher::Span(m, scratch) => m.match_line_record(dataset, line, scratch),
+        }
+    }
+}
 
 /// Options for streaming extraction.
 #[derive(Clone, Copy, Debug)]
@@ -106,7 +140,11 @@ pub fn extract_stream<R: BufRead, F: FnMut(OwnedRecord)>(
     // Phase 2: window-by-window extraction.
     loop {
         let dataset = Dataset::new(buffer.as_str());
-        let matcher = LineMatcher::new(&matcher_templates, max_span);
+        let mut matcher = WindowMatcher::new(
+            &matcher_templates,
+            max_span,
+            engine.config().extraction_backend,
+        );
         let n = dataset.line_count();
         // Lines at or after `safe_limit` may still be the head of a record whose tail has not
         // been read yet; they are only decided once the stream is exhausted.
@@ -298,6 +336,34 @@ mod tests {
         // from line 5 of the source.
         assert!(rows[5].concat().contains('5'));
         assert!(rows[5].concat().contains("38"));
+    }
+
+    #[test]
+    fn streaming_backends_agree() {
+        use crate::config::{DatamaranConfig, ExtractionBackend};
+        let text = multiline_log(150);
+        let options = StreamOptions {
+            head_bytes: 2 * 1024,
+            window_bytes: 512,
+        };
+        let mut span_records = Vec::new();
+        extract_stream(
+            &Datamaran::with_defaults(),
+            Cursor::new(text.clone()),
+            options,
+            |r| span_records.push(r),
+        )
+        .unwrap();
+        let legacy_engine = Datamaran::new(
+            DatamaranConfig::default().with_extraction_backend(ExtractionBackend::Legacy),
+        )
+        .unwrap();
+        let mut legacy_records = Vec::new();
+        extract_stream(&legacy_engine, Cursor::new(text), options, |r| {
+            legacy_records.push(r)
+        })
+        .unwrap();
+        assert_eq!(span_records, legacy_records);
     }
 
     #[test]

@@ -52,6 +52,14 @@ impl Node {
         }
     }
 
+    /// Number of array nodes in the subtree (the node itself included when it is one).
+    pub fn array_count(&self) -> usize {
+        match self {
+            Node::Field | Node::Literal(_) => 0,
+            Node::Array { body, .. } => 1 + body.iter().map(Node::array_count).sum::<usize>(),
+        }
+    }
+
     fn collect_chars(&self, set: &mut CharSet) {
         match self {
             Node::Field => {}
@@ -213,6 +221,12 @@ impl StructureTemplate {
     /// `true` if the template contains at least one array node.
     pub fn has_array(&self) -> bool {
         self.nodes.iter().any(Node::has_array)
+    }
+
+    /// Number of array nodes in the template (pre-order count; one child table each in the
+    /// normalized relational output).
+    pub fn array_count(&self) -> usize {
+        self.nodes.iter().map(Node::array_count).sum()
     }
 
     /// The set of formatting characters used anywhere in the template (its `RT-CharSet`).

@@ -1,5 +1,9 @@
 //! Cross-crate integration tests: logsynth corpora → datamaran-core / recordbreaker →
 //! evalkit, exercising the full evaluation path used by the benchmark harness.
+//!
+//! Every case is `#[ignore]`d: this suite dominates the wall time of a plain
+//! `cargo test -q`, so the tier-1 loop skips it and CI runs it in a dedicated
+//! `cargo test -- --ignored` step.
 
 use datamaran::core::{Datamaran, DatamaranConfig, SearchStrategy};
 use evalkit::{criteria, view, Extractor};
@@ -12,6 +16,7 @@ fn small(spec: DatasetSpec, records: usize) -> DatasetSpec {
 }
 
 #[test]
+#[ignore = "slow integration suite; run via `cargo test -- --ignored` (dedicated CI step)"]
 fn datamaran_extracts_every_fisher_style_dataset() {
     // The first five manual datasets (Fisher-style, single-line) must all extract
     // successfully with the default configuration.
@@ -31,6 +36,7 @@ fn datamaran_extracts_every_fisher_style_dataset() {
 }
 
 #[test]
+#[ignore = "slow integration suite; run via `cargo test -- --ignored` (dedicated CI step)"]
 fn datamaran_handles_multi_line_github_style_datasets() {
     let specs: Vec<DatasetSpec> = corpus::github_100()
         .into_iter()
@@ -52,6 +58,7 @@ fn datamaran_handles_multi_line_github_style_datasets() {
 }
 
 #[test]
+#[ignore = "slow integration suite; run via `cargo test -- --ignored` (dedicated CI step)"]
 fn recordbreaker_cannot_recover_multi_line_boundaries() {
     let spec = corpus::github_100()
         .into_iter()
@@ -65,6 +72,7 @@ fn recordbreaker_cannot_recover_multi_line_boundaries() {
 }
 
 #[test]
+#[ignore = "slow integration suite; run via `cargo test -- --ignored` (dedicated CI step)"]
 fn greedy_and_exhaustive_agree_on_simple_datasets() {
     let spec = small(corpus::manual_25()[2].clone(), 150);
     let data = spec.generate();
@@ -83,6 +91,7 @@ fn greedy_and_exhaustive_agree_on_simple_datasets() {
 }
 
 #[test]
+#[ignore = "slow integration suite; run via `cargo test -- --ignored` (dedicated CI step)"]
 fn no_structure_dataset_is_not_misreported_as_structured_success() {
     let spec = corpus::github_100()
         .into_iter()
@@ -101,6 +110,7 @@ fn no_structure_dataset_is_not_misreported_as_structured_success() {
 }
 
 #[test]
+#[ignore = "slow integration suite; run via `cargo test -- --ignored` (dedicated CI step)"]
 fn extraction_relational_output_row_counts_match_ground_truth() {
     let spec = small(corpus::manual_25()[16].clone(), 200); // stackexchange-style XML rows
     let data = spec.generate();
@@ -119,6 +129,7 @@ fn extraction_relational_output_row_counts_match_ground_truth() {
 }
 
 #[test]
+#[ignore = "slow integration suite; run via `cargo test -- --ignored` (dedicated CI step)"]
 fn user_study_simulation_reproduces_figure_18_failure_pattern() {
     let mut a_failures = 0;
     let mut b_failures = 0;

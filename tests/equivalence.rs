@@ -1,6 +1,12 @@
 //! Cross-implementation equivalence: the three extraction paths (recursive-descent parser,
 //! table-driven LL(1) grammar parser, parallel chunked parser) and the streaming extractor
 //! must all agree on the same inputs, and every discovered template must actually be LL(1).
+//! (The span instruction-table engine has its own differential suite,
+//! `extraction_equivalence.rs`, which stays in the tier-1 loop.)
+//!
+//! Every case is `#[ignore]`d: this suite dominates the wall time of a plain
+//! `cargo test -q`, so the tier-1 loop skips it and CI runs it in a dedicated
+//! `cargo test -- --ignored` step.
 
 use datamaran::core::{
     extract_stream, parse_dataset, parse_dataset_parallel, Datamaran, Dataset, Grammar,
@@ -32,6 +38,7 @@ fn workloads() -> Vec<(String, String)> {
 }
 
 #[test]
+#[ignore = "slow integration suite; run via `cargo test -- --ignored` (dedicated CI step)"]
 fn discovered_templates_are_ll1_grammars() {
     for (name, text) in workloads() {
         let result = Datamaran::with_defaults().extract(&text).unwrap();
@@ -49,6 +56,7 @@ fn discovered_templates_are_ll1_grammars() {
 }
 
 #[test]
+#[ignore = "slow integration suite; run via `cargo test -- --ignored` (dedicated CI step)"]
 fn grammar_parser_agrees_with_recursive_descent_on_every_record() {
     for (name, text) in workloads() {
         let result = Datamaran::with_defaults().extract(&text).unwrap();
@@ -66,6 +74,7 @@ fn grammar_parser_agrees_with_recursive_descent_on_every_record() {
 }
 
 #[test]
+#[ignore = "slow integration suite; run via `cargo test -- --ignored` (dedicated CI step)"]
 fn parallel_extraction_is_identical_to_sequential() {
     for (name, text) in workloads() {
         let result = Datamaran::with_defaults().extract(&text).unwrap();
@@ -98,6 +107,7 @@ fn parallel_extraction_is_identical_to_sequential() {
 }
 
 #[test]
+#[ignore = "slow integration suite; run via `cargo test -- --ignored` (dedicated CI step)"]
 fn streaming_extraction_matches_in_memory_counts() {
     for (name, text) in workloads() {
         let engine = Datamaran::with_defaults();
