@@ -46,6 +46,7 @@ fn main() {
             "ablation",
             "generation",
             "extraction",
+            "evaluation",
         ];
     }
     let started = Instant::now();
@@ -68,6 +69,7 @@ fn main() {
             "ablation" => ablation(fast),
             "generation" => regressed |= !generation_bench(fast, check),
             "extraction" => regressed |= !extraction_bench(fast, check),
+            "evaluation" => regressed |= !evaluation_bench(fast, check),
             other => eprintln!("unknown section `{other}` (skipped)"),
         }
     }
@@ -743,6 +745,69 @@ fn extraction_bench(fast: bool, check: bool) -> bool {
             path,
             "span_records_per_sec",
             bench.span_records_per_sec(),
+            bench.speedup(),
+        );
+    match std::fs::write(path, bench.to_json() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    ok && bench.outputs_identical
+}
+
+// -------------------------------------------------------------------------------------------
+// Evaluation engine benchmark — span refinement evaluation vs. legacy tree re-parse
+
+/// Times the evaluation step (refinement of the post-pruning candidate pool) with both
+/// backends on the 1 MB dataset's evaluation sample (128 KB dataset with `--fast`) and
+/// writes the result to `BENCH_evaluation.json`.  With `check`, the fresh span-vs-legacy
+/// speedup is gated against the committed baseline; returns `false` on regression.
+fn evaluation_bench(fast: bool, check: bool) -> bool {
+    heading("Evaluation engine — compiled refinement parses + score memo vs. tree re-parse");
+    let bytes = if fast { 128 * 1024 } else { 1024 * 1024 };
+    let runs = if fast { 2 } else { 3 };
+    let bench = datamaran_bench::evaluation_benchmark(bytes, runs);
+    println!(
+        "dataset: {} bytes; evaluation sample: {} bytes / {} lines; {} candidates",
+        bench.dataset_bytes, bench.sample_bytes, bench.sample_lines, bench.candidates
+    );
+    println!(
+        "span engine work: {} evaluations, {} memo hits; legacy: {} evaluations",
+        bench.span_evaluations, bench.span_memo_hits, bench.legacy_evaluations
+    );
+    println!(
+        "phase split: span parse {} / score {}; legacy parse {} / score {}",
+        fmt_secs(bench.span_parse_secs),
+        fmt_secs(bench.span_score_secs),
+        fmt_secs(bench.legacy_parse_secs),
+        fmt_secs(bench.legacy_score_secs)
+    );
+    println!(
+        "{:<10}{:>14}{:>22}",
+        "backend", "wall time", "candidates/sec"
+    );
+    println!(
+        "{:<10}{:>14}{:>22.1}",
+        "legacy",
+        fmt_secs(bench.legacy_secs),
+        bench.legacy_candidates_per_sec()
+    );
+    println!(
+        "{:<10}{:>14}{:>22.1}",
+        "span",
+        fmt_secs(bench.span_secs),
+        bench.span_candidates_per_sec()
+    );
+    println!(
+        "speedup: {:.2}x, outputs identical: {}",
+        bench.speedup(),
+        bench.outputs_identical
+    );
+    let path = "BENCH_evaluation.json";
+    let ok = !check
+        || check_baseline(
+            path,
+            "span_candidates_per_sec",
+            bench.span_candidates_per_sec(),
             bench.speedup(),
         );
     match std::fs::write(path, bench.to_json() + "\n") {

@@ -411,8 +411,9 @@ pub fn extraction_benchmark(target_bytes: usize, runs: usize) -> ExtractionBench
     let same_records = legacy == span;
     let as_refs = |parse: &[RecordMatch]| -> Vec<Table> {
         let refs: Vec<&RecordMatch> = parse.iter().collect();
-        let mut tables = to_relational(&templates[0], data.text(), &refs, "bench").tables;
-        tables.push(to_denormalized(&templates[0], data.text(), &refs, "bench"));
+        let source = data.shared_text();
+        let mut tables = to_relational(&templates[0], &source, &refs, "bench").tables;
+        tables.push(to_denormalized(&templates[0], &source, &refs, "bench"));
         tables
     };
     let outputs_identical = same_records && as_refs(&legacy.records) == as_refs(&span.records);
@@ -444,6 +445,205 @@ pub fn extraction_benchmark(target_bytes: usize, runs: usize) -> ExtractionBench
                 .records
                 .len()
         }),
+        outputs_identical,
+    }
+}
+
+/// Outcome of the evaluation micro-benchmark comparing the span evaluation engine (compiled
+/// refinement parses, arena-native scoring, template-score memo) against the legacy
+/// per-candidate tree re-parse on the same candidate pool (see `reproduce -- evaluation`).
+#[derive(Clone, Debug)]
+pub struct EvaluationBench {
+    /// Dataset size in bytes (the sample the evaluation runs on is config-bounded).
+    pub dataset_bytes: usize,
+    /// Evaluation-sample size in bytes.
+    pub sample_bytes: usize,
+    /// Evaluation-sample line count.
+    pub sample_lines: usize,
+    /// Candidate templates refined (the post-pruning pool).
+    pub candidates: usize,
+    /// Template evaluations the span engine performed (including memo hits).
+    pub span_evaluations: usize,
+    /// Evaluations answered by the span engine's template-score memo.
+    pub span_memo_hits: usize,
+    /// Template evaluations the legacy engine performed.
+    pub legacy_evaluations: usize,
+    /// Span-engine seconds spent parsing candidates (from the correctness run).
+    pub span_parse_secs: f64,
+    /// Span-engine seconds spent scoring parses (from the correctness run).
+    pub span_score_secs: f64,
+    /// Legacy-engine seconds spent parsing candidates (from the correctness run).
+    pub legacy_parse_secs: f64,
+    /// Legacy-engine seconds spent scoring parses (from the correctness run).
+    pub legacy_score_secs: f64,
+    /// Best wall-clock seconds of the legacy engine (single worker thread).
+    pub legacy_secs: f64,
+    /// Best wall-clock seconds of the span engine (single worker thread).
+    pub span_secs: f64,
+    /// `true` when both backends produced identical refined `(template, score, summary)`
+    /// lists.
+    pub outputs_identical: bool,
+}
+
+impl EvaluationBench {
+    /// Candidate templates refined per second, legacy engine.
+    pub fn legacy_candidates_per_sec(&self) -> f64 {
+        self.candidates as f64 / self.legacy_secs
+    }
+
+    /// Candidate templates refined per second, span engine.
+    pub fn span_candidates_per_sec(&self) -> f64 {
+        self.candidates as f64 / self.span_secs
+    }
+
+    /// Wall-clock speedup of the span engine over the legacy engine.
+    pub fn speedup(&self) -> f64 {
+        self.legacy_secs / self.span_secs
+    }
+
+    /// Serializes the result as the `BENCH_evaluation.json` document.
+    pub fn to_json(&self) -> String {
+        use datamaran_core::JsonValue;
+        JsonValue::Object(vec![
+            (
+                "benchmark".into(),
+                JsonValue::String("evaluation_refinement".into()),
+            ),
+            (
+                "dataset_bytes".into(),
+                JsonValue::Number(self.dataset_bytes as f64),
+            ),
+            (
+                "sample_bytes".into(),
+                JsonValue::Number(self.sample_bytes as f64),
+            ),
+            (
+                "sample_lines".into(),
+                JsonValue::Number(self.sample_lines as f64),
+            ),
+            (
+                "candidates".into(),
+                JsonValue::Number(self.candidates as f64),
+            ),
+            (
+                "span_evaluations".into(),
+                JsonValue::Number(self.span_evaluations as f64),
+            ),
+            (
+                "span_memo_hits".into(),
+                JsonValue::Number(self.span_memo_hits as f64),
+            ),
+            (
+                "legacy_evaluations".into(),
+                JsonValue::Number(self.legacy_evaluations as f64),
+            ),
+            (
+                "span_parse_secs".into(),
+                JsonValue::Number(self.span_parse_secs),
+            ),
+            (
+                "span_score_secs".into(),
+                JsonValue::Number(self.span_score_secs),
+            ),
+            (
+                "legacy_parse_secs".into(),
+                JsonValue::Number(self.legacy_parse_secs),
+            ),
+            (
+                "legacy_score_secs".into(),
+                JsonValue::Number(self.legacy_score_secs),
+            ),
+            (
+                "legacy_wall_secs".into(),
+                JsonValue::Number(self.legacy_secs),
+            ),
+            ("span_wall_secs".into(), JsonValue::Number(self.span_secs)),
+            (
+                "legacy_candidates_per_sec".into(),
+                JsonValue::Number(self.legacy_candidates_per_sec()),
+            ),
+            (
+                "span_candidates_per_sec".into(),
+                JsonValue::Number(self.span_candidates_per_sec()),
+            ),
+            ("speedup".into(), JsonValue::Number(self.speedup())),
+            ("evaluation_threads".into(), JsonValue::Number(1.0)),
+            (
+                "outputs_identical".into(),
+                JsonValue::Bool(self.outputs_identical),
+            ),
+        ])
+        .to_pretty()
+    }
+}
+
+/// Runs the evaluation step (refinement of the post-pruning candidate pool, exactly as the
+/// pipeline's `discover_ranked` drives it) on an `exhaustive_weblog` dataset of
+/// `target_bytes` with both evaluation backends (`runs` timed repetitions each, best run
+/// kept, both pinned to one worker thread and each timed run on a fresh engine so the span
+/// memo starts cold) and cross-checks that they produce identical refined outputs.
+pub fn evaluation_benchmark(target_bytes: usize, runs: usize) -> EvaluationBench {
+    use datamaran_core::{
+        assimilation::prune, generate, Dataset, EvaluationBackend, MdlScorer, Refined, Refiner,
+        StructureTemplate,
+    };
+
+    let text = exhaustive_weblog(target_bytes, 14);
+    let full = Dataset::new(text);
+    let config = DatamaranConfig::default();
+    // The same sample the pipeline's first discovery round evaluates on.
+    let sample = full.sample(config.sample_bytes, config.sample_chunks, config.seed);
+    let generation = generate(&sample, &config);
+    let pruned = prune(generation.candidates, config.prune_keep);
+    let templates: Vec<StructureTemplate> = pruned.kept.into_iter().map(|c| c.template).collect();
+    assert!(!templates.is_empty(), "weblog yields candidates");
+
+    let scorer = MdlScorer;
+    let run_backend =
+        |backend: EvaluationBackend| -> (Vec<Refined>, datamaran_core::EvaluationMetrics) {
+            let refiner = Refiner::with_backend(&sample, &scorer, config.max_line_span, backend);
+            let refined = refiner.refine_batch(templates.clone(), true, 1);
+            let metrics = refiner.metrics();
+            (refined, metrics)
+        };
+
+    // Correctness first: identical refined templates, bit-identical scores, equal summaries.
+    let (span_out, span_metrics) = run_backend(EvaluationBackend::Span);
+    let (legacy_out, legacy_metrics) = run_backend(EvaluationBackend::Legacy);
+    let outputs_identical = span_out.len() == legacy_out.len()
+        && span_out.iter().zip(&legacy_out).all(|(a, b)| {
+            a.template == b.template
+                && a.score.to_bits() == b.score.to_bits()
+                && a.summary == b.summary
+        });
+
+    let best_of = |backend: EvaluationBackend| -> f64 {
+        (0..runs.max(1))
+            .map(|_| {
+                let refiner =
+                    Refiner::with_backend(&sample, &scorer, config.max_line_span, backend);
+                let started = Instant::now();
+                let out = refiner.refine_batch(templates.clone(), true, 1);
+                assert_eq!(out.len(), templates.len());
+                started.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    EvaluationBench {
+        dataset_bytes: full.len(),
+        sample_bytes: sample.len(),
+        sample_lines: sample.line_count(),
+        candidates: templates.len(),
+        span_evaluations: span_metrics.evaluations,
+        span_memo_hits: span_metrics.memo_hits,
+        legacy_evaluations: legacy_metrics.evaluations,
+        span_parse_secs: span_metrics.parse_seconds,
+        span_score_secs: span_metrics.score_seconds,
+        legacy_parse_secs: legacy_metrics.parse_seconds,
+        legacy_score_secs: legacy_metrics.score_seconds,
+        legacy_secs: best_of(EvaluationBackend::Legacy),
+        span_secs: best_of(EvaluationBackend::Span),
         outputs_identical,
     }
 }

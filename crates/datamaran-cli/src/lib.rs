@@ -20,8 +20,8 @@
 #![forbid(unsafe_code)]
 
 use datamaran_core::{
-    all_tables_csv, table_to_csv, Datamaran, DatamaranConfig, ExtractionBackend, ExtractionReport,
-    Grammar, SearchStrategy,
+    all_tables_csv, table_to_csv, Datamaran, DatamaranConfig, EvaluationBackend, ExtractionBackend,
+    ExtractionReport, Grammar, SearchStrategy,
 };
 use logclust::{ClusterConfig, LogCluster};
 use std::fmt::Write as _;
@@ -144,6 +144,20 @@ impl Cli {
                         "--generation-threads",
                     )?
                 }
+                "--evaluation-backend" => {
+                    let value = next_value(&mut iter, "--evaluation-backend")?;
+                    cli.config.evaluation_backend = match value.as_str() {
+                        "span" => EvaluationBackend::Span,
+                        "legacy" => EvaluationBackend::Legacy,
+                        other => return Err(format!("unknown evaluation backend `{other}`")),
+                    };
+                }
+                "--evaluation-threads" => {
+                    cli.config.evaluation_threads = parse_number(
+                        &next_value(&mut iter, "--evaluation-threads")?,
+                        "--evaluation-threads",
+                    )?
+                }
                 flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
                 path if cli.input.is_none() => cli.input = Some(PathBuf::from(path)),
                 extra => return Err(format!("unexpected argument `{extra}`")),
@@ -213,6 +227,9 @@ FLAGS:
                                   final-pass extraction engine         (default: span)
     --extraction-threads <INT>    extraction worker threads, 0 = auto  (default: 0)
     --generation-threads <INT>    generation worker threads, 0 = auto  (default: 0)
+    --evaluation-backend <span|legacy>
+                                  refinement evaluation engine         (default: span)
+    --evaluation-threads <INT>    evaluation worker threads, 0 = auto  (default: 0)
 ";
 
 /// Runs the CLI: parses `args`, executes the subcommand, and writes output to `out`.
@@ -410,12 +427,19 @@ mod tests {
             "4",
             "--generation-threads",
             "2",
+            "--evaluation-backend",
+            "legacy",
+            "--evaluation-threads",
+            "3",
         ]))
         .unwrap();
         assert_eq!(cli.config.extraction_backend, ExtractionBackend::Legacy);
         assert_eq!(cli.config.extraction_threads, 4);
         assert_eq!(cli.config.generation_threads, 2);
+        assert_eq!(cli.config.evaluation_backend, EvaluationBackend::Legacy);
+        assert_eq!(cli.config.evaluation_threads, 3);
         assert!(Cli::parse(&args(&["extract", "x.log", "--extraction-backend", "fast"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--evaluation-backend", "fast"])).is_err());
     }
 
     #[test]

@@ -77,6 +77,35 @@ impl ExtractionBackend {
     }
 }
 
+/// Which implementation the evaluation step (refinement scoring, §4.3) runs on.
+///
+/// Both backends produce identical ranked `(template, score)` lists (enforced by
+/// `tests/evaluation_equivalence.rs`); the span backend compiles each candidate to its flat
+/// instruction table, parses into span arenas, scores directly from the arenas, and
+/// memoizes scores by interned template id.  The legacy backend re-runs the tree-walking
+/// parser and tree-walking MDL scorer per candidate — kept as the differential oracle and
+/// the benchmark baseline, mirroring [`GenerationBackend`] and [`ExtractionBackend`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EvaluationBackend {
+    /// Compiled op tables + flat span arenas + arena-native scoring + template-score memo
+    /// (see [`crate::refine`] and [`crate::extract`]).
+    #[default]
+    Span,
+    /// The original path: one tree-walking parse and one instantiation-tree scoring walk
+    /// per candidate evaluation, no memoization.
+    Legacy,
+}
+
+impl EvaluationBackend {
+    /// Short, human-readable name (used in experiment output and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvaluationBackend::Span => "span",
+            EvaluationBackend::Legacy => "legacy",
+        }
+    }
+}
+
 /// Reads a worker-thread override from the environment (used by the scheduled CI job that
 /// soaks the multi-thread merge paths on hosts with real cores; dev boxes and default runs
 /// are unaffected).  Invalid or absent values fall back to `default`.
@@ -145,6 +174,13 @@ pub struct DatamaranConfig {
     /// `1` forces the sequential path.  Results are identical for any value (the stitch
     /// replays the sequential segmentation deterministically).
     pub extraction_threads: usize,
+    /// Which evaluation implementation the refinement step runs on (compiled span scoring
+    /// with a template-score memo vs. the legacy per-candidate tree re-parse).
+    pub evaluation_backend: EvaluationBackend,
+    /// Worker threads for the per-candidate evaluation loop.  `0` means one per available
+    /// core; `1` forces the sequential path.  Results are identical for any value (each
+    /// candidate refines independently and the ranked merge preserves candidate order).
+    pub evaluation_threads: usize,
 }
 
 impl Default for DatamaranConfig {
@@ -166,6 +202,8 @@ impl Default for DatamaranConfig {
             generation_threads: env_threads("DATAMARAN_GENERATION_THREADS", 0),
             extraction_backend: ExtractionBackend::default(),
             extraction_threads: env_threads("DATAMARAN_EXTRACTION_THREADS", 0),
+            evaluation_backend: EvaluationBackend::default(),
+            evaluation_threads: env_threads("DATAMARAN_EVALUATION_THREADS", 0),
         }
     }
 }
@@ -253,6 +291,18 @@ impl DatamaranConfig {
     /// Builder-style setter for the extraction worker-thread count (`0` = auto).
     pub fn with_extraction_threads(mut self, threads: usize) -> Self {
         self.extraction_threads = threads;
+        self
+    }
+
+    /// Builder-style setter for the evaluation backend.
+    pub fn with_evaluation_backend(mut self, backend: EvaluationBackend) -> Self {
+        self.evaluation_backend = backend;
+        self
+    }
+
+    /// Builder-style setter for the evaluation worker-thread count (`0` = auto).
+    pub fn with_evaluation_threads(mut self, threads: usize) -> Self {
+        self.evaluation_threads = threads;
         self
     }
 
@@ -359,6 +409,19 @@ mod tests {
     fn strategy_names() {
         assert_eq!(SearchStrategy::Exhaustive.name(), "exhaustive");
         assert_eq!(SearchStrategy::Greedy.name(), "greedy");
+    }
+
+    #[test]
+    fn evaluation_backend_defaults_and_builders() {
+        assert_eq!(EvaluationBackend::default(), EvaluationBackend::Span);
+        assert_eq!(EvaluationBackend::Span.name(), "span");
+        assert_eq!(EvaluationBackend::Legacy.name(), "legacy");
+        let c = DatamaranConfig::default()
+            .with_evaluation_backend(EvaluationBackend::Legacy)
+            .with_evaluation_threads(2);
+        assert_eq!(c.evaluation_backend, EvaluationBackend::Legacy);
+        assert_eq!(c.evaluation_threads, 2);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

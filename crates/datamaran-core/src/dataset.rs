@@ -3,15 +3,20 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// A log dataset: the raw text plus an index of line boundaries.
 ///
 /// Lines are the blocks of Definition 2.4: maximal runs terminated by `\n` (the final line
 /// may lack the terminator).  Each line's text *includes* its trailing `\n` so that record
 /// templates always end with the end-of-line character.
+///
+/// The text lives in a shared [`Arc`] so downstream span-backed structures (the relational
+/// [`Table`](crate::relational::Table) cells) can reference the one buffer without copying
+/// cell values and without borrowing lifetimes leaking into the public result types.
 #[derive(Clone, Debug)]
 pub struct Dataset {
-    text: String,
+    text: Arc<str>,
     /// Byte offset of the first character of each line, with a sentinel equal to
     /// `text.len()` appended for span arithmetic: `line_starts.len()` is the number of lines
     /// plus one (and empty for an empty dataset).
@@ -21,7 +26,7 @@ pub struct Dataset {
 impl Dataset {
     /// Builds a dataset from raw text, indexing line boundaries.
     pub fn new(text: impl Into<String>) -> Self {
-        let text = text.into();
+        let text: Arc<str> = text.into().into();
         let mut line_starts = Vec::with_capacity(text.len() / 32 + 2);
         if !text.is_empty() {
             line_starts.push(0);
@@ -38,6 +43,12 @@ impl Dataset {
     /// The raw text.
     pub fn text(&self) -> &str {
         &self.text
+    }
+
+    /// A cheap shared handle to the raw text (the buffer span-backed relational cells
+    /// resolve against).
+    pub fn shared_text(&self) -> Arc<str> {
+        Arc::clone(&self.text)
     }
 
     /// Total size in bytes (the paper's `T_data`).

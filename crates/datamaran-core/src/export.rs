@@ -61,6 +61,18 @@ pub struct StatsReport {
     pub extraction_backend: String,
     /// Worker threads the final extraction pass was sharded across.
     pub extraction_threads: usize,
+    /// Evaluation backend the refinement loop ran on (`span` or `legacy`).
+    pub evaluation_backend: String,
+    /// Worker threads the per-candidate evaluation loop was sharded across.
+    pub evaluation_threads: usize,
+    /// Template evaluations performed during refinement (including memo hits).
+    pub evaluation_count: usize,
+    /// Evaluations answered by the template-score memo without re-parsing.
+    pub evaluation_memo_hits: usize,
+    /// Seconds the evaluation phase spent parsing candidates against the sample.
+    pub evaluation_parse_seconds: f64,
+    /// Seconds the evaluation phase spent computing regularity scores.
+    pub evaluation_score_seconds: f64,
 }
 
 impl StatsReport {
@@ -82,6 +94,12 @@ impl StatsReport {
             ],
             extraction_backend: stats.extraction_backend.clone(),
             extraction_threads: stats.extraction_threads,
+            evaluation_backend: stats.evaluation_backend.clone(),
+            evaluation_threads: stats.evaluation_threads,
+            evaluation_count: stats.evaluation_metrics.evaluations,
+            evaluation_memo_hits: stats.evaluation_metrics.memo_hits,
+            evaluation_parse_seconds: stats.evaluation_metrics.parse_seconds,
+            evaluation_score_seconds: stats.evaluation_metrics.score_seconds,
         }
     }
 }
@@ -323,6 +341,24 @@ fn stats_to_json(stats: &StatsReport) -> JsonValue {
         ),
         ("extraction_threads".into(), num(stats.extraction_threads)),
         (
+            "evaluation_backend".into(),
+            JsonValue::String(stats.evaluation_backend.clone()),
+        ),
+        ("evaluation_threads".into(), num(stats.evaluation_threads)),
+        ("evaluation_count".into(), num(stats.evaluation_count)),
+        (
+            "evaluation_memo_hits".into(),
+            num(stats.evaluation_memo_hits),
+        ),
+        (
+            "evaluation_parse_seconds".into(),
+            JsonValue::Number(stats.evaluation_parse_seconds),
+        ),
+        (
+            "evaluation_score_seconds".into(),
+            JsonValue::Number(stats.evaluation_score_seconds),
+        ),
+        (
             "step_seconds".into(),
             JsonValue::Array(
                 stats
@@ -361,14 +397,47 @@ fn stats_from_json(v: &JsonValue) -> Result<StatsReport, JsonError> {
             Some(t) => t.as_usize()?,
             None => 0,
         },
+        // Reports written before the span evaluation engine lack the evaluation fields.
+        evaluation_backend: match v.get("evaluation_backend") {
+            Some(b) => b.as_str()?.to_string(),
+            None => String::new(),
+        },
+        evaluation_threads: match v.get("evaluation_threads") {
+            Some(t) => t.as_usize()?,
+            None => 0,
+        },
+        evaluation_count: match v.get("evaluation_count") {
+            Some(t) => t.as_usize()?,
+            None => 0,
+        },
+        evaluation_memo_hits: match v.get("evaluation_memo_hits") {
+            Some(t) => t.as_usize()?,
+            None => 0,
+        },
+        evaluation_parse_seconds: match v.get("evaluation_parse_seconds") {
+            Some(t) => t.as_f64()?,
+            None => 0.0,
+        },
+        evaluation_score_seconds: match v.get("evaluation_score_seconds") {
+            Some(t) => t.as_f64()?,
+            None => 0.0,
+        },
     })
 }
 
 /// Quotes one CSV cell per RFC 4180: cells containing commas, quotes, or newlines are wrapped
 /// in double quotes with inner quotes doubled.
 pub fn csv_quote(cell: &str) -> String {
+    let mut out = String::new();
+    push_csv_cell(&mut out, cell);
+    out
+}
+
+/// Appends one RFC-4180-quoted cell to `out` without intermediate allocation — this is the
+/// point where span-backed table cells finally become owned bytes.
+fn push_csv_cell(out: &mut String, cell: &str) {
     if cell.contains(',') || cell.contains('"') || cell.contains('\n') || cell.contains('\r') {
-        let mut out = String::with_capacity(cell.len() + 2);
+        out.reserve(cell.len() + 2);
         out.push('"');
         for c in cell.chars() {
             if c == '"' {
@@ -377,28 +446,29 @@ pub fn csv_quote(cell: &str) -> String {
             out.push(c);
         }
         out.push('"');
-        out
     } else {
-        cell.to_string()
+        out.push_str(cell);
     }
 }
 
-/// Serializes one relational table as CSV text (header row first).
+/// Serializes one relational table as CSV text (header row first).  Cell values resolve
+/// straight from the table's shared source buffer into the output — the only `String`
+/// conversion in the relational path happens here, at the serialization boundary.
 pub fn table_to_csv(table: &Table) -> String {
     let mut out = String::new();
-    push_csv_row(&mut out, &table.columns);
-    for row in &table.rows {
-        push_csv_row(&mut out, row);
+    push_csv_row(&mut out, table.columns.iter().map(String::as_str));
+    for r in 0..table.row_count() {
+        push_csv_row(&mut out, table.row(r));
     }
     out
 }
 
-fn push_csv_row(out: &mut String, cells: &[String]) {
-    for (i, c) in cells.iter().enumerate() {
+fn push_csv_row<'a>(out: &mut String, cells: impl Iterator<Item = &'a str>) {
+    for (i, c) in cells.enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&csv_quote(c));
+        push_csv_cell(out, c);
     }
     out.push('\n');
 }
@@ -478,6 +548,14 @@ mod tests {
             assert_eq!(a.tables, b.tables);
         }
         assert_eq!(back.stats.iterations, report.stats.iterations);
+        assert_eq!(back.stats.evaluation_backend, "span");
+        assert_eq!(back.stats.evaluation_count, report.stats.evaluation_count);
+        assert_eq!(
+            back.stats.evaluation_memo_hits,
+            report.stats.evaluation_memo_hits
+        );
+        assert!(back.stats.evaluation_parse_seconds >= 0.0);
+        assert!(back.stats.evaluation_score_seconds >= 0.0);
     }
 
     #[test]
@@ -491,26 +569,40 @@ mod tests {
 
     #[test]
     fn table_to_csv_emits_header_and_rows() {
-        let t = Table {
-            name: "t".into(),
-            columns: vec!["id".into(), "msg".into()],
-            rows: vec![
+        let t = Table::from_strings(
+            "t",
+            vec!["id".into(), "msg".into()],
+            vec![
                 vec!["0".into(), "hello".into()],
                 vec!["1".into(), "a,b".into()],
             ],
-        };
+        );
         let csv = table_to_csv(&t);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines, vec!["id,msg", "0,hello", "1,\"a,b\""]);
     }
 
     #[test]
+    fn span_backed_cells_serialize_identically_to_owned_cells() {
+        use crate::relational::Cell;
+        use std::sync::Arc;
+        let source: Arc<str> = Arc::from("alpha,beta\n");
+        let mut spans = Table::new("t", vec!["a".into(), "b".into()], Arc::clone(&source));
+        spans.push_row(vec![
+            Cell::Span { start: 0, end: 5 },
+            Cell::Span { start: 6, end: 10 },
+        ]);
+        let owned = Table::from_strings(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec![vec!["alpha".into(), "beta".into()]],
+        );
+        assert_eq!(table_to_csv(&spans), table_to_csv(&owned));
+    }
+
+    #[test]
     fn write_table_csv_writes_to_sink() {
-        let t = Table {
-            name: "t".into(),
-            columns: vec!["x".into()],
-            rows: vec![vec!["1".into()]],
-        };
+        let t = Table::from_strings("t", vec!["x".into()], vec![vec!["1".into()]]);
         let mut buf = Vec::new();
         write_table_csv(&t, &mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), "x\n1\n");

@@ -481,6 +481,17 @@ pub struct SpanParse {
 }
 
 impl SpanParse {
+    /// Empties the parse while keeping the arena capacity — lets evaluation loops recycle
+    /// one allocation across thousands of candidate parses.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.cells.clear();
+        self.reps.clear();
+        self.noise_lines.clear();
+        self.record_bytes = 0;
+        self.noise_bytes = 0;
+    }
+
     /// The cells of one record.
     pub fn record_cells(&self, rec: &SpanRecord) -> &[FieldCell] {
         &self.cells[rec.cell_range.0 as usize..rec.cell_range.1 as usize]
@@ -489,6 +500,12 @@ impl SpanParse {
     /// The repetition counts of one record.
     pub fn record_reps(&self, rec: &SpanRecord) -> &[u32] {
         &self.reps[rec.rep_range.0 as usize..rec.rep_range.1 as usize]
+    }
+
+    /// Total number of blocks (records plus noise lines) — the `m` of the MDL formula,
+    /// identical to [`ParseResult::block_count`] on the materialized parse.
+    pub fn block_count(&self) -> usize {
+        self.records.len() + self.noise_lines.len()
     }
 
     /// Materializes the tree-walker-compatible [`ParseResult`] (instantiation trees and
@@ -690,8 +707,15 @@ impl SpanLineMatcher {
 
     /// Greedy left-to-right segmentation of the whole dataset (the sequential engine).
     fn parse(&self, dataset: &Dataset) -> SpanParse {
-        let n = dataset.line_count();
         let mut out = SpanParse::default();
+        self.parse_into(dataset, &mut out);
+        out
+    }
+
+    /// [`parse`](Self::parse) into a caller-owned (recyclable) output parse.
+    pub fn parse_into(&self, dataset: &Dataset, out: &mut SpanParse) {
+        out.clear();
+        let n = dataset.line_count();
         let mut scratch = SpanScratch::default();
         let mut line = 0usize;
         while line < n {
@@ -709,8 +733,18 @@ impl SpanLineMatcher {
                 }
             }
         }
-        out
     }
+}
+
+/// Sequential span extraction into a caller-owned (recyclable) [`SpanParse`] — identical
+/// output to [`parse_dataset_span`], but arena capacity carries over between calls.
+pub fn parse_dataset_span_into(
+    dataset: &Dataset,
+    templates: &[StructureTemplate],
+    max_line_span: usize,
+    out: &mut SpanParse,
+) {
+    SpanLineMatcher::new(templates, max_line_span).parse_into(dataset, out);
 }
 
 /// Sequential span extraction: segments the dataset exactly like

@@ -44,6 +44,12 @@ impl TemplateInterner {
         id
     }
 
+    /// The id of an already-interned template, without interning it (used by hot paths that
+    /// want a dedup / memo probe without cloning the template).
+    pub fn lookup(&self, template: &StructureTemplate) -> Option<TemplateId> {
+        self.by_template.get(template).copied()
+    }
+
     /// The template behind an id.
     pub fn get(&self, id: TemplateId) -> &StructureTemplate {
         &self.templates[id.index()]

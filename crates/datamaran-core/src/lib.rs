@@ -70,13 +70,16 @@ pub mod streaming;
 pub mod structure;
 
 pub use chars::{default_special_chars, CharSet};
-pub use config::{DatamaranConfig, ExtractionBackend, GenerationBackend, SearchStrategy};
+pub use config::{
+    DatamaranConfig, EvaluationBackend, ExtractionBackend, GenerationBackend, SearchStrategy,
+};
 pub use dataset::Dataset;
 pub use error::{Error, Result};
 pub use export::{all_tables_csv, table_to_csv, write_table_csv, ExtractionReport};
 pub use extract::{
-    compile, decompile, extract_records, parse_dataset_span, parse_dataset_span_parallel,
-    CompiledTemplate, Op, SpanLineMatcher, SpanParse, SpanRecord, SpanScratch,
+    compile, decompile, extract_records, parse_dataset_span, parse_dataset_span_into,
+    parse_dataset_span_parallel, CompiledTemplate, Op, SpanLineMatcher, SpanParse, SpanRecord,
+    SpanScratch,
 };
 pub use fieldtype::FieldType;
 pub use generation::{generate, Candidate, GenerationOutput};
@@ -89,7 +92,11 @@ pub use parser::{parse_dataset, FieldCell, LineMatcher, ParseResult, RecordMatch
 pub use pipeline::{Datamaran, ExtractedStructure, ExtractionResult, PipelineStats, StepTimings};
 pub use record::{field_values, FieldValue, RecordTemplate, TemplateToken};
 pub use reduce::reduce;
-pub use relational::{to_denormalized, to_relational, RelationalOutput, Table};
+pub use refine::{
+    collect_array_paths, repetition_counts, repetition_counts_span, shift_variants, unfold_at,
+    EvaluationMetrics, ParseSummary, Refined, Refiner,
+};
+pub use relational::{to_denormalized, to_relational, Cell, RelationalOutput, Table};
 pub use scores::{NoisePenaltyScorer, NonFieldCoverageScorer, UntypedMdlScorer};
 pub use semtype::{annotate_result, annotate_table, SemanticType, TableAnnotation};
 pub use span::{field_spans, tokenize_spans, LineIndex, SpanToken, SpanTokenKind};

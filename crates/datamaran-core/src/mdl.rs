@@ -7,7 +7,9 @@
 //! data types (enumerated / integer / real / string).  Lower is better.
 
 use crate::dataset::Dataset;
-use crate::fieldtype::{infer, FieldType};
+use crate::extract::SpanParse;
+use crate::fieldtype::{infer, parse_real, FieldType};
+use crate::fxhash::FxHashSet;
 use crate::parser::{ParseResult, ValueTree};
 use crate::structure::StructureTemplate;
 
@@ -22,10 +24,28 @@ const HEADER_BITS: f64 = 32.0;
 /// Scores are *description lengths*: lower values indicate more plausible structures.  Any
 /// implementation can be plugged into the evaluation step, as stressed in §4 ("The design of
 /// Datamaran is independent of the choice of this scoring function").
-pub trait RegularityScorer {
+///
+/// `Sync` is a supertrait because the evaluation step shards the per-candidate refinement
+/// loop across scoped worker threads that share one scorer reference; every shipped scorer
+/// is a zero-sized value, and custom scorers only need to avoid non-`Sync` interior state.
+pub trait RegularityScorer: Sync {
     /// Scores a structure template against a dataset given the segmentation produced by the
     /// extraction parser.  Lower is better.
     fn score(&self, dataset: &Dataset, template: &StructureTemplate, parse: &ParseResult) -> f64;
+
+    /// Arena-native scoring over the span evaluation engine's [`SpanParse`], without
+    /// materialized instantiation trees.  Implementations must return exactly the value
+    /// [`RegularityScorer::score`] would return on the materialized parse; returning `None`
+    /// (the default) makes the evaluation engine materialize a [`ParseResult`] and fall
+    /// back to `score`, so custom scorers stay correct without a span path.
+    fn score_span(
+        &self,
+        _dataset: &Dataset,
+        _template: &StructureTemplate,
+        _parse: &SpanParse,
+    ) -> Option<f64> {
+        None
+    }
 
     /// Scores a *set* of structure templates (the structural component `S` of Problem 2)
     /// against a dataset, given a segmentation obtained by parsing with all of them.
@@ -81,6 +101,199 @@ fn fields_bits(
     bits
 }
 
+/// Description length of all field values of records of `template_index`, computed directly
+/// from the span arenas — the arena-native mirror of [`fields_bits`].
+///
+/// Every MDL term is an integer-valued `f64` (ceil'd logarithms, multiples of 8, the array
+/// count constant), and every partial sum stays far below 2^53, so f64 addition is exact and
+/// order-independent.  That lets the per-cell tree walk of [`describe_value`] collapse into
+/// per-column aggregates, with the type inference, model and per-value charges fused into
+/// single-parse passes over the cell arena — while returning the *bit-identical* value
+/// (enforced by the evaluation differential suite).
+pub(crate) fn fields_bits_span(
+    dataset: &Dataset,
+    template: &StructureTemplate,
+    parse: &SpanParse,
+    template_index: usize,
+) -> f64 {
+    let n_columns = template.field_count();
+    let text = dataset.text();
+    let cells = || {
+        parse
+            .records
+            .iter()
+            .filter(move |r| r.template_index as usize == template_index)
+            .flat_map(|r| parse.record_cells(r))
+            .filter(|cell| cell.column < n_columns)
+    };
+
+    // Per-column inference state, driven straight over the cell arena (no per-column value
+    // vectors).  The fused passes are the exact-arithmetic equivalent of `infer(vals)` +
+    // `FieldType::model_bits(vals)` + `Σ bits_per_value(v)` per column, minus the tree
+    // path's redundancy: numeric columns parse once (the legacy pair parses them twice) and
+    // the enum dictionary is built once in an Fx-hashed set (the legacy pair builds two
+    // SipHash sets).  Hasher choice and pass structure cannot change the result: set
+    // membership is hasher-independent, min/max/exp folds are order-independent, and every
+    // bit term is an integer-valued `f64` summed far below 2^53.
+    #[derive(Clone)]
+    struct Col {
+        count: usize,
+        int_ok: bool,
+        imin: i64,
+        imax: i64,
+        real_ok: bool,
+        rmin: f64,
+        rmax: f64,
+        exp: u32,
+        dict_bits: f64,
+        string_cost: f64,
+        distinct: usize,
+    }
+    let mut cols = vec![
+        Col {
+            count: 0,
+            int_ok: true,
+            imin: i64::MAX,
+            imax: i64::MIN,
+            real_ok: true,
+            rmin: f64::INFINITY,
+            rmax: f64::NEG_INFINITY,
+            exp: 0,
+            dict_bits: 0.0,
+            string_cost: 0.0,
+            distinct: 0,
+        };
+        n_columns
+    ];
+
+    // Pass 1: counts + integer attempt.
+    for cell in cells() {
+        let col = &mut cols[cell.column];
+        col.count += 1;
+        if col.int_ok {
+            match parse_integer_single_scan(&text[cell.start..cell.end]) {
+                Some(x) => {
+                    col.imin = col.imin.min(x);
+                    col.imax = col.imax.max(x);
+                }
+                None => col.int_ok = false,
+            }
+        }
+    }
+    // Pass 2 (only when some column fell out of the integer type): real attempt.
+    if cols.iter().any(|c| !c.int_ok) {
+        for cell in cells() {
+            let col = &mut cols[cell.column];
+            if col.int_ok || !col.real_ok {
+                continue;
+            }
+            match parse_real(&text[cell.start..cell.end]) {
+                Some((x, e)) => {
+                    col.rmin = col.rmin.min(x);
+                    col.rmax = col.rmax.max(x);
+                    col.exp = col.exp.max(e);
+                }
+                None => col.real_ok = false,
+            }
+        }
+    }
+    // Pass 3 (only when some column is non-numeric): enum dictionary / string mass.
+    if cols.iter().any(|c| !c.int_ok && !c.real_ok) {
+        let mut sets: Vec<FxHashSet<&str>> = vec![FxHashSet::default(); n_columns];
+        for cell in cells() {
+            let col = &mut cols[cell.column];
+            if col.int_ok || col.real_ok {
+                continue;
+            }
+            let v = &text[cell.start..cell.end];
+            let v_bits = (v.len() as f64 + 1.0) * 8.0;
+            col.string_cost += v_bits;
+            if sets[cell.column].insert(v) {
+                col.dict_bits += v_bits;
+                col.distinct += 1;
+            }
+        }
+    }
+
+    let mut model = 0.0;
+    let mut describe = 0.0;
+    for col in &cols {
+        if col.count == 0 {
+            // `infer` types an empty column as String (model: 8 bits, nothing to describe).
+            model += 8.0;
+            continue;
+        }
+        let count = col.count as f64;
+        if col.int_ok {
+            let t = FieldType::Integer {
+                min: col.imin,
+                max: col.imax,
+            };
+            model += t.model_bits(&[]);
+            describe += t.bits_per_value("") * count;
+        } else if col.real_ok {
+            let t = FieldType::Real {
+                min: col.rmin,
+                max: col.rmax,
+                exp: col.exp,
+            };
+            model += t.model_bits(&[]);
+            describe += t.bits_per_value("") * count;
+        } else {
+            // Enumerated vs free text: the same total-description comparison as `infer`.
+            let index_bits = (col.distinct.max(1) as f64).log2().ceil().max(1.0);
+            let enum_cost = col.dict_bits + count * index_bits;
+            if col.distinct < col.count && enum_cost < col.string_cost {
+                // model_bits(Enumerated) is the dictionary; bits_per_value is the index.
+                model += col.dict_bits;
+                describe += index_bits * count;
+            } else {
+                // model_bits(String) is 8; each value is described character by character.
+                model += 8.0;
+                describe += col.string_cost;
+            }
+        }
+    }
+    let array_instances: usize = parse
+        .records
+        .iter()
+        .filter(|r| r.template_index as usize == template_index)
+        .map(|r| (r.rep_range.1 - r.rep_range.0) as usize)
+        .sum();
+    model + ARRAY_COUNT_BITS * array_instances as f64 + describe
+}
+
+/// Single-scan equivalent of [`parse_integer`] for the span scoring hot loop.
+///
+/// [`parse_integer`] scans each value three times (digit check, then `str::parse` re-scans
+/// with its own validation); this accumulates in one pass.  The result is identical for
+/// every input: same trimming, same `-`-only sign handling (no `+`), same all-digit
+/// requirement, and the same overflow envelope — accumulation is negative so `i64::MIN`
+/// parses while `2^63` overflows to `None`, exactly like `str::parse::<i64>` (equivalence
+/// is property-tested against the original).
+fn parse_integer_single_scan(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    if body.is_empty() {
+        return None;
+    }
+    let mut acc: i64 = 0;
+    for b in body.bytes() {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        acc = acc.checked_mul(10)?.checked_sub(i64::from(b - b'0'))?;
+    }
+    if neg {
+        Some(acc)
+    } else {
+        acc.checked_neg()
+    }
+}
+
 /// The minimum-description-length scorer of Appendix 9.2.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MdlScorer;
@@ -116,6 +329,19 @@ impl RegularityScorer for MdlScorer {
         // parameters (enum dictionaries, numeric ranges).
         bits += fields_bits(dataset, template, parse, 0);
         bits
+    }
+
+    fn score_span(
+        &self,
+        dataset: &Dataset,
+        template: &StructureTemplate,
+        parse: &SpanParse,
+    ) -> Option<f64> {
+        let mut bits = template.description_chars() as f64 * 8.0 + HEADER_BITS;
+        bits += parse.block_count() as f64;
+        bits += parse.noise_bytes as f64 * 8.0;
+        bits += fields_bits_span(dataset, template, parse, 0);
+        Some(bits)
     }
 
     fn name(&self) -> &'static str {
@@ -156,6 +382,15 @@ impl RegularityScorer for CoverageScorer {
         (dataset.len() - parse.record_bytes.min(dataset.len())) as f64
     }
 
+    fn score_span(
+        &self,
+        dataset: &Dataset,
+        _template: &StructureTemplate,
+        parse: &SpanParse,
+    ) -> Option<f64> {
+        Some((dataset.len() - parse.record_bytes.min(dataset.len())) as f64)
+    }
+
     fn name(&self) -> &'static str {
         "coverage"
     }
@@ -165,6 +400,7 @@ impl RegularityScorer for CoverageScorer {
 mod tests {
     use super::*;
     use crate::chars::CharSet;
+    use crate::fieldtype::parse_integer;
     use crate::parser::parse_dataset;
     use crate::record::RecordTemplate;
     use crate::reduce::reduce;
@@ -260,6 +496,77 @@ mod tests {
         assert_eq!(types[0].name(), "int");
         assert_eq!(types[1].name(), "enum");
         assert_eq!(types[2].name(), "real");
+    }
+
+    #[test]
+    fn single_scan_integer_parse_matches_original() {
+        let cases = [
+            "0",
+            "7",
+            "-7",
+            "007",
+            "  42  ",
+            "+5",
+            "",
+            "-",
+            "--3",
+            "1.5",
+            "12a",
+            "a12",
+            "9223372036854775807",
+            "-9223372036854775808",
+            "9223372036854775808",
+            "-9223372036854775809",
+            "99999999999999999999999",
+            " -0 ",
+            "\t10\n",
+            "１２",
+        ];
+        for case in cases {
+            assert_eq!(
+                parse_integer_single_scan(case),
+                parse_integer(case),
+                "input {case:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn span_fields_bits_matches_tree_walker_bit_for_bit() {
+        use crate::extract::parse_dataset_span;
+        // Integer, real, enum, free-text and array columns in one corpus.
+        let mut data = String::new();
+        let words = ["alpha", "beta", "gamma delta", "unique-0", "unique-1"];
+        for i in 0..40 {
+            data.push_str(&format!(
+                "{},{}.5,{},{}\n",
+                i,
+                i * 3,
+                ["INFO", "WARN"][i % 2],
+                words[i % words.len()]
+            ));
+        }
+        data.push_str("1,2,3\n4,5\n");
+        let dataset = Dataset::new(data);
+        for st in [
+            template("1,2.5,INFO,x\n", ",\n"),
+            reduce(&RecordTemplate::from_instantiated(
+                "1,2,3\n",
+                &CharSet::from_chars(",\n".chars()),
+            )),
+        ] {
+            let legacy = parse_dataset(&dataset, std::slice::from_ref(&st), 10);
+            let span = parse_dataset_span(&dataset, std::slice::from_ref(&st), 10);
+            let tree_score = MdlScorer.score(&dataset, &st, &legacy);
+            let span_score = MdlScorer
+                .score_span(&dataset, &st, &span)
+                .expect("mdl has a span path");
+            assert_eq!(
+                span_score.to_bits(),
+                tree_score.to_bits(),
+                "template {st}: {span_score} vs {tree_score}"
+            );
+        }
     }
 
     #[test]

@@ -9,9 +9,10 @@ use crate::error::{Error, Result};
 use crate::extract::extract_records;
 use crate::fieldtype::FieldType;
 use crate::generation::{generate, Candidate};
+use crate::intern::TemplateInterner;
 use crate::mdl::{MdlScorer, RegularityScorer};
 use crate::parser::{ParseResult, RecordMatch};
-use crate::refine::Refiner;
+use crate::refine::{EvaluationMetrics, Refiner};
 use crate::relational::{to_denormalized, to_relational, RelationalOutput, Table};
 use crate::structure::StructureTemplate;
 use std::time::{Duration, Instant};
@@ -64,6 +65,13 @@ pub struct PipelineStats {
     pub extraction_backend: String,
     /// Worker threads the final extraction pass was configured with (resolved; `>= 1`).
     pub extraction_threads: usize,
+    /// Name of the evaluation backend the refinement loop ran on (`span` or `legacy`).
+    pub evaluation_backend: String,
+    /// Worker threads the per-candidate evaluation loop was configured with (resolved).
+    pub evaluation_threads: usize,
+    /// Evaluation-phase work breakdown (parse vs score time, memo hits) accumulated across
+    /// all iterations.
+    pub evaluation_metrics: EvaluationMetrics,
 }
 
 /// One extracted record type: its structure template and everything derived from it.
@@ -168,6 +176,8 @@ impl Datamaran {
         let mut stats = PipelineStats {
             extraction_backend: self.config.extraction_backend.name().to_string(),
             extraction_threads: crate::parallel::resolve_threads(self.config.extraction_threads),
+            evaluation_backend: self.config.evaluation_backend.name().to_string(),
+            evaluation_threads: crate::parallel::resolve_threads(self.config.evaluation_threads),
             ..Default::default()
         };
 
@@ -298,32 +308,42 @@ impl Datamaran {
         stats.candidates_pruned += pruned.kept.len();
 
         let started = Instant::now();
-        let refiner = Refiner::new(&sample, scorer, self.config.max_line_span);
+        let refiner = Refiner::with_config(&sample, scorer, &self.config);
+        // The per-candidate refinement loop shards across scoped workers; results come back
+        // in candidate order, so the ranked merge below is deterministic for any thread
+        // count.  The ablation configuration can skip the §4.3 refinement techniques, in
+        // which case candidates are only scored as-is.
+        let templates: Vec<StructureTemplate> =
+            pruned.kept.into_iter().map(|c| c.template).collect();
+        let threads = crate::parallel::resolve_threads(self.config.evaluation_threads);
+        let refined_all = refiner.refine_batch(templates, self.config.refine, threads);
+        // Structural dedup by interned dense id: O(1) per candidate instead of comparing
+        // against every ranked template tree.
+        let mut seen = TemplateInterner::new();
         let mut ranked: Vec<(StructureTemplate, f64)> = Vec::new();
-        for cand in &pruned.kept {
-            // The ablation configuration can skip the §4.3 refinement techniques, in which
-            // case candidates are only scored as-is.
-            let refined = if self.config.refine {
-                refiner.refine(&cand.template)
-            } else {
-                refiner.evaluate(&cand.template)
-            };
+        for refined in refined_all {
             // A template that explains nothing on the sample is useless regardless of score.
-            if refined.parse.records.is_empty() {
+            if refined.summary.record_count == 0 {
                 continue;
             }
             // Require the refined template to still reach the coverage threshold on the
             // sample (Assumption 1).
-            if refined.parse.record_coverage(sample.len()) < self.config.alpha {
+            if refined.summary.record_coverage(sample.len()) < self.config.alpha {
                 continue;
             }
-            if ranked.iter().any(|(t, _)| *t == refined.template) {
+            if seen.lookup(&refined.template).is_some() {
                 continue;
             }
+            seen.intern(refined.template.clone());
             ranked.push((refined.template, refined.score));
         }
         ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         ranked.truncate(k.max(1));
+        let metrics = refiner.metrics();
+        stats.evaluation_metrics.evaluations += metrics.evaluations;
+        stats.evaluation_metrics.memo_hits += metrics.memo_hits;
+        stats.evaluation_metrics.parse_seconds += metrics.parse_seconds;
+        stats.evaluation_metrics.score_seconds += metrics.score_seconds;
         stats.timings.evaluation += started.elapsed();
         Ok(ranked)
     }
@@ -388,8 +408,9 @@ impl Datamaran {
                     .collect();
                 let record_refs: Vec<&RecordMatch> = records.iter().collect();
                 let type_name = format!("type{idx}");
-                let relational = to_relational(template, full.text(), &record_refs, &type_name);
-                let denormalized = to_denormalized(template, full.text(), &record_refs, &type_name);
+                let source = full.shared_text();
+                let relational = to_relational(template, &source, &record_refs, &type_name);
+                let denormalized = to_denormalized(template, &source, &record_refs, &type_name);
                 let column_types = {
                     // Restrict the parse to this template's records for type inference.
                     let sub = ParseResult {
@@ -590,9 +611,48 @@ mod tests {
     }
 
     #[test]
+    fn evaluation_backends_agree_end_to_end() {
+        use crate::config::EvaluationBackend;
+        let mut text = String::new();
+        for i in 0..90u64 {
+            if mix(i).is_multiple_of(5) {
+                text.push_str(&format!("{i},{},{}\n", mix(i) % 40, mix(i * 3) % 9));
+            } else {
+                text.push_str(&format!("[{:02}:{:02}] host{} ok\n", i % 24, i % 60, i % 4));
+            }
+        }
+        let span = Datamaran::with_defaults().extract(&text).unwrap();
+        let legacy = Datamaran::new(
+            DatamaranConfig::default().with_evaluation_backend(EvaluationBackend::Legacy),
+        )
+        .unwrap()
+        .extract(&text)
+        .unwrap();
+        assert_eq!(span.noise_lines, legacy.noise_lines);
+        assert_eq!(span.structures.len(), legacy.structures.len());
+        for (a, b) in span.structures.iter().zip(&legacy.structures) {
+            assert_eq!(a.template, b.template);
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "template {}",
+                a.template
+            );
+            assert_eq!(a.relational, b.relational, "template {}", a.template);
+            assert_eq!(a.denormalized, b.denormalized, "template {}", a.template);
+        }
+        assert_eq!(span.stats.evaluation_backend, "span");
+        assert_eq!(legacy.stats.evaluation_backend, "legacy");
+        assert!(span.stats.evaluation_metrics.evaluations > 0);
+        assert_eq!(legacy.stats.evaluation_metrics.memo_hits, 0);
+    }
+
+    #[test]
     fn stats_report_step_activity() {
         let result = Datamaran::with_defaults().extract(&web_log(60)).unwrap();
         assert!(result.stats.extraction_threads >= 1);
+        assert!(result.stats.evaluation_threads >= 1);
+        assert!(result.stats.evaluation_metrics.evaluations > 0);
         assert!(result.stats.candidates_generated > 0);
         assert!(result.stats.candidates_pruned > 0);
         assert!(result.stats.charsets_enumerated > 0);

@@ -8,22 +8,101 @@
 //!   repetition values.
 //!
 //! Both contain all of the extracted information and can be fed to downstream applications.
+//!
+//! Materialization is **zero-copy for extracted values**: a [`Cell`] holding an extracted
+//! field is a byte span resolved against the dataset's shared text buffer
+//! ([`Dataset::shared_text`](crate::dataset::Dataset::shared_text)); owned storage is used
+//! only for synthesized cells — row ids, foreign keys, and denormalized multi-value
+//! concatenations.  `String` conversion happens at the export/serialization boundary
+//! ([`crate::export`]), never here.
 
 use crate::parser::{RecordMatch, ValueTree};
 use crate::structure::{Node, StructureTemplate};
+use std::sync::Arc;
 
-/// A relational table with string-typed cells.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// One relational cell: either a span of the table's shared source buffer (extracted field
+/// values — the common case, stored without copying) or owned text (synthesized values:
+/// ids, foreign keys, position columns, denormalized concatenations).
+#[derive(Clone, Debug)]
+pub enum Cell {
+    /// Byte span `[start, end)` into the table's shared source text.
+    Span {
+        /// Byte offset of the value's first character.
+        start: usize,
+        /// Byte offset one past the value's last character.
+        end: usize,
+    },
+    /// Owned, synthesized text.
+    Owned(String),
+}
+
+impl Cell {
+    /// Resolves the cell against the source buffer it was built over.
+    #[inline]
+    pub fn resolve<'a>(&'a self, source: &'a str) -> &'a str {
+        match self {
+            Cell::Span { start, end } => &source[*start..*end],
+            Cell::Owned(s) => s,
+        }
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Owned(s)
+    }
+}
+
+/// A relational table.  Cell text resolves lazily against the shared source buffer; use
+/// [`Table::cell`] / [`Table::row`] to read values and [`crate::export`] to serialize.
+///
+/// Equality compares *resolved* cell text (plus names and headers), so two tables are equal
+/// exactly when their rendered contents are byte-identical — regardless of which cells are
+/// spans and which are owned.
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table name (derived from the record-type name and the array position).
     pub name: String,
     /// Column names, in order.
     pub columns: Vec<String>,
-    /// Row-major cell values.
-    pub rows: Vec<Vec<String>>,
+    source: Arc<str>,
+    rows: Vec<Vec<Cell>>,
 }
 
 impl Table {
+    /// Creates an empty table whose span cells resolve against `source`.
+    pub fn new(name: impl Into<String>, columns: Vec<String>, source: Arc<str>) -> Self {
+        Table {
+            name: name.into(),
+            columns,
+            source,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a table from fully owned string rows (tests, synthesized tables).
+    pub fn from_strings(
+        name: impl Into<String>,
+        columns: Vec<String>,
+        rows: Vec<Vec<String>>,
+    ) -> Self {
+        Table {
+            name: name.into(),
+            columns,
+            source: Arc::from(""),
+            rows: rows
+                .into_iter()
+                .map(|r| r.into_iter().map(Cell::Owned).collect())
+                .collect(),
+        }
+    }
+
+    /// Appends one row (cells must match the column count).
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        debug_assert_eq!(row.len(), self.columns.len(), "row width matches header");
+        self.rows.push(row);
+    }
+
     /// Number of rows.
     pub fn row_count(&self) -> usize {
         self.rows.len()
@@ -33,7 +112,43 @@ impl Table {
     pub fn column_index(&self, name: &str) -> Option<usize> {
         self.columns.iter().position(|c| c == name)
     }
+
+    /// Resolved text of the cell at (`row`, `col`).
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        self.rows[row][col].resolve(&self.source)
+    }
+
+    /// Resolved cell texts of one row, in column order.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = &str> + '_ {
+        self.rows[row].iter().map(move |c| c.resolve(&self.source))
+    }
+
+    /// The raw cells of one row (span/owned distinction preserved).
+    pub fn row_cells(&self, row: usize) -> &[Cell] {
+        &self.rows[row]
+    }
+
+    /// The shared source buffer span cells resolve against.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
 }
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.columns == other.columns
+            && self.rows.len() == other.rows.len()
+            && self.rows.iter().zip(&other.rows).all(|(a, b)| {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|(x, y)| x.resolve(&self.source) == y.resolve(&other.source))
+            })
+    }
+}
+
+impl Eq for Table {}
 
 /// The normalized relational output of one record type.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -141,9 +256,11 @@ fn walk_schema(
 }
 
 /// Converts the records of one template into the normalized relational representation.
+/// Extracted field cells are byte spans over `source` (zero-copy); only ids, foreign keys
+/// and positions are synthesized as owned text.
 pub fn to_relational(
     template: &StructureTemplate,
-    text: &str,
+    source: &Arc<str>,
     records: &[&RecordMatch],
     type_name: &str,
 ) -> RelationalOutput {
@@ -160,16 +277,12 @@ pub fn to_relational(
                 columns.push("position".to_string());
             }
             columns.extend(t.column_ids.iter().map(|c| format!("field_{c}")));
-            Table {
-                name: t.name.clone(),
-                columns,
-                rows: Vec::new(),
-            }
+            Table::new(t.name.clone(), columns, Arc::clone(source))
         })
         .collect();
 
     for record in records {
-        fill_row(&schema, &mut tables, 0, None, None, &record.values, text);
+        fill_row(&schema, &mut tables, 0, None, None, &record.values);
     }
 
     RelationalOutput { tables }
@@ -183,20 +296,19 @@ fn fill_row(
     parent_row: Option<usize>,
     position: Option<usize>,
     values: &[ValueTree],
-    text: &str,
 ) -> usize {
     let row_idx = tables[table_idx].rows.len();
     let meta_cols = if parent_row.is_some() { 3 } else { 1 };
     let n_data_cols = schema.tables[table_idx].column_ids.len();
-    let mut row = vec![String::new(); meta_cols + n_data_cols];
-    row[0] = row_idx.to_string();
+    let mut row: Vec<Cell> = vec![Cell::Owned(String::new()); meta_cols + n_data_cols];
+    row[0] = Cell::Owned(row_idx.to_string());
     if let (Some(p), Some(pos)) = (parent_row, position) {
-        row[1] = p.to_string();
-        row[2] = pos.to_string();
+        row[1] = Cell::Owned(p.to_string());
+        row[2] = Cell::Owned(pos.to_string());
     }
     tables[table_idx].rows.push(row);
 
-    fill_values(schema, tables, table_idx, row_idx, meta_cols, values, text);
+    fill_values(schema, tables, table_idx, row_idx, meta_cols, values);
     row_idx
 }
 
@@ -207,7 +319,6 @@ fn fill_values(
     row_idx: usize,
     meta_cols: usize,
     values: &[ValueTree],
-    text: &str,
 ) {
     for v in values {
         match v {
@@ -218,8 +329,10 @@ fn fill_values(
                     .iter()
                     .position(|c| c == column)
                 {
-                    tables[table_idx].rows[row_idx][meta_cols + pos] =
-                        text[*start..*end].to_string();
+                    tables[table_idx].rows[row_idx][meta_cols + pos] = Cell::Span {
+                        start: *start,
+                        end: *end,
+                    };
                 }
             }
             ValueTree::Array { array_id, groups } => {
@@ -229,15 +342,7 @@ fn fill_values(
                     .position(|t| t.array_id == Some(*array_id))
                     .expect("array table exists for every array node");
                 for (gi, group) in groups.iter().enumerate() {
-                    fill_row(
-                        schema,
-                        tables,
-                        child_idx,
-                        Some(row_idx),
-                        Some(gi),
-                        group,
-                        text,
-                    );
+                    fill_row(schema, tables, child_idx, Some(row_idx), Some(gi), group);
                 }
             }
         }
@@ -246,44 +351,60 @@ fn fill_values(
 
 /// Converts the records of one template into a single denormalized table: one row per record,
 /// one column per field leaf; array columns concatenate their repetition values with the
-/// array's separator character.
+/// array's separator character.  Scalar columns (one value per record) stay span-backed;
+/// only genuine multi-value concatenations allocate.
 pub fn to_denormalized(
     template: &StructureTemplate,
-    text: &str,
+    source: &Arc<str>,
     records: &[&RecordMatch],
     type_name: &str,
 ) -> Table {
     let schema = build_schema(template, type_name);
     let n = schema.n_columns;
     let columns: Vec<String> = (0..n).map(|c| format!("field_{c}")).collect();
-    let mut rows = Vec::with_capacity(records.len());
+    let mut table = Table::new(
+        format!("{type_name}_denormalized"),
+        columns,
+        Arc::clone(source),
+    );
+    let text: &str = source;
     for record in records {
-        let mut cells: Vec<Vec<&str>> = vec![Vec::new(); n];
+        let mut cells: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
         for cell in &record.fields {
             if cell.column < n {
-                cells[cell.column].push(&text[cell.start..cell.end]);
+                cells[cell.column].push((cell.start, cell.end));
             }
         }
-        let row: Vec<String> = cells
+        let row: Vec<Cell> = cells
             .into_iter()
             .enumerate()
-            .map(|(c, vals)| {
-                let sep = schema
-                    .column_separator
-                    .get(c)
-                    .copied()
-                    .flatten()
-                    .unwrap_or(',');
-                vals.join(&sep.to_string())
+            .map(|(c, spans)| match spans.as_slice() {
+                [] => Cell::Owned(String::new()),
+                [(start, end)] => Cell::Span {
+                    start: *start,
+                    end: *end,
+                },
+                many => {
+                    let sep = schema
+                        .column_separator
+                        .get(c)
+                        .copied()
+                        .flatten()
+                        .unwrap_or(',');
+                    let mut joined = String::new();
+                    for (i, (start, end)) in many.iter().enumerate() {
+                        if i > 0 {
+                            joined.push(sep);
+                        }
+                        joined.push_str(&text[*start..*end]);
+                    }
+                    Cell::Owned(joined)
+                }
             })
             .collect();
-        rows.push(row);
+        table.push_row(row);
     }
-    Table {
-        name: format!("{type_name}_denormalized"),
-        columns,
-        rows,
-    }
+    table
 }
 
 #[cfg(test)]
@@ -300,19 +421,53 @@ mod tests {
         StructureTemplate::from_record_template(&RecordTemplate::from_instantiated(example, &cs))
     }
 
+    fn row_strings(table: &Table, row: usize) -> Vec<String> {
+        table.row(row).map(str::to_string).collect()
+    }
+
     #[test]
     fn flat_template_produces_single_table() {
         let data = Dataset::new("[01:05] alice\n[02:06] bob\n");
         let st = flat("[01:05] alice\n", "[]: \n");
         let parse = parse_dataset(&data, std::slice::from_ref(&st), 10);
         let recs: Vec<&RecordMatch> = parse.records.iter().collect();
-        let rel = to_relational(&st, data.text(), &recs, "log");
+        let rel = to_relational(&st, &data.shared_text(), &recs, "log");
         assert_eq!(rel.tables.len(), 1);
         let root = rel.root();
         assert_eq!(root.columns, vec!["id", "field_0", "field_1", "field_2"]);
-        assert_eq!(root.rows.len(), 2);
-        assert_eq!(root.rows[0][1..], ["01", "05", "alice"].map(String::from));
-        assert_eq!(root.rows[1][1..], ["02", "06", "bob"].map(String::from));
+        assert_eq!(root.row_count(), 2);
+        assert_eq!(
+            row_strings(root, 0)[1..],
+            ["01", "05", "alice"].map(String::from)
+        );
+        assert_eq!(
+            row_strings(root, 1)[1..],
+            ["02", "06", "bob"].map(String::from)
+        );
+    }
+
+    #[test]
+    fn extracted_cells_are_spans_over_the_dataset_buffer() {
+        let data = Dataset::new("[01:05] alice\n[02:06] bob\n");
+        let st = flat("[01:05] alice\n", "[]: \n");
+        let parse = parse_dataset(&data, std::slice::from_ref(&st), 10);
+        let recs: Vec<&RecordMatch> = parse.records.iter().collect();
+        let rel = to_relational(&st, &data.shared_text(), &recs, "log");
+        let root = rel.root();
+        // The id column is synthesized (owned); every extracted field is a span.
+        assert!(matches!(root.row_cells(0)[0], Cell::Owned(_)));
+        for cell in &root.row_cells(0)[1..] {
+            assert!(matches!(cell, Cell::Span { .. }), "field cell is a span");
+        }
+        // Span cells resolve against the very same buffer the dataset owns.
+        assert!(std::ptr::eq(root.source(), data.text()));
+        let denorm = to_denormalized(&st, &data.shared_text(), &recs, "log");
+        for cell in denorm.row_cells(0) {
+            assert!(
+                matches!(cell, Cell::Span { .. }),
+                "scalar columns stay spans"
+            );
+        }
     }
 
     #[test]
@@ -322,21 +477,21 @@ mod tests {
         let st = reduce(&RecordTemplate::from_instantiated("1,2,3\n", &cs));
         let parse = parse_dataset(&data, std::slice::from_ref(&st), 10);
         let recs: Vec<&RecordMatch> = parse.records.iter().collect();
-        let rel = to_relational(&st, data.text(), &recs, "csv");
+        let rel = to_relational(&st, &data.shared_text(), &recs, "csv");
         assert_eq!(rel.tables.len(), 2);
         let root = rel.root();
-        assert_eq!(root.rows.len(), 2);
+        assert_eq!(root.row_count(), 2);
         let child = &rel.tables[1];
         assert_eq!(child.name, "csv_array0");
         assert_eq!(
             child.columns,
             vec!["id", "parent_id", "position", "field_0"]
         );
-        assert_eq!(child.rows.len(), 5);
+        assert_eq!(child.row_count(), 5);
         // Rows of the second record reference parent_id 1.
-        let parents: Vec<&str> = child.rows.iter().map(|r| r[1].as_str()).collect();
+        let parents: Vec<&str> = (0..child.row_count()).map(|r| child.cell(r, 1)).collect();
         assert_eq!(parents, vec!["0", "0", "0", "1", "1"]);
-        let values: Vec<&str> = child.rows.iter().map(|r| r[3].as_str()).collect();
+        let values: Vec<&str> = (0..child.row_count()).map(|r| child.cell(r, 3)).collect();
         assert_eq!(values, vec!["1", "2", "3", "4", "5"]);
     }
 
@@ -350,16 +505,14 @@ mod tests {
         let parse = parse_dataset(&data, std::slice::from_ref(&st), 10);
         assert_eq!(parse.records.len(), 2);
         let recs: Vec<&RecordMatch> = parse.records.iter().collect();
-        let rel = to_relational(&st, data.text(), &recs, "rec");
+        let rel = to_relational(&st, &data.shared_text(), &recs, "rec");
         assert_eq!(rel.tables.len(), 2);
         let root = rel.root();
-        assert_eq!(root.rows[0][1], "a");
-        assert!(root.rows[0].contains(&"b".to_string()));
+        assert_eq!(root.cell(0, 1), "a");
+        assert!(row_strings(root, 0).contains(&"b".to_string()));
         let child = &rel.tables[1];
-        let values: Vec<&str> = child
-            .rows
-            .iter()
-            .map(|r| r.last().unwrap().as_str())
+        let values: Vec<&str> = (0..child.row_count())
+            .map(|r| child.cell(r, child.columns.len() - 1))
             .collect();
         assert_eq!(values, vec!["x", "y", "z", "p", "q"]);
     }
@@ -371,10 +524,10 @@ mod tests {
         let st = reduce(&RecordTemplate::from_instantiated("1,2,3\n", &cs));
         let parse = parse_dataset(&data, std::slice::from_ref(&st), 10);
         let recs: Vec<&RecordMatch> = parse.records.iter().collect();
-        let table = to_denormalized(&st, data.text(), &recs, "csv");
-        assert_eq!(table.rows.len(), 2);
-        assert_eq!(table.rows[0][0], "1,2,3");
-        assert_eq!(table.rows[1][0], "4,5");
+        let table = to_denormalized(&st, &data.shared_text(), &recs, "csv");
+        assert_eq!(table.row_count(), 2);
+        assert_eq!(table.cell(0, 0), "1,2,3");
+        assert_eq!(table.cell(1, 0), "4,5");
     }
 
     #[test]
@@ -383,29 +536,41 @@ mod tests {
         let st = flat("k=v\n", "=\n");
         let parse = parse_dataset(&data, std::slice::from_ref(&st), 10);
         let recs: Vec<&RecordMatch> = parse.records.iter().collect();
-        let table = to_denormalized(&st, data.text(), &recs, "kv");
+        let table = to_denormalized(&st, &data.shared_text(), &recs, "kv");
         assert_eq!(table.columns, vec!["field_0", "field_1"]);
-        assert_eq!(table.rows[0], vec!["k", "v"]);
-        assert_eq!(table.rows[1], vec!["k2", "v2"]);
+        assert_eq!(row_strings(&table, 0), vec!["k", "v"]);
+        assert_eq!(row_strings(&table, 1), vec!["k2", "v2"]);
     }
 
     #[test]
     fn table_helpers_work() {
-        let t = Table {
-            name: "t".into(),
-            columns: vec!["id".into(), "x".into()],
-            rows: vec![vec!["0".into(), "a".into()]],
-        };
+        let t = Table::from_strings(
+            "t",
+            vec!["id".into(), "x".into()],
+            vec![vec!["0".into(), "a".into()]],
+        );
         assert_eq!(t.row_count(), 1);
         assert_eq!(t.column_index("x"), Some(1));
         assert_eq!(t.column_index("missing"), None);
+        assert_eq!(t.cell(0, 1), "a");
+    }
+
+    #[test]
+    fn equality_compares_resolved_text_across_cell_kinds() {
+        let source: Arc<str> = Arc::from("hello world");
+        let mut spans = Table::new("t", vec!["x".into()], Arc::clone(&source));
+        spans.push_row(vec![Cell::Span { start: 0, end: 5 }]);
+        let owned = Table::from_strings("t", vec!["x".into()], vec![vec!["hello".into()]]);
+        assert_eq!(spans, owned);
+        let other = Table::from_strings("t", vec!["x".into()], vec![vec!["world".into()]]);
+        assert_ne!(spans, other);
     }
 
     #[test]
     fn empty_record_set_produces_headers_only() {
         let st = flat("a=b\n", "=\n");
-        let rel = to_relational(&st, "", &[], "empty");
-        assert_eq!(rel.root().rows.len(), 0);
+        let rel = to_relational(&st, &Arc::from(""), &[], "empty");
+        assert_eq!(rel.root().row_count(), 0);
         assert_eq!(rel.root().columns.len(), 3);
     }
 }

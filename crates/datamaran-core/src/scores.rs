@@ -16,6 +16,7 @@
 //!   exposing the trade-off between explaining more of the file and keeping templates simple.
 
 use crate::dataset::Dataset;
+use crate::extract::SpanParse;
 use crate::mdl::RegularityScorer;
 use crate::parser::ParseResult;
 use crate::structure::StructureTemplate;
@@ -40,6 +41,20 @@ impl RegularityScorer for NonFieldCoverageScorer {
         let non_field = covered.saturating_sub(field_bytes);
         // Larger non-field coverage is better; break ties toward higher total coverage.
         -(non_field as f64) - covered as f64 / dataset.len().max(1) as f64
+    }
+
+    fn score_span(
+        &self,
+        dataset: &Dataset,
+        _template: &StructureTemplate,
+        parse: &SpanParse,
+    ) -> Option<f64> {
+        // The cell arena holds exactly the cells of the matched records (rolled back on
+        // every failed or rejected match), so summing it equals the per-record walk.
+        let field_bytes: usize = parse.cells.iter().map(|f| f.end - f.start).sum();
+        let covered = parse.record_bytes;
+        let non_field = covered.saturating_sub(field_bytes);
+        Some(-(non_field as f64) - covered as f64 / dataset.len().max(1) as f64)
     }
 
     fn name(&self) -> &'static str {
@@ -68,6 +83,26 @@ impl RegularityScorer for UntypedMdlScorer {
             bits += 8.0;
         }
         bits
+    }
+
+    fn score_span(
+        &self,
+        dataset: &Dataset,
+        template: &StructureTemplate,
+        parse: &SpanParse,
+    ) -> Option<f64> {
+        let mut bits = template.description_chars() as f64 * 8.0;
+        bits += 32.0 + parse.block_count() as f64;
+        bits += parse.noise_bytes as f64 * 8.0;
+        let text = dataset.text();
+        for rec in parse.records.iter().filter(|r| r.template_index == 0) {
+            for cell in parse.record_cells(rec) {
+                let len = text[cell.start..cell.end].chars().count();
+                bits += (len as f64 + 1.0) * 8.0;
+            }
+            bits += 8.0;
+        }
+        Some(bits)
     }
 
     fn name(&self) -> &'static str {
@@ -106,6 +141,19 @@ impl<S: RegularityScorer> RegularityScorer for NoisePenaltyScorer<S> {
         let base = self.inner.score(dataset, template, parse);
         // The inner scorer already charges noise at 8 bits per byte; add the difference.
         base + (self.noise_weight - 1.0) * parse.noise_bytes as f64 * 8.0
+    }
+
+    fn score_span(
+        &self,
+        dataset: &Dataset,
+        template: &StructureTemplate,
+        parse: &SpanParse,
+    ) -> Option<f64> {
+        // Span-native only when the wrapped scorer is; otherwise the engine falls back to
+        // the materialized path for the whole wrapper.
+        self.inner
+            .score_span(dataset, template, parse)
+            .map(|base| base + (self.noise_weight - 1.0) * parse.noise_bytes as f64 * 8.0)
     }
 
     fn name(&self) -> &'static str {

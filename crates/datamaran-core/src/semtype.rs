@@ -258,9 +258,9 @@ pub fn annotate_table(table: &Table) -> TableAnnotation {
     let n = table.columns.len();
     let mut columns = Vec::with_capacity(n);
     let mut column_values: Vec<Vec<&str>> = vec![Vec::new(); n];
-    for row in &table.rows {
-        for (c, v) in row.iter().enumerate().take(n) {
-            column_values[c].push(v.as_str());
+    for r in 0..table.row_count() {
+        for (c, v) in table.row(r).enumerate().take(n) {
+            column_values[c].push(v);
         }
     }
     for (c, vals) in column_values.iter().enumerate() {
@@ -315,7 +315,7 @@ fn detect_composites(
             if !(c..c + width).all(|k| columns[k].semantic == SemanticType::Integer) {
                 continue;
             }
-            let rows = table.rows.len().min(16);
+            let rows = table.row_count().min(16);
             if rows == 0 {
                 continue;
             }
@@ -636,14 +636,13 @@ mod tests {
     }
 
     fn table(columns: &[&str], rows: &[&[&str]]) -> Table {
-        Table {
-            name: "t".into(),
-            columns: columns.iter().map(|c| c.to_string()).collect(),
-            rows: rows
-                .iter()
+        Table::from_strings(
+            "t",
+            columns.iter().map(|c| c.to_string()).collect(),
+            rows.iter()
                 .map(|r| r.iter().map(|v| v.to_string()).collect())
                 .collect(),
-        }
+        )
     }
 
     #[test]

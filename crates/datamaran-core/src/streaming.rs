@@ -23,16 +23,24 @@ use crate::config::ExtractionBackend;
 use crate::dataset::Dataset;
 use crate::error::{Error, Result};
 use crate::extract::{SpanLineMatcher, SpanScratch};
-use crate::parser::{LineMatcher, RecordMatch};
+use crate::parser::{FieldCell, LineMatcher};
 use crate::pipeline::Datamaran;
 use crate::structure::StructureTemplate;
 use std::io::BufRead;
 
+/// The slice of a record match the streaming loop needs; field cells land in a reusable
+/// caller-supplied buffer instead of per-record vectors.
+struct WindowRecord {
+    template_index: usize,
+    line_span: (usize, usize),
+}
+
 /// Per-window matcher honouring the engine's configured extraction backend (both produce
-/// identical matches; the span matcher avoids the per-record tree walk).
+/// identical matches; the span matcher never materializes instantiation trees — cells go
+/// straight from the op-table run into the reused buffer).
 enum WindowMatcher<'a> {
     Legacy(LineMatcher<'a>),
-    Span(Box<SpanLineMatcher>, SpanScratch),
+    Span(Box<SpanLineMatcher>, SpanScratch, Vec<u32>),
 }
 
 impl<'a> WindowMatcher<'a> {
@@ -48,14 +56,36 @@ impl<'a> WindowMatcher<'a> {
             ExtractionBackend::Span => WindowMatcher::Span(
                 Box::new(SpanLineMatcher::new(templates, max_span)),
                 SpanScratch::default(),
+                Vec::new(),
             ),
         }
     }
 
-    fn match_line(&mut self, dataset: &Dataset, line: usize) -> Option<RecordMatch> {
+    /// Attempts to match one record starting at `line`; on success `cells` holds exactly
+    /// the record's field cells.
+    fn match_line(
+        &mut self,
+        dataset: &Dataset,
+        line: usize,
+        cells: &mut Vec<FieldCell>,
+    ) -> Option<WindowRecord> {
+        cells.clear();
         match self {
-            WindowMatcher::Legacy(m) => m.match_line(dataset, line),
-            WindowMatcher::Span(m, scratch) => m.match_line_record(dataset, line, scratch),
+            WindowMatcher::Legacy(m) => m.match_line(dataset, line).map(|rec| {
+                cells.extend_from_slice(&rec.fields);
+                WindowRecord {
+                    template_index: rec.template_index,
+                    line_span: rec.line_span,
+                }
+            }),
+            WindowMatcher::Span(m, scratch, reps) => {
+                reps.clear();
+                m.match_line_into(dataset, line, cells, reps, scratch)
+                    .map(|rec| WindowRecord {
+                        template_index: rec.template_index as usize,
+                        line_span: rec.line_span,
+                    })
+            }
         }
     }
 }
@@ -150,16 +180,17 @@ pub fn extract_stream<R: BufRead, F: FnMut(OwnedRecord)>(
         // been read yet; they are only decided once the stream is exhausted.
         let safe_limit = if eof { n } else { n.saturating_sub(max_span) };
 
+        let mut cells: Vec<FieldCell> = Vec::new();
         let mut line = 0usize;
         while line < n {
-            match matcher.match_line(&dataset, line) {
+            match matcher.match_line(&dataset, line, &mut cells) {
                 Some(rec) => {
                     if !eof && rec.line_span.1 > safe_limit {
                         break;
                     }
                     let field_count = matcher_templates[rec.template_index].field_count();
                     let mut columns: Vec<Vec<String>> = vec![Vec::new(); field_count];
-                    for cell in &rec.fields {
+                    for cell in &cells {
                         if cell.column < field_count {
                             columns[cell.column]
                                 .push(dataset.text()[cell.start..cell.end].to_string());

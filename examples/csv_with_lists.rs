@@ -52,14 +52,14 @@ fn main() {
             table.row_count(),
             table.columns
         );
-        for row in table.rows.iter().take(2) {
-            println!("    {row:?}");
+        for r in 0..table.row_count().min(2) {
+            println!("    {:?}", table.row(r).collect::<Vec<_>>());
         }
     }
 
     println!();
     println!("denormalized output (array column joined with its separator):");
-    for row in s.denormalized.rows.iter().take(3) {
-        println!("  {row:?}");
+    for r in 0..s.denormalized.row_count().min(3) {
+        println!("  {:?}", s.denormalized.row(r).collect::<Vec<_>>());
     }
 }

@@ -65,7 +65,7 @@ fn main() {
         root.row_count()
     );
     println!("  columns: {:?}", root.columns);
-    for row in root.rows.iter().take(3) {
-        println!("  {row:?}");
+    for r in 0..root.row_count().min(3) {
+        println!("  {:?}", root.row(r).collect::<Vec<_>>());
     }
 }

@@ -35,8 +35,8 @@ fn main() {
         );
         let table = &s.denormalized;
         println!("  first rows of the denormalized table:");
-        for row in table.rows.iter().take(3) {
-            println!("    {row:?}");
+        for r in 0..table.row_count().min(3) {
+            println!("    {:?}", table.row(r).collect::<Vec<_>>());
         }
         println!();
     }

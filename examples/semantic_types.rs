@@ -55,9 +55,10 @@ fn main() {
     // Demonstrate re-joining the first composite for the first few records.
     if let Some(comp) = annotation.composites.first() {
         println!("\nfirst three re-joined values:");
-        for row in structure.denormalized.rows.iter().take(3) {
+        let table = &structure.denormalized;
+        for r in 0..table.row_count().min(3) {
             let joined: Vec<&str> = (comp.first_column..comp.first_column + comp.width)
-                .map(|c| row[c].as_str())
+                .map(|c| table.cell(r, c))
                 .collect();
             println!("  {}", joined.join(&comp.delimiter.to_string()));
         }

@@ -106,7 +106,7 @@ fn unicode_field_values_are_preserved() {
     let result = engine().extract(&text).unwrap();
     assert_eq!(result.record_count(), 120);
     let table = &result.structures[0].denormalized;
-    let all_cells: String = table.rows.iter().flatten().cloned().collect();
+    let all_cells: String = (0..table.row_count()).flat_map(|r| table.row(r)).collect();
     assert!(all_cells.contains("数据湖"));
     assert!(all_cells.contains("café"));
 }

@@ -1,0 +1,317 @@
+//! Differential properties for the evaluation engine: the compiled span backend (arena
+//! parses, arena-native scoring, template-score memo) must be observationally identical to
+//! the legacy tree re-parse — identical ranked `(template, score)` lists out of the
+//! pipeline, bit-identical scores, byte-identical normalized and denormalized relational
+//! tables — plus the refinement-internal properties of the ISSUE: span-vs-legacy
+//! equivalence of `repetition_counts` on nested-array templates, and eligibility
+//! preservation of `unfold_at`/`shift_variants` candidates.
+
+use datamaran::core::{
+    generate, parse_dataset, parse_dataset_span, reduce, repetition_counts, repetition_counts_span,
+    shift_variants, unfold_at, CharSet, CoverageScorer, Datamaran, DatamaranConfig, Dataset,
+    EvaluationBackend, MdlScorer, NoisePenaltyScorer, NonFieldCoverageScorer, RecordTemplate,
+    Refiner, RegularityScorer, StructureTemplate, UntypedMdlScorer,
+};
+use datamaran::logsynth::{corpus, DatasetSpec};
+use proptest::prelude::*;
+
+fn flat(example: &str, charset: &str) -> StructureTemplate {
+    let cs = CharSet::from_chars(charset.chars());
+    StructureTemplate::from_record_template(&RecordTemplate::from_instantiated(example, &cs))
+}
+
+fn folded(example: &str, charset: &str) -> StructureTemplate {
+    let cs = CharSet::from_chars(charset.chars());
+    reduce(&RecordTemplate::from_instantiated(example, &cs))
+}
+
+/// Runs the full pipeline on both evaluation backends and asserts identical discovered
+/// structures: same templates in the same order, bit-identical scores, byte-identical
+/// relational output (the `EvaluationBackend` acceptance criterion).
+fn check_pipeline(text: &str, label: &str) {
+    let span = Datamaran::with_defaults().extract(text).unwrap();
+    let legacy = Datamaran::new(
+        DatamaranConfig::default().with_evaluation_backend(EvaluationBackend::Legacy),
+    )
+    .unwrap()
+    .extract(text)
+    .unwrap();
+    assert_eq!(
+        span.structures.len(),
+        legacy.structures.len(),
+        "{label}: structure count"
+    );
+    for (a, b) in span.structures.iter().zip(&legacy.structures) {
+        assert_eq!(a.template, b.template, "{label}: ranked template");
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "{label}: score of {}",
+            a.template
+        );
+        assert_eq!(a.relational, b.relational, "{label}: normalized tables");
+        assert_eq!(
+            a.denormalized, b.denormalized,
+            "{label}: denormalized table"
+        );
+        assert_eq!(a.column_types, b.column_types, "{label}: column types");
+    }
+    assert_eq!(span.noise_lines, legacy.noise_lines, "{label}: noise lines");
+}
+
+#[test]
+#[ignore = "heavy integration suite: run with `cargo test -- --ignored` (dedicated CI step)"]
+fn pipeline_backends_agree_on_generated_corpora() {
+    let families = [
+        ("weblog", vec![corpus::web_access(0)], 0.02),
+        ("http_blocks", vec![corpus::http_block(0)], 0.01),
+        (
+            "interleaved",
+            vec![corpus::web_access(0), corpus::pipe_events(0)],
+            0.03,
+        ),
+        ("kv", vec![corpus::kv_metrics(0)], 0.0),
+    ];
+    for (i, (name, types, noise)) in families.into_iter().enumerate() {
+        let spec = DatasetSpec::new(name, types, 220, 4100 + i as u64).with_noise(noise);
+        check_pipeline(&spec.generate().text, name);
+    }
+}
+
+#[test]
+fn refiner_backends_agree_on_candidate_pools() {
+    // The generation step's own candidates on a structured sample: refine every one with
+    // both backends and require identical (template, score, summary) triples in order.
+    let mut text = String::new();
+    for i in 0..150u64 {
+        text.push_str(&format!("{},{},{}\n", i, i * 7 % 113, i % 9));
+        if i % 13 == 6 {
+            text.push_str(&format!("note {} free text here\n", i));
+        }
+    }
+    let data = Dataset::new(text.as_str());
+    let config = DatamaranConfig::default();
+    let templates: Vec<StructureTemplate> = generate(&data, &config)
+        .candidates
+        .into_iter()
+        .take(12)
+        .map(|c| c.template)
+        .collect();
+    assert!(!templates.is_empty());
+    let scorer = MdlScorer;
+    let span = Refiner::with_backend(&data, &scorer, 10, EvaluationBackend::Span);
+    let legacy = Refiner::with_backend(&data, &scorer, 10, EvaluationBackend::Legacy);
+    let a = span.refine_batch(templates.clone(), true, 1);
+    let b = legacy.refine_batch(templates, true, 1);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.template, y.template);
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "template {}",
+            x.template
+        );
+        assert_eq!(x.summary, y.summary, "template {}", x.template);
+    }
+}
+
+#[test]
+fn all_shipped_scorers_have_exact_span_paths() {
+    let mut text = String::new();
+    for i in 0..80 {
+        text.push_str(&format!(
+            "[{:02}] {} {}.5 txt-{}\n",
+            i % 60,
+            ["GET", "PUT"][i % 2],
+            i,
+            i % 7
+        ));
+        if i % 11 == 3 {
+            text.push_str("-- noise --\n");
+        }
+    }
+    let data = Dataset::new(text.as_str());
+    let templates = [
+        flat("[01] GET 3.5 x\n", "[] \n"),
+        folded("a b c d\n", " \n"),
+        folded("1,2,3\n", ",\n"),
+    ];
+    fn check<S: RegularityScorer>(scorer: &S, data: &Dataset, t: &StructureTemplate) {
+        let legacy = parse_dataset(data, std::slice::from_ref(t), 10);
+        let span = parse_dataset_span(data, std::slice::from_ref(t), 10);
+        let tree = scorer.score(data, t, &legacy);
+        let arena = scorer
+            .score_span(data, t, &span)
+            .expect("shipped scorers are span-native");
+        assert_eq!(
+            arena.to_bits(),
+            tree.to_bits(),
+            "{}: {arena} vs {tree} on {t}",
+            scorer.name()
+        );
+    }
+    for t in &templates {
+        check(&MdlScorer, &data, t);
+        check(&CoverageScorer, &data, t);
+        check(&UntypedMdlScorer, &data, t);
+        check(&NonFieldCoverageScorer, &data, t);
+        check(&NoisePenaltyScorer::new(MdlScorer, 2.5), &data, t);
+    }
+}
+
+#[test]
+fn custom_scorer_without_span_path_falls_back_to_materialization() {
+    /// A scorer that only implements the tree path (simulates downstream custom scorers).
+    struct TreeOnly;
+    impl RegularityScorer for TreeOnly {
+        fn score(
+            &self,
+            dataset: &Dataset,
+            _template: &StructureTemplate,
+            parse: &datamaran::core::ParseResult,
+        ) -> f64 {
+            (dataset.len() - parse.record_bytes.min(dataset.len())) as f64
+                + parse.records.len() as f64
+        }
+    }
+    let mut text = String::new();
+    for i in 0..60 {
+        text.push_str(&format!("{},{}\n", i, i * 2));
+    }
+    let data = Dataset::new(text.as_str());
+    let t = folded("1,2\n", ",\n");
+    let span = Refiner::with_backend(&data, &TreeOnly, 10, EvaluationBackend::Span);
+    let legacy = Refiner::with_backend(&data, &TreeOnly, 10, EvaluationBackend::Legacy);
+    let a = span.refine(&t);
+    let b = legacy.refine(&t);
+    assert_eq!(a.template, b.template);
+    assert_eq!(a.score.to_bits(), b.score.to_bits());
+    assert_eq!(a.summary, b.summary);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `repetition_counts` from the span arenas equals the tree walker's on random row
+    /// datasets with (possibly nested) array templates — including multi-line windows
+    /// whose reduction nests arrays.
+    #[test]
+    fn repetition_counts_agree_on_random_datasets(
+        rows in prop::collection::vec(prop::collection::vec("[a-z0-9]{1,6}", 1..7), 4..25),
+        sep in prop_oneof![Just(','), Just(';'), Just('|')],
+        nested in any::<bool>(),
+    ) {
+        let sep_s = sep.to_string();
+        let mut text = String::new();
+        for fields in &rows {
+            text.push_str(&fields.join(&sep_s));
+            text.push('\n');
+        }
+        let template = if nested {
+            // A two-line window template: reduction folds the repeated line pattern into a
+            // nested array when the shapes repeat.
+            let block = format!("a{sep}1\na{sep}2\n");
+            folded(&block, &format!("{sep}\n"))
+        } else {
+            folded(&format!("1{sep}2{sep}3\n"), &format!("{sep}\n"))
+        };
+        let data = Dataset::new(text.as_str());
+        let templates = std::slice::from_ref(&template);
+        let legacy = repetition_counts(&parse_dataset(&data, templates, 10));
+        let span = repetition_counts_span(&parse_dataset_span(&data, templates, 10), &template);
+        prop_assert_eq!(legacy, span);
+    }
+
+    /// Refinement candidates preserve coverage-threshold eligibility: on CSV-like corpora
+    /// with a dominant modal width, every `unfold_at` candidate parses to coverage at most
+    /// the parent's, and the accepted refinement (`Refiner::refine`) still reaches the
+    /// alpha threshold whenever the parent did.
+    #[test]
+    fn unfold_candidates_preserve_coverage_eligibility(
+        cols in 2usize..6,
+        rows in 20usize..60,
+        ragged in prop::collection::vec(any::<bool>(), 8..9),
+    ) {
+        let mut text = String::new();
+        for i in 0..rows {
+            // A dominant modal width plus a ragged minority keeps the array template
+            // interesting without breaking Assumption 1.
+            let width = if ragged.get(i % 8).copied().unwrap_or(false) && i % 5 == 0 {
+                cols + 1
+            } else {
+                cols
+            };
+            let vals: Vec<String> = (0..width).map(|c| format!("{}", i * 10 + c)).collect();
+            text.push_str(&vals.join(","));
+            text.push('\n');
+        }
+        let data = Dataset::new(text.as_str());
+        let alpha = 0.10;
+        let parent = folded("1,2,3\n", ",\n");
+        let scorer = MdlScorer;
+        let refiner = Refiner::new(&data, &scorer, 10);
+        let parent_eval = refiner.evaluate(&parent);
+        let parent_cov = parent_eval.summary.record_coverage(data.len());
+        prop_assert!(parent_cov >= alpha, "parent covers the whole file");
+
+        // Every unfold candidate explains a subset of what the folded parent explains.
+        let paths = datamaran::core::collect_array_paths(parent.nodes());
+        for path in &paths {
+            for reps in 1..=cols + 1 {
+                for partial in [false, true] {
+                    if let Some(candidate) = unfold_at(&parent, path, reps, partial) {
+                        let cand_eval = refiner.evaluate(&candidate);
+                        prop_assert!(
+                            cand_eval.summary.record_coverage(data.len()) <= parent_cov + 1e-9,
+                            "unfold of {parent} to {candidate} gained coverage"
+                        );
+                    }
+                }
+            }
+        }
+
+        // The accepted refinement keeps the parent's eligibility.
+        let refined = refiner.refine(&parent);
+        prop_assert!(
+            refined.summary.record_coverage(data.len()) >= alpha,
+            "refine({parent}) -> {} lost eligibility",
+            refined.template
+        );
+    }
+
+    /// Shift variants of a multi-line template explain the same records modulo rotation:
+    /// each variant's record count is within one of the parent's, so the `RefineST` shift
+    /// rule's eligibility bound (half the parent's records) always holds for the variant
+    /// the refiner keeps.
+    #[test]
+    fn shift_variants_preserve_record_mass(
+        n in 10usize..40,
+        offset in 0usize..2,
+    ) {
+        let mut text = String::new();
+        for i in 0..n {
+            text.push_str(&format!("HDR {i}\nval={};st=ok\n", i + offset));
+        }
+        let data = Dataset::new(text.as_str());
+        let parent = flat("HDR 1\nval=2;st=ok\n", " =;\n");
+        let scorer = MdlScorer;
+        let refiner = Refiner::new(&data, &scorer, 10);
+        let parent_eval = refiner.evaluate(&parent);
+        for v in shift_variants(&parent) {
+            let var_eval = refiner.evaluate(&v);
+            prop_assert!(
+                var_eval.summary.record_count + 1 >= parent_eval.summary.record_count,
+                "variant {v} lost more than one record vs {} ({} vs {})",
+                parent,
+                var_eval.summary.record_count,
+                parent_eval.summary.record_count
+            );
+        }
+        let refined = refiner.refine(&parent);
+        prop_assert!(
+            refined.summary.record_count * 2 >= parent_eval.summary.record_count.max(1),
+            "refine kept an ineligible shift"
+        );
+    }
+}

@@ -73,14 +73,15 @@ fn check_extraction(text: &str, templates: &[StructureTemplate], label: &str) {
         let (a, b) = (pick(&legacy), pick(&span));
         let a_refs: Vec<&RecordMatch> = a.iter().collect();
         let b_refs: Vec<&RecordMatch> = b.iter().collect();
+        let source = data.shared_text();
         assert_eq!(
-            to_relational(template, data.text(), &a_refs, "t"),
-            to_relational(template, data.text(), &b_refs, "t"),
+            to_relational(template, &source, &a_refs, "t"),
+            to_relational(template, &source, &b_refs, "t"),
             "{label}: relational tables of template {idx}"
         );
         assert_eq!(
-            to_denormalized(template, data.text(), &a_refs, "t"),
-            to_denormalized(template, data.text(), &b_refs, "t"),
+            to_denormalized(template, &source, &a_refs, "t"),
+            to_denormalized(template, &source, &b_refs, "t"),
             "{label}: denormalized table of template {idx}"
         );
     }
