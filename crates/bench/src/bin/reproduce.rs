@@ -47,6 +47,7 @@ fn main() {
             "generation",
             "extraction",
             "evaluation",
+            "streaming",
         ];
     }
     let started = Instant::now();
@@ -70,6 +71,7 @@ fn main() {
             "generation" => regressed |= !generation_bench(fast, check),
             "extraction" => regressed |= !extraction_bench(fast, check),
             "evaluation" => regressed |= !evaluation_bench(fast, check),
+            "streaming" => regressed |= !streaming_bench(fast, check),
             other => eprintln!("unknown section `{other}` (skipped)"),
         }
     }
@@ -79,8 +81,8 @@ fn main() {
     );
     if regressed {
         eprintln!(
-            "[reproduce] FAIL: benchmark gate (span-vs-legacy speedup dropped >20% vs the \
-             committed baseline, or backend outputs diverged)"
+            "[reproduce] FAIL: benchmark gate (a speedup ratio dropped >20% vs the committed \
+             baseline, the streaming memory bound was exceeded, or outputs diverged)"
         );
         std::process::exit(1);
     }
@@ -593,6 +595,79 @@ fn fig18(fast: bool) {
         fails[1],
         fails[2]
     );
+}
+
+// -------------------------------------------------------------------------------------------
+// Streaming export benchmark — bounded-memory streaming path vs. in-memory extract+export
+// -------------------------------------------------------------------------------------------
+
+/// Times the full extraction-to-CSV path on a 32 MiB synthetic dataset (4 MiB with
+/// `--fast`) through the bounded-memory streaming sinks and through the in-memory
+/// materialized exporter, and writes the result to `BENCH_streaming.json`.  With `check`,
+/// two gates apply: the streaming-vs-in-memory wall-clock *ratio* is gated against the
+/// committed baseline (same >20% rule as the other engines — the ratio is measured within
+/// one run, so runner-speed factors cancel), and the peak resident window bytes must stay
+/// under the committed [`datamaran_bench::STREAM_PEAK_WINDOW_BOUND`] — on an input 4×
+/// larger than the bound, that proves the streaming path is `O(window)`, not `O(file)`,
+/// in memory.  Returns `false` on regression.
+fn streaming_bench(fast: bool, check: bool) -> bool {
+    use datamaran_bench::STREAM_PEAK_WINDOW_BOUND;
+    heading("Streaming export — bounded-memory sink path vs. in-memory materialization");
+    let bytes = if fast {
+        4 * 1024 * 1024
+    } else {
+        32 * 1024 * 1024
+    };
+    let runs = if fast { 2 } else { 3 };
+    let bench = datamaran_bench::streaming_benchmark(bytes, runs);
+    println!(
+        "dataset: {} bytes / {} lines; {} records, {} CSV bytes emitted",
+        bench.dataset_bytes, bench.dataset_lines, bench.records, bench.csv_bytes
+    );
+    println!(
+        "windows: {} (head {} + window {} bytes); both paths extract with the same \
+         head-discovered templates",
+        bench.windows, bench.head_bytes, bench.window_bytes
+    );
+    println!("{:<12}{:>14}{:>14}", "path", "wall time", "MB/sec");
+    println!(
+        "{:<12}{:>14}{:>14.1}",
+        "in-memory",
+        fmt_secs(bench.inmemory_secs),
+        bench.inmemory_mb_per_sec()
+    );
+    println!(
+        "{:<12}{:>14}{:>14.1}",
+        "streaming",
+        fmt_secs(bench.streaming_secs),
+        bench.streaming_mb_per_sec()
+    );
+    println!(
+        "ratio (in-memory / streaming): {:.2}x, outputs identical: {}",
+        bench.speedup(),
+        bench.outputs_identical
+    );
+    let peak_ok = bench.peak_window_bytes <= STREAM_PEAK_WINDOW_BOUND;
+    println!(
+        "memory gate: peak window bytes {} <= bound {} on a {} MiB input -> {}",
+        bench.peak_window_bytes,
+        STREAM_PEAK_WINDOW_BOUND,
+        bench.dataset_bytes / (1024 * 1024),
+        if peak_ok { "OK" } else { "EXCEEDED" }
+    );
+    let path = "BENCH_streaming.json";
+    let ok = !check
+        || (check_baseline(
+            path,
+            "streaming_mb_per_sec",
+            bench.streaming_mb_per_sec(),
+            bench.speedup(),
+        ) && peak_ok);
+    match std::fs::write(path, bench.to_json() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    ok && bench.outputs_identical
 }
 
 // -------------------------------------------------------------------------------------------

@@ -648,6 +648,248 @@ pub fn evaluation_benchmark(target_bytes: usize, runs: usize) -> EvaluationBench
     }
 }
 
+/// Committed bound on the streaming extractor's peak resident window bytes with the
+/// default [`StreamOptions`](datamaran_core::StreamOptions): the carry buffer (capacity)
+/// plus the current window's dataset copy must stay under this for **any** input size.
+/// The benchmark gate runs a 32 MiB synthetic input against it, proving the streaming
+/// path is `O(window)`, not `O(file)`, in memory.  Default head is 256 KiB and the window
+/// target 1 MiB; the bound leaves room for the carried tail, one long line of
+/// over-read, and amortized `String` growth.
+pub const STREAM_PEAK_WINDOW_BOUND: usize = 8 * 1024 * 1024;
+
+/// Outcome of the streaming-export micro-benchmark comparing the bounded-memory streaming
+/// path (chunked reader → span matcher → push-based CSV sink) against the in-memory path
+/// (full-file extraction → materialized relational tables → CSV serialization) on the same
+/// dataset and templates (see `reproduce -- streaming`).
+#[derive(Clone, Debug)]
+pub struct StreamingBench {
+    /// Dataset size in bytes.
+    pub dataset_bytes: usize,
+    /// Dataset line count.
+    pub dataset_lines: usize,
+    /// Records extracted (identical across paths).
+    pub records: usize,
+    /// Total CSV bytes emitted (identical across paths).
+    pub csv_bytes: usize,
+    /// Streaming head size used (bytes).
+    pub head_bytes: usize,
+    /// Streaming window target used (bytes).
+    pub window_bytes: usize,
+    /// Chunk windows the streaming run processed.
+    pub windows: usize,
+    /// Peak resident window bytes observed by the streaming run.
+    pub peak_window_bytes: usize,
+    /// Best wall-clock seconds of the in-memory extract-and-export path.
+    pub inmemory_secs: f64,
+    /// Best wall-clock seconds of the streaming path.
+    pub streaming_secs: f64,
+    /// `true` when the streaming CSV bytes are identical to the materialized exporter's.
+    pub outputs_identical: bool,
+}
+
+impl StreamingBench {
+    /// Megabytes processed per second, in-memory path.
+    pub fn inmemory_mb_per_sec(&self) -> f64 {
+        self.dataset_bytes as f64 / self.inmemory_secs / (1024.0 * 1024.0)
+    }
+
+    /// Megabytes processed per second, streaming path.
+    pub fn streaming_mb_per_sec(&self) -> f64 {
+        self.dataset_bytes as f64 / self.streaming_secs / (1024.0 * 1024.0)
+    }
+
+    /// Wall-clock ratio of the in-memory path over the streaming path (measured in one
+    /// run, so it transfers across machines; > 1 means streaming is faster).
+    pub fn speedup(&self) -> f64 {
+        self.inmemory_secs / self.streaming_secs
+    }
+
+    /// Serializes the result as the `BENCH_streaming.json` document.
+    pub fn to_json(&self) -> String {
+        use datamaran_core::JsonValue;
+        JsonValue::Object(vec![
+            (
+                "benchmark".into(),
+                JsonValue::String("streaming_export".into()),
+            ),
+            (
+                "dataset_bytes".into(),
+                JsonValue::Number(self.dataset_bytes as f64),
+            ),
+            (
+                "dataset_lines".into(),
+                JsonValue::Number(self.dataset_lines as f64),
+            ),
+            ("records".into(), JsonValue::Number(self.records as f64)),
+            ("csv_bytes".into(), JsonValue::Number(self.csv_bytes as f64)),
+            (
+                "head_bytes".into(),
+                JsonValue::Number(self.head_bytes as f64),
+            ),
+            (
+                "window_bytes".into(),
+                JsonValue::Number(self.window_bytes as f64),
+            ),
+            ("windows".into(), JsonValue::Number(self.windows as f64)),
+            (
+                "peak_window_bytes".into(),
+                JsonValue::Number(self.peak_window_bytes as f64),
+            ),
+            (
+                "peak_window_bound".into(),
+                JsonValue::Number(STREAM_PEAK_WINDOW_BOUND as f64),
+            ),
+            (
+                "inmemory_wall_secs".into(),
+                JsonValue::Number(self.inmemory_secs),
+            ),
+            (
+                "streaming_wall_secs".into(),
+                JsonValue::Number(self.streaming_secs),
+            ),
+            (
+                "inmemory_mb_per_sec".into(),
+                JsonValue::Number(self.inmemory_mb_per_sec()),
+            ),
+            (
+                "streaming_mb_per_sec".into(),
+                JsonValue::Number(self.streaming_mb_per_sec()),
+            ),
+            ("speedup".into(), JsonValue::Number(self.speedup())),
+            (
+                "outputs_identical".into(),
+                JsonValue::Bool(self.outputs_identical),
+            ),
+        ])
+        .to_pretty()
+    }
+}
+
+/// An `io::Write` sink that counts bytes and drops them (throughput runs).
+#[derive(Default)]
+struct ByteCount(usize);
+
+impl std::io::Write for ByteCount {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0 += buf.len();
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs the streaming export path and the in-memory export path on an `exhaustive_weblog`
+/// dataset of `target_bytes` (`runs` timed repetitions each, best run kept) and
+/// cross-checks that the streaming CSV sink emits byte-identical output to the
+/// materialized exporter.  Both paths use the same templates (discovered once on the
+/// stream head) and write the normalized relational tables as CSV.
+pub fn streaming_benchmark(target_bytes: usize, runs: usize) -> StreamingBench {
+    use datamaran_core::{
+        extract_records, extract_stream_sink, extract_stream_with_templates, table_to_csv,
+        to_relational, CsvSink, Dataset, RecordMatch, StreamOptions, StructureTemplate, Table,
+    };
+    use std::io::Cursor;
+
+    let text = exhaustive_weblog(target_bytes, 14);
+    let engine = Datamaran::with_defaults();
+    let config = DatamaranConfig::default();
+    let options = StreamOptions::default();
+
+    // Correctness run: stream into in-memory writers and compare against the materialized
+    // exporter on the same (head-discovered) templates.
+    let mut sink = CsvSink::new(|_name: &str| Ok(Vec::<u8>::new()));
+    let summary = extract_stream_sink(&engine, Cursor::new(text.as_bytes()), options, &mut sink)
+        .expect("streaming run succeeds");
+    let streamed_tables = sink.into_writers();
+    let templates: Vec<StructureTemplate> = summary.templates.clone();
+
+    let data = Dataset::new(text.clone());
+    let parse = extract_records(&data, &templates, &config);
+    let source = data.shared_text();
+    let materialized: Vec<Table> = templates
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, template)| {
+            let records: Vec<&RecordMatch> = parse
+                .records
+                .iter()
+                .filter(|r| r.template_index == idx)
+                .collect();
+            to_relational(template, &source, &records, &format!("type{idx}")).tables
+        })
+        .collect();
+    let outputs_identical = parse.records.len() == summary.records
+        && streamed_tables.len() == materialized.len()
+        && streamed_tables
+            .iter()
+            .zip(&materialized)
+            .all(|((name, bytes), table)| {
+                *name == table.name && bytes.as_slice() == table_to_csv(table).as_bytes()
+            });
+    let csv_bytes: usize = streamed_tables.iter().map(|(_, b)| b.len()).sum();
+
+    // Timed streaming runs: chunked reader -> span matcher -> CSV sink (bytes counted).
+    // Templates are supplied, so the comparison is symmetric with the in-memory pass
+    // (head discovery is a fixed per-stream cost gated by the other engine benchmarks).
+    let best_streaming = (0..runs.max(1))
+        .map(|_| {
+            let mut sink = CsvSink::new(|_name: &str| Ok(ByteCount::default()));
+            let started = Instant::now();
+            let s = extract_stream_with_templates(
+                &engine,
+                Cursor::new(text.as_bytes()),
+                options,
+                templates.clone(),
+                &mut sink,
+            )
+            .expect("streaming run succeeds");
+            assert_eq!(s.records, summary.records);
+            started.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    // Timed in-memory runs: full-file dataset + parse + materialized tables + CSV.
+    let best_inmemory = (0..runs.max(1))
+        .map(|_| {
+            let started = Instant::now();
+            let data = Dataset::new(text.clone());
+            let parse = extract_records(&data, &templates, &config);
+            let source = data.shared_text();
+            let mut counter = ByteCount::default();
+            for (idx, template) in templates.iter().enumerate() {
+                let records: Vec<&RecordMatch> = parse
+                    .records
+                    .iter()
+                    .filter(|r| r.template_index == idx)
+                    .collect();
+                for table in
+                    to_relational(template, &source, &records, &format!("type{idx}")).tables
+                {
+                    use std::io::Write as _;
+                    counter.write_all(table_to_csv(&table).as_bytes()).unwrap();
+                }
+            }
+            assert_eq!(counter.0, csv_bytes);
+            started.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    StreamingBench {
+        dataset_bytes: text.len(),
+        dataset_lines: text.lines().count(),
+        records: summary.records,
+        csv_bytes,
+        head_bytes: options.head_bytes,
+        window_bytes: options.window_bytes,
+        windows: summary.windows,
+        peak_window_bytes: summary.peak_window_bytes,
+        inmemory_secs: best_inmemory,
+        streaming_secs: best_streaming,
+        outputs_identical,
+    }
+}
+
 /// Formats seconds compactly for the report tables.
 pub fn fmt_secs(s: f64) -> String {
     if s < 0.001 {

@@ -8,10 +8,18 @@
 //! datamaran extract server.log                 # summary to stdout
 //! datamaran extract server.log --format json   # machine-readable report
 //! datamaran extract server.log --format csv --out ./tables
+//! datamaran extract big.log --stream           # bounded-memory streaming summary
+//! datamaran extract big.log --stream --format json --output records.jsonl
+//! datamaran extract big.log --stream --format csv --output ./tables
 //! datamaran discover server.log                # just the structure templates
 //! datamaran grammar server.log                 # the LL(1) grammar of the best template
 //! datamaran cluster server.log                 # the SLCT-style line-clustering baseline
 //! ```
+//!
+//! `--stream` switches `extract` to the bounded-memory pipeline: structure is discovered on
+//! the head of the file, then records stream window by window straight into the CSV / JSON
+//! Lines sinks — memory stays `O(head + window)` regardless of file size, and the emitted
+//! bytes are identical to the in-memory exporter's.
 //!
 //! Argument parsing is hand-rolled (no third-party CLI crate) and lives in [`Cli::parse`] so
 //! it can be unit-tested; [`run`] wires parsing to the library calls.
@@ -20,13 +28,14 @@
 #![forbid(unsafe_code)]
 
 use datamaran_core::{
-    all_tables_csv, table_to_csv, Datamaran, DatamaranConfig, EvaluationBackend, ExtractionBackend,
-    ExtractionReport, Grammar, SearchStrategy,
+    all_tables_csv, table_to_csv, CountingSink, CsvSink, Datamaran, DatamaranConfig,
+    EvaluationBackend, ExtractionBackend, ExtractionReport, Grammar, JsonLinesSink, SearchStrategy,
+    StreamOptions, StreamReport,
 };
 use logclust::{ClusterConfig, LogCluster};
 use std::fmt::Write as _;
 use std::fs;
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::path::PathBuf;
 
 /// Output format of the `extract` subcommand.
@@ -69,6 +78,15 @@ pub struct Cli {
     pub format: OutputFormat,
     /// Directory for CSV output; `None` writes to stdout.
     pub out_dir: Option<PathBuf>,
+    /// Bounded-memory streaming extraction (`extract --stream`).
+    pub stream: bool,
+    /// Streaming output destination: a JSON Lines file (`--format json`) or a CSV
+    /// directory (`--format csv`).
+    pub output: Option<PathBuf>,
+    /// Override for the streaming head size in bytes.
+    pub head_bytes: Option<usize>,
+    /// Override for the streaming window size in bytes.
+    pub window_bytes: Option<usize>,
     /// Engine configuration assembled from the flags.
     pub config: DatamaranConfig,
 }
@@ -105,6 +123,20 @@ impl Cli {
                     };
                 }
                 "--out" => cli.out_dir = Some(PathBuf::from(next_value(&mut iter, "--out")?)),
+                "--stream" => cli.stream = true,
+                "--output" => cli.output = Some(PathBuf::from(next_value(&mut iter, "--output")?)),
+                "--head-bytes" => {
+                    cli.head_bytes = Some(parse_number(
+                        &next_value(&mut iter, "--head-bytes")?,
+                        "--head-bytes",
+                    )?)
+                }
+                "--window-bytes" => {
+                    cli.window_bytes = Some(parse_number(
+                        &next_value(&mut iter, "--window-bytes")?,
+                        "--window-bytes",
+                    )?)
+                }
                 "--greedy" => cli.config.search = SearchStrategy::Greedy,
                 "--alpha" => {
                     cli.config.alpha = parse_number(&next_value(&mut iter, "--alpha")?, "--alpha")?
@@ -167,6 +199,27 @@ impl Cli {
         if cli.input.is_none() {
             return Err("missing input file (usage: datamaran <subcommand> <file> [flags])".into());
         }
+        if cli.stream && cli.command != Command::Extract {
+            return Err("`--stream` is only valid with the `extract` subcommand".into());
+        }
+        if !cli.stream
+            && (cli.output.is_some() || cli.head_bytes.is_some() || cli.window_bytes.is_some())
+        {
+            return Err(
+                "`--output`, `--head-bytes`, and `--window-bytes` require `--stream`".into(),
+            );
+        }
+        if cli.stream && cli.format == OutputFormat::Csv && cli.output.is_none() {
+            return Err(
+                "`--stream --format csv` requires `--output DIR` for the per-table files".into(),
+            );
+        }
+        if let Some(0) = cli.head_bytes {
+            return Err("`--head-bytes` must be positive".into());
+        }
+        if let Some(0) = cli.window_bytes {
+            return Err("`--window-bytes` must be positive".into());
+        }
         cli.config
             .validate()
             .map_err(|e| format!("invalid configuration: {e}"))?;
@@ -179,6 +232,10 @@ impl Cli {
             input: None,
             format: OutputFormat::Summary,
             out_dir: None,
+            stream: false,
+            output: None,
+            head_bytes: None,
+            window_bytes: None,
             config: DatamaranConfig::default(),
         }
     }
@@ -217,6 +274,16 @@ SUBCOMMANDS:
 FLAGS:
     --format <summary|json|csv>   output format for `extract` (default: summary)
     --out <DIR>                   write CSV tables into DIR instead of stdout
+    --stream                      bounded-memory streaming extraction: structure is
+                                  discovered on the file head, records stream window by
+                                  window into the sinks (O(head + window) memory);
+                                  `summary` prints streaming stats, `json` writes JSON
+                                  Lines records, `csv` writes per-table CSV files
+    --output <PATH>               streaming destination: JSON Lines file (json) or
+                                  directory of CSV tables (csv); with json and no
+                                  --output, records go to stdout
+    --head-bytes <INT>            stream head for structure discovery (default: 262144)
+    --window-bytes <INT>          streaming window size in bytes    (default: 1048576)
     --greedy                      use the greedy RT-CharSet search (default: exhaustive)
     --alpha <FLOAT>               coverage threshold α in (0, 1]       (default: 0.10)
     --max-span <INT>              maximum lines per record L           (default: 10)
@@ -248,6 +315,11 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
     }
 
     let path = cli.input.as_ref().expect("input checked during parsing");
+    if cli.stream {
+        // The whole point of streaming is to never hold the file in memory: open a
+        // buffered reader instead of reading the file into a string.
+        return run_stream(&cli, path, out);
+    }
     let text =
         fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
 
@@ -313,6 +385,86 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
             write!(out, "{s}").map_err(|e| e.to_string())
         }
         Command::Help | Command::Version => unreachable!("handled above"),
+    }
+}
+
+/// Runs `extract --stream`: bounded-memory extraction straight into the push-based sinks.
+fn run_stream<W: Write>(cli: &Cli, path: &PathBuf, out: &mut W) -> Result<(), String> {
+    let file = fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let reader = std::io::BufReader::new(file);
+    let mut options = StreamOptions::default();
+    if let Some(head) = cli.head_bytes {
+        options.head_bytes = head;
+    }
+    if let Some(window) = cli.window_bytes {
+        options.window_bytes = window;
+    }
+    let engine = Datamaran::new(cli.config.clone()).map_err(|e| e.to_string())?;
+
+    match cli.format {
+        OutputFormat::Summary => {
+            let mut sink = CountingSink::default();
+            let summary = engine
+                .stream(reader, options, &mut sink)
+                .map_err(|e| e.to_string())?;
+            let mut s = String::new();
+            let _ = writeln!(
+                s,
+                "streamed: {} bytes, {} lines in {} windows",
+                summary.bytes_processed, summary.lines_processed, summary.windows
+            );
+            let _ = writeln!(
+                s,
+                "records: {}   noise lines: {}",
+                summary.records, summary.noise_lines
+            );
+            let _ = writeln!(
+                s,
+                "peak window bytes: {}   sink seconds: {:.3}",
+                summary.peak_window_bytes, summary.sink_seconds
+            );
+            for (i, (t, n)) in summary.templates.iter().zip(&sink.per_template).enumerate() {
+                let _ = writeln!(s, "type{i}: {t}   ({n} records)");
+            }
+            write!(out, "{s}").map_err(|e| e.to_string())
+        }
+        OutputFormat::Json => {
+            if let Some(output) = &cli.output {
+                let sink_file = fs::File::create(output)
+                    .map_err(|e| format!("cannot create {}: {e}", output.display()))?;
+                let mut sink = JsonLinesSink::new(BufWriter::new(sink_file));
+                let summary = engine
+                    .stream(reader, options, &mut sink)
+                    .map_err(|e| e.to_string())?;
+                writeln!(out, "{}", StreamReport::new(&summary).to_json())
+                    .map_err(|e| e.to_string())
+            } else {
+                let mut sink = JsonLinesSink::new(&mut *out);
+                engine
+                    .stream(reader, options, &mut sink)
+                    .map_err(|e| e.to_string())?;
+                Ok(())
+            }
+        }
+        OutputFormat::Csv => {
+            let dir = cli.output.as_ref().expect("validated during parsing");
+            fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            let mut written: Vec<PathBuf> = Vec::new();
+            let mut sink = CsvSink::new(|name: &str| {
+                let path = dir.join(format!("{name}.csv"));
+                let file = fs::File::create(&path)?;
+                written.push(path);
+                Ok(BufWriter::new(file))
+            });
+            let summary = engine
+                .stream(reader, options, &mut sink)
+                .map_err(|e| e.to_string())?;
+            drop(sink);
+            for path in &written {
+                writeln!(out, "wrote {}", path.display()).map_err(|e| e.to_string())?;
+            }
+            writeln!(out, "{}", StreamReport::new(&summary).to_json()).map_err(|e| e.to_string())
+        }
     }
 }
 
@@ -562,6 +714,146 @@ mod tests {
         let mut out = Vec::new();
         run(&args(&["cluster", path.to_str().unwrap()]), &mut out).unwrap();
         assert!(String::from_utf8(out).unwrap().contains("clusters"));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parses_stream_flags() {
+        let cli = Cli::parse(&args(&[
+            "extract",
+            "app.log",
+            "--stream",
+            "--format",
+            "json",
+            "--output",
+            "recs.jsonl",
+            "--head-bytes",
+            "4096",
+            "--window-bytes",
+            "1024",
+        ]))
+        .unwrap();
+        assert!(cli.stream);
+        assert_eq!(cli.output.as_ref().unwrap().to_str(), Some("recs.jsonl"));
+        assert_eq!(cli.head_bytes, Some(4096));
+        assert_eq!(cli.window_bytes, Some(1024));
+    }
+
+    #[test]
+    fn stream_flag_validation() {
+        // --stream only with extract; --output requires --stream; streaming csv needs --output.
+        assert!(Cli::parse(&args(&["discover", "x.log", "--stream"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--output", "o"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--window-bytes", "64"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--stream", "--format", "csv"])).is_err());
+        assert!(Cli::parse(&args(&[
+            "extract",
+            "x.log",
+            "--stream",
+            "--window-bytes",
+            "0"
+        ]))
+        .is_err());
+        assert!(Cli::parse(&args(&[
+            "extract",
+            "x.log",
+            "--stream",
+            "--head-bytes",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn stream_summary_end_to_end() {
+        let path = temp_log("stream_summary", &web_log(200));
+        let mut out = Vec::new();
+        run(
+            &args(&[
+                "extract",
+                path.to_str().unwrap(),
+                "--stream",
+                "--head-bytes",
+                "2048",
+                "--window-bytes",
+                "512",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("records: 200"), "{text}");
+        assert!(text.contains("peak window bytes:"), "{text}");
+        assert!(text.contains("type0:"), "{text}");
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stream_jsonl_and_csv_match_in_memory_export() {
+        use datamaran_core::{all_records_jsonl, StreamReport};
+        let log = web_log(150);
+        let path = temp_log("stream_eq", &log);
+        let base =
+            std::env::temp_dir().join(format!("datamaran_cli_stream_{}", std::process::id()));
+        fs::create_dir_all(&base).unwrap();
+
+        // JSON Lines to a file, streaming report on stdout.
+        let jsonl_path = base.join("records.jsonl");
+        let mut out = Vec::new();
+        run(
+            &args(&[
+                "extract",
+                path.to_str().unwrap(),
+                "--stream",
+                "--format",
+                "json",
+                "--output",
+                jsonl_path.to_str().unwrap(),
+                "--window-bytes",
+                "1024",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let report = StreamReport::from_json(String::from_utf8(out).unwrap().trim()).unwrap();
+        assert_eq!(report.records, 150);
+        assert!(report.peak_window_bytes > 0);
+
+        // The streamed bytes equal the in-memory serializer's output.
+        let result = Datamaran::with_defaults().extract(&log).unwrap();
+        assert_eq!(
+            fs::read_to_string(&jsonl_path).unwrap(),
+            all_records_jsonl(&log, &result)
+        );
+
+        // CSV directory: every table byte-identical to the materialized exporter.
+        let csv_dir = base.join("tables");
+        let mut out = Vec::new();
+        run(
+            &args(&[
+                "extract",
+                path.to_str().unwrap(),
+                "--stream",
+                "--format",
+                "csv",
+                "--output",
+                csv_dir.to_str().unwrap(),
+                "--window-bytes",
+                "1024",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("wrote "));
+        for s in &result.structures {
+            for table in &s.relational.tables {
+                let streamed =
+                    fs::read_to_string(csv_dir.join(format!("{}.csv", table.name))).unwrap();
+                assert_eq!(streamed, table_to_csv(table), "table {}", table.name);
+            }
+        }
+
+        fs::remove_dir_all(base).ok();
         fs::remove_file(path).ok();
     }
 

@@ -147,7 +147,8 @@ pub struct DatamaranConfig {
     /// iteration, which occasionally locks onto a "generic" composite template that mixes
     /// several record types (the failure mode discussed in its Appendix 9.4).  With a beam
     /// width of `k`, the top-`k` first-iteration templates are each continued greedily and
-    /// the complete solutions are compared with [`RegularityScorer::score_set`]; `1`
+    /// the complete solutions are compared with
+    /// [`RegularityScorer::score_set`](crate::mdl::RegularityScorer::score_set); `1`
     /// reproduces the paper's pure greedy behaviour.
     pub beam_width: usize,
     /// Upper bound on the number of distinct candidate characters considered by the

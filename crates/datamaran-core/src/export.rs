@@ -1,22 +1,34 @@
-//! Export of extraction results to interchange formats (JSON reports, CSV tables).
+//! Export of extraction results to interchange formats (JSON reports, CSV tables, and
+//! push-based streaming sinks).
 //!
 //! The end goal of structure extraction is to hand the structured data to downstream tools
-//! (§1: "analyzed in conjunction with other datasets").  This module provides the two
-//! formats those tools most commonly ingest:
+//! (§1: "analyzed in conjunction with other datasets").  This module provides the formats
+//! those tools most commonly ingest:
 //!
 //! * a machine-readable **JSON report** ([`ExtractionReport`]) summarizing the discovered
 //!   structure templates, per-column types (both the MDL data types and the semantic types of
 //!   [`crate::semtype`]), coverage, and step timings;
 //! * **CSV** serialization of the relational output ([`table_to_csv`], [`write_table_csv`],
-//!   [`all_tables_csv`]), with RFC-4180-style quoting.
+//!   [`all_tables_csv`]), with RFC-4180-style quoting;
+//! * **JSON Lines** serialization of the per-record values ([`all_records_jsonl`]);
+//! * push-based **streaming sinks** ([`RecordSink`], [`CsvSink`], [`JsonLinesSink`],
+//!   [`CountingSink`], [`Tee`]) fed by
+//!   [`extract_stream_sink`](crate::streaming::extract_stream_sink): records are serialized
+//!   straight from the chunk window's text without ever materializing a [`Table`], and the
+//!   emitted bytes are **identical** to the materialized serializers above (enforced by
+//!   `tests/streaming_export_equivalence.rs`).
 
+use crate::error::Result as CoreResult;
 use crate::fieldtype::FieldType;
-use crate::json::{JsonError, JsonValue};
+use crate::json::{self, JsonError, JsonValue};
+use crate::parser::{FieldCell, RecordMatch};
 use crate::pipeline::{ExtractionResult, PipelineStats};
-use crate::relational::Table;
+use crate::relational::{build_schema, RowIdSynth, Schema, Table};
 use crate::semtype::{
     annotate_table, ColumnAnnotation, CompositeColumn, SemanticType, TableAnnotation,
 };
+use crate::streaming::{StreamRecord, StreamSummary};
+use crate::structure::{Node, StructureTemplate};
 use std::io::{self, Write};
 
 /// Serializable summary of one discovered record type.
@@ -490,6 +502,529 @@ pub fn all_tables_csv(result: &ExtractionResult) -> Vec<(String, String)> {
     out
 }
 
+// -------------------------------------------------------------------------------------------
+// Streaming sinks
+// -------------------------------------------------------------------------------------------
+
+/// A push-based consumer of streaming extraction records.
+///
+/// [`extract_stream_sink`](crate::streaming::extract_stream_sink) drives the sink:
+/// [`begin`](Self::begin) once with the templates discovered on the stream head,
+/// [`record`](Self::record) once per extracted record (a zero-copy [`StreamRecord`] view
+/// over the current chunk window), and [`finish`](Self::finish) once at end of stream.
+/// Sinks compose: [`Tee`] fans one stream out to two sinks, [`CountingSink`] only counts,
+/// [`CsvSink`] and [`JsonLinesSink`] serialize.
+///
+/// Driving one sink across **several** streams is sink-specific: [`CountingSink`] and
+/// [`JsonLinesSink`] reset their counters on every `begin` (the JSON Lines writer keeps
+/// appending), while [`CsvSink`] refuses a second `begin` — its per-table writers and row
+/// ids belong to exactly one stream.
+pub trait RecordSink {
+    /// Receives the discovered structure templates before any record is pushed.
+    fn begin(&mut self, templates: &[StructureTemplate]) -> CoreResult<()>;
+    /// Consumes one record; `record` borrows the current chunk window and is only valid for
+    /// the duration of the call.
+    fn record(&mut self, record: &StreamRecord<'_>) -> CoreResult<()>;
+    /// Flushes any buffered state at end of stream.
+    fn finish(&mut self) -> CoreResult<()>;
+}
+
+/// A sink that counts records per template without writing anything — the cheapest possible
+/// consumer (streaming summaries, throughput benchmarks).
+#[derive(Clone, Debug, Default)]
+pub struct CountingSink {
+    /// Records seen per template index.
+    pub per_template: Vec<usize>,
+    /// Total records seen.
+    pub records: usize,
+}
+
+impl RecordSink for CountingSink {
+    fn begin(&mut self, templates: &[StructureTemplate]) -> CoreResult<()> {
+        self.per_template = vec![0; templates.len()];
+        self.records = 0;
+        Ok(())
+    }
+
+    fn record(&mut self, record: &StreamRecord<'_>) -> CoreResult<()> {
+        if let Some(slot) = self.per_template.get_mut(record.template_index) {
+            *slot += 1;
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> CoreResult<()> {
+        Ok(())
+    }
+}
+
+/// Fans every callback out to two sinks, in order (nest `Tee`s for wider fan-out).
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: RecordSink, B: RecordSink> RecordSink for Tee<A, B> {
+    fn begin(&mut self, templates: &[StructureTemplate]) -> CoreResult<()> {
+        self.0.begin(templates)?;
+        self.1.begin(templates)
+    }
+
+    fn record(&mut self, record: &StreamRecord<'_>) -> CoreResult<()> {
+        self.0.record(record)?;
+        self.1.record(record)
+    }
+
+    fn finish(&mut self) -> CoreResult<()> {
+        self.0.finish()?;
+        self.1.finish()
+    }
+}
+
+/// Per-table incremental CSV row writer: rows of one table always arrive sequentially
+/// (template traversal opens and closes child rows before the next sibling repetition), so
+/// cells can stream out left to right with empty-cell padding for any skipped positions.
+struct CsvTableState<W> {
+    name: String,
+    out: W,
+    n_data: usize,
+    /// Data cells already emitted in the currently open row.
+    filled: usize,
+    /// Row id of the currently open (or most recently closed) row.
+    current_id: usize,
+}
+
+impl<W: Write> CsvTableState<W> {
+    /// Opens a row: synthesized key cells first, exactly like the materializing converter.
+    /// `buf` is the sink's recycled staging buffer — no per-row allocation.
+    fn open_row(
+        &mut self,
+        id: usize,
+        parent: Option<(usize, usize)>,
+        buf: &mut String,
+    ) -> io::Result<()> {
+        use std::fmt::Write as _;
+        self.current_id = id;
+        self.filled = 0;
+        buf.clear();
+        let _ = write!(buf, "{id}");
+        if let Some((parent_id, position)) = parent {
+            let _ = write!(buf, ",{parent_id},{position}");
+        }
+        self.out.write_all(buf.as_bytes())
+    }
+
+    /// Emits the data cell at `position`, padding skipped positions with empty cells.
+    fn data_cell(&mut self, position: usize, text: &str, buf: &mut String) -> io::Result<()> {
+        debug_assert!(position >= self.filled, "cells arrive in column order");
+        if position < self.filled {
+            return Ok(());
+        }
+        while self.filled < position {
+            self.out.write_all(b",")?;
+            self.filled += 1;
+        }
+        buf.clear();
+        buf.push(',');
+        push_csv_cell(buf, text);
+        self.out.write_all(buf.as_bytes())?;
+        self.filled += 1;
+        Ok(())
+    }
+
+    /// Closes the open row: pads the remaining data columns and terminates the line.
+    fn close_row(&mut self) -> io::Result<()> {
+        while self.filled < self.n_data {
+            self.out.write_all(b",")?;
+            self.filled += 1;
+        }
+        self.out.write_all(b"\n")
+    }
+}
+
+/// Streams the **normalized relational output** (one root table per record type plus one
+/// table per array node, linked by synthesized keys) as CSV, byte-identical to running
+/// [`table_to_csv`] on the materialized [`to_relational`](crate::relational::to_relational)
+/// tables — without ever building those tables.
+///
+/// One writer per table is obtained from the factory (called with the table name, e.g.
+/// `type0`, `type0_array0`, in the same order the materialized tables appear in).  Row ids
+/// and foreign keys come from a [`RowIdSynth`] that lives for the whole stream, so the
+/// numbering stays correct across chunk-window boundaries.
+pub struct CsvSink<W: Write, F: FnMut(&str) -> io::Result<W>> {
+    factory: F,
+    templates: Vec<StructureTemplate>,
+    schemas: Vec<Schema>,
+    /// Index of each template's first table in the flat `tables` list.
+    bases: Vec<usize>,
+    tables: Vec<CsvTableState<W>>,
+    synth: RowIdSynth,
+    buf: String,
+}
+
+impl<W: Write, F: FnMut(&str) -> io::Result<W>> CsvSink<W, F> {
+    /// Creates a sink that obtains one writer per normalized table from `factory`.
+    pub fn new(factory: F) -> Self {
+        CsvSink {
+            factory,
+            templates: Vec::new(),
+            schemas: Vec::new(),
+            bases: Vec::new(),
+            tables: Vec::new(),
+            synth: RowIdSynth::default(),
+            buf: String::new(),
+        }
+    }
+
+    /// Consumes the sink, returning every `(table name, writer)` pair in creation order
+    /// (tests and callers that collect output in memory).
+    pub fn into_writers(self) -> Vec<(String, W)> {
+        self.tables.into_iter().map(|t| (t.name, t.out)).collect()
+    }
+}
+
+impl<W: Write, F: FnMut(&str) -> io::Result<W>> RecordSink for CsvSink<W, F> {
+    fn begin(&mut self, templates: &[StructureTemplate]) -> CoreResult<()> {
+        if !self.tables.is_empty() {
+            // A second stream would re-run the factory for the same table names
+            // (truncating the first stream's files) and restart the id numbering.
+            return Err(crate::error::Error::InvalidConfig(
+                "CsvSink cannot be reused across streams; create a new sink per stream".into(),
+            ));
+        }
+        self.templates = templates.to_vec();
+        for (idx, template) in templates.iter().enumerate() {
+            let schema = build_schema(template, &format!("type{idx}"));
+            self.bases.push(self.tables.len());
+            for st in &schema.tables {
+                let mut out = (self.factory)(&st.name)?;
+                self.buf.clear();
+                push_csv_row(&mut self.buf, st.header().iter().map(String::as_str));
+                out.write_all(self.buf.as_bytes())?;
+                self.tables.push(CsvTableState {
+                    name: st.name.clone(),
+                    out,
+                    n_data: st.column_ids.len(),
+                    filled: 0,
+                    current_id: 0,
+                });
+            }
+            self.schemas.push(schema);
+        }
+        self.synth = RowIdSynth::new(self.tables.len());
+        Ok(())
+    }
+
+    fn record(&mut self, record: &StreamRecord<'_>) -> CoreResult<()> {
+        let base = self.bases[record.template_index];
+        let schema = &self.schemas[record.template_index];
+        let template = &self.templates[record.template_index];
+        let mut cells = record.cells.iter();
+        let mut reps = record.reps.iter();
+        let mut array_counter = 0usize;
+        let id = self.synth.next_id(base);
+        self.tables[base].open_row(id, None, &mut self.buf)?;
+        emit_group(
+            template.nodes(),
+            schema,
+            base,
+            0,
+            &mut self.tables,
+            &mut self.synth,
+            record,
+            &mut cells,
+            &mut reps,
+            &mut array_counter,
+            &mut self.buf,
+        )?;
+        self.tables[base].close_row()?;
+        debug_assert!(cells.next().is_none(), "all cells consumed");
+        debug_assert!(reps.next().is_none(), "all repetition counts consumed");
+        Ok(())
+    }
+
+    fn finish(&mut self) -> CoreResult<()> {
+        for t in &mut self.tables {
+            t.out.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Streams the cells and repetition counts of one repetition group into the table rows it
+/// spans, mirroring the materializing converter's recursion exactly: fields land in the
+/// current table's open row, each array repetition opens/fills/closes one child-table row.
+/// Array numbering replays the span engine's static pre-order scheme (every repetition
+/// re-numbers inner arrays from the same base).
+#[allow(clippy::too_many_arguments)]
+fn emit_group<W: Write>(
+    nodes: &[Node],
+    schema: &Schema,
+    base: usize,
+    table: usize,
+    tables: &mut [CsvTableState<W>],
+    synth: &mut RowIdSynth,
+    record: &StreamRecord<'_>,
+    cells: &mut std::slice::Iter<'_, FieldCell>,
+    reps: &mut std::slice::Iter<'_, u32>,
+    array_counter: &mut usize,
+    buf: &mut String,
+) -> io::Result<()> {
+    for node in nodes {
+        match node {
+            Node::Field => {
+                let Some(cell) = cells.next() else {
+                    debug_assert!(false, "cell stream matches template shape");
+                    continue;
+                };
+                if let Some(pos) = schema.tables[table]
+                    .column_ids
+                    .iter()
+                    .position(|c| *c == cell.column)
+                {
+                    tables[base + table].data_cell(pos, record.cell_text(cell), buf)?;
+                }
+            }
+            Node::Literal(_) => {}
+            Node::Array { body, .. } => {
+                let my_id = *array_counter;
+                *array_counter += 1;
+                let count = reps.next().copied().unwrap_or(0) as usize;
+                let child = schema
+                    .tables
+                    .iter()
+                    .position(|t| t.array_id == Some(my_id))
+                    .expect("array table exists for every array node");
+                let parent_id = tables[base + table].current_id;
+                for position in 0..count {
+                    let id = synth.next_id(base + child);
+                    tables[base + child].open_row(id, Some((parent_id, position)), buf)?;
+                    let mut inner = *array_counter;
+                    emit_group(
+                        body, schema, base, child, tables, synth, record, cells, reps, &mut inner,
+                        buf,
+                    )?;
+                    tables[base + child].close_row()?;
+                }
+                *array_counter += body.iter().map(Node::array_count).sum::<usize>();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Streams records as JSON Lines — one object per record, in stream order, of the form
+/// `{"type":0,"lines":[12,14],"columns":[["a"],["x","y"]]}` (one inner array per template
+/// column; array columns carry one entry per repetition).  Byte-identical to
+/// [`all_records_jsonl`] on the materialized extraction of the same stream.
+pub struct JsonLinesSink<W: Write> {
+    out: W,
+    field_counts: Vec<usize>,
+    /// Recycled per-column span buffers (window-relative offsets).
+    spans: Vec<Vec<(usize, usize)>>,
+    buf: String,
+    /// Records written.
+    pub records: usize,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Creates a sink writing JSON Lines to `out` (buffer the writer for files).
+    pub fn new(out: W) -> Self {
+        JsonLinesSink {
+            out,
+            field_counts: Vec::new(),
+            spans: Vec::new(),
+            buf: String::new(),
+            records: 0,
+        }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_writer(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> RecordSink for JsonLinesSink<W> {
+    fn begin(&mut self, templates: &[StructureTemplate]) -> CoreResult<()> {
+        self.field_counts = templates
+            .iter()
+            .map(StructureTemplate::field_count)
+            .collect();
+        let max = self.field_counts.iter().copied().max().unwrap_or(0);
+        self.spans = vec![Vec::new(); max];
+        self.records = 0;
+        Ok(())
+    }
+
+    fn record(&mut self, record: &StreamRecord<'_>) -> CoreResult<()> {
+        let n = self.field_counts[record.template_index];
+        for col in self.spans.iter_mut().take(n) {
+            col.clear();
+        }
+        for cell in record.cells {
+            if cell.column < n {
+                self.spans[cell.column].push((cell.start, cell.end));
+            }
+        }
+        self.buf.clear();
+        push_jsonl_record(
+            &mut self.buf,
+            record.template_index,
+            record.line_span,
+            self.spans[..n]
+                .iter()
+                .map(|col| col.iter().map(|&(s, e)| &record.window[s..e])),
+        );
+        self.out.write_all(self.buf.as_bytes())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> CoreResult<()> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Appends one JSON Lines record — the single formatting routine shared by the streaming
+/// sink and the materialized serializer, which is what makes their outputs byte-identical.
+fn push_jsonl_record<'a, C, V>(
+    out: &mut String,
+    template_index: usize,
+    line_span: (usize, usize),
+    columns: C,
+) where
+    C: IntoIterator<Item = V>,
+    V: IntoIterator<Item = &'a str>,
+{
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"type\":{template_index},\"lines\":[{},{}],\"columns\":[",
+        line_span.0, line_span.1
+    );
+    for (i, col) in columns.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, value) in col.into_iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::escape_into(out, value);
+        }
+        out.push(']');
+    }
+    out.push_str("]}\n");
+}
+
+/// Serializes every extracted record of a materialized [`ExtractionResult`] as JSON Lines,
+/// in document order across all record types — the in-memory counterpart of
+/// [`JsonLinesSink`] (the streaming sink emits exactly these bytes).
+pub fn all_records_jsonl(text: &str, result: &ExtractionResult) -> String {
+    let mut refs: Vec<(usize, &RecordMatch)> = result
+        .structures
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, s)| s.records.iter().map(move |r| (idx, r)))
+        .collect();
+    refs.sort_by_key(|(_, r)| r.line_span.0);
+    let mut out = String::new();
+    let mut columns: Vec<Vec<&str>> = Vec::new();
+    for (idx, rec) in refs {
+        let n = result.structures[idx].template.field_count();
+        // Recycle the inner vectors' capacity: grow to the widest template seen, clear in
+        // place, and use only the first `n` columns for this record.
+        if columns.len() < n {
+            columns.resize_with(n, Vec::new);
+        }
+        for col in &mut columns[..n] {
+            col.clear();
+        }
+        for cell in &rec.fields {
+            if cell.column < n {
+                columns[cell.column].push(&text[cell.start..cell.end]);
+            }
+        }
+        push_jsonl_record(
+            &mut out,
+            idx,
+            rec.line_span,
+            columns[..n].iter().map(|c| c.iter().copied()),
+        );
+    }
+    out
+}
+
+/// The streaming counterpart of [`ExtractionReport`]: a machine-readable summary of one
+/// bounded-memory streaming run (what the CLI's `extract --stream --format json` prints).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamReport {
+    /// Records emitted to the sink.
+    pub records: usize,
+    /// Lines classified as noise.
+    pub noise_lines: usize,
+    /// Total bytes consumed from the stream.
+    pub bytes_processed: usize,
+    /// Total lines consumed from the stream.
+    pub lines_processed: usize,
+    /// Chunk windows processed.
+    pub windows: usize,
+    /// Peak resident window bytes (see
+    /// [`StreamSummary::peak_window_bytes`]).
+    pub peak_window_bytes: usize,
+    /// Wall-clock seconds spent inside the sink callbacks.
+    pub sink_seconds: f64,
+    /// Human-readable renderings of the discovered structure templates.
+    pub templates: Vec<String>,
+}
+
+impl StreamReport {
+    /// Builds the report from a streaming run's summary.
+    pub fn new(summary: &StreamSummary) -> Self {
+        StreamReport {
+            records: summary.records,
+            noise_lines: summary.noise_lines,
+            bytes_processed: summary.bytes_processed,
+            lines_processed: summary.lines_processed,
+            windows: summary.windows,
+            peak_window_bytes: summary.peak_window_bytes,
+            sink_seconds: summary.sink_seconds,
+            templates: summary.templates.iter().map(|t| t.to_string()).collect(),
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        JsonValue::Object(vec![
+            ("records".into(), num(self.records)),
+            ("noise_lines".into(), num(self.noise_lines)),
+            ("bytes_processed".into(), num(self.bytes_processed)),
+            ("lines_processed".into(), num(self.lines_processed)),
+            ("windows".into(), num(self.windows)),
+            ("peak_window_bytes".into(), num(self.peak_window_bytes)),
+            ("sink_seconds".into(), JsonValue::Number(self.sink_seconds)),
+            ("templates".into(), strings(&self.templates)),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let v = JsonValue::parse(text)?;
+        Ok(StreamReport {
+            records: v.require("records")?.as_usize()?,
+            noise_lines: v.require("noise_lines")?.as_usize()?,
+            bytes_processed: v.require("bytes_processed")?.as_usize()?,
+            lines_processed: v.require("lines_processed")?.as_usize()?,
+            windows: v.require("windows")?.as_usize()?,
+            peak_window_bytes: v.require("peak_window_bytes")?.as_usize()?,
+            sink_seconds: v.require("sink_seconds")?.as_f64()?,
+            templates: string_vec(v.require("templates")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,6 +1141,120 @@ mod tests {
         let mut buf = Vec::new();
         write_table_csv(&t, &mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), "x\n1\n");
+    }
+
+    #[test]
+    fn jsonl_record_format_is_stable_and_escaped() {
+        let mut out = String::new();
+        push_jsonl_record(
+            &mut out,
+            1,
+            (3, 5),
+            [vec!["a"], vec!["x", "y\"z\n"]]
+                .iter()
+                .map(|c| c.iter().copied()),
+        );
+        assert_eq!(
+            out,
+            "{\"type\":1,\"lines\":[3,5],\"columns\":[[\"a\"],[\"x\",\"y\\\"z\\n\"]]}\n"
+        );
+    }
+
+    #[test]
+    fn stream_report_round_trips() {
+        let report = StreamReport {
+            records: 12,
+            noise_lines: 3,
+            bytes_processed: 4096,
+            lines_processed: 15,
+            windows: 4,
+            peak_window_bytes: 2048,
+            sink_seconds: 0.25,
+            templates: vec!["F=F\\n".into()],
+        };
+        let back = StreamReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn streaming_sinks_match_materialized_serializers() {
+        use crate::streaming::{extract_stream_sink, StreamOptions};
+        use std::io::Cursor;
+        let text = sample_log();
+        let engine = Datamaran::with_defaults();
+        let result = engine.extract(&text).unwrap();
+
+        let mut sink = Tee(
+            CsvSink::new(|_name: &str| Ok(Vec::<u8>::new())),
+            Tee(
+                JsonLinesSink::new(Vec::<u8>::new()),
+                CountingSink::default(),
+            ),
+        );
+        let summary = extract_stream_sink(
+            &engine,
+            Cursor::new(text.clone()),
+            StreamOptions {
+                head_bytes: 512,
+                window_bytes: 256,
+            },
+            &mut sink,
+        )
+        .unwrap();
+        let Tee(csv, Tee(jsonl, counter)) = sink;
+        assert_eq!(counter.records, result.record_count());
+        assert_eq!(counter.per_template, vec![result.record_count()]);
+        assert_eq!(summary.records, counter.records);
+
+        // CSV: byte-identical to the materialized normalized tables.
+        let streamed = csv.into_writers();
+        let materialized: Vec<(&str, String)> = result
+            .structures
+            .iter()
+            .flat_map(|s| s.relational.tables.iter())
+            .map(|t| (t.name.as_str(), table_to_csv(t)))
+            .collect();
+        assert_eq!(streamed.len(), materialized.len());
+        for ((name, bytes), (expected_name, expected)) in streamed.iter().zip(&materialized) {
+            assert_eq!(name, expected_name);
+            assert_eq!(std::str::from_utf8(bytes).unwrap(), expected, "{name}");
+        }
+
+        // JSON Lines: byte-identical to the materialized serializer.
+        let jsonl_bytes = jsonl.into_writer();
+        assert_eq!(
+            String::from_utf8(jsonl_bytes).unwrap(),
+            all_records_jsonl(&text, &result)
+        );
+    }
+
+    #[test]
+    fn csv_sink_refuses_reuse_across_streams() {
+        use crate::streaming::{extract_stream_sink, StreamOptions};
+        use std::io::Cursor;
+        let text = sample_log();
+        let engine = Datamaran::with_defaults();
+        let mut sink = CsvSink::new(|_name: &str| Ok(Vec::<u8>::new()));
+        extract_stream_sink(
+            &engine,
+            Cursor::new(text.clone()),
+            StreamOptions::default(),
+            &mut sink,
+        )
+        .unwrap();
+        // Driving the same sink for a second stream would truncate the first stream's
+        // files and restart the row ids — it must fail loudly instead.
+        let err = extract_stream_sink(
+            &engine,
+            Cursor::new(text),
+            StreamOptions::default(),
+            &mut sink,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, crate::error::Error::InvalidConfig(_)),
+            "{err}"
+        );
     }
 
     #[test]

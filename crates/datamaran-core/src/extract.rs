@@ -712,7 +712,7 @@ impl SpanLineMatcher {
         out
     }
 
-    /// [`parse`](Self::parse) into a caller-owned (recyclable) output parse.
+    /// Greedy segmentation of the whole dataset into a caller-owned (recyclable) parse.
     pub fn parse_into(&self, dataset: &Dataset, out: &mut SpanParse) {
         out.clear();
         let n = dataset.line_count();

@@ -185,6 +185,13 @@ fn format_number(n: f64) -> String {
     }
 }
 
+/// Appends `s` to `out` as a quoted, RFC-8259-escaped JSON string literal.  Exposed so the
+/// streaming JSON Lines sink ([`crate::export::JsonLinesSink`]) emits exactly the escapes
+/// the tree emitter produces, without building a [`JsonValue`] per record.
+pub fn escape_into(out: &mut String, s: &str) {
+    write_escaped(out, s);
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {

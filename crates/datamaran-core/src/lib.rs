@@ -75,7 +75,10 @@ pub use config::{
 };
 pub use dataset::Dataset;
 pub use error::{Error, Result};
-pub use export::{all_tables_csv, table_to_csv, write_table_csv, ExtractionReport};
+pub use export::{
+    all_records_jsonl, all_tables_csv, csv_quote, table_to_csv, write_table_csv, CountingSink,
+    CsvSink, ExtractionReport, JsonLinesSink, RecordSink, StreamReport, Tee,
+};
 pub use extract::{
     compile, decompile, extract_records, parse_dataset_span, parse_dataset_span_into,
     parse_dataset_span_parallel, CompiledTemplate, Op, SpanLineMatcher, SpanParse, SpanRecord,
@@ -88,7 +91,9 @@ pub use intern::{TemplateId, TemplateInterner};
 pub use json::{JsonError, JsonValue};
 pub use mdl::{CoverageScorer, MdlScorer, RegularityScorer};
 pub use parallel::{parse_dataset_parallel, ParallelOptions};
-pub use parser::{parse_dataset, FieldCell, LineMatcher, ParseResult, RecordMatch, ValueTree};
+pub use parser::{
+    parse_dataset, tree_reps, FieldCell, LineMatcher, ParseResult, RecordMatch, ValueTree,
+};
 pub use pipeline::{Datamaran, ExtractedStructure, ExtractionResult, PipelineStats, StepTimings};
 pub use record::{field_values, FieldValue, RecordTemplate, TemplateToken};
 pub use reduce::reduce;
@@ -96,9 +101,12 @@ pub use refine::{
     collect_array_paths, repetition_counts, repetition_counts_span, shift_variants, unfold_at,
     EvaluationMetrics, ParseSummary, Refined, Refiner,
 };
-pub use relational::{to_denormalized, to_relational, Cell, RelationalOutput, Table};
+pub use relational::{to_denormalized, to_relational, Cell, RelationalOutput, RowIdSynth, Table};
 pub use scores::{NoisePenaltyScorer, NonFieldCoverageScorer, UntypedMdlScorer};
 pub use semtype::{annotate_result, annotate_table, SemanticType, TableAnnotation};
 pub use span::{field_spans, tokenize_spans, LineIndex, SpanToken, SpanTokenKind};
-pub use streaming::{extract_stream, OwnedRecord, StreamOptions, StreamSummary};
+pub use streaming::{
+    extract_stream, extract_stream_sink, extract_stream_with_templates, OwnedRecord, StreamOptions,
+    StreamRecord, StreamSummary,
+};
 pub use structure::{Node, StructureTemplate};

@@ -77,6 +77,23 @@ impl RecordMatch {
     }
 }
 
+/// Appends the array repetition counts of an instantiation tree to `out`, in the pre-order
+/// arena layout of the span engine (each array occurrence contributes its count before the
+/// counts of the arrays inside its groups).  This is the inverse of the span engine's tree
+/// materialization: `template shape + flat cells + these counts` fully determines the tree,
+/// which is what lets the streaming sinks consume legacy-backend matches through the same
+/// flat-record interface as span-backend matches.
+pub fn tree_reps(values: &[ValueTree], out: &mut Vec<u32>) {
+    for v in values {
+        if let ValueTree::Array { groups, .. } = v {
+            out.push(groups.len() as u32);
+            for group in groups {
+                tree_reps(group, out);
+            }
+        }
+    }
+}
+
 /// Segmentation of a dataset into records of the supplied templates and noise lines.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ParseResult {

@@ -163,6 +163,20 @@ impl Datamaran {
         self.extract_with_scorer(text, &MdlScorer)
     }
 
+    /// Runs bounded-memory streaming extraction over `reader`, pushing every record into
+    /// `sink` — the out-of-core counterpart of [`extract`](Self::extract): structure is
+    /// discovered on the stream head, then the whole stream is extracted window by window
+    /// in `O(head + window)` memory.  See
+    /// [`extract_stream_sink`](crate::streaming::extract_stream_sink).
+    pub fn stream<R: std::io::BufRead, S: crate::export::RecordSink + ?Sized>(
+        &self,
+        reader: R,
+        options: crate::streaming::StreamOptions,
+        sink: &mut S,
+    ) -> Result<crate::streaming::StreamSummary> {
+        crate::streaming::extract_stream_sink(self, reader, options, sink)
+    }
+
     /// Runs the full pipeline with a caller-supplied regularity score function.
     pub fn extract_with_scorer<S: RegularityScorer>(
         &self,

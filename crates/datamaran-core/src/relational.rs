@@ -164,29 +164,77 @@ impl RelationalOutput {
     }
 }
 
-/// Schema information for one table derived from the template tree.
+/// Schema information for one table derived from the template tree.  Crate-visible so the
+/// streaming CSV sink ([`crate::export::CsvSink`]) can emit rows with exactly the layout
+/// the materializing converter below produces.
 #[derive(Clone, Debug)]
-struct SchemaTable {
-    name: String,
+pub(crate) struct SchemaTable {
+    pub(crate) name: String,
     /// Global column ids (field-leaf indices) stored directly in this table.
-    column_ids: Vec<usize>,
+    pub(crate) column_ids: Vec<usize>,
     /// The array node (pre-order id) this table corresponds to; `None` for the root.
-    array_id: Option<usize>,
+    pub(crate) array_id: Option<usize>,
     /// Index of the parent table in the schema.
-    parent: Option<usize>,
+    pub(crate) parent: Option<usize>,
+}
+
+impl SchemaTable {
+    /// The full header row: synthesized key columns followed by `field_{c}` data columns.
+    /// Single source of truth for both the materialized tables and the streaming sinks.
+    pub(crate) fn header(&self) -> Vec<String> {
+        let mut columns = vec!["id".to_string()];
+        if self.parent.is_some() {
+            columns.push("parent_id".to_string());
+            columns.push("position".to_string());
+        }
+        columns.extend(self.column_ids.iter().map(|c| format!("field_{c}")));
+        columns
+    }
 }
 
 /// Flattened schema of a structure template.
 #[derive(Clone, Debug)]
-struct Schema {
-    tables: Vec<SchemaTable>,
+pub(crate) struct Schema {
+    pub(crate) tables: Vec<SchemaTable>,
     /// For every column id, the separator of the innermost enclosing array (if any);
     /// used when denormalizing.
-    column_separator: Vec<Option<char>>,
-    n_columns: usize,
+    pub(crate) column_separator: Vec<Option<char>>,
+    pub(crate) n_columns: usize,
 }
 
-fn build_schema(template: &StructureTemplate, type_name: &str) -> Schema {
+/// Synthesizes the key columns (`id`, `parent_id`, `position`) of the normalized tables:
+/// one running row counter per table.  The materializing converter derives ids implicitly
+/// from the in-memory row count; the streaming export path cannot (rows leave the process
+/// as soon as they are written), so the counters live here and **persist across chunk
+/// windows** — a record emitted from window 17 continues the numbering started in window 0,
+/// which is what keeps foreign keys correct on out-of-core streams.
+#[derive(Clone, Debug, Default)]
+pub struct RowIdSynth {
+    next: Vec<usize>,
+}
+
+impl RowIdSynth {
+    /// A synthesizer for `n_tables` tables, all counters at zero.
+    pub fn new(n_tables: usize) -> Self {
+        RowIdSynth {
+            next: vec![0; n_tables],
+        }
+    }
+
+    /// Takes the next row id of `table` (ids are dense, starting at 0).
+    pub fn next_id(&mut self, table: usize) -> usize {
+        let id = self.next[table];
+        self.next[table] += 1;
+        id
+    }
+
+    /// Number of rows synthesized so far for `table`.
+    pub fn row_count(&self, table: usize) -> usize {
+        self.next[table]
+    }
+}
+
+pub(crate) fn build_schema(template: &StructureTemplate, type_name: &str) -> Schema {
     let mut schema = Schema {
         tables: vec![SchemaTable {
             name: type_name.to_string(),
@@ -270,19 +318,20 @@ pub fn to_relational(
     let mut tables: Vec<Table> = schema
         .tables
         .iter()
-        .map(|t| {
-            let mut columns = vec!["id".to_string()];
-            if t.parent.is_some() {
-                columns.push("parent_id".to_string());
-                columns.push("position".to_string());
-            }
-            columns.extend(t.column_ids.iter().map(|c| format!("field_{c}")));
-            Table::new(t.name.clone(), columns, Arc::clone(source))
-        })
+        .map(|t| Table::new(t.name.clone(), t.header(), Arc::clone(source)))
         .collect();
 
+    let mut synth = RowIdSynth::new(schema.tables.len());
     for record in records {
-        fill_row(&schema, &mut tables, 0, None, None, &record.values);
+        fill_row(
+            &schema,
+            &mut tables,
+            &mut synth,
+            0,
+            None,
+            None,
+            &record.values,
+        );
     }
 
     RelationalOutput { tables }
@@ -292,12 +341,14 @@ pub fn to_relational(
 fn fill_row(
     schema: &Schema,
     tables: &mut Vec<Table>,
+    synth: &mut RowIdSynth,
     table_idx: usize,
     parent_row: Option<usize>,
     position: Option<usize>,
     values: &[ValueTree],
 ) -> usize {
-    let row_idx = tables[table_idx].rows.len();
+    let row_idx = synth.next_id(table_idx);
+    debug_assert_eq!(row_idx, tables[table_idx].rows.len(), "ids are row indices");
     let meta_cols = if parent_row.is_some() { 3 } else { 1 };
     let n_data_cols = schema.tables[table_idx].column_ids.len();
     let mut row: Vec<Cell> = vec![Cell::Owned(String::new()); meta_cols + n_data_cols];
@@ -308,13 +359,14 @@ fn fill_row(
     }
     tables[table_idx].rows.push(row);
 
-    fill_values(schema, tables, table_idx, row_idx, meta_cols, values);
+    fill_values(schema, tables, synth, table_idx, row_idx, meta_cols, values);
     row_idx
 }
 
 fn fill_values(
     schema: &Schema,
     tables: &mut Vec<Table>,
+    synth: &mut RowIdSynth,
     table_idx: usize,
     row_idx: usize,
     meta_cols: usize,
@@ -342,7 +394,15 @@ fn fill_values(
                     .position(|t| t.array_id == Some(*array_id))
                     .expect("array table exists for every array node");
                 for (gi, group) in groups.iter().enumerate() {
-                    fill_row(schema, tables, child_idx, Some(row_idx), Some(gi), group);
+                    fill_row(
+                        schema,
+                        tables,
+                        synth,
+                        child_idx,
+                        Some(row_idx),
+                        Some(gi),
+                        group,
+                    );
                 }
             }
         }
@@ -564,6 +624,18 @@ mod tests {
         assert_eq!(spans, owned);
         let other = Table::from_strings("t", vec!["x".into()], vec![vec!["world".into()]]);
         assert_ne!(spans, other);
+    }
+
+    #[test]
+    fn row_id_synth_continues_numbering_across_batches() {
+        let mut synth = RowIdSynth::new(2);
+        assert_eq!(synth.next_id(0), 0);
+        assert_eq!(synth.next_id(1), 0);
+        assert_eq!(synth.next_id(0), 1);
+        // A later chunk window continues the numbering instead of restarting it.
+        assert_eq!(synth.next_id(0), 2);
+        assert_eq!(synth.row_count(0), 3);
+        assert_eq!(synth.row_count(1), 1);
     }
 
     #[test]

@@ -6,30 +6,39 @@
 //! megabytes this is wasteful: once the structure templates are known, extraction only ever
 //! needs a window of at most `L` lines.
 //!
-//! [`extract_stream`] implements that observation:
+//! [`extract_stream_sink`] implements that observation end to end:
 //!
 //! 1. a bounded *head* of the stream is buffered and run through the normal pipeline to
 //!    discover the structure templates;
 //! 2. the rest of the stream is processed window by window: each window is parsed with the
 //!    discovered templates, every record that provably cannot be affected by unseen input
-//!    (i.e. ends more than `L` lines before the window's end) is emitted to the caller's
-//!    sink, and only the undecided tail is carried over to the next window.
+//!    (i.e. ends more than `L` lines before the window's end) is pushed into the caller's
+//!    [`RecordSink`], and only the undecided tail is carried over to the next window.
 //!
-//! Memory is therefore bounded by the head size plus one window, independent of the total
-//! stream length, and the emitted segmentation is identical to what the in-memory extractor
-//! would produce on the concatenated input (checked by tests).
+//! Records reach the sink as [`StreamRecord`]s — zero-copy views over the current window's
+//! text plus the recycled match arenas (flat field cells and array repetition counts, the
+//! span engine's native output).  The CSV / JSON Lines sinks of [`crate::export`] serialize
+//! straight from those views, so the full path from disk to sink never materializes a
+//! [`Table`](crate::relational::Table) and never holds more than the head or one window of
+//! input text.  Memory is therefore bounded by `O(head + window)`, independent of the total
+//! stream length ([`StreamSummary::peak_window_bytes`] records the observed bound and the
+//! benchmark gate enforces it), and the emitted segmentation is identical to what the
+//! in-memory extractor would produce on the concatenated input (checked by tests and by
+//! `tests/streaming_export_equivalence.rs`).
 
 use crate::config::ExtractionBackend;
 use crate::dataset::Dataset;
 use crate::error::{Error, Result};
+use crate::export::RecordSink;
 use crate::extract::{SpanLineMatcher, SpanScratch};
-use crate::parser::{FieldCell, LineMatcher};
+use crate::parser::{tree_reps, FieldCell, LineMatcher};
 use crate::pipeline::Datamaran;
 use crate::structure::StructureTemplate;
 use std::io::BufRead;
+use std::time::Instant;
 
-/// The slice of a record match the streaming loop needs; field cells land in a reusable
-/// caller-supplied buffer instead of per-record vectors.
+/// The slice of a record match the streaming loop needs; field cells and repetition counts
+/// land in reusable caller-supplied buffers instead of per-record vectors.
 struct WindowRecord {
     template_index: usize,
     line_span: (usize, usize),
@@ -37,10 +46,11 @@ struct WindowRecord {
 
 /// Per-window matcher honouring the engine's configured extraction backend (both produce
 /// identical matches; the span matcher never materializes instantiation trees — cells go
-/// straight from the op-table run into the reused buffer).
+/// straight from the op-table run into the reused buffers).  Built **once** per stream:
+/// template compilation is hoisted out of the window loop.
 enum WindowMatcher<'a> {
     Legacy(LineMatcher<'a>),
-    Span(Box<SpanLineMatcher>, SpanScratch, Vec<u32>),
+    Span(Box<SpanLineMatcher>, SpanScratch),
 }
 
 impl<'a> WindowMatcher<'a> {
@@ -56,36 +66,37 @@ impl<'a> WindowMatcher<'a> {
             ExtractionBackend::Span => WindowMatcher::Span(
                 Box::new(SpanLineMatcher::new(templates, max_span)),
                 SpanScratch::default(),
-                Vec::new(),
             ),
         }
     }
 
     /// Attempts to match one record starting at `line`; on success `cells` holds exactly
-    /// the record's field cells.
+    /// the record's field cells and `reps` its array repetition counts (pre-order arena
+    /// layout, identical across backends).
     fn match_line(
         &mut self,
         dataset: &Dataset,
         line: usize,
         cells: &mut Vec<FieldCell>,
+        reps: &mut Vec<u32>,
     ) -> Option<WindowRecord> {
         cells.clear();
+        reps.clear();
         match self {
             WindowMatcher::Legacy(m) => m.match_line(dataset, line).map(|rec| {
                 cells.extend_from_slice(&rec.fields);
+                tree_reps(&rec.values, reps);
                 WindowRecord {
                     template_index: rec.template_index,
                     line_span: rec.line_span,
                 }
             }),
-            WindowMatcher::Span(m, scratch, reps) => {
-                reps.clear();
-                m.match_line_into(dataset, line, cells, reps, scratch)
-                    .map(|rec| WindowRecord {
-                        template_index: rec.template_index as usize,
-                        line_span: rec.line_span,
-                    })
-            }
+            WindowMatcher::Span(m, scratch) => m
+                .match_line_into(dataset, line, cells, reps, scratch)
+                .map(|rec| WindowRecord {
+                    template_index: rec.template_index as usize,
+                    line_span: rec.line_span,
+                }),
         }
     }
 }
@@ -109,7 +120,9 @@ impl Default for StreamOptions {
     }
 }
 
-/// One record emitted by the streaming extractor, with owned column values.
+/// One record emitted by the streaming extractor, with owned column values (the convenience
+/// representation of [`extract_stream`]; sinks on the hot path consume the zero-copy
+/// [`StreamRecord`] instead).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OwnedRecord {
     /// Index of the structure template (in [`StreamSummary::templates`]) that matched.
@@ -119,6 +132,33 @@ pub struct OwnedRecord {
     /// One vector of values per template column; array columns carry one entry per
     /// repetition, scalar columns exactly one.
     pub columns: Vec<Vec<String>>,
+}
+
+/// One record as a [`RecordSink`] sees it: a zero-copy view over the current chunk window's
+/// text and the recycled match arenas.  Everything the record contains is here — the
+/// instantiation tree is fully determined by the template shape plus `cells` and `reps`
+/// (the same encoding as [`crate::extract::SpanParse`]).
+#[derive(Clone, Copy, Debug)]
+pub struct StreamRecord<'a> {
+    /// Index of the structure template (in the slice passed to [`RecordSink::begin`]) that
+    /// matched.
+    pub template_index: usize,
+    /// Line span of the record in the whole stream (0-based, half-open).
+    pub line_span: (usize, usize),
+    /// Text of the current chunk window; [`Self::cells`] offsets point into it.
+    pub window: &'a str,
+    /// The record's field cells, in match order, with window-relative byte offsets.
+    pub cells: &'a [FieldCell],
+    /// Array repetition counts, in the span engine's pre-order arena layout.
+    pub reps: &'a [u32],
+}
+
+impl<'a> StreamRecord<'a> {
+    /// Resolves one field cell against the window text.
+    #[inline]
+    pub fn cell_text(&self, cell: &FieldCell) -> &'a str {
+        &self.window[cell.start..cell.end]
+    }
 }
 
 /// Summary of a streaming extraction run.
@@ -134,73 +174,187 @@ pub struct StreamSummary {
     pub bytes_processed: usize,
     /// Total lines consumed from the stream.
     pub lines_processed: usize,
+    /// Number of chunk windows processed (including the head window).
+    pub windows: usize,
+    /// Peak bytes of stream text resident at once: the carry buffer's capacity plus the
+    /// current window's dataset copy, maximized over all windows.  This is the quantity the
+    /// `O(head + window)` memory bound is about (the transient head-discovery structures
+    /// are bounded by [`StreamOptions::head_bytes`] and not tracked here).
+    pub peak_window_bytes: usize,
+    /// Wall-clock seconds spent inside the sink's callbacks: exact for `begin`/`finish`,
+    /// estimated from a 1-in-32 sample of the per-record calls (timing every record would
+    /// put two clock reads on the hot path of the very throughput the CI gate measures).
+    pub sink_seconds: f64,
 }
 
-/// Runs streaming extraction over `reader`, invoking `sink` for every record.
+/// Runs streaming extraction over `reader`, invoking `sink` with an owned copy of every
+/// record.  Convenience wrapper over [`extract_stream_sink`] for callers that want plain
+/// closures; the push-based sink API avoids the per-record `String` allocations.
+pub fn extract_stream<R: BufRead, F: FnMut(OwnedRecord)>(
+    engine: &Datamaran,
+    reader: R,
+    options: StreamOptions,
+    sink: F,
+) -> Result<StreamSummary> {
+    struct ClosureSink<F> {
+        f: F,
+        field_counts: Vec<usize>,
+    }
+    impl<F: FnMut(OwnedRecord)> RecordSink for ClosureSink<F> {
+        fn begin(&mut self, templates: &[StructureTemplate]) -> Result<()> {
+            self.field_counts = templates
+                .iter()
+                .map(StructureTemplate::field_count)
+                .collect();
+            Ok(())
+        }
+        fn record(&mut self, rec: &StreamRecord<'_>) -> Result<()> {
+            let n = self.field_counts[rec.template_index];
+            let mut columns: Vec<Vec<String>> = vec![Vec::new(); n];
+            for cell in rec.cells {
+                if cell.column < n {
+                    columns[cell.column].push(rec.cell_text(cell).to_string());
+                }
+            }
+            (self.f)(OwnedRecord {
+                template_index: rec.template_index,
+                line_span: rec.line_span,
+                columns,
+            });
+            Ok(())
+        }
+        fn finish(&mut self) -> Result<()> {
+            Ok(())
+        }
+    }
+    let mut adapter = ClosureSink {
+        f: sink,
+        field_counts: Vec::new(),
+    };
+    extract_stream_sink(engine, reader, options, &mut adapter)
+}
+
+/// Runs streaming extraction over `reader`, pushing every record into `sink`.
 ///
 /// Structure is discovered on the first [`StreamOptions::head_bytes`] of the stream with the
-/// supplied engine's configuration; the whole stream is then extracted window by window.
-pub fn extract_stream<R: BufRead, F: FnMut(OwnedRecord)>(
+/// supplied engine's configuration ([`RecordSink::begin`] receives the discovered
+/// templates); the whole stream is then extracted window by window and each record is pushed
+/// as a zero-copy [`StreamRecord`].  Memory stays `O(head + window)` for any stream length.
+pub fn extract_stream_sink<R: BufRead, S: RecordSink + ?Sized>(
     engine: &Datamaran,
     mut reader: R,
     options: StreamOptions,
-    mut sink: F,
+    sink: &mut S,
 ) -> Result<StreamSummary> {
-    let max_span = engine.config().max_line_span;
-
     // Phase 1: buffer the head and discover structure on it.
     let mut buffer = String::new();
-    let mut eof = read_until_size(&mut reader, &mut buffer, options.head_bytes)?;
+    let eof = read_until_size(&mut reader, &mut buffer, options.head_bytes)?;
     if buffer.is_empty() {
         return Err(Error::EmptyDataset);
     }
     let head_result = engine.extract(&buffer)?;
     let templates: Vec<StructureTemplate> = head_result.templates().into_iter().cloned().collect();
+    drop(head_result);
+    stream_windows(engine, reader, options, templates, buffer, eof, sink)
+}
+
+/// Runs streaming extraction over `reader` with **known** structure templates, skipping
+/// head discovery — for callers that extract many files of the same format (discover once,
+/// stream each file) and for benchmarks that isolate the windowed extract-and-export path.
+/// Record emission is identical to [`extract_stream_sink`] when given the templates it
+/// would have discovered.
+pub fn extract_stream_with_templates<R: BufRead, S: RecordSink + ?Sized>(
+    engine: &Datamaran,
+    mut reader: R,
+    options: StreamOptions,
+    templates: Vec<StructureTemplate>,
+    sink: &mut S,
+) -> Result<StreamSummary> {
+    let mut buffer = String::new();
+    let eof = read_until_size(&mut reader, &mut buffer, options.window_bytes.max(1))?;
+    if buffer.is_empty() {
+        return Err(Error::EmptyDataset);
+    }
+    stream_windows(engine, reader, options, templates, buffer, eof, sink)
+}
+
+/// Phase 2 of the streaming extractor: window-by-window extraction of an already-started
+/// stream (`buffer` holds the first window, `eof` whether the reader is exhausted).
+fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
+    engine: &Datamaran,
+    mut reader: R,
+    options: StreamOptions,
+    templates: Vec<StructureTemplate>,
+    mut buffer: String,
+    mut eof: bool,
+    sink: &mut S,
+) -> Result<StreamSummary> {
     if templates.is_empty() {
         return Err(Error::NoStructureFound);
     }
-
+    let max_span = engine.config().max_line_span;
     let mut summary = StreamSummary {
         templates: templates.clone(),
         ..Default::default()
     };
     let matcher_templates = templates;
+    // Compile the templates once; the matcher is reused across every window.
+    let mut matcher = WindowMatcher::new(
+        &matcher_templates,
+        max_span,
+        engine.config().extraction_backend,
+    );
+    let mut sink_seconds = 0.0f64;
+    let timed = Instant::now();
+    sink.begin(&matcher_templates)?;
+    sink_seconds += timed.elapsed().as_secs_f64();
+
+    // Per-record sink time is sampled (1 in 32) so the instrumentation itself stays off
+    // the hot path; the estimate scales the sampled time by the call count.
+    const SINK_TIMING_SAMPLE: usize = 32;
+    let mut sink_calls = 0usize;
+    let mut sampled_calls = 0usize;
+    let mut sampled_secs = 0.0f64;
+
     let mut global_line = 0usize;
+    let mut cells: Vec<FieldCell> = Vec::new();
+    let mut reps: Vec<u32> = Vec::new();
 
     // Phase 2: window-by-window extraction.
     loop {
         let dataset = Dataset::new(buffer.as_str());
-        let mut matcher = WindowMatcher::new(
-            &matcher_templates,
-            max_span,
-            engine.config().extraction_backend,
-        );
+        summary.windows += 1;
+        summary.peak_window_bytes = summary
+            .peak_window_bytes
+            .max(buffer.capacity() + dataset.len());
         let n = dataset.line_count();
         // Lines at or after `safe_limit` may still be the head of a record whose tail has not
         // been read yet; they are only decided once the stream is exhausted.
         let safe_limit = if eof { n } else { n.saturating_sub(max_span) };
 
-        let mut cells: Vec<FieldCell> = Vec::new();
         let mut line = 0usize;
         while line < n {
-            match matcher.match_line(&dataset, line, &mut cells) {
+            match matcher.match_line(&dataset, line, &mut cells, &mut reps) {
                 Some(rec) => {
                     if !eof && rec.line_span.1 > safe_limit {
                         break;
                     }
-                    let field_count = matcher_templates[rec.template_index].field_count();
-                    let mut columns: Vec<Vec<String>> = vec![Vec::new(); field_count];
-                    for cell in &cells {
-                        if cell.column < field_count {
-                            columns[cell.column]
-                                .push(dataset.text()[cell.start..cell.end].to_string());
-                        }
-                    }
-                    sink(OwnedRecord {
+                    let record = StreamRecord {
                         template_index: rec.template_index,
                         line_span: (global_line + rec.line_span.0, global_line + rec.line_span.1),
-                        columns,
-                    });
+                        window: dataset.text(),
+                        cells: &cells,
+                        reps: &reps,
+                    };
+                    if sink_calls.is_multiple_of(SINK_TIMING_SAMPLE) {
+                        let timed = Instant::now();
+                        sink.record(&record)?;
+                        sampled_secs += timed.elapsed().as_secs_f64();
+                        sampled_calls += 1;
+                    } else {
+                        sink.record(&record)?;
+                    }
+                    sink_calls += 1;
                     summary.records += 1;
                     line = rec.line_span.1;
                 }
@@ -240,6 +394,13 @@ pub fn extract_stream<R: BufRead, F: FnMut(OwnedRecord)>(
         eof = read_until_size(&mut reader, &mut buffer, options.window_bytes.max(1))?;
     }
 
+    let timed = Instant::now();
+    sink.finish()?;
+    sink_seconds += timed.elapsed().as_secs_f64();
+    if sampled_calls > 0 {
+        sink_seconds += sampled_secs * sink_calls as f64 / sampled_calls as f64;
+    }
+    summary.sink_seconds = sink_seconds;
     Ok(summary)
 }
 
@@ -311,6 +472,7 @@ mod tests {
         assert_eq!(summary.noise_lines, in_memory.noise_lines.len());
         assert_eq!(summary.bytes_processed, text.len());
         assert_eq!(streamed.len(), summary.records);
+        assert!(summary.windows > 1);
     }
 
     #[test]
@@ -423,5 +585,156 @@ mod tests {
         .unwrap();
         assert!(!summary.templates.is_empty());
         assert_eq!(summary.lines_processed, text.lines().count());
+        assert!(summary.peak_window_bytes >= text.len());
+        assert_eq!(summary.windows, 1);
+    }
+
+    /// A record whose last line ends exactly at the chunk edge: the window boundary falls
+    /// on a record boundary, so the carry-over tail is empty — the next window must resume
+    /// cleanly and the record must be emitted exactly once.
+    #[test]
+    fn record_ending_exactly_at_chunk_edge() {
+        let engine = Datamaran::with_defaults();
+        let line = "key=abc;val=123\n";
+        let text: String = line.repeat(400);
+        // `read_until_size` reads whole lines until >= target bytes, so a window target
+        // that is an exact multiple of the record length makes every window end exactly
+        // at a record's final newline.
+        let options = StreamOptions {
+            head_bytes: line.len() * 64,
+            window_bytes: line.len() * 8,
+        };
+        let mut streamed = Vec::new();
+        let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |r| {
+            streamed.push(r)
+        })
+        .unwrap();
+        assert_eq!(summary.records, 400);
+        assert_eq!(summary.noise_lines, 0);
+        assert_eq!(summary.bytes_processed, text.len());
+        // Exactly once, in order, with contiguous line spans.
+        for (i, r) in streamed.iter().enumerate() {
+            assert_eq!(r.line_span, (i, i + 1));
+        }
+    }
+
+    /// A window full of noise (zero matches) followed by a window that matches again: the
+    /// noise-only window must not stall the loop or desynchronize the global line counter.
+    #[test]
+    fn zero_match_chunk_followed_by_matching_chunk() {
+        let engine = Datamaran::with_defaults();
+        let mut text = String::new();
+        for i in 0..120 {
+            text.push_str(&format!("host=h{};cpu={}\n", i % 7, i % 100));
+        }
+        let noise_start = text.lines().count();
+        // A noise block far larger than one window, irregular enough that no secondary
+        // record type can form, and free of the kv template's formatting characters.
+        for i in 0..80u64 {
+            let word = ["corrupted", "torn", "panic at", "oom killed the", "??"][i as usize % 5];
+            text.push_str(&format!(
+                "!{} {word} {}!\n",
+                i * 31 % 97,
+                "x".repeat(1 + (i as usize * 7) % 9)
+            ));
+        }
+        for i in 0..120 {
+            text.push_str(&format!("host=x{};cpu={}\n", i % 7, (i * 3) % 100));
+        }
+        // The head stays strictly inside the leading kv section, so exactly one record
+        // type is discovered and the noise block genuinely matches nothing.
+        let options = StreamOptions {
+            head_bytes: 1024,
+            window_bytes: 256,
+        };
+        let mut streamed = Vec::new();
+        let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |r| {
+            streamed.push(r)
+        })
+        .unwrap();
+        assert_eq!(summary.records, 240);
+        assert_eq!(summary.noise_lines, 80);
+        assert_eq!(summary.bytes_processed, text.len());
+        // The first record after the noise block sits exactly `noise lines` further down.
+        let after_noise = streamed
+            .iter()
+            .find(|r| r.line_span.0 >= noise_start)
+            .unwrap();
+        assert_eq!(after_noise.line_span.0, noise_start + 80);
+    }
+
+    /// Supplying the templates up front must reproduce exactly what head discovery + the
+    /// same templates would emit — discover once, stream many files of the same format.
+    #[test]
+    fn with_templates_matches_discovered_streaming() {
+        let text = kv_log(300);
+        let engine = Datamaran::with_defaults();
+        let options = StreamOptions {
+            head_bytes: 4 * 1024,
+            window_bytes: 1024,
+        };
+        let mut discovered = Vec::new();
+        let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |r| {
+            discovered.push(r)
+        })
+        .unwrap();
+
+        struct Collect(Vec<(usize, (usize, usize), Vec<String>)>);
+        impl crate::export::RecordSink for Collect {
+            fn begin(&mut self, _t: &[StructureTemplate]) -> Result<()> {
+                Ok(())
+            }
+            fn record(&mut self, r: &StreamRecord<'_>) -> Result<()> {
+                self.0.push((
+                    r.template_index,
+                    r.line_span,
+                    r.cells.iter().map(|c| r.cell_text(c).to_string()).collect(),
+                ));
+                Ok(())
+            }
+            fn finish(&mut self) -> Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = Collect(Vec::new());
+        let summary2 = extract_stream_with_templates(
+            &engine,
+            Cursor::new(text),
+            options,
+            summary.templates.clone(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(summary2.records, summary.records);
+        assert_eq!(summary2.noise_lines, summary.noise_lines);
+        assert_eq!(summary2.lines_processed, summary.lines_processed);
+        assert_eq!(sink.0.len(), discovered.len());
+        for (got, want) in sink.0.iter().zip(&discovered) {
+            assert_eq!(got.0, want.template_index);
+            assert_eq!(got.1, want.line_span);
+            let flat: Vec<String> = want.columns.iter().flatten().cloned().collect();
+            assert_eq!(got.2, flat);
+        }
+    }
+
+    /// The `O(window)` bound: a stream much larger than one window must not push the peak
+    /// resident window bytes anywhere near the stream length.
+    #[test]
+    fn peak_window_bytes_stays_bounded() {
+        let engine = Datamaran::with_defaults();
+        let text = kv_log(20_000); // ~440 KB
+        let options = StreamOptions {
+            head_bytes: 8 * 1024,
+            window_bytes: 8 * 1024,
+        };
+        let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |_| {}).unwrap();
+        assert_eq!(summary.bytes_processed, text.len());
+        assert!(
+            summary.peak_window_bytes < text.len() / 4,
+            "peak {} vs stream {}",
+            summary.peak_window_bytes,
+            text.len()
+        );
+        assert!(summary.windows > 10);
     }
 }

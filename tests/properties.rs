@@ -120,6 +120,105 @@ proptest! {
     }
 }
 
+/// Strategy producing CSV cell content that stresses the quoting rules: embedded quotes,
+/// commas, carriage returns, bare newlines, and plain text, in any mix.
+fn csv_cell() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('Z'),
+            Just('0'),
+            Just(' '),
+            Just('"'),
+            Just(','),
+            Just('\r'),
+            Just('\n'),
+        ],
+        0..12,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Parses one RFC-4180 row (which may contain newlines inside quoted cells) back into its
+/// cells — the inverse of quoting each cell with `csv_quote` and joining with commas.
+fn parse_csv_row(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        let mut cell = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            loop {
+                match chars.next() {
+                    Some('"') => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            cell.push('"');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(c) => cell.push(c),
+                    None => break,
+                }
+            }
+        } else {
+            while let Some(&c) = chars.peek() {
+                if c == ',' {
+                    break;
+                }
+                cell.push(c);
+                chars.next();
+            }
+        }
+        cells.push(cell);
+        match chars.next() {
+            Some(',') => continue,
+            _ => break,
+        }
+    }
+    cells
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// CSV quoting round-trips arbitrary cell content — embedded quotes, commas, `\r`, and
+    /// `\n` included — and span-backed cells serialize byte-identically to owned cells
+    /// holding the same text (the export boundary must not care which variant it gets).
+    #[test]
+    fn csv_quoting_round_trips_and_cell_variants_agree(cells in prop::collection::vec(csv_cell(), 1..6)) {
+        use datamaran::core::{csv_quote, table_to_csv, Cell, Table};
+        use std::sync::Arc;
+
+        // Round trip through the quoted representation.
+        let line: String = cells
+            .iter()
+            .map(|c| csv_quote(c))
+            .collect::<Vec<_>>()
+            .join(",");
+        prop_assert_eq!(parse_csv_row(&line), cells.clone());
+
+        // Span cells over a shared buffer vs owned cells with the same text.
+        let source: Arc<str> = Arc::from(cells.concat().as_str());
+        let columns: Vec<String> = (0..cells.len()).map(|i| format!("c{i}")).collect();
+        let mut spans = Table::new("t", columns.clone(), Arc::clone(&source));
+        let mut offset = 0usize;
+        spans.push_row(
+            cells
+                .iter()
+                .map(|c| {
+                    let start = offset;
+                    offset += c.len();
+                    Cell::Span { start, end: offset }
+                })
+                .collect(),
+        );
+        let owned = Table::from_strings("t", columns, vec![cells.clone()]);
+        prop_assert_eq!(table_to_csv(&spans), table_to_csv(&owned));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

@@ -1,0 +1,225 @@
+//! Differential suite for the bounded-memory streaming export path: on every fixture the
+//! streaming sinks ([`CsvSink`], [`JsonLinesSink`]) must emit **byte-identical** output to
+//! the materialized serializers ([`table_to_csv`] over the in-memory relational tables,
+//! [`all_records_jsonl`] over the in-memory extraction result) — including multi-line
+//! records that straddle chunk windows, array templates whose child-table foreign keys are
+//! synthesized across windows, interleaved record types, and cells that need RFC-4180
+//! quoting (`\r`, embedded quotes, commas).
+
+use datamaran::core::{
+    all_records_jsonl, extract_stream_sink, table_to_csv, CountingSink, CsvSink, Datamaran,
+    JsonLinesSink, StreamOptions, Tee,
+};
+use std::io::Cursor;
+
+/// Runs in-memory extraction and the streaming sinks on the same text and asserts the
+/// serialized bytes agree exactly.  `options` should make the window far smaller than the
+/// text so real chunking happens; the head must be large enough that head discovery finds
+/// the same templates as full-file discovery (asserted).
+fn assert_streaming_equivalence(name: &str, text: &str, options: StreamOptions) {
+    let engine = Datamaran::with_defaults();
+    let result = engine.extract(text).expect("in-memory extraction succeeds");
+
+    let mut sink = Tee(
+        CsvSink::new(|_name: &str| Ok(Vec::<u8>::new())),
+        Tee(
+            JsonLinesSink::new(Vec::<u8>::new()),
+            CountingSink::default(),
+        ),
+    );
+    let summary = extract_stream_sink(&engine, Cursor::new(text.to_string()), options, &mut sink)
+        .expect("streaming extraction succeeds");
+    let Tee(csv, Tee(jsonl, counter)) = sink;
+
+    // Head discovery must agree with full-file discovery for the comparison to be
+    // meaningful; every fixture is built to satisfy this.
+    let in_memory_templates: Vec<String> =
+        result.templates().iter().map(|t| t.to_string()).collect();
+    let streamed_templates: Vec<String> = summary.templates.iter().map(|t| t.to_string()).collect();
+    assert_eq!(streamed_templates, in_memory_templates, "{name}: templates");
+    assert_eq!(summary.records, result.record_count(), "{name}: records");
+    assert_eq!(counter.records, summary.records, "{name}: counter");
+
+    // CSV: every normalized table, in order, byte for byte.
+    let streamed_tables = csv.into_writers();
+    let materialized: Vec<(String, String)> = result
+        .structures
+        .iter()
+        .flat_map(|s| s.relational.tables.iter())
+        .map(|t| (t.name.clone(), table_to_csv(t)))
+        .collect();
+    assert_eq!(
+        streamed_tables.len(),
+        materialized.len(),
+        "{name}: table count"
+    );
+    for ((sn, sb), (mn, mb)) in streamed_tables.iter().zip(&materialized) {
+        assert_eq!(sn, mn, "{name}: table name");
+        assert_eq!(
+            std::str::from_utf8(sb).unwrap(),
+            mb,
+            "{name}: CSV bytes of {sn}"
+        );
+    }
+
+    // JSON Lines: byte for byte.
+    assert_eq!(
+        String::from_utf8(jsonl.into_writer()).unwrap(),
+        all_records_jsonl(text, &result),
+        "{name}: JSON Lines bytes"
+    );
+}
+
+#[test]
+fn flat_kv_records_with_noise() {
+    let mut text = String::new();
+    for i in 0..400 {
+        text.push_str(&format!(
+            "host=h{};cpu={};mem={}\n",
+            i % 12,
+            i % 100,
+            (i * 7) % 512
+        ));
+        if i % 23 == 5 {
+            text.push_str("--- rotating log file ---\n");
+        }
+    }
+    assert_streaming_equivalence(
+        "kv",
+        &text,
+        StreamOptions {
+            head_bytes: 4 * 1024,
+            window_bytes: 1024,
+        },
+    );
+}
+
+#[test]
+fn multiline_records_straddling_chunk_windows() {
+    let mut text = String::new();
+    for i in 0..300 {
+        text.push_str(&format!("BEGIN {i}\nvalue={};status=ok\n", i * 3));
+    }
+    // A window far smaller than the head forces many records to straddle window edges.
+    assert_streaming_equivalence(
+        "multiline",
+        &text,
+        StreamOptions {
+            head_bytes: 2 * 1024,
+            window_bytes: 192,
+        },
+    );
+}
+
+#[test]
+fn array_records_synthesize_foreign_keys_across_windows() {
+    // Variable-length comma lists: the child table's (id, parent_id, position) keys are
+    // synthesized, and most rows are emitted from windows long past the first.
+    let mut text = String::new();
+    for i in 0..500u64 {
+        let len = 2 + (i * 7 % 5) as usize;
+        let vals: Vec<String> = (0..len)
+            .map(|j| format!("{}", (i + j as u64 * 13) % 97))
+            .collect();
+        text.push_str(&vals.join(","));
+        text.push('\n');
+    }
+    assert_streaming_equivalence(
+        "arrays",
+        &text,
+        StreamOptions {
+            head_bytes: 2 * 1024,
+            window_bytes: 512,
+        },
+    );
+}
+
+#[test]
+fn interleaved_record_types_keep_per_type_tables_aligned() {
+    fn mix(i: u64) -> u64 {
+        let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^ (x >> 32)
+    }
+    let mut text = String::new();
+    for i in 0..600u64 {
+        if mix(i) % 100 < 40 {
+            text.push_str(&format!("EVT|{}|login|user{}\n", 1000 + i, i % 7));
+        } else {
+            text.push_str(&format!("[{:02}:{:02}] srv{} ok\n", i % 24, i % 60, i % 4));
+        }
+    }
+    assert_streaming_equivalence(
+        "interleaved",
+        &text,
+        StreamOptions {
+            head_bytes: 8 * 1024,
+            window_bytes: 1024,
+        },
+    );
+}
+
+#[test]
+fn crlf_values_need_identical_rfc4180_quoting() {
+    // `\r` is not a candidate formatting character, so on a CRLF stream every final field
+    // value ends in a raw `\r` — both serializers must quote it (CSV) / escape it (JSON)
+    // identically.
+    fn mix(i: u64) -> u64 {
+        let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^ (x >> 32)
+    }
+    let mut text = String::new();
+    for i in 0..300u64 {
+        text.push_str(&format!("id={i};msg=w{}\r\n", mix(i) % 9973));
+    }
+    let engine = Datamaran::with_defaults();
+    let result = engine.extract(&text).unwrap();
+    let csv: String = result
+        .structures
+        .iter()
+        .flat_map(|s| s.relational.tables.iter())
+        .map(table_to_csv)
+        .collect();
+    assert!(csv.contains("\r\""), "quoting path is exercised");
+    assert_streaming_equivalence(
+        "crlf",
+        &text,
+        StreamOptions {
+            head_bytes: 2 * 1024,
+            window_bytes: 512,
+        },
+    );
+}
+
+#[test]
+fn record_ending_exactly_at_window_edge_exports_once() {
+    fn mix(i: u64) -> u64 {
+        let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^ (x >> 32)
+    }
+    // Fixed-width, aperiodic records: every line is exactly 18 bytes, so a window target
+    // that is a multiple of 18 makes every window end exactly at a record's final newline.
+    let mut text = String::new();
+    for i in 0..512u64 {
+        text.push_str(&format!(
+            "key={:04};val={:04}\n",
+            mix(i) % 10_000,
+            mix(i ^ 77) % 10_000
+        ));
+    }
+    let line_len = 18;
+    assert_eq!(text.len(), 512 * line_len);
+    assert_streaming_equivalence(
+        "window-edge",
+        &text,
+        StreamOptions {
+            head_bytes: line_len * 64,
+            window_bytes: line_len * 16,
+        },
+    );
+}
