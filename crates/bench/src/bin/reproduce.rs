@@ -140,6 +140,29 @@ fn check_baseline(
     }
 }
 
+/// The >20%-regression gate applied to an additional named ratio of a baseline document
+/// (e.g. the evaluation engine's delta-vs-full speedup).  Same transfer argument as
+/// [`check_baseline`]: the ratio is measured within one run, so it is hardware-portable.
+/// Missing baselines (first runs, fresh clones) pass with a warning.
+fn check_ratio(path: &str, key: &str, fresh: f64) -> bool {
+    match baseline_value(path, key) {
+        Some(base) if base > 0.0 => {
+            let ratio = fresh / base;
+            let ok = ratio >= REGRESSION_TOLERANCE;
+            println!(
+                "regression gate: {key} {fresh:.2}x vs baseline {base:.2}x ({:+.1}%) -> {}",
+                (ratio - 1.0) * 100.0,
+                if ok { "OK" } else { "REGRESSED" }
+            );
+            ok
+        }
+        _ => {
+            println!("regression gate: no usable baseline at {path} (key {key}); skipping");
+            true
+        }
+    }
+}
+
 fn heading(title: &str) {
     println!("\n================================================================================");
     println!("{title}");
@@ -832,12 +855,15 @@ fn extraction_bench(fast: bool, check: bool) -> bool {
 // -------------------------------------------------------------------------------------------
 // Evaluation engine benchmark — span refinement evaluation vs. legacy tree re-parse
 
-/// Times the evaluation step (refinement of the post-pruning candidate pool) with both
-/// backends on the 1 MB dataset's evaluation sample (128 KB dataset with `--fast`) and
-/// writes the result to `BENCH_evaluation.json`.  With `check`, the fresh span-vs-legacy
-/// speedup is gated against the committed baseline; returns `false` on regression.
+/// Times the evaluation step (refinement of the post-pruning candidate pool) with all
+/// three backends — `span` (delta evaluation, the default), `span-full` (span engine,
+/// full re-parse per variant), `legacy` (tree re-parse) — on the 1 MB dataset's
+/// evaluation sample (128 KB dataset with `--fast`) and writes the result to
+/// `BENCH_evaluation.json`.  With `check`, two ratios are gated against the committed
+/// baseline: the span-vs-legacy speedup and the delta-vs-full speedup (both measured
+/// within one run, so runner-speed factors cancel).  Returns `false` on regression.
 fn evaluation_bench(fast: bool, check: bool) -> bool {
-    heading("Evaluation engine — compiled refinement parses + score memo vs. tree re-parse");
+    heading("Evaluation engine — delta refinement parses vs. full re-parse vs. tree re-parse");
     let bytes = if fast { 128 * 1024 } else { 1024 * 1024 };
     let runs = if fast { 2 } else { 3 };
     let bench = datamaran_bench::evaluation_benchmark(bytes, runs);
@@ -850,6 +876,12 @@ fn evaluation_bench(fast: bool, check: bool) -> bool {
         bench.span_evaluations, bench.span_memo_hits, bench.legacy_evaluations
     );
     println!(
+        "delta engine: {} delta parses, record reuse {:.1}%, dirty columns {:.1}%",
+        bench.delta_parses,
+        bench.delta_record_reuse * 100.0,
+        bench.dirty_column_fraction * 100.0
+    );
+    println!(
         "phase split: span parse {} / score {}; legacy parse {} / score {}",
         fmt_secs(bench.span_parse_secs),
         fmt_secs(bench.span_score_secs),
@@ -857,34 +889,41 @@ fn evaluation_bench(fast: bool, check: bool) -> bool {
         fmt_secs(bench.legacy_score_secs)
     );
     println!(
-        "{:<10}{:>14}{:>22}",
+        "{:<12}{:>14}{:>22}",
         "backend", "wall time", "candidates/sec"
     );
     println!(
-        "{:<10}{:>14}{:>22.1}",
+        "{:<12}{:>14}{:>22.1}",
         "legacy",
         fmt_secs(bench.legacy_secs),
         bench.legacy_candidates_per_sec()
     );
     println!(
-        "{:<10}{:>14}{:>22.1}",
+        "{:<12}{:>14}{:>22.1}",
+        "span-full",
+        fmt_secs(bench.span_full_secs),
+        bench.candidates as f64 / bench.span_full_secs
+    );
+    println!(
+        "{:<12}{:>14}{:>22.1}",
         "span",
         fmt_secs(bench.span_secs),
         bench.span_candidates_per_sec()
     );
     println!(
-        "speedup: {:.2}x, outputs identical: {}",
+        "speedup vs legacy: {:.2}x, delta vs full re-parse: {:.2}x, outputs identical: {}",
         bench.speedup(),
+        bench.delta_vs_full_speedup(),
         bench.outputs_identical
     );
     let path = "BENCH_evaluation.json";
     let ok = !check
-        || check_baseline(
+        || (check_baseline(
             path,
             "span_candidates_per_sec",
             bench.span_candidates_per_sec(),
             bench.speedup(),
-        );
+        ) && check_ratio(path, "delta_vs_full_speedup", bench.delta_vs_full_speedup()));
     match std::fs::write(path, bench.to_json() + "\n") {
         Ok(()) => println!("wrote {path}"),
         Err(err) => eprintln!("could not write {path}: {err}"),

@@ -478,10 +478,20 @@ pub struct EvaluationBench {
     pub legacy_score_secs: f64,
     /// Best wall-clock seconds of the legacy engine (single worker thread).
     pub legacy_secs: f64,
-    /// Best wall-clock seconds of the span engine (single worker thread).
+    /// Best wall-clock seconds of the span engine with delta evaluation disabled
+    /// (`EvaluationBackend::SpanFull`: every variant re-parses the sample from scratch).
+    pub span_full_secs: f64,
+    /// Best wall-clock seconds of the default span engine (delta evaluation of refinement
+    /// variants against their parents).
     pub span_secs: f64,
-    /// `true` when both backends produced identical refined `(template, score, summary)`
-    /// lists.
+    /// Variant evaluations the delta engine parsed by delta (from the correctness run).
+    pub delta_parses: usize,
+    /// Fraction of parent records the delta engine copy-forwarded (delta-hit rate).
+    pub delta_record_reuse: f64,
+    /// Fraction of columns the delta engine re-aggregated (dirty-column fraction).
+    pub dirty_column_fraction: f64,
+    /// `true` when all three backends produced identical refined
+    /// `(template, score, summary)` lists.
     pub outputs_identical: bool,
 }
 
@@ -496,9 +506,15 @@ impl EvaluationBench {
         self.candidates as f64 / self.span_secs
     }
 
-    /// Wall-clock speedup of the span engine over the legacy engine.
+    /// Wall-clock speedup of the (delta) span engine over the legacy engine.
     pub fn speedup(&self) -> f64 {
         self.legacy_secs / self.span_secs
+    }
+
+    /// Wall-clock speedup of delta evaluation over the full-reparse span engine — the
+    /// delta-vs-full ratio the CI `bench-regression` job gates.
+    pub fn delta_vs_full_speedup(&self) -> f64 {
+        self.span_full_secs / self.span_secs
     }
 
     /// Serializes the result as the `BENCH_evaluation.json` document.
@@ -557,6 +573,10 @@ impl EvaluationBench {
                 "legacy_wall_secs".into(),
                 JsonValue::Number(self.legacy_secs),
             ),
+            (
+                "span_full_wall_secs".into(),
+                JsonValue::Number(self.span_full_secs),
+            ),
             ("span_wall_secs".into(), JsonValue::Number(self.span_secs)),
             (
                 "legacy_candidates_per_sec".into(),
@@ -567,6 +587,22 @@ impl EvaluationBench {
                 JsonValue::Number(self.span_candidates_per_sec()),
             ),
             ("speedup".into(), JsonValue::Number(self.speedup())),
+            (
+                "delta_vs_full_speedup".into(),
+                JsonValue::Number(self.delta_vs_full_speedup()),
+            ),
+            (
+                "delta_parses".into(),
+                JsonValue::Number(self.delta_parses as f64),
+            ),
+            (
+                "delta_record_reuse".into(),
+                JsonValue::Number(self.delta_record_reuse),
+            ),
+            (
+                "dirty_column_fraction".into(),
+                JsonValue::Number(self.dirty_column_fraction),
+            ),
             ("evaluation_threads".into(), JsonValue::Number(1.0)),
             (
                 "outputs_identical".into(),
@@ -607,15 +643,20 @@ pub fn evaluation_benchmark(target_bytes: usize, runs: usize) -> EvaluationBench
             (refined, metrics)
         };
 
-    // Correctness first: identical refined templates, bit-identical scores, equal summaries.
+    // Correctness first: identical refined templates, bit-identical scores, equal
+    // summaries, across all three backends (delta span, full-reparse span, legacy tree).
     let (span_out, span_metrics) = run_backend(EvaluationBackend::Span);
+    let (span_full_out, _) = run_backend(EvaluationBackend::SpanFull);
     let (legacy_out, legacy_metrics) = run_backend(EvaluationBackend::Legacy);
-    let outputs_identical = span_out.len() == legacy_out.len()
-        && span_out.iter().zip(&legacy_out).all(|(a, b)| {
-            a.template == b.template
-                && a.score.to_bits() == b.score.to_bits()
-                && a.summary == b.summary
-        });
+    let agrees = |other: &[Refined]| {
+        span_out.len() == other.len()
+            && span_out.iter().zip(other).all(|(a, b)| {
+                a.template == b.template
+                    && a.score.to_bits() == b.score.to_bits()
+                    && a.summary == b.summary
+            })
+    };
+    let outputs_identical = agrees(&legacy_out) && agrees(&span_full_out);
 
     let best_of = |backend: EvaluationBackend| -> f64 {
         (0..runs.max(1))
@@ -643,7 +684,11 @@ pub fn evaluation_benchmark(target_bytes: usize, runs: usize) -> EvaluationBench
         legacy_parse_secs: legacy_metrics.parse_seconds,
         legacy_score_secs: legacy_metrics.score_seconds,
         legacy_secs: best_of(EvaluationBackend::Legacy),
+        span_full_secs: best_of(EvaluationBackend::SpanFull),
         span_secs: best_of(EvaluationBackend::Span),
+        delta_parses: span_metrics.delta_parses,
+        delta_record_reuse: span_metrics.delta_record_reuse_rate(),
+        dirty_column_fraction: span_metrics.dirty_column_fraction(),
         outputs_identical,
     }
 }

@@ -180,6 +180,7 @@ impl Cli {
                     let value = next_value(&mut iter, "--evaluation-backend")?;
                     cli.config.evaluation_backend = match value.as_str() {
                         "span" => EvaluationBackend::Span,
+                        "span-full" => EvaluationBackend::SpanFull,
                         "legacy" => EvaluationBackend::Legacy,
                         other => return Err(format!("unknown evaluation backend `{other}`")),
                     };
@@ -294,8 +295,10 @@ FLAGS:
                                   final-pass extraction engine         (default: span)
     --extraction-threads <INT>    extraction worker threads, 0 = auto  (default: 0)
     --generation-threads <INT>    generation worker threads, 0 = auto  (default: 0)
-    --evaluation-backend <span|legacy>
-                                  refinement evaluation engine         (default: span)
+    --evaluation-backend <span|span-full|legacy>
+                                  refinement evaluation engine         (default: span,
+                                  which delta-evaluates refinement variants against their
+                                  parent; span-full re-parses every variant from scratch)
     --evaluation-threads <INT>    evaluation worker threads, 0 = auto  (default: 0)
 ";
 
@@ -512,6 +515,21 @@ fn render_summary(text: &str, result: &datamaran_core::ExtractionResult) -> Stri
         t.evaluation.as_secs_f64() * 1000.0,
         t.extraction.as_secs_f64() * 1000.0
     );
+    let m = &result.stats.evaluation_metrics;
+    if m.delta_parses + m.delta_full_parses > 0 {
+        let _ = writeln!(
+            s,
+            "evaluation: {} evaluations ({} memo hits, {} via lineage), {} delta / {} full parses, \
+             record reuse {:.1}%, dirty columns {:.1}%",
+            m.evaluations,
+            m.memo_hits,
+            m.lineage_hits,
+            m.delta_parses,
+            m.delta_full_parses,
+            m.delta_record_reuse_rate() * 100.0,
+            m.dirty_column_fraction() * 100.0
+        );
+    }
     s
 }
 
@@ -592,6 +610,14 @@ mod tests {
         assert_eq!(cli.config.evaluation_threads, 3);
         assert!(Cli::parse(&args(&["extract", "x.log", "--extraction-backend", "fast"])).is_err());
         assert!(Cli::parse(&args(&["extract", "x.log", "--evaluation-backend", "fast"])).is_err());
+        let full = Cli::parse(&args(&[
+            "extract",
+            "x.log",
+            "--evaluation-backend",
+            "span-full",
+        ]))
+        .unwrap();
+        assert_eq!(full.config.evaluation_backend, EvaluationBackend::SpanFull);
     }
 
     #[test]

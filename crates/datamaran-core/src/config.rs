@@ -79,18 +79,28 @@ impl ExtractionBackend {
 
 /// Which implementation the evaluation step (refinement scoring, §4.3) runs on.
 ///
-/// Both backends produce identical ranked `(template, score)` lists (enforced by
-/// `tests/evaluation_equivalence.rs`); the span backend compiles each candidate to its flat
-/// instruction table, parses into span arenas, scores directly from the arenas, and
-/// memoizes scores by interned template id.  The legacy backend re-runs the tree-walking
-/// parser and tree-walking MDL scorer per candidate — kept as the differential oracle and
-/// the benchmark baseline, mirroring [`GenerationBackend`] and [`ExtractionBackend`].
+/// All backends produce identical ranked `(template, score)` lists (enforced by
+/// `tests/evaluation_equivalence.rs`); the span backends compile each candidate to its flat
+/// instruction table, parse into span arenas, score directly from the arenas, and memoize
+/// scores by interned template id.  The default [`Span`](EvaluationBackend::Span) backend
+/// additionally evaluates each unfold/shift variant by *delta* against its refinement
+/// parent — shared op ranges are copied forward from the parent's recycled arenas and only
+/// the dirty region is re-matched, with the MDL per-column aggregates of unchanged columns
+/// reused (see [`crate::extract::parse_dataset_span_delta`]).  The legacy backend re-runs
+/// the tree-walking parser and tree-walking MDL scorer per candidate — kept as the
+/// differential oracle and the benchmark baseline, mirroring [`GenerationBackend`] and
+/// [`ExtractionBackend`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum EvaluationBackend {
-    /// Compiled op tables + flat span arenas + arena-native scoring + template-score memo
+    /// Compiled op tables + flat span arenas + arena-native scoring + template-score memo,
+    /// with incremental *delta* evaluation of refinement variants against their parents
     /// (see [`crate::refine`] and [`crate::extract`]).
     #[default]
     Span,
+    /// The span engine with delta evaluation disabled: every variant re-parses the full
+    /// sample and re-scores every column.  The exactness oracle for the delta path and the
+    /// baseline its speedup is measured against (`reproduce -- evaluation`).
+    SpanFull,
     /// The original path: one tree-walking parse and one instantiation-tree scoring walk
     /// per candidate evaluation, no memoization.
     Legacy,
@@ -101,8 +111,19 @@ impl EvaluationBackend {
     pub fn name(&self) -> &'static str {
         match self {
             EvaluationBackend::Span => "span",
+            EvaluationBackend::SpanFull => "span-full",
             EvaluationBackend::Legacy => "legacy",
         }
+    }
+
+    /// `true` for the compiled span-arena backends (memo + arena-native scoring).
+    pub fn is_span(&self) -> bool {
+        matches!(self, EvaluationBackend::Span | EvaluationBackend::SpanFull)
+    }
+
+    /// `true` when refinement variants are evaluated by delta against their parent.
+    pub fn delta_enabled(&self) -> bool {
+        matches!(self, EvaluationBackend::Span)
     }
 }
 
@@ -416,7 +437,12 @@ mod tests {
     fn evaluation_backend_defaults_and_builders() {
         assert_eq!(EvaluationBackend::default(), EvaluationBackend::Span);
         assert_eq!(EvaluationBackend::Span.name(), "span");
+        assert_eq!(EvaluationBackend::SpanFull.name(), "span-full");
         assert_eq!(EvaluationBackend::Legacy.name(), "legacy");
+        assert!(EvaluationBackend::Span.is_span() && EvaluationBackend::Span.delta_enabled());
+        assert!(EvaluationBackend::SpanFull.is_span());
+        assert!(!EvaluationBackend::SpanFull.delta_enabled());
+        assert!(!EvaluationBackend::Legacy.is_span() && !EvaluationBackend::Legacy.delta_enabled());
         let c = DatamaranConfig::default()
             .with_evaluation_backend(EvaluationBackend::Legacy)
             .with_evaluation_threads(2);

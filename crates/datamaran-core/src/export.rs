@@ -81,10 +81,21 @@ pub struct StatsReport {
     pub evaluation_count: usize,
     /// Evaluations answered by the template-score memo without re-parsing.
     pub evaluation_memo_hits: usize,
+    /// Memo hits resolved through the parent-lineage fast path.
+    pub evaluation_lineage_hits: usize,
     /// Seconds the evaluation phase spent parsing candidates against the sample.
     pub evaluation_parse_seconds: f64,
     /// Seconds the evaluation phase spent computing regularity scores.
     pub evaluation_score_seconds: f64,
+    /// Variant evaluations parsed by delta against their refinement parent.
+    pub evaluation_delta_parses: usize,
+    /// Span evaluations parsed from scratch (roots, unusable diffs).
+    pub evaluation_full_parses: usize,
+    /// Fraction of parent records copy-forwarded by delta parses (the delta-hit rate).
+    pub evaluation_delta_record_reuse: f64,
+    /// Fraction of columns re-aggregated by delta-parsed evaluations (dirty-column
+    /// fraction; lower = more incremental scoring).
+    pub evaluation_dirty_column_fraction: f64,
 }
 
 impl StatsReport {
@@ -110,8 +121,13 @@ impl StatsReport {
             evaluation_threads: stats.evaluation_threads,
             evaluation_count: stats.evaluation_metrics.evaluations,
             evaluation_memo_hits: stats.evaluation_metrics.memo_hits,
+            evaluation_lineage_hits: stats.evaluation_metrics.lineage_hits,
             evaluation_parse_seconds: stats.evaluation_metrics.parse_seconds,
             evaluation_score_seconds: stats.evaluation_metrics.score_seconds,
+            evaluation_delta_parses: stats.evaluation_metrics.delta_parses,
+            evaluation_full_parses: stats.evaluation_metrics.delta_full_parses,
+            evaluation_delta_record_reuse: stats.evaluation_metrics.delta_record_reuse_rate(),
+            evaluation_dirty_column_fraction: stats.evaluation_metrics.dirty_column_fraction(),
         }
     }
 }
@@ -363,12 +379,32 @@ fn stats_to_json(stats: &StatsReport) -> JsonValue {
             num(stats.evaluation_memo_hits),
         ),
         (
+            "evaluation_lineage_hits".into(),
+            num(stats.evaluation_lineage_hits),
+        ),
+        (
             "evaluation_parse_seconds".into(),
             JsonValue::Number(stats.evaluation_parse_seconds),
         ),
         (
             "evaluation_score_seconds".into(),
             JsonValue::Number(stats.evaluation_score_seconds),
+        ),
+        (
+            "evaluation_delta_parses".into(),
+            num(stats.evaluation_delta_parses),
+        ),
+        (
+            "evaluation_full_parses".into(),
+            num(stats.evaluation_full_parses),
+        ),
+        (
+            "evaluation_delta_record_reuse".into(),
+            JsonValue::Number(stats.evaluation_delta_record_reuse),
+        ),
+        (
+            "evaluation_dirty_column_fraction".into(),
+            JsonValue::Number(stats.evaluation_dirty_column_fraction),
         ),
         (
             "step_seconds".into(),
@@ -431,6 +467,27 @@ fn stats_from_json(v: &JsonValue) -> Result<StatsReport, JsonError> {
             None => 0.0,
         },
         evaluation_score_seconds: match v.get("evaluation_score_seconds") {
+            Some(t) => t.as_f64()?,
+            None => 0.0,
+        },
+        // Reports written before delta evaluation lack the delta telemetry.
+        evaluation_lineage_hits: match v.get("evaluation_lineage_hits") {
+            Some(t) => t.as_usize()?,
+            None => 0,
+        },
+        evaluation_delta_parses: match v.get("evaluation_delta_parses") {
+            Some(t) => t.as_usize()?,
+            None => 0,
+        },
+        evaluation_full_parses: match v.get("evaluation_full_parses") {
+            Some(t) => t.as_usize()?,
+            None => 0,
+        },
+        evaluation_delta_record_reuse: match v.get("evaluation_delta_record_reuse") {
+            Some(t) => t.as_f64()?,
+            None => 0.0,
+        },
+        evaluation_dirty_column_fraction: match v.get("evaluation_dirty_column_fraction") {
             Some(t) => t.as_f64()?,
             None => 0.0,
         },

@@ -208,6 +208,12 @@ impl CompiledTemplate {
         self.array_count as usize
     }
 
+    /// Resolves an interned literal run.
+    #[inline]
+    fn lit(&self, start: u32, len: u32) -> &[u8] {
+        &self.lit_bytes[start as usize..(start + len) as usize]
+    }
+
     /// Runs the instruction table at byte offset `start`, appending matched cells and array
     /// repetition counts to the arenas.  Returns the end offset on success; on failure the
     /// arenas are rolled back.  Purely iterative — the LL(1) property means no
@@ -220,12 +226,31 @@ impl CompiledTemplate {
         reps: &mut Vec<u32>,
         stack: &mut Vec<(usize, u32)>,
     ) -> Option<usize> {
+        self.run_range(text, start, 0, self.ops.len(), cells, reps, stack)
+    }
+
+    /// Runs the instruction sub-table `[ip_from, ip_to)` at byte offset `start` — the
+    /// delta-evaluation entry point: the range must be *well-nested* (no array opened inside
+    /// continues past `ip_to`), which [`diff_compiled`] guarantees for the dirty region and
+    /// the suffix it emits.  Semantics are otherwise identical to [`CompiledTemplate::run`]:
+    /// arenas are appended on success and rolled back on failure.
+    #[allow(clippy::too_many_arguments)]
+    fn run_range(
+        &self,
+        text: &[u8],
+        start: usize,
+        ip_from: usize,
+        ip_to: usize,
+        cells: &mut Vec<FieldCell>,
+        reps: &mut Vec<u32>,
+        stack: &mut Vec<(usize, u32)>,
+    ) -> Option<usize> {
         let cells_mark = cells.len();
         let reps_mark = reps.len();
         stack.clear();
-        let ops: &[Op] = &self.ops;
+        let ops: &[Op] = &self.ops[..ip_to.min(self.ops.len())];
         let mut pos = start;
-        let mut ip = 0usize;
+        let mut ip = ip_from;
         while let Some(op) = ops.get(ip) {
             match *op {
                 Op::Byte { byte } => {
@@ -294,7 +319,77 @@ impl CompiledTemplate {
                 }
             }
         }
+        debug_assert!(
+            stack.is_empty(),
+            "well-nested op range leaves no open arrays"
+        );
         Some(pos)
+    }
+
+    /// Replays the instruction sub-table `[ip_from, ip_to)` against a *recorded* match — the
+    /// cells and repetition counts a previous run of the same ops appended — without touching
+    /// the dataset text.  Returns `(cells_consumed, reps_consumed, end_pos)` where `end_pos`
+    /// is the byte offset the recorded run reached after the range.  The range must be
+    /// well-nested (see [`CompiledTemplate::run_range`]); cost is `O(ops executed)` with no
+    /// byte scanning, which is what makes copy-forward cheaper than re-matching.
+    fn replay_range(
+        &self,
+        ip_from: usize,
+        ip_to: usize,
+        cells: &[FieldCell],
+        reps: &[u32],
+        start: usize,
+    ) -> (usize, usize, usize) {
+        let ops: &[Op] = &self.ops;
+        let mut pos = start;
+        let mut ci = 0usize;
+        let mut ri = 0usize;
+        let mut ip = ip_from;
+        // Remaining body iterations of each open array, innermost last.
+        let mut stack: Vec<u32> = Vec::new();
+        while ip < ip_to {
+            match ops[ip] {
+                Op::Byte { .. } => {
+                    pos += 1;
+                    ip += 1;
+                }
+                Op::Literal { len, .. } => {
+                    pos += len as usize;
+                    ip += 1;
+                }
+                Op::Field { .. } => {
+                    pos = cells[ci].end;
+                    ci += 1;
+                    ip += 1;
+                }
+                Op::ArrayBegin { .. } => {
+                    stack.push(reps[ri]);
+                    ri += 1;
+                    ip += 1;
+                }
+                Op::ArrayEnd {
+                    body_ip,
+                    separator,
+                    terminator,
+                } => {
+                    let remaining = stack.last_mut().expect("ArrayEnd implies ArrayBegin");
+                    *remaining -= 1;
+                    if *remaining > 0 {
+                        pos += separator.len as usize;
+                        ip = body_ip as usize;
+                    } else {
+                        stack.pop();
+                        pos += terminator.len as usize;
+                        ip += 1;
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            stack.is_empty(),
+            "well-nested op range leaves no open arrays"
+        );
+        (ci, ri, pos)
     }
 }
 
@@ -435,6 +530,200 @@ fn decompile_range(ops: &[Op], lit_bytes: &[u8], ip: &mut usize, end: usize) -> 
         }
     }
     nodes
+}
+
+// ---------------------------------------------------------------------------------------
+// Delta evaluation: structural diffs between a refinement variant and its parent
+// ---------------------------------------------------------------------------------------
+
+/// Structural diff between a parent's [`CompiledTemplate`] and a refinement variant's:
+/// which instruction ranges (and hence which columns) are shared, and how the shared
+/// suffix's column ids remap.  Produced by [`diff_compiled`]; consumed by
+/// [`parse_dataset_span_delta`], which copies the shared ranges forward from the parent's
+/// arenas instead of re-matching their bytes, and by the incremental scorer, which reuses
+/// the per-column aggregates of unchanged columns (see
+/// [`TemplateDiff::column_reuse`]).
+///
+/// The §4.3 refinement variants are localized edits: an unfold replaces one array node with
+/// its expansion (splitting the array's columns into per-repetition copies) and a shift
+/// moves the record boundary (rotating whole lines), so most of a variant's op table is a
+/// verbatim prefix and a renumbered suffix of its parent's.  Both shared ranges are clamped
+/// to be *well-nested* — an array opened inside a shared range also closes inside it — so
+/// they can be replayed against recorded arenas without entering the dirty region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TemplateDiff {
+    /// Ops `[0, prefix_ops)` are identical (same ops, same column and array numbering).
+    pub prefix_ops: usize,
+    /// First op of the shared suffix in the parent's table.
+    pub parent_suffix: usize,
+    /// First op of the shared suffix in the variant's table.
+    pub variant_suffix: usize,
+    /// Number of ops in the shared suffix.
+    pub suffix_ops: usize,
+    /// Added to a parent suffix cell's column id to obtain the variant column id
+    /// (`variant.field_count - parent.field_count`; never moves a suffix column below 0).
+    pub suffix_col_shift: i64,
+    /// Number of field columns inside the shared prefix.
+    pub prefix_columns: usize,
+    /// Number of field columns inside the shared suffix.
+    pub suffix_columns: usize,
+}
+
+impl TemplateDiff {
+    /// `true` when the diff shares at least one op — a delta parse can skip *some* bytes.
+    pub fn has_common(&self) -> bool {
+        self.prefix_ops > 0 || self.suffix_ops > 0
+    }
+
+    /// Per-variant-column provenance for incremental scoring: `Some(parent_column)` when the
+    /// variant column is structurally unchanged (shared prefix or shared suffix), `None`
+    /// when it belongs to the dirty region and its aggregates must be recomputed.
+    pub fn column_reuse(&self, parent_fields: usize, variant_fields: usize) -> Vec<Option<u32>> {
+        let mut map = vec![None; variant_fields];
+        for (col, slot) in map.iter_mut().enumerate().take(self.prefix_columns) {
+            *slot = Some(col as u32);
+        }
+        for j in 0..self.suffix_columns {
+            let vcol = variant_fields - self.suffix_columns + j;
+            let pcol = parent_fields - self.suffix_columns + j;
+            map[vcol] = Some(pcol as u32);
+        }
+        map
+    }
+}
+
+/// `true` when two ops are interchangeable inside a shared *suffix*: byte-identical
+/// matching behaviour, with column / array ids allowed to differ (they renumber by a
+/// constant) and intra-table jump targets allowed to differ by the table-length shift.
+fn suffix_op_eq(
+    parent: &CompiledTemplate,
+    pi: usize,
+    variant: &CompiledTemplate,
+    vi: usize,
+) -> bool {
+    let shift = variant.ops.len() as i64 - parent.ops.len() as i64;
+    match (parent.ops[pi], variant.ops[vi]) {
+        (Op::Byte { byte: a }, Op::Byte { byte: b }) => a == b,
+        (Op::Literal { start: ps, len: pl }, Op::Literal { start: vs, len: vl }) => {
+            parent.lit(ps, pl) == variant.lit(vs, vl)
+        }
+        (Op::Field { .. }, Op::Field { .. }) => true,
+        (Op::ArrayBegin { end_ip: pe, .. }, Op::ArrayBegin { end_ip: ve, .. }) => {
+            ve as i64 == pe as i64 + shift
+        }
+        (
+            Op::ArrayEnd {
+                body_ip: pb,
+                separator: psep,
+                terminator: pterm,
+            },
+            Op::ArrayEnd {
+                body_ip: vb,
+                separator: vsep,
+                terminator: vterm,
+            },
+        ) => vb as i64 == pb as i64 + shift && psep == vsep && pterm == vterm,
+        _ => false,
+    }
+}
+
+/// `true` when two ops are identical inside a shared *prefix* (column and array numbering
+/// is pre-order from the table start, so shared-prefix ids coincide exactly).
+fn prefix_op_eq(parent: &CompiledTemplate, variant: &CompiledTemplate, i: usize) -> bool {
+    match (parent.ops[i], variant.ops[i]) {
+        (Op::Literal { start: ps, len: pl }, Op::Literal { start: vs, len: vl }) => {
+            parent.lit(ps, pl) == variant.lit(vs, vl)
+        }
+        (a, b) => a == b,
+    }
+}
+
+/// Number of [`Op::Field`] ops in `ops[range]`.
+fn count_fields(ops: &[Op], range: std::ops::Range<usize>) -> usize {
+    ops[range]
+        .iter()
+        .filter(|op| matches!(op, Op::Field { .. }))
+        .count()
+}
+
+/// Computes the structural diff between a refinement variant's compiled table and its
+/// parent's, or `None` when delta evaluation is unsound or useless for the pair:
+///
+/// * different `RT-CharSet`s (field runs would delimit differently, so even byte-identical
+///   shared ops can consume different spans — e.g. a full unfold to one repetition drops
+///   the separator from the template's character set);
+/// * no shared ops at all (nothing to copy forward).
+pub fn diff_compiled(
+    parent: &CompiledTemplate,
+    variant: &CompiledTemplate,
+) -> Option<TemplateDiff> {
+    if parent.charset != variant.charset {
+        return None;
+    }
+    let p_len = parent.ops.len();
+    let v_len = variant.ops.len();
+    if p_len == 0 || v_len == 0 {
+        return None;
+    }
+
+    // Longest identical prefix, clamped to the last depth-0 boundary so every array opened
+    // inside the prefix also closes inside it.
+    let mut raw_prefix = 0usize;
+    while raw_prefix < p_len && raw_prefix < v_len && prefix_op_eq(parent, variant, raw_prefix) {
+        raw_prefix += 1;
+    }
+    let mut prefix = 0usize;
+    let mut depth = 0i32;
+    for (i, op) in parent.ops[..raw_prefix].iter().enumerate() {
+        match op {
+            Op::ArrayBegin { .. } => depth += 1,
+            Op::ArrayEnd { .. } => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 {
+            prefix = i + 1;
+        }
+    }
+
+    // Longest shared suffix (modulo renumbering), never overlapping the prefix, clamped to
+    // the last depth-0 boundary from the right.
+    let max_suffix = (p_len - prefix).min(v_len - prefix);
+    let mut raw_suffix = 0usize;
+    while raw_suffix < max_suffix
+        && suffix_op_eq(
+            parent,
+            p_len - 1 - raw_suffix,
+            variant,
+            v_len - 1 - raw_suffix,
+        )
+    {
+        raw_suffix += 1;
+    }
+    let mut suffix = 0usize;
+    depth = 0;
+    for k in 0..raw_suffix {
+        match parent.ops[p_len - 1 - k] {
+            Op::ArrayEnd { .. } => depth += 1,
+            Op::ArrayBegin { .. } => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 {
+            suffix = k + 1;
+        }
+    }
+
+    if prefix == 0 && suffix == 0 {
+        return None;
+    }
+    Some(TemplateDiff {
+        prefix_ops: prefix,
+        parent_suffix: p_len - suffix,
+        variant_suffix: v_len - suffix,
+        suffix_ops: suffix,
+        suffix_col_shift: variant.field_count as i64 - parent.field_count as i64,
+        prefix_columns: count_fields(&parent.ops, 0..prefix),
+        suffix_columns: count_fields(&parent.ops, p_len - suffix..p_len),
+    })
 }
 
 /// One matched record in a [`SpanParse`]: metadata plus ranges into the shared arenas.
@@ -631,7 +920,6 @@ impl SpanLineMatcher {
         scratch: &mut SpanScratch,
     ) -> Option<SpanRecord> {
         let text = dataset.text().as_bytes();
-        let n = dataset.line_count();
         let start = dataset.line_start(line);
         for (idx, ct) in self.compiled.iter().enumerate() {
             if ct.ops.is_empty() {
@@ -640,13 +928,9 @@ impl SpanLineMatcher {
             let cell_mark = cells.len() as u32;
             let rep_mark = reps.len() as u32;
             if let Some(end) = ct.run(text, start, cells, reps, &mut scratch.stack) {
-                let end_line = line_of_offset(dataset, end, line);
-                let ends_on_boundary = end == text.len()
-                    || end_line
-                        .map(|l| dataset.line_start(l) == end)
-                        .unwrap_or(false);
-                let line_span_end = end_line.unwrap_or(n);
-                if ends_on_boundary && line_span_end - line <= self.max_line_span && end > start {
+                if let Some(line_span_end) =
+                    accept_span(dataset, line, start, end, self.max_line_span)
+                {
                     return Some(SpanRecord {
                         template_index: idx as u32,
                         byte_span: (start, end),
@@ -734,6 +1018,47 @@ impl SpanLineMatcher {
             }
         }
     }
+
+    /// Answers the per-line match question for the whole dataset across `chunks` scoped
+    /// worker threads — the parallel engine's phase 1, also driven per window by the
+    /// streaming extractor (see [`crate::streaming`]).  The per-line answers depend only
+    /// on the text from each line onward, so the table is identical for any chunk count.
+    pub fn match_table(&self, dataset: &Dataset, chunks: usize) -> LineMatchTable {
+        let n = dataset.line_count();
+        let bounds = chunk_bounds(n, chunks);
+        let matcher = self;
+        let chunks: Vec<ChunkMatches> = std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .map(|&(first, last)| {
+                    scope.spawn(move || {
+                        let mut chunk = ChunkMatches {
+                            first,
+                            matches: Vec::with_capacity(last - first),
+                            cells: Vec::new(),
+                            reps: Vec::new(),
+                        };
+                        let mut scratch = SpanScratch::default();
+                        for line in first..last {
+                            chunk.matches.push(matcher.match_line_into(
+                                dataset,
+                                line,
+                                &mut chunk.cells,
+                                &mut chunk.reps,
+                                &mut scratch,
+                            ));
+                        }
+                        chunk
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("extraction worker panicked"))
+                .collect()
+        });
+        LineMatchTable { chunks }
+    }
 }
 
 /// Sequential span extraction into a caller-owned (recyclable) [`SpanParse`] — identical
@@ -757,6 +1082,408 @@ pub fn parse_dataset_span(
     SpanLineMatcher::new(templates, max_line_span).parse(dataset)
 }
 
+// ---------------------------------------------------------------------------------------
+// Delta parsing: re-parse only the dirty region of each record
+// ---------------------------------------------------------------------------------------
+
+/// Work counters of one [`parse_dataset_span_delta`] run — the delta-hit telemetry the
+/// refiner aggregates and the pipeline report surfaces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaParseStats {
+    /// Records in the parent parse.
+    pub parent_records: usize,
+    /// Parent records whose start line the variant's greedy path visited.
+    pub consulted_records: usize,
+    /// Parent records fully copy-forwarded: shared prefix and suffix replayed from the
+    /// parent arenas, only the dirty region re-matched, end position realigned.
+    pub reused_records: usize,
+    /// Parent records whose dirty region re-match succeeded but whose tail had to be
+    /// re-matched against the text (no shared suffix, or the dirty region ended at a
+    /// different byte position than the parent's).
+    pub rematched_records: usize,
+    /// Parent records the variant rejects (the re-matched region fails on their bytes).
+    pub dropped_records: usize,
+    /// Variant records discovered at lines where the parent had none.
+    pub extra_records: usize,
+    /// Full per-line matches run (parent noise lines, exposed mid-record lines).
+    pub full_line_matches: usize,
+}
+
+impl DeltaParseStats {
+    /// `true` when every variant cell in a shared-*prefix* column is a verbatim copy of the
+    /// parent's: every parent record was visited and carried forward, and no record exists
+    /// that the parent did not have.  Prefix-column aggregates can then be reused by the
+    /// incremental scorer.
+    pub fn prefix_aligned(&self) -> bool {
+        self.consulted_records == self.parent_records
+            && self.dropped_records == 0
+            && self.extra_records == 0
+    }
+
+    /// `true` when shared-*suffix* columns are verbatim copies too: additionally, no
+    /// record's suffix had to be re-matched against the text.
+    pub fn suffix_aligned(&self) -> bool {
+        self.prefix_aligned() && self.reused_records == self.parent_records
+    }
+}
+
+/// Matches one record of `compiled` starting at `line`, with the full acceptance rules of
+/// [`SpanLineMatcher::match_line_into`] (single-template specialization shared by the delta
+/// parser's fallback path).
+fn match_line_compiled(
+    compiled: &CompiledTemplate,
+    dataset: &Dataset,
+    line: usize,
+    max_line_span: usize,
+    cells: &mut Vec<FieldCell>,
+    reps: &mut Vec<u32>,
+    stack: &mut Vec<(usize, u32)>,
+) -> Option<SpanRecord> {
+    if compiled.ops.is_empty() {
+        return None;
+    }
+    let text = dataset.text().as_bytes();
+    let start = dataset.line_start(line);
+    let cell_mark = cells.len() as u32;
+    let rep_mark = reps.len() as u32;
+    let end = compiled.run(text, start, cells, reps, stack)?;
+    match accept_span(dataset, line, start, end, max_line_span) {
+        Some(line_end) => Some(SpanRecord {
+            template_index: 0,
+            byte_span: (start, end),
+            line_span: (line, line_end),
+            cell_range: (cell_mark, cells.len() as u32),
+            rep_range: (rep_mark, reps.len() as u32),
+        }),
+        None => {
+            cells.truncate(cell_mark as usize);
+            reps.truncate(rep_mark as usize);
+            None
+        }
+    }
+}
+
+/// The record-acceptance rules shared by every span matching path
+/// ([`SpanLineMatcher::match_line_into`], the delta parser, the compiled fallback): the
+/// match must end on a line boundary, span at most `max_line_span` lines, and consume at
+/// least one byte.  Returns the exclusive end line on acceptance.
+fn accept_span(
+    dataset: &Dataset,
+    line: usize,
+    start: usize,
+    end: usize,
+    max_line_span: usize,
+) -> Option<usize> {
+    let text_len = dataset.text().len();
+    let n = dataset.line_count();
+    let end_line = line_of_offset(dataset, end, line);
+    let ends_on_boundary = end == text_len
+        || end_line
+            .map(|l| dataset.line_start(l) == end)
+            .unwrap_or(false);
+    let line_span_end = end_line.unwrap_or(n);
+    if ends_on_boundary && line_span_end - line <= max_line_span && end > start {
+        Some(line_span_end)
+    } else {
+        None
+    }
+}
+
+/// Full greedy segmentation with a single already-compiled template into a caller-owned
+/// (recyclable) parse — identical output to [`parse_dataset_span_into`] with that template
+/// alone, without re-compiling it.  The refiner's delta engine uses this as the exact
+/// fallback whenever no usable diff exists (different charsets, no shared ops, no parent).
+pub fn parse_compiled_into(
+    dataset: &Dataset,
+    compiled: &CompiledTemplate,
+    max_line_span: usize,
+    out: &mut SpanParse,
+) {
+    out.clear();
+    let n = dataset.line_count();
+    let mut stack: Vec<(usize, u32)> = Vec::new();
+    let mut line = 0usize;
+    while line < n {
+        match match_line_compiled(
+            compiled,
+            dataset,
+            line,
+            max_line_span,
+            &mut out.cells,
+            &mut out.reps,
+            &mut stack,
+        ) {
+            Some(rec) => {
+                out.record_bytes += rec.byte_len();
+                line = rec.line_span.1;
+                out.records.push(rec);
+            }
+            None => {
+                let (s, e) = dataset.line_span(line);
+                out.noise_bytes += e - s;
+                out.noise_lines.push(line);
+                line += 1;
+            }
+        }
+    }
+}
+
+/// Parses the dataset with a refinement variant by *delta* against its parent's parse:
+/// wherever the parent has a record starting on the greedy path, the variant's shared
+/// prefix is replayed from the parent's arenas (zero byte scanning), only the dirty op
+/// range is re-matched against the text, and — when the dirty region ends exactly where
+/// the parent's did — the shared suffix is copied forward too (cells renumbered through
+/// [`TemplateDiff::suffix_col_shift`], repetition counts verbatim).  Lines without a
+/// parent record fall back to a full single-template match.
+///
+/// The output is **identical** to `parse_dataset_span(dataset, &[variant], max_line_span)`
+/// for every template pair [`diff_compiled`] accepts: the per-line match question depends
+/// only on the text from that line onward, the shared ranges match byte-identically by
+/// construction (same ops, same charset, same start position), and every divergence —
+/// failed dirty region, misaligned suffix — falls back to running the real matcher.
+/// Enforced by the delta property suite and `tests/evaluation_equivalence.rs`.
+#[allow(clippy::too_many_arguments)]
+pub fn parse_dataset_span_delta(
+    dataset: &Dataset,
+    parent_compiled: &CompiledTemplate,
+    parent: &SpanParse,
+    variant_compiled: &CompiledTemplate,
+    diff: &TemplateDiff,
+    max_line_span: usize,
+    out: &mut SpanParse,
+) -> DeltaParseStats {
+    out.clear();
+    let mut stats = DeltaParseStats {
+        parent_records: parent.records.len(),
+        ..Default::default()
+    };
+    let n = dataset.line_count();
+    let mut stack: Vec<(usize, u32)> = Vec::new();
+    let mut rec_idx = 0usize;
+    let mut line = 0usize;
+    while line < n {
+        // The parent record starting exactly at `line`, if any (records are in document
+        // order, and the greedy cursor only moves forward).
+        while rec_idx < parent.records.len() && parent.records[rec_idx].line_span.0 < line {
+            rec_idx += 1;
+        }
+        let parent_rec = parent
+            .records
+            .get(rec_idx)
+            .filter(|r| r.line_span.0 == line);
+        let matched = match parent_rec {
+            Some(prec) => {
+                stats.consulted_records += 1;
+                delta_match_record(
+                    dataset,
+                    parent_compiled,
+                    parent,
+                    prec,
+                    variant_compiled,
+                    diff,
+                    max_line_span,
+                    out,
+                    &mut stack,
+                    &mut stats,
+                )
+            }
+            None => {
+                stats.full_line_matches += 1;
+                let rec = match_line_compiled(
+                    variant_compiled,
+                    dataset,
+                    line,
+                    max_line_span,
+                    &mut out.cells,
+                    &mut out.reps,
+                    &mut stack,
+                );
+                if rec.is_some() {
+                    stats.extra_records += 1;
+                }
+                rec
+            }
+        };
+        match matched {
+            Some(rec) => {
+                out.record_bytes += rec.byte_len();
+                line = rec.line_span.1;
+                out.records.push(rec);
+            }
+            None => {
+                let (s, e) = dataset.line_span(line);
+                out.noise_bytes += e - s;
+                out.noise_lines.push(line);
+                line += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// The per-record delta step: prefix replay + copy, dirty re-match, suffix realign-or-rerun.
+#[allow(clippy::too_many_arguments)]
+fn delta_match_record(
+    dataset: &Dataset,
+    parent_compiled: &CompiledTemplate,
+    parent: &SpanParse,
+    prec: &SpanRecord,
+    variant_compiled: &CompiledTemplate,
+    diff: &TemplateDiff,
+    max_line_span: usize,
+    out: &mut SpanParse,
+    stack: &mut Vec<(usize, u32)>,
+    stats: &mut DeltaParseStats,
+) -> Option<SpanRecord> {
+    let text = dataset.text().as_bytes();
+    let pcells = parent.record_cells(prec);
+    let preps = parent.record_reps(prec);
+    let start = prec.byte_span.0;
+    let line = prec.line_span.0;
+    let cell_mark = out.cells.len() as u32;
+    let rep_mark = out.reps.len() as u32;
+
+    // 1. Shared prefix: replay against the parent's recorded match (no byte scanning) and
+    //    copy the cells/reps forward verbatim — prefix column and array numbering is
+    //    identical in both templates.
+    let (c1, r1, pos1) = parent_compiled.replay_range(0, diff.prefix_ops, pcells, preps, start);
+    out.cells.extend_from_slice(&pcells[..c1]);
+    out.reps.extend_from_slice(&preps[..r1]);
+
+    // 2. Dirty region: run the variant's real matcher over the text.
+    let v_len = variant_compiled.ops.len();
+    let dirty_end = match variant_compiled.run_range(
+        text,
+        pos1,
+        diff.prefix_ops,
+        diff.variant_suffix,
+        &mut out.cells,
+        &mut out.reps,
+        stack,
+    ) {
+        Some(pos) => pos,
+        None => {
+            out.cells.truncate(cell_mark as usize);
+            out.reps.truncate(rep_mark as usize);
+            stats.dropped_records += 1;
+            return None;
+        }
+    };
+
+    // 3. Shared suffix, with *progressive resync*: the suffix ops are shared (modulo
+    //    renumbering), so walk them segment by segment — each top-level array is one
+    //    segment, maximal plain-op runs between arrays another — running the variant
+    //    against the text while replaying the parent against its arenas, and switch to
+    //    copy-forward the moment the two positions coincide (from a common position,
+    //    common ops under a common charset consume identically).  An unfold realigns
+    //    right after the edited array — the one-shot end check would re-scan the whole
+    //    tail — and a fully aligned record resyncs immediately at the suffix entry.
+    let (c2, r2, parent_dirty_end) = parent_compiled.replay_range(
+        diff.prefix_ops,
+        diff.parent_suffix,
+        &pcells[c1..],
+        &preps[r1..],
+        pos1,
+    );
+    let mut v_ip = diff.variant_suffix;
+    let mut v_pos = dirty_end;
+    let mut p_ip = diff.parent_suffix;
+    let mut p_pos = parent_dirty_end;
+    let mut p_cell = c1 + c2;
+    let mut p_rep = r1 + r2;
+    let mut resynced_at_entry = false;
+    let end = loop {
+        if v_pos == p_pos {
+            // Resync: the rest of the suffix consumes exactly what the parent's did —
+            // copy the recorded cells forward with the constant column renumbering.
+            for cell in &pcells[p_cell..] {
+                out.cells.push(FieldCell {
+                    column: (cell.column as i64 + diff.suffix_col_shift) as usize,
+                    ..*cell
+                });
+            }
+            out.reps.extend_from_slice(&preps[p_rep..]);
+            resynced_at_entry = v_ip == diff.variant_suffix;
+            break prec.byte_span.1;
+        }
+        if v_ip >= v_len {
+            break v_pos;
+        }
+        // One segment: a whole top-level array, or the maximal plain-op run up to the
+        // next array (positions can only re-converge at an array's variable-length exit,
+        // so checking at segment boundaries loses nothing).
+        let seg_len = match variant_compiled.ops[v_ip] {
+            Op::ArrayBegin { end_ip, .. } => end_ip as usize + 1 - v_ip,
+            _ => {
+                let mut k = v_ip + 1;
+                while k < v_len && !matches!(variant_compiled.ops[k], Op::ArrayBegin { .. }) {
+                    k += 1;
+                }
+                k - v_ip
+            }
+        };
+        match variant_compiled.run_range(
+            text,
+            v_pos,
+            v_ip,
+            v_ip + seg_len,
+            &mut out.cells,
+            &mut out.reps,
+            stack,
+        ) {
+            Some(pos) => v_pos = pos,
+            None => {
+                out.cells.truncate(cell_mark as usize);
+                out.reps.truncate(rep_mark as usize);
+                stats.dropped_records += 1;
+                return None;
+            }
+        }
+        let (dc, dr, pos) = parent_compiled.replay_range(
+            p_ip,
+            p_ip + seg_len,
+            &pcells[p_cell..],
+            &preps[p_rep..],
+            p_pos,
+        );
+        p_cell += dc;
+        p_rep += dr;
+        p_pos = pos;
+        v_ip += seg_len;
+        p_ip += seg_len;
+    };
+
+    if resynced_at_entry {
+        stats.reused_records += 1;
+        // Same end as the parent record, which already passed the acceptance rules.
+        return Some(SpanRecord {
+            template_index: 0,
+            byte_span: prec.byte_span,
+            line_span: prec.line_span,
+            cell_range: (cell_mark, out.cells.len() as u32),
+            rep_range: (rep_mark, out.reps.len() as u32),
+        });
+    }
+    match accept_span(dataset, line, start, end, max_line_span) {
+        Some(line_end) => {
+            stats.rematched_records += 1;
+            Some(SpanRecord {
+                template_index: 0,
+                byte_span: (start, end),
+                line_span: (line, line_end),
+                cell_range: (cell_mark, out.cells.len() as u32),
+                rep_range: (rep_mark, out.reps.len() as u32),
+            })
+        }
+        None => {
+            out.cells.truncate(cell_mark as usize);
+            out.reps.truncate(rep_mark as usize);
+            stats.dropped_records += 1;
+            None
+        }
+    }
+}
+
 /// Per-chunk worker output of the parallel engine: per-line match table plus the worker's
 /// private arenas (ranges in the records are worker-local until the stitch).
 struct ChunkMatches {
@@ -764,6 +1491,34 @@ struct ChunkMatches {
     matches: Vec<Option<SpanRecord>>,
     cells: Vec<FieldCell>,
     reps: Vec<u32>,
+}
+
+/// The answer to *"does a record start at line `i`?"* for every line of a range, computed
+/// by scoped worker threads — phase 1 of the parallel engine, reusable by any consumer
+/// that replays the greedy segmentation itself (the whole-dataset stitch below, the
+/// streaming extractor's per-window loop).  Records reference the worker-local arenas held
+/// inside the table.
+pub struct LineMatchTable {
+    chunks: Vec<ChunkMatches>,
+}
+
+impl LineMatchTable {
+    /// The match at `line`, with the record's cells and repetition counts resolved against
+    /// the owning chunk's arenas.
+    pub fn record_at(&self, line: usize) -> Option<(SpanRecord, &[FieldCell], &[u32])> {
+        let k = match self.chunks.binary_search_by(|chunk| chunk.first.cmp(&line)) {
+            Ok(k) => k,
+            Err(0) => return None,
+            Err(k) => k - 1,
+        };
+        let chunk = &self.chunks[k];
+        let rec = chunk.matches.get(line - chunk.first)?.as_ref()?;
+        Some((
+            *rec,
+            &chunk.cells[rec.cell_range.0 as usize..rec.cell_range.1 as usize],
+            &chunk.reps[rec.rep_range.0 as usize..rec.rep_range.1 as usize],
+        ))
+    }
 }
 
 /// Parallel span extraction with `options.threads` scoped workers and a deterministic
@@ -781,68 +1536,25 @@ pub fn parse_dataset_span_parallel(
     if chunks <= 1 || n == 0 {
         return matcher.parse(dataset);
     }
-
-    let bounds = chunk_bounds(n, chunks);
-    let matcher = &matcher;
-
-    // Phase 1: per-line match tables into worker-local arenas, in parallel.
-    let tables: Vec<ChunkMatches> = std::thread::scope(|scope| {
-        let handles: Vec<_> = bounds
-            .iter()
-            .map(|&(first, last)| {
-                scope.spawn(move || {
-                    let mut chunk = ChunkMatches {
-                        first,
-                        matches: Vec::with_capacity(last - first),
-                        cells: Vec::new(),
-                        reps: Vec::new(),
-                    };
-                    let mut scratch = SpanScratch::default();
-                    for line in first..last {
-                        chunk.matches.push(matcher.match_line_into(
-                            dataset,
-                            line,
-                            &mut chunk.cells,
-                            &mut chunk.reps,
-                            &mut scratch,
-                        ));
-                    }
-                    chunk
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("extraction worker panicked"))
-            .collect()
-    });
+    let table = matcher.match_table(dataset, chunks);
 
     // Phase 2: sequential stitch replaying the greedy segmentation, copying each selected
     // record's arena slices into the merged arenas in document order.
     let mut out = SpanParse::default();
     let mut line = 0usize;
-    let mut k = 0usize;
     while line < n {
-        while line >= tables[k].first + tables[k].matches.len() {
-            k += 1;
-        }
-        let chunk = &tables[k];
-        match &chunk.matches[line - chunk.first] {
-            Some(rec) => {
+        match table.record_at(line) {
+            Some((rec, cells, reps)) => {
                 let cell_base = out.cells.len() as u32;
                 let rep_base = out.reps.len() as u32;
-                out.cells.extend_from_slice(
-                    &chunk.cells[rec.cell_range.0 as usize..rec.cell_range.1 as usize],
-                );
-                out.reps.extend_from_slice(
-                    &chunk.reps[rec.rep_range.0 as usize..rec.rep_range.1 as usize],
-                );
+                out.cells.extend_from_slice(cells);
+                out.reps.extend_from_slice(reps);
                 out.record_bytes += rec.byte_len();
                 line = rec.line_span.1;
                 out.records.push(SpanRecord {
                     cell_range: (cell_base, out.cells.len() as u32),
                     rep_range: (rep_base, out.reps.len() as u32),
-                    ..*rec
+                    ..rec
                 });
             }
             None => {
@@ -1049,6 +1761,174 @@ mod tests {
         let legacy = parse_dataset(&data, std::slice::from_ref(&st), 10);
         assert_eq!(rec.fields, legacy.records[0].fields);
         assert_eq!(rec.values, legacy.records[0].values);
+    }
+
+    fn assert_span_parse_eq(a: &SpanParse, b: &SpanParse, label: &str) {
+        assert_eq!(a.records, b.records, "{label}: records");
+        assert_eq!(a.cells, b.cells, "{label}: cells");
+        assert_eq!(a.reps, b.reps, "{label}: reps");
+        assert_eq!(a.noise_lines, b.noise_lines, "{label}: noise lines");
+        assert_eq!(a.record_bytes, b.record_bytes, "{label}: record bytes");
+        assert_eq!(a.noise_bytes, b.noise_bytes, "{label}: noise bytes");
+    }
+
+    /// Delta-parses `variant` against a parent parse and asserts the result is identical
+    /// to the from-scratch parse; returns the delta stats (`None` when no usable diff).
+    fn check_delta(
+        text: &str,
+        parent: &StructureTemplate,
+        variant: &StructureTemplate,
+        label: &str,
+    ) -> Option<DeltaParseStats> {
+        let data = Dataset::new(text);
+        let pc = compile(parent);
+        let vc = compile(variant);
+        let parent_parse = parse_dataset_span(&data, std::slice::from_ref(parent), 10);
+        let full = parse_dataset_span(&data, std::slice::from_ref(variant), 10);
+        let diff = diff_compiled(&pc, &vc)?;
+        let mut delta = SpanParse::default();
+        let stats = parse_dataset_span_delta(&data, &pc, &parent_parse, &vc, &diff, 10, &mut delta);
+        assert_span_parse_eq(&full, &delta, label);
+        assert_eq!(
+            stats.consulted_records,
+            stats.reused_records + stats.rematched_records + stats.dropped_records,
+            "{label}: consulted = reused + rematched + dropped"
+        );
+        Some(stats)
+    }
+
+    #[test]
+    fn diff_of_unfold_variant_shares_prefix_and_suffix() {
+        // [F:F] (F.)*F GET\n  ->  unfold the IP array to 4 repetitions.
+        let parent = array("[0:1] 1.2.3.4 GET\n", "[]:. \n");
+        let paths = crate::refine::collect_array_paths(parent.nodes());
+        assert!(!paths.is_empty());
+        let variant = crate::refine::unfold_at(&parent, &paths[0], 4, false).unwrap();
+        let diff = diff_compiled(&compile(&parent), &compile(&variant)).expect("usable diff");
+        assert!(diff.has_common());
+        assert!(diff.prefix_ops > 0, "prefix shared: {diff:?}");
+        assert!(diff.suffix_ops > 0, "suffix shared: {diff:?}");
+        assert_eq!(
+            diff.suffix_col_shift,
+            variant.field_count() as i64 - parent.field_count() as i64
+        );
+    }
+
+    #[test]
+    fn diff_rejects_charset_changes() {
+        // Full unfold to a single repetition drops the separator from the template's
+        // character set — field runs would delimit differently, so no diff.
+        let parent = array("1,2,3\n", ",\n");
+        let paths = crate::refine::collect_array_paths(parent.nodes());
+        let variant = crate::refine::unfold_at(&parent, &paths[0], 1, false).unwrap();
+        assert_ne!(parent.char_set(), variant.char_set());
+        assert!(diff_compiled(&compile(&parent), &compile(&variant)).is_none());
+    }
+
+    #[test]
+    fn delta_parse_matches_full_parse_on_unfolds() {
+        // Constant-width section (delta reuses everything) plus ragged rows and noise
+        // (delta drops / re-matches).
+        let mut text = String::new();
+        for i in 0..40 {
+            text.push_str(&format!("h{} 1.2.{}.{} ok\n", i % 7, i % 9, i % 5));
+        }
+        text.push_str("!! noise !!\nh8 1.2.3 ok\n");
+        let parent = array("h9 1.2.3.4 ok\n", ". \n");
+        assert!(parent.has_array());
+        let paths = crate::refine::collect_array_paths(parent.nodes());
+        for (reps, partial) in [(3, false), (1, true), (2, true), (4, false)] {
+            if let Some(variant) = crate::refine::unfold_at(&parent, &paths[0], reps, partial) {
+                let label = format!("unfold reps={reps} partial={partial}");
+                let stats = check_delta(&text, &parent, &variant, &label);
+                assert!(stats.is_some(), "{label}: expected a usable diff");
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_delta_parse_reuses_every_record() {
+        let mut text = String::new();
+        for i in 0..30 {
+            text.push_str(&format!("a{} 10.0.0.{} x\n", i, i % 250));
+        }
+        let parent = array("a1 10.0.0.2 x\n", ". \n");
+        let paths = crate::refine::collect_array_paths(parent.nodes());
+        // Every record has exactly 4 IP components, so the full unfold to 4 realigns on
+        // every record: nothing dropped, nothing extra, everything reused.
+        let variant = crate::refine::unfold_at(&parent, &paths[0], 4, false).unwrap();
+        let stats = check_delta(&text, &parent, &variant, "aligned unfold").unwrap();
+        assert_eq!(stats.reused_records, stats.parent_records);
+        assert!(
+            stats.prefix_aligned() && stats.suffix_aligned(),
+            "{stats:?}"
+        );
+        assert_eq!(stats.dropped_records, 0);
+        assert_eq!(stats.extra_records, 0);
+    }
+
+    #[test]
+    fn delta_parse_matches_full_parse_on_shift_rotations() {
+        let mut text = String::new();
+        for i in 0..25 {
+            text.push_str(&format!("HDR {i}\nval={i};st=ok\n"));
+        }
+        let parent = flat("HDR 1\nval=2;st=ok\n", " =;\n");
+        let mut checked = 0usize;
+        for variant in crate::refine::shift_variants(&parent) {
+            if check_delta(&text, &parent, &variant, &format!("shift to {variant}")).is_some() {
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "at least one rotation has a usable diff");
+    }
+
+    #[test]
+    fn parse_compiled_into_matches_span_parse() {
+        let text = "1,2,3\n4,5\n!! noise\n6,7,8,9\n";
+        let data = Dataset::new(text);
+        let t = array("1,2,3\n", ",\n");
+        let full = parse_dataset_span(&data, std::slice::from_ref(&t), 10);
+        let mut out = SpanParse::default();
+        parse_compiled_into(&data, &compile(&t), 10, &mut out);
+        assert_span_parse_eq(&full, &out, "parse_compiled_into");
+    }
+
+    #[test]
+    fn match_table_agrees_with_sequential_matching() {
+        let mut text = String::new();
+        for i in 0..60 {
+            text.push_str(&format!("k{}=v{}\n", i, i * 3));
+            if i % 13 == 2 {
+                text.push_str("### noise ###\n");
+            }
+        }
+        let data = Dataset::new(text);
+        let t = flat("k=v\n", "=\n");
+        let matcher = SpanLineMatcher::new(std::slice::from_ref(&t), 10);
+        for chunks in [2, 3, 7] {
+            let table = matcher.match_table(&data, chunks);
+            let mut scratch = SpanScratch::default();
+            let mut cells = Vec::new();
+            let mut reps = Vec::new();
+            for line in 0..data.line_count() {
+                cells.clear();
+                reps.clear();
+                let direct =
+                    matcher.match_line_into(&data, line, &mut cells, &mut reps, &mut scratch);
+                let tabled = table.record_at(line);
+                match (direct, tabled) {
+                    (None, None) => {}
+                    (Some(d), Some((t, tc, tr))) => {
+                        assert_eq!(d.byte_span, t.byte_span, "line {line} ({chunks} chunks)");
+                        assert_eq!(d.line_span, t.line_span, "line {line}");
+                        assert_eq!(&cells[..], tc, "line {line}");
+                        assert_eq!(&reps[..], tr, "line {line}");
+                    }
+                    (d, t) => panic!("line {line}: direct {d:?} vs table {t:?}"),
+                }
+            }
+        }
     }
 
     #[test]

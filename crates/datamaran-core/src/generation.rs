@@ -26,7 +26,7 @@ use crate::config::{DatamaranConfig, GenerationBackend, SearchStrategy};
 use crate::dataset::Dataset;
 use crate::fxhash::FxHashMap;
 use crate::intern::{TemplateId, TemplateInterner};
-use crate::parallel::{chunk_bounds, effective_workers, resolve_threads};
+use crate::parallel::{effective_workers, resolve_threads, WorkQueue};
 use crate::record::{RecordTemplate, TemplateToken};
 use crate::reduce::reduce;
 use crate::span::LineIndex;
@@ -36,6 +36,10 @@ use std::collections::HashMap;
 /// Each exhaustive-search worker should get at least this many charsets (a charset
 /// evaluation is a full pass over the sample, so even small batches amortize spawn cost).
 const MIN_CHARSETS_PER_WORKER: usize = 2;
+
+/// Target work-stealing chunks claimed per exhaustive-search worker: enough granularity to
+/// re-balance the skewed mask costs, coarse enough that the atomic claim is noise.
+const MASK_CHUNKS_PER_WORKER: usize = 8;
 
 /// A candidate structure template produced by the generation step, with the statistics needed
 /// by the pruning step.
@@ -560,27 +564,35 @@ impl<'a> SpanEngine<'a> {
             n_masks,
             MIN_CHARSETS_PER_WORKER,
         );
-        let bounds = chunk_bounds(n_masks, workers);
         let extra = &extra;
 
-        // Each worker owns its interner / memo / bins and merges its mask range locally
+        // Mask costs are heavily skewed (the all-characters subsets tokenize far more
+        // material than the near-empty ones), so workers *claim* chunks from an atomic
+        // queue instead of being pre-assigned static ranges — no shard can strand the
+        // others idle.  The merge is order-independent (`replaces` is a total order), so
+        // which worker evaluates which mask cannot change the result.
+        let queue = WorkQueue::for_workers(n_masks, workers, MASK_CHUNKS_PER_WORKER);
+        let queue = &queue;
+
+        // Each worker owns its interner / memo / bins and merges its claimed masks locally
         // (keyed by template id); materialized results are merged globally afterwards.
         let results: Vec<(Vec<Candidate>, usize)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = bounds
-                .iter()
-                .map(|&(lo, hi)| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
                     scope.spawn(move || {
                         let mut state = WorkerState::default();
                         let mut records = 0usize;
                         let mut found: HashMap<TemplateId, PartialCandidate> = HashMap::new();
-                        for mask in lo..hi {
-                            let charset = mask_to_charset(mask as u64, extra);
-                            self.generate_for_charset(
-                                &mut state,
-                                &charset,
-                                &mut records,
-                                &mut found,
-                            );
+                        while let Some(range) = queue.claim() {
+                            for mask in range {
+                                let charset = mask_to_charset(mask as u64, extra);
+                                self.generate_for_charset(
+                                    &mut state,
+                                    &charset,
+                                    &mut records,
+                                    &mut found,
+                                );
+                            }
                         }
                         let candidates = found
                             .into_iter()
@@ -641,22 +653,27 @@ impl<'a> SpanEngine<'a> {
                 break;
             }
 
-            // Evaluate every one-character extension, in parallel chunks.
+            // Evaluate every one-character extension in parallel: extension costs are
+            // skewed the same way mask costs are (each added character grows the kept
+            // token mass), so workers claim extensions one at a time from an atomic queue
+            // and results are re-sorted by extension index before the selection replay.
             let workers = effective_workers(max_workers, remaining.len(), 1);
-            let bounds = chunk_bounds(remaining.len(), workers);
-            while states.len() < bounds.len() {
+            while states.len() < workers {
                 states.push(WorkerState::default());
             }
             let remaining_ref = &remaining;
             let current_set = current;
-            let evaluations: Vec<(Vec<Candidate>, usize)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = bounds
-                    .iter()
-                    .zip(states.iter_mut())
-                    .map(|(&(lo, hi), state)| {
+            let queue = WorkQueue::new(remaining.len(), 1);
+            let queue = &queue;
+            let mut indexed: Vec<(usize, Vec<Candidate>, usize)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = states
+                    .iter_mut()
+                    .take(workers)
+                    .map(|state| {
                         scope.spawn(move || {
-                            (lo..hi)
-                                .map(|i| {
+                            let mut done = Vec::new();
+                            while let Some(range) = queue.claim() {
+                                for i in range {
                                     let mut candidate_set = current_set;
                                     candidate_set.insert(remaining_ref[i]);
                                     let mut records = 0usize;
@@ -665,9 +682,10 @@ impl<'a> SpanEngine<'a> {
                                         &candidate_set,
                                         &mut records,
                                     );
-                                    (found, records)
-                                })
-                                .collect::<Vec<_>>()
+                                    done.push((i, found, records));
+                                }
+                            }
+                            done
                         })
                     })
                     .collect();
@@ -676,11 +694,12 @@ impl<'a> SpanEngine<'a> {
                     .flat_map(|h| h.join().expect("generation worker panicked"))
                     .collect()
             });
+            indexed.sort_by_key(|(i, _, _)| *i);
 
             // Replay the sequential selection over the evaluations, in `remaining` order.
             out.charsets_enumerated += remaining.len();
             let mut best: Option<(char, f64, Vec<Candidate>)> = None;
-            for (&c, (found, records)) in remaining.iter().zip(evaluations) {
+            for (&c, (_, found, records)) in remaining.iter().zip(indexed) {
                 out.records_examined += records;
                 let score = found
                     .iter()

@@ -80,16 +80,17 @@ pub use export::{
     CsvSink, ExtractionReport, JsonLinesSink, RecordSink, StreamReport, Tee,
 };
 pub use extract::{
-    compile, decompile, extract_records, parse_dataset_span, parse_dataset_span_into,
-    parse_dataset_span_parallel, CompiledTemplate, Op, SpanLineMatcher, SpanParse, SpanRecord,
-    SpanScratch,
+    compile, decompile, diff_compiled, extract_records, parse_compiled_into, parse_dataset_span,
+    parse_dataset_span_delta, parse_dataset_span_into, parse_dataset_span_parallel,
+    CompiledTemplate, DeltaParseStats, Op, SpanLineMatcher, SpanParse, SpanRecord, SpanScratch,
+    TemplateDiff,
 };
 pub use fieldtype::FieldType;
 pub use generation::{generate, Candidate, GenerationOutput};
 pub use grammar::Grammar;
 pub use intern::{TemplateId, TemplateInterner};
 pub use json::{JsonError, JsonValue};
-pub use mdl::{CoverageScorer, MdlScorer, RegularityScorer};
+pub use mdl::{ColumnStats, CoverageScorer, MdlScorer, RegularityScorer, ScoreParts};
 pub use parallel::{parse_dataset_parallel, ParallelOptions};
 pub use parser::{
     parse_dataset, tree_reps, FieldCell, LineMatcher, ParseResult, RecordMatch, ValueTree,

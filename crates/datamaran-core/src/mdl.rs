@@ -47,6 +47,40 @@ pub trait RegularityScorer: Sync {
         None
     }
 
+    /// [`RegularityScorer::score_span`] that additionally returns the scorer's per-column
+    /// aggregates ([`ScoreParts`]) for reuse by later delta evaluations.  `None` (the
+    /// default) means the scorer keeps no reusable parts; the evaluation engine then scores
+    /// every variant from scratch (still arena-native when [`score_span`] is implemented).
+    ///
+    /// [`score_span`]: RegularityScorer::score_span
+    fn score_span_stats(
+        &self,
+        _dataset: &Dataset,
+        _template: &StructureTemplate,
+        _parse: &SpanParse,
+    ) -> Option<(f64, ScoreParts)> {
+        None
+    }
+
+    /// Incremental scoring of a refinement variant against its parent's retained
+    /// [`ScoreParts`]: `reuse[c] == Some(p)` asserts variant column `c` has *exactly* the
+    /// parent column `p`'s cell multiset (the delta parser proves this before calling), so
+    /// its aggregate may be copied; `None` columns must be recomputed from `parse`.
+    ///
+    /// Implementations must return exactly the value [`RegularityScorer::score`] would
+    /// return on the materialized parse (the bit-identity contract of the span paths);
+    /// returning `None` (the default) makes the engine fall back to a full scoring pass.
+    fn score_span_delta(
+        &self,
+        _dataset: &Dataset,
+        _template: &StructureTemplate,
+        _parse: &SpanParse,
+        _parent: &ScoreParts,
+        _reuse: &[Option<u32>],
+    ) -> Option<(f64, ScoreParts)> {
+        None
+    }
+
     /// Scores a *set* of structure templates (the structural component `S` of Problem 2)
     /// against a dataset, given a segmentation obtained by parsing with all of them.
     ///
@@ -101,56 +135,36 @@ fn fields_bits(
     bits
 }
 
-/// Description length of all field values of records of `template_index`, computed directly
-/// from the span arenas — the arena-native mirror of [`fields_bits`].
+/// Per-column MDL inference state, driven straight over the cell arena (no per-column
+/// value vectors) — the unit of reuse of the delta scorer: a column whose cell multiset is
+/// unchanged between a refinement variant and its parent has an *identical* `ColumnStats`,
+/// so [`MdlScorer::score_span_delta`] clones it instead of re-scanning the column.
 ///
-/// Every MDL term is an integer-valued `f64` (ceil'd logarithms, multiples of 8, the array
-/// count constant), and every partial sum stays far below 2^53, so f64 addition is exact and
-/// order-independent.  That lets the per-cell tree walk of [`describe_value`] collapse into
-/// per-column aggregates, with the type inference, model and per-value charges fused into
-/// single-parse passes over the cell arena — while returning the *bit-identical* value
-/// (enforced by the evaluation differential suite).
-pub(crate) fn fields_bits_span(
-    dataset: &Dataset,
-    template: &StructureTemplate,
-    parse: &SpanParse,
-    template_index: usize,
-) -> f64 {
-    let n_columns = template.field_count();
-    let text = dataset.text();
-    let cells = || {
-        parse
-            .records
-            .iter()
-            .filter(move |r| r.template_index as usize == template_index)
-            .flat_map(|r| parse.record_cells(r))
-            .filter(|cell| cell.column < n_columns)
-    };
+/// The fused accumulation passes are the exact-arithmetic equivalent of
+/// `infer(vals)` + `FieldType::model_bits(vals)` + `Σ bits_per_value(v)` per column, minus
+/// the tree path's redundancy: numeric columns parse once (the legacy pair parses them
+/// twice) and the enum dictionary is built once in an Fx-hashed set (the legacy pair builds
+/// two SipHash sets).  Hasher choice and pass structure cannot change the result: set
+/// membership is hasher-independent, min/max/exp folds are order-independent, and every bit
+/// term is an integer-valued `f64` summed far below 2^53.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnStats {
+    count: usize,
+    int_ok: bool,
+    imin: i64,
+    imax: i64,
+    real_ok: bool,
+    rmin: f64,
+    rmax: f64,
+    exp: u32,
+    dict_bits: f64,
+    string_cost: f64,
+    distinct: usize,
+}
 
-    // Per-column inference state, driven straight over the cell arena (no per-column value
-    // vectors).  The fused passes are the exact-arithmetic equivalent of `infer(vals)` +
-    // `FieldType::model_bits(vals)` + `Σ bits_per_value(v)` per column, minus the tree
-    // path's redundancy: numeric columns parse once (the legacy pair parses them twice) and
-    // the enum dictionary is built once in an Fx-hashed set (the legacy pair builds two
-    // SipHash sets).  Hasher choice and pass structure cannot change the result: set
-    // membership is hasher-independent, min/max/exp folds are order-independent, and every
-    // bit term is an integer-valued `f64` summed far below 2^53.
-    #[derive(Clone)]
-    struct Col {
-        count: usize,
-        int_ok: bool,
-        imin: i64,
-        imax: i64,
-        real_ok: bool,
-        rmin: f64,
-        rmax: f64,
-        exp: u32,
-        dict_bits: f64,
-        string_cost: f64,
-        distinct: usize,
-    }
-    let mut cols = vec![
-        Col {
+impl Default for ColumnStats {
+    fn default() -> Self {
+        ColumnStats {
             count: 0,
             int_ok: true,
             imin: i64::MAX,
@@ -162,9 +176,45 @@ pub(crate) fn fields_bits_span(
             dict_bits: 0.0,
             string_cost: 0.0,
             distinct: 0,
-        };
-        n_columns
-    ];
+        }
+    }
+}
+
+/// The retainable by-product of one arena-native MDL scoring pass: one [`ColumnStats`] per
+/// template column.  The refiner keeps the parts of the current refinement parent so that
+/// variant evaluations can reuse the aggregates of structurally unchanged columns.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScoreParts {
+    cols: Vec<ColumnStats>,
+}
+
+impl ScoreParts {
+    /// Number of columns the parts were computed over.
+    pub fn column_count(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+/// Runs the fused inference passes over the cell arena, updating only the columns marked
+/// `active` (inactive columns hold final aggregates reused from a parent evaluation and
+/// must not be touched).  Restricting the passes to a column subset cannot change any
+/// column's result — each column's aggregate depends only on its own cells.
+fn accumulate_column_stats(
+    text: &str,
+    parse: &SpanParse,
+    template_index: usize,
+    n_columns: usize,
+    active: &[bool],
+    cols: &mut [ColumnStats],
+) {
+    let cells = || {
+        parse
+            .records
+            .iter()
+            .filter(move |r| r.template_index as usize == template_index)
+            .flat_map(|r| parse.record_cells(r))
+            .filter(|cell| cell.column < n_columns && active[cell.column])
+    };
 
     // Pass 1: counts + integer attempt.
     for cell in cells() {
@@ -180,8 +230,8 @@ pub(crate) fn fields_bits_span(
             }
         }
     }
-    // Pass 2 (only when some column fell out of the integer type): real attempt.
-    if cols.iter().any(|c| !c.int_ok) {
+    // Pass 2 (only when some active column fell out of the integer type): real attempt.
+    if cols.iter().zip(active).any(|(c, &a)| a && !c.int_ok) {
         for cell in cells() {
             let col = &mut cols[cell.column];
             if col.int_ok || !col.real_ok {
@@ -197,8 +247,12 @@ pub(crate) fn fields_bits_span(
             }
         }
     }
-    // Pass 3 (only when some column is non-numeric): enum dictionary / string mass.
-    if cols.iter().any(|c| !c.int_ok && !c.real_ok) {
+    // Pass 3 (only when some active column is non-numeric): enum dictionary / string mass.
+    if cols
+        .iter()
+        .zip(active)
+        .any(|(c, &a)| a && !c.int_ok && !c.real_ok)
+    {
         let mut sets: Vec<FxHashSet<&str>> = vec![FxHashSet::default(); n_columns];
         for cell in cells() {
             let col = &mut cols[cell.column];
@@ -214,10 +268,15 @@ pub(crate) fn fields_bits_span(
             }
         }
     }
+}
 
+/// Folds per-column aggregates plus the array-count term into the total field-description
+/// length.  Column order is fixed (0..n) and every term is an integer-valued `f64`, so the
+/// fold is bit-identical no matter how the aggregates were obtained (fresh scan or reuse).
+fn fold_column_bits(cols: &[ColumnStats], array_instances: usize) -> f64 {
     let mut model = 0.0;
     let mut describe = 0.0;
-    for col in &cols {
+    for col in cols {
         if col.count == 0 {
             // `infer` types an empty column as String (model: 8 bits, nothing to describe).
             model += 8.0;
@@ -254,13 +313,100 @@ pub(crate) fn fields_bits_span(
             }
         }
     }
-    let array_instances: usize = parse
+    model + ARRAY_COUNT_BITS * array_instances as f64 + describe
+}
+
+/// Total repetition-count slots of records of `template_index` (one [`ARRAY_COUNT_BITS`]
+/// charge each).
+fn array_instances(parse: &SpanParse, template_index: usize) -> usize {
+    parse
         .records
         .iter()
         .filter(|r| r.template_index as usize == template_index)
         .map(|r| (r.rep_range.1 - r.rep_range.0) as usize)
-        .sum();
-    model + ARRAY_COUNT_BITS * array_instances as f64 + describe
+        .sum()
+}
+
+/// Description length of all field values of records of `template_index`, computed directly
+/// from the span arenas — the arena-native mirror of [`fields_bits`].
+///
+/// Every MDL term is an integer-valued `f64` (ceil'd logarithms, multiples of 8, the array
+/// count constant), and every partial sum stays far below 2^53, so f64 addition is exact and
+/// order-independent.  That lets the per-cell tree walk of [`describe_value`] collapse into
+/// per-column aggregates ([`ColumnStats`]), with the type inference, model and per-value
+/// charges fused into single-parse passes over the cell arena — while returning the
+/// *bit-identical* value (enforced by the evaluation differential suite).
+pub(crate) fn fields_bits_span(
+    dataset: &Dataset,
+    template: &StructureTemplate,
+    parse: &SpanParse,
+    template_index: usize,
+) -> f64 {
+    fields_bits_span_stats(dataset, template, parse, template_index).0
+}
+
+/// [`fields_bits_span`] that also returns the per-column aggregates for later reuse.
+fn fields_bits_span_stats(
+    dataset: &Dataset,
+    template: &StructureTemplate,
+    parse: &SpanParse,
+    template_index: usize,
+) -> (f64, ScoreParts) {
+    let n_columns = template.field_count();
+    let mut cols = vec![ColumnStats::default(); n_columns];
+    let active = vec![true; n_columns];
+    accumulate_column_stats(
+        dataset.text(),
+        parse,
+        template_index,
+        n_columns,
+        &active,
+        &mut cols,
+    );
+    let bits = fold_column_bits(&cols, array_instances(parse, template_index));
+    (bits, ScoreParts { cols })
+}
+
+/// The incremental counterpart of [`fields_bits_span_stats`]: variant columns mapped to an
+/// unchanged parent column by `reuse` clone the parent's aggregate; only the remaining
+/// (dirty) columns are scanned.  Bit-identical to the full pass because an unchanged
+/// column's aggregate is value-identical and the fold is shared.
+fn fields_bits_span_delta(
+    dataset: &Dataset,
+    template: &StructureTemplate,
+    parse: &SpanParse,
+    template_index: usize,
+    parent: &ScoreParts,
+    reuse: &[Option<u32>],
+) -> Option<(f64, ScoreParts)> {
+    let n_columns = template.field_count();
+    if reuse.len() != n_columns {
+        return None;
+    }
+    let mut cols = Vec::with_capacity(n_columns);
+    let mut active = Vec::with_capacity(n_columns);
+    for slot in reuse {
+        match slot {
+            Some(p) => {
+                cols.push(parent.cols.get(*p as usize)?.clone());
+                active.push(false);
+            }
+            None => {
+                cols.push(ColumnStats::default());
+                active.push(true);
+            }
+        }
+    }
+    accumulate_column_stats(
+        dataset.text(),
+        parse,
+        template_index,
+        n_columns,
+        &active,
+        &mut cols,
+    );
+    let bits = fold_column_bits(&cols, array_instances(parse, template_index));
+    Some((bits, ScoreParts { cols }))
 }
 
 /// Single-scan equivalent of [`parse_integer`] for the span scoring hot loop.
@@ -342,6 +488,36 @@ impl RegularityScorer for MdlScorer {
         bits += parse.noise_bytes as f64 * 8.0;
         bits += fields_bits_span(dataset, template, parse, 0);
         Some(bits)
+    }
+
+    fn score_span_stats(
+        &self,
+        dataset: &Dataset,
+        template: &StructureTemplate,
+        parse: &SpanParse,
+    ) -> Option<(f64, ScoreParts)> {
+        let mut bits = template.description_chars() as f64 * 8.0 + HEADER_BITS;
+        bits += parse.block_count() as f64;
+        bits += parse.noise_bytes as f64 * 8.0;
+        let (fields, parts) = fields_bits_span_stats(dataset, template, parse, 0);
+        Some((bits + fields, parts))
+    }
+
+    fn score_span_delta(
+        &self,
+        dataset: &Dataset,
+        template: &StructureTemplate,
+        parse: &SpanParse,
+        parent: &ScoreParts,
+        reuse: &[Option<u32>],
+    ) -> Option<(f64, ScoreParts)> {
+        // The template / block-count / noise terms are cheap and read from the actual delta
+        // parse; only the per-column field aggregation is incremental.
+        let mut bits = template.description_chars() as f64 * 8.0 + HEADER_BITS;
+        bits += parse.block_count() as f64;
+        bits += parse.noise_bytes as f64 * 8.0;
+        let (fields, parts) = fields_bits_span_delta(dataset, template, parse, 0, parent, reuse)?;
+        Some((bits + fields, parts))
     }
 
     fn name(&self) -> &'static str {

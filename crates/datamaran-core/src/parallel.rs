@@ -23,6 +23,7 @@
 use crate::dataset::Dataset;
 use crate::parser::{LineMatcher, ParseResult, RecordMatch};
 use crate::structure::StructureTemplate;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Options for the parallel extraction pass.
 #[derive(Clone, Copy, Debug)]
@@ -78,6 +79,49 @@ pub fn chunk_bounds(n: usize, chunks: usize) -> Vec<(usize, usize)> {
         .map(|k| (k * n / chunks, (k + 1) * n / chunks))
         .filter(|(a, b)| b > a)
         .collect()
+}
+
+/// Chunked atomic-counter work queue: scoped workers claim the next chunk of `0..total`
+/// instead of being pre-assigned a static range — the work-stealing replacement for
+/// [`chunk_bounds`] wherever per-item cost is *skewed* (e.g. the generation step's charset
+/// masks: the all-characters subsets tokenize far more material than the near-empty ones,
+/// so static shards leave the light-shard workers idle while the heavy shard finishes).
+///
+/// Determinism is the claimant's obligation: use the queue only where the merge of
+/// per-item results is order-independent (the generation merges are, by the total order of
+/// `replaces`) or where results are re-sorted by item index afterwards.
+#[derive(Debug)]
+pub struct WorkQueue {
+    next: AtomicUsize,
+    total: usize,
+    chunk: usize,
+}
+
+impl WorkQueue {
+    /// A queue over `0..total` handing out chunks of `chunk` items (at least 1).
+    pub fn new(total: usize, chunk: usize) -> Self {
+        WorkQueue {
+            next: AtomicUsize::new(0),
+            total,
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// A queue sized so each of `workers` workers claims ~`chunks_per_worker` chunks on
+    /// average — small enough to re-balance skew, large enough to amortize the atomic.
+    pub fn for_workers(total: usize, workers: usize, chunks_per_worker: usize) -> Self {
+        let target = (workers * chunks_per_worker).max(1);
+        Self::new(total, total.div_ceil(target))
+    }
+
+    /// Claims the next chunk, or `None` when the queue is drained.
+    pub fn claim(&self) -> Option<std::ops::Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.total {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.total))
+    }
 }
 
 /// Resolves a thread-count knob: `0` means "one per available core".
@@ -325,6 +369,58 @@ mod tests {
                 .effective_chunks(10_000),
             1
         );
+    }
+
+    #[test]
+    fn work_queue_claims_cover_every_item_exactly_once() {
+        for (total, chunk) in [
+            (0usize, 3usize),
+            (1, 1),
+            (10, 3),
+            (17, 4),
+            (64, 64),
+            (5, 100),
+        ] {
+            let queue = WorkQueue::new(total, chunk);
+            let mut seen = vec![false; total];
+            while let Some(range) = queue.claim() {
+                for i in range {
+                    assert!(
+                        !seen[i],
+                        "item {i} claimed twice (total {total}, chunk {chunk})"
+                    );
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "total {total}, chunk {chunk}");
+            assert!(queue.claim().is_none(), "drained queue stays drained");
+        }
+    }
+
+    #[test]
+    fn work_queue_is_safe_under_concurrent_claims() {
+        let queue = WorkQueue::for_workers(1000, 4, 8);
+        let claimed: Vec<usize> = std::thread::scope(|scope| {
+            let queue = &queue;
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(range) = queue.claim() {
+                            mine.extend(range);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut sorted = claimed;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
     }
 
     #[test]

@@ -353,11 +353,7 @@ impl Datamaran {
         }
         ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         ranked.truncate(k.max(1));
-        let metrics = refiner.metrics();
-        stats.evaluation_metrics.evaluations += metrics.evaluations;
-        stats.evaluation_metrics.memo_hits += metrics.memo_hits;
-        stats.evaluation_metrics.parse_seconds += metrics.parse_seconds;
-        stats.evaluation_metrics.score_seconds += metrics.score_seconds;
+        stats.evaluation_metrics.accumulate(&refiner.metrics());
         stats.timings.evaluation += started.elapsed();
         Ok(ranked)
     }

@@ -31,11 +31,53 @@ use crate::dataset::Dataset;
 use crate::error::{Error, Result};
 use crate::export::RecordSink;
 use crate::extract::{SpanLineMatcher, SpanScratch};
+use crate::parallel::{resolve_threads, ParallelOptions};
 use crate::parser::{tree_reps, FieldCell, LineMatcher};
 use crate::pipeline::Datamaran;
 use crate::structure::StructureTemplate;
 use std::io::BufRead;
 use std::time::Instant;
+
+/// Per-record sink time is sampled (1 in 32) so the instrumentation itself stays off the
+/// hot path; the estimate scales the sampled time by the call count.
+const SINK_TIMING_SAMPLE: usize = 32;
+
+/// Running sink-callback timing state (shared by the sequential and parallel window loops).
+#[derive(Default)]
+struct SinkTiming {
+    calls: usize,
+    sampled_calls: usize,
+    sampled_secs: f64,
+}
+
+impl SinkTiming {
+    /// Pushes one record into the sink, timing a 1-in-[`SINK_TIMING_SAMPLE`] sample.
+    fn record<S: RecordSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        record: &StreamRecord<'_>,
+    ) -> Result<()> {
+        if self.calls.is_multiple_of(SINK_TIMING_SAMPLE) {
+            let timed = Instant::now();
+            sink.record(record)?;
+            self.sampled_secs += timed.elapsed().as_secs_f64();
+            self.sampled_calls += 1;
+        } else {
+            sink.record(record)?;
+        }
+        self.calls += 1;
+        Ok(())
+    }
+
+    /// The estimated total seconds spent in per-record sink calls.
+    fn estimate(&self) -> f64 {
+        if self.sampled_calls == 0 {
+            0.0
+        } else {
+            self.sampled_secs * self.calls as f64 / self.sampled_calls as f64
+        }
+    }
+}
 
 /// The slice of a record match the streaming loop needs; field cells and repetition counts
 /// land in reusable caller-supplied buffers instead of per-record vectors.
@@ -309,16 +351,19 @@ fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
     sink.begin(&matcher_templates)?;
     sink_seconds += timed.elapsed().as_secs_f64();
 
-    // Per-record sink time is sampled (1 in 32) so the instrumentation itself stays off
-    // the hot path; the estimate scales the sampled time by the call count.
-    const SINK_TIMING_SAMPLE: usize = 32;
-    let mut sink_calls = 0usize;
-    let mut sampled_calls = 0usize;
-    let mut sampled_secs = 0.0f64;
-
+    let mut timing = SinkTiming::default();
     let mut global_line = 0usize;
     let mut cells: Vec<FieldCell> = Vec::new();
     let mut reps: Vec<u32> = Vec::new();
+
+    // Worker budget for per-window extraction (span backend): the per-line match question
+    // depends only on the text from each line onward, so a window's match table can be
+    // computed by scoped workers and consumed by the same sequential decision loop —
+    // record order and sink bytes are identical for any thread count (enforced by
+    // `tests/streaming_export_equivalence.rs`).  Small windows fall back to the
+    // single-threaded loop via `effective_chunks`.
+    let par_options = ParallelOptions::default()
+        .with_threads(resolve_threads(engine.config().extraction_threads));
 
     // Phase 2: window-by-window extraction.
     loop {
@@ -332,9 +377,31 @@ fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
         // been read yet; they are only decided once the stream is exhausted.
         let safe_limit = if eof { n } else { n.saturating_sub(max_span) };
 
+        let chunks = par_options.effective_chunks(n);
+        let table = match &matcher {
+            WindowMatcher::Span(m, _) if chunks > 1 => Some(m.match_table(&dataset, chunks)),
+            _ => None,
+        };
+
         let mut line = 0usize;
         while line < n {
-            match matcher.match_line(&dataset, line, &mut cells, &mut reps) {
+            // One decision loop for both paths: the precomputed table (parallel windows)
+            // and the incremental matcher fill the same reusable buffers, so the
+            // safe-limit rules, record construction, and accounting exist exactly once.
+            let matched = match &table {
+                Some(table) => table.record_at(line).map(|(rec, rec_cells, rec_reps)| {
+                    cells.clear();
+                    reps.clear();
+                    cells.extend_from_slice(rec_cells);
+                    reps.extend_from_slice(rec_reps);
+                    WindowRecord {
+                        template_index: rec.template_index as usize,
+                        line_span: rec.line_span,
+                    }
+                }),
+                None => matcher.match_line(&dataset, line, &mut cells, &mut reps),
+            };
+            match matched {
                 Some(rec) => {
                     if !eof && rec.line_span.1 > safe_limit {
                         break;
@@ -346,15 +413,7 @@ fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
                         cells: &cells,
                         reps: &reps,
                     };
-                    if sink_calls.is_multiple_of(SINK_TIMING_SAMPLE) {
-                        let timed = Instant::now();
-                        sink.record(&record)?;
-                        sampled_secs += timed.elapsed().as_secs_f64();
-                        sampled_calls += 1;
-                    } else {
-                        sink.record(&record)?;
-                    }
-                    sink_calls += 1;
+                    timing.record(sink, &record)?;
                     summary.records += 1;
                     line = rec.line_span.1;
                 }
@@ -397,9 +456,7 @@ fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
     let timed = Instant::now();
     sink.finish()?;
     sink_seconds += timed.elapsed().as_secs_f64();
-    if sampled_calls > 0 {
-        sink_seconds += sampled_secs * sink_calls as f64 / sampled_calls as f64;
-    }
+    sink_seconds += timing.estimate();
     summary.sink_seconds = sink_seconds;
     Ok(summary)
 }

@@ -25,38 +25,50 @@ fn folded(example: &str, charset: &str) -> StructureTemplate {
     reduce(&RecordTemplate::from_instantiated(example, &cs))
 }
 
-/// Runs the full pipeline on both evaluation backends and asserts identical discovered
-/// structures: same templates in the same order, bit-identical scores, byte-identical
-/// relational output (the `EvaluationBackend` acceptance criterion).
+/// Runs the full pipeline on all three evaluation backends — `span` (delta evaluation,
+/// the default), `span-full` (span engine, full re-parse per variant), and `legacy` — and
+/// asserts identical discovered structures: same templates in the same order,
+/// bit-identical scores, byte-identical relational output (the `EvaluationBackend`
+/// acceptance criterion).
 fn check_pipeline(text: &str, label: &str) {
     let span = Datamaran::with_defaults().extract(text).unwrap();
-    let legacy = Datamaran::new(
-        DatamaranConfig::default().with_evaluation_backend(EvaluationBackend::Legacy),
-    )
-    .unwrap()
-    .extract(text)
-    .unwrap();
-    assert_eq!(
-        span.structures.len(),
-        legacy.structures.len(),
-        "{label}: structure count"
-    );
-    for (a, b) in span.structures.iter().zip(&legacy.structures) {
-        assert_eq!(a.template, b.template, "{label}: ranked template");
+    for backend in [EvaluationBackend::SpanFull, EvaluationBackend::Legacy] {
+        let other = Datamaran::new(DatamaranConfig::default().with_evaluation_backend(backend))
+            .unwrap()
+            .extract(text)
+            .unwrap();
+        let name = backend.name();
         assert_eq!(
-            a.score.to_bits(),
-            b.score.to_bits(),
-            "{label}: score of {}",
-            a.template
+            span.structures.len(),
+            other.structures.len(),
+            "{label} vs {name}: structure count"
         );
-        assert_eq!(a.relational, b.relational, "{label}: normalized tables");
+        for (a, b) in span.structures.iter().zip(&other.structures) {
+            assert_eq!(a.template, b.template, "{label} vs {name}: ranked template");
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "{label} vs {name}: score of {}",
+                a.template
+            );
+            assert_eq!(
+                a.relational, b.relational,
+                "{label} vs {name}: normalized tables"
+            );
+            assert_eq!(
+                a.denormalized, b.denormalized,
+                "{label} vs {name}: denormalized table"
+            );
+            assert_eq!(
+                a.column_types, b.column_types,
+                "{label} vs {name}: column types"
+            );
+        }
         assert_eq!(
-            a.denormalized, b.denormalized,
-            "{label}: denormalized table"
+            span.noise_lines, other.noise_lines,
+            "{label} vs {name}: noise lines"
         );
-        assert_eq!(a.column_types, b.column_types, "{label}: column types");
     }
-    assert_eq!(span.noise_lines, legacy.noise_lines, "{label}: noise lines");
 }
 
 #[test]
@@ -100,11 +112,14 @@ fn refiner_backends_agree_on_candidate_pools() {
     assert!(!templates.is_empty());
     let scorer = MdlScorer;
     let span = Refiner::with_backend(&data, &scorer, 10, EvaluationBackend::Span);
+    let span_full = Refiner::with_backend(&data, &scorer, 10, EvaluationBackend::SpanFull);
     let legacy = Refiner::with_backend(&data, &scorer, 10, EvaluationBackend::Legacy);
     let a = span.refine_batch(templates.clone(), true, 1);
+    let f = span_full.refine_batch(templates.clone(), true, 1);
     let b = legacy.refine_batch(templates, true, 1);
     assert_eq!(a.len(), b.len());
-    for (x, y) in a.iter().zip(&b) {
+    assert_eq!(f.len(), b.len());
+    for ((x, y), z) in a.iter().zip(&b).zip(&f) {
         assert_eq!(x.template, y.template);
         assert_eq!(
             x.score.to_bits(),
@@ -113,7 +128,19 @@ fn refiner_backends_agree_on_candidate_pools() {
             x.template
         );
         assert_eq!(x.summary, y.summary, "template {}", x.template);
+        assert_eq!(z.template, y.template, "span-full template {}", y.template);
+        assert_eq!(
+            z.score.to_bits(),
+            y.score.to_bits(),
+            "span-full score of {}",
+            y.template
+        );
+        assert_eq!(z.summary, y.summary, "span-full summary of {}", y.template);
     }
+    // The delta engine must actually have engaged on this pool (arrays => unfolds).
+    let metrics = span.metrics();
+    assert!(metrics.delta_parses > 0, "{metrics:?}");
+    assert_eq!(span_full.metrics().delta_parses, 0);
 }
 
 #[test]

@@ -1,7 +1,9 @@
 //! Property-based tests over the core invariants, spanning the workspace crates.
 
 use datamaran::core::{
-    parse_dataset, reduce, CharSet, Datamaran, Dataset, RecordTemplate, StructureTemplate,
+    collect_array_paths, compile, diff_compiled, parse_dataset, parse_dataset_span,
+    parse_dataset_span_delta, reduce, shift_variants, unfold_at, CharSet, Datamaran, Dataset,
+    MdlScorer, RecordTemplate, RegularityScorer, SpanParse, StructureTemplate,
 };
 use logsynth::spec::seg::{field, lit};
 use logsynth::{DatasetSpec, FieldKind, RecordTypeSpec};
@@ -244,4 +246,187 @@ proptest! {
         prop_assert!(extracted >= n_records, "extracted {} of {}", extracted, n_records);
         prop_assert!(result.noise_fraction <= 1.0);
     }
+}
+
+// -----------------------------------------------------------------------------------------
+// Delta evaluation: delta parse + delta score must be indistinguishable from full re-parse
+// -----------------------------------------------------------------------------------------
+
+fn folded(example: &str, charset: &str) -> StructureTemplate {
+    let cs = CharSet::from_chars(charset.chars());
+    reduce(&RecordTemplate::from_instantiated(example, &cs))
+}
+
+fn flat_template(example: &str, charset: &str) -> StructureTemplate {
+    let cs = CharSet::from_chars(charset.chars());
+    StructureTemplate::from_record_template(&RecordTemplate::from_instantiated(example, &cs))
+}
+
+fn assert_parses_identical(full: &SpanParse, delta: &SpanParse, label: &str) {
+    assert_eq!(full.records, delta.records, "{label}: records");
+    assert_eq!(full.cells, delta.cells, "{label}: cells");
+    assert_eq!(full.reps, delta.reps, "{label}: reps");
+    assert_eq!(full.noise_lines, delta.noise_lines, "{label}: noise lines");
+    assert_eq!(
+        full.record_bytes, delta.record_bytes,
+        "{label}: record bytes"
+    );
+    assert_eq!(full.noise_bytes, delta.noise_bytes, "{label}: noise bytes");
+}
+
+/// Delta-parses `variant` against `parent`'s parse, asserts the parse is identical to the
+/// from-scratch parse, asserts the incremental MDL score is bit-identical to the full
+/// score whenever the delta stats license column reuse, and returns the variant's parse
+/// (the next link of a refinement chain).
+fn check_delta_step(
+    data: &Dataset,
+    parent: &StructureTemplate,
+    parent_parse: &SpanParse,
+    variant: &StructureTemplate,
+    label: &str,
+) -> SpanParse {
+    let full = parse_dataset_span(data, std::slice::from_ref(variant), 10);
+    let pc = compile(parent);
+    let vc = compile(variant);
+    let Some(diff) = diff_compiled(&pc, &vc) else {
+        // No usable diff (e.g. the edit changed the charset): the engine falls back to a
+        // full parse, which is what `full` already is.
+        return full;
+    };
+    let mut delta = SpanParse::default();
+    let stats = parse_dataset_span_delta(data, &pc, parent_parse, &vc, &diff, 10, &mut delta);
+    assert_parses_identical(&full, &delta, label);
+
+    // Incremental scoring: reuse the parent's per-column aggregates exactly as the
+    // refinement engine does (prefix columns when prefix-aligned, suffix columns only
+    // when suffix-aligned) and require the bit-identical total.
+    let scorer = MdlScorer;
+    if stats.prefix_aligned() {
+        let (_, parent_parts) = scorer
+            .score_span_stats(data, parent, parent_parse)
+            .expect("mdl keeps parts");
+        let mut reuse = diff.column_reuse(parent.field_count(), variant.field_count());
+        if !stats.suffix_aligned() && diff.suffix_columns > 0 {
+            let from = variant.field_count() - diff.suffix_columns;
+            for slot in reuse[from..].iter_mut() {
+                *slot = None;
+            }
+        }
+        let (incremental, _) = scorer
+            .score_span_delta(data, variant, &delta, &parent_parts, &reuse)
+            .expect("mdl scores incrementally");
+        let fresh = scorer
+            .score_span(data, variant, &full)
+            .expect("mdl has a span path");
+        assert_eq!(
+            incremental.to_bits(),
+            fresh.to_bits(),
+            "{label}: incremental {incremental} vs fresh {fresh}"
+        );
+    }
+    delta
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random unfold/shift chains: starting from a folded array template over a random
+    /// ragged dataset, apply a random sequence of refinement edits and at every link check
+    /// that the delta parse equals the full re-parse and the incremental score is
+    /// bit-identical to the full score.  Covers nested arrays via multi-line windows.
+    #[test]
+    fn delta_parse_and_score_equal_full_across_edit_chains(
+        rows in prop::collection::vec(prop::collection::vec("[a-z0-9]{1,5}", 1..7), 6..30),
+        sep in prop_oneof![Just(','), Just(';'), Just('|')],
+        nested in any::<bool>(),
+        edits in prop::collection::vec(any::<u16>(), 1..6),
+    ) {
+        let sep_s = sep.to_string();
+        let mut text = String::new();
+        for fields in &rows {
+            text.push_str(&fields.join(&sep_s));
+            text.push('\n');
+        }
+        if nested {
+            // Append a block whose reduction nests an array inside an array body.
+            for i in 0..6 {
+                text.push_str(&format!("a{sep}{i}\na{sep}{}\n", i * 2));
+            }
+        }
+        let data = Dataset::new(text.as_str());
+        let mut current = if nested {
+            folded(&format!("a{sep}1\na{sep}2\n"), &format!("{sep}\n"))
+        } else {
+            folded(&format!("1{sep}2{sep}3\n"), &format!("{sep}\n"))
+        };
+        let mut current_parse = parse_dataset_span(&data, std::slice::from_ref(&current), 10);
+        for (step, pick) in edits.iter().enumerate() {
+            // Enumerate this template's possible edits the way the refiner would.
+            let mut variants: Vec<StructureTemplate> = Vec::new();
+            for path in collect_array_paths(current.nodes()) {
+                for reps in 1..=4usize {
+                    for partial in [false, true] {
+                        if let Some(v) = unfold_at(&current, &path, reps, partial) {
+                            variants.push(v);
+                        }
+                    }
+                }
+            }
+            variants.extend(shift_variants(&current));
+            if variants.is_empty() {
+                break;
+            }
+            let variant = variants[*pick as usize % variants.len()].clone();
+            let label = format!("step {step}: {current} -> {variant}");
+            let variant_parse = check_delta_step(&data, &current, &current_parse, &variant, &label);
+            current = variant;
+            current_parse = variant_parse;
+        }
+    }
+}
+
+/// Regression: a shift variant whose records straddle the parent's record boundaries.  The
+/// rotated two-line template matches from the *second* line of each parent record through
+/// the first line of the next one, so every variant record crosses a parent boundary and
+/// none of the parent's records carry forward — the delta parser must fall back to full
+/// per-line matching for the straddling region and still reproduce the exact parse.
+#[test]
+fn shift_variant_straddling_record_boundaries_delta_parses_exactly() {
+    let mut text = String::new();
+    for i in 0..30 {
+        text.push_str(&format!("HDR {i}\nval={i};st=ok\n"));
+    }
+    let data = Dataset::new(text.as_str());
+    let parent = flat_template("HDR 1\nval=2;st=ok\n", " =;\n");
+    let parent_parse = parse_dataset_span(&data, std::slice::from_ref(&parent), 10);
+    assert_eq!(parent_parse.records.len(), 30);
+
+    let variants = shift_variants(&parent);
+    assert_eq!(variants.len(), 1);
+    let variant = &variants[0];
+    let pc = compile(&parent);
+    let vc = compile(variant);
+    let diff = diff_compiled(&pc, &vc).expect("rotation shares boundary ops");
+    let mut delta = SpanParse::default();
+    let stats = parse_dataset_span_delta(&data, &pc, &parent_parse, &vc, &diff, 10, &mut delta);
+    let full = parse_dataset_span(&data, std::slice::from_ref(variant), 10);
+    assert_parses_identical(&full, &delta, "straddling shift");
+
+    // Every variant record starts mid-parent-record (odd line) and crosses the boundary
+    // into the following parent record.
+    assert!(!delta.records.is_empty());
+    for rec in &delta.records {
+        assert_eq!(rec.line_span.0 % 2, 1, "record starts on a value line");
+        assert_eq!(
+            rec.line_span.1 - rec.line_span.0,
+            2,
+            "record spans the boundary"
+        );
+    }
+    // The dirty region genuinely straddled: nothing could be copied forward, every parent
+    // record start was consulted and rejected, and the real records surfaced as extras.
+    assert_eq!(stats.reused_records, 0, "{stats:?}");
+    assert!(stats.dropped_records > 0, "{stats:?}");
+    assert!(stats.extra_records > 0, "{stats:?}");
+    assert!(!stats.prefix_aligned(), "{stats:?}");
 }

@@ -223,3 +223,73 @@ fn record_ending_exactly_at_window_edge_exports_once() {
         },
     );
 }
+
+/// Parallel per-window extraction: with `extraction_threads > 1` the span matcher computes
+/// each window's per-line match table on scoped workers and the sequential decision loop
+/// replays it — the sink must receive byte-identical CSV and JSON Lines output, in the
+/// same record order, for any thread count.  Windows are sized to clear the
+/// minimum-chunk-lines threshold so the parallel path genuinely engages, and the fixture
+/// mixes two-line records with noise so records straddle both chunk and window boundaries.
+#[test]
+fn parallel_window_extraction_is_byte_identical() {
+    use datamaran::core::DatamaranConfig;
+
+    fn mix(i: u64) -> u64 {
+        let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^ (x >> 32)
+    }
+    let mut text = String::new();
+    for i in 0..6000u64 {
+        text.push_str(&format!(
+            "REQ {}\nuser=u{};ms={}\n",
+            i,
+            mix(i) % 50,
+            mix(i * 3) % 900
+        ));
+        if mix(i * 7).is_multiple_of(17) {
+            text.push_str(&format!("## banner {} ##\n", mix(i) % 4096));
+        }
+    }
+    let options = StreamOptions {
+        head_bytes: 16 * 1024,
+        // ~64 KiB windows hold thousands of lines — far past the 512-line minimum chunk,
+        // so 2+ worker chunks per window.
+        window_bytes: 64 * 1024,
+    };
+
+    type RunOutput = (Vec<(String, Vec<u8>)>, Vec<u8>, usize, usize);
+    let run = |threads: usize| -> RunOutput {
+        let engine =
+            Datamaran::new(DatamaranConfig::default().with_extraction_threads(threads)).unwrap();
+        let mut sink = Tee(
+            CsvSink::new(|_name: &str| Ok(Vec::<u8>::new())),
+            JsonLinesSink::new(Vec::<u8>::new()),
+        );
+        let summary =
+            extract_stream_sink(&engine, Cursor::new(text.to_string()), options, &mut sink)
+                .expect("streaming succeeds");
+        let Tee(csv, jsonl) = sink;
+        (
+            csv.into_writers(),
+            jsonl.into_writer(),
+            summary.records,
+            summary.noise_lines,
+        )
+    };
+
+    let (base_csv, base_jsonl, base_records, base_noise) = run(1);
+    assert!(base_records >= 6000, "records {base_records}");
+    for threads in [2, 3, 7] {
+        let (csv, jsonl, records, noise) = run(threads);
+        assert_eq!(records, base_records, "{threads} threads: record count");
+        assert_eq!(noise, base_noise, "{threads} threads: noise lines");
+        assert_eq!(csv.len(), base_csv.len(), "{threads} threads: table count");
+        for ((an, ab), (bn, bb)) in csv.iter().zip(&base_csv) {
+            assert_eq!(an, bn, "{threads} threads: table name");
+            assert_eq!(ab, bb, "{threads} threads: CSV bytes of {an}");
+        }
+        assert_eq!(jsonl, base_jsonl, "{threads} threads: JSON Lines bytes");
+    }
+}
