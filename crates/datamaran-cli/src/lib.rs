@@ -22,21 +22,35 @@
 //! bytes are identical to the in-memory exporter's.
 //!
 //! Argument parsing is hand-rolled (no third-party CLI crate) and lives in [`Cli::parse`] so
-//! it can be unit-tested; [`run`] wires parsing to the library calls.
+//! it can be unit-tested; [`run`] wires parsing to the library calls.  [`run_cli`] is the
+//! same entry point with a structured [`CliError`] carrying a stable exit code, which is
+//! what the binary maps onto the process status:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | other failure |
+//! | 2    | usage / configuration error |
+//! | 3    | I/O or sink failure |
+//! | 4    | empty input / no structure found |
+//! | 5    | resource budget exceeded (`--on-error abort`) |
+//! | 6    | input decode failure (`--on-error abort`) |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use datamaran_core::{
-    all_tables_csv, table_to_csv, CountingSink, CsvSink, Datamaran, DatamaranConfig,
-    EvaluationBackend, ExtractionBackend, ExtractionReport, Grammar, JsonLinesSink, SearchStrategy,
-    StreamOptions, StreamReport,
+    all_tables_csv, table_to_csv, CountingSink, CsvSink, Datamaran, DatamaranConfig, Error,
+    ErrorPolicy, EvaluationBackend, ExtractionBackend, ExtractionReport, Grammar, JsonLinesSink,
+    QuarantineSink, RecordSink, RetryPolicy, RetryingSink, SearchStrategy, StreamBudgets,
+    StreamOptions, StreamReport, StreamSummary, WriteQuarantineSink,
 };
 use logclust::{ClusterConfig, LogCluster};
 use std::fmt::Write as _;
 use std::fs;
-use std::io::{BufWriter, Write};
-use std::path::PathBuf;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::{Path, PathBuf};
 
 /// Output format of the `extract` subcommand.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -87,6 +101,22 @@ pub struct Cli {
     pub head_bytes: Option<usize>,
     /// Override for the streaming window size in bytes.
     pub window_bytes: Option<usize>,
+    /// What streaming does with undecodable / oversized / unmatched lines
+    /// (`--on-error skip|quarantine|abort`).
+    pub on_error: ErrorPolicy,
+    /// File receiving the raw bytes of quarantined lines (`--quarantine PATH`;
+    /// implies `--on-error quarantine`).
+    pub quarantine: Option<PathBuf>,
+    /// Budget: maximum bytes of a single input line (`--max-line-bytes`).
+    pub max_line_bytes: Option<usize>,
+    /// Budget: maximum resident window bytes (`--max-window-bytes`).
+    pub max_window_bytes: Option<usize>,
+    /// Budget: maximum cumulative match seconds (`--max-match-seconds`).
+    pub max_match_seconds: Option<f64>,
+    /// Budget: maximum quarantined fraction of the stream (`--max-quarantine-fraction`).
+    pub max_quarantine_fraction: Option<f64>,
+    /// Bounded retries for transient sink failures (`--sink-retries`, 0 = no retry).
+    pub sink_retries: usize,
     /// Engine configuration assembled from the flags.
     pub config: DatamaranConfig,
 }
@@ -111,6 +141,7 @@ impl Cli {
         };
 
         let mut cli = Cli::bare(command);
+        let mut on_error_flag: Option<ErrorPolicy> = None;
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--format" => {
@@ -136,6 +167,46 @@ impl Cli {
                         &next_value(&mut iter, "--window-bytes")?,
                         "--window-bytes",
                     )?)
+                }
+                "--on-error" => {
+                    let value = next_value(&mut iter, "--on-error")?;
+                    on_error_flag = Some(match value.as_str() {
+                        "skip" => ErrorPolicy::Skip,
+                        "quarantine" => ErrorPolicy::Quarantine,
+                        "abort" => ErrorPolicy::Abort,
+                        other => return Err(format!("unknown error policy `{other}`")),
+                    });
+                }
+                "--quarantine" => {
+                    cli.quarantine = Some(PathBuf::from(next_value(&mut iter, "--quarantine")?))
+                }
+                "--max-line-bytes" => {
+                    cli.max_line_bytes = Some(parse_number(
+                        &next_value(&mut iter, "--max-line-bytes")?,
+                        "--max-line-bytes",
+                    )?)
+                }
+                "--max-window-bytes" => {
+                    cli.max_window_bytes = Some(parse_number(
+                        &next_value(&mut iter, "--max-window-bytes")?,
+                        "--max-window-bytes",
+                    )?)
+                }
+                "--max-match-seconds" => {
+                    cli.max_match_seconds = Some(parse_number(
+                        &next_value(&mut iter, "--max-match-seconds")?,
+                        "--max-match-seconds",
+                    )?)
+                }
+                "--max-quarantine-fraction" => {
+                    cli.max_quarantine_fraction = Some(parse_number(
+                        &next_value(&mut iter, "--max-quarantine-fraction")?,
+                        "--max-quarantine-fraction",
+                    )?)
+                }
+                "--sink-retries" => {
+                    cli.sink_retries =
+                        parse_number(&next_value(&mut iter, "--sink-retries")?, "--sink-retries")?
                 }
                 "--greedy" => cli.config.search = SearchStrategy::Greedy,
                 "--alpha" => {
@@ -215,11 +286,57 @@ impl Cli {
                 "`--stream --format csv` requires `--output DIR` for the per-table files".into(),
             );
         }
+        if !cli.stream
+            && (on_error_flag.is_some()
+                || cli.quarantine.is_some()
+                || cli.max_line_bytes.is_some()
+                || cli.max_window_bytes.is_some()
+                || cli.max_match_seconds.is_some()
+                || cli.max_quarantine_fraction.is_some()
+                || cli.sink_retries != 0)
+        {
+            return Err(
+                "`--on-error`, `--quarantine`, the `--max-*` budgets, and `--sink-retries` \
+                 require `--stream`"
+                    .into(),
+            );
+        }
+        if cli.quarantine.is_some() {
+            match on_error_flag {
+                None | Some(ErrorPolicy::Quarantine) => {
+                    on_error_flag = Some(ErrorPolicy::Quarantine)
+                }
+                Some(_) => {
+                    return Err("`--quarantine PATH` conflicts with a non-quarantine \
+                                `--on-error` policy"
+                        .into())
+                }
+            }
+        }
+        if let Some(policy) = on_error_flag {
+            cli.on_error = policy;
+        }
         if let Some(0) = cli.head_bytes {
             return Err("`--head-bytes` must be positive".into());
         }
         if let Some(0) = cli.window_bytes {
             return Err("`--window-bytes` must be positive".into());
+        }
+        if let Some(0) = cli.max_line_bytes {
+            return Err("`--max-line-bytes` must be positive".into());
+        }
+        if let Some(0) = cli.max_window_bytes {
+            return Err("`--max-window-bytes` must be positive".into());
+        }
+        if let Some(seconds) = cli.max_match_seconds {
+            if !seconds.is_finite() || seconds <= 0.0 {
+                return Err("`--max-match-seconds` must be a positive number".into());
+            }
+        }
+        if let Some(fraction) = cli.max_quarantine_fraction {
+            if !fraction.is_finite() || fraction <= 0.0 || fraction > 1.0 {
+                return Err("`--max-quarantine-fraction` must be in (0, 1]".into());
+            }
         }
         cli.config
             .validate()
@@ -237,6 +354,13 @@ impl Cli {
             output: None,
             head_bytes: None,
             window_bytes: None,
+            on_error: ErrorPolicy::Skip,
+            quarantine: None,
+            max_line_bytes: None,
+            max_window_bytes: None,
+            max_match_seconds: None,
+            max_quarantine_fraction: None,
+            sink_retries: 0,
             config: DatamaranConfig::default(),
         }
     }
@@ -285,6 +409,27 @@ FLAGS:
                                   --output, records go to stdout
     --head-bytes <INT>            stream head for structure discovery (default: 262144)
     --window-bytes <INT>          streaming window size in bytes    (default: 1048576)
+    --on-error <skip|quarantine|abort>
+                                  what streaming does with undecodable or oversized
+                                  input (default: skip): `skip` drops the line and keeps
+                                  going, `quarantine` additionally preserves the raw
+                                  bytes of every unmatched line, `abort` stops with a
+                                  structured error (exit code 5 or 6)
+    --quarantine <PATH>           write the raw bytes of quarantined lines to PATH,
+                                  byte-identical to the input (implies
+                                  `--on-error quarantine`)
+    --max-line-bytes <INT>        budget: cap on a single input line; longer lines are
+                                  skipped or quarantined (abort: exit code 5)
+    --max-window-bytes <INT>      budget: stop gracefully before a window would exceed
+                                  INT resident bytes
+    --max-match-seconds <FLOAT>   budget: stop gracefully once cumulative matching time
+                                  exceeds FLOAT seconds
+    --max-quarantine-fraction <FLOAT>
+                                  budget: stop gracefully once more than this fraction
+                                  of input lines was quarantined (0 < FLOAT <= 1)
+    --sink-retries <INT>          retry transient sink failures up to INT times with
+                                  exponential backoff (default: 0 = fail fast)
+                                  (all of the above require `--stream`)
     --greedy                      use the greedy RT-CharSet search (default: exhaustive)
     --alpha <FLOAT>               coverage threshold α in (0, 1]       (default: 0.10)
     --max-span <INT>              maximum lines per record L           (default: 10)
@@ -302,29 +447,91 @@ FLAGS:
     --evaluation-threads <INT>    evaluation worker threads, 0 = auto  (default: 0)
 ";
 
+/// A CLI failure: the message for stderr plus the stable process exit code from the
+/// table in the crate docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError {
+    /// Stable process exit code (1–6; 0 is never constructed).
+    pub code: u8,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl CliError {
+    /// Usage / configuration error (exit code 2).
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 2,
+            message: message.into(),
+        }
+    }
+
+    /// I/O or sink failure (exit code 3).
+    fn io(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 3,
+            message: message.into(),
+        }
+    }
+
+    /// Maps the library error taxonomy onto the stable exit codes.
+    fn from_core(e: &Error) -> CliError {
+        let code = match e {
+            Error::InvalidConfig(_) => 2,
+            Error::Io { .. } | Error::Sink { .. } => 3,
+            Error::EmptyDataset | Error::NoStructureFound => 4,
+            Error::BudgetExceeded { .. } => 5,
+            Error::Decode { .. } => 6,
+            _ => 1,
+        };
+        CliError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
 /// Runs the CLI: parses `args`, executes the subcommand, and writes output to `out`.
+/// Errors are plain strings; use [`run_cli`] when the exit code matters.
 pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
-    let cli = Cli::parse(args)?;
+    run_cli(args, out).map_err(|e| e.message)
+}
+
+/// Runs the CLI like [`run`], reporting failures as a [`CliError`] whose `code` field is
+/// the stable process exit code the binary should return.
+pub fn run_cli<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let cli = Cli::parse(args).map_err(CliError::usage)?;
     match cli.command {
         Command::Help => {
-            write!(out, "{USAGE}").map_err(|e| e.to_string())?;
+            write!(out, "{USAGE}").map_err(|e| CliError::io(e.to_string()))?;
             return Ok(());
         }
         Command::Version => {
-            writeln!(out, "datamaran {}", env!("CARGO_PKG_VERSION")).map_err(|e| e.to_string())?;
+            writeln!(out, "datamaran {}", env!("CARGO_PKG_VERSION"))
+                .map_err(|e| CliError::io(e.to_string()))?;
             return Ok(());
         }
         _ => {}
     }
 
-    let path = cli.input.as_ref().expect("input checked during parsing");
+    let Some(path) = cli.input.as_ref() else {
+        return Err(CliError::usage("missing input file"));
+    };
     if cli.stream {
         // The whole point of streaming is to never hold the file in memory: open a
         // buffered reader instead of reading the file into a string.
         return run_stream(&cli, path, out);
     }
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("cannot read {}: {e}", path.display())))?;
 
     match cli.command {
         Command::Extract => {
@@ -342,7 +549,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
                         .collect()
                 }
             };
-            write!(out, "{rendered}").map_err(|e| e.to_string())
+            write!(out, "{rendered}").map_err(|e| CliError::io(e.to_string()))
         }
         Command::Discover => {
             let result = extract(&cli, &text)?;
@@ -358,19 +565,19 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
                     st.score
                 );
             }
-            write!(out, "{s}").map_err(|e| e.to_string())
+            write!(out, "{s}").map_err(|e| CliError::io(e.to_string()))
         }
         Command::Grammar => {
             let result = extract(&cli, &text)?;
             let best = result
                 .structures
                 .first()
-                .ok_or_else(|| "no structure found".to_string())?;
+                .ok_or_else(|| CliError::from_core(&Error::NoStructureFound))?;
             let grammar = Grammar::from_template(&best.template);
             let mut s = format!("template: {}\n", best.template);
             let _ = writeln!(s, "LL(1): {}", grammar.is_ll1());
             s.push_str(&grammar.render());
-            write!(out, "{s}").map_err(|e| e.to_string())
+            write!(out, "{s}").map_err(|e| CliError::io(e.to_string()))
         }
         Command::Cluster => {
             let result = LogCluster::new(ClusterConfig::default()).cluster(&text);
@@ -385,15 +592,70 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), String> {
                 result.outliers.len(),
                 result.coverage() * 100.0
             );
-            write!(out, "{s}").map_err(|e| e.to_string())
+            write!(out, "{s}").map_err(|e| CliError::io(e.to_string()))
         }
         Command::Help | Command::Version => unreachable!("handled above"),
     }
 }
 
-/// Runs `extract --stream`: bounded-memory extraction straight into the push-based sinks.
-fn run_stream<W: Write>(cli: &Cli, path: &PathBuf, out: &mut W) -> Result<(), String> {
-    let file = fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+/// Streams the guarded pipeline into `sink`, wrapping it in a [`RetryingSink`] when
+/// `--sink-retries` asked for one.  Returns the summary plus the retries performed.
+fn run_guarded<R: BufRead, S: RecordSink>(
+    cli: &Cli,
+    engine: &Datamaran,
+    reader: R,
+    options: StreamOptions,
+    sink: &mut S,
+    quarantine: Option<&mut dyn QuarantineSink>,
+) -> Result<(StreamSummary, usize), CliError> {
+    if cli.sink_retries > 0 {
+        let policy = RetryPolicy {
+            max_retries: cli.sink_retries,
+            ..RetryPolicy::default()
+        };
+        let mut retrying = RetryingSink::new(&mut *sink, policy);
+        let summary = engine
+            .stream_guarded(reader, options, &mut retrying, quarantine)
+            .map_err(|e| CliError::from_core(&e))?;
+        Ok((summary, retrying.retries()))
+    } else {
+        let summary = engine
+            .stream_guarded(reader, options, sink, quarantine)
+            .map_err(|e| CliError::from_core(&e))?;
+        Ok((summary, 0))
+    }
+}
+
+/// Appends the fault-handling part of the streaming summary (quarantine counters, early
+/// stop, sink retries) — only the lines that carry information.
+fn render_fault_stats(s: &mut String, summary: &StreamSummary, retries: usize) {
+    if summary.quarantined_lines > 0
+        || summary.invalid_utf8_lines > 0
+        || summary.oversized_lines > 0
+    {
+        let _ = writeln!(
+            s,
+            "quarantined lines: {} ({} bytes)   invalid utf-8: {}   oversized: {}",
+            summary.quarantined_lines,
+            summary.quarantined_bytes,
+            summary.invalid_utf8_lines,
+            summary.oversized_lines
+        );
+    }
+    if retries > 0 {
+        let _ = writeln!(s, "sink retries: {retries}");
+    }
+    if let Some(reason) = summary.stopped_reason {
+        let _ = writeln!(s, "stopped early: {} budget reached", reason.name());
+    }
+}
+
+/// Runs `extract --stream`: bounded-memory extraction straight into the push-based sinks,
+/// with the fault-tolerance knobs (`--on-error`, `--quarantine`, budgets, retries) wired
+/// through to the guarded pipeline.
+fn run_stream<W: Write>(cli: &Cli, path: &Path, out: &mut W) -> Result<(), CliError> {
+    let file = fs::File::open(path)
+        .map_err(|e| CliError::io(format!("cannot open {}: {e}", path.display())))?;
     let reader = std::io::BufReader::new(file);
     let mut options = StreamOptions::default();
     if let Some(head) = cli.head_bytes {
@@ -402,14 +664,33 @@ fn run_stream<W: Write>(cli: &Cli, path: &PathBuf, out: &mut W) -> Result<(), St
     if let Some(window) = cli.window_bytes {
         options.window_bytes = window;
     }
-    let engine = Datamaran::new(cli.config.clone()).map_err(|e| e.to_string())?;
+    options.on_error = cli.on_error;
+    options.budgets = StreamBudgets {
+        max_line_bytes: cli.max_line_bytes,
+        max_window_bytes: cli.max_window_bytes,
+        max_match_seconds: cli.max_match_seconds,
+        max_quarantine_fraction: cli.max_quarantine_fraction,
+    };
+    let engine = Datamaran::new(cli.config.clone()).map_err(|e| CliError::from_core(&e))?;
 
-    match cli.format {
+    // Open the quarantine file up front so a bad path fails before any extraction work.
+    let mut quarantine_file = match &cli.quarantine {
+        Some(qpath) => {
+            let file = fs::File::create(qpath)
+                .map_err(|e| CliError::io(format!("cannot create {}: {e}", qpath.display())))?;
+            Some(WriteQuarantineSink::new(BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let quarantine = quarantine_file
+        .as_mut()
+        .map(|q| q as &mut dyn QuarantineSink);
+
+    let outcome = match cli.format {
         OutputFormat::Summary => {
             let mut sink = CountingSink::default();
-            let summary = engine
-                .stream(reader, options, &mut sink)
-                .map_err(|e| e.to_string())?;
+            let (summary, retries) =
+                run_guarded(cli, &engine, reader, options, &mut sink, quarantine)?;
             let mut s = String::new();
             let _ = writeln!(
                 s,
@@ -426,56 +707,93 @@ fn run_stream<W: Write>(cli: &Cli, path: &PathBuf, out: &mut W) -> Result<(), St
                 "peak window bytes: {}   sink seconds: {:.3}",
                 summary.peak_window_bytes, summary.sink_seconds
             );
+            render_fault_stats(&mut s, &summary, retries);
             for (i, (t, n)) in summary.templates.iter().zip(&sink.per_template).enumerate() {
                 let _ = writeln!(s, "type{i}: {t}   ({n} records)");
             }
-            write!(out, "{s}").map_err(|e| e.to_string())
+            write!(out, "{s}").map_err(|e| CliError::io(e.to_string()))
         }
         OutputFormat::Json => {
             if let Some(output) = &cli.output {
-                let sink_file = fs::File::create(output)
-                    .map_err(|e| format!("cannot create {}: {e}", output.display()))?;
+                let sink_file = fs::File::create(output).map_err(|e| {
+                    CliError::io(format!("cannot create {}: {e}", output.display()))
+                })?;
                 let mut sink = JsonLinesSink::new(BufWriter::new(sink_file));
-                let summary = engine
-                    .stream(reader, options, &mut sink)
-                    .map_err(|e| e.to_string())?;
+                let (summary, _retries) =
+                    run_guarded(cli, &engine, reader, options, &mut sink, quarantine)?;
                 writeln!(out, "{}", StreamReport::new(&summary).to_json())
-                    .map_err(|e| e.to_string())
+                    .map_err(|e| CliError::io(e.to_string()))
             } else {
                 let mut sink = JsonLinesSink::new(&mut *out);
-                engine
-                    .stream(reader, options, &mut sink)
-                    .map_err(|e| e.to_string())?;
+                run_guarded(cli, &engine, reader, options, &mut sink, quarantine)?;
                 Ok(())
             }
         }
         OutputFormat::Csv => {
-            let dir = cli.output.as_ref().expect("validated during parsing");
-            fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-            let mut written: Vec<PathBuf> = Vec::new();
+            let Some(dir) = cli.output.as_ref() else {
+                return Err(CliError::usage(
+                    "`--stream --format csv` requires `--output DIR`",
+                ));
+            };
+            fs::create_dir_all(dir)
+                .map_err(|e| CliError::io(format!("cannot create {}: {e}", dir.display())))?;
+            // Write every table to a `.csv.tmp` sibling and rename on success, so a
+            // failed run never leaves a half-written table behind at the final path.
+            let mut staged: Vec<(PathBuf, PathBuf)> = Vec::new();
             let mut sink = CsvSink::new(|name: &str| {
-                let path = dir.join(format!("{name}.csv"));
-                let file = fs::File::create(&path)?;
-                written.push(path);
+                let tmp = dir.join(format!("{name}.csv.tmp"));
+                let file = fs::File::create(&tmp)?;
+                staged.push((tmp, dir.join(format!("{name}.csv"))));
                 Ok(BufWriter::new(file))
             });
-            let summary = engine
-                .stream(reader, options, &mut sink)
-                .map_err(|e| e.to_string())?;
-            drop(sink);
-            for path in &written {
-                writeln!(out, "wrote {}", path.display()).map_err(|e| e.to_string())?;
+            let streamed = run_guarded(cli, &engine, reader, options, &mut sink, quarantine);
+            drop(sink); // flushes and closes the staged writers
+            match streamed {
+                Ok((summary, _retries)) => {
+                    for (tmp, final_path) in &staged {
+                        fs::rename(tmp, final_path).map_err(|e| {
+                            CliError::io(format!("cannot finalize {}: {e}", final_path.display()))
+                        })?;
+                        writeln!(out, "wrote {}", final_path.display())
+                            .map_err(|e| CliError::io(e.to_string()))?;
+                    }
+                    writeln!(out, "{}", StreamReport::new(&summary).to_json())
+                        .map_err(|e| CliError::io(e.to_string()))
+                }
+                Err(err) => {
+                    for (tmp, _) in &staged {
+                        fs::remove_file(tmp).ok();
+                    }
+                    Err(err)
+                }
             }
-            writeln!(out, "{}", StreamReport::new(&summary).to_json()).map_err(|e| e.to_string())
+        }
+    };
+
+    // Flush the quarantine file and report its size on success.  Early-return paths
+    // above still preserve the bytes: the buffered writer flushes on drop.
+    if let Some(q) = quarantine_file {
+        let (lines, bytes) = (q.lines, q.bytes);
+        q.into_writer().map_err(|e| CliError::from_core(&e))?;
+        if let Some(qpath) = &cli.quarantine {
+            if outcome.is_ok() {
+                writeln!(
+                    out,
+                    "quarantined {lines} lines ({bytes} bytes) -> {}",
+                    qpath.display()
+                )
+                .map_err(|e| CliError::io(e.to_string()))?;
+            }
         }
     }
+    outcome
 }
 
-fn extract(cli: &Cli, text: &str) -> Result<datamaran_core::ExtractionResult, String> {
+fn extract(cli: &Cli, text: &str) -> Result<datamaran_core::ExtractionResult, CliError> {
     Datamaran::new(cli.config.clone())
-        .map_err(|e| e.to_string())?
+        .map_err(|e| CliError::from_core(&e))?
         .extract(text)
-        .map_err(|e| e.to_string())
+        .map_err(|e| CliError::from_core(&e))
 }
 
 fn render_summary(text: &str, result: &datamaran_core::ExtractionResult) -> String {
@@ -534,17 +852,25 @@ fn render_summary(text: &str, result: &datamaran_core::ExtractionResult) -> Stri
 }
 
 fn write_csv_dir<W: Write>(
-    dir: &PathBuf,
+    dir: &Path,
     result: &datamaran_core::ExtractionResult,
     out: &mut W,
-) -> Result<(), String> {
-    fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+) -> Result<(), CliError> {
+    fs::create_dir_all(dir)
+        .map_err(|e| CliError::io(format!("cannot create {}: {e}", dir.display())))?;
     for s in &result.structures {
         for table in &s.relational.tables {
+            // Stage through a `.csv.tmp` sibling so a write failure never leaves a
+            // truncated table at the final path.
             let path = dir.join(format!("{}.csv", table.name));
-            fs::write(&path, table_to_csv(table))
-                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-            writeln!(out, "wrote {}", path.display()).map_err(|e| e.to_string())?;
+            let tmp = dir.join(format!("{}.csv.tmp", table.name));
+            fs::write(&tmp, table_to_csv(table)).map_err(|e| {
+                fs::remove_file(&tmp).ok();
+                CliError::io(format!("cannot write {}: {e}", path.display()))
+            })?;
+            fs::rename(&tmp, &path)
+                .map_err(|e| CliError::io(format!("cannot finalize {}: {e}", path.display())))?;
+            writeln!(out, "wrote {}", path.display()).map_err(|e| CliError::io(e.to_string()))?;
         }
     }
     Ok(())
@@ -888,5 +1214,223 @@ mod tests {
         let mut out = Vec::new();
         let err = run(&args(&["extract", "/no/such/file.log"]), &mut out).unwrap_err();
         assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let cli = Cli::parse(&args(&[
+            "extract",
+            "app.log",
+            "--stream",
+            "--on-error",
+            "abort",
+            "--max-line-bytes",
+            "4096",
+            "--max-window-bytes",
+            "65536",
+            "--max-match-seconds",
+            "2.5",
+            "--max-quarantine-fraction",
+            "0.25",
+            "--sink-retries",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(cli.on_error, ErrorPolicy::Abort);
+        assert_eq!(cli.max_line_bytes, Some(4096));
+        assert_eq!(cli.max_window_bytes, Some(65536));
+        assert_eq!(cli.max_match_seconds, Some(2.5));
+        assert_eq!(cli.max_quarantine_fraction, Some(0.25));
+        assert_eq!(cli.sink_retries, 3);
+
+        // --quarantine implies the quarantine policy.
+        let cli = Cli::parse(&args(&[
+            "extract",
+            "a.log",
+            "--stream",
+            "--quarantine",
+            "q.bin",
+        ]))
+        .unwrap();
+        assert_eq!(cli.on_error, ErrorPolicy::Quarantine);
+        assert_eq!(cli.quarantine.as_ref().unwrap().to_str(), Some("q.bin"));
+    }
+
+    #[test]
+    fn fault_flag_validation() {
+        // All fault flags require --stream.
+        assert!(Cli::parse(&args(&["extract", "x.log", "--on-error", "skip"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--quarantine", "q"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--sink-retries", "2"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--max-line-bytes", "9"])).is_err());
+        // --quarantine conflicts with an explicit non-quarantine policy.
+        assert!(Cli::parse(&args(&[
+            "extract",
+            "x.log",
+            "--stream",
+            "--quarantine",
+            "q",
+            "--on-error",
+            "abort"
+        ]))
+        .is_err());
+        // Range checks.
+        assert!(Cli::parse(&args(&[
+            "extract",
+            "x.log",
+            "--stream",
+            "--on-error",
+            "explode"
+        ]))
+        .is_err());
+        assert!(Cli::parse(&args(&[
+            "extract",
+            "x.log",
+            "--stream",
+            "--max-line-bytes",
+            "0"
+        ]))
+        .is_err());
+        assert!(Cli::parse(&args(&[
+            "extract",
+            "x.log",
+            "--stream",
+            "--max-match-seconds",
+            "0"
+        ]))
+        .is_err());
+        assert!(Cli::parse(&args(&[
+            "extract",
+            "x.log",
+            "--stream",
+            "--max-quarantine-fraction",
+            "1.5"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn run_cli_reports_stable_exit_codes() {
+        let mut out = Vec::new();
+        let err = run_cli(&args(&["extract", "/no/such/file.log"]), &mut out).unwrap_err();
+        assert_eq!(err.code, 3, "{}", err.message);
+        let err = run_cli(&args(&["extract", "x.log", "--bogus"]), &mut out).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+        let err = run_cli(&args(&["extract", "x.log", "--alpha", "7"]), &mut out).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+    }
+
+    #[test]
+    fn abort_on_oversized_line_exits_with_budget_code() {
+        let mut log = web_log(150);
+        log.push_str(&"x".repeat(4096));
+        log.push('\n');
+        let path = temp_log("abort_budget", &log);
+        let mut out = Vec::new();
+        let err = run_cli(
+            &args(&[
+                "extract",
+                path.to_str().unwrap(),
+                "--stream",
+                "--on-error",
+                "abort",
+                "--max-line-bytes",
+                "256",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 5, "{}", err.message);
+        assert!(err.message.contains("line-bytes"), "{}", err.message);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn failed_csv_stream_leaves_no_half_written_tables() {
+        // Abort mid-stream (oversized line under `--on-error abort`): the staged
+        // `.csv.tmp` files must be cleaned up and no final `.csv` may appear.
+        let mut log = web_log(300);
+        log.push_str(&"x".repeat(8192));
+        log.push('\n');
+        let path = temp_log("csv_abort", &log);
+        let dir =
+            std::env::temp_dir().join(format!("datamaran_cli_csv_abort_{}", std::process::id()));
+        let mut out = Vec::new();
+        let err = run_cli(
+            &args(&[
+                "extract",
+                path.to_str().unwrap(),
+                "--stream",
+                "--format",
+                "csv",
+                "--output",
+                dir.to_str().unwrap(),
+                "--window-bytes",
+                "1024",
+                "--on-error",
+                "abort",
+                "--max-line-bytes",
+                "512",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 5, "{}", err.message);
+        let leftovers: Vec<String> = fs::read_dir(&dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .collect()
+            })
+            .unwrap_or_default();
+        assert!(
+            leftovers.is_empty(),
+            "aborted stream left files behind: {leftovers:?}"
+        );
+        fs::remove_dir_all(dir).ok();
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stream_quarantine_preserves_rejected_bytes() {
+        let garbage = b"garbage \xFF\xFE bytes\n";
+        let mut bytes = web_log(200).into_bytes();
+        bytes.extend_from_slice(garbage);
+        let path = std::env::temp_dir().join(format!(
+            "datamaran_cli_test_quarantine_{}",
+            std::process::id()
+        ));
+        fs::write(&path, &bytes).unwrap();
+        let qpath = std::env::temp_dir().join(format!(
+            "datamaran_cli_test_quarantine_out_{}",
+            std::process::id()
+        ));
+
+        let mut out = Vec::new();
+        run_cli(
+            &args(&[
+                "extract",
+                path.to_str().unwrap(),
+                "--stream",
+                "--quarantine",
+                qpath.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("records: 200"), "{text}");
+        assert!(text.contains("quarantined"), "{text}");
+        // The quarantine file holds the raw rejected bytes, byte-identical to the input.
+        let preserved = fs::read(&qpath).unwrap();
+        assert!(
+            preserved
+                .windows(garbage.len())
+                .any(|w| w == garbage.as_slice()),
+            "quarantine file does not contain the corrupt line"
+        );
+        fs::remove_file(path).ok();
+        fs::remove_file(qpath).ok();
     }
 }

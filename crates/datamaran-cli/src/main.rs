@@ -4,11 +4,11 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match datamaran_cli::run(&args, &mut std::io::stdout()) {
+    match datamaran_cli::run_cli(&args, &mut std::io::stdout()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
-            eprintln!("datamaran: {err}");
-            ExitCode::FAILURE
+            eprintln!("datamaran: {}", err.message);
+            ExitCode::from(err.code)
         }
     }
 }

@@ -16,9 +16,18 @@
 //!   [`extract_stream_sink`](crate::streaming::extract_stream_sink): records are serialized
 //!   straight from the chunk window's text without ever materializing a [`Table`], and the
 //!   emitted bytes are **identical** to the materialized serializers above (enforced by
-//!   `tests/streaming_export_equivalence.rs`).
+//!   `tests/streaming_export_equivalence.rs`);
+//! * a **retry decorator** ([`RetryingSink`]) wrapping any [`RecordSink`] with bounded
+//!   retries and deterministic exponential backoff for transient write failures.
+//!
+//! Sink failures surface as [`Error::Sink`], naming the sink
+//! (`csv:<table>`, `jsonl`) and preserving the underlying I/O error's kind — which is what
+//! lets [`RetryingSink`] (and callers) distinguish a timed-out write worth retrying from a
+//! full disk that is not.
 
-use crate::error::Result as CoreResult;
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::error::{Error, Result as CoreResult};
 use crate::fieldtype::FieldType;
 use crate::json::{self, JsonError, JsonValue};
 use crate::parser::{FieldCell, RecordMatch};
@@ -30,6 +39,7 @@ use crate::semtype::{
 use crate::streaming::{StreamRecord, StreamSummary};
 use crate::structure::{Node, StructureTemplate};
 use std::io::{self, Write};
+use std::time::Duration;
 
 /// Serializable summary of one discovered record type.
 #[derive(Clone, Debug, PartialEq)]
@@ -586,6 +596,23 @@ pub trait RecordSink {
     fn finish(&mut self) -> CoreResult<()>;
 }
 
+/// A mutable reference to a sink is itself a sink, so decorators that take ownership
+/// ([`RetryingSink`], [`crate::fault::FailingSink`]) can wrap a borrowed sink and hand it
+/// back to the caller afterwards.
+impl<S: RecordSink + ?Sized> RecordSink for &mut S {
+    fn begin(&mut self, templates: &[StructureTemplate]) -> CoreResult<()> {
+        (**self).begin(templates)
+    }
+
+    fn record(&mut self, record: &StreamRecord<'_>) -> CoreResult<()> {
+        (**self).record(record)
+    }
+
+    fn finish(&mut self) -> CoreResult<()> {
+        (**self).finish()
+    }
+}
+
 /// A sink that counts records per template without writing anything — the cheapest possible
 /// consumer (streaming summaries, throughput benchmarks).
 #[derive(Clone, Debug, Default)]
@@ -633,6 +660,197 @@ impl<A: RecordSink, B: RecordSink> RecordSink for Tee<A, B> {
     fn finish(&mut self) -> CoreResult<()> {
         self.0.finish()?;
         self.1.finish()
+    }
+}
+
+/// How the retry decorator waits between attempts.  Injectable so tests can assert the
+/// exact backoff sequence without sleeping.
+pub trait Sleeper {
+    /// Waits for `duration` (or records that it would have).
+    fn sleep(&mut self, duration: Duration);
+}
+
+/// The production sleeper: blocks the current thread.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&mut self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+/// A sleeper that records every requested delay without waiting (tests).
+#[derive(Clone, Debug, Default)]
+pub struct RecordingSleeper {
+    /// Every delay requested, in order.
+    pub slept: Vec<Duration>,
+}
+
+impl Sleeper for RecordingSleeper {
+    fn sleep(&mut self, duration: Duration) {
+        self.slept.push(duration);
+    }
+}
+
+/// Bounded-retry policy with deterministic exponential backoff: attempt `k` (0-based)
+/// waits `base_delay * factor^k`, capped at `max_delay`.  No jitter — the schedule is a
+/// pure function of the attempt number, which is what makes retry behaviour testable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per failing call (so a call is attempted at most `max_retries + 1` times).
+    pub max_retries: usize,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Multiplier applied per subsequent retry.
+    pub factor: u32,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(10),
+            factor: 2,
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based): `base_delay * factor^attempt`,
+    /// saturating, capped at [`max_delay`](Self::max_delay).
+    pub fn delay(&self, attempt: usize) -> Duration {
+        let factor = u32::try_from(attempt)
+            .ok()
+            .and_then(|a| self.factor.checked_pow(a))
+            .unwrap_or(u32::MAX);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+}
+
+/// Wraps any [`RecordSink`] with bounded retries + exponential backoff for **transient**
+/// failures ([`Error::is_transient`]: interrupted / timed-out / would-block I/O, directly
+/// or behind a sink wrapper).  Permanent errors and exhausted retries propagate unchanged.
+///
+/// [`accepted_records`](Self::accepted_records) counts records the inner sink accepted;
+/// after a successful [`finish`](RecordSink::finish) (which retries too, and flushes the
+/// inner sink) that count is the number of durably written records — the number a caller
+/// resuming after a failure can rely on.
+///
+/// The decorator replays the *call*, not partial bytes: it is intended for sinks whose
+/// `record` is atomic with respect to failure (buffered writers that fail before touching
+/// the stream, network sinks with transactional appends).
+pub struct RetryingSink<S, P: Sleeper = ThreadSleeper> {
+    inner: S,
+    policy: RetryPolicy,
+    sleeper: P,
+    accepted: usize,
+    retries: usize,
+    finished: bool,
+}
+
+impl<S: RecordSink> RetryingSink<S> {
+    /// Wraps `inner` with the given policy, sleeping on the real clock.
+    pub fn new(inner: S, policy: RetryPolicy) -> Self {
+        RetryingSink::with_sleeper(inner, policy, ThreadSleeper)
+    }
+}
+
+impl<S: RecordSink, P: Sleeper> RetryingSink<S, P> {
+    /// Wraps `inner` with an injected sleeper (tests use [`RecordingSleeper`]).
+    pub fn with_sleeper(inner: S, policy: RetryPolicy, sleeper: P) -> Self {
+        RetryingSink {
+            inner,
+            policy,
+            sleeper,
+            accepted: 0,
+            retries: 0,
+            finished: false,
+        }
+    }
+
+    /// Records the inner sink accepted; durable once [`finish`](RecordSink::finish) has
+    /// succeeded (see [`finished`](Self::finished)).
+    pub fn accepted_records(&self) -> usize {
+        self.accepted
+    }
+
+    /// Total retries performed across all calls.
+    pub fn retries(&self) -> usize {
+        self.retries
+    }
+
+    /// Whether `finish` completed successfully (everything accepted is flushed/durable).
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Consumes the decorator, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Direct access to the inner sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Direct access to the sleeper (tests read the recorded backoff schedule out of a
+    /// [`RecordingSleeper`]).
+    pub fn sleeper(&self) -> &P {
+        &self.sleeper
+    }
+}
+
+/// Runs `call` with the retry policy; disjoint borrows so callers can close over fields of
+/// the same struct the sleeper lives in.
+fn run_with_retries<T>(
+    policy: &RetryPolicy,
+    sleeper: &mut dyn Sleeper,
+    retries: &mut usize,
+    mut call: impl FnMut() -> CoreResult<T>,
+) -> CoreResult<T> {
+    let mut attempt = 0usize;
+    loop {
+        match call() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                sleeper.sleep(policy.delay(attempt));
+                attempt += 1;
+                *retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+impl<S: RecordSink, P: Sleeper> RecordSink for RetryingSink<S, P> {
+    fn begin(&mut self, templates: &[StructureTemplate]) -> CoreResult<()> {
+        let inner = &mut self.inner;
+        run_with_retries(&self.policy, &mut self.sleeper, &mut self.retries, || {
+            inner.begin(templates)
+        })
+    }
+
+    fn record(&mut self, record: &StreamRecord<'_>) -> CoreResult<()> {
+        let inner = &mut self.inner;
+        run_with_retries(&self.policy, &mut self.sleeper, &mut self.retries, || {
+            inner.record(record)
+        })?;
+        self.accepted += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> CoreResult<()> {
+        let inner = &mut self.inner;
+        run_with_retries(&self.policy, &mut self.sleeper, &mut self.retries, || {
+            inner.finish()
+        })?;
+        self.finished = true;
+        Ok(())
     }
 }
 
@@ -752,10 +970,12 @@ impl<W: Write, F: FnMut(&str) -> io::Result<W>> RecordSink for CsvSink<W, F> {
             let schema = build_schema(template, &format!("type{idx}"));
             self.bases.push(self.tables.len());
             for st in &schema.tables {
-                let mut out = (self.factory)(&st.name)?;
+                let mut out = (self.factory)(&st.name)
+                    .map_err(|e| Error::io(&e).in_sink(format!("csv:{}", st.name)))?;
                 self.buf.clear();
                 push_csv_row(&mut self.buf, st.header().iter().map(String::as_str));
-                out.write_all(self.buf.as_bytes())?;
+                out.write_all(self.buf.as_bytes())
+                    .map_err(|e| Error::io(&e).in_sink(format!("csv:{}", st.name)))?;
                 self.tables.push(CsvTableState {
                     name: st.name.clone(),
                     out,
@@ -778,7 +998,10 @@ impl<W: Write, F: FnMut(&str) -> io::Result<W>> RecordSink for CsvSink<W, F> {
         let mut reps = record.reps.iter();
         let mut array_counter = 0usize;
         let id = self.synth.next_id(base);
-        self.tables[base].open_row(id, None, &mut self.buf)?;
+        let sink_id = |e: &io::Error| Error::io(e).in_sink("csv");
+        self.tables[base]
+            .open_row(id, None, &mut self.buf)
+            .map_err(|e| sink_id(&e))?;
         emit_group(
             template.nodes(),
             schema,
@@ -791,8 +1014,9 @@ impl<W: Write, F: FnMut(&str) -> io::Result<W>> RecordSink for CsvSink<W, F> {
             &mut reps,
             &mut array_counter,
             &mut self.buf,
-        )?;
-        self.tables[base].close_row()?;
+        )
+        .map_err(|e| sink_id(&e))?;
+        self.tables[base].close_row().map_err(|e| sink_id(&e))?;
         debug_assert!(cells.next().is_none(), "all cells consumed");
         debug_assert!(reps.next().is_none(), "all repetition counts consumed");
         Ok(())
@@ -800,7 +1024,9 @@ impl<W: Write, F: FnMut(&str) -> io::Result<W>> RecordSink for CsvSink<W, F> {
 
     fn finish(&mut self) -> CoreResult<()> {
         for t in &mut self.tables {
-            t.out.flush()?;
+            t.out
+                .flush()
+                .map_err(|e| Error::io(&e).in_sink(format!("csv:{}", t.name)))?;
         }
         Ok(())
     }
@@ -845,11 +1071,17 @@ fn emit_group<W: Write>(
                 let my_id = *array_counter;
                 *array_counter += 1;
                 let count = reps.next().copied().unwrap_or(0) as usize;
-                let child = schema
-                    .tables
-                    .iter()
-                    .position(|t| t.array_id == Some(my_id))
-                    .expect("array table exists for every array node");
+                // The schema is built from the same template, so every array node has a
+                // table; a miss means the sink was fed records from a different template
+                // set — surface it as a sink error rather than tearing the process down.
+                let Some(child) = schema.tables.iter().position(|t| t.array_id == Some(my_id))
+                else {
+                    debug_assert!(false, "array table exists for every array node");
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("no child table for array node {my_id}"),
+                    ));
+                };
                 let parent_id = tables[base + table].current_id;
                 for position in 0..count {
                     let id = synth.next_id(base + child);
@@ -931,13 +1163,17 @@ impl<W: Write> RecordSink for JsonLinesSink<W> {
                 .iter()
                 .map(|col| col.iter().map(|&(s, e)| &record.window[s..e])),
         );
-        self.out.write_all(self.buf.as_bytes())?;
+        self.out
+            .write_all(self.buf.as_bytes())
+            .map_err(|e| Error::io(&e).in_sink("jsonl"))?;
         self.records += 1;
         Ok(())
     }
 
     fn finish(&mut self) -> CoreResult<()> {
-        self.out.flush()?;
+        self.out
+            .flush()
+            .map_err(|e| Error::io(&e).in_sink("jsonl"))?;
         Ok(())
     }
 }
@@ -1032,6 +1268,15 @@ pub struct StreamReport {
     pub peak_window_bytes: usize,
     /// Wall-clock seconds spent inside the sink callbacks.
     pub sink_seconds: f64,
+    /// Lines diverted to the quarantine (all reasons).
+    pub quarantined_lines: usize,
+    /// Input lines that were not valid UTF-8 (processed lossily).
+    pub invalid_utf8_lines: usize,
+    /// Input lines dropped for exceeding the line-bytes budget.
+    pub oversized_lines: usize,
+    /// Why the stream stopped early ([`crate::streaming::StopReason::name`]), `None` when
+    /// it ran to the end.
+    pub stopped_reason: Option<String>,
     /// Human-readable renderings of the discovered structure templates.
     pub templates: Vec<String>,
 }
@@ -1047,6 +1292,10 @@ impl StreamReport {
             windows: summary.windows,
             peak_window_bytes: summary.peak_window_bytes,
             sink_seconds: summary.sink_seconds,
+            quarantined_lines: summary.quarantined_lines,
+            invalid_utf8_lines: summary.invalid_utf8_lines,
+            oversized_lines: summary.oversized_lines,
+            stopped_reason: summary.stopped_reason.map(|r| r.name().to_string()),
             templates: summary.templates.iter().map(|t| t.to_string()).collect(),
         }
     }
@@ -1061,14 +1310,32 @@ impl StreamReport {
             ("windows".into(), num(self.windows)),
             ("peak_window_bytes".into(), num(self.peak_window_bytes)),
             ("sink_seconds".into(), JsonValue::Number(self.sink_seconds)),
+            ("quarantined_lines".into(), num(self.quarantined_lines)),
+            ("invalid_utf8_lines".into(), num(self.invalid_utf8_lines)),
+            ("oversized_lines".into(), num(self.oversized_lines)),
+            (
+                "stopped_reason".into(),
+                match &self.stopped_reason {
+                    Some(r) => JsonValue::String(r.clone()),
+                    None => JsonValue::Null,
+                },
+            ),
             ("templates".into(), strings(&self.templates)),
         ])
         .to_pretty()
     }
 
-    /// Parses a report back from JSON.
+    /// Parses a report back from JSON.  The fault-tolerance fields are optional so reports
+    /// written by earlier versions still parse (they default to zero / absent).
     pub fn from_json(text: &str) -> Result<Self, JsonError> {
         let v = JsonValue::parse(text)?;
+        let opt_usize = |key: &str| -> Result<usize, JsonError> {
+            v.get(key).map_or(Ok(0), JsonValue::as_usize)
+        };
+        let stopped_reason = match v.get("stopped_reason") {
+            None | Some(JsonValue::Null) => None,
+            Some(other) => Some(other.as_str()?.to_string()),
+        };
         Ok(StreamReport {
             records: v.require("records")?.as_usize()?,
             noise_lines: v.require("noise_lines")?.as_usize()?,
@@ -1077,6 +1344,10 @@ impl StreamReport {
             windows: v.require("windows")?.as_usize()?,
             peak_window_bytes: v.require("peak_window_bytes")?.as_usize()?,
             sink_seconds: v.require("sink_seconds")?.as_f64()?,
+            quarantined_lines: opt_usize("quarantined_lines")?,
+            invalid_utf8_lines: opt_usize("invalid_utf8_lines")?,
+            oversized_lines: opt_usize("oversized_lines")?,
+            stopped_reason,
             templates: string_vec(v.require("templates")?)?,
         })
     }
@@ -1227,10 +1498,30 @@ mod tests {
             windows: 4,
             peak_window_bytes: 2048,
             sink_seconds: 0.25,
+            quarantined_lines: 2,
+            invalid_utf8_lines: 1,
+            oversized_lines: 1,
+            stopped_reason: Some("window-bytes".into()),
             templates: vec!["F=F\\n".into()],
         };
         let back = StreamReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back, report);
+    }
+
+    /// Reports written before the fault-tolerance fields existed must still parse.
+    #[test]
+    fn stream_report_parses_legacy_json_without_fault_fields() {
+        let legacy = r#"{
+            "records": 5, "noise_lines": 1, "bytes_processed": 100,
+            "lines_processed": 6, "windows": 2, "peak_window_bytes": 64,
+            "sink_seconds": 0.5, "templates": ["F\n"]
+        }"#;
+        let report = StreamReport::from_json(legacy).unwrap();
+        assert_eq!(report.records, 5);
+        assert_eq!(report.quarantined_lines, 0);
+        assert_eq!(report.invalid_utf8_lines, 0);
+        assert_eq!(report.oversized_lines, 0);
+        assert_eq!(report.stopped_reason, None);
     }
 
     #[test]
@@ -1254,6 +1545,7 @@ mod tests {
             StreamOptions {
                 head_bytes: 512,
                 window_bytes: 256,
+                ..StreamOptions::default()
             },
             &mut sink,
         )

@@ -1,0 +1,282 @@
+//! Fault-injection primitives for testing the pipeline's failure semantics.
+//!
+//! The robustness claims of the streaming layer (no panic on hostile input, graceful
+//! degradation, retry on transient sink failures, truthful durable-write reporting) are
+//! only as good as the faults they are tested against.  This module provides the two
+//! injection points the integration suite drives:
+//!
+//! * [`FailingReader`] — wraps any [`BufRead`] and injects I/O errors into the *input*
+//!   side according to a [`FaultSchedule`];
+//! * [`FailingSink`] — wraps any [`RecordSink`] and injects errors into the *output* side,
+//!   failing **before** delegating so the inner sink's durable state stays truthful.
+//!
+//! Transient faults surface as [`io::ErrorKind::TimedOut`] (which
+//! [`Error::is_transient`](crate::error::Error::is_transient) classifies as retryable);
+//! permanent faults as [`io::ErrorKind::Other`].
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::error::{Error, Result};
+use crate::export::RecordSink;
+use crate::streaming::StreamRecord;
+use crate::structure::StructureTemplate;
+use std::io::{self, BufRead, Read};
+
+/// When injected faults fire, as a function of the operation count and delivered bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSchedule {
+    /// Permanently fail from the `n`-th operation (0-based) onward.
+    FailNth(usize),
+    /// Permanently fail every operation once `bytes` total bytes have been delivered.
+    FailAfterBytes(usize),
+    /// Fail `failures` consecutive operations starting at the `at`-th with **transient**
+    /// errors, then succeed again — the retry-layer test case.
+    Transient {
+        /// First failing operation (0-based).
+        at: usize,
+        /// Number of consecutive failures.
+        failures: usize,
+    },
+}
+
+impl FaultSchedule {
+    /// Whether operation number `op` fails given `bytes` already delivered, and the error
+    /// to fail with.
+    fn fault(&self, op: usize, bytes: usize) -> Option<io::Error> {
+        let fails = match *self {
+            FaultSchedule::FailNth(n) => op >= n,
+            FaultSchedule::FailAfterBytes(b) => bytes >= b,
+            FaultSchedule::Transient { at, failures } => op >= at && op < at + failures,
+        };
+        if !fails {
+            return None;
+        }
+        Some(match self {
+            FaultSchedule::Transient { .. } => {
+                io::Error::new(io::ErrorKind::TimedOut, "injected transient fault")
+            }
+            _ => io::Error::other("injected fault"),
+        })
+    }
+}
+
+/// A [`BufRead`] wrapper that injects I/O errors into `fill_buf` per a [`FaultSchedule`].
+/// Operations are `fill_buf` calls; delivered bytes are counted at `consume`.
+pub struct FailingReader<R> {
+    inner: R,
+    schedule: FaultSchedule,
+    ops: usize,
+    bytes: usize,
+}
+
+impl<R: BufRead> FailingReader<R> {
+    /// Wraps `inner` with the given schedule.
+    pub fn new(inner: R, schedule: FaultSchedule) -> Self {
+        FailingReader {
+            inner,
+            schedule,
+            ops: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Bytes delivered to the consumer so far.
+    pub fn bytes_delivered(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl<R: BufRead> Read for FailingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl<R: BufRead> BufRead for FailingReader<R> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        let op = self.ops;
+        self.ops += 1;
+        if let Some(e) = self.schedule.fault(op, self.bytes) {
+            return Err(e);
+        }
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.bytes += amt;
+        self.inner.consume(amt);
+    }
+}
+
+/// A [`RecordSink`] wrapper that injects failures into `record` (per a [`FaultSchedule`];
+/// operations are `record` calls, delivered bytes are the records' summed cell bytes) and
+/// optionally into the first `finish_failures` calls of `finish` (transient).  Faults fire
+/// **before** delegating, so the inner sink never sees the failed call — whatever durable
+/// counts it reports stay truthful.
+pub struct FailingSink<S> {
+    inner: S,
+    schedule: Option<FaultSchedule>,
+    finish_failures: usize,
+    record_ops: usize,
+    finish_ops: usize,
+    bytes: usize,
+    /// Records successfully delegated to the inner sink.
+    pub delivered: usize,
+}
+
+impl<S: RecordSink> FailingSink<S> {
+    /// Wraps `inner`, injecting `schedule` into `record` calls.
+    pub fn new(inner: S, schedule: FaultSchedule) -> Self {
+        FailingSink {
+            inner,
+            schedule: Some(schedule),
+            finish_failures: 0,
+            record_ops: 0,
+            finish_ops: 0,
+            bytes: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Wraps `inner` with no record faults (combine with
+    /// [`with_finish_failures`](Self::with_finish_failures)).
+    pub fn passthrough(inner: S) -> Self {
+        FailingSink {
+            inner,
+            schedule: None,
+            finish_failures: 0,
+            record_ops: 0,
+            finish_ops: 0,
+            bytes: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Makes the first `n` calls of `finish` fail transiently before delegating.
+    pub fn with_finish_failures(mut self, n: usize) -> Self {
+        self.finish_failures = n;
+        self
+    }
+
+    /// Consumes the wrapper, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Direct access to the inner sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: RecordSink> RecordSink for FailingSink<S> {
+    fn begin(&mut self, templates: &[StructureTemplate]) -> Result<()> {
+        self.inner.begin(templates)
+    }
+
+    fn record(&mut self, record: &StreamRecord<'_>) -> Result<()> {
+        let op = self.record_ops;
+        self.record_ops += 1;
+        if let Some(schedule) = &self.schedule {
+            if let Some(e) = schedule.fault(op, self.bytes) {
+                return Err(Error::io(&e).in_sink("failing"));
+            }
+        }
+        self.bytes += record
+            .cells
+            .iter()
+            .map(|c| c.end.saturating_sub(c.start))
+            .sum::<usize>();
+        self.inner.record(record)?;
+        self.delivered += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        let op = self.finish_ops;
+        self.finish_ops += 1;
+        if op < self.finish_failures {
+            let e = io::Error::new(io::ErrorKind::TimedOut, "injected transient finish fault");
+            return Err(Error::io(&e).in_sink("failing"));
+        }
+        self.inner.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::CountingSink;
+    use std::io::Cursor;
+
+    #[test]
+    fn fail_nth_reader_fails_permanently_from_n() {
+        let mut r = FailingReader::new(Cursor::new(b"abcdef".to_vec()), FaultSchedule::FailNth(1));
+        let mut buf = [0u8; 3];
+        assert_eq!(r.read(&mut buf).unwrap(), 3);
+        assert!(r.read(&mut buf).is_err());
+        assert!(r.read(&mut buf).is_err(), "permanent from n onward");
+    }
+
+    #[test]
+    fn fail_after_bytes_reader_counts_consumed_bytes() {
+        let mut r = FailingReader::new(
+            Cursor::new(b"abcdefgh".to_vec()),
+            FaultSchedule::FailAfterBytes(4),
+        );
+        let mut buf = [0u8; 2];
+        assert_eq!(r.read(&mut buf).unwrap(), 2);
+        assert_eq!(r.read(&mut buf).unwrap(), 2);
+        assert_eq!(r.bytes_delivered(), 4);
+        let err = r.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+    }
+
+    #[test]
+    fn transient_reader_recovers_after_the_failure_window() {
+        let mut r = FailingReader::new(
+            Cursor::new(b"abcd".to_vec()),
+            FaultSchedule::Transient { at: 1, failures: 2 },
+        );
+        let mut buf = [0u8; 2];
+        assert_eq!(r.read(&mut buf).unwrap(), 2);
+        assert_eq!(
+            r.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
+        assert_eq!(
+            r.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
+        assert_eq!(r.read(&mut buf).unwrap(), 2, "recovers");
+    }
+
+    #[test]
+    fn failing_sink_faults_before_delegating() {
+        let mut sink = FailingSink::new(CountingSink::default(), FaultSchedule::FailNth(0));
+        sink.begin(&[]).unwrap();
+        let rec = StreamRecord {
+            template_index: 0,
+            line_span: (0, 1),
+            window: "x\n",
+            cells: &[],
+            reps: &[],
+        };
+        let err = sink.record(&rec).unwrap_err();
+        assert!(matches!(err, Error::Sink { .. }), "{err:?}");
+        assert_eq!(sink.delivered, 0);
+        assert_eq!(sink.inner().records, 0, "inner sink never saw the record");
+    }
+
+    #[test]
+    fn finish_failures_are_transient() {
+        let mut sink = FailingSink::passthrough(CountingSink::default()).with_finish_failures(2);
+        assert!(sink.finish().unwrap_err().is_transient());
+        assert!(sink.finish().unwrap_err().is_transient());
+        sink.finish().unwrap();
+    }
+}

@@ -49,6 +49,7 @@ pub mod dataset;
 pub mod error;
 pub mod export;
 pub mod extract;
+pub mod fault;
 pub mod fieldtype;
 pub mod fxhash;
 pub mod generation;
@@ -74,10 +75,11 @@ pub use config::{
     DatamaranConfig, EvaluationBackend, ExtractionBackend, GenerationBackend, SearchStrategy,
 };
 pub use dataset::Dataset;
-pub use error::{Error, Result};
+pub use error::{BudgetKind, Error, Result};
 pub use export::{
     all_records_jsonl, all_tables_csv, csv_quote, table_to_csv, write_table_csv, CountingSink,
-    CsvSink, ExtractionReport, JsonLinesSink, RecordSink, StreamReport, Tee,
+    CsvSink, ExtractionReport, JsonLinesSink, RecordSink, RecordingSleeper, RetryPolicy,
+    RetryingSink, Sleeper, StreamReport, Tee, ThreadSleeper,
 };
 pub use extract::{
     compile, decompile, diff_compiled, extract_records, parse_compiled_into, parse_dataset_span,
@@ -85,6 +87,7 @@ pub use extract::{
     CompiledTemplate, DeltaParseStats, Op, SpanLineMatcher, SpanParse, SpanRecord, SpanScratch,
     TemplateDiff,
 };
+pub use fault::{FailingReader, FailingSink, FaultSchedule};
 pub use fieldtype::FieldType;
 pub use generation::{generate, Candidate, GenerationOutput};
 pub use grammar::Grammar;
@@ -107,7 +110,9 @@ pub use scores::{NoisePenaltyScorer, NonFieldCoverageScorer, UntypedMdlScorer};
 pub use semtype::{annotate_result, annotate_table, SemanticType, TableAnnotation};
 pub use span::{field_spans, tokenize_spans, LineIndex, SpanToken, SpanTokenKind};
 pub use streaming::{
-    extract_stream, extract_stream_sink, extract_stream_with_templates, OwnedRecord, StreamOptions,
-    StreamRecord, StreamSummary,
+    extract_stream, extract_stream_sink, extract_stream_sink_guarded,
+    extract_stream_with_templates, extract_stream_with_templates_guarded, ErrorPolicy, OwnedRecord,
+    QuarantineEntry, QuarantineReason, QuarantineSink, StopReason, StreamBudgets, StreamOptions,
+    StreamRecord, StreamSummary, VecQuarantineSink, WindowUnmatched, WriteQuarantineSink,
 };
 pub use structure::{Node, StructureTemplate};

@@ -177,6 +177,19 @@ impl Datamaran {
         crate::streaming::extract_stream_sink(self, reader, options, sink)
     }
 
+    /// [`stream`](Self::stream) with a quarantine sink attached: under
+    /// [`ErrorPolicy::Quarantine`](crate::streaming::ErrorPolicy), undecodable, oversized,
+    /// and unmatched lines are preserved byte-identical in `quarantine`.
+    pub fn stream_guarded<R: std::io::BufRead, S: crate::export::RecordSink + ?Sized>(
+        &self,
+        reader: R,
+        options: crate::streaming::StreamOptions,
+        sink: &mut S,
+        quarantine: Option<&mut dyn crate::streaming::QuarantineSink>,
+    ) -> Result<crate::streaming::StreamSummary> {
+        crate::streaming::extract_stream_sink_guarded(self, reader, options, sink, quarantine)
+    }
+
     /// Runs the full pipeline with a caller-supplied regularity score function.
     pub fn extract_with_scorer<S: RegularityScorer>(
         &self,

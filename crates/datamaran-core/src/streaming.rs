@@ -1,4 +1,4 @@
-//! Streaming extraction with bounded memory.
+//! Streaming extraction with bounded memory and fault-tolerant ingestion.
 //!
 //! The paper's pipeline holds the whole file in memory; only the structure *search* is
 //! bounded by sampling (`S_data`), while the final extraction pass is `O(T_data)` and, in the
@@ -25,17 +25,41 @@
 //! benchmark gate enforces it), and the emitted segmentation is identical to what the
 //! in-memory extractor would produce on the concatenated input (checked by tests and by
 //! `tests/streaming_export_equivalence.rs`).
+//!
+//! # Failure semantics
+//!
+//! Data-lake streams are hostile by default (§2 of the paper assumes partially-structured,
+//! noisy input), so the streaming loop never treats malformed bytes as fatal unless asked
+//! to.  Three coordinated mechanisms, all configured through [`StreamOptions`]:
+//!
+//! * **Error policy** ([`ErrorPolicy`]) — lines that cannot be decoded as UTF-8 are
+//!   re-decoded lossily and continue through the pipeline (`skip`), additionally preserved
+//!   byte-for-byte in a [`QuarantineSink`] (`quarantine`), or abort the stream with a
+//!   structured [`Error::Decode`] (`abort`).  Under `quarantine`, unmatched (noise) lines
+//!   are preserved too, which is what makes the quarantine file a lossless residue of
+//!   everything the templates failed to explain.
+//! * **Resource budgets** ([`StreamBudgets`]) — hard caps on single-line bytes, resident
+//!   window bytes, cumulative match seconds, and the quarantined fraction of the stream.
+//!   Except for the line cap under the `abort` policy, a violated budget stops the stream
+//!   *gracefully*: the sink is finished (flushing everything durable), and
+//!   [`StreamSummary::stopped_reason`] records why.
+//! * **Per-window unmatched-rate counters** ([`StreamSummary::window_unmatched`]) — the
+//!   drift signal a resident ingest service needs: a window whose unmatched rate degrades
+//!   is the trigger for re-running discovery on the residual.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::config::ExtractionBackend;
 use crate::dataset::Dataset;
-use crate::error::{Error, Result};
+use crate::error::{BudgetKind, Error, Result};
 use crate::export::RecordSink;
 use crate::extract::{SpanLineMatcher, SpanScratch};
 use crate::parallel::{resolve_threads, ParallelOptions};
 use crate::parser::{tree_reps, FieldCell, LineMatcher};
 use crate::pipeline::Datamaran;
 use crate::structure::StructureTemplate;
-use std::io::BufRead;
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
 use std::time::Instant;
 
 /// Per-record sink time is sampled (1 in 32) so the instrumentation itself stays off the
@@ -143,6 +167,168 @@ impl<'a> WindowMatcher<'a> {
     }
 }
 
+/// What the streaming loop does with lines it cannot cleanly process (undecodable bytes,
+/// oversized lines) and — under [`ErrorPolicy::Quarantine`] — with unmatched noise lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Decode problem lines lossily and keep going; count them but preserve nothing.
+    #[default]
+    Skip,
+    /// Like `Skip`, but additionally preserve the offending lines byte-for-byte in the
+    /// stream's [`QuarantineSink`] — including unmatched (noise) lines, so the quarantine
+    /// is a lossless residue of everything the templates failed to explain.
+    Quarantine,
+    /// Abort the stream with a structured error on the first undecodable or oversized
+    /// line.  Unmatched lines never abort: noise is the normal case in this pipeline.
+    Abort,
+}
+
+/// Hard resource caps enforced by the streaming loop.  Every cap defaults to "unlimited";
+/// a violated cap stops the stream gracefully (see [`StreamSummary::stopped_reason`]) —
+/// except the line cap under [`ErrorPolicy::Abort`], which raises
+/// [`Error::BudgetExceeded`].
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct StreamBudgets {
+    /// Maximum bytes of a single input line.  Longer lines never enter the window buffer:
+    /// they are dropped (`skip`), preserved in the quarantine (`quarantine`), or abort the
+    /// stream (`abort`).  This is the cap that keeps a pathological multi-gigabyte "line"
+    /// from inflating the resident window.
+    pub max_line_bytes: Option<usize>,
+    /// Maximum bytes of the resident chunk window (carry-over tail plus newly read data).
+    pub max_window_bytes: Option<usize>,
+    /// Maximum cumulative wall-clock seconds spent matching templates against windows —
+    /// the livelock guard for adversarial inputs that make every match attempt expensive.
+    pub max_match_seconds: Option<f64>,
+    /// Maximum fraction (0.0–1.0) of input lines diverted to the quarantine before the
+    /// stream stops: when the data has drifted this far from the templates, continuing
+    /// just copies the input into the quarantine.
+    pub max_quarantine_fraction: Option<f64>,
+}
+
+/// Why a streaming run stopped before consuming the whole stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The resident window exceeded [`StreamBudgets::max_window_bytes`].
+    WindowBytes,
+    /// Cumulative match time exceeded [`StreamBudgets::max_match_seconds`].
+    MatchSeconds,
+    /// The quarantined fraction exceeded [`StreamBudgets::max_quarantine_fraction`].
+    QuarantineFraction,
+}
+
+impl StopReason {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::WindowBytes => "window-bytes",
+            StopReason::MatchSeconds => "match-seconds",
+            StopReason::QuarantineFraction => "quarantine-fraction",
+        }
+    }
+}
+
+/// Why a line was diverted to the [`QuarantineSink`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// No structure template matched the line (noise).
+    Unmatched,
+    /// The line was not valid UTF-8; the pipeline processed a lossy decoding, the
+    /// quarantine holds the original bytes.
+    InvalidUtf8,
+    /// The line exceeded [`StreamBudgets::max_line_bytes`] and never entered the window.
+    Oversized,
+}
+
+impl QuarantineReason {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuarantineReason::Unmatched => "unmatched",
+            QuarantineReason::InvalidUtf8 => "invalid-utf8",
+            QuarantineReason::Oversized => "oversized",
+        }
+    }
+}
+
+/// A consumer of quarantined lines.  Receives every diverted line **byte-identical** to the
+/// input (including its line terminator, or lack of one on a truncated final line), plus
+/// the 0-based input line index and the reason — enough to replay, audit, or re-ingest the
+/// residue after templates are refreshed.
+pub trait QuarantineSink {
+    /// Consumes one quarantined line.
+    fn quarantine(&mut self, line: usize, reason: QuarantineReason, bytes: &[u8]) -> Result<()>;
+}
+
+/// One quarantined line captured by [`VecQuarantineSink`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// 0-based input line index.
+    pub line: usize,
+    /// Why the line was diverted.
+    pub reason: QuarantineReason,
+    /// The original bytes, terminator included.
+    pub bytes: Vec<u8>,
+}
+
+/// A quarantine sink that collects entries in memory (tests, small residues).
+#[derive(Clone, Debug, Default)]
+pub struct VecQuarantineSink {
+    /// Every quarantined line, in stream order.
+    pub entries: Vec<QuarantineEntry>,
+}
+
+impl QuarantineSink for VecQuarantineSink {
+    fn quarantine(&mut self, line: usize, reason: QuarantineReason, bytes: &[u8]) -> Result<()> {
+        self.entries.push(QuarantineEntry {
+            line,
+            reason,
+            bytes: bytes.to_vec(),
+        });
+        Ok(())
+    }
+}
+
+/// A quarantine sink that appends the raw bytes of every diverted line to a writer — the
+/// quarantine file is the byte-exact concatenation of the diverted lines, so it can be fed
+/// straight back through the extractor once templates catch up.
+pub struct WriteQuarantineSink<W: Write> {
+    out: W,
+    /// Lines written.
+    pub lines: usize,
+    /// Bytes written.
+    pub bytes: usize,
+}
+
+impl<W: Write> WriteQuarantineSink<W> {
+    /// Creates a sink writing raw quarantined bytes to `out` (buffer the writer for files).
+    pub fn new(out: W) -> Self {
+        WriteQuarantineSink {
+            out,
+            lines: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Flushes and returns the writer.
+    pub fn into_writer(mut self) -> Result<W> {
+        self.out
+            .flush()
+            .map_err(|e| Error::io(&e).in_sink("quarantine"))?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> QuarantineSink for WriteQuarantineSink<W> {
+    fn quarantine(&mut self, _line: usize, _reason: QuarantineReason, bytes: &[u8]) -> Result<()> {
+        self.out
+            .write_all(bytes)
+            .map_err(|e| Error::io(&e).in_sink("quarantine"))?;
+        self.lines += 1;
+        self.bytes += bytes.len();
+        Ok(())
+    }
+}
+
 /// Options for streaming extraction.
 #[derive(Clone, Copy, Debug)]
 pub struct StreamOptions {
@@ -151,6 +337,10 @@ pub struct StreamOptions {
     /// Target number of bytes read per processing window (the actual window also contains
     /// the undecided tail carried over from the previous window).
     pub window_bytes: usize,
+    /// What to do with undecodable, oversized, and (under `Quarantine`) unmatched lines.
+    pub on_error: ErrorPolicy,
+    /// Hard resource caps; all default to unlimited.
+    pub budgets: StreamBudgets,
 }
 
 impl Default for StreamOptions {
@@ -158,7 +348,23 @@ impl Default for StreamOptions {
         StreamOptions {
             head_bytes: 256 * 1024,
             window_bytes: 1024 * 1024,
+            on_error: ErrorPolicy::default(),
+            budgets: StreamBudgets::default(),
         }
+    }
+}
+
+impl StreamOptions {
+    /// Sets the error policy.
+    pub fn with_on_error(mut self, policy: ErrorPolicy) -> Self {
+        self.on_error = policy;
+        self
+    }
+
+    /// Sets the resource budgets.
+    pub fn with_budgets(mut self, budgets: StreamBudgets) -> Self {
+        self.budgets = budgets;
+        self
     }
 }
 
@@ -203,6 +409,28 @@ impl<'a> StreamRecord<'a> {
     }
 }
 
+/// Lines-vs-unmatched counters for one processed chunk window — the per-window drift
+/// signal (a rising [`unmatched_rate`](Self::unmatched_rate) means the discovered
+/// templates are falling behind the stream).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowUnmatched {
+    /// Lines decided (consumed) in this window.
+    pub lines: usize,
+    /// Of those, lines no template matched.
+    pub unmatched: usize,
+}
+
+impl WindowUnmatched {
+    /// Unmatched lines over decided lines (0.0 for an empty window).
+    pub fn unmatched_rate(&self) -> f64 {
+        if self.lines == 0 {
+            0.0
+        } else {
+            self.unmatched as f64 / self.lines as f64
+        }
+    }
+}
+
 /// Summary of a streaming extraction run.
 #[derive(Clone, Debug, Default)]
 pub struct StreamSummary {
@@ -227,6 +455,35 @@ pub struct StreamSummary {
     /// estimated from a 1-in-32 sample of the per-record calls (timing every record would
     /// put two clock reads on the hot path of the very throughput the CI gate measures).
     pub sink_seconds: f64,
+    /// Wall-clock seconds spent matching templates against windows (the quantity
+    /// [`StreamBudgets::max_match_seconds`] caps).
+    pub match_seconds: f64,
+    /// Lines diverted to the quarantine sink (all reasons).
+    pub quarantined_lines: usize,
+    /// Bytes diverted to the quarantine sink.
+    pub quarantined_bytes: usize,
+    /// Input lines that were not valid UTF-8 (processed lossily; quarantined raw under
+    /// [`ErrorPolicy::Quarantine`]).
+    pub invalid_utf8_lines: usize,
+    /// Input lines dropped for exceeding [`StreamBudgets::max_line_bytes`].
+    pub oversized_lines: usize,
+    /// Per-window lines / unmatched counters, in window order — the drift signal.
+    pub window_unmatched: Vec<WindowUnmatched>,
+    /// Why the stream stopped early, if it did.  `None` means the stream was consumed to
+    /// the end.  On an early stop the sink is still finished cleanly: everything reported
+    /// in [`records`](Self::records) was pushed and flushed.
+    pub stopped_reason: Option<StopReason>,
+}
+
+impl StreamSummary {
+    /// Unmatched lines over decided lines for the whole stream.
+    pub fn unmatched_rate(&self) -> f64 {
+        if self.lines_processed == 0 {
+            0.0
+        } else {
+            self.noise_lines as f64 / self.lines_processed as f64
+        }
+    }
 }
 
 /// Runs streaming extraction over `reader`, invoking `sink` with an owned copy of every
@@ -282,22 +539,56 @@ pub fn extract_stream<R: BufRead, F: FnMut(OwnedRecord)>(
 /// supplied engine's configuration ([`RecordSink::begin`] receives the discovered
 /// templates); the whole stream is then extracted window by window and each record is pushed
 /// as a zero-copy [`StreamRecord`].  Memory stays `O(head + window)` for any stream length.
+///
+/// Equivalent to [`extract_stream_sink_guarded`] with no quarantine sink attached.
 pub fn extract_stream_sink<R: BufRead, S: RecordSink + ?Sized>(
     engine: &Datamaran,
-    mut reader: R,
+    reader: R,
     options: StreamOptions,
     sink: &mut S,
 ) -> Result<StreamSummary> {
+    extract_stream_sink_guarded(engine, reader, options, sink, None)
+}
+
+/// [`extract_stream_sink`] with an optional [`QuarantineSink`] attached: under
+/// [`ErrorPolicy::Quarantine`], every undecodable, oversized, or unmatched line is
+/// preserved byte-identical in `quarantine` (in stream order), alongside the normal record
+/// flow into `sink`.
+pub fn extract_stream_sink_guarded<R: BufRead, S: RecordSink + ?Sized>(
+    engine: &Datamaran,
+    reader: R,
+    options: StreamOptions,
+    sink: &mut S,
+    mut quarantine: Option<&mut dyn QuarantineSink>,
+) -> Result<StreamSummary> {
     // Phase 1: buffer the head and discover structure on it.
+    let mut window_reader = WindowReader::new(reader);
+    let mut summary = StreamSummary::default();
     let mut buffer = String::new();
-    let eof = read_until_size(&mut reader, &mut buffer, options.head_bytes)?;
+    let eof = window_reader.fill(
+        &mut buffer,
+        options.head_bytes,
+        &options,
+        &mut quarantine,
+        &mut summary,
+    )?;
     if buffer.is_empty() {
         return Err(Error::EmptyDataset);
     }
     let head_result = engine.extract(&buffer)?;
     let templates: Vec<StructureTemplate> = head_result.templates().into_iter().cloned().collect();
     drop(head_result);
-    stream_windows(engine, reader, options, templates, buffer, eof, sink)
+    stream_windows(
+        engine,
+        window_reader,
+        options,
+        templates,
+        buffer,
+        eof,
+        sink,
+        quarantine,
+        summary,
+    )
 }
 
 /// Runs streaming extraction over `reader` with **known** structure templates, skipping
@@ -307,38 +598,69 @@ pub fn extract_stream_sink<R: BufRead, S: RecordSink + ?Sized>(
 /// would have discovered.
 pub fn extract_stream_with_templates<R: BufRead, S: RecordSink + ?Sized>(
     engine: &Datamaran,
-    mut reader: R,
+    reader: R,
     options: StreamOptions,
     templates: Vec<StructureTemplate>,
     sink: &mut S,
 ) -> Result<StreamSummary> {
+    extract_stream_with_templates_guarded(engine, reader, options, templates, sink, None)
+}
+
+/// [`extract_stream_with_templates`] with an optional [`QuarantineSink`] attached (see
+/// [`extract_stream_sink_guarded`]).
+pub fn extract_stream_with_templates_guarded<R: BufRead, S: RecordSink + ?Sized>(
+    engine: &Datamaran,
+    reader: R,
+    options: StreamOptions,
+    templates: Vec<StructureTemplate>,
+    sink: &mut S,
+    mut quarantine: Option<&mut dyn QuarantineSink>,
+) -> Result<StreamSummary> {
+    let mut window_reader = WindowReader::new(reader);
+    let mut summary = StreamSummary::default();
     let mut buffer = String::new();
-    let eof = read_until_size(&mut reader, &mut buffer, options.window_bytes.max(1))?;
+    let eof = window_reader.fill(
+        &mut buffer,
+        options.window_bytes.max(1),
+        &options,
+        &mut quarantine,
+        &mut summary,
+    )?;
     if buffer.is_empty() {
         return Err(Error::EmptyDataset);
     }
-    stream_windows(engine, reader, options, templates, buffer, eof, sink)
+    stream_windows(
+        engine,
+        window_reader,
+        options,
+        templates,
+        buffer,
+        eof,
+        sink,
+        quarantine,
+        summary,
+    )
 }
 
 /// Phase 2 of the streaming extractor: window-by-window extraction of an already-started
 /// stream (`buffer` holds the first window, `eof` whether the reader is exhausted).
+#[allow(clippy::too_many_arguments)]
 fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
     engine: &Datamaran,
-    mut reader: R,
+    mut window_reader: WindowReader<R>,
     options: StreamOptions,
     templates: Vec<StructureTemplate>,
     mut buffer: String,
     mut eof: bool,
     sink: &mut S,
+    mut quarantine: Option<&mut dyn QuarantineSink>,
+    mut summary: StreamSummary,
 ) -> Result<StreamSummary> {
     if templates.is_empty() {
         return Err(Error::NoStructureFound);
     }
     let max_span = engine.config().max_line_span;
-    let mut summary = StreamSummary {
-        templates: templates.clone(),
-        ..Default::default()
-    };
+    summary.templates = templates.clone();
     let matcher_templates = templates;
     // Compile the templates once; the matcher is reused across every window.
     let mut matcher = WindowMatcher::new(
@@ -367,16 +689,26 @@ fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
 
     // Phase 2: window-by-window extraction.
     loop {
+        // Window-bytes budget: a resident window past the cap means the carry tail (or a
+        // single record) has outgrown what the caller is willing to keep in memory.
+        if let Some(cap) = options.budgets.max_window_bytes {
+            if buffer.len() > cap {
+                summary.stopped_reason = Some(StopReason::WindowBytes);
+                break;
+            }
+        }
         let dataset = Dataset::new(buffer.as_str());
         summary.windows += 1;
         summary.peak_window_bytes = summary
             .peak_window_bytes
             .max(buffer.capacity() + dataset.len());
         let n = dataset.line_count();
+        debug_assert_eq!(n, window_reader.metas.len(), "line metadata stays aligned");
         // Lines at or after `safe_limit` may still be the head of a record whose tail has not
         // been read yet; they are only decided once the stream is exhausted.
         let safe_limit = if eof { n } else { n.saturating_sub(max_span) };
 
+        let match_timer = Instant::now();
         let chunks = par_options.effective_chunks(n);
         let table = match &matcher {
             WindowMatcher::Span(m, _) if chunks > 1 => Some(m.match_table(&dataset, chunks)),
@@ -384,6 +716,7 @@ fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
         };
 
         let mut line = 0usize;
+        let mut window_noise = 0usize;
         while line < n {
             // One decision loop for both paths: the precomputed table (parallel windows)
             // and the incremental matcher fill the same reusable buffers, so the
@@ -422,20 +755,60 @@ fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
                         break;
                     }
                     summary.noise_lines += 1;
+                    window_noise += 1;
+                    if options.on_error == ErrorPolicy::Quarantine {
+                        // Lossily decoded lines were already quarantined raw at read time;
+                        // quarantining the window copy too would duplicate (and corrupt —
+                        // the window holds replacement characters) the entry.
+                        let meta = window_reader.metas.get(line);
+                        if let Some(meta) = meta.filter(|m| !m.lossy).copied() {
+                            let (s, e) = dataset.line_span(line);
+                            quarantine_bytes(
+                                &mut quarantine,
+                                &mut summary,
+                                meta.input_line,
+                                QuarantineReason::Unmatched,
+                                &dataset.text().as_bytes()[s..e],
+                            )?;
+                        }
+                    }
                     line += 1;
                 }
             }
         }
+        summary.match_seconds += match_timer.elapsed().as_secs_f64();
 
         // Everything before `line` is decided; account for it and carry the tail over.
+        let consumed_lines = line.min(n);
         let consumed_bytes = if line >= n {
             buffer.len()
         } else {
             dataset.line_start(line)
         };
         summary.bytes_processed += consumed_bytes;
-        summary.lines_processed += line.min(n);
-        global_line += line.min(n);
+        summary.lines_processed += consumed_lines;
+        summary.window_unmatched.push(WindowUnmatched {
+            lines: consumed_lines,
+            unmatched: window_noise,
+        });
+        global_line += consumed_lines;
+        window_reader.consume_metas(consumed_lines);
+
+        // Soft budgets: stop gracefully (flushing the sink) rather than abort — everything
+        // durable so far is preserved and the summary says why we stopped.
+        if let Some(limit) = options.budgets.max_match_seconds {
+            if summary.match_seconds > limit {
+                summary.stopped_reason = Some(StopReason::MatchSeconds);
+                break;
+            }
+        }
+        if let Some(limit) = options.budgets.max_quarantine_fraction {
+            let seen = window_reader.input_line.max(1);
+            if summary.quarantined_lines as f64 / seen as f64 > limit {
+                summary.stopped_reason = Some(StopReason::QuarantineFraction);
+                break;
+            }
+        }
 
         if eof && line >= n {
             break;
@@ -450,7 +823,13 @@ fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
             }
             continue;
         }
-        eof = read_until_size(&mut reader, &mut buffer, options.window_bytes.max(1))?;
+        eof = window_reader.fill(
+            &mut buffer,
+            options.window_bytes.max(1),
+            &options,
+            &mut quarantine,
+            &mut summary,
+        )?;
     }
 
     let timed = Instant::now();
@@ -461,19 +840,194 @@ fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
     Ok(summary)
 }
 
-/// Appends whole lines from `reader` to `buffer` until at least `target` new bytes have been
-/// read or the stream ends.  Returns `true` at end of stream.
-fn read_until_size<R: BufRead>(reader: &mut R, buffer: &mut String, target: usize) -> Result<bool> {
-    let start_len = buffer.len();
-    loop {
-        if buffer.len() - start_len >= target {
-            return Ok(false);
+/// Sends one line to the quarantine sink (when attached) and keeps the counters in sync.
+fn quarantine_bytes(
+    quarantine: &mut Option<&mut dyn QuarantineSink>,
+    summary: &mut StreamSummary,
+    line: usize,
+    reason: QuarantineReason,
+    bytes: &[u8],
+) -> Result<()> {
+    if let Some(sink) = quarantine.as_deref_mut() {
+        sink.quarantine(line, reason, bytes)?;
+    }
+    summary.quarantined_lines += 1;
+    summary.quarantined_bytes += bytes.len();
+    Ok(())
+}
+
+/// Per-line bookkeeping for every line currently resident in the window buffer.
+#[derive(Clone, Copy, Debug)]
+struct LineMeta {
+    /// 0-based index of the line in the raw input stream (counting dropped lines too).
+    input_line: usize,
+    /// The buffered text is a lossy decoding; the raw bytes were already quarantined.
+    lossy: bool,
+}
+
+/// What one raw-line read produced.
+enum RawLine {
+    /// End of stream, nothing read.
+    Eof,
+    /// One line (terminator included unless the stream ended without one); `seen` is the
+    /// line's true byte length, which can exceed `raw.len()` when the overflow of an
+    /// oversized line was discarded instead of retained.
+    Line { seen: usize },
+}
+
+/// The byte-level line reader feeding the window buffer: decodes lines tolerantly (lossy
+/// UTF-8 with raw-byte quarantine), enforces the single-line byte cap without ever holding
+/// more than one line (or, when discarding, one cap's worth) of an oversized line, and
+/// tracks the input line number and per-buffered-line metadata the quarantine path needs.
+struct WindowReader<R> {
+    reader: R,
+    /// Scratch holding the bytes of the line currently being read.
+    raw: Vec<u8>,
+    /// Lines read from the input so far (dropped ones included).
+    input_line: usize,
+    /// Metadata for each line currently in the window buffer, front = oldest.
+    metas: VecDeque<LineMeta>,
+}
+
+impl<R: BufRead> WindowReader<R> {
+    fn new(reader: R) -> Self {
+        WindowReader {
+            reader,
+            raw: Vec::new(),
+            input_line: 0,
+            metas: VecDeque::new(),
         }
-        let read = reader
-            .read_line(buffer)
-            .map_err(|e| Error::Io(e.to_string()))?;
-        if read == 0 {
-            return Ok(true);
+    }
+
+    /// Drops metadata for `n` consumed lines.
+    fn consume_metas(&mut self, n: usize) {
+        for _ in 0..n {
+            self.metas.pop_front();
+        }
+    }
+
+    /// Reads one raw line (terminator included) into `self.raw`.  When `max_keep` is set,
+    /// at most `max_keep + 1` bytes are retained — the rest of the line is consumed and
+    /// discarded in bounded chunks, so a pathological multi-gigabyte line costs `O(cap)`
+    /// memory, not `O(line)`.
+    fn read_raw_line(&mut self, max_keep: Option<usize>) -> Result<RawLine> {
+        self.raw.clear();
+        let mut seen = 0usize;
+        loop {
+            let available = self.reader.fill_buf()?;
+            if available.is_empty() {
+                return Ok(if seen == 0 {
+                    RawLine::Eof
+                } else {
+                    RawLine::Line { seen }
+                });
+            }
+            let (take, done) = match available.iter().position(|&b| b == b'\n') {
+                Some(i) => (i + 1, true),
+                None => (available.len(), false),
+            };
+            let keep_limit = max_keep.map_or(take, |cap| {
+                (cap + 1).saturating_sub(self.raw.len()).min(take)
+            });
+            self.raw.extend_from_slice(&available[..keep_limit]);
+            self.reader.consume(take);
+            seen += take;
+            if done {
+                return Ok(RawLine::Line { seen });
+            }
+        }
+    }
+
+    /// Appends whole lines from the input to `buffer` until at least `target` new bytes
+    /// have been buffered or the stream ends, applying the error policy and the line-bytes
+    /// budget.  Returns `true` at end of stream.
+    fn fill(
+        &mut self,
+        buffer: &mut String,
+        target: usize,
+        options: &StreamOptions,
+        quarantine: &mut Option<&mut dyn QuarantineSink>,
+        summary: &mut StreamSummary,
+    ) -> Result<bool> {
+        let start_len = buffer.len();
+        let cap = options.budgets.max_line_bytes;
+        // Only the quarantine policy needs the full bytes of an oversized line (to
+        // preserve them); skip/abort can discard the overflow as it streams past.
+        let max_keep = match options.on_error {
+            ErrorPolicy::Quarantine => None,
+            ErrorPolicy::Skip | ErrorPolicy::Abort => cap,
+        };
+        loop {
+            if buffer.len() - start_len >= target {
+                return Ok(false);
+            }
+            match self.read_raw_line(max_keep)? {
+                RawLine::Eof => return Ok(true),
+                RawLine::Line { seen } => {
+                    let line = self.input_line;
+                    self.input_line += 1;
+                    if let Some(cap) = cap {
+                        if seen > cap {
+                            summary.oversized_lines += 1;
+                            match options.on_error {
+                                ErrorPolicy::Abort => {
+                                    return Err(Error::BudgetExceeded {
+                                        budget: BudgetKind::LineBytes,
+                                        limit: cap as u64,
+                                        observed: seen as u64,
+                                    });
+                                }
+                                ErrorPolicy::Quarantine => {
+                                    quarantine_bytes(
+                                        quarantine,
+                                        summary,
+                                        line,
+                                        QuarantineReason::Oversized,
+                                        &self.raw,
+                                    )?;
+                                }
+                                ErrorPolicy::Skip => {}
+                            }
+                            continue; // the line never enters the window
+                        }
+                    }
+                    match std::str::from_utf8(&self.raw) {
+                        Ok(text) => {
+                            buffer.push_str(text);
+                            self.metas.push_back(LineMeta {
+                                input_line: line,
+                                lossy: false,
+                            });
+                        }
+                        Err(e) => {
+                            summary.invalid_utf8_lines += 1;
+                            match options.on_error {
+                                ErrorPolicy::Abort => {
+                                    return Err(Error::Decode {
+                                        line,
+                                        message: format!("invalid UTF-8: {e}"),
+                                    });
+                                }
+                                ErrorPolicy::Quarantine => {
+                                    quarantine_bytes(
+                                        quarantine,
+                                        summary,
+                                        line,
+                                        QuarantineReason::InvalidUtf8,
+                                        &self.raw,
+                                    )?;
+                                }
+                                ErrorPolicy::Skip => {}
+                            }
+                            buffer.push_str(&String::from_utf8_lossy(&self.raw));
+                            self.metas.push_back(LineMeta {
+                                input_line: line,
+                                lossy: true,
+                            });
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -520,6 +1074,7 @@ mod tests {
             StreamOptions {
                 head_bytes: 4 * 1024,
                 window_bytes: 2 * 1024,
+                ..StreamOptions::default()
             },
             |r| streamed.push(r),
         )
@@ -530,6 +1085,12 @@ mod tests {
         assert_eq!(summary.bytes_processed, text.len());
         assert_eq!(streamed.len(), summary.records);
         assert!(summary.windows > 1);
+        assert!(summary.stopped_reason.is_none());
+        assert_eq!(summary.window_unmatched.len(), summary.windows);
+        let counted: usize = summary.window_unmatched.iter().map(|w| w.unmatched).sum();
+        assert_eq!(counted, summary.noise_lines);
+        let lines: usize = summary.window_unmatched.iter().map(|w| w.lines).sum();
+        assert_eq!(lines, summary.lines_processed);
     }
 
     #[test]
@@ -545,6 +1106,7 @@ mod tests {
             StreamOptions {
                 head_bytes: 2 * 1024,
                 window_bytes: 256,
+                ..StreamOptions::default()
             },
             |r| streamed.push(r),
         )
@@ -576,6 +1138,7 @@ mod tests {
             StreamOptions {
                 head_bytes: 512,
                 window_bytes: 128,
+                ..StreamOptions::default()
             },
             |r| rows.push(r.columns.iter().map(|c| c.join("|")).collect()),
         )
@@ -595,6 +1158,7 @@ mod tests {
         let options = StreamOptions {
             head_bytes: 2 * 1024,
             window_bytes: 512,
+            ..StreamOptions::default()
         };
         let mut span_records = Vec::new();
         extract_stream(
@@ -654,12 +1218,13 @@ mod tests {
         let engine = Datamaran::with_defaults();
         let line = "key=abc;val=123\n";
         let text: String = line.repeat(400);
-        // `read_until_size` reads whole lines until >= target bytes, so a window target
+        // The reader appends whole lines until >= target bytes, so a window target
         // that is an exact multiple of the record length makes every window end exactly
         // at a record's final newline.
         let options = StreamOptions {
             head_bytes: line.len() * 64,
             window_bytes: line.len() * 8,
+            ..StreamOptions::default()
         };
         let mut streamed = Vec::new();
         let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |r| {
@@ -703,6 +1268,7 @@ mod tests {
         let options = StreamOptions {
             head_bytes: 1024,
             window_bytes: 256,
+            ..StreamOptions::default()
         };
         let mut streamed = Vec::new();
         let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |r| {
@@ -729,6 +1295,7 @@ mod tests {
         let options = StreamOptions {
             head_bytes: 4 * 1024,
             window_bytes: 1024,
+            ..StreamOptions::default()
         };
         let mut discovered = Vec::new();
         let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |r| {
@@ -783,6 +1350,7 @@ mod tests {
         let options = StreamOptions {
             head_bytes: 8 * 1024,
             window_bytes: 8 * 1024,
+            ..StreamOptions::default()
         };
         let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |_| {}).unwrap();
         assert_eq!(summary.bytes_processed, text.len());
@@ -793,5 +1361,275 @@ mod tests {
             text.len()
         );
         assert!(summary.windows > 10);
+    }
+
+    // ---------------------------------------------------------------------------------
+    // Fault tolerance: decoding, quarantine, budgets
+    // ---------------------------------------------------------------------------------
+
+    /// Builds a kv stream with a block of invalid-UTF-8 lines spliced into the middle.
+    fn corrupted_kv(n: usize, bad_every: usize) -> (Vec<u8>, usize) {
+        let mut bytes = Vec::new();
+        let mut bad = 0usize;
+        for i in 0..n {
+            if i > 0 && i % bad_every == 0 {
+                bytes.extend_from_slice(b"garbage \xFF\xFE bytes\n");
+                bad += 1;
+            }
+            bytes.extend_from_slice(format!("host=h{};cpu={}\n", i % 9, i % 100).as_bytes());
+        }
+        (bytes, bad)
+    }
+
+    #[test]
+    fn invalid_utf8_is_decoded_lossily_and_counted() {
+        let (bytes, bad) = corrupted_kv(400, 37);
+        let engine = Datamaran::with_defaults();
+        let options = StreamOptions {
+            head_bytes: 2 * 1024,
+            window_bytes: 512,
+            ..StreamOptions::default()
+        };
+        // Default policy (skip): the stream completes, bad lines count as lossy + noise.
+        let summary = extract_stream(&engine, Cursor::new(bytes.clone()), options, |_| {}).unwrap();
+        assert_eq!(summary.invalid_utf8_lines, bad);
+        assert_eq!(summary.records, 400);
+        assert!(summary.noise_lines >= bad);
+        assert_eq!(
+            summary.quarantined_lines, 0,
+            "skip policy preserves nothing"
+        );
+        assert_eq!(summary.lines_processed, 400 + bad);
+    }
+
+    #[test]
+    fn invalid_utf8_aborts_under_abort_policy() {
+        let (bytes, _) = corrupted_kv(400, 37);
+        let engine = Datamaran::with_defaults();
+        let options = StreamOptions {
+            head_bytes: 2 * 1024,
+            window_bytes: 512,
+            on_error: ErrorPolicy::Abort,
+            ..StreamOptions::default()
+        };
+        let err = extract_stream(&engine, Cursor::new(bytes), options, |_| {}).unwrap_err();
+        assert!(matches!(err, Error::Decode { line: 37, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn quarantine_preserves_corrupt_lines_byte_identical() {
+        let (bytes, bad) = corrupted_kv(400, 37);
+        let engine = Datamaran::with_defaults();
+        let options = StreamOptions {
+            head_bytes: 2 * 1024,
+            window_bytes: 512,
+            on_error: ErrorPolicy::Quarantine,
+            ..StreamOptions::default()
+        };
+        let mut quarantine = VecQuarantineSink::default();
+        let mut counting = crate::export::CountingSink::default();
+        let summary = extract_stream_sink_guarded(
+            &engine,
+            Cursor::new(bytes.clone()),
+            options,
+            &mut counting,
+            Some(&mut quarantine),
+        )
+        .unwrap();
+        let corrupt: Vec<&QuarantineEntry> = quarantine
+            .entries
+            .iter()
+            .filter(|e| e.reason == QuarantineReason::InvalidUtf8)
+            .collect();
+        assert_eq!(corrupt.len(), bad);
+        for e in &corrupt {
+            assert_eq!(e.bytes, b"garbage \xFF\xFE bytes\n".to_vec());
+        }
+        // Unmatched lines (the lossy decodings count as noise) are preserved too; the
+        // invalid-UTF-8 lines are NOT double-quarantined as unmatched.
+        assert_eq!(summary.quarantined_lines, quarantine.entries.len());
+        let unmatched = quarantine
+            .entries
+            .iter()
+            .filter(|e| e.reason == QuarantineReason::Unmatched)
+            .count();
+        assert_eq!(summary.noise_lines, unmatched + bad);
+        assert_eq!(summary.records, 400);
+    }
+
+    #[test]
+    fn crlf_and_truncated_final_line_round_trip_through_the_reader() {
+        // CRLF terminators and a final record with no trailing newline: the reader must
+        // pass both through byte-identically (they are valid UTF-8).
+        let text = "id=1;v=a\r\nid=2;v=b\r\nid=3;v=c".to_string();
+        let engine = Datamaran::with_defaults();
+        let mut seen = Vec::new();
+        let summary = extract_stream(
+            &engine,
+            Cursor::new(text.clone()),
+            StreamOptions::default(),
+            |r| seen.push(r),
+        )
+        .unwrap();
+        assert_eq!(summary.bytes_processed, text.len());
+        assert_eq!(summary.lines_processed, 3);
+        assert_eq!(summary.invalid_utf8_lines, 0);
+    }
+
+    #[test]
+    fn oversized_lines_are_dropped_and_quarantined_per_policy() {
+        let mut bytes = Vec::new();
+        for i in 0..200 {
+            bytes.extend_from_slice(format!("host=h{};cpu={}\n", i % 9, i % 100).as_bytes());
+            if i == 120 {
+                let huge = format!("PAYLOAD {}\n", "x".repeat(8 * 1024));
+                bytes.extend_from_slice(huge.as_bytes());
+            }
+        }
+        let engine = Datamaran::with_defaults();
+        let base = StreamOptions {
+            head_bytes: 1024,
+            window_bytes: 512,
+            budgets: StreamBudgets {
+                max_line_bytes: Some(1024),
+                ..StreamBudgets::default()
+            },
+            ..StreamOptions::default()
+        };
+
+        // Skip: the line vanishes (never buffered), everything else extracts.
+        let summary = extract_stream(&engine, Cursor::new(bytes.clone()), base, |_| {}).unwrap();
+        assert_eq!(summary.oversized_lines, 1);
+        assert_eq!(summary.records, 200);
+        assert_eq!(summary.quarantined_lines, 0);
+
+        // Quarantine: the full line is preserved byte-identically.
+        let mut quarantine = VecQuarantineSink::default();
+        let mut counting = crate::export::CountingSink::default();
+        let options = base.with_on_error(ErrorPolicy::Quarantine);
+        let summary = extract_stream_sink_guarded(
+            &engine,
+            Cursor::new(bytes.clone()),
+            options,
+            &mut counting,
+            Some(&mut quarantine),
+        )
+        .unwrap();
+        assert_eq!(summary.oversized_lines, 1);
+        let oversized: Vec<&QuarantineEntry> = quarantine
+            .entries
+            .iter()
+            .filter(|e| e.reason == QuarantineReason::Oversized)
+            .collect();
+        assert_eq!(oversized.len(), 1);
+        assert_eq!(oversized[0].bytes.len(), 8 * 1024 + 9);
+        assert!(oversized[0].bytes.starts_with(b"PAYLOAD x"));
+        assert!(oversized[0].bytes.ends_with(b"x\n"));
+        // Its input line index accounts for every raw line before it.
+        assert_eq!(oversized[0].line, 121);
+
+        // Abort: structured budget error.
+        let options = base.with_on_error(ErrorPolicy::Abort);
+        let err = extract_stream(&engine, Cursor::new(bytes), options, |_| {}).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::BudgetExceeded {
+                    budget: BudgetKind::LineBytes,
+                    limit: 1024,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn match_seconds_budget_stops_gracefully() {
+        let text = kv_log(2000);
+        let engine = Datamaran::with_defaults();
+        let options = StreamOptions {
+            head_bytes: 1024,
+            window_bytes: 256,
+            budgets: StreamBudgets {
+                max_match_seconds: Some(0.0),
+                ..StreamBudgets::default()
+            },
+            ..StreamOptions::default()
+        };
+        let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |_| {}).unwrap();
+        assert_eq!(summary.stopped_reason, Some(StopReason::MatchSeconds));
+        // Exactly one window was processed before the budget check fired, and the stream
+        // was not consumed to the end.
+        assert_eq!(summary.windows, 1);
+        assert!(summary.bytes_processed < text.len());
+    }
+
+    #[test]
+    fn quarantine_fraction_budget_stops_gracefully() {
+        // Clean head, then pure garbage: once the garbage dominates, the stream stops.
+        let mut text = String::new();
+        for i in 0..120 {
+            text.push_str(&format!("host=h{};cpu={}\n", i % 7, i % 100));
+        }
+        for i in 0..4000u64 {
+            text.push_str(&format!("?? torn {} frame {}\n", i * 31 % 97, i));
+        }
+        let engine = Datamaran::with_defaults();
+        let options = StreamOptions {
+            head_bytes: 1024,
+            window_bytes: 256,
+            on_error: ErrorPolicy::Quarantine,
+            budgets: StreamBudgets {
+                max_quarantine_fraction: Some(0.5),
+                ..StreamBudgets::default()
+            },
+        };
+        let mut quarantine = VecQuarantineSink::default();
+        let mut counting = crate::export::CountingSink::default();
+        let summary = extract_stream_sink_guarded(
+            &engine,
+            Cursor::new(text.clone()),
+            options,
+            &mut counting,
+            Some(&mut quarantine),
+        )
+        .unwrap();
+        assert_eq!(summary.stopped_reason, Some(StopReason::QuarantineFraction));
+        assert!(summary.bytes_processed < text.len());
+        assert!(!quarantine.entries.is_empty());
+    }
+
+    #[test]
+    fn window_bytes_budget_stops_gracefully() {
+        let text = kv_log(2000);
+        let engine = Datamaran::with_defaults();
+        let options = StreamOptions {
+            head_bytes: 8 * 1024,
+            window_bytes: 4 * 1024,
+            budgets: StreamBudgets {
+                // The head window alone (8 KiB target) exceeds this cap.
+                max_window_bytes: Some(2 * 1024),
+                ..StreamBudgets::default()
+            },
+            ..StreamOptions::default()
+        };
+        let summary = extract_stream(&engine, Cursor::new(text), options, |_| {}).unwrap();
+        assert_eq!(summary.stopped_reason, Some(StopReason::WindowBytes));
+        assert_eq!(summary.records, 0);
+        assert_eq!(summary.windows, 0);
+    }
+
+    #[test]
+    fn write_quarantine_sink_concatenates_raw_bytes() {
+        let mut sink = WriteQuarantineSink::new(Vec::<u8>::new());
+        sink.quarantine(0, QuarantineReason::InvalidUtf8, b"\xFF\xFE\n")
+            .unwrap();
+        sink.quarantine(3, QuarantineReason::Unmatched, b"noise line\n")
+            .unwrap();
+        assert_eq!(sink.lines, 2);
+        assert_eq!(sink.bytes, 14);
+        let out = sink.into_writer().unwrap();
+        assert_eq!(out, b"\xFF\xFE\nnoise line\n".to_vec());
     }
 }

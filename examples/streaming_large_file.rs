@@ -31,6 +31,7 @@ fn main() {
         StreamOptions {
             head_bytes: 128 * 1024,   // structure discovery buffer
             window_bytes: 256 * 1024, // bounded working set for the rest of the stream
+            ..StreamOptions::default()
         },
         |record| {
             if emitted < 3 {
@@ -77,6 +78,7 @@ fn main() {
         StreamOptions {
             head_bytes: 128 * 1024,
             window_bytes: 256 * 1024,
+            ..StreamOptions::default()
         },
         &mut sinks,
     )

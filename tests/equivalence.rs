@@ -119,6 +119,7 @@ fn streaming_extraction_matches_in_memory_counts() {
             StreamOptions {
                 head_bytes: 16 * 1024,
                 window_bytes: 8 * 1024,
+                ..StreamOptions::default()
             },
             |_| streamed += 1,
         )

@@ -7,8 +7,9 @@
 //! quoting (`\r`, embedded quotes, commas).
 
 use datamaran::core::{
-    all_records_jsonl, extract_stream_sink, table_to_csv, CountingSink, CsvSink, Datamaran,
-    JsonLinesSink, StreamOptions, Tee,
+    all_records_jsonl, extract_stream_sink, extract_stream_sink_guarded, table_to_csv,
+    CountingSink, CsvSink, Datamaran, ErrorPolicy, JsonLinesSink, RecordingSleeper, RetryPolicy,
+    RetryingSink, StreamOptions, Tee, VecQuarantineSink,
 };
 use std::io::Cursor;
 
@@ -63,10 +64,66 @@ fn assert_streaming_equivalence(name: &str, text: &str, options: StreamOptions) 
     }
 
     // JSON Lines: byte for byte.
+    let jsonl_bytes = jsonl.into_writer();
     assert_eq!(
-        String::from_utf8(jsonl.into_writer()).unwrap(),
+        String::from_utf8(jsonl_bytes.clone()).unwrap(),
         all_records_jsonl(text, &result),
         "{name}: JSON Lines bytes"
+    );
+
+    // The full fault-tolerance stack — retry decorator around the sinks plus an attached
+    // quarantine under the quarantine policy — must be invisible on clean input: same
+    // bytes, zero retries, and a quarantine that holds exactly the noise lines.
+    let guarded_inner = Tee(
+        CsvSink::new(|_name: &str| Ok(Vec::<u8>::new())),
+        JsonLinesSink::new(Vec::<u8>::new()),
+    );
+    let mut guarded = RetryingSink::with_sleeper(
+        guarded_inner,
+        RetryPolicy::default(),
+        RecordingSleeper::default(),
+    );
+    let mut quarantine = VecQuarantineSink::default();
+    let guarded_summary = extract_stream_sink_guarded(
+        &engine,
+        Cursor::new(text.to_string()),
+        options.with_on_error(ErrorPolicy::Quarantine),
+        &mut guarded,
+        Some(&mut quarantine),
+    )
+    .expect("guarded streaming succeeds");
+    assert_eq!(
+        guarded_summary.records, summary.records,
+        "{name}: guarded records"
+    );
+    assert_eq!(guarded.retries(), 0, "{name}: clean input needs no retries");
+    assert!(guarded.finished(), "{name}: guarded finish ran");
+    assert_eq!(
+        quarantine.entries.len(),
+        guarded_summary.noise_lines,
+        "{name}: quarantine holds exactly the noise lines"
+    );
+    for entry in &quarantine.entries {
+        let bytes = text.as_bytes();
+        assert!(
+            bytes
+                .windows(entry.bytes.len())
+                .any(|w| w == entry.bytes.as_slice()),
+            "{name}: quarantined line {} is not a byte-identical slice of the input",
+            entry.line
+        );
+    }
+    let Tee(guarded_csv, guarded_jsonl) = guarded.into_inner();
+    let guarded_tables = guarded_csv.into_writers();
+    let plain_tables: Vec<(String, Vec<u8>)> = materialized
+        .iter()
+        .map(|(n, c)| (n.clone(), c.clone().into_bytes()))
+        .collect();
+    assert_eq!(guarded_tables, plain_tables, "{name}: guarded CSV bytes");
+    assert_eq!(
+        guarded_jsonl.into_writer(),
+        jsonl_bytes,
+        "{name}: guarded JSON Lines bytes"
     );
 }
 
@@ -90,6 +147,7 @@ fn flat_kv_records_with_noise() {
         StreamOptions {
             head_bytes: 4 * 1024,
             window_bytes: 1024,
+            ..StreamOptions::default()
         },
     );
 }
@@ -107,6 +165,7 @@ fn multiline_records_straddling_chunk_windows() {
         StreamOptions {
             head_bytes: 2 * 1024,
             window_bytes: 192,
+            ..StreamOptions::default()
         },
     );
 }
@@ -130,6 +189,7 @@ fn array_records_synthesize_foreign_keys_across_windows() {
         StreamOptions {
             head_bytes: 2 * 1024,
             window_bytes: 512,
+            ..StreamOptions::default()
         },
     );
 }
@@ -156,6 +216,7 @@ fn interleaved_record_types_keep_per_type_tables_aligned() {
         StreamOptions {
             head_bytes: 8 * 1024,
             window_bytes: 1024,
+            ..StreamOptions::default()
         },
     );
 }
@@ -190,6 +251,7 @@ fn crlf_values_need_identical_rfc4180_quoting() {
         StreamOptions {
             head_bytes: 2 * 1024,
             window_bytes: 512,
+            ..StreamOptions::default()
         },
     );
 }
@@ -220,6 +282,7 @@ fn record_ending_exactly_at_window_edge_exports_once() {
         StreamOptions {
             head_bytes: line_len * 64,
             window_bytes: line_len * 16,
+            ..StreamOptions::default()
         },
     );
 }
@@ -257,6 +320,7 @@ fn parallel_window_extraction_is_byte_identical() {
         // ~64 KiB windows hold thousands of lines — far past the 512-line minimum chunk,
         // so 2+ worker chunks per window.
         window_bytes: 64 * 1024,
+        ..StreamOptions::default()
     };
 
     type RunOutput = (Vec<(String, Vec<u8>)>, Vec<u8>, usize, usize);
