@@ -12,7 +12,7 @@
 //! the reproduction and are recorded in `EXPERIMENTS.md`.
 
 use datamaran_bench::{config_with, fmt_secs, interleaved_workload, scalable_weblog, time_run};
-use datamaran_core::{Datamaran, DatamaranConfig, MdlScorer, SearchStrategy};
+use datamaran_core::{Datamaran, DatamaranConfig, JsonValue, MdlScorer, SearchStrategy};
 use evalkit::ablation::{run_ablation, AblationVariant};
 use evalkit::{accuracy, simulate, study_datasets, Extractor};
 use logsynth::{corpus, DatasetSpec};
@@ -48,6 +48,7 @@ fn main() {
             "extraction",
             "evaluation",
             "streaming",
+            "corpus",
         ];
     }
     let started = Instant::now();
@@ -72,6 +73,7 @@ fn main() {
             "extraction" => regressed |= !extraction_bench(fast, check),
             "evaluation" => regressed |= !evaluation_bench(fast, check),
             "streaming" => regressed |= !streaming_bench(fast, check),
+            "corpus" => regressed |= !corpus_run(fast, check),
             other => eprintln!("unknown section `{other}` (skipped)"),
         }
     }
@@ -691,6 +693,121 @@ fn streaming_bench(fast: bool, check: bool) -> bool {
         Err(err) => eprintln!("could not write {path}: {err}"),
     }
     ok && bench.outputs_identical
+}
+
+// -------------------------------------------------------------------------------------------
+// Corpus matrix — LogHub-2.0-scale accuracy + throughput gates
+// -------------------------------------------------------------------------------------------
+
+/// Runs the LogHub-2.0-scale corpus matrix: discovery + extraction + streaming replay on
+/// every catalog dataset, per-dataset template F1 / line coverage / MB/s, with the
+/// committed `BENCH_corpus.json` as the CI gate and `CORPUS_REPORT.md` as the
+/// human-readable artifact.  Accuracy gates are absolute floors (the numbers are
+/// deterministic); throughput gates use the same >20% ratio rule as the engine
+/// benchmarks, applied to each dataset's MB/s relative to the reference dataset measured
+/// in the same run.
+fn corpus_run(fast: bool, check: bool) -> bool {
+    heading("Corpus matrix — LogHub-2.0-scale synthetic catalog (accuracy + throughput)");
+    let scale = if fast { 8 } else { 1 };
+    let config = evalkit::corpus::corpus_config();
+    let mut report = evalkit::corpus::CorpusReport::default();
+    for spec in logsynth::loghub::specs(scale) {
+        let data = spec.generate();
+        let ds = evalkit::corpus::run_dataset(&data, &config);
+        println!(
+            "{:<12} {:>5} templates {:>9} bytes  F1 {:.3}  coverage {:.3}  {:>7.1} MB/s  \
+             (pipeline {})",
+            ds.name,
+            ds.spec_templates,
+            ds.bytes,
+            ds.accuracy.f1,
+            ds.accuracy.line_coverage,
+            ds.stream_mb_per_sec,
+            fmt_secs(ds.phases.total()),
+        );
+        report.datasets.push(ds);
+    }
+    println!("\n{}", report.accuracy_table());
+    println!("{}", report.timing_table());
+
+    // Gate against the committed baseline *before* overwriting it.  The floors are
+    // calibrated at full scale; a --fast smoke run is not comparable, so it never gates.
+    let json_path = "BENCH_corpus.json";
+    let ok = if check && fast {
+        println!("corpus gate: --fast run is not comparable to full-scale baselines; skipping");
+        true
+    } else if check {
+        match std::fs::read_to_string(json_path)
+            .ok()
+            .and_then(|text| JsonValue::parse(&text).ok())
+        {
+            Some(baseline) => {
+                let failures = report.check_against(&baseline, REGRESSION_TOLERANCE);
+                for failure in &failures {
+                    println!("corpus gate: {failure} -> REGRESSED");
+                }
+                if failures.is_empty() {
+                    println!(
+                        "corpus gate: every dataset within its committed accuracy floors and \
+                         throughput ratios -> OK"
+                    );
+                }
+                failures.is_empty()
+            }
+            None => {
+                println!("corpus gate: no usable baseline at {json_path}; skipping");
+                true
+            }
+        }
+    } else {
+        true
+    };
+
+    if fast {
+        println!("(--fast: committed corpus baselines left untouched)");
+    } else {
+        match std::fs::write(json_path, report.to_json() + "\n") {
+            Ok(()) => println!("wrote {json_path}"),
+            Err(err) => eprintln!("could not write {json_path}: {err}"),
+        }
+        match std::fs::write("CORPUS_REPORT.md", report.to_markdown()) {
+            Ok(()) => println!("wrote CORPUS_REPORT.md"),
+            Err(err) => eprintln!("could not write CORPUS_REPORT.md: {err}"),
+        }
+    }
+
+    // Surface the per-dataset phase timings in the job summary so slow datasets are
+    // visible in the CI UI without downloading artifacts.
+    append_step_summary(&format!(
+        "## Corpus matrix phase timings\n\n{}\n## Accuracy & throughput\n\n{}",
+        report.timing_table(),
+        report.accuracy_table()
+    ));
+    ok
+}
+
+/// Appends markdown to `$GITHUB_STEP_SUMMARY` when running under GitHub Actions; a no-op
+/// everywhere else.
+fn append_step_summary(markdown: &str) {
+    use std::io::Write;
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let opened = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path);
+    match opened {
+        Ok(mut file) => {
+            if let Err(err) = writeln!(file, "{markdown}") {
+                eprintln!("could not append to GITHUB_STEP_SUMMARY: {err}");
+            }
+        }
+        Err(err) => eprintln!("could not open GITHUB_STEP_SUMMARY: {err}"),
+    }
 }
 
 // -------------------------------------------------------------------------------------------

@@ -75,6 +75,8 @@ pub enum Command {
     Grammar,
     /// Run the line-clustering baseline instead of Datamaran.
     Cluster,
+    /// Run the LogHub-clone corpus matrix and print per-dataset accuracy + throughput.
+    Corpus,
     /// Print usage information.
     Help,
     /// Print the crate version.
@@ -117,6 +119,8 @@ pub struct Cli {
     pub max_quarantine_fraction: Option<f64>,
     /// Bounded retries for transient sink failures (`--sink-retries`, 0 = no retry).
     pub sink_retries: usize,
+    /// Scaled-down corpus matrix for smoke runs (`corpus --fast`).
+    pub fast: bool,
     /// Engine configuration assembled from the flags.
     pub config: DatamaranConfig,
 }
@@ -137,6 +141,7 @@ impl Cli {
             Some("discover") => Command::Discover,
             Some("grammar") => Command::Grammar,
             Some("cluster") => Command::Cluster,
+            Some("corpus") => Command::Corpus,
             Some(other) => return Err(format!("unknown subcommand `{other}` (try `help`)")),
         };
 
@@ -208,6 +213,7 @@ impl Cli {
                     cli.sink_retries =
                         parse_number(&next_value(&mut iter, "--sink-retries")?, "--sink-retries")?
                 }
+                "--fast" => cli.fast = true,
                 "--greedy" => cli.config.search = SearchStrategy::Greedy,
                 "--alpha" => {
                     cli.config.alpha = parse_number(&next_value(&mut iter, "--alpha")?, "--alpha")?
@@ -268,8 +274,23 @@ impl Cli {
             }
         }
 
-        if cli.input.is_none() {
-            return Err("missing input file (usage: datamaran <subcommand> <file> [flags])".into());
+        if cli.command == Command::Corpus {
+            if cli.input.is_some() {
+                return Err(
+                    "`corpus` runs on the built-in dataset catalog and takes no \
+                            input file"
+                        .into(),
+                );
+            }
+        } else {
+            if cli.input.is_none() {
+                return Err(
+                    "missing input file (usage: datamaran <subcommand> <file> [flags])".into(),
+                );
+            }
+            if cli.fast {
+                return Err("`--fast` is only valid with the `corpus` subcommand".into());
+            }
         }
         if cli.stream && cli.command != Command::Extract {
             return Err("`--stream` is only valid with the `extract` subcommand".into());
@@ -361,6 +382,7 @@ impl Cli {
             max_match_seconds: None,
             max_quarantine_fraction: None,
             sink_retries: 0,
+            fast: false,
             config: DatamaranConfig::default(),
         }
     }
@@ -393,6 +415,8 @@ SUBCOMMANDS:
     discover    print the discovered structure templates only
     grammar     print the LL(1) grammar of the best structure template
     cluster     run the SLCT-style line-clustering baseline
+    corpus      run the LogHub-clone corpus matrix (no FILE): per-dataset template
+                F1, line coverage, and streaming MB/s for every catalog dataset
     help        print this message
     version     print the version
 
@@ -430,6 +454,8 @@ FLAGS:
     --sink-retries <INT>          retry transient sink failures up to INT times with
                                   exponential backoff (default: 0 = fail fast)
                                   (all of the above require `--stream`)
+    --fast                        `corpus` only: scale every dataset down 8x for a
+                                  smoke run (numbers are not comparable to full runs)
     --greedy                      use the greedy RT-CharSet search (default: exhaustive)
     --alpha <FLOAT>               coverage threshold α in (0, 1]       (default: 0.10)
     --max-span <INT>              maximum lines per record L           (default: 10)
@@ -519,6 +545,7 @@ pub fn run_cli<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
                 .map_err(|e| CliError::io(e.to_string()))?;
             return Ok(());
         }
+        Command::Corpus => return run_corpus(&cli, out),
         _ => {}
     }
 
@@ -594,8 +621,41 @@ pub fn run_cli<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
             );
             write!(out, "{s}").map_err(|e| CliError::io(e.to_string()))
         }
-        Command::Help | Command::Version => unreachable!("handled above"),
+        Command::Help | Command::Version | Command::Corpus => unreachable!("handled above"),
     }
+}
+
+/// Runs the LogHub-clone corpus matrix: generates every catalog dataset, runs discovery +
+/// extraction + the streaming throughput replay through [`evalkit::corpus`], and prints
+/// the per-dataset progress lines followed by the accuracy and phase-timing tables —
+/// the same measurement path `reproduce -- corpus` uses for the committed baselines.
+fn run_corpus<W: Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
+    let scale = if cli.fast { 8 } else { 1 };
+    let config = evalkit::corpus::corpus_config();
+    let mut report = evalkit::corpus::CorpusReport::default();
+    for spec in logsynth::loghub::specs(scale) {
+        let data = spec.generate();
+        let dataset = evalkit::corpus::run_dataset(&data, &config);
+        writeln!(
+            out,
+            "{:<12} {:>5} templates  F1 {:.3}  coverage {:.3}  {:>7.1} MB/s  ({:.2} s)",
+            dataset.name,
+            dataset.spec_templates,
+            dataset.accuracy.f1,
+            dataset.accuracy.line_coverage,
+            dataset.stream_mb_per_sec,
+            dataset.phases.total(),
+        )
+        .map_err(|e| CliError::io(e.to_string()))?;
+        report.datasets.push(dataset);
+    }
+    write!(
+        out,
+        "\n{}\n{}",
+        report.accuracy_table(),
+        report.timing_table()
+    )
+    .map_err(|e| CliError::io(e.to_string()))
 }
 
 /// Streams the guarded pipeline into `sink`, wrapping it in a [`RetryingSink`] when
@@ -910,6 +970,27 @@ mod tests {
         assert_eq!(cli.config.max_line_span, 4);
         assert_eq!(cli.config.prune_keep, 100);
         assert_eq!(cli.config.seed, 7);
+    }
+
+    #[test]
+    fn parses_corpus_without_input_file() {
+        let cli = Cli::parse(&args(&["corpus"])).unwrap();
+        assert_eq!(cli.command, Command::Corpus);
+        assert!(cli.input.is_none());
+        assert!(!cli.fast);
+
+        let cli = Cli::parse(&args(&["corpus", "--fast"])).unwrap();
+        assert!(cli.fast);
+    }
+
+    #[test]
+    fn corpus_rejects_input_and_fast_requires_corpus() {
+        assert!(Cli::parse(&args(&["corpus", "app.log"]))
+            .unwrap_err()
+            .contains("no input file"));
+        assert!(Cli::parse(&args(&["extract", "app.log", "--fast"]))
+            .unwrap_err()
+            .contains("`corpus`"));
     }
 
     #[test]

@@ -1,0 +1,864 @@
+//! The LogHub-2.0-scale corpus matrix: per-dataset template F1, line coverage, and
+//! streaming throughput, measured over the span engine end to end.
+//!
+//! Each dataset runs the full pipeline (sampling → generation → pruning → evaluation →
+//! extraction) once for accuracy and phase timings, then replays the discovered templates
+//! through the push-based streaming sink path for a pure-matcher MB/s figure — the same
+//! two measurements the `corpus-accuracy` CI job gates.
+//!
+//! ## Metric definitions
+//!
+//! **Template F1** aligns ground-truth templates with extracted record types one-to-one:
+//! every ground-truth record whose exact boundary was extracted votes for the pair
+//! (its ground-truth template, the extracted type that found it); pairs are then assigned
+//! greedily by descending vote count, one extracted type per template.  A ground-truth
+//! template with an assigned extracted type counts as recovered.  Precision is
+//! `recovered / extracted types`, recall is `recovered / templates present in the data`.
+//! DATAMARAN discovers *format-level* structure templates, so dozens of content templates
+//! sharing one line format legitimately collapse into one extracted type — recall on
+//! template-heavy datasets is therefore structurally low while line coverage stays high;
+//! the committed floors record that reality and gate against regressions from it.
+//!
+//! **Line coverage** is the fraction of ground-truth record lines that fall inside any
+//! extracted record span (boundary exactness not required) — the "how much of the log did
+//! we explain" number, robust to template merging.
+
+use crate::view::ViewRecord;
+use datamaran_core::{
+    extract_stream_with_templates, CountingSink, Datamaran, DatamaranConfig, Error, JsonValue,
+    StreamOptions, StructureTemplate,
+};
+use logsynth::GeneratedDataset;
+use std::collections::HashMap;
+use std::io::Cursor;
+
+/// Dataset whose throughput normalizes the MB/s ratio gate: per-dataset MB/s divided by
+/// this dataset's MB/s is measured in one run, so runner-speed factors cancel and the
+/// committed ratios transfer across machines (same argument as the bench-regression
+/// speedup gates).
+pub const REFERENCE_DATASET: &str = "hdfs";
+
+/// Slack subtracted from a fresh accuracy value to form its committed floor; absorbs the
+/// rounding-level drift a config-neutral refactor may cause without letting a real
+/// regression through.
+pub const ACCURACY_SLACK: f64 = 0.02;
+
+/// Template-alignment accuracy of one dataset extraction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TemplateAccuracy {
+    /// Ground-truth templates with at least one record in the generated data.
+    pub truth_templates: usize,
+    /// Extracted record types with at least one record.
+    pub extracted_templates: usize,
+    /// Ground-truth templates recovered under the one-to-one alignment.
+    pub matched_templates: usize,
+    /// `matched / extracted` (1 when nothing was extracted and nothing was there).
+    pub precision: f64,
+    /// `matched / truth` (1 when no templates were present).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Fraction of ground-truth record lines inside any extracted record span.
+    pub line_coverage: f64,
+}
+
+/// Computes template precision/recall/F1 and line coverage for one extraction.
+pub fn template_accuracy(data: &GeneratedDataset, extracted: &[ViewRecord]) -> TemplateAccuracy {
+    let text = data.text.as_str();
+    let truth_templates = data.records_per_type().iter().filter(|&&c| c > 0).count();
+    let mut extracted_types: Vec<usize> = extracted.iter().map(|r| r.type_id).collect();
+    extracted_types.sort_unstable();
+    extracted_types.dedup();
+
+    // Exact-boundary votes: (ground-truth template, extracted type) -> matched records.
+    let mut by_start: HashMap<usize, &ViewRecord> = HashMap::new();
+    for rec in extracted {
+        by_start.entry(rec.start).or_insert(rec);
+    }
+    let mut votes: HashMap<(usize, usize), usize> = HashMap::new();
+    for gt in &data.records {
+        let gt_end = trim_newline(text, gt.end);
+        if let Some(rec) = by_start.get(&gt.start).filter(|r| r.end == gt_end) {
+            *votes.entry((gt.type_index, rec.type_id)).or_insert(0) += 1;
+        }
+    }
+
+    // Greedy one-to-one assignment by descending vote count (ties broken by indices, so
+    // the alignment is deterministic).
+    let mut pairs: Vec<((usize, usize), usize)> = votes.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut gt_used: HashMap<usize, ()> = HashMap::new();
+    let mut ext_used: HashMap<usize, ()> = HashMap::new();
+    let mut matched = 0usize;
+    for ((gt_type, ext_type), _count) in pairs {
+        if gt_used.contains_key(&gt_type) || ext_used.contains_key(&ext_type) {
+            continue;
+        }
+        gt_used.insert(gt_type, ());
+        ext_used.insert(ext_type, ());
+        matched += 1;
+    }
+
+    let precision = if extracted_types.is_empty() {
+        1.0
+    } else {
+        matched as f64 / extracted_types.len() as f64
+    };
+    let recall = if truth_templates == 0 {
+        1.0
+    } else {
+        matched as f64 / truth_templates as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+
+    TemplateAccuracy {
+        truth_templates,
+        extracted_templates: extracted_types.len(),
+        matched_templates: matched,
+        precision,
+        recall,
+        f1,
+        line_coverage: line_coverage(data, extracted),
+    }
+}
+
+/// Fraction of ground-truth record lines covered by any extracted record span.
+fn line_coverage(data: &GeneratedDataset, extracted: &[ViewRecord]) -> f64 {
+    let text = data.text.as_str();
+    // Byte offset where each line starts.
+    let mut line_starts: Vec<usize> = vec![0];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' && i + 1 < text.len() {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |offset: usize| -> usize {
+        match line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        }
+    };
+
+    let n_lines = line_starts.len();
+    let mut covered = vec![false; n_lines];
+    for rec in extracted {
+        let first = line_of(rec.start);
+        let last = line_of(rec.end.saturating_sub(1).max(rec.start));
+        for line in covered.iter_mut().take(last + 1).skip(first) {
+            *line = true;
+        }
+    }
+
+    let mut gt_lines = 0usize;
+    let mut gt_covered = 0usize;
+    for gt in &data.records {
+        for &line_covered in &covered[gt.line_start..gt.line_end.min(n_lines)] {
+            gt_lines += 1;
+            if line_covered {
+                gt_covered += 1;
+            }
+        }
+    }
+    if gt_lines == 0 {
+        1.0
+    } else {
+        gt_covered as f64 / gt_lines as f64
+    }
+}
+
+fn trim_newline(text: &str, end: usize) -> usize {
+    if end > 0 && text.as_bytes()[end - 1] == b'\n' {
+        end - 1
+    } else {
+        end
+    }
+}
+
+/// Wall-clock seconds per pipeline phase for one dataset.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseSeconds {
+    /// Sampling phase.
+    pub sampling: f64,
+    /// Candidate generation phase.
+    pub generation: f64,
+    /// Pruning phase.
+    pub pruning: f64,
+    /// Evaluation phase (refinement + scoring).
+    pub evaluation: f64,
+    /// Final full-dataset extraction pass.
+    pub extraction: f64,
+}
+
+impl PhaseSeconds {
+    /// Total across all phases.
+    pub fn total(&self) -> f64 {
+        self.sampling + self.generation + self.pruning + self.evaluation + self.extraction
+    }
+}
+
+/// Everything measured for one dataset of the matrix.
+#[derive(Clone, Debug)]
+pub struct DatasetReport {
+    /// Dataset name.
+    pub name: String,
+    /// Number of record templates in the generating spec.
+    pub spec_templates: usize,
+    /// Dataset size in bytes.
+    pub bytes: usize,
+    /// Dataset size in lines.
+    pub lines: usize,
+    /// Template-alignment accuracy and line coverage.
+    pub accuracy: TemplateAccuracy,
+    /// Pipeline phase timings of the discovery + extraction run.
+    pub phases: PhaseSeconds,
+    /// Streaming replay wall-clock seconds (best of three).
+    pub stream_secs: f64,
+    /// Streaming replay throughput.
+    pub stream_mb_per_sec: f64,
+    /// Records emitted by the streaming replay.
+    pub stream_records: usize,
+}
+
+/// The engine configuration the corpus matrix runs with — a single source of truth shared
+/// by `reproduce -- corpus`, the CLI's `corpus` subcommand, and tests, so all published
+/// numbers are comparable.
+///
+/// Defaults except `max_line_span`: at the paper's L=10, candidate generation on a
+/// template-diverse corpus blows up combinatorially — every k-line window over *distinct*
+/// adjacent templates mints a fresh record-template candidate, so an 8 KiB HDFS-clone
+/// sample takes ~96 s to generate candidates at L=10 vs ~0.6 s at L=2 (measured, see
+/// ROADMAP perf targets).  The matrix runs at L=3, which keeps multi-line candidate
+/// search exercised while bounding the window combinatorics; fixing generation to dedupe
+/// window candidates *before* template construction is the named perf target that would
+/// let the matrix return to the default L.
+pub fn corpus_config() -> DatamaranConfig {
+    DatamaranConfig::default().with_max_line_span(3)
+}
+
+/// Runs discovery + extraction + streaming replay on one generated dataset.
+pub fn run_dataset(data: &GeneratedDataset, config: &DatamaranConfig) -> DatasetReport {
+    let (view, templates, phases) =
+        match Datamaran::new(config.clone()).and_then(|d| d.extract(&data.text)) {
+            Ok(result) => {
+                let t = &result.stats.timings;
+                let phases = PhaseSeconds {
+                    sampling: t.sampling.as_secs_f64(),
+                    generation: t.generation.as_secs_f64(),
+                    pruning: t.pruning.as_secs_f64(),
+                    evaluation: t.evaluation.as_secs_f64(),
+                    extraction: t.extraction.as_secs_f64(),
+                };
+                let templates: Vec<StructureTemplate> = result
+                    .structures
+                    .iter()
+                    .map(|s| s.template.clone())
+                    .collect();
+                (
+                    crate::view::datamaran_view(&data.text, &result),
+                    templates,
+                    phases,
+                )
+            }
+            Err(Error::NoStructureFound) | Err(Error::EmptyDataset) => {
+                (Vec::new(), Vec::new(), PhaseSeconds::default())
+            }
+            Err(other) => panic!("unexpected extraction error: {other}"),
+        };
+
+    let accuracy = template_accuracy(data, &view);
+
+    // Streaming replay: the discovered templates pushed through the sink path, timed as
+    // the pure matcher + sink cost (discovery already paid for above).  A single pass
+    // over a ~1 MB dataset finishes in single-digit milliseconds — far too short for a
+    // stable MB/s, and the CI gate compares ratios with 20% tolerance — so each of the
+    // three trials loops passes until at least `MIN_TRIAL_SECS` of wall time
+    // accumulates, and the best per-byte rate across trials wins.
+    const MIN_TRIAL_SECS: f64 = 0.2;
+    let (stream_secs, stream_records) = if templates.is_empty() {
+        (0.0, 0)
+    } else {
+        let engine = Datamaran::new(config.clone()).unwrap_or_else(|_| Datamaran::with_defaults());
+        let mut best = f64::INFINITY;
+        let mut records = 0usize;
+        for _ in 0..3 {
+            let started = std::time::Instant::now();
+            let mut passes = 0usize;
+            loop {
+                let mut sink = CountingSink::default();
+                let summary = extract_stream_with_templates(
+                    &engine,
+                    Cursor::new(data.text.as_bytes()),
+                    StreamOptions::default(),
+                    templates.clone(),
+                    &mut sink,
+                )
+                .expect("streaming replay succeeds on in-memory text");
+                records = summary.records;
+                passes += 1;
+                if started.elapsed().as_secs_f64() >= MIN_TRIAL_SECS {
+                    break;
+                }
+            }
+            best = best.min(started.elapsed().as_secs_f64() / passes as f64);
+        }
+        (best, records)
+    };
+    let stream_mb_per_sec = if stream_secs > 0.0 {
+        data.text.len() as f64 / stream_secs / (1024.0 * 1024.0)
+    } else {
+        0.0
+    };
+
+    DatasetReport {
+        name: data.name.clone(),
+        spec_templates: data.spec.record_types.len(),
+        bytes: data.text.len(),
+        lines: data.text.matches('\n').count(),
+        accuracy,
+        phases,
+        stream_secs,
+        stream_mb_per_sec,
+        stream_records,
+    }
+}
+
+/// The full matrix result.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusReport {
+    /// Per-dataset measurements, in catalog order.
+    pub datasets: Vec<DatasetReport>,
+}
+
+impl CorpusReport {
+    /// MB/s of the reference dataset (0 when absent).
+    pub fn reference_mb_per_sec(&self) -> f64 {
+        self.datasets
+            .iter()
+            .find(|d| d.name == REFERENCE_DATASET)
+            .map(|d| d.stream_mb_per_sec)
+            .unwrap_or(0.0)
+    }
+
+    /// A dataset's MB/s divided by the reference dataset's MB/s from the same run
+    /// (hardware-portable; 0 when either side is unmeasured).
+    pub fn mbps_vs_reference(&self, dataset: &DatasetReport) -> f64 {
+        let reference = self.reference_mb_per_sec();
+        if reference > 0.0 {
+            dataset.stream_mb_per_sec / reference
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the report as the `BENCH_corpus.json` document, committed floors
+    /// included.
+    pub fn to_json(&self) -> String {
+        let datasets: Vec<JsonValue> = self
+            .datasets
+            .iter()
+            .map(|d| {
+                JsonValue::Object(vec![
+                    ("name".into(), JsonValue::String(d.name.clone())),
+                    (
+                        "spec_templates".into(),
+                        JsonValue::Number(d.spec_templates as f64),
+                    ),
+                    ("bytes".into(), JsonValue::Number(d.bytes as f64)),
+                    ("lines".into(), JsonValue::Number(d.lines as f64)),
+                    (
+                        "truth_templates".into(),
+                        JsonValue::Number(d.accuracy.truth_templates as f64),
+                    ),
+                    (
+                        "extracted_templates".into(),
+                        JsonValue::Number(d.accuracy.extracted_templates as f64),
+                    ),
+                    (
+                        "matched_templates".into(),
+                        JsonValue::Number(d.accuracy.matched_templates as f64),
+                    ),
+                    (
+                        "template_precision".into(),
+                        JsonValue::Number(round4(d.accuracy.precision)),
+                    ),
+                    (
+                        "template_recall".into(),
+                        JsonValue::Number(round4(d.accuracy.recall)),
+                    ),
+                    (
+                        "template_f1".into(),
+                        JsonValue::Number(round4(d.accuracy.f1)),
+                    ),
+                    (
+                        "f1_floor".into(),
+                        JsonValue::Number(round4((d.accuracy.f1 - ACCURACY_SLACK).max(0.0))),
+                    ),
+                    (
+                        "line_coverage".into(),
+                        JsonValue::Number(round4(d.accuracy.line_coverage)),
+                    ),
+                    (
+                        "coverage_floor".into(),
+                        JsonValue::Number(round4(
+                            (d.accuracy.line_coverage - ACCURACY_SLACK).max(0.0),
+                        )),
+                    ),
+                    (
+                        "mb_per_sec".into(),
+                        JsonValue::Number(round4(d.stream_mb_per_sec)),
+                    ),
+                    (
+                        "mbps_vs_reference".into(),
+                        JsonValue::Number(round4(self.mbps_vs_reference(d))),
+                    ),
+                    (
+                        "sampling_secs".into(),
+                        JsonValue::Number(round4(d.phases.sampling)),
+                    ),
+                    (
+                        "generation_secs".into(),
+                        JsonValue::Number(round4(d.phases.generation)),
+                    ),
+                    (
+                        "pruning_secs".into(),
+                        JsonValue::Number(round4(d.phases.pruning)),
+                    ),
+                    (
+                        "evaluation_secs".into(),
+                        JsonValue::Number(round4(d.phases.evaluation)),
+                    ),
+                    (
+                        "extraction_secs".into(),
+                        JsonValue::Number(round4(d.phases.extraction)),
+                    ),
+                    (
+                        "stream_secs".into(),
+                        JsonValue::Number(round4(d.stream_secs)),
+                    ),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            (
+                "benchmark".into(),
+                JsonValue::String("corpus_matrix".into()),
+            ),
+            (
+                "reference".into(),
+                JsonValue::String(REFERENCE_DATASET.into()),
+            ),
+            ("datasets".into(), JsonValue::Array(datasets)),
+        ])
+        .to_pretty()
+    }
+
+    /// Renders the committed `CORPUS_REPORT.md` document.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Corpus matrix report\n\n");
+        out.push_str(
+            "LogHub-2.0-scale synthetic catalog (template counts faithful to the published \
+             annotation, record volume scaled to CI size). Regenerate with:\n\n\
+             ```\ncargo run --release -p datamaran-bench --bin reproduce -- corpus\n```\n\n\
+             Template F1 aligns ground-truth templates one-to-one with extracted record \
+             types; DATAMARAN discovers *format-level* templates, so datasets whose many \
+             content templates share one line format legitimately score low recall while \
+             line coverage stays high (see `evalkit::corpus` for the metric definitions). \
+             MB/s is the streaming sink path replaying the discovered templates; the CI \
+             gate compares each dataset's MB/s *relative to the reference dataset in the \
+             same run*, so the committed ratios are hardware-portable.\n\n",
+        );
+        out.push_str(&self.accuracy_table());
+        out.push_str("\n## Phase timings\n\n");
+        out.push_str(&self.timing_table());
+        out.push_str("\n## Observations\n\n");
+        out.push_str(&self.observations());
+        out
+    }
+
+    /// The accuracy + throughput table (markdown).
+    pub fn accuracy_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "| dataset | templates | found | matched | precision | recall | F1 | line coverage | MB/s | vs ref |\n\
+             |---|---|---|---|---|---|---|---|---|---|\n",
+        );
+        for d in &self.datasets {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.1} | {:.2} |\n",
+                d.name,
+                d.accuracy.truth_templates,
+                d.accuracy.extracted_templates,
+                d.accuracy.matched_templates,
+                d.accuracy.precision,
+                d.accuracy.recall,
+                d.accuracy.f1,
+                d.accuracy.line_coverage,
+                d.stream_mb_per_sec,
+                self.mbps_vs_reference(d),
+            ));
+        }
+        out
+    }
+
+    /// The per-dataset phase timing table (markdown; also written to
+    /// `$GITHUB_STEP_SUMMARY` by the runner).
+    pub fn timing_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "| dataset | sampling s | generation s | pruning s | evaluation s | extraction s | stream s | total s |\n\
+             |---|---|---|---|---|---|---|---|\n",
+        );
+        for d in &self.datasets {
+            out.push_str(&format!(
+                "| {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} |\n",
+                d.name,
+                d.phases.sampling,
+                d.phases.generation,
+                d.phases.pruning,
+                d.phases.evaluation,
+                d.phases.extraction,
+                d.stream_secs,
+                d.phases.total() + d.stream_secs,
+            ));
+        }
+        out
+    }
+
+    /// Auto-generated notes: the named blow-ups (slowest discovery, lowest recall,
+    /// slowest streaming relative to the reference).
+    fn observations(&self) -> String {
+        let mut out = String::new();
+        if let Some(slowest) = self
+            .datasets
+            .iter()
+            .max_by(|a, b| a.phases.total().total_cmp(&b.phases.total()))
+        {
+            out.push_str(&format!(
+                "- Slowest discovery: **{}** ({:.1}s pipeline total at {} templates) — the \
+                 candidate-pool pressure perf target.\n",
+                slowest.name,
+                slowest.phases.total(),
+                slowest.spec_templates
+            ));
+        }
+        if let Some(lowest) = self
+            .datasets
+            .iter()
+            .min_by(|a, b| a.accuracy.recall.total_cmp(&b.accuracy.recall))
+        {
+            out.push_str(&format!(
+                "- Lowest template recall: **{}** ({:.3} over {} templates) — format-level \
+                 discovery collapses content templates; splitting them needs content-aware \
+                 refinement.\n",
+                lowest.name, lowest.accuracy.recall, lowest.accuracy.truth_templates
+            ));
+        }
+        if let Some(slow_stream) = self
+            .datasets
+            .iter()
+            .filter(|d| d.stream_mb_per_sec > 0.0)
+            .min_by(|a, b| a.stream_mb_per_sec.total_cmp(&b.stream_mb_per_sec))
+        {
+            out.push_str(&format!(
+                "- Slowest streaming match: **{}** ({:.1} MB/s, {:.2}x the reference) — the \
+                 multi-template matcher perf target.\n",
+                slow_stream.name,
+                slow_stream.stream_mb_per_sec,
+                self.mbps_vs_reference(slow_stream),
+            ));
+        }
+        out
+    }
+
+    /// Gates a fresh report against the committed `BENCH_corpus.json` baseline document.
+    ///
+    /// Accuracy is gated on **absolute floors** (template F1 and line coverage are
+    /// deterministic, hardware-independent quantities); throughput is gated on the same
+    /// "more than 20%" **ratio rule** as the bench-regression job, applied to each dataset's MB/s
+    /// relative to the reference dataset measured in the same run.  Returns the list of
+    /// failures (empty = gate passes).  Baseline datasets missing from the fresh run fail;
+    /// fresh datasets missing from the baseline pass with no check (first runs).
+    pub fn check_against(&self, baseline: &JsonValue, tolerance: f64) -> Vec<String> {
+        let mut failures = Vec::new();
+        let Some(entries) = baseline.get("datasets").and_then(|d| d.as_array().ok()) else {
+            return failures;
+        };
+        for entry in entries {
+            let name = entry
+                .get("name")
+                .and_then(|n| n.as_str().ok())
+                .unwrap_or("")
+                .to_string();
+            let Some(fresh) = self.datasets.iter().find(|d| d.name == name) else {
+                failures.push(format!(
+                    "dataset `{name}` is in the baseline but did not run"
+                ));
+                continue;
+            };
+            let num = |key: &str| entry.get(key).and_then(|v| v.as_f64().ok());
+            if let Some(floor) = num("f1_floor") {
+                if fresh.accuracy.f1 < floor {
+                    failures.push(format!(
+                        "{name}: template F1 {:.4} fell below the committed floor {floor:.4}",
+                        fresh.accuracy.f1
+                    ));
+                }
+            }
+            if let Some(floor) = num("coverage_floor") {
+                if fresh.accuracy.line_coverage < floor {
+                    failures.push(format!(
+                        "{name}: line coverage {:.4} fell below the committed floor {floor:.4}",
+                        fresh.accuracy.line_coverage
+                    ));
+                }
+            }
+            if let Some(base_ratio) = num("mbps_vs_reference") {
+                let fresh_ratio = self.mbps_vs_reference(fresh);
+                if base_ratio > 0.0 && fresh_ratio > 0.0 && fresh_ratio / base_ratio < tolerance {
+                    failures.push(format!(
+                        "{name}: MB/s vs reference {fresh_ratio:.2}x regressed >{:.0}% from \
+                         the committed {base_ratio:.2}x",
+                        (1.0 - tolerance) * 100.0
+                    ));
+                }
+            }
+        }
+        failures
+    }
+}
+
+fn round4(v: f64) -> f64 {
+    (v * 10_000.0).round() / 10_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ViewField;
+    use logsynth::spec::seg::{field, lit};
+    use logsynth::{DatasetSpec, FieldKind, RecordTypeSpec};
+
+    fn kv_type(name: &str, key: &str) -> RecordTypeSpec {
+        RecordTypeSpec::new(
+            name,
+            vec![
+                lit(key),
+                lit("="),
+                field(FieldKind::Integer { min: 0, max: 99 }),
+                lit(" host="),
+                field(FieldKind::Host),
+                lit("\n"),
+            ],
+        )
+    }
+
+    fn view_from_truth(
+        data: &GeneratedDataset,
+        type_map: impl Fn(usize) -> usize,
+    ) -> Vec<ViewRecord> {
+        data.records
+            .iter()
+            .map(|gt| ViewRecord {
+                type_id: type_map(gt.type_index),
+                start: gt.start,
+                end: trim_newline(&data.text, gt.end),
+                fields: gt
+                    .fields
+                    .iter()
+                    .map(|f| ViewField {
+                        column: f.role,
+                        start: f.start,
+                        end: f.end,
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_extraction_scores_one() {
+        let spec = DatasetSpec::new("two", vec![kv_type("a", "x"), kv_type("b", "y")], 100, 7);
+        let data = spec.generate();
+        let view = view_from_truth(&data, |t| t);
+        let acc = template_accuracy(&data, &view);
+        assert_eq!(acc.truth_templates, 2);
+        assert_eq!(acc.matched_templates, 2);
+        assert!((acc.f1 - 1.0).abs() < 1e-12);
+        assert!((acc.line_coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_types_lower_recall_not_precision() {
+        let spec = DatasetSpec::new("two", vec![kv_type("a", "x"), kv_type("b", "y")], 120, 3);
+        let data = spec.generate();
+        // Discovery collapsed both ground-truth templates into one extracted type.
+        let view = view_from_truth(&data, |_| 0);
+        let acc = template_accuracy(&data, &view);
+        assert_eq!(acc.extracted_templates, 1);
+        assert_eq!(acc.matched_templates, 1);
+        assert!((acc.precision - 1.0).abs() < 1e-12);
+        assert!((acc.recall - 0.5).abs() < 1e-12);
+        assert!(
+            (acc.line_coverage - 1.0).abs() < 1e-12,
+            "coverage unaffected"
+        );
+    }
+
+    #[test]
+    fn superset_extraction_lowers_precision_not_recall() {
+        let spec = DatasetSpec::new("two", vec![kv_type("a", "x"), kv_type("b", "y")], 100, 9);
+        let data = spec.generate();
+        // Discovery split each ground-truth template into two extracted types (a superset
+        // of the truth): records alternate between the true id and a shadow id.
+        let mut flip = false;
+        let view: Vec<ViewRecord> = data
+            .records
+            .iter()
+            .map(|gt| {
+                flip = !flip;
+                let shadow = if flip { 0 } else { 2 };
+                ViewRecord {
+                    type_id: gt.type_index + shadow,
+                    start: gt.start,
+                    end: trim_newline(&data.text, gt.end),
+                    fields: Vec::new(),
+                }
+            })
+            .collect();
+        let acc = template_accuracy(&data, &view);
+        assert_eq!(acc.extracted_templates, 4);
+        assert_eq!(acc.matched_templates, 2);
+        assert!((acc.recall - 1.0).abs() < 1e-12);
+        assert!((acc.precision - 0.5).abs() < 1e-12);
+        assert!((acc.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_template_dataset_with_no_extraction_is_perfect() {
+        let spec = DatasetSpec::new("ns", vec![], 50, 5);
+        let data = spec.generate();
+        let acc = template_accuracy(&data, &[]);
+        assert_eq!(acc.truth_templates, 0);
+        assert!((acc.f1 - 1.0).abs() < 1e-12);
+        assert!((acc.line_coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_template_dataset_with_spurious_extraction_scores_zero_f1() {
+        let spec = DatasetSpec::new("ns", vec![], 50, 5);
+        let data = spec.generate();
+        let spurious = vec![ViewRecord {
+            type_id: 0,
+            start: 0,
+            end: 3,
+            fields: Vec::new(),
+        }];
+        let acc = template_accuracy(&data, &spurious);
+        assert_eq!(acc.matched_templates, 0);
+        assert!((acc.recall - 1.0).abs() < 1e-12, "nothing there to miss");
+        assert!(acc.precision.abs() < 1e-12);
+        assert!(acc.f1.abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_against_flags_floor_and_ratio_regressions() {
+        let report = CorpusReport {
+            datasets: vec![
+                DatasetReport {
+                    name: "hdfs".into(),
+                    spec_templates: 46,
+                    bytes: 1000,
+                    lines: 10,
+                    accuracy: TemplateAccuracy {
+                        truth_templates: 46,
+                        extracted_templates: 2,
+                        matched_templates: 2,
+                        precision: 1.0,
+                        recall: 0.04,
+                        f1: 0.08,
+                        line_coverage: 0.90,
+                    },
+                    phases: PhaseSeconds::default(),
+                    stream_secs: 0.01,
+                    stream_mb_per_sec: 100.0,
+                    stream_records: 10,
+                },
+                DatasetReport {
+                    name: "bgl".into(),
+                    spec_templates: 320,
+                    bytes: 1000,
+                    lines: 10,
+                    accuracy: TemplateAccuracy {
+                        truth_templates: 300,
+                        extracted_templates: 1,
+                        matched_templates: 1,
+                        precision: 1.0,
+                        recall: 0.003,
+                        f1: 0.006,
+                        line_coverage: 0.50,
+                    },
+                    phases: PhaseSeconds::default(),
+                    stream_secs: 0.02,
+                    stream_mb_per_sec: 50.0,
+                    stream_records: 10,
+                },
+            ],
+        };
+        // Baseline demands more than the fresh run delivers on every axis.
+        let baseline = JsonValue::parse(
+            r#"{"benchmark":"corpus_matrix","reference":"hdfs","datasets":[
+                {"name":"hdfs","f1_floor":0.5,"coverage_floor":0.99,"mbps_vs_reference":1.0},
+                {"name":"bgl","f1_floor":0.0,"coverage_floor":0.0,"mbps_vs_reference":0.9},
+                {"name":"ghost","f1_floor":0.0}
+            ]}"#,
+        )
+        .unwrap();
+        let failures = report.check_against(&baseline, 0.80);
+        // hdfs: F1 and coverage floors; bgl: 0.5x vs 0.9x ratio; ghost: missing dataset.
+        assert_eq!(failures.len(), 4, "{failures:?}");
+        // A baseline matching the fresh run passes.
+        let own = JsonValue::parse(&report.to_json()).unwrap();
+        assert!(report.check_against(&own, 0.80).is_empty());
+    }
+
+    #[test]
+    fn json_round_trips_the_gate_keys() {
+        let report = CorpusReport {
+            datasets: vec![DatasetReport {
+                name: "hdfs".into(),
+                spec_templates: 46,
+                bytes: 1234,
+                lines: 56,
+                accuracy: TemplateAccuracy {
+                    truth_templates: 40,
+                    extracted_templates: 3,
+                    matched_templates: 3,
+                    precision: 1.0,
+                    recall: 0.075,
+                    f1: 0.1395,
+                    line_coverage: 0.985,
+                },
+                phases: PhaseSeconds::default(),
+                stream_secs: 0.5,
+                stream_mb_per_sec: 2.5,
+                stream_records: 56,
+            }],
+        };
+        let parsed = JsonValue::parse(&report.to_json()).unwrap();
+        let ds = &parsed.get("datasets").unwrap().as_array().unwrap()[0];
+        assert_eq!(ds.get("name").unwrap().as_str().unwrap(), "hdfs");
+        let f1 = ds.get("template_f1").unwrap().as_f64().unwrap();
+        let floor = ds.get("f1_floor").unwrap().as_f64().unwrap();
+        assert!(floor < f1);
+        assert!(ds.get("mbps_vs_reference").is_some());
+        // The markdown tables render one row per dataset.
+        let md = report.to_markdown();
+        assert!(md.contains("| hdfs |"));
+        assert!(report.timing_table().lines().count() >= 3);
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod corpus;
 pub mod generate;
+pub mod loghub;
 pub mod spec;
 pub mod value;
 
