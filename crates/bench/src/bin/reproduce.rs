@@ -47,6 +47,7 @@ fn main() {
             "generation",
             "extraction",
             "evaluation",
+            "matching",
             "streaming",
             "corpus",
         ];
@@ -72,6 +73,7 @@ fn main() {
             "generation" => regressed |= !generation_bench(fast, check),
             "extraction" => regressed |= !extraction_bench(fast, check),
             "evaluation" => regressed |= !evaluation_bench(fast, check),
+            "matching" => regressed |= !matching_bench(fast, check),
             "streaming" => regressed |= !streaming_bench(fast, check),
             "corpus" => regressed |= !corpus_run(fast, check),
             other => eprintln!("unknown section `{other}` (skipped)"),
@@ -1041,6 +1043,80 @@ fn evaluation_bench(fast: bool, check: bool) -> bool {
             bench.span_candidates_per_sec(),
             bench.speedup(),
         ) && check_ratio(path, "delta_vs_full_speedup", bench.delta_vs_full_speedup()));
+    match std::fs::write(path, bench.to_json() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+    ok && bench.outputs_identical
+}
+
+fn matching_bench(fast: bool, check: bool) -> bool {
+    heading("Multi-template matching — fused prefix-trie/DFA dispatch vs. trial-each-template");
+    let records = if fast { 20_000 } else { 60_000 };
+    let divisor = if fast { 8 } else { 2 };
+    let runs = if fast { 2 } else { 3 };
+    let bench = datamaran_bench::matching_benchmark(records, divisor, runs);
+    println!(
+        "interleaved fixture: {} templates, {} bytes / {} lines, {} records",
+        bench.multi_templates, bench.multi_bytes, bench.multi_lines, bench.multi_records
+    );
+    println!("{:<12}{:>14}{:>14}", "backend", "wall time", "MB/sec");
+    println!(
+        "{:<12}{:>14}{:>14.1}",
+        "trial",
+        fmt_secs(bench.multi_trial_secs),
+        bench.trial_mb_per_sec()
+    );
+    println!(
+        "{:<12}{:>14}{:>14.1}",
+        "fused",
+        fmt_secs(bench.multi_fused_secs),
+        bench.fused_mb_per_sec()
+    );
+    println!(
+        "single-template parity: trial {} vs fused {} ({:.2}x)",
+        fmt_secs(bench.single_trial_secs),
+        fmt_secs(bench.single_fused_secs),
+        bench.single_template_speedup()
+    );
+    println!(
+        "thunderbird clone: {} live templates ({} DFA states{}), {} bytes, trial {} vs fused {} ({:.2}x)",
+        bench.tbird_templates,
+        bench.tbird_dfa_states,
+        if bench.tbird_overflowed {
+            ", state cap hit"
+        } else {
+            ""
+        },
+        bench.tbird_bytes,
+        fmt_secs(bench.tbird_trial_secs),
+        fmt_secs(bench.tbird_fused_secs),
+        bench.thunderbird_speedup()
+    );
+    println!(
+        "speedup (10-template fused vs trial): {:.2}x, outputs identical: {}",
+        bench.speedup(),
+        bench.outputs_identical
+    );
+    let floor_ok = bench.speedup() >= 3.0;
+    println!(
+        "acceptance floor: 10-template speedup {:.2}x >= 3.0x -> {}",
+        bench.speedup(),
+        if floor_ok { "OK" } else { "BELOW FLOOR" }
+    );
+    let path = "BENCH_matching.json";
+    let ok = !check
+        || (check_baseline(
+            path,
+            "fused_mb_per_sec",
+            bench.fused_mb_per_sec(),
+            bench.speedup(),
+        ) && check_ratio(
+            path,
+            "single_template_speedup",
+            bench.single_template_speedup(),
+        ) && check_ratio(path, "thunderbird_speedup", bench.thunderbird_speedup())
+            && floor_ok);
     match std::fs::write(path, bench.to_json() + "\n") {
         Ok(()) => println!("wrote {path}"),
         Err(err) => eprintln!("could not write {path}: {err}"),

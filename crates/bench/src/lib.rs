@@ -935,6 +935,415 @@ pub fn streaming_benchmark(target_bytes: usize, runs: usize) -> StreamingBench {
     }
 }
 
+// -------------------------------------------------------------------------------------------
+// Fused multi-template matching benchmark (`reproduce -- matching`)
+// -------------------------------------------------------------------------------------------
+
+/// Outcome of the matching micro-benchmark comparing the fused multi-template matcher
+/// (merged prefix-trie/DFA dispatch, batched) against trialing every template per record
+/// start, on the same template sets (see `reproduce -- matching`).
+#[derive(Clone, Debug)]
+pub struct MatchingBench {
+    /// Interleaved fixture size in bytes.
+    pub multi_bytes: usize,
+    /// Interleaved fixture line count.
+    pub multi_lines: usize,
+    /// Number of live templates in the interleaved fixture.
+    pub multi_templates: usize,
+    /// Records extracted from the interleaved fixture (identical across backends).
+    pub multi_records: usize,
+    /// Best wall-clock seconds, trial backend, interleaved fixture.
+    pub multi_trial_secs: f64,
+    /// Best wall-clock seconds, fused backend, interleaved fixture.
+    pub multi_fused_secs: f64,
+    /// Single-template parity corpus size in bytes.
+    pub single_bytes: usize,
+    /// Records extracted from the single-template corpus.
+    pub single_records: usize,
+    /// Best wall-clock seconds, trial backend, single template.
+    pub single_trial_secs: f64,
+    /// Best wall-clock seconds, fused backend (which compiles no DFA for one template and
+    /// must therefore match the trial path), single template.
+    pub single_fused_secs: f64,
+    /// Live template count of the Thunderbird-clone set (after dedup; the LogHub-2.0
+    /// annotation counts 1,241 distinct templates).
+    pub tbird_templates: usize,
+    /// Thunderbird-clone corpus size in bytes.
+    pub tbird_bytes: usize,
+    /// Records extracted from the Thunderbird-clone corpus.
+    pub tbird_records: usize,
+    /// Best wall-clock seconds, trial backend, Thunderbird-clone set.
+    pub tbird_trial_secs: f64,
+    /// Best wall-clock seconds, fused backend, Thunderbird-clone set.
+    pub tbird_fused_secs: f64,
+    /// DFA states of the fused Thunderbird-clone compilation (0 when not built).
+    pub tbird_dfa_states: usize,
+    /// `true` when the fused Thunderbird-clone DFA hit the state cap and degrades to
+    /// trial dispatch beyond the explored prefix.
+    pub tbird_overflowed: bool,
+    /// `true` when both backends produced identical span arenas on every fixture.
+    pub outputs_identical: bool,
+}
+
+impl MatchingBench {
+    /// Fused-over-trial wall-clock speedup on the interleaved multi-template fixture —
+    /// the primary gated ratio.
+    pub fn speedup(&self) -> f64 {
+        self.multi_trial_secs / self.multi_fused_secs
+    }
+
+    /// Fused-over-trial speedup with a single live template (parity check: the fused
+    /// engine must not cost anything when there is nothing to fuse).
+    pub fn single_template_speedup(&self) -> f64 {
+        self.single_trial_secs / self.single_fused_secs
+    }
+
+    /// Fused-over-trial speedup on the 1,241-template Thunderbird clone.
+    pub fn thunderbird_speedup(&self) -> f64 {
+        self.tbird_trial_secs / self.tbird_fused_secs
+    }
+
+    /// Megabytes matched per second on the interleaved fixture, fused backend.
+    pub fn fused_mb_per_sec(&self) -> f64 {
+        self.multi_bytes as f64 / self.multi_fused_secs / (1024.0 * 1024.0)
+    }
+
+    /// Megabytes matched per second on the interleaved fixture, trial backend.
+    pub fn trial_mb_per_sec(&self) -> f64 {
+        self.multi_bytes as f64 / self.multi_trial_secs / (1024.0 * 1024.0)
+    }
+
+    /// Serializes the result as the `BENCH_matching.json` document.
+    pub fn to_json(&self) -> String {
+        use datamaran_core::JsonValue;
+        JsonValue::Object(vec![
+            (
+                "benchmark".into(),
+                JsonValue::String("fused_matching".into()),
+            ),
+            (
+                "multi_bytes".into(),
+                JsonValue::Number(self.multi_bytes as f64),
+            ),
+            (
+                "multi_lines".into(),
+                JsonValue::Number(self.multi_lines as f64),
+            ),
+            (
+                "multi_templates".into(),
+                JsonValue::Number(self.multi_templates as f64),
+            ),
+            (
+                "multi_records".into(),
+                JsonValue::Number(self.multi_records as f64),
+            ),
+            (
+                "multi_trial_wall_secs".into(),
+                JsonValue::Number(self.multi_trial_secs),
+            ),
+            (
+                "multi_fused_wall_secs".into(),
+                JsonValue::Number(self.multi_fused_secs),
+            ),
+            (
+                "trial_mb_per_sec".into(),
+                JsonValue::Number(self.trial_mb_per_sec()),
+            ),
+            (
+                "fused_mb_per_sec".into(),
+                JsonValue::Number(self.fused_mb_per_sec()),
+            ),
+            ("speedup".into(), JsonValue::Number(self.speedup())),
+            (
+                "single_bytes".into(),
+                JsonValue::Number(self.single_bytes as f64),
+            ),
+            (
+                "single_records".into(),
+                JsonValue::Number(self.single_records as f64),
+            ),
+            (
+                "single_trial_wall_secs".into(),
+                JsonValue::Number(self.single_trial_secs),
+            ),
+            (
+                "single_fused_wall_secs".into(),
+                JsonValue::Number(self.single_fused_secs),
+            ),
+            (
+                "single_template_speedup".into(),
+                JsonValue::Number(self.single_template_speedup()),
+            ),
+            (
+                "thunderbird_templates".into(),
+                JsonValue::Number(self.tbird_templates as f64),
+            ),
+            (
+                "thunderbird_bytes".into(),
+                JsonValue::Number(self.tbird_bytes as f64),
+            ),
+            (
+                "thunderbird_records".into(),
+                JsonValue::Number(self.tbird_records as f64),
+            ),
+            (
+                "thunderbird_trial_wall_secs".into(),
+                JsonValue::Number(self.tbird_trial_secs),
+            ),
+            (
+                "thunderbird_fused_wall_secs".into(),
+                JsonValue::Number(self.tbird_fused_secs),
+            ),
+            (
+                "thunderbird_speedup".into(),
+                JsonValue::Number(self.thunderbird_speedup()),
+            ),
+            (
+                "thunderbird_dfa_states".into(),
+                JsonValue::Number(self.tbird_dfa_states as f64),
+            ),
+            (
+                "thunderbird_overflowed".into(),
+                JsonValue::Bool(self.tbird_overflowed),
+            ),
+            (
+                "outputs_identical".into(),
+                JsonValue::Bool(self.outputs_identical),
+            ),
+        ])
+        .to_pretty()
+    }
+}
+
+/// Splitmix-style hash used to derive deterministic field values for the matching
+/// fixtures without any RNG state.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 32)
+}
+
+/// The ten record shapes of the interleaved matching fixture.  All shapes share a
+/// syslog-style header (`Mon DD HH:MM:SS host proc[pid]: `) and a field-heavy message
+/// body, and differ only in the punctuation joining the *last* two tokens — the
+/// adversarial-but-realistic layout where trial matching scans almost the whole record
+/// before a failing template is rejected, while the fused DFA walks the bytes once.
+/// Field values are alphanumeric only, so every generated line of a shape matches the
+/// template reduced from any other line of the same shape.
+type ShapeGen = fn(u64) -> String;
+
+/// Discriminator punctuation of shape `k`; also the only charset difference between
+/// shapes.
+const SHAPE_PUNCT: [char; 10] = ['=', '|', ',', ';', '.', '/', '+', '-', '&', '%'];
+
+fn matching_line(k: usize, h: u64) -> String {
+    format!(
+        "Jun {} {:02}:{:02}:{:02} host{} proc{}[{}]: task t{} queue q{} worker w{} shard e{} ret r{}{}{}\n",
+        1 + h % 28,
+        h % 24,
+        (h >> 6) % 60,
+        (h >> 12) % 60,
+        (h >> 18) % 12,
+        (h >> 21) % 6,
+        (h >> 24) % 32768,
+        (h >> 8) % 1000,
+        (h >> 16) % 100,
+        (h >> 28) % 64,
+        (h >> 34) % 256,
+        (h >> 42) % 97,
+        SHAPE_PUNCT[k % SHAPE_PUNCT.len()],
+        (h >> 48) % 1000,
+    )
+}
+
+fn matching_shapes() -> Vec<(String, ShapeGen)> {
+    fn gen(k: usize) -> ShapeGen {
+        // One monomorphic generator per shape so the table holds plain fn pointers.
+        macro_rules! shape_fns {
+            ($($idx:literal),*) => { [$(|h| matching_line($idx, h)),*] }
+        }
+        const GENS: [ShapeGen; 10] = shape_fns!(0, 1, 2, 3, 4, 5, 6, 7, 8, 9);
+        GENS[k]
+    }
+    (0..SHAPE_PUNCT.len())
+        .map(|k| (format!("[]: \n{}", SHAPE_PUNCT[k]), gen(k)))
+        .collect()
+}
+
+/// Builds the interleaved matching fixture: `records` lines cycling through the first
+/// `n_types` shapes, plus the structure template of every live shape (reduced from an
+/// instantiated example of that shape).
+pub fn matching_workload(
+    n_types: usize,
+    records: usize,
+    seed: u64,
+) -> (String, Vec<datamaran_core::StructureTemplate>) {
+    use datamaran_core::{reduce, CharSet, RecordTemplate};
+    let shapes = matching_shapes();
+    let n = n_types.clamp(1, shapes.len());
+    let templates = shapes[..n]
+        .iter()
+        .map(|(charset, gen)| {
+            let example = gen(mix64(seed));
+            reduce(&RecordTemplate::from_instantiated(
+                &example,
+                &CharSet::from_chars(charset.chars()),
+            ))
+        })
+        .collect();
+    let mut text = String::new();
+    for i in 0..records {
+        let h = mix64(seed ^ (i as u64).wrapping_mul(0x0100_0000_01B3));
+        text.push_str(&shapes[i % n].1(h));
+    }
+    (text, templates)
+}
+
+/// Derives one structure template per record type of a synthesized LogHub-clone dataset
+/// (reduced from the first generated instance of each type, default formatting charset),
+/// deduplicated in first-appearance order.
+pub fn loghub_template_set(
+    dataset: &logsynth::GeneratedDataset,
+) -> Vec<datamaran_core::StructureTemplate> {
+    use datamaran_core::{default_special_chars, reduce, RecordTemplate, StructureTemplate};
+    let charset = default_special_chars();
+    let n_types = dataset.spec.record_types.len();
+    let mut example: Vec<Option<(usize, usize)>> = vec![None; n_types];
+    for r in &dataset.records {
+        if example[r.type_index].is_none() {
+            example[r.type_index] = Some((r.start, r.end));
+        }
+    }
+    let mut templates: Vec<StructureTemplate> = Vec::new();
+    for span in example.into_iter().flatten() {
+        let st = reduce(&RecordTemplate::from_instantiated(
+            &dataset.text[span.0..span.1],
+            &charset,
+        ));
+        if !templates.contains(&st) {
+            templates.push(st);
+        }
+    }
+    templates
+}
+
+/// Times one backend on one fixture: the matcher (and for the fused backend, the merged
+/// DFA) is compiled once outside the loop — the object the pipeline reuses across
+/// windows — and the batched match pass is what the clock sees.  Best of `runs`.
+fn time_matching(
+    dataset: &datamaran_core::Dataset,
+    matcher: &datamaran_core::SpanLineMatcher,
+    runs: usize,
+) -> (f64, usize, usize, bool) {
+    use datamaran_core::{SpanParse, SpanScratch};
+    let mut out = SpanParse::default();
+    let mut scratch = SpanScratch::default();
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let started = Instant::now();
+        matcher.parse_into_with(dataset, &mut out, &mut scratch);
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    (
+        best,
+        out.records.len(),
+        scratch.fused_dfa_states(),
+        scratch.fused_dfa_overflowed(),
+    )
+}
+
+/// Checks the two backends produce identical span arenas on one fixture.
+fn matching_outputs_identical(
+    dataset: &datamaran_core::Dataset,
+    templates: &[datamaran_core::StructureTemplate],
+    max_line_span: usize,
+) -> bool {
+    use datamaran_core::{MatchingBackend, SpanLineMatcher, SpanParse};
+    let mut a = SpanParse::default();
+    let mut b = SpanParse::default();
+    SpanLineMatcher::with_backend(templates, max_line_span, MatchingBackend::Trial)
+        .parse_into(dataset, &mut a);
+    SpanLineMatcher::with_backend(templates, max_line_span, MatchingBackend::Fused)
+        .parse_into(dataset, &mut b);
+    a.records == b.records
+        && a.cells == b.cells
+        && a.reps == b.reps
+        && a.noise_lines == b.noise_lines
+        && a.record_bytes == b.record_bytes
+        && a.noise_bytes == b.noise_bytes
+}
+
+/// Runs the fused-vs-trial matching benchmark: a 10-template interleaved fixture of
+/// `multi_records` records (the gated ratio), a single-template parity corpus, and the
+/// Thunderbird-clone template set (1,241 catalogued templates) on its own synthesized
+/// corpus.  `runs` timed repetitions each, best kept; equivalence is asserted on every
+/// fixture before timing.
+pub fn matching_benchmark(
+    multi_records: usize,
+    tbird_scale_divisor: usize,
+    runs: usize,
+) -> MatchingBench {
+    use datamaran_core::{Dataset, MatchingBackend, SpanLineMatcher};
+    let max_line_span = DatamaranConfig::default().max_line_span;
+
+    let (multi_text, multi_templates) = matching_workload(10, multi_records, 41);
+    let multi = Dataset::new(multi_text);
+    let (single_text, single_templates) = matching_workload(1, multi_records, 43);
+    let single = Dataset::new(single_text);
+
+    let tbird_entry = logsynth::loghub::catalog()
+        .into_iter()
+        .find(|e| e.name == "thunderbird")
+        .expect("thunderbird is catalogued");
+    let tbird_data = tbird_entry.spec(tbird_scale_divisor.max(1)).generate();
+    let tbird_templates = loghub_template_set(&tbird_data);
+    let tbird = Dataset::new(tbird_data.text);
+
+    let outputs_identical = matching_outputs_identical(&multi, &multi_templates, max_line_span)
+        && matching_outputs_identical(&single, &single_templates, max_line_span)
+        && matching_outputs_identical(&tbird, &tbird_templates, max_line_span);
+
+    let timed = |dataset: &Dataset,
+                 templates: &[datamaran_core::StructureTemplate],
+                 backend: MatchingBackend| {
+        let matcher = SpanLineMatcher::with_backend(templates, max_line_span, backend);
+        time_matching(dataset, &matcher, runs)
+    };
+
+    let (multi_trial_secs, multi_records_n, _, _) =
+        timed(&multi, &multi_templates, MatchingBackend::Trial);
+    let (multi_fused_secs, _, _, _) = timed(&multi, &multi_templates, MatchingBackend::Fused);
+    let (single_trial_secs, single_records_n, _, _) =
+        timed(&single, &single_templates, MatchingBackend::Trial);
+    let (single_fused_secs, _, _, _) = timed(&single, &single_templates, MatchingBackend::Fused);
+    let (tbird_trial_secs, tbird_records_n, _, _) =
+        timed(&tbird, &tbird_templates, MatchingBackend::Trial);
+    let (tbird_fused_secs, _, tbird_dfa_states, tbird_overflowed) =
+        timed(&tbird, &tbird_templates, MatchingBackend::Fused);
+
+    MatchingBench {
+        multi_bytes: multi.len(),
+        multi_lines: multi.line_count(),
+        multi_templates: multi_templates.len(),
+        multi_records: multi_records_n,
+        multi_trial_secs,
+        multi_fused_secs,
+        single_bytes: single.len(),
+        single_records: single_records_n,
+        single_trial_secs,
+        single_fused_secs,
+        tbird_templates: tbird_templates.len(),
+        tbird_bytes: tbird.len(),
+        tbird_records: tbird_records_n,
+        tbird_trial_secs,
+        tbird_fused_secs,
+        tbird_dfa_states,
+        tbird_overflowed,
+        outputs_identical,
+    }
+}
+
 /// Formats seconds compactly for the report tables.
 pub fn fmt_secs(s: f64) -> String {
     if s < 0.001 {

@@ -43,8 +43,8 @@
 use datamaran_core::{
     all_tables_csv, table_to_csv, CountingSink, CsvSink, Datamaran, DatamaranConfig, Error,
     ErrorPolicy, EvaluationBackend, ExtractionBackend, ExtractionReport, Grammar, JsonLinesSink,
-    QuarantineSink, RecordSink, RetryPolicy, RetryingSink, SearchStrategy, StreamBudgets,
-    StreamOptions, StreamReport, StreamSummary, WriteQuarantineSink,
+    MatchingBackend, QuarantineSink, RecordSink, RetryPolicy, RetryingSink, SearchStrategy,
+    StreamBudgets, StreamOptions, StreamReport, StreamSummary, WriteQuarantineSink,
 };
 use logclust::{ClusterConfig, LogCluster};
 use std::fmt::Write as _;
@@ -239,6 +239,14 @@ impl Cli {
                         "span" => ExtractionBackend::Span,
                         "legacy" => ExtractionBackend::Legacy,
                         other => return Err(format!("unknown extraction backend `{other}`")),
+                    };
+                }
+                "--matching-backend" => {
+                    let value = next_value(&mut iter, "--matching-backend")?;
+                    cli.config.matching_backend = match value.as_str() {
+                        "fused" => MatchingBackend::Fused,
+                        "trial" => MatchingBackend::Trial,
+                        other => return Err(format!("unknown matching backend `{other}`")),
                     };
                 }
                 "--extraction-threads" => {
@@ -464,6 +472,10 @@ FLAGS:
     --seed <INT>                  RNG seed for sampling
     --extraction-backend <span|legacy>
                                   final-pass extraction engine         (default: span)
+    --matching-backend <fused|trial>
+                                  multi-template record matching: one merged DFA pass
+                                  (fused) or per-template trials (trial); also settable
+                                  via DATAMARAN_MATCHING_BACKEND    (default: fused)
     --extraction-threads <INT>    extraction worker threads, 0 = auto  (default: 0)
     --generation-threads <INT>    generation worker threads, 0 = auto  (default: 0)
     --evaluation-backend <span|span-full|legacy>
@@ -767,6 +779,17 @@ fn run_stream<W: Write>(cli: &Cli, path: &Path, out: &mut W) -> Result<(), CliEr
                 "peak window bytes: {}   sink seconds: {:.3}",
                 summary.peak_window_bytes, summary.sink_seconds
             );
+            let stats = summary.match_stats();
+            if stats.lines_dispatched > 0 {
+                let _ = writeln!(
+                    s,
+                    "matcher: {} trialed, {} pruned ({:.1}% pruned), fused dispatch {:.1}%",
+                    stats.templates_trialed,
+                    stats.templates_pruned,
+                    100.0 * stats.prune_rate(),
+                    100.0 * stats.fused_dispatch_rate()
+                );
+            }
             render_fault_stats(&mut s, &summary, retries);
             for (i, (t, n)) in summary.templates.iter().zip(&sink.per_template).enumerate() {
                 let _ = writeln!(s, "type{i}: {t}   ({n} records)");
@@ -1025,6 +1048,21 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(full.config.evaluation_backend, EvaluationBackend::SpanFull);
+    }
+
+    #[test]
+    fn parses_matching_backend_flag() {
+        let trial =
+            Cli::parse(&args(&["extract", "x.log", "--matching-backend", "trial"])).unwrap();
+        assert_eq!(trial.config.matching_backend, MatchingBackend::Trial);
+        let fused =
+            Cli::parse(&args(&["extract", "x.log", "--matching-backend", "fused"])).unwrap();
+        assert_eq!(fused.config.matching_backend, MatchingBackend::Fused);
+        assert!(
+            Cli::parse(&args(&["extract", "x.log", "--matching-backend", "dfa"]))
+                .unwrap_err()
+                .contains("unknown matching backend")
+        );
     }
 
     #[test]

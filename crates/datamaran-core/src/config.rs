@@ -127,6 +127,50 @@ impl EvaluationBackend {
     }
 }
 
+/// How the span engine answers the per-line *"which template matches here?"* question when
+/// several templates are live (interleaved datasets, the streaming serve path).
+///
+/// Both backends produce byte-identical [`crate::extract::SpanParse`] arenas, relational
+/// tables, and streaming sink bytes (enforced by `tests/matching_equivalence.rs`); the
+/// fused backend is the production path, the trial loop is kept as the differential oracle
+/// and the baseline the `reproduce -- matching` benchmark measures against — mirroring
+/// [`GenerationBackend`], [`ExtractionBackend`], and [`EvaluationBackend`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MatchingBackend {
+    /// One merged byte-class DFA over the whole template set: a single pass over a
+    /// record's bytes prunes the set down to the few templates that can still match, and
+    /// only those are handed to the per-template span matcher (see
+    /// [`crate::extract::CompiledTemplateSet`]).  Falls back to the trial loop whenever
+    /// fewer than two templates are live.
+    #[default]
+    Fused,
+    /// Trial every compiled template in index order against every record start — the
+    /// original `O(templates)` passes over the same bytes.
+    Trial,
+}
+
+impl MatchingBackend {
+    /// Short, human-readable name (used in experiment output and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MatchingBackend::Fused => "fused",
+            MatchingBackend::Trial => "trial",
+        }
+    }
+
+    /// The backend selected by `DATAMARAN_MATCHING_BACKEND` (`fused` / `trial`), falling
+    /// back to the default on absent or unrecognized values.  Read by every matcher
+    /// constructor that is not handed an explicit backend, so the weekly soak matrix can
+    /// flip the whole engine from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("DATAMARAN_MATCHING_BACKEND") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("trial") => MatchingBackend::Trial,
+            Ok(v) if v.trim().eq_ignore_ascii_case("fused") => MatchingBackend::Fused,
+            _ => MatchingBackend::default(),
+        }
+    }
+}
+
 /// Reads a worker-thread override from the environment (used by the scheduled CI job that
 /// soaks the multi-thread merge paths on hosts with real cores; dev boxes and default runs
 /// are unaffected).  Invalid or absent values fall back to `default`.
@@ -192,6 +236,9 @@ pub struct DatamaranConfig {
     /// Which extraction implementation the final pass runs on (span instruction tables vs.
     /// the legacy tree walker).
     pub extraction_backend: ExtractionBackend,
+    /// How multi-template record starts are matched inside the span engine (merged
+    /// byte-class DFA vs. trialing each template independently).
+    pub matching_backend: MatchingBackend,
     /// Worker threads for the final extraction pass.  `0` means one per available core;
     /// `1` forces the sequential path.  Results are identical for any value (the stitch
     /// replays the sequential segmentation deterministically).
@@ -223,6 +270,7 @@ impl Default for DatamaranConfig {
             generation_backend: GenerationBackend::default(),
             generation_threads: env_threads("DATAMARAN_GENERATION_THREADS", 0),
             extraction_backend: ExtractionBackend::default(),
+            matching_backend: MatchingBackend::from_env(),
             extraction_threads: env_threads("DATAMARAN_EXTRACTION_THREADS", 0),
             evaluation_backend: EvaluationBackend::default(),
             evaluation_threads: env_threads("DATAMARAN_EVALUATION_THREADS", 0),
@@ -313,6 +361,12 @@ impl DatamaranConfig {
     /// Builder-style setter for the extraction worker-thread count (`0` = auto).
     pub fn with_extraction_threads(mut self, threads: usize) -> Self {
         self.extraction_threads = threads;
+        self
+    }
+
+    /// Builder-style setter for the multi-template matching backend.
+    pub fn with_matching_backend(mut self, backend: MatchingBackend) -> Self {
+        self.matching_backend = backend;
         self
     }
 
@@ -448,6 +502,16 @@ mod tests {
             .with_evaluation_threads(2);
         assert_eq!(c.evaluation_backend, EvaluationBackend::Legacy);
         assert_eq!(c.evaluation_threads, 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn matching_backend_defaults_and_builders() {
+        assert_eq!(MatchingBackend::default(), MatchingBackend::Fused);
+        assert_eq!(MatchingBackend::Fused.name(), "fused");
+        assert_eq!(MatchingBackend::Trial.name(), "trial");
+        let c = DatamaranConfig::default().with_matching_backend(MatchingBackend::Trial);
+        assert_eq!(c.matching_backend, MatchingBackend::Trial);
         assert!(c.validate().is_ok());
     }
 

@@ -28,6 +28,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::error::{Error, Result as CoreResult};
+use crate::extract::MatchStats;
 use crate::fieldtype::FieldType;
 use crate::json::{self, JsonError, JsonValue};
 use crate::parser::{FieldCell, RecordMatch};
@@ -1279,6 +1280,51 @@ pub struct StreamReport {
     pub stopped_reason: Option<String>,
     /// Human-readable renderings of the discovered structure templates.
     pub templates: Vec<String>,
+    /// Aggregate matcher work counters (fused prefilter dispatches, per-template trials
+    /// executed vs pruned) summed over every window.
+    pub match_stats: MatchStats,
+    /// The same counters per processed window, in window order.
+    pub window_match_stats: Vec<MatchStats>,
+}
+
+/// Serializes one [`MatchStats`] as a JSON object.
+fn match_stats_json(stats: &MatchStats) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "lines_dispatched".into(),
+            num(stats.lines_dispatched as usize),
+        ),
+        (
+            "fused_dispatches".into(),
+            num(stats.fused_dispatches as usize),
+        ),
+        (
+            "templates_trialed".into(),
+            num(stats.templates_trialed as usize),
+        ),
+        (
+            "templates_pruned".into(),
+            num(stats.templates_pruned as usize),
+        ),
+        ("prune_rate".into(), JsonValue::Number(stats.prune_rate())),
+        (
+            "fused_dispatch_rate".into(),
+            JsonValue::Number(stats.fused_dispatch_rate()),
+        ),
+    ])
+}
+
+/// Parses one [`MatchStats`] object (rates are derived, not read back).
+fn match_stats_from_json(v: &JsonValue) -> Result<MatchStats, JsonError> {
+    let field = |key: &str| -> Result<u64, JsonError> {
+        v.get(key).map_or(Ok(0), |x| x.as_usize().map(|n| n as u64))
+    };
+    Ok(MatchStats {
+        lines_dispatched: field("lines_dispatched")?,
+        fused_dispatches: field("fused_dispatches")?,
+        templates_trialed: field("templates_trialed")?,
+        templates_pruned: field("templates_pruned")?,
+    })
 }
 
 impl StreamReport {
@@ -1297,6 +1343,8 @@ impl StreamReport {
             oversized_lines: summary.oversized_lines,
             stopped_reason: summary.stopped_reason.map(|r| r.name().to_string()),
             templates: summary.templates.iter().map(|t| t.to_string()).collect(),
+            match_stats: summary.match_stats(),
+            window_match_stats: summary.window_match_stats.clone(),
         }
     }
 
@@ -1321,6 +1369,16 @@ impl StreamReport {
                 },
             ),
             ("templates".into(), strings(&self.templates)),
+            ("match_stats".into(), match_stats_json(&self.match_stats)),
+            (
+                "window_match_stats".into(),
+                JsonValue::Array(
+                    self.window_match_stats
+                        .iter()
+                        .map(match_stats_json)
+                        .collect(),
+                ),
+            ),
         ])
         .to_pretty()
     }
@@ -1349,6 +1407,19 @@ impl StreamReport {
             oversized_lines: opt_usize("oversized_lines")?,
             stopped_reason,
             templates: string_vec(v.require("templates")?)?,
+            match_stats: v
+                .get("match_stats")
+                .map_or(Ok(MatchStats::default()), match_stats_from_json)?,
+            window_match_stats: match v.get("window_match_stats") {
+                None | Some(JsonValue::Null) => Vec::new(),
+                Some(JsonValue::Array(items)) => items
+                    .iter()
+                    .map(match_stats_from_json)
+                    .collect::<Result<_, _>>()?,
+                Some(_) => {
+                    return Err(JsonError::shape("window_match_stats must be an array"));
+                }
+            },
         })
     }
 }
@@ -1503,6 +1574,26 @@ mod tests {
             oversized_lines: 1,
             stopped_reason: Some("window-bytes".into()),
             templates: vec!["F=F\\n".into()],
+            match_stats: MatchStats {
+                lines_dispatched: 15,
+                fused_dispatches: 15,
+                templates_trialed: 18,
+                templates_pruned: 27,
+            },
+            window_match_stats: vec![
+                MatchStats {
+                    lines_dispatched: 8,
+                    fused_dispatches: 8,
+                    templates_trialed: 10,
+                    templates_pruned: 14,
+                },
+                MatchStats {
+                    lines_dispatched: 7,
+                    fused_dispatches: 7,
+                    templates_trialed: 8,
+                    templates_pruned: 13,
+                },
+            ],
         };
         let back = StreamReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back, report);
@@ -1522,6 +1613,8 @@ mod tests {
         assert_eq!(report.invalid_utf8_lines, 0);
         assert_eq!(report.oversized_lines, 0);
         assert_eq!(report.stopped_reason, None);
+        assert_eq!(report.match_stats, MatchStats::default());
+        assert!(report.window_match_stats.is_empty());
     }
 
     #[test]

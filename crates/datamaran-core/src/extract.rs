@@ -27,6 +27,15 @@
 //!   threads exactly like the generation engine ([`crate::parallel`]): per-line match
 //!   tables into worker-local arenas, then a cheap sequential stitch that replays the
 //!   greedy segmentation deterministically — output is identical for any thread count.
+//! * When several templates are live, [`CompiledTemplateSet`] fuses the whole set into one
+//!   merged byte-class DFA: a single pass over a record's bytes prunes the set down to the
+//!   template(s) that can still match there, and only those survivors are handed to the
+//!   per-template matcher — `O(1)` per byte regardless of template count, instead of one
+//!   failed trial scan per template.  [`SpanLineMatcher::parse_into`] layers batched
+//!   dispatch on top (candidate masks for ~1000 upcoming lines are precomputed in one
+//!   tight loop so the dispatch tables stay hot), and the trial loop survives as
+//!   [`MatchingBackend::Trial`](crate::config::MatchingBackend) — the differential oracle
+//!   proven byte-identical by `tests/matching_equivalence.rs`.
 //!
 //! The tree-walking extractor survives as
 //! [`ExtractionBackend::Legacy`](crate::config::ExtractionBackend) — the differential
@@ -34,8 +43,9 @@
 //! generation engine.
 
 use crate::chars::CharSet;
-use crate::config::{DatamaranConfig, ExtractionBackend};
+use crate::config::{DatamaranConfig, ExtractionBackend, MatchingBackend};
 use crate::dataset::Dataset;
+use crate::fxhash::FxHashMap;
 use crate::parallel::{chunk_bounds, resolve_threads, ParallelOptions};
 use crate::parser::{line_of_offset, FieldCell, ParseResult, RecordMatch, ValueTree};
 use crate::structure::{Node, StructureTemplate};
@@ -875,6 +885,65 @@ fn build_values(
         .collect()
 }
 
+/// Matcher work counters, accumulated into the [`SpanScratch`] every match goes through:
+/// how many record-start questions were asked, how many went through the fused DFA
+/// prefilter, and how many per-template trials the prefilter executed vs. eliminated.
+/// Surfaced per window by the streaming extractor ([`crate::streaming::StreamSummary`])
+/// and aggregated in the CLI summary / `StreamReport` JSON.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Record-start questions answered (one per line dispatched to the matcher).
+    pub lines_dispatched: u64,
+    /// Lines answered through the fused DFA prefilter (0 under the trial backend or when
+    /// fewer than two templates are live).
+    pub fused_dispatches: u64,
+    /// Per-template trial runs actually executed.
+    pub templates_trialed: u64,
+    /// Per-template trials skipped because the fused prefilter ruled the template out.
+    pub templates_pruned: u64,
+}
+
+impl MatchStats {
+    /// Adds `other`'s counters into `self` (chunk/window aggregation).
+    pub fn merge(&mut self, other: &MatchStats) {
+        self.lines_dispatched += other.lines_dispatched;
+        self.fused_dispatches += other.fused_dispatches;
+        self.templates_trialed += other.templates_trialed;
+        self.templates_pruned += other.templates_pruned;
+    }
+
+    /// Counter deltas since an `earlier` snapshot of the same accumulating stats — how the
+    /// streaming extractor carves per-window stats out of one long-lived scratch.
+    pub fn since(&self, earlier: &MatchStats) -> MatchStats {
+        MatchStats {
+            lines_dispatched: self.lines_dispatched - earlier.lines_dispatched,
+            fused_dispatches: self.fused_dispatches - earlier.fused_dispatches,
+            templates_trialed: self.templates_trialed - earlier.templates_trialed,
+            templates_pruned: self.templates_pruned - earlier.templates_pruned,
+        }
+    }
+
+    /// Fraction of per-template trials the fused prefilter eliminated (the fused-dispatch
+    /// hit rate): `pruned / (trialed + pruned)`, 0 when nothing was dispatched.
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.templates_trialed + self.templates_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.templates_pruned as f64 / total as f64
+        }
+    }
+
+    /// Fraction of line dispatches that went through the fused prefilter.
+    pub fn fused_dispatch_rate(&self) -> f64 {
+        if self.lines_dispatched == 0 {
+            0.0
+        } else {
+            self.fused_dispatches as f64 / self.lines_dispatched as f64
+        }
+    }
+}
+
 /// Reusable per-thread scratch for span matching: the array-nesting slots plus the
 /// cell/rep staging buffers used by per-record materialization
 /// ([`SpanLineMatcher::match_line_record`]), so repeated calls allocate only the two
@@ -885,6 +954,23 @@ pub struct SpanScratch {
     stack: Vec<(usize, u32)>,
     cells: Vec<FieldCell>,
     reps: Vec<u32>,
+    fused_mask: Vec<u64>,
+    fused_cache: FusedDfaCache,
+    /// Work counters accumulated by every match performed through this scratch.
+    pub stats: MatchStats,
+}
+
+impl SpanScratch {
+    /// Number of fused-DFA states this scratch's lazy determinization has interned.
+    pub fn fused_dfa_states(&self) -> usize {
+        self.fused_cache.state_count()
+    }
+
+    /// `true` when this scratch's lazy determinization hit the state cap — walks degrade
+    /// to conservative (unpruned) candidate sets beyond it.
+    pub fn fused_dfa_overflowed(&self) -> bool {
+        self.fused_cache.overflowed()
+    }
 }
 
 /// Pre-compiled matcher for a fixed template set, the span engine's counterpart of
@@ -895,23 +981,79 @@ pub struct SpanLineMatcher {
     compiled: Vec<CompiledTemplate>,
     templates: Vec<StructureTemplate>,
     max_line_span: usize,
+    fused: Option<CompiledTemplateSet>,
 }
 
 impl SpanLineMatcher {
-    /// Compiles `templates`; `max_line_span` is the paper's `L` parameter.
+    /// Compiles `templates`; `max_line_span` is the paper's `L` parameter.  The matching
+    /// backend comes from the environment ([`MatchingBackend::from_env`]) — callers that
+    /// need explicit control use [`SpanLineMatcher::with_backend`].
     pub fn new(templates: &[StructureTemplate], max_line_span: usize) -> Self {
+        Self::with_backend(templates, max_line_span, MatchingBackend::from_env())
+    }
+
+    /// Compiles `templates` with an explicit matching backend.  The fused DFA is only
+    /// built when the backend asks for it *and* at least two templates have a non-empty op
+    /// table — with zero or one live template both backends are the identical code path.
+    pub fn with_backend(
+        templates: &[StructureTemplate],
+        max_line_span: usize,
+        backend: MatchingBackend,
+    ) -> Self {
+        let compiled: Vec<CompiledTemplate> = templates.iter().map(compile).collect();
+        let fused = match backend {
+            MatchingBackend::Fused => CompiledTemplateSet::build(&compiled),
+            MatchingBackend::Trial => None,
+        };
         SpanLineMatcher {
-            compiled: templates.iter().map(compile).collect(),
+            compiled,
             templates: templates.to_vec(),
             max_line_span,
+            fused,
         }
+    }
+
+    /// The merged DFA prefilter, when the fused backend is active with ≥2 live templates.
+    pub fn fused(&self) -> Option<&CompiledTemplateSet> {
+        self.fused.as_ref()
     }
 
     /// Attempts to match one record starting at `line`, appending its cells and repetition
     /// counts to the supplied arenas.  Same template order and acceptance rules as the
     /// tree walker: first template whose match ends on a line boundary within the span
-    /// limit wins.
+    /// limit wins.  With the fused backend, one DFA pass over the record's bytes first
+    /// prunes the template set to the survivors — the trial order over survivors is the
+    /// same index order, so the outcome is byte-identical.
     pub fn match_line_into(
+        &self,
+        dataset: &Dataset,
+        line: usize,
+        cells: &mut Vec<FieldCell>,
+        reps: &mut Vec<u32>,
+        scratch: &mut SpanScratch,
+    ) -> Option<SpanRecord> {
+        scratch.stats.lines_dispatched += 1;
+        match &self.fused {
+            Some(fused) => {
+                let mut mask = std::mem::take(&mut scratch.fused_mask);
+                let mut cache = std::mem::take(&mut scratch.fused_cache);
+                fused.candidates_into(
+                    &mut cache,
+                    dataset.text().as_bytes(),
+                    dataset.line_start(line),
+                    &mut mask,
+                );
+                let rec = self.trial_candidates(dataset, line, &mask, cells, reps, scratch);
+                scratch.fused_mask = mask;
+                scratch.fused_cache = cache;
+                rec
+            }
+            None => self.trial_all(dataset, line, cells, reps, scratch),
+        }
+    }
+
+    /// The original matching loop: trial every non-empty template in index order.
+    fn trial_all(
         &self,
         dataset: &Dataset,
         line: usize,
@@ -925,26 +1067,83 @@ impl SpanLineMatcher {
             if ct.ops.is_empty() {
                 continue;
             }
-            let cell_mark = cells.len() as u32;
-            let rep_mark = reps.len() as u32;
-            if let Some(end) = ct.run(text, start, cells, reps, &mut scratch.stack) {
-                if let Some(line_span_end) =
-                    accept_span(dataset, line, start, end, self.max_line_span)
-                {
-                    return Some(SpanRecord {
-                        template_index: idx as u32,
-                        byte_span: (start, end),
-                        line_span: (line, line_span_end),
-                        cell_range: (cell_mark, cells.len() as u32),
-                        rep_range: (rep_mark, reps.len() as u32),
-                    });
-                }
-                // Matched but rejected by the boundary/span rules: roll the arenas back and
-                // try the next template, exactly like the tree walker.
-                cells.truncate(cell_mark as usize);
-                reps.truncate(rep_mark as usize);
+            if let Some(rec) = self.trial_one(idx, dataset, line, start, text, cells, reps, scratch)
+            {
+                return Some(rec);
             }
         }
+        None
+    }
+
+    /// Trials only the templates whose bit is set in the fused prefilter's candidate
+    /// `mask`, in the same index order as [`SpanLineMatcher::trial_all`].
+    fn trial_candidates(
+        &self,
+        dataset: &Dataset,
+        line: usize,
+        mask: &[u64],
+        cells: &mut Vec<FieldCell>,
+        reps: &mut Vec<u32>,
+        scratch: &mut SpanScratch,
+    ) -> Option<SpanRecord> {
+        let text = dataset.text().as_bytes();
+        let start = dataset.line_start(line);
+        scratch.stats.fused_dispatches += 1;
+        let nonempty = self
+            .fused
+            .as_ref()
+            .map(|f| f.n_nonempty as u64)
+            .unwrap_or(0);
+        let candidates: u64 = mask.iter().map(|w| u64::from(w.count_ones())).sum();
+        scratch.stats.templates_pruned += nonempty.saturating_sub(candidates);
+        for (w, &word) in mask.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let idx = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if let Some(rec) =
+                    self.trial_one(idx, dataset, line, start, text, cells, reps, scratch)
+                {
+                    return Some(rec);
+                }
+            }
+        }
+        None
+    }
+
+    /// Runs one template against one record start, with the shared acceptance rules; rolls
+    /// the arenas back on any failure.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn trial_one(
+        &self,
+        idx: usize,
+        dataset: &Dataset,
+        line: usize,
+        start: usize,
+        text: &[u8],
+        cells: &mut Vec<FieldCell>,
+        reps: &mut Vec<u32>,
+        scratch: &mut SpanScratch,
+    ) -> Option<SpanRecord> {
+        scratch.stats.templates_trialed += 1;
+        let ct = &self.compiled[idx];
+        let cell_mark = cells.len() as u32;
+        let rep_mark = reps.len() as u32;
+        let end = ct.run(text, start, cells, reps, &mut scratch.stack)?;
+        if let Some(line_span_end) = accept_span(dataset, line, start, end, self.max_line_span) {
+            return Some(SpanRecord {
+                template_index: idx as u32,
+                byte_span: (start, end),
+                line_span: (line, line_span_end),
+                cell_range: (cell_mark, cells.len() as u32),
+                rep_range: (rep_mark, reps.len() as u32),
+            });
+        }
+        // Matched but rejected by the boundary/span rules: roll the arenas back and
+        // try the next template, exactly like the tree walker.
+        cells.truncate(cell_mark as usize);
+        reps.truncate(rep_mark as usize);
         None
     }
 
@@ -998,23 +1197,87 @@ impl SpanLineMatcher {
 
     /// Greedy segmentation of the whole dataset into a caller-owned (recyclable) parse.
     pub fn parse_into(&self, dataset: &Dataset, out: &mut SpanParse) {
+        let mut scratch = SpanScratch::default();
+        self.parse_into_with(dataset, out, &mut scratch);
+    }
+
+    /// Greedy segmentation reusing a caller-owned scratch, whose [`SpanScratch::stats`]
+    /// accumulate across calls.  With the fused backend active this runs the batched
+    /// dispatch layer: candidate masks for up to ~1000 upcoming line starts are
+    /// precomputed in one tight DFA loop, so the merged transition table, byte-class
+    /// table, and arenas stay hot across the whole batch.
+    pub fn parse_into_with(
+        &self,
+        dataset: &Dataset,
+        out: &mut SpanParse,
+        scratch: &mut SpanScratch,
+    ) {
         out.clear();
         let n = dataset.line_count();
-        let mut scratch = SpanScratch::default();
-        let mut line = 0usize;
-        while line < n {
-            match self.match_line_into(dataset, line, &mut out.cells, &mut out.reps, &mut scratch) {
-                Some(rec) => {
-                    out.record_bytes += rec.byte_len();
-                    line = rec.line_span.1;
-                    out.records.push(rec);
+        match &self.fused {
+            Some(fused) => {
+                let text = dataset.text().as_bytes();
+                let words = fused.words;
+                let mut masks: Vec<u64> = Vec::new();
+                let mut batch_first = 0usize;
+                let mut batch_len = 0usize;
+                let mut line = 0usize;
+                while line < n {
+                    if line >= batch_first + batch_len {
+                        batch_first = line;
+                        batch_len = (n - line).min(FUSED_BATCH_LINES);
+                        masks.clear();
+                        masks.resize(batch_len * words, 0);
+                        let mut cache = std::mem::take(&mut scratch.fused_cache);
+                        for (k, row) in masks.chunks_exact_mut(words).enumerate() {
+                            fused.walk(&mut cache, text, dataset.line_start(batch_first + k), row);
+                        }
+                        scratch.fused_cache = cache;
+                    }
+                    let row = &masks[(line - batch_first) * words..][..words];
+                    scratch.stats.lines_dispatched += 1;
+                    let rec = self.trial_candidates(
+                        dataset,
+                        line,
+                        row,
+                        &mut out.cells,
+                        &mut out.reps,
+                        scratch,
+                    );
+                    line = Self::advance(dataset, out, line, rec);
                 }
-                None => {
-                    let (s, e) = dataset.line_span(line);
-                    out.noise_bytes += e - s;
-                    out.noise_lines.push(line);
-                    line += 1;
+            }
+            None => {
+                let mut line = 0usize;
+                while line < n {
+                    let rec =
+                        self.match_line_into(dataset, line, &mut out.cells, &mut out.reps, scratch);
+                    line = Self::advance(dataset, out, line, rec);
                 }
+            }
+        }
+    }
+
+    /// Applies one greedy-segmentation step: record the match or the noise line, returning
+    /// the next line to consider.
+    fn advance(
+        dataset: &Dataset,
+        out: &mut SpanParse,
+        line: usize,
+        rec: Option<SpanRecord>,
+    ) -> usize {
+        match rec {
+            Some(rec) => {
+                out.record_bytes += rec.byte_len();
+                let next = rec.line_span.1;
+                out.records.push(rec);
+                next
+            }
+            None => {
+                let (s, e) = dataset.line_span(line);
+                out.noise_bytes += e - s;
+                out.noise_lines.push(line);
+                line + 1
             }
         }
     }
@@ -1037,6 +1300,7 @@ impl SpanLineMatcher {
                             matches: Vec::with_capacity(last - first),
                             cells: Vec::new(),
                             reps: Vec::new(),
+                            stats: MatchStats::default(),
                         };
                         let mut scratch = SpanScratch::default();
                         for line in first..last {
@@ -1048,6 +1312,7 @@ impl SpanLineMatcher {
                                 &mut scratch,
                             ));
                         }
+                        chunk.stats = scratch.stats;
                         chunk
                     })
                 })
@@ -1484,6 +1749,620 @@ fn delta_match_record(
     }
 }
 
+// ---------------------------------------------------------------------------------------
+// Fused multi-template matching: merged Glushkov NFA lowered to a byte-class DFA
+// ---------------------------------------------------------------------------------------
+
+/// State flag: at most one template is still alive — stop walking and trial it (the walk
+/// can only shrink the candidate set further, and trialing one template is cheaper than
+/// finishing the walk).  Also covers the dead state (zero alive templates).
+const FUSED_EXIT_EARLY: u8 = 1;
+/// State flag: entering this state completes at least one template's op table.
+const FUSED_HAS_ACCEPTS: u8 = 2;
+/// State flag: at least one byte self-transitions here — worth attempting the wide
+/// self-byte sweep (field runs where every alive template is in a self-loop).
+const FUSED_SWEEPS: u8 = 4;
+/// State flag: the state is interned but its transition row has not been computed yet —
+/// the lazy determinization builds it on first entry.
+const FUSED_UNBUILT: u8 = 8;
+/// Transition sentinel: the determinization state cap was hit before this target was
+/// interned.  The walk stops and falls back to the last state's (conservative) alive set.
+const FUSED_OVERFLOW: u32 = u32::MAX;
+/// Hard cap on lazily interned DFA states per cache.  Determinization is *lazy* — only
+/// states actually reached by walked text are interned, so even template sets whose full
+/// static subset construction would explode (near-identical templates differing in one
+/// byte class reach the powerset) stay small here; the cap bounds adversarial input,
+/// degrading to a partial walk, never to wrong output.
+const FUSED_MAX_STATES: usize = 32768;
+/// Floor for the memory-budgeted state cap: even very wide sets (hundreds of templates,
+/// large position bitsets) get at least this much pruning depth.
+const FUSED_MIN_STATES: usize = 1024;
+/// Approximate per-cache memory budget the state cap is derived from
+/// ([`CompiledTemplateSet::build`] divides it by the per-state footprint).  Caches are
+/// per-worker scratch, so the parallel engine holds one budget per thread.
+const FUSED_CACHE_BUDGET: usize = 64 << 20;
+/// Cap on bytes walked per record start — records are line-bounded and small, so pruning
+/// precision is exhausted long before this; the cap bounds worst-case work on degenerate
+/// inputs (one multi-megabyte line).
+const FUSED_WALK_CAP: usize = 4096;
+/// Lines per batched-dispatch refill in [`SpanLineMatcher::parse_into`].
+const FUSED_BATCH_LINES: usize = 1024;
+
+/// Byte capability of one NFA position: a single literal byte, the conservative
+/// field-content byte set of one charset (deduped across templates), or a template's
+/// virtual end marker (consumes nothing; reaching it means the op table completed).
+#[derive(Clone, Copy)]
+enum PosBytes {
+    Single(u8),
+    Field(u16),
+    End,
+}
+
+/// Build-time merged NFA over a template set's op tables — one Glushkov position per
+/// consumed byte, plus one virtual end position per template.  `Op::Byte` and each literal
+/// byte contribute one exact-byte position; `Op::Field` contributes one position with a
+/// self-loop over the charset's field-content bytes (one-or-more, over-approximating the
+/// deterministic maximal-munch scan); `Op::ArrayBegin` is ε (the body runs at least once);
+/// `Op::ArrayEnd` contributes the separator bytes (looping back to the body) and the
+/// terminator bytes (falling through).  Wherever a position's continuation can complete
+/// the op table, its follow set includes the template's end position.  Every real
+/// execution of `CompiledTemplate::run` is one path through this NFA, so the DFA built
+/// from it never prunes a template the trial loop would have matched.
+#[derive(Default)]
+struct FusedNfa {
+    template_of: Vec<u32>,
+    bytes_of: Vec<PosBytes>,
+    follow: Vec<Vec<u32>>,
+    field_sets: Vec<[bool; 256]>,
+    start: Vec<u32>,
+}
+
+impl FusedNfa {
+    fn add_template(&mut self, index: u32, ct: &CompiledTemplate) {
+        if ct.ops.is_empty() {
+            return;
+        }
+        // Conservative field-content set: every byte `scan_field` can possibly consume.
+        // Bytes ≥ 0x80 are included wholesale (only Latin-1 formatting code points can
+        // stop the scan, and only on some continuation bytes) — over-approximation keeps
+        // the prefilter sound.
+        let mut fs = [false; 256];
+        for (b, slot) in fs.iter_mut().enumerate() {
+            *slot = b >= 0x80 || !ct.class.fmt[b];
+        }
+        let fsid = match self.field_sets.iter().position(|s| *s == fs) {
+            Some(i) => i as u16,
+            None => {
+                self.field_sets.push(fs);
+                (self.field_sets.len() - 1) as u16
+            }
+        };
+
+        // Positions are laid out in op order, so most follow edges are shift-by-one; the
+        // template's virtual end position comes last.
+        let base = self.template_of.len() as u32;
+        let mut pos_start = Vec::with_capacity(ct.ops.len());
+        let mut next = base;
+        for op in &ct.ops {
+            pos_start.push(next);
+            next += match *op {
+                Op::Byte { .. } | Op::Field { .. } => 1,
+                Op::Literal { len, .. } => len,
+                Op::ArrayBegin { .. } => 0,
+                Op::ArrayEnd {
+                    separator,
+                    terminator,
+                    ..
+                } => u32::from(separator.len) + u32::from(terminator.len),
+            };
+        }
+        let pe = next;
+
+        // First positions of the continuation starting at op `ip`, plus whether the
+        // template can end there.  `ArrayBegin` chains strictly increase `ip`, so the loop
+        // terminates; an `ArrayEnd` continuation offers both its separator and terminator
+        // (the runtime decides terminator-first, the NFA over-approximates with the union).
+        let first = |mut ip: usize| -> (Vec<u32>, bool) {
+            loop {
+                if ip >= ct.ops.len() {
+                    return (Vec::new(), true);
+                }
+                match ct.ops[ip] {
+                    Op::ArrayBegin { .. } => ip += 1,
+                    Op::ArrayEnd { separator, .. } => {
+                        let p = pos_start[ip];
+                        return (vec![p, p + u32::from(separator.len)], false);
+                    }
+                    _ => return (vec![pos_start[ip]], false),
+                }
+            }
+        };
+
+        // Continuation-can-complete becomes an edge to the end position.
+        let seal = |mut f: Vec<u32>, acc: bool| -> Vec<u32> {
+            if acc {
+                f.push(pe);
+            }
+            f
+        };
+
+        for (ip, op) in ct.ops.iter().enumerate() {
+            match *op {
+                Op::Byte { byte } => {
+                    let (f, acc) = first(ip + 1);
+                    self.template_of.push(index);
+                    self.bytes_of.push(PosBytes::Single(byte));
+                    self.follow.push(seal(f, acc));
+                }
+                Op::Literal { start, len } => {
+                    let lit = ct.lit(start, len);
+                    let p = pos_start[ip];
+                    for (j, &b) in lit.iter().enumerate() {
+                        let (f, acc) = if j + 1 < lit.len() {
+                            (vec![p + j as u32 + 1], false)
+                        } else {
+                            first(ip + 1)
+                        };
+                        self.template_of.push(index);
+                        self.bytes_of.push(PosBytes::Single(b));
+                        self.follow.push(seal(f, acc));
+                    }
+                }
+                Op::Field { .. } => {
+                    let p = pos_start[ip];
+                    let (mut f, acc) = first(ip + 1);
+                    f.push(p); // one-or-more: the field may keep consuming
+                    self.template_of.push(index);
+                    self.bytes_of.push(PosBytes::Field(fsid));
+                    self.follow.push(seal(f, acc));
+                }
+                Op::ArrayBegin { .. } => {}
+                Op::ArrayEnd {
+                    body_ip,
+                    separator,
+                    terminator,
+                } => {
+                    let p = pos_start[ip];
+                    let sep_len = separator.len as usize;
+                    for j in 0..sep_len {
+                        // A completed separator re-enters the body, which never ends the
+                        // template.
+                        let f = if j + 1 < sep_len {
+                            vec![p + j as u32 + 1]
+                        } else {
+                            first(body_ip as usize).0
+                        };
+                        self.template_of.push(index);
+                        self.bytes_of.push(PosBytes::Single(separator.bytes[j]));
+                        self.follow.push(f);
+                    }
+                    let q = p + u32::from(separator.len);
+                    let term_len = terminator.len as usize;
+                    for j in 0..term_len {
+                        let (f, acc) = if j + 1 < term_len {
+                            (vec![q + j as u32 + 1], false)
+                        } else {
+                            first(ip + 1)
+                        };
+                        self.template_of.push(index);
+                        self.bytes_of.push(PosBytes::Single(terminator.bytes[j]));
+                        self.follow.push(seal(f, acc));
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(self.template_of.len() as u32, pe);
+        self.template_of.push(index);
+        self.bytes_of.push(PosBytes::End);
+        self.follow.push(Vec::new());
+        let (f, _) = first(0);
+        self.start.extend(f);
+    }
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], bit: usize) {
+    words[bit >> 6] |= 1 << (bit & 63);
+}
+
+/// A template *set* compiled into one merged dispatch structure: the byte-class prefix
+/// trie over the templates' op tables, determinized **lazily** against a per-worker
+/// [`FusedDfaCache`] into a DFA whose single pass over a record's bytes answers *"which
+/// templates can still match here?"* in `O(1)` per byte, independent of template count.
+///
+/// A DFA state is a set of NFA *cursor* positions — positions that may consume the next
+/// byte — so `δ(S, b) = ∪ {follow(p) : p ∈ S, b ∈ bytes(p)}`, and the start state is the
+/// union of the templates' first positions.  The walk tracks two sets: **alive**
+/// (templates with a surviving cursor — the match could still complete further right) and
+/// **accepted** (templates whose op table already completed at some walked prefix, i.e.
+/// whose virtual end position was entered).  Their union is a proven superset of the
+/// templates whose `CompiledTemplate::run` succeeds at that start, so trialing only the
+/// survivors in index order reproduces the trial loop's output byte-for-byte — the span
+/// acceptance rules (`accept_span`) still run per survivor, exactly as before.
+///
+/// Determinization is lazy because near-identical template sets (e.g. many templates
+/// sharing one structure and differing in a single byte class, the common shape of
+/// log-template catalogs) make the *static* subset construction explode toward the
+/// powerset of templates, while the states actually reached by real record text number
+/// in the hundreds.  States are interned and their transition rows computed on first
+/// entry; the cache lives in [`SpanScratch`], so each worker warms its own table once
+/// and every subsequent batch hits hot rows.
+///
+/// Everything degrades conservatively, never incorrectly: hitting the state cap, the walk
+/// cap, or the end of text stops the walk with the current alive set still in the
+/// candidate mask.
+pub struct CompiledTemplateSet {
+    n_templates: usize,
+    n_nonempty: u32,
+    /// Words per candidate mask: `ceil(n_templates / 64)`.
+    words: usize,
+    /// Words per NFA position bitset: `ceil(positions / 64)`.
+    pw: usize,
+    n_classes: usize,
+    class_of: [u8; 256],
+    /// Row-major `n_classes × pw` position columns: the NFA positions able to consume a
+    /// byte of each class.
+    class_cols: Vec<u64>,
+    /// CSR-flattened follow sets: edges of position `p` are
+    /// `follow_edges[follow_off[p]..follow_off[p + 1]]`.
+    follow_off: Vec<u32>,
+    follow_edges: Vec<u32>,
+    /// Owning template of each NFA position.
+    template_of: Vec<u32>,
+    /// Bitset (`pw` words) of the per-template virtual end positions.
+    is_end: Vec<u64>,
+    /// The start state's position bitset (union of every template's first positions).
+    start_bits: Box<[u64]>,
+    /// Memory-budgeted cache state cap: [`FUSED_CACHE_BUDGET`] divided by this set's
+    /// per-state footprint, clamped to `[FUSED_MIN_STATES, FUSED_MAX_STATES]`.
+    max_states: usize,
+    /// Unique identity for cache invalidation: a [`FusedDfaCache`] keyed to a different
+    /// set resets itself before the first walk.
+    set_id: u64,
+}
+
+/// Per-worker lazy-DFA state table for one [`CompiledTemplateSet`] — interned position
+/// bitsets, transition rows, per-state alive/accept masks, self-byte sweep maps, and
+/// flags, grown on demand as walks reach new states.  Lives in [`SpanScratch`] so the
+/// batched dispatch reuses hot rows across lines, batches, and streaming windows.
+#[derive(Clone, Debug, Default)]
+pub struct FusedDfaCache {
+    set_id: u64,
+    /// Interned position bitsets; the intern map shares the same allocations.
+    states: Vec<std::sync::Arc<[u64]>>,
+    map: FxHashMap<std::sync::Arc<[u64]>, u32>,
+    /// Row-major `states × n_classes`; rows are garbage until the state's
+    /// [`FUSED_UNBUILT`] flag clears.
+    trans: Vec<u32>,
+    alive: Vec<u64>,
+    accept: Vec<u64>,
+    /// Row-major `states × 4` (256-bit) sets of bytes that keep the state unchanged.
+    self_bytes: Vec<u64>,
+    flags: Vec<u8>,
+    /// Reusable target-bitset buffer for row construction.
+    target: Vec<u64>,
+    overflowed: bool,
+}
+
+impl FusedDfaCache {
+    /// Number of DFA states interned so far (data-driven: only states some walked text
+    /// actually reached).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when lazy determinization hit the state cap — walks beyond the cap degrade
+    /// to conservative (unpruned) candidate sets.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+}
+
+/// Monotonic source of [`CompiledTemplateSet::set_id`] values.
+static FUSED_SET_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl CompiledTemplateSet {
+    /// Builds the merged DFA for `compiled`, or `None` when fewer than two templates have
+    /// a non-empty op table (the per-template matcher is already optimal there, keeping
+    /// the single-template path at exact parity with the trial backend).
+    pub fn build(compiled: &[CompiledTemplate]) -> Option<CompiledTemplateSet> {
+        let n_nonempty = compiled.iter().filter(|c| !c.ops.is_empty()).count();
+        if n_nonempty < 2 {
+            return None;
+        }
+        let mut nfa = FusedNfa::default();
+        for (i, ct) in compiled.iter().enumerate() {
+            nfa.add_template(i as u32, ct);
+        }
+        let positions = nfa.template_of.len();
+        let pw = positions.div_ceil(64);
+
+        // Per-byte position columns, compressed into byte classes (bytes with identical
+        // columns transition identically, so the DFA stores one column per class).  End
+        // positions consume nothing and belong to no column.
+        let mut cols: Vec<Vec<u64>> = vec![vec![0u64; pw]; 256];
+        for (pos, pb) in nfa.bytes_of.iter().enumerate() {
+            match *pb {
+                PosBytes::Single(b) => set_bit(&mut cols[b as usize], pos),
+                PosBytes::Field(fi) => {
+                    let fs = nfa.field_sets[fi as usize];
+                    for (b, col) in cols.iter_mut().enumerate() {
+                        if fs[b] {
+                            set_bit(col, pos);
+                        }
+                    }
+                }
+                PosBytes::End => {}
+            }
+        }
+        let mut class_of = [0u8; 256];
+        let mut class_cols: Vec<Vec<u64>> = Vec::new();
+        {
+            let mut seen: FxHashMap<&[u64], u8> = FxHashMap::default();
+            for (b, col) in cols.iter().enumerate() {
+                let id = match seen.get(col.as_slice()) {
+                    Some(&id) => id,
+                    None => {
+                        let id = class_cols.len() as u8;
+                        seen.insert(col.as_slice(), id);
+                        class_cols.push(col.clone());
+                        id
+                    }
+                };
+                class_of[b] = id;
+            }
+        }
+        let n_classes = class_cols.len();
+
+        // Flatten the NFA into the cache-friendly static tables the lazy determinization
+        // walks: CSR follow sets, an end-position bitset, and the start-state bitset.
+        let mut follow_off: Vec<u32> = Vec::with_capacity(positions + 1);
+        let mut follow_edges: Vec<u32> = Vec::new();
+        follow_off.push(0);
+        for f in &nfa.follow {
+            follow_edges.extend_from_slice(f);
+            follow_off.push(follow_edges.len() as u32);
+        }
+        let mut is_end = vec![0u64; pw];
+        for (pos, pb) in nfa.bytes_of.iter().enumerate() {
+            if matches!(pb, PosBytes::End) {
+                set_bit(&mut is_end, pos);
+            }
+        }
+        let mut start_bits = vec![0u64; pw].into_boxed_slice();
+        for &q in &nfa.start {
+            set_bit(&mut start_bits, q as usize);
+        }
+        let flat_cols: Vec<u64> = class_cols.into_iter().flatten().collect();
+
+        // Memory-budgeted cache cap: per interned state the cache holds the position
+        // bitset, a transition row, alive/accept masks, the self-byte set, and a flag.
+        let words = compiled.len().div_ceil(64).max(1);
+        let per_state = pw * 8 + n_classes * 4 + words * 16 + 48;
+        let max_states = (FUSED_CACHE_BUDGET / per_state).clamp(FUSED_MIN_STATES, FUSED_MAX_STATES);
+
+        Some(CompiledTemplateSet {
+            n_templates: compiled.len(),
+            n_nonempty: n_nonempty as u32,
+            words,
+            pw,
+            n_classes,
+            class_of,
+            class_cols: flat_cols,
+            follow_off,
+            follow_edges,
+            template_of: nfa.template_of,
+            is_end,
+            start_bits,
+            max_states,
+            set_id: FUSED_SET_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        })
+    }
+
+    /// Number of templates the set was compiled from.
+    pub fn template_count(&self) -> usize {
+        self.n_templates
+    }
+
+    /// Number of byte classes (bytes that transition identically share one class).
+    pub fn byte_class_count(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Words per candidate mask (`ceil(template_count / 64)`).
+    pub fn mask_words(&self) -> usize {
+        self.words
+    }
+
+    /// Resets `cache` for this template set if it was built for a different one (or never
+    /// built), interning the start state as state 0.
+    fn ensure_cache(&self, cache: &mut FusedDfaCache) {
+        if cache.set_id == self.set_id {
+            return;
+        }
+        *cache = FusedDfaCache {
+            set_id: self.set_id,
+            target: vec![0u64; self.pw],
+            ..FusedDfaCache::default()
+        };
+        let start = self.start_bits.clone();
+        self.intern(cache, &start);
+    }
+
+    /// Interns the position bitset `bits` as a DFA state in `cache`, returning its id (or
+    /// [`FUSED_OVERFLOW`] once the state cap is hit).  New states get their template
+    /// alive/accept masks and flags computed eagerly but their transition row lazily
+    /// ([`FUSED_UNBUILT`]): only rows the walked data actually enters are ever built, which
+    /// is what keeps near-identical template sets from exploding into the powerset.
+    fn intern(&self, cache: &mut FusedDfaCache, bits: &[u64]) -> u32 {
+        if let Some(&id) = cache.map.get(bits) {
+            return id;
+        }
+        if cache.states.len() >= self.max_states {
+            cache.overflowed = true;
+            return FUSED_OVERFLOW;
+        }
+        let id = cache.states.len() as u32;
+        let shared: std::sync::Arc<[u64]> = bits.to_vec().into();
+        cache.map.insert(shared.clone(), id);
+        cache.states.push(shared);
+        let base = cache.alive.len();
+        cache.alive.resize(base + self.words, 0);
+        cache.accept.resize(base + self.words, 0);
+        for (w, &word) in bits.iter().enumerate() {
+            let mut b = word;
+            while b != 0 {
+                let pos = (w << 6) + b.trailing_zeros() as usize;
+                b &= b - 1;
+                let t = self.template_of[pos] as usize;
+                if self.is_end[pos >> 6] >> (pos & 63) & 1 != 0 {
+                    set_bit(&mut cache.accept[base..base + self.words], t);
+                } else {
+                    set_bit(&mut cache.alive[base..base + self.words], t);
+                }
+            }
+        }
+        let alive_count: u32 = cache.alive[base..base + self.words]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum();
+        let mut flags = FUSED_UNBUILT;
+        if alive_count <= 1 {
+            flags |= FUSED_EXIT_EARLY;
+        }
+        if cache.accept[base..base + self.words]
+            .iter()
+            .any(|&w| w != 0)
+        {
+            flags |= FUSED_HAS_ACCEPTS;
+        }
+        cache.flags.push(flags);
+        cache
+            .trans
+            .resize(cache.trans.len() + self.n_classes, FUSED_OVERFLOW);
+        cache.self_bytes.resize(cache.self_bytes.len() + 4, 0);
+        id
+    }
+
+    /// Computes the transition row for state `s` (first entry during a walk): one
+    /// δ(S, class) target per byte class, each interned on the fly, plus the self-byte
+    /// sweep set.  Clears [`FUSED_UNBUILT`] and sets [`FUSED_SWEEPS`] as appropriate.
+    fn build_row(&self, cache: &mut FusedDfaCache, s: usize) {
+        let bits = cache.states[s].clone();
+        let mut target = std::mem::take(&mut cache.target);
+        for class in 0..self.n_classes {
+            let col = &self.class_cols[class * self.pw..(class + 1) * self.pw];
+            target.iter_mut().for_each(|w| *w = 0);
+            for (w, (&sw, &cw)) in bits.iter().zip(col).enumerate() {
+                let mut b = sw & cw;
+                while b != 0 {
+                    let pos = (w << 6) + b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    let lo = self.follow_off[pos] as usize;
+                    let hi = self.follow_off[pos + 1] as usize;
+                    for &q in &self.follow_edges[lo..hi] {
+                        set_bit(&mut target, q as usize);
+                    }
+                }
+            }
+            let id = self.intern(cache, &target);
+            cache.trans[s * self.n_classes + class] = id;
+        }
+        cache.target = target;
+        for b in 0..256usize {
+            if cache.trans[s * self.n_classes + self.class_of[b] as usize] == s as u32 {
+                set_bit(&mut cache.self_bytes[s * 4..s * 4 + 4], b);
+            }
+        }
+        cache.flags[s] &= !FUSED_UNBUILT;
+        if cache.self_bytes[s * 4..s * 4 + 4].iter().any(|&w| w != 0) {
+            cache.flags[s] |= FUSED_SWEEPS;
+        }
+    }
+
+    /// Walks the lazily-determinized DFA over `text` from `start`, OR-ing the
+    /// candidate-template bits into the caller-zeroed `mask` (`mask_words()` words).  The
+    /// walk runs byte by byte — accumulating accepts as template tables complete, taking
+    /// the wide self-byte sweep through field runs, building transition rows on a state's
+    /// first entry — and stops at early-exit, dead state, overflow, the walk cap, or end of
+    /// text, whichever comes first.
+    fn walk(&self, cache: &mut FusedDfaCache, text: &[u8], start: usize, mask: &mut [u64]) {
+        debug_assert_eq!(mask.len(), self.words);
+        self.ensure_cache(cache);
+        let cap_end = text.len().min(start + FUSED_WALK_CAP);
+        let nc = self.n_classes;
+        let mut state = 0usize;
+        let mut pos = start;
+        // Flag handling runs at the *top* of the iteration for the state entered on the
+        // previous byte (or in the epilogue for the final state); accept-OR is idempotent,
+        // so processing a state once per entry or once per consumed byte is equivalent.
+        // The steady-state common case (built, no sweep, no accepts) is one load and a
+        // predictable branch per byte.
+        while pos < cap_end {
+            let mut f = cache.flags[state];
+            if f != 0 {
+                if f & FUSED_EXIT_EARLY != 0 {
+                    break;
+                }
+                if f & FUSED_HAS_ACCEPTS != 0 {
+                    let acc = &cache.accept[state * self.words..][..self.words];
+                    for (m, a) in mask.iter_mut().zip(acc) {
+                        *m |= a;
+                    }
+                }
+                if f & FUSED_UNBUILT != 0 {
+                    self.build_row(cache, state);
+                    f = cache.flags[state];
+                }
+                if f & FUSED_SWEEPS != 0 {
+                    let sb = &cache.self_bytes[state * 4..state * 4 + 4];
+                    while pos < cap_end {
+                        let b = text[pos] as usize;
+                        if sb[b >> 6] & (1 << (b & 63)) == 0 {
+                            break;
+                        }
+                        pos += 1;
+                    }
+                    if pos >= cap_end {
+                        break;
+                    }
+                }
+            }
+            let class = self.class_of[text[pos] as usize] as usize;
+            let next = cache.trans[state * nc + class];
+            if next == FUSED_OVERFLOW {
+                break;
+            }
+            pos += 1;
+            state = next as usize;
+        }
+        // The final state may have been entered on the last consumed byte without a
+        // top-of-loop visit: fold in its accepts along with everything still alive.
+        let acc = &cache.accept[state * self.words..][..self.words];
+        let alive = &cache.alive[state * self.words..][..self.words];
+        for (m, (a, al)) in mask.iter_mut().zip(acc.iter().zip(alive)) {
+            *m |= a | al;
+        }
+    }
+
+    /// The candidate templates for a record starting at byte `start`: a bitmask (index →
+    /// bit) guaranteed to contain every template `CompiledTemplate::run` would match
+    /// there.  `mask` is cleared and resized to [`CompiledTemplateSet::mask_words`].
+    /// `cache` holds the lazily-built DFA states; reusing one across calls (as
+    /// [`SpanScratch`] does) is what makes the walk cheap.
+    pub fn candidates_into(
+        &self,
+        cache: &mut FusedDfaCache,
+        text: &[u8],
+        start: usize,
+        mask: &mut Vec<u64>,
+    ) {
+        mask.clear();
+        mask.resize(self.words, 0);
+        self.walk(cache, text, start, mask);
+    }
+}
+
 /// Per-chunk worker output of the parallel engine: per-line match table plus the worker's
 /// private arenas (ranges in the records are worker-local until the stitch).
 struct ChunkMatches {
@@ -1491,6 +2370,7 @@ struct ChunkMatches {
     matches: Vec<Option<SpanRecord>>,
     cells: Vec<FieldCell>,
     reps: Vec<u32>,
+    stats: MatchStats,
 }
 
 /// The answer to *"does a record start at line `i`?"* for every line of a range, computed
@@ -1519,6 +2399,27 @@ impl LineMatchTable {
             &chunk.reps[rec.rep_range.0 as usize..rec.rep_range.1 as usize],
         ))
     }
+
+    /// Matcher work counters summed across all worker chunks.
+    pub fn stats(&self) -> MatchStats {
+        let mut total = MatchStats::default();
+        for chunk in &self.chunks {
+            total.merge(&chunk.stats);
+        }
+        total
+    }
+}
+
+/// One-pass fused extraction: compiles the template set into a merged
+/// [`CompiledTemplateSet`] DFA and parses sequentially with batched dispatch.  Output is
+/// byte-identical to [`parse_dataset_span`]; with fewer than two non-empty templates the
+/// matcher transparently runs the plain trial loop.
+pub fn parse_dataset_fused(
+    dataset: &Dataset,
+    templates: &[StructureTemplate],
+    max_line_span: usize,
+) -> SpanParse {
+    SpanLineMatcher::with_backend(templates, max_line_span, MatchingBackend::Fused).parse(dataset)
 }
 
 /// Parallel span extraction with `options.threads` scoped workers and a deterministic
@@ -1530,9 +2431,27 @@ pub fn parse_dataset_span_parallel(
     max_line_span: usize,
     options: ParallelOptions,
 ) -> SpanParse {
+    parse_dataset_span_parallel_with(
+        dataset,
+        templates,
+        max_line_span,
+        options,
+        MatchingBackend::from_env(),
+    )
+}
+
+/// [`parse_dataset_span_parallel`] with an explicit matching backend instead of the
+/// `DATAMARAN_MATCHING_BACKEND` environment default.
+pub fn parse_dataset_span_parallel_with(
+    dataset: &Dataset,
+    templates: &[StructureTemplate],
+    max_line_span: usize,
+    options: ParallelOptions,
+    backend: MatchingBackend,
+) -> SpanParse {
     let n = dataset.line_count();
     let chunks = options.effective_chunks(n);
-    let matcher = SpanLineMatcher::new(templates, max_line_span);
+    let matcher = SpanLineMatcher::with_backend(templates, max_line_span, backend);
     if chunks <= 1 || n == 0 {
         return matcher.parse(dataset);
     }
@@ -1580,10 +2499,14 @@ pub fn extract_records(
     let options =
         ParallelOptions::default().with_threads(resolve_threads(config.extraction_threads));
     match config.extraction_backend {
-        ExtractionBackend::Span => {
-            parse_dataset_span_parallel(dataset, templates, config.max_line_span, options)
-                .to_parse_result(templates)
-        }
+        ExtractionBackend::Span => parse_dataset_span_parallel_with(
+            dataset,
+            templates,
+            config.max_line_span,
+            options,
+            config.matching_backend,
+        )
+        .to_parse_result(templates),
         ExtractionBackend::Legacy => crate::parallel::parse_dataset_parallel(
             dataset,
             templates,
@@ -1947,5 +2870,151 @@ mod tests {
         let a = extract_records(&data, &templates, &span_cfg);
         let b = extract_records(&data, &templates, &legacy_cfg);
         assert_same(&a, &b, "dispatch");
+    }
+
+    /// Interleaved fixture over three record shapes (flat bracket, flat csv, array) plus
+    /// noise; the csv/array rows collide on their first bytes so pruning must stay exact.
+    fn interleaved_text() -> String {
+        let mut text = String::new();
+        for i in 0..80u32 {
+            match i % 4 {
+                0 => text.push_str(&format!("[{:02}:{:02}] host{} ok\n", i % 24, i % 60, i % 5)),
+                1 => text.push_str(&format!("{i},{},{}\n", i * 7 % 40, i % 9)),
+                2 => text.push_str(&format!("{};{};{}\n", i, i * 3 % 50, i % 7)),
+                _ => text.push_str("### noise line ###\n"),
+            }
+        }
+        text
+    }
+
+    fn fused_vs_trial(text: &str, templates: &[StructureTemplate], label: &str) {
+        let data = Dataset::new(text);
+        let trial =
+            SpanLineMatcher::with_backend(templates, 10, MatchingBackend::Trial).parse(&data);
+        let fused = parse_dataset_fused(&data, templates, 10);
+        assert_span_parse_eq(&trial, &fused, label);
+    }
+
+    #[test]
+    fn fused_matches_trial_on_mixed_template_sets() {
+        let text = interleaved_text();
+        let bracket = flat("[00:01] host1 ok\n", "[:] \n");
+        let csv = flat("1,2,3\n", ",\n");
+        let semi = array("1;2;3\n", ";\n");
+        fused_vs_trial(&text, &[bracket.clone(), csv.clone()], "bracket+csv");
+        fused_vs_trial(&text, &[csv.clone(), bracket.clone()], "csv+bracket");
+        fused_vs_trial(
+            &text,
+            &[bracket.clone(), csv.clone(), semi.clone()],
+            "bracket+csv+array",
+        );
+        fused_vs_trial(&text, &[semi, csv, bracket], "array+csv+bracket");
+    }
+
+    #[test]
+    fn fused_matches_trial_on_multiline_templates() {
+        let mut text = String::new();
+        for i in 0..30 {
+            text.push_str(&format!("[{i}] start\n  detail d{i}\n"));
+            text.push_str(&format!("{i},{}\n", i * 2));
+        }
+        let two_line = flat("[1] start\n  detail d1\n", "[] \n");
+        let csv = flat("1,2\n", ",\n");
+        fused_vs_trial(&text, &[two_line, csv], "multiline+csv");
+    }
+
+    #[test]
+    fn fused_build_requires_two_nonempty_templates() {
+        let one = vec![flat("a,b\n", ",\n")];
+        let matcher = SpanLineMatcher::with_backend(&one, 10, MatchingBackend::Fused);
+        assert!(matcher.fused().is_none(), "single template stays on trial");
+
+        let two = vec![flat("a,b\n", ",\n"), flat("[x] y\n", "[] \n")];
+        let matcher = SpanLineMatcher::with_backend(&two, 10, MatchingBackend::Fused);
+        let set = matcher.fused().expect("two templates compile to a set");
+        assert_eq!(set.template_count(), 2);
+        assert!(set.byte_class_count() >= 2);
+        assert_eq!(set.mask_words(), 1);
+        let data = Dataset::new("a,b\n[x] y\n");
+        let mut out = SpanParse::default();
+        let mut scratch = SpanScratch::default();
+        matcher.parse_into_with(&data, &mut out, &mut scratch);
+        assert_eq!(out.records.len(), 2);
+        assert!(scratch.fused_dfa_states() >= 2, "walks interned DFA states");
+        assert!(!scratch.fused_dfa_overflowed());
+
+        let trial = SpanLineMatcher::with_backend(&two, 10, MatchingBackend::Trial);
+        assert!(
+            trial.fused().is_none(),
+            "trial backend never compiles a set"
+        );
+    }
+
+    #[test]
+    fn fused_stats_track_pruning() {
+        let text = interleaved_text();
+        let data = Dataset::new(&text);
+        let templates = vec![
+            flat("[00:01] host1 ok\n", "[:] \n"),
+            flat("1,2,3\n", ",\n"),
+            array("1;2;3\n", ";\n"),
+        ];
+        let matcher = SpanLineMatcher::with_backend(&templates, 10, MatchingBackend::Fused);
+        let mut out = SpanParse::default();
+        let mut scratch = SpanScratch::default();
+        matcher.parse_into_with(&data, &mut out, &mut scratch);
+        let stats = scratch.stats;
+        assert!(stats.lines_dispatched > 0);
+        assert_eq!(stats.fused_dispatches, stats.lines_dispatched);
+        assert!(
+            stats.templates_pruned > 0,
+            "distinct first bytes must prune: {stats:?}"
+        );
+        assert!(stats.templates_trialed < stats.lines_dispatched * 3);
+        assert!(stats.prune_rate() > 0.0 && stats.prune_rate() <= 1.0);
+        assert!((stats.fused_dispatch_rate() - 1.0).abs() < 1e-9);
+
+        // Trial backend: every line trials every template, nothing is pruned.
+        let trial = SpanLineMatcher::with_backend(&templates, 10, MatchingBackend::Trial);
+        let mut scratch = SpanScratch::default();
+        trial.parse_into_with(&data, &mut out, &mut scratch);
+        assert_eq!(scratch.stats.fused_dispatches, 0);
+        assert_eq!(scratch.stats.templates_pruned, 0);
+        // The trial loop stops at the first success, so it trials between 1 and all 3
+        // templates per line — and always strictly more than the fused path in total.
+        assert!(scratch.stats.templates_trialed >= scratch.stats.lines_dispatched);
+        assert!(scratch.stats.templates_trialed > stats.templates_trialed);
+
+        // Parallel match tables surface merged per-chunk stats.
+        let table = matcher.match_table(&data, 3);
+        let merged = table.stats();
+        assert_eq!(merged.lines_dispatched, data.line_count() as u64);
+        assert!(merged.fused_dispatches > 0);
+    }
+
+    #[test]
+    fn parallel_backends_agree_with_explicit_backend() {
+        let text = interleaved_text();
+        let data = Dataset::new(&text);
+        let templates = vec![flat("[00:01] host1 ok\n", "[:] \n"), flat("1,2,3\n", ",\n")];
+        let options = ParallelOptions {
+            threads: 3,
+            min_chunk_lines: 1,
+        };
+        let trial = parse_dataset_span_parallel_with(
+            &data,
+            &templates,
+            10,
+            options,
+            MatchingBackend::Trial,
+        );
+        let fused = parse_dataset_span_parallel_with(
+            &data,
+            &templates,
+            10,
+            options,
+            MatchingBackend::Fused,
+        );
+        assert_span_parse_eq(&trial, &fused, "parallel fused vs trial");
     }
 }

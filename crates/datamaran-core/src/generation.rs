@@ -28,7 +28,9 @@ use crate::fxhash::FxHashMap;
 use crate::intern::{TemplateId, TemplateInterner};
 use crate::parallel::{effective_workers, resolve_threads, WorkQueue};
 use crate::record::{RecordTemplate, TemplateToken};
-use crate::reduce::reduce;
+use crate::reduce::{
+    flat_nodes, reduce, tokens_have_fold_from, MAX_FOLD_TOKENS, MAX_UNIT_TOKENS, MIN_REPS,
+};
 use crate::span::LineIndex;
 use crate::structure::StructureTemplate;
 use std::collections::HashMap;
@@ -298,9 +300,6 @@ impl SeqStore {
         &self.flat[self.offsets[id as usize] as usize..self.offsets[id as usize + 1] as usize]
     }
 
-    fn token_count(&self, id: u32) -> usize {
-        (self.offsets[id as usize + 1] - self.offsets[id as usize]) as usize
-    }
 }
 
 /// Line projections of the whole sample under one subset charset: per-line sequence ids
@@ -382,10 +381,11 @@ impl Bins {
 struct WorkerState {
     interner: TemplateInterner,
     seqs: SeqStore,
-    /// Memo of line-sequence-id windows → interned minimal template.  The window (at most
-    /// `L` `u32`s) is the whole hash key for a candidate record, replacing the legacy
-    /// path's hash of the record's full token vector.
-    window_memo: FxHashMap<Box<[u32]>, TemplateId>,
+    /// Memo of line-sequence-id windows → (interned minimal template, window is verified
+    /// fold-free).  The window (at most `L` `u32`s) is the whole hash key for a candidate
+    /// record, replacing the legacy path's hash of the record's full token vector; the
+    /// fold-free bit seeds the incremental scan when the window is grown by another line.
+    window_memo: FxHashMap<Box<[u32]>, (TemplateId, bool)>,
     bins: Bins,
     proj: ProjectedLines,
     /// Reusable token buffer for materializing a window's record template on memo miss.
@@ -462,11 +462,18 @@ impl<'a> SpanEngine<'a> {
 
         let max_span = self.config.max_line_span.max(1);
         let line_seq = std::mem::take(&mut state.proj.line_seq);
+        let mut buffer = std::mem::take(&mut state.buffer);
         for start in 0..n {
             let mut span_bytes = 0usize;
             let mut span_field_bytes = 0usize;
-            let mut span_tokens = 0usize;
             let start_byte = self.sample.line_start(start);
+            // The window's token concatenation grows incrementally with the span, and
+            // `fold_free` tracks whether the *previous* (shorter) window was proven free of
+            // foldable tandem repeats — the invariant that lets a memo miss decide the
+            // grown window with a scan restricted to the region near the freshly appended
+            // line instead of a full quadratic `reduce`.
+            buffer.clear();
+            let mut fold_free = true;
             for span in 1..=max_span {
                 let end = start + span;
                 if end > n {
@@ -474,28 +481,40 @@ impl<'a> SpanEngine<'a> {
                 }
                 span_bytes += self.index.line_len(end - 1);
                 span_field_bytes += state.proj.field_len[end - 1] as usize;
-                span_tokens += state.seqs.token_count(line_seq[end - 1]);
+                let old_len = buffer.len();
+                buffer.extend_from_slice(state.seqs.tokens(line_seq[end - 1]));
                 *records_examined += 1;
 
-                if span_tokens == 0 {
+                if buffer.is_empty() {
                     continue;
                 }
                 let window = &line_seq[start..end];
-                let id = match state.window_memo.get(window) {
-                    Some(&id) => id,
+                let (id, window_fold_free) = match state.window_memo.get(window) {
+                    Some(&hit) => hit,
                     None => {
-                        // First sighting of this window: materialize the record's token
-                        // sequence, reduce it to its minimal template, intern both.
-                        state.buffer.clear();
-                        for &seq in window {
-                            state.buffer.extend_from_slice(state.seqs.tokens(seq));
-                        }
-                        let template = reduce(&RecordTemplate::from_tokens(state.buffer.clone()));
+                        // First sighting of this window.  Three cases, cheapest first:
+                        // above the fold cap `reduce` stays flat by definition; a window
+                        // whose prefix was fold-free and whose restricted scan finds no
+                        // new fold is flat too (same node sequence, no fold search); only
+                        // windows actually containing a fold pay the full reduction.
+                        let (template, ff) = if buffer.len() > MAX_FOLD_TOKENS {
+                            (StructureTemplate::new(flat_nodes(&buffer)), false)
+                        } else if fold_free
+                            && !tokens_have_fold_from(
+                                &buffer,
+                                old_len.saturating_sub((MIN_REPS + 1) * MAX_UNIT_TOKENS),
+                            )
+                        {
+                            (StructureTemplate::new(flat_nodes(&buffer)), true)
+                        } else {
+                            (reduce(&RecordTemplate::from_tokens(buffer.clone())), false)
+                        };
                         let id = state.interner.intern(template);
-                        state.window_memo.insert(window.into(), id);
-                        id
+                        state.window_memo.insert(window.into(), (id, ff));
+                        (id, ff)
                     }
                 };
+                fold_free = window_fold_free;
                 state.bins.accum(id, start).record_candidate(
                     start,
                     start_byte,
@@ -504,6 +523,7 @@ impl<'a> SpanEngine<'a> {
                 );
             }
         }
+        state.buffer = buffer;
         state.proj.line_seq = line_seq;
 
         let threshold = ((self.config.alpha * self.sample.len() as f64).ceil() as usize).max(1);

@@ -72,7 +72,8 @@ pub mod structure;
 
 pub use chars::{default_special_chars, CharSet};
 pub use config::{
-    DatamaranConfig, EvaluationBackend, ExtractionBackend, GenerationBackend, SearchStrategy,
+    DatamaranConfig, EvaluationBackend, ExtractionBackend, GenerationBackend, MatchingBackend,
+    SearchStrategy,
 };
 pub use dataset::Dataset;
 pub use error::{BudgetKind, Error, Result};
@@ -82,10 +83,11 @@ pub use export::{
     RetryingSink, Sleeper, StreamReport, Tee, ThreadSleeper,
 };
 pub use extract::{
-    compile, decompile, diff_compiled, extract_records, parse_compiled_into, parse_dataset_span,
-    parse_dataset_span_delta, parse_dataset_span_into, parse_dataset_span_parallel,
-    CompiledTemplate, DeltaParseStats, Op, SpanLineMatcher, SpanParse, SpanRecord, SpanScratch,
-    TemplateDiff,
+    compile, decompile, diff_compiled, extract_records, parse_compiled_into, parse_dataset_fused,
+    parse_dataset_span, parse_dataset_span_delta, parse_dataset_span_into,
+    parse_dataset_span_parallel, parse_dataset_span_parallel_with, CompiledTemplate,
+    CompiledTemplateSet, DeltaParseStats, FusedDfaCache, MatchStats, Op, SpanLineMatcher,
+    SpanParse, SpanRecord, SpanScratch, TemplateDiff,
 };
 pub use fault::{FailingReader, FailingSink, FaultSchedule};
 pub use fieldtype::FieldType;

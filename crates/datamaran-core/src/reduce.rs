@@ -16,10 +16,10 @@ use crate::structure::{Node, StructureTemplate};
 
 /// Maximum repetition-unit length (in template tokens) considered while folding.
 /// Multi-line units (e.g. a repeated `key: value\n` line) comfortably fit.
-const MAX_UNIT_TOKENS: usize = 48;
+pub(crate) const MAX_UNIT_TOKENS: usize = 48;
 
 /// Minimum number of adjacent unit repetitions (before the trailing copy) required to fold.
-const MIN_REPS: usize = 2;
+pub(crate) const MIN_REPS: usize = 2;
 
 /// Maximum token count on which tandem-repeat folding is attempted.  Every fold restarts
 /// [`find_fold`] from the left, so a window with many small repeats costs
@@ -29,11 +29,84 @@ const MIN_REPS: usize = 2;
 /// thousands of short repeated groups) is left as a flat Struct template instead of
 /// stalling the generation step.  Both generation backends share this function, so the cap
 /// cannot break their differential equivalence.
-const MAX_FOLD_TOKENS: usize = 4096;
+pub(crate) const MAX_FOLD_TOKENS: usize = 4096;
 
 /// Reduces a record template to its minimal structure template.
 pub fn reduce(rt: &RecordTemplate) -> StructureTemplate {
     StructureTemplate::new(reduce_tokens(rt.tokens()))
+}
+
+/// Converts a token sequence with **no foldable tandem repeat** straight to its node
+/// sequence (the literal-merge pass of [`reduce_tokens`] with the folding loop skipped).
+/// Equals [`reduce`]'s output whenever [`tokens_have_fold_from`]`(tokens, 0)` is false *or*
+/// the sequence exceeds [`MAX_FOLD_TOKENS`] (above the cap, [`reduce_tokens`] skips folding
+/// too) — the generation step's window fast path relies on exactly that equality.
+pub(crate) fn flat_nodes(tokens: &[TemplateToken]) -> Vec<Node> {
+    let mut nodes: Vec<Node> = Vec::new();
+    for t in tokens {
+        match t {
+            TemplateToken::Field => nodes.push(Node::Field),
+            TemplateToken::Ch(c) => match nodes.last_mut() {
+                Some(Node::Literal(s)) => s.push(*c),
+                _ => nodes.push(Node::Literal(c.to_string())),
+            },
+        }
+    }
+    nodes
+}
+
+/// `true` when the token sequence contains a foldable tandem repeat whose start index is
+/// `>= min_start` — [`find_fold`] specialized to plain tokens (no folded arrays yet) and a
+/// restricted start range, for the generation step's incremental window scan.
+///
+/// The restriction is what makes window growth cheap: when a window known to be fold-free
+/// is extended by one line (`old_len` → `n` tokens), any fold spec valid in the extended
+/// window either lay entirely inside the old window (contradiction — it was fold-free) or
+/// has its terminator at index `>= old_len`; in the latter case, trimming the repeat run
+/// to its last [`MIN_REPS`] copies yields an equally valid spec starting at
+/// `terminator - (MIN_REPS + 1) * unit_len + 1 >= old_len - (MIN_REPS + 1) * MAX_UNIT_TOKENS`.
+/// Scanning only from that bound therefore decides fold-freeness of the whole window.
+pub(crate) fn tokens_have_fold_from(tokens: &[TemplateToken], min_start: usize) -> bool {
+    let n = tokens.len();
+    for start in min_start..n {
+        let max_len = MAX_UNIT_TOKENS.min((n - start) / 2);
+        for unit_len in 1..=max_len {
+            // O(1) prefilter, as in [`find_fold`]: without at least two adjacent copies
+            // (first tokens equal) there is nothing to count.
+            if tokens[start] != tokens[start + unit_len] {
+                continue;
+            }
+            let TemplateToken::Ch(separator) = tokens[start + unit_len - 1] else {
+                continue;
+            };
+            let mut max_reps = 1;
+            while start + (max_reps + 1) * unit_len <= n
+                && tokens[start + max_reps * unit_len..start + (max_reps + 1) * unit_len]
+                    == tokens[start..start + unit_len]
+            {
+                max_reps += 1;
+            }
+            if max_reps < MIN_REPS {
+                continue;
+            }
+            let mut reps = max_reps;
+            while reps >= MIN_REPS {
+                let tail_start = start + reps * unit_len;
+                let body_len = unit_len - 1;
+                let tail_fits = tail_start + body_len < n
+                    && tokens[tail_start..tail_start + body_len] == tokens[start..start + body_len];
+                if tail_fits {
+                    if let TemplateToken::Ch(terminator) = tokens[tail_start + body_len] {
+                        if terminator != separator {
+                            return true;
+                        }
+                    }
+                }
+                reps -= 1;
+            }
+        }
+    }
+    false
 }
 
 /// Work item used while folding: either a still-unprocessed template token or an already
@@ -128,17 +201,30 @@ struct FoldSpec {
 /// * the next token to be a formatting character `y != x` (the terminator).
 fn find_fold(items: &[Item]) -> Option<FoldSpec> {
     let n = items.len();
+    // `plain_run[i]`: length of the longest all-plain run starting at `i`, making the
+    // unit-plainness check O(1) per `(start, unit_len)` pair instead of O(unit_len).
+    let mut plain_run = vec![0usize; n + 1];
+    for i in (0..n).rev() {
+        plain_run[i] = if items[i].is_plain() {
+            plain_run[i + 1] + 1
+        } else {
+            0
+        };
+    }
     for start in 0..n {
-        let max_len = MAX_UNIT_TOKENS.min((n - start) / 2);
+        // All tokens of the unit must be plain tokens (fields or characters).
+        let max_len = MAX_UNIT_TOKENS.min((n - start) / 2).min(plain_run[start]);
         for unit_len in 1..=max_len {
+            // A fold needs at least [`MIN_REPS`] adjacent copies, so the second copy's
+            // first token must equal the unit's first — rejects almost every pair in O(1)
+            // (identical outcome to letting the repetition count below stall at 1).
+            if !items[start].same_plain(&items[start + unit_len]) {
+                continue;
+            }
             // The separator is the unit's final token and must be a plain character.
             let Some(separator) = items[start + unit_len - 1].as_char() else {
                 continue;
             };
-            // All tokens of the unit must be plain tokens (fields or characters).
-            if !(start..start + unit_len).all(|i| items[i].is_plain()) {
-                continue;
-            }
             // Count adjacent repetitions of the unit.
             let mut max_reps = 1;
             while start + (max_reps + 1) * unit_len <= n
@@ -312,6 +398,81 @@ mod tests {
         let rt = template(&text, ",;\n");
         assert!(rt.len() <= super::MAX_FOLD_TOKENS);
         assert!(reduce(&rt).has_array());
+    }
+
+    #[test]
+    fn token_fold_scan_agrees_with_item_fold_search() {
+        // `tokens_have_fold_from(_, 0)` must agree with `find_fold` on plain-token input —
+        // the generation fast path treats them as the same predicate.
+        let cases = [
+            ("1,2,3,4,5\n", ",\n"),
+            ("a,b\n", ",\n"),
+            ("k: 1\nk: 2\nk: 3\nEND\n", ": \n"),
+            ("a|1\nb|2\nc|3\nd|4#\n", "|#\n"),
+            ("1|x\n2|y\n3|z\n#\n", "|#\n"),
+            ("a,b,c,", ","),
+            ("Apr 24 04:02:24 srv7 snort shutdown succeeded\n", ": \n"),
+            ("x=1;y=2;z=3|\n", "=;|\n"),
+            ("", ",\n"),
+        ];
+        for (text, charset) in cases {
+            let rt = template(text, charset);
+            let items: Vec<Item> = rt.tokens().iter().copied().map(Item::Tok).collect();
+            assert_eq!(
+                tokens_have_fold_from(rt.tokens(), 0),
+                find_fold(&items).is_some(),
+                "disagreement on {text:?} under {charset:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_nodes_equals_reduce_on_fold_free_sequences() {
+        let cases = [("a,b\n", ",\n"), ("a,b,c,", ","), ("[1] x\n", "[]\n")];
+        for (text, charset) in cases {
+            let rt = template(text, charset);
+            assert!(
+                !tokens_have_fold_from(rt.tokens(), 0),
+                "{text:?} must be fold-free"
+            );
+            assert_eq!(
+                StructureTemplate::new(flat_nodes(rt.tokens())),
+                reduce(&rt),
+                "flat shortcut diverged on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_fold_scan_decides_extended_windows() {
+        // Grow a window line by line; whenever the prefix is fold-free, the restricted
+        // scan from `old_len - (MIN_REPS + 1) * MAX_UNIT_TOKENS` must agree with the full
+        // scan on the grown window (the incremental invariant of the generation step).
+        let lines = [
+            "BEGIN 7\n",
+            "v=1;\n",
+            "v=2;\n",
+            "v=3;\n",
+            "END.\n",
+            "plain text here\n",
+        ];
+        let charset = CharSet::from_chars("=;.\n".chars());
+        let mut tokens: Vec<TemplateToken> = Vec::new();
+        let mut fold_free = true;
+        for line in lines {
+            let old_len = tokens.len();
+            tokens.extend_from_slice(RecordTemplate::from_instantiated(line, &charset).tokens());
+            let full = tokens_have_fold_from(&tokens, 0);
+            if fold_free {
+                let min_start = old_len.saturating_sub((MIN_REPS + 1) * MAX_UNIT_TOKENS);
+                assert_eq!(
+                    tokens_have_fold_from(&tokens, min_start),
+                    full,
+                    "restricted scan missed a fold after appending {line:?}"
+                );
+            }
+            fold_free = !full;
+        }
     }
 
     #[test]

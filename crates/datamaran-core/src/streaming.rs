@@ -49,11 +49,11 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use crate::config::ExtractionBackend;
+use crate::config::{ExtractionBackend, MatchingBackend};
 use crate::dataset::Dataset;
 use crate::error::{BudgetKind, Error, Result};
 use crate::export::RecordSink;
-use crate::extract::{SpanLineMatcher, SpanScratch};
+use crate::extract::{MatchStats, SpanLineMatcher, SpanScratch};
 use crate::parallel::{resolve_threads, ParallelOptions};
 use crate::parser::{tree_reps, FieldCell, LineMatcher};
 use crate::pipeline::Datamaran;
@@ -116,7 +116,7 @@ struct WindowRecord {
 /// template compilation is hoisted out of the window loop.
 enum WindowMatcher<'a> {
     Legacy(LineMatcher<'a>),
-    Span(Box<SpanLineMatcher>, SpanScratch),
+    Span(Box<SpanLineMatcher>, Box<SpanScratch>),
 }
 
 impl<'a> WindowMatcher<'a> {
@@ -124,15 +124,25 @@ impl<'a> WindowMatcher<'a> {
         templates: &'a [StructureTemplate],
         max_span: usize,
         backend: ExtractionBackend,
+        matching: MatchingBackend,
     ) -> Self {
         match backend {
             ExtractionBackend::Legacy => {
                 WindowMatcher::Legacy(LineMatcher::new(templates, max_span))
             }
             ExtractionBackend::Span => WindowMatcher::Span(
-                Box::new(SpanLineMatcher::new(templates, max_span)),
-                SpanScratch::default(),
+                Box::new(SpanLineMatcher::with_backend(templates, max_span, matching)),
+                Box::default(),
             ),
+        }
+    }
+
+    /// Snapshot of the matcher's accumulated work counters (zero for the legacy matcher,
+    /// which predates the counters).
+    fn stats(&self) -> MatchStats {
+        match self {
+            WindowMatcher::Legacy(_) => MatchStats::default(),
+            WindowMatcher::Span(_, scratch) => scratch.stats,
         }
     }
 
@@ -469,6 +479,10 @@ pub struct StreamSummary {
     pub oversized_lines: usize,
     /// Per-window lines / unmatched counters, in window order — the drift signal.
     pub window_unmatched: Vec<WindowUnmatched>,
+    /// Per-window matcher work counters (templates trialed vs pruned, fused-dispatch
+    /// rate), in window order.  All zeros under the legacy extraction backend, whose tree
+    /// walker predates the counters.
+    pub window_match_stats: Vec<MatchStats>,
     /// Why the stream stopped early, if it did.  `None` means the stream was consumed to
     /// the end.  On an early stop the sink is still finished cleanly: everything reported
     /// in [`records`](Self::records) was pushed and flushed.
@@ -476,6 +490,15 @@ pub struct StreamSummary {
 }
 
 impl StreamSummary {
+    /// Matcher work counters summed over every processed window.
+    pub fn match_stats(&self) -> MatchStats {
+        let mut total = MatchStats::default();
+        for w in &self.window_match_stats {
+            total.merge(w);
+        }
+        total
+    }
+
     /// Unmatched lines over decided lines for the whole stream.
     pub fn unmatched_rate(&self) -> f64 {
         if self.lines_processed == 0 {
@@ -667,6 +690,7 @@ fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
         &matcher_templates,
         max_span,
         engine.config().extraction_backend,
+        engine.config().matching_backend,
     );
     let mut sink_seconds = 0.0f64;
     let timed = Instant::now();
@@ -709,6 +733,7 @@ fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
         let safe_limit = if eof { n } else { n.saturating_sub(max_span) };
 
         let match_timer = Instant::now();
+        let stats_before = matcher.stats();
         let chunks = par_options.effective_chunks(n);
         let table = match &matcher {
             WindowMatcher::Span(m, _) if chunks > 1 => Some(m.match_table(&dataset, chunks)),
@@ -790,6 +815,12 @@ fn stream_windows<R: BufRead, S: RecordSink + ?Sized>(
         summary.window_unmatched.push(WindowUnmatched {
             lines: consumed_lines,
             unmatched: window_noise,
+        });
+        // Matcher work for this window: the parallel path's table carries its own merged
+        // per-chunk counters; the incremental path is the delta on the long-lived scratch.
+        summary.window_match_stats.push(match &table {
+            Some(table) => table.stats(),
+            None => matcher.stats().since(&stats_before),
         });
         global_line += consumed_lines;
         window_reader.consume_metas(consumed_lines);

@@ -228,15 +228,18 @@ pub struct DatasetReport {
 /// numbers are comparable.
 ///
 /// Defaults except `max_line_span`: at the paper's L=10, candidate generation on a
-/// template-diverse corpus blows up combinatorially — every k-line window over *distinct*
-/// adjacent templates mints a fresh record-template candidate, so an 8 KiB HDFS-clone
-/// sample takes ~96 s to generate candidates at L=10 vs ~0.6 s at L=2 (measured, see
-/// ROADMAP perf targets).  The matrix runs at L=3, which keeps multi-line candidate
-/// search exercised while bounding the window combinatorics; fixing generation to dedupe
-/// window candidates *before* template construction is the named perf target that would
-/// let the matrix return to the default L.
+/// template-diverse corpus is combinatorial — every k-line window over *distinct*
+/// adjacent templates mints a fresh record-template candidate.  The window memo plus the
+/// incremental fold-free window scan and the pruned fold search (`reduce.rs`) brought the
+/// 8 KiB HDFS-clone sample at L=10 from ~96 s to ~8 s of generation (single worker), so
+/// the matrix now runs at L=5 — deep multi-line window search on every dataset — instead
+/// of the previously pinned L=3.  Full L=10 on the 64 KiB generation sample still costs
+/// ~2.5 min per fold-heavy dataset (the remaining cost is re-folding fold-*containing*
+/// windows on every extension; an incremental fold constructor is subtle — appended
+/// tokens can resurrect a boundary-rejected periodic fold that absorbs already-committed
+/// ones — and is tracked in the ROADMAP), which is why the matrix stops at L=5.
 pub fn corpus_config() -> DatamaranConfig {
-    DatamaranConfig::default().with_max_line_span(3)
+    DatamaranConfig::default().with_max_line_span(5)
 }
 
 /// Runs discovery + extraction + streaming replay on one generated dataset.

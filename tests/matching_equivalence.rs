@@ -1,0 +1,379 @@
+//! Differential suite for the fused multi-template matcher: on every fixture the fused
+//! backend (one merged prefix-trie/DFA pass per record start) must produce **byte-identical**
+//! output to the trial backend (every template trialed in index order) — the flat
+//! [`SpanParse`] arenas, the tree-walker-compatible [`ParseResult`], the end-to-end
+//! relational tables, and the streaming CSV/JSONL sink bytes, on interleaved, multi-line,
+//! and array fixtures, plus randomized template subsets and the guarded fault-injection
+//! path over corrupted input.
+
+use datamaran::core::{
+    extract_records, parse_dataset_fused, parse_dataset_span_parallel_with, reduce, CharSet,
+    CsvSink, Datamaran, DatamaranConfig, Dataset, ErrorPolicy, JsonLinesSink, MatchingBackend,
+    ParallelOptions, RecordTemplate, SpanParse, StreamOptions, StructureTemplate, Tee,
+    VecQuarantineSink,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Flat structure template reduced from one instantiated example record.
+fn template(example: &str, charset: &str) -> StructureTemplate {
+    let cs = CharSet::from_chars(charset.chars());
+    reduce(&RecordTemplate::from_instantiated(example, &cs))
+}
+
+fn assert_span_parse_eq(a: &SpanParse, b: &SpanParse, label: &str) {
+    assert_eq!(a.records, b.records, "{label}: records");
+    assert_eq!(a.cells, b.cells, "{label}: cells");
+    assert_eq!(a.reps, b.reps, "{label}: reps");
+    assert_eq!(a.noise_lines, b.noise_lines, "{label}: noise lines");
+    assert_eq!(a.record_bytes, b.record_bytes, "{label}: record bytes");
+    assert_eq!(a.noise_bytes, b.noise_bytes, "{label}: noise bytes");
+}
+
+/// Asserts the two backends agree on the span arenas (sequential and sharded) and on the
+/// dispatched [`ParseResult`] for one template set.
+fn assert_matching_equivalence(name: &str, text: &str, templates: &[StructureTemplate]) {
+    let dataset = Dataset::new(text);
+    let seq = ParallelOptions {
+        threads: 1,
+        min_chunk_lines: 1,
+    };
+    let trial =
+        parse_dataset_span_parallel_with(&dataset, templates, 10, seq, MatchingBackend::Trial);
+    let fused = parse_dataset_fused(&dataset, templates, 10);
+    assert_span_parse_eq(&trial, &fused, name);
+
+    for threads in [2, 5] {
+        let options = ParallelOptions {
+            threads,
+            min_chunk_lines: 1,
+        };
+        let sharded = parse_dataset_span_parallel_with(
+            &dataset,
+            templates,
+            10,
+            options,
+            MatchingBackend::Fused,
+        );
+        assert_span_parse_eq(&trial, &sharded, &format!("{name} ({threads} shards)"));
+    }
+
+    let fused_cfg = DatamaranConfig::default().with_matching_backend(MatchingBackend::Fused);
+    let trial_cfg = DatamaranConfig::default().with_matching_backend(MatchingBackend::Trial);
+    let a = extract_records(&dataset, templates, &fused_cfg);
+    let b = extract_records(&dataset, templates, &trial_cfg);
+    assert_eq!(a, b, "{name}: ParseResult across backends");
+}
+
+/// Interleaved fixture: bracketed syslog-style lines, csv rows, semicolon arrays, noise.
+fn interleaved_text(n: usize) -> String {
+    let mut text = String::new();
+    for i in 0..n {
+        match i % 5 {
+            0 | 3 => {
+                text.push_str(&format!("[{:02}:{:02}] host{} ok\n", i % 24, i % 60, i % 7));
+            }
+            1 => text.push_str(&format!("{i},{},{}\n", i * 7 % 40, i % 9)),
+            2 => {
+                let reps = i % 4 + 1;
+                let body: Vec<String> = (0..reps).map(|k| format!("{}", i + k)).collect();
+                text.push_str(&format!("{};\n", body.join(";")));
+            }
+            _ => text.push_str("!!! unparsed diagnostic !!!\n"),
+        }
+    }
+    text
+}
+
+fn interleaved_templates() -> Vec<StructureTemplate> {
+    vec![
+        template("[00:01] host1 ok\n", "[:] \n"),
+        template("1,2,3\n", ",\n"),
+        template("1;2;3;\n", ";\n"),
+    ]
+}
+
+#[test]
+fn interleaved_fixture_is_backend_identical() {
+    let text = interleaved_text(400);
+    assert_matching_equivalence("interleaved", &text, &interleaved_templates());
+}
+
+#[test]
+fn multiline_fixture_is_backend_identical() {
+    let mut text = String::new();
+    for i in 0..120 {
+        match i % 3 {
+            0 => text.push_str(&format!("req {i} start\n  status s{i}\n  took t{i}\n")),
+            1 => text.push_str(&format!("{i},{}\n", i * 3)),
+            _ => text.push_str("-- trace --\n"),
+        }
+    }
+    let templates = vec![
+        template("req 1 start\n  status s1\n  took t1\n", " \n"),
+        template("1,2\n", ",\n"),
+    ];
+    assert_matching_equivalence("multiline", &text, &templates);
+}
+
+#[test]
+fn array_fixture_is_backend_identical() {
+    let mut text = String::new();
+    for i in 0..150 {
+        match i % 3 {
+            0 => {
+                let reps = i % 5 + 1;
+                let body: Vec<String> = (0..reps).map(|k| format!("v{}", i + k)).collect();
+                text.push_str(&format!("set {}: {};\n", i, body.join(", ")));
+            }
+            1 => text.push_str(&format!("{i}|{}|{}\n", i % 8, i * 2 % 13)),
+            _ => text.push_str(&format!("[{:02}] t{} done\n", i % 30, i)),
+        }
+    }
+    let templates = vec![
+        template("set 1: v1, v2, v3;\n", ":,; \n"),
+        template("1|2|3\n", "|\n"),
+        template("[01] t1 done\n", "[] \n"),
+    ];
+    assert_matching_equivalence("arrays", &text, &templates);
+}
+
+/// A template whose first op is a field (no literal anchor) must survive fused pruning —
+/// the regression shape that originally diverged discovery.
+#[test]
+fn leading_field_templates_are_backend_identical() {
+    let mut text = String::new();
+    for i in 0..100 {
+        if i % 2 == 0 {
+            text.push_str(&format!("[{:02}:{:02}] host{} ok\n", i % 24, i % 60, i % 4));
+        } else {
+            text.push_str(&format!("{i},{},{}\n", i * 7 % 40, i % 9));
+        }
+    }
+    let templates = vec![
+        template("[00:01] host1 ok\n", "[:] \n"),
+        template("1,2,3\n", ",\n"),
+    ];
+    assert_matching_equivalence("leading-field", &text, &templates);
+    let reversed: Vec<_> = templates.into_iter().rev().collect();
+    assert_matching_equivalence("leading-field reversed", &text, &reversed);
+}
+
+/// End-to-end discovery + extraction + relational output must be identical across
+/// backends: matching equivalence implies the whole pipeline (residual computation,
+/// set scoring, final extraction) takes the same path.
+#[test]
+fn full_pipeline_is_backend_identical() {
+    let text = interleaved_text(300);
+    let fused =
+        Datamaran::new(DatamaranConfig::default().with_matching_backend(MatchingBackend::Fused))
+            .unwrap()
+            .extract(&text)
+            .unwrap();
+    let trial =
+        Datamaran::new(DatamaranConfig::default().with_matching_backend(MatchingBackend::Trial))
+            .unwrap()
+            .extract(&text)
+            .unwrap();
+    assert_eq!(fused.noise_lines, trial.noise_lines);
+    assert_eq!(fused.structures.len(), trial.structures.len());
+    for (a, b) in fused.structures.iter().zip(&trial.structures) {
+        assert_eq!(a.template, b.template);
+        assert_eq!(a.relational, b.relational, "template {}", a.template);
+        assert_eq!(a.denormalized, b.denormalized, "template {}", a.template);
+    }
+}
+
+/// Streaming with a fixed multi-template set: CSV and JSONL sink bytes must match across
+/// backends, windows and all, and the fused run must actually go through the fused path.
+#[test]
+fn streaming_sink_bytes_are_backend_identical() {
+    let text = interleaved_text(500);
+    let templates = interleaved_templates();
+    let options = StreamOptions {
+        head_bytes: 512,
+        window_bytes: 2048,
+        ..StreamOptions::default()
+    };
+
+    let run = |backend: MatchingBackend| {
+        let engine =
+            Datamaran::new(DatamaranConfig::default().with_matching_backend(backend)).unwrap();
+        let mut sink = Tee(
+            CsvSink::new(|_name: &str| Ok(Vec::<u8>::new())),
+            JsonLinesSink::new(Vec::<u8>::new()),
+        );
+        let summary = datamaran::core::extract_stream_with_templates(
+            &engine,
+            Cursor::new(text.clone()),
+            options,
+            templates.clone(),
+            &mut sink,
+        )
+        .expect("streaming succeeds");
+        let Tee(csv, jsonl) = sink;
+        let csv_bytes: Vec<(String, Vec<u8>)> = csv.into_writers();
+        (summary, csv_bytes, jsonl.into_writer())
+    };
+
+    let (fused_summary, fused_csv, fused_jsonl) = run(MatchingBackend::Fused);
+    let (trial_summary, trial_csv, trial_jsonl) = run(MatchingBackend::Trial);
+
+    assert_eq!(fused_summary.records, trial_summary.records);
+    assert_eq!(fused_summary.noise_lines, trial_summary.noise_lines);
+    assert_eq!(fused_summary.windows, trial_summary.windows);
+    assert_eq!(fused_csv, trial_csv, "CSV bytes across backends");
+    assert_eq!(fused_jsonl, trial_jsonl, "JSONL bytes across backends");
+
+    let fs = fused_summary.match_stats();
+    let ts = trial_summary.match_stats();
+    assert!(fs.fused_dispatches > 0, "fused run used the fused path");
+    assert!(fs.templates_pruned > 0, "fused run pruned trials");
+    assert_eq!(ts.fused_dispatches, 0, "trial run never fused");
+    assert_eq!(ts.templates_pruned, 0);
+    assert_eq!(fs.lines_dispatched, ts.lines_dispatched);
+    assert_eq!(
+        fused_summary.window_match_stats.len(),
+        fused_summary.windows
+    );
+}
+
+/// Guarded fault-injection fixtures (invalid UTF-8, NUL bytes, oversized lines) through
+/// the fused path: summaries, sink bytes, and quarantine contents match the trial path.
+#[test]
+fn guarded_fault_fixtures_are_backend_identical() {
+    let mut bytes = Vec::new();
+    for i in 0..160u32 {
+        match i % 6 {
+            0 | 1 => bytes.extend_from_slice(
+                format!("[{:02}:{:02}] host{} ok\n", i % 24, i % 60, i % 5).as_bytes(),
+            ),
+            2 | 3 => bytes.extend_from_slice(format!("{i},{},{}\n", i % 40, i % 9).as_bytes()),
+            4 => {
+                bytes.extend_from_slice(b"corrupt \xFF\xFE line \x00 here\n");
+            }
+            _ => bytes.extend_from_slice(b"### noise ###\n"),
+        }
+    }
+    let options = StreamOptions {
+        head_bytes: 1024,
+        window_bytes: 1024,
+        ..StreamOptions::default()
+    }
+    .with_on_error(ErrorPolicy::Quarantine);
+    let templates = vec![
+        template("[00:01] host1 ok\n", "[:] \n"),
+        template("1,2,3\n", ",\n"),
+    ];
+
+    let run = |backend: MatchingBackend| {
+        let engine =
+            Datamaran::new(DatamaranConfig::default().with_matching_backend(backend)).unwrap();
+        let mut sink = JsonLinesSink::new(Vec::<u8>::new());
+        let mut quarantine = VecQuarantineSink::default();
+        let summary = datamaran::core::extract_stream_with_templates_guarded(
+            &engine,
+            Cursor::new(bytes.clone()),
+            options,
+            templates.clone(),
+            &mut sink,
+            Some(&mut quarantine),
+        )
+        .expect("guarded streaming succeeds");
+        (summary, sink.into_writer(), quarantine.entries)
+    };
+
+    let (fused_summary, fused_jsonl, fused_q) = run(MatchingBackend::Fused);
+    let (trial_summary, trial_jsonl, trial_q) = run(MatchingBackend::Trial);
+
+    assert_eq!(fused_summary.records, trial_summary.records);
+    assert_eq!(fused_summary.noise_lines, trial_summary.noise_lines);
+    assert_eq!(
+        fused_summary.quarantined_lines,
+        trial_summary.quarantined_lines
+    );
+    assert_eq!(
+        fused_summary.invalid_utf8_lines,
+        trial_summary.invalid_utf8_lines
+    );
+    assert_eq!(fused_jsonl, trial_jsonl, "guarded JSONL bytes");
+    assert_eq!(fused_q.len(), trial_q.len(), "quarantine entry count");
+    for (a, b) in fused_q.iter().zip(&trial_q) {
+        assert_eq!(a.reason, b.reason);
+        assert_eq!(a.bytes, b.bytes);
+    }
+    assert!(fused_summary.match_stats().fused_dispatches > 0);
+}
+
+/// Example record shapes the randomized subsets draw from: distinct charsets, shared
+/// prefixes, leading fields, arrays — the shapes that stress prefix-trie pruning.
+fn shape_pool() -> Vec<StructureTemplate> {
+    vec![
+        template("[00:01] host1 ok\n", "[:] \n"),
+        template("[00:01] peer9 up\n", "[:] \n"),
+        template("1,2,3\n", ",\n"),
+        template("1,2\n", ",\n"),
+        template("1;2;3;\n", ";\n"),
+        template("a=1 b=2\n", "= \n"),
+        template("req 1 start\n  took t1\n", " \n"),
+        template("1|2|3\n", "|\n"),
+    ]
+}
+
+fn shape_line(shape: usize, i: usize) -> String {
+    match shape {
+        0 => format!("[{:02}:{:02}] host{} ok\n", i % 24, i % 60, i % 7),
+        1 => format!("[{:02}:{:02}] peer{} up\n", i % 24, (i * 3) % 60, i % 5),
+        2 => format!("{i},{},{}\n", i * 7 % 40, i % 9),
+        3 => format!("{i},{}\n", i * 5 % 31),
+        4 => {
+            let reps = i % 4 + 1;
+            let body: Vec<String> = (0..reps).map(|k| format!("{}", i + k)).collect();
+            format!("{};\n", body.join(";"))
+        }
+        5 => format!("a={} b={}\n", i % 17, i % 13),
+        6 => format!("req {i} start\n  took t{i}\n"),
+        _ => format!("{i}|{}|{}\n", i % 8, i * 2 % 13),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random template subsets over random interleavings: the fused matcher is
+    /// byte-identical to trialing each template, whatever the live set is.
+    #[test]
+    fn random_template_subsets_are_backend_identical(
+        subset in prop::collection::vec(0usize..8, 2..6),
+        lines in prop::collection::vec(0usize..9, 20..120),
+    ) {
+        let pool = shape_pool();
+        // Dedup while preserving order: repeated indices collapse to one template.
+        let mut picked: Vec<usize> = Vec::new();
+        for &s in &subset {
+            if !picked.contains(&s) {
+                picked.push(s);
+            }
+        }
+        let templates: Vec<StructureTemplate> =
+            picked.iter().map(|&s| pool[s].clone()).collect();
+        let mut text = String::new();
+        for (i, &l) in lines.iter().enumerate() {
+            if l < 8 {
+                text.push_str(&shape_line(l, i));
+            } else {
+                text.push_str("?? noise ??\n");
+            }
+        }
+        let dataset = Dataset::new(text.as_str());
+        let seq = ParallelOptions { threads: 1, min_chunk_lines: 1 };
+        let trial = parse_dataset_span_parallel_with(
+            &dataset, &templates, 10, seq, MatchingBackend::Trial,
+        );
+        let fused = parse_dataset_fused(&dataset, &templates, 10);
+        prop_assert_eq!(&trial.records, &fused.records, "records for subset {:?}", picked);
+        prop_assert_eq!(&trial.cells, &fused.cells);
+        prop_assert_eq!(&trial.reps, &fused.reps);
+        prop_assert_eq!(&trial.noise_lines, &fused.noise_lines);
+    }
+}
