@@ -831,8 +831,8 @@ impl std::io::Write for ByteCount {
 /// stream head) and write the normalized relational tables as CSV.
 pub fn streaming_benchmark(target_bytes: usize, runs: usize) -> StreamingBench {
     use datamaran_core::{
-        extract_records, extract_stream_sink, extract_stream_with_templates, table_to_csv,
-        to_relational, CsvSink, Dataset, RecordMatch, StreamOptions, StructureTemplate, Table,
+        extract_records, table_to_csv, to_relational, CsvSink, Dataset, RecordMatch, StreamOptions,
+        StreamSession, StructureTemplate, Table,
     };
     use std::io::Cursor;
 
@@ -844,7 +844,9 @@ pub fn streaming_benchmark(target_bytes: usize, runs: usize) -> StreamingBench {
     // Correctness run: stream into in-memory writers and compare against the materialized
     // exporter on the same (head-discovered) templates.
     let mut sink = CsvSink::new(|_name: &str| Ok(Vec::<u8>::new()));
-    let summary = extract_stream_sink(&engine, Cursor::new(text.as_bytes()), options, &mut sink)
+    let summary = StreamSession::new(&engine)
+        .options(options)
+        .run(Cursor::new(text.as_bytes()), &mut sink)
         .expect("streaming run succeeds");
     let streamed_tables = sink.into_writers();
     let templates: Vec<StructureTemplate> = summary.templates.clone();
@@ -881,14 +883,11 @@ pub fn streaming_benchmark(target_bytes: usize, runs: usize) -> StreamingBench {
         .map(|_| {
             let mut sink = CsvSink::new(|_name: &str| Ok(ByteCount::default()));
             let started = Instant::now();
-            let s = extract_stream_with_templates(
-                &engine,
-                Cursor::new(text.as_bytes()),
-                options,
-                templates.clone(),
-                &mut sink,
-            )
-            .expect("streaming run succeeds");
+            let s = StreamSession::new(&engine)
+                .options(options)
+                .templates(templates.clone())
+                .run(Cursor::new(text.as_bytes()), &mut sink)
+                .expect("streaming run succeeds");
             assert_eq!(s.records, summary.records);
             started.elapsed().as_secs_f64()
         })

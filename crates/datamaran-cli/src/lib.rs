@@ -41,10 +41,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use datamaran_core::{
-    all_tables_csv, table_to_csv, CountingSink, CsvSink, Datamaran, DatamaranConfig, Error,
-    ErrorPolicy, EvaluationBackend, ExtractionBackend, ExtractionReport, Grammar, JsonLinesSink,
-    MatchingBackend, QuarantineSink, RecordSink, RetryPolicy, RetryingSink, SearchStrategy,
-    StreamBudgets, StreamOptions, StreamReport, StreamSummary, WriteQuarantineSink,
+    all_tables_csv, snapshot_from_artifact, table_to_csv, CountingSink, CsvSink, Datamaran,
+    DatamaranConfig, Error, ErrorPolicy, EvaluationBackend, ExtractionBackend, ExtractionReport,
+    Grammar, JsonLinesSink, MatchingBackend, QuarantineSink, RecordSink, RetryPolicy, RetryingSink,
+    SearchStrategy, ServeMetrics, ServeOptions, ServeSession, SnapshotStore, StreamBudgets,
+    StreamOptions, StreamReport, StreamSummary, StructureTemplate, TemplateArtifact,
+    WriteQuarantineSink,
 };
 use logclust::{ClusterConfig, LogCluster};
 use std::fmt::Write as _;
@@ -77,6 +79,9 @@ pub enum Command {
     Cluster,
     /// Run the LogHub-clone corpus matrix and print per-dataset accuracy + throughput.
     Corpus,
+    /// Stream a file through a saved template artifact with zero hot-path discovery,
+    /// hot-swapping the template set when the stream drifts.
+    Serve,
     /// Print usage information.
     Help,
     /// Print the crate version.
@@ -121,6 +126,16 @@ pub struct Cli {
     pub sink_retries: usize,
     /// Scaled-down corpus matrix for smoke runs (`corpus --fast`).
     pub fast: bool,
+    /// Save the discovered templates as a serve artifact (`discover --save-templates`).
+    pub save_templates: Option<PathBuf>,
+    /// Template artifact to serve from (`serve --templates`, required for `serve`).
+    pub templates: Option<PathBuf>,
+    /// Serving decision-window size in lines (`serve --window-lines`).
+    pub window_lines: Option<usize>,
+    /// Unmatched-rate drift trigger in (0, 1] (`serve --drift-threshold`).
+    pub drift_threshold: Option<f64>,
+    /// Disable drift-triggered rediscovery (`serve --no-rediscover`).
+    pub no_rediscover: bool,
     /// Engine configuration assembled from the flags.
     pub config: DatamaranConfig,
 }
@@ -142,10 +157,16 @@ impl Cli {
             Some("grammar") => Command::Grammar,
             Some("cluster") => Command::Cluster,
             Some("corpus") => Command::Corpus,
+            Some("serve") => Command::Serve,
             Some(other) => return Err(format!("unknown subcommand `{other}` (try `help`)")),
         };
 
         let mut cli = Cli::bare(command);
+        // Strict environment pickup for real subcommands: a malformed `DATAMARAN_*`
+        // variable is a configuration error (exit code 2), not a silent default.
+        cli.config = DatamaranConfig::builder()
+            .build()
+            .map_err(|e| e.to_string())?;
         let mut on_error_flag: Option<ErrorPolicy> = None;
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -214,6 +235,26 @@ impl Cli {
                         parse_number(&next_value(&mut iter, "--sink-retries")?, "--sink-retries")?
                 }
                 "--fast" => cli.fast = true,
+                "--save-templates" => {
+                    cli.save_templates =
+                        Some(PathBuf::from(next_value(&mut iter, "--save-templates")?))
+                }
+                "--templates" => {
+                    cli.templates = Some(PathBuf::from(next_value(&mut iter, "--templates")?))
+                }
+                "--window-lines" => {
+                    cli.window_lines = Some(parse_number(
+                        &next_value(&mut iter, "--window-lines")?,
+                        "--window-lines",
+                    )?)
+                }
+                "--drift-threshold" => {
+                    cli.drift_threshold = Some(parse_number(
+                        &next_value(&mut iter, "--drift-threshold")?,
+                        "--drift-threshold",
+                    )?)
+                }
+                "--no-rediscover" => cli.no_rediscover = true,
                 "--greedy" => cli.config.search = SearchStrategy::Greedy,
                 "--alpha" => {
                     cli.config.alpha = parse_number(&next_value(&mut iter, "--alpha")?, "--alpha")?
@@ -303,12 +344,37 @@ impl Cli {
         if cli.stream && cli.command != Command::Extract {
             return Err("`--stream` is only valid with the `extract` subcommand".into());
         }
+        if cli.command == Command::Serve && cli.templates.is_none() {
+            return Err("`serve` requires `--templates FILE` (create one with \
+                 `datamaran discover FILE --save-templates PATH`)"
+                .into());
+        }
+        if cli.command != Command::Serve
+            && (cli.templates.is_some()
+                || cli.window_lines.is_some()
+                || cli.drift_threshold.is_some()
+                || cli.no_rediscover)
+        {
+            return Err(
+                "`--templates`, `--window-lines`, `--drift-threshold`, and `--no-rediscover` \
+                 are only valid with the `serve` subcommand"
+                    .into(),
+            );
+        }
+        if cli.save_templates.is_some() && cli.command != Command::Discover {
+            return Err("`--save-templates` is only valid with the `discover` subcommand".into());
+        }
         if !cli.stream
+            && cli.command != Command::Serve
             && (cli.output.is_some() || cli.head_bytes.is_some() || cli.window_bytes.is_some())
         {
             return Err(
                 "`--output`, `--head-bytes`, and `--window-bytes` require `--stream`".into(),
             );
+        }
+        if cli.command == Command::Serve && (cli.head_bytes.is_some() || cli.window_bytes.is_some())
+        {
+            return Err("`--head-bytes` and `--window-bytes` require `--stream`".into());
         }
         if cli.stream && cli.format == OutputFormat::Csv && cli.output.is_none() {
             return Err(
@@ -391,6 +457,11 @@ impl Cli {
             max_quarantine_fraction: None,
             sink_retries: 0,
             fast: false,
+            save_templates: None,
+            templates: None,
+            window_lines: None,
+            drift_threshold: None,
+            no_rediscover: false,
             config: DatamaranConfig::default(),
         }
     }
@@ -425,6 +496,8 @@ SUBCOMMANDS:
     cluster     run the SLCT-style line-clustering baseline
     corpus      run the LogHub-clone corpus matrix (no FILE): per-dataset template
                 F1, line coverage, and streaming MB/s for every catalog dataset
+    serve       stream FILE through a saved template artifact with zero hot-path
+                discovery, hot-swapping the template set when the stream drifts
     help        print this message
     version     print the version
 
@@ -464,6 +537,16 @@ FLAGS:
                                   (all of the above require `--stream`)
     --fast                        `corpus` only: scale every dataset down 8x for a
                                   smoke run (numbers are not comparable to full runs)
+    --save-templates <PATH>       `discover` only: also save the discovered templates
+                                  as a versioned artifact for `serve --templates`
+    --templates <PATH>            `serve` (required): the template artifact to match
+                                  against, produced by `discover --save-templates`
+    --window-lines <INT>          `serve` only: lines per drift-decision window
+                                  (default: 256)
+    --drift-threshold <FLOAT>     `serve` only: unmatched-rate in (0, 1] that triggers
+                                  rediscovery on the residual buffer (default: 0.5)
+    --no-rediscover               `serve` only: monitor drift but never hot-swap the
+                                  template set
     --greedy                      use the greedy RT-CharSet search (default: exhaustive)
     --alpha <FLOAT>               coverage threshold α in (0, 1]       (default: 0.10)
     --max-span <INT>              maximum lines per record L           (default: 10)
@@ -515,7 +598,7 @@ impl CliError {
     /// Maps the library error taxonomy onto the stable exit codes.
     fn from_core(e: &Error) -> CliError {
         let code = match e {
-            Error::InvalidConfig(_) => 2,
+            Error::InvalidConfig(_) | Error::Artifact(_) => 2,
             Error::Io { .. } | Error::Sink { .. } => 3,
             Error::EmptyDataset | Error::NoStructureFound => 4,
             Error::BudgetExceeded { .. } => 5,
@@ -569,6 +652,10 @@ pub fn run_cli<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         // buffered reader instead of reading the file into a string.
         return run_stream(&cli, path, out);
     }
+    if cli.command == Command::Serve {
+        // Serving likewise streams the input; never slurp it.
+        return run_serve(&cli, path, out);
+    }
     let text = fs::read_to_string(path)
         .map_err(|e| CliError::io(format!("cannot read {}: {e}", path.display())))?;
 
@@ -604,6 +691,26 @@ pub fn run_cli<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
                     st.score
                 );
             }
+            if let Some(path) = &cli.save_templates {
+                let templates: Vec<StructureTemplate> = result
+                    .structures
+                    .iter()
+                    .map(|st| st.template.clone())
+                    .collect();
+                let artifact = TemplateArtifact::new(
+                    templates,
+                    cli.config.max_line_span,
+                    cli.config.matching_backend,
+                )
+                .map_err(|e| CliError::from_core(&e))?;
+                artifact.save(path).map_err(|e| CliError::from_core(&e))?;
+                let _ = writeln!(
+                    s,
+                    "saved {} templates -> {}",
+                    artifact.templates.len(),
+                    path.display()
+                );
+            }
             write!(out, "{s}").map_err(|e| CliError::io(e.to_string()))
         }
         Command::Grammar => {
@@ -633,7 +740,9 @@ pub fn run_cli<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
             );
             write!(out, "{s}").map_err(|e| CliError::io(e.to_string()))
         }
-        Command::Help | Command::Version | Command::Corpus => unreachable!("handled above"),
+        Command::Help | Command::Version | Command::Corpus | Command::Serve => {
+            unreachable!("handled above")
+        }
     }
 }
 
@@ -870,6 +979,75 @@ fn run_stream<W: Write>(cli: &Cli, path: &Path, out: &mut W) -> Result<(), CliEr
         }
     }
     outcome
+}
+
+/// Streams log lines through a [`ServeSession`] backed by `store`.  Lines are read raw
+/// and decoded lossily — a stray invalid byte becomes noise for the matcher instead of
+/// aborting the whole stream, which is the same policy the standalone daemon uses.
+fn serve_into<R: BufRead, S: RecordSink + ?Sized>(
+    engine: &Datamaran,
+    store: &SnapshotStore,
+    options: ServeOptions,
+    mut reader: R,
+    sink: &mut S,
+) -> Result<ServeMetrics, Error> {
+    let mut session = ServeSession::new(engine, store, options)?;
+    let mut raw = Vec::new();
+    loop {
+        raw.clear();
+        let n = reader
+            .read_until(b'\n', &mut raw)
+            .map_err(|e| Error::io(&e))?;
+        if n == 0 {
+            break;
+        }
+        let line = String::from_utf8_lossy(&raw);
+        session.push_line(&line, sink)?;
+    }
+    session.finish(sink)
+}
+
+/// Runs `serve FILE --templates ARTIFACT`: replays the file through the saved template
+/// snapshot with zero hot-path discovery, hot-swapping the template set when the drift
+/// threshold trips.  Rows are JSON Lines; with `--output FILE` the rows go there and the
+/// metrics JSON is printed to `out`, without it the rows go straight to `out` (mirroring
+/// `extract --stream --format json`).
+fn run_serve<W: Write>(cli: &Cli, path: &Path, out: &mut W) -> Result<(), CliError> {
+    let Some(artifact_path) = cli.templates.as_ref() else {
+        return Err(CliError::usage("`serve` requires `--templates FILE`"));
+    };
+    let engine = Datamaran::new(cli.config.clone()).map_err(|e| CliError::from_core(&e))?;
+    let artifact = TemplateArtifact::load(artifact_path).map_err(|e| CliError::from_core(&e))?;
+    let store = SnapshotStore::new(snapshot_from_artifact(&artifact));
+    let mut options = ServeOptions::default();
+    if let Some(n) = cli.window_lines {
+        options.window_lines = n;
+    }
+    if let Some(threshold) = cli.drift_threshold {
+        options.drift_threshold = threshold;
+    }
+    if cli.no_rediscover {
+        options.rediscover = false;
+    }
+    let file = fs::File::open(path)
+        .map_err(|e| CliError::io(format!("cannot open {}: {e}", path.display())))?;
+    let reader = std::io::BufReader::new(file);
+    match &cli.output {
+        Some(output) => {
+            let sink_file = fs::File::create(output)
+                .map_err(|e| CliError::io(format!("cannot create {}: {e}", output.display())))?;
+            let mut sink = JsonLinesSink::new(BufWriter::new(sink_file));
+            let metrics = serve_into(&engine, &store, options, reader, &mut sink)
+                .map_err(|e| CliError::from_core(&e))?;
+            writeln!(out, "{}", metrics.to_json()).map_err(|e| CliError::io(e.to_string()))
+        }
+        None => {
+            let mut sink = JsonLinesSink::new(&mut *out);
+            serve_into(&engine, &store, options, reader, &mut sink)
+                .map_err(|e| CliError::from_core(&e))?;
+            Ok(())
+        }
+    }
 }
 
 fn extract(cli: &Cli, text: &str) -> Result<datamaran_core::ExtractionResult, CliError> {
@@ -1551,5 +1729,142 @@ mod tests {
         );
         fs::remove_file(path).ok();
         fs::remove_file(qpath).ok();
+    }
+
+    #[test]
+    fn parses_serve_flags_and_validates_scope() {
+        let cli = Cli::parse(&args(&[
+            "serve",
+            "app.log",
+            "--templates",
+            "t.json",
+            "--window-lines",
+            "128",
+            "--drift-threshold",
+            "0.4",
+            "--no-rediscover",
+        ]))
+        .unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.templates.as_ref().unwrap().to_str(), Some("t.json"));
+        assert_eq!(cli.window_lines, Some(128));
+        assert_eq!(cli.drift_threshold, Some(0.4));
+        assert!(cli.no_rediscover);
+
+        // `serve` without an artifact is a usage error.
+        assert!(Cli::parse(&args(&["serve", "app.log"]))
+            .unwrap_err()
+            .contains("--templates"));
+        // Serve-only flags are rejected on other subcommands.
+        assert!(Cli::parse(&args(&["extract", "x.log", "--templates", "t.json"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--window-lines", "64"])).is_err());
+        assert!(Cli::parse(&args(&["extract", "x.log", "--no-rediscover"])).is_err());
+        // `--save-templates` belongs to `discover` alone.
+        assert!(Cli::parse(&args(&["extract", "x.log", "--save-templates", "t.json"])).is_err());
+        assert!(
+            Cli::parse(&args(&["discover", "x.log", "--save-templates", "t.json"]))
+                .unwrap()
+                .save_templates
+                .is_some()
+        );
+        // `--output` is valid for serve, but the stream-only byte knobs are not.
+        assert!(Cli::parse(&args(&[
+            "serve",
+            "x.log",
+            "--templates",
+            "t.json",
+            "--output",
+            "rows.jsonl"
+        ]))
+        .is_ok());
+        assert!(Cli::parse(&args(&[
+            "serve",
+            "x.log",
+            "--templates",
+            "t.json",
+            "--head-bytes",
+            "1024"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn discover_save_templates_then_serve_end_to_end() {
+        let log = web_log(300);
+        let path = temp_log("serve_e2e", &log);
+        let base = std::env::temp_dir().join(format!("datamaran_cli_serve_{}", std::process::id()));
+        fs::create_dir_all(&base).unwrap();
+        let artifact = base.join("templates.json");
+
+        // Phase 1: discover and persist the artifact.
+        let mut out = Vec::new();
+        run(
+            &args(&[
+                "discover",
+                path.to_str().unwrap(),
+                "--save-templates",
+                artifact.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("saved "), "{text}");
+        assert!(artifact.exists());
+
+        // Phase 2: serve the same file from the saved artifact; rows land in --output
+        // and the metrics JSON goes to stdout.
+        let rows = base.join("rows.jsonl");
+        let mut out = Vec::new();
+        run(
+            &args(&[
+                "serve",
+                path.to_str().unwrap(),
+                "--templates",
+                artifact.to_str().unwrap(),
+                "--output",
+                rows.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let metrics = String::from_utf8(out).unwrap();
+        assert!(metrics.contains("\"snapshot_version\""), "{metrics}");
+        assert!(metrics.contains("\"swaps\": 0"), "{metrics}");
+        let rows_text = fs::read_to_string(&rows).unwrap();
+        assert_eq!(rows_text.lines().count(), 300, "every record extracted");
+
+        // Without --output the rows stream to stdout directly.
+        let mut out = Vec::new();
+        run(
+            &args(&[
+                "serve",
+                path.to_str().unwrap(),
+                "--templates",
+                artifact.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), rows_text);
+
+        // A garbage artifact is a configuration error: exit code 2.
+        let bad = base.join("bad.json");
+        fs::write(&bad, "not an artifact").unwrap();
+        let mut out = Vec::new();
+        let err = run_cli(
+            &args(&[
+                "serve",
+                path.to_str().unwrap(),
+                "--templates",
+                bad.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+
+        fs::remove_dir_all(base).ok();
+        fs::remove_file(path).ok();
     }
 }

@@ -75,6 +75,18 @@ impl ExtractionBackend {
             ExtractionBackend::Legacy => "legacy",
         }
     }
+
+    /// Parses a backend name (`span` / `legacy`, case-insensitive), rejecting anything
+    /// else with [`Error::InvalidConfig`](crate::error::Error::InvalidConfig).
+    pub fn parse(value: &str) -> Result<Self, crate::error::Error> {
+        match value.trim() {
+            v if v.eq_ignore_ascii_case("span") => Ok(ExtractionBackend::Span),
+            v if v.eq_ignore_ascii_case("legacy") => Ok(ExtractionBackend::Legacy),
+            other => Err(crate::error::Error::InvalidConfig(format!(
+                "unknown extraction backend `{other}` (expected `span` or `legacy`)"
+            ))),
+        }
+    }
 }
 
 /// Which implementation the evaluation step (refinement scoring, §4.3) runs on.
@@ -125,6 +137,20 @@ impl EvaluationBackend {
     pub fn delta_enabled(&self) -> bool {
         matches!(self, EvaluationBackend::Span)
     }
+
+    /// Parses a backend name (`span` / `span-full` / `legacy`, case-insensitive),
+    /// rejecting anything else with
+    /// [`Error::InvalidConfig`](crate::error::Error::InvalidConfig).
+    pub fn parse(value: &str) -> Result<Self, crate::error::Error> {
+        match value.trim() {
+            v if v.eq_ignore_ascii_case("span") => Ok(EvaluationBackend::Span),
+            v if v.eq_ignore_ascii_case("span-full") => Ok(EvaluationBackend::SpanFull),
+            v if v.eq_ignore_ascii_case("legacy") => Ok(EvaluationBackend::Legacy),
+            other => Err(crate::error::Error::InvalidConfig(format!(
+                "unknown evaluation backend `{other}` (expected `span`, `span-full`, or `legacy`)"
+            ))),
+        }
+    }
 }
 
 /// How the span engine answers the per-line *"which template matches here?"* question when
@@ -158,27 +184,71 @@ impl MatchingBackend {
         }
     }
 
+    /// Parses a backend name (`fused` / `trial`, case-insensitive), rejecting anything
+    /// else with [`Error::InvalidConfig`](crate::error::Error::InvalidConfig).
+    pub fn parse(value: &str) -> Result<Self, crate::error::Error> {
+        match value.trim() {
+            v if v.eq_ignore_ascii_case("fused") => Ok(MatchingBackend::Fused),
+            v if v.eq_ignore_ascii_case("trial") => Ok(MatchingBackend::Trial),
+            other => Err(crate::error::Error::InvalidConfig(format!(
+                "unknown matching backend `{other}` (expected `fused` or `trial`)"
+            ))),
+        }
+    }
+
     /// The backend selected by `DATAMARAN_MATCHING_BACKEND` (`fused` / `trial`), falling
     /// back to the default on absent or unrecognized values.  Read by every matcher
     /// constructor that is not handed an explicit backend, so the weekly soak matrix can
-    /// flip the whole engine from the environment.
+    /// flip the whole engine from the environment.  The strict counterpart used by the
+    /// builder is [`MatchingBackend::from_env_strict`].
     pub fn from_env() -> Self {
+        std::env::var("DATAMARAN_MATCHING_BACKEND")
+            .ok()
+            .and_then(|v| Self::parse(&v).ok())
+            .unwrap_or_default()
+    }
+
+    /// Like [`MatchingBackend::from_env`], but a present-yet-unparsable value is an
+    /// [`Error::InvalidConfig`](crate::error::Error::InvalidConfig) instead of a silent
+    /// fallback to the default.
+    pub fn from_env_strict() -> Result<Self, crate::error::Error> {
         match std::env::var("DATAMARAN_MATCHING_BACKEND") {
-            Ok(v) if v.trim().eq_ignore_ascii_case("trial") => MatchingBackend::Trial,
-            Ok(v) if v.trim().eq_ignore_ascii_case("fused") => MatchingBackend::Fused,
-            _ => MatchingBackend::default(),
+            Err(_) => Ok(Self::default()),
+            Ok(v) => Self::parse(&v).map_err(|_| {
+                crate::error::Error::InvalidConfig(format!(
+                    "DATAMARAN_MATCHING_BACKEND: unknown matching backend `{}` \
+                     (expected `fused` or `trial`)",
+                    v.trim()
+                ))
+            }),
         }
     }
 }
 
 /// Reads a worker-thread override from the environment (used by the scheduled CI job that
 /// soaks the multi-thread merge paths on hosts with real cores; dev boxes and default runs
-/// are unaffected).  Invalid or absent values fall back to `default`.
+/// are unaffected).  Invalid or absent values fall back to `default`.  The strict
+/// counterpart used by [`DatamaranConfigBuilder`] is [`env_threads_strict`].
 fn env_threads(var: &str, default: usize) -> usize {
     std::env::var(var)
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .unwrap_or(default)
+}
+
+/// Like [`env_threads`], but a present-yet-unparsable value is an
+/// [`Error::InvalidConfig`](crate::error::Error::InvalidConfig) instead of a silent
+/// fallback.
+fn env_threads_strict(var: &str, default: usize) -> Result<usize, crate::error::Error> {
+    match std::env::var(var) {
+        Err(_) => Ok(default),
+        Ok(v) => v.trim().parse::<usize>().map_err(|_| {
+            crate::error::Error::InvalidConfig(format!(
+                "{var}: invalid thread count `{}` (expected a non-negative integer; 0 = auto)",
+                v.trim()
+            ))
+        }),
+    }
 }
 
 /// Parameters of the Datamaran algorithm.
@@ -253,7 +323,25 @@ pub struct DatamaranConfig {
 }
 
 impl Default for DatamaranConfig {
+    /// The paper defaults with **lenient** environment pickup: the soak matrix flips
+    /// backends and thread counts via `DATAMARAN_*` variables, and absent or malformed
+    /// values silently fall back.  Use [`DatamaranConfig::builder`] when malformed
+    /// environment values should be an error instead.
     fn default() -> Self {
+        DatamaranConfig {
+            generation_threads: env_threads("DATAMARAN_GENERATION_THREADS", 0),
+            matching_backend: MatchingBackend::from_env(),
+            extraction_threads: env_threads("DATAMARAN_EXTRACTION_THREADS", 0),
+            evaluation_threads: env_threads("DATAMARAN_EVALUATION_THREADS", 0),
+            ..Self::compiled_defaults()
+        }
+    }
+}
+
+impl DatamaranConfig {
+    /// The compiled-in defaults, with **no** environment variable consulted — the base
+    /// every builder and the lenient [`Default`] start from.
+    fn compiled_defaults() -> Self {
         DatamaranConfig {
             alpha: 0.10,
             max_line_span: 10,
@@ -268,17 +356,23 @@ impl Default for DatamaranConfig {
             refine: true,
             seed: 0x5eed_0001,
             generation_backend: GenerationBackend::default(),
-            generation_threads: env_threads("DATAMARAN_GENERATION_THREADS", 0),
+            generation_threads: 0,
             extraction_backend: ExtractionBackend::default(),
-            matching_backend: MatchingBackend::from_env(),
-            extraction_threads: env_threads("DATAMARAN_EXTRACTION_THREADS", 0),
+            matching_backend: MatchingBackend::default(),
+            extraction_threads: 0,
             evaluation_backend: EvaluationBackend::default(),
-            evaluation_threads: env_threads("DATAMARAN_EVALUATION_THREADS", 0),
+            evaluation_threads: 0,
         }
     }
-}
 
-impl DatamaranConfig {
+    /// Starts a [`DatamaranConfigBuilder`]: typed setters over the compiled defaults, with
+    /// **strict** environment parsing and validation at [`build`](DatamaranConfigBuilder::build)
+    /// time — a malformed `DATAMARAN_*` value is an
+    /// [`Error::InvalidConfig`](crate::error::Error::InvalidConfig), not a silent default.
+    pub fn builder() -> DatamaranConfigBuilder {
+        DatamaranConfigBuilder::default()
+    }
+
     /// The paper's default configuration (`α = 10%`, `L = 10`, `M = 50`, exhaustive search).
     pub fn paper_defaults() -> Self {
         Self::default()
@@ -416,6 +510,217 @@ impl DatamaranConfig {
     }
 }
 
+/// Typed, validating builder for [`DatamaranConfig`] — the strict counterpart of the
+/// lenient [`Default`] impl.
+///
+/// Every knob has a typed setter; knobs the builder is not given explicitly are resolved
+/// at [`build`](Self::build) time: the four environment-covered knobs
+/// (`DATAMARAN_GENERATION_THREADS`, `DATAMARAN_EXTRACTION_THREADS`,
+/// `DATAMARAN_EVALUATION_THREADS`, `DATAMARAN_MATCHING_BACKEND`) are parsed **strictly**
+/// (a present-yet-malformed value is [`Error::InvalidConfig`](crate::error::Error::InvalidConfig),
+/// which the CLI maps to exit code 2), everything else takes the compiled default.  The
+/// built config is always [`validate`](DatamaranConfig::validate)d, so zero/NaN thresholds
+/// never escape the builder.
+///
+/// ```
+/// use datamaran_core::DatamaranConfig;
+/// let config = DatamaranConfig::builder()
+///     .alpha(0.05)
+///     .prune_keep(100)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.prune_keep, 100);
+/// assert!(DatamaranConfig::builder().alpha(f64::NAN).build().is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DatamaranConfigBuilder {
+    alpha: Option<f64>,
+    max_line_span: Option<usize>,
+    prune_keep: Option<usize>,
+    search: Option<SearchStrategy>,
+    special_chars: Option<CharSet>,
+    sample_bytes: Option<usize>,
+    sample_chunks: Option<usize>,
+    max_record_types: Option<usize>,
+    beam_width: Option<usize>,
+    max_exhaustive_chars: Option<usize>,
+    refine: Option<bool>,
+    seed: Option<u64>,
+    generation_backend: Option<GenerationBackend>,
+    generation_threads: Option<usize>,
+    extraction_backend: Option<ExtractionBackend>,
+    matching_backend: Option<MatchingBackend>,
+    extraction_threads: Option<usize>,
+    evaluation_backend: Option<EvaluationBackend>,
+    evaluation_threads: Option<usize>,
+}
+
+impl DatamaranConfigBuilder {
+    /// Sets the minimum coverage threshold `α` (fraction in `(0, 1]`).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Sets the maximum record span `L`.
+    pub fn max_line_span(mut self, l: usize) -> Self {
+        self.max_line_span = Some(l);
+        self
+    }
+
+    /// Sets the number of templates kept after pruning, `M`.
+    pub fn prune_keep(mut self, m: usize) -> Self {
+        self.prune_keep = Some(m);
+        self
+    }
+
+    /// Sets the `RT-CharSet` enumeration strategy.
+    pub fn search(mut self, search: SearchStrategy) -> Self {
+        self.search = Some(search);
+        self
+    }
+
+    /// Sets the candidate pool of formatting characters.
+    pub fn special_chars(mut self, chars: CharSet) -> Self {
+        self.special_chars = Some(chars);
+        self
+    }
+
+    /// Sets the sampling budget in bytes.
+    pub fn sample_bytes(mut self, bytes: usize) -> Self {
+        self.sample_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the number of contiguous sample chunks.
+    pub fn sample_chunks(mut self, chunks: usize) -> Self {
+        self.sample_chunks = Some(chunks);
+        self
+    }
+
+    /// Sets the maximum number of record types extracted from an interleaved dataset.
+    pub fn max_record_types(mut self, n: usize) -> Self {
+        self.max_record_types = Some(n);
+        self
+    }
+
+    /// Sets the first-iteration beam width (`1` = the paper's greedy).
+    pub fn beam_width(mut self, k: usize) -> Self {
+        self.beam_width = Some(k);
+        self
+    }
+
+    /// Sets the exhaustive-search character-count bound.
+    pub fn max_exhaustive_chars(mut self, c: usize) -> Self {
+        self.max_exhaustive_chars = Some(c);
+        self
+    }
+
+    /// Toggles the §4.3 structure-refinement techniques.
+    pub fn refine(mut self, refine: bool) -> Self {
+        self.refine = Some(refine);
+        self
+    }
+
+    /// Sets the sampling RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the generation backend.
+    pub fn generation_backend(mut self, backend: GenerationBackend) -> Self {
+        self.generation_backend = Some(backend);
+        self
+    }
+
+    /// Sets the generation worker-thread count (`0` = auto), overriding
+    /// `DATAMARAN_GENERATION_THREADS`.
+    pub fn generation_threads(mut self, threads: usize) -> Self {
+        self.generation_threads = Some(threads);
+        self
+    }
+
+    /// Sets the extraction backend.
+    pub fn extraction_backend(mut self, backend: ExtractionBackend) -> Self {
+        self.extraction_backend = Some(backend);
+        self
+    }
+
+    /// Sets the multi-template matching backend, overriding `DATAMARAN_MATCHING_BACKEND`.
+    pub fn matching_backend(mut self, backend: MatchingBackend) -> Self {
+        self.matching_backend = Some(backend);
+        self
+    }
+
+    /// Sets the extraction worker-thread count (`0` = auto), overriding
+    /// `DATAMARAN_EXTRACTION_THREADS`.
+    pub fn extraction_threads(mut self, threads: usize) -> Self {
+        self.extraction_threads = Some(threads);
+        self
+    }
+
+    /// Sets the evaluation backend.
+    pub fn evaluation_backend(mut self, backend: EvaluationBackend) -> Self {
+        self.evaluation_backend = Some(backend);
+        self
+    }
+
+    /// Sets the evaluation worker-thread count (`0` = auto), overriding
+    /// `DATAMARAN_EVALUATION_THREADS`.
+    pub fn evaluation_threads(mut self, threads: usize) -> Self {
+        self.evaluation_threads = Some(threads);
+        self
+    }
+
+    /// Resolves unset knobs (strict environment parsing for the env-covered ones, compiled
+    /// defaults for the rest) and validates the result.
+    pub fn build(self) -> Result<DatamaranConfig, crate::error::Error> {
+        let base = DatamaranConfig::compiled_defaults();
+        let generation_threads = match self.generation_threads {
+            Some(t) => t,
+            None => env_threads_strict("DATAMARAN_GENERATION_THREADS", 0)?,
+        };
+        let extraction_threads = match self.extraction_threads {
+            Some(t) => t,
+            None => env_threads_strict("DATAMARAN_EXTRACTION_THREADS", 0)?,
+        };
+        let evaluation_threads = match self.evaluation_threads {
+            Some(t) => t,
+            None => env_threads_strict("DATAMARAN_EVALUATION_THREADS", 0)?,
+        };
+        let matching_backend = match self.matching_backend {
+            Some(b) => b,
+            None => MatchingBackend::from_env_strict()?,
+        };
+        let config = DatamaranConfig {
+            alpha: self.alpha.unwrap_or(base.alpha),
+            max_line_span: self.max_line_span.unwrap_or(base.max_line_span),
+            prune_keep: self.prune_keep.unwrap_or(base.prune_keep),
+            search: self.search.unwrap_or(base.search),
+            special_chars: self.special_chars.unwrap_or(base.special_chars),
+            sample_bytes: self.sample_bytes.unwrap_or(base.sample_bytes),
+            sample_chunks: self.sample_chunks.unwrap_or(base.sample_chunks),
+            max_record_types: self.max_record_types.unwrap_or(base.max_record_types),
+            beam_width: self.beam_width.unwrap_or(base.beam_width),
+            max_exhaustive_chars: self
+                .max_exhaustive_chars
+                .unwrap_or(base.max_exhaustive_chars),
+            refine: self.refine.unwrap_or(base.refine),
+            seed: self.seed.unwrap_or(base.seed),
+            generation_backend: self.generation_backend.unwrap_or(base.generation_backend),
+            generation_threads,
+            extraction_backend: self.extraction_backend.unwrap_or(base.extraction_backend),
+            matching_backend,
+            extraction_threads,
+            evaluation_backend: self.evaluation_backend.unwrap_or(base.evaluation_backend),
+            evaluation_threads,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +784,70 @@ mod tests {
             ..DatamaranConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_resolves_defaults_and_overrides() {
+        let c = DatamaranConfig::builder()
+            .alpha(0.2)
+            .max_line_span(6)
+            .beam_width(1)
+            .matching_backend(MatchingBackend::Trial)
+            .extraction_threads(2)
+            .build()
+            .unwrap();
+        assert!((c.alpha - 0.2).abs() < 1e-9);
+        assert_eq!(c.max_line_span, 6);
+        assert_eq!(c.beam_width, 1);
+        assert_eq!(c.matching_backend, MatchingBackend::Trial);
+        assert_eq!(c.extraction_threads, 2);
+        // Unset knobs resolve to the same values the lenient default carries (in a clean
+        // environment both read the compiled defaults).
+        assert_eq!(c.prune_keep, 50);
+        assert_eq!(c.search, SearchStrategy::Exhaustive);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_thresholds() {
+        assert!(DatamaranConfig::builder().alpha(0.0).build().is_err());
+        assert!(DatamaranConfig::builder().alpha(f64::NAN).build().is_err());
+        assert!(DatamaranConfig::builder().alpha(1.5).build().is_err());
+        assert!(DatamaranConfig::builder().max_line_span(0).build().is_err());
+        assert!(DatamaranConfig::builder().prune_keep(0).build().is_err());
+        assert!(DatamaranConfig::builder().sample_bytes(0).build().is_err());
+        assert!(DatamaranConfig::builder().beam_width(0).build().is_err());
+        let err = DatamaranConfig::builder()
+            .special_chars(crate::chars::CharSet::from_chars(",".chars()))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, crate::error::Error::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn backend_parse_accepts_names_and_rejects_unknowns() {
+        assert_eq!(
+            MatchingBackend::parse(" Fused ").unwrap(),
+            MatchingBackend::Fused
+        );
+        assert_eq!(
+            MatchingBackend::parse("trial").unwrap(),
+            MatchingBackend::Trial
+        );
+        assert!(MatchingBackend::parse("dfa").is_err());
+        assert_eq!(
+            ExtractionBackend::parse("span").unwrap(),
+            ExtractionBackend::Span
+        );
+        assert_eq!(
+            ExtractionBackend::parse("LEGACY").unwrap(),
+            ExtractionBackend::Legacy
+        );
+        assert!(ExtractionBackend::parse("tree").is_err());
+        assert_eq!(
+            EvaluationBackend::parse("span-full").unwrap(),
+            EvaluationBackend::SpanFull
+        );
+        assert!(EvaluationBackend::parse("").is_err());
     }
 
     #[test]

@@ -84,6 +84,11 @@ pub enum Error {
         /// The observed value that violated it.
         observed: u64,
     },
+    /// A saved template artifact could not be parsed or failed its integrity checks
+    /// (unknown format tag, unsupported version, checksum mismatch, malformed template
+    /// encoding).  Surfaced by [`crate::artifact`]; the CLI maps it to the same exit code
+    /// as a bad configuration, since the fix is operator action, not a retry.
+    Artifact(String),
 }
 
 impl Error {
@@ -177,6 +182,7 @@ impl fmt::Display for Error {
                 "resource budget `{}` exceeded: observed {observed}, limit {limit}",
                 budget.name()
             ),
+            Error::Artifact(msg) => write!(f, "template artifact error: {msg}"),
         }
     }
 }

@@ -13,7 +13,7 @@
 //! * **JSON Lines** serialization of the per-record values ([`all_records_jsonl`]);
 //! * push-based **streaming sinks** ([`RecordSink`], [`CsvSink`], [`JsonLinesSink`],
 //!   [`CountingSink`], [`Tee`]) fed by
-//!   [`extract_stream_sink`](crate::streaming::extract_stream_sink): records are serialized
+//!   [`StreamSession`](crate::streaming::StreamSession): records are serialized
 //!   straight from the chunk window's text without ever materializing a [`Table`], and the
 //!   emitted bytes are **identical** to the materialized serializers above (enforced by
 //!   `tests/streaming_export_equivalence.rs`);
@@ -37,7 +37,7 @@ use crate::relational::{build_schema, RowIdSynth, Schema, Table};
 use crate::semtype::{
     annotate_table, ColumnAnnotation, CompositeColumn, SemanticType, TableAnnotation,
 };
-use crate::streaming::{StreamRecord, StreamSummary};
+use crate::streaming::{StreamRecord, StreamSummary, WindowUnmatched};
 use crate::structure::{Node, StructureTemplate};
 use std::io::{self, Write};
 use std::time::Duration;
@@ -576,7 +576,7 @@ pub fn all_tables_csv(result: &ExtractionResult) -> Vec<(String, String)> {
 
 /// A push-based consumer of streaming extraction records.
 ///
-/// [`extract_stream_sink`](crate::streaming::extract_stream_sink) drives the sink:
+/// [`StreamSession`](crate::streaming::StreamSession) drives the sink:
 /// [`begin`](Self::begin) once with the templates discovered on the stream head,
 /// [`record`](Self::record) once per extracted record (a zero-copy [`StreamRecord`] view
 /// over the current chunk window), and [`finish`](Self::finish) once at end of stream.
@@ -1269,6 +1269,8 @@ pub struct StreamReport {
     pub peak_window_bytes: usize,
     /// Wall-clock seconds spent inside the sink callbacks.
     pub sink_seconds: f64,
+    /// Wall-clock seconds spent matching templates against window text.
+    pub match_seconds: f64,
     /// Lines diverted to the quarantine (all reasons).
     pub quarantined_lines: usize,
     /// Input lines that were not valid UTF-8 (processed lossily).
@@ -1285,6 +1287,9 @@ pub struct StreamReport {
     pub match_stats: MatchStats,
     /// The same counters per processed window, in window order.
     pub window_match_stats: Vec<MatchStats>,
+    /// Per-window line and unmatched-line counts, in window order — the drift signal the
+    /// serving layer's metrics endpoint shares with this report.
+    pub window_unmatched: Vec<WindowUnmatched>,
 }
 
 /// Serializes one [`MatchStats`] as a JSON object.
@@ -1338,6 +1343,7 @@ impl StreamReport {
             windows: summary.windows,
             peak_window_bytes: summary.peak_window_bytes,
             sink_seconds: summary.sink_seconds,
+            match_seconds: summary.match_seconds,
             quarantined_lines: summary.quarantined_lines,
             invalid_utf8_lines: summary.invalid_utf8_lines,
             oversized_lines: summary.oversized_lines,
@@ -1345,11 +1351,18 @@ impl StreamReport {
             templates: summary.templates.iter().map(|t| t.to_string()).collect(),
             match_stats: summary.match_stats(),
             window_match_stats: summary.window_match_stats.clone(),
+            window_unmatched: summary.window_unmatched.clone(),
         }
     }
 
     /// Serializes the report as pretty-printed JSON.
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_pretty()
+    }
+
+    /// The report as a [`JsonValue`] tree, for callers that nest it inside a larger
+    /// document (the serve metrics endpoint wraps it in a `stream` section).
+    pub fn to_json_value(&self) -> JsonValue {
         JsonValue::Object(vec![
             ("records".into(), num(self.records)),
             ("noise_lines".into(), num(self.noise_lines)),
@@ -1358,6 +1371,10 @@ impl StreamReport {
             ("windows".into(), num(self.windows)),
             ("peak_window_bytes".into(), num(self.peak_window_bytes)),
             ("sink_seconds".into(), JsonValue::Number(self.sink_seconds)),
+            (
+                "match_seconds".into(),
+                JsonValue::Number(self.match_seconds),
+            ),
             ("quarantined_lines".into(), num(self.quarantined_lines)),
             ("invalid_utf8_lines".into(), num(self.invalid_utf8_lines)),
             ("oversized_lines".into(), num(self.oversized_lines)),
@@ -1379,8 +1396,25 @@ impl StreamReport {
                         .collect(),
                 ),
             ),
+            (
+                "window_unmatched".into(),
+                JsonValue::Array(
+                    self.window_unmatched
+                        .iter()
+                        .map(|w| {
+                            JsonValue::Object(vec![
+                                ("lines".into(), num(w.lines)),
+                                ("unmatched".into(), num(w.unmatched)),
+                                (
+                                    "unmatched_rate".into(),
+                                    JsonValue::Number(w.unmatched_rate()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
-        .to_pretty()
     }
 
     /// Parses a report back from JSON.  The fault-tolerance fields are optional so reports
@@ -1402,6 +1436,7 @@ impl StreamReport {
             windows: v.require("windows")?.as_usize()?,
             peak_window_bytes: v.require("peak_window_bytes")?.as_usize()?,
             sink_seconds: v.require("sink_seconds")?.as_f64()?,
+            match_seconds: v.get("match_seconds").map_or(Ok(0.0), JsonValue::as_f64)?,
             quarantined_lines: opt_usize("quarantined_lines")?,
             invalid_utf8_lines: opt_usize("invalid_utf8_lines")?,
             oversized_lines: opt_usize("oversized_lines")?,
@@ -1418,6 +1453,21 @@ impl StreamReport {
                     .collect::<Result<_, _>>()?,
                 Some(_) => {
                     return Err(JsonError::shape("window_match_stats must be an array"));
+                }
+            },
+            window_unmatched: match v.get("window_unmatched") {
+                None | Some(JsonValue::Null) => Vec::new(),
+                Some(JsonValue::Array(items)) => items
+                    .iter()
+                    .map(|w| {
+                        Ok(WindowUnmatched {
+                            lines: w.require("lines")?.as_usize()?,
+                            unmatched: w.require("unmatched")?.as_usize()?,
+                        })
+                    })
+                    .collect::<Result<_, JsonError>>()?,
+                Some(_) => {
+                    return Err(JsonError::shape("window_unmatched must be an array"));
                 }
             },
         })
@@ -1569,6 +1619,7 @@ mod tests {
             windows: 4,
             peak_window_bytes: 2048,
             sink_seconds: 0.25,
+            match_seconds: 0.5,
             quarantined_lines: 2,
             invalid_utf8_lines: 1,
             oversized_lines: 1,
@@ -1594,6 +1645,16 @@ mod tests {
                     templates_pruned: 13,
                 },
             ],
+            window_unmatched: vec![
+                WindowUnmatched {
+                    lines: 8,
+                    unmatched: 2,
+                },
+                WindowUnmatched {
+                    lines: 7,
+                    unmatched: 1,
+                },
+            ],
         };
         let back = StreamReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back, report);
@@ -1615,11 +1676,13 @@ mod tests {
         assert_eq!(report.stopped_reason, None);
         assert_eq!(report.match_stats, MatchStats::default());
         assert!(report.window_match_stats.is_empty());
+        assert_eq!(report.match_seconds, 0.0);
+        assert!(report.window_unmatched.is_empty());
     }
 
     #[test]
     fn streaming_sinks_match_materialized_serializers() {
-        use crate::streaming::{extract_stream_sink, StreamOptions};
+        use crate::streaming::{StreamOptions, StreamSession};
         use std::io::Cursor;
         let text = sample_log();
         let engine = Datamaran::with_defaults();
@@ -1632,17 +1695,14 @@ mod tests {
                 CountingSink::default(),
             ),
         );
-        let summary = extract_stream_sink(
-            &engine,
-            Cursor::new(text.clone()),
-            StreamOptions {
+        let summary = StreamSession::new(&engine)
+            .options(StreamOptions {
                 head_bytes: 512,
                 window_bytes: 256,
                 ..StreamOptions::default()
-            },
-            &mut sink,
-        )
-        .unwrap();
+            })
+            .run(Cursor::new(text.clone()), &mut sink)
+            .unwrap();
         let Tee(csv, Tee(jsonl, counter)) = sink;
         assert_eq!(counter.records, result.record_count());
         assert_eq!(counter.per_template, vec![result.record_count()]);
@@ -1672,27 +1732,19 @@ mod tests {
 
     #[test]
     fn csv_sink_refuses_reuse_across_streams() {
-        use crate::streaming::{extract_stream_sink, StreamOptions};
+        use crate::streaming::StreamSession;
         use std::io::Cursor;
         let text = sample_log();
         let engine = Datamaran::with_defaults();
         let mut sink = CsvSink::new(|_name: &str| Ok(Vec::<u8>::new()));
-        extract_stream_sink(
-            &engine,
-            Cursor::new(text.clone()),
-            StreamOptions::default(),
-            &mut sink,
-        )
-        .unwrap();
+        StreamSession::new(&engine)
+            .run(Cursor::new(text.clone()), &mut sink)
+            .unwrap();
         // Driving the same sink for a second stream would truncate the first stream's
         // files and restart the row ids — it must fail loudly instead.
-        let err = extract_stream_sink(
-            &engine,
-            Cursor::new(text),
-            StreamOptions::default(),
-            &mut sink,
-        )
-        .unwrap_err();
+        let err = StreamSession::new(&engine)
+            .run(Cursor::new(text), &mut sink)
+            .unwrap_err();
         assert!(
             matches!(err, crate::error::Error::InvalidConfig(_)),
             "{err}"

@@ -299,7 +299,6 @@ impl SeqStore {
     fn tokens(&self, id: u32) -> &[TemplateToken] {
         &self.flat[self.offsets[id as usize] as usize..self.offsets[id as usize + 1] as usize]
     }
-
 }
 
 /// Line projections of the whole sample under one subset charset: per-line sequence ids

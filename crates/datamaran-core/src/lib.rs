@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifact;
 pub mod assimilation;
 pub mod chars;
 pub mod config;
@@ -66,14 +67,16 @@ pub mod refine;
 pub mod relational;
 pub mod scores;
 pub mod semtype;
+pub mod serve;
 pub mod span;
 pub mod streaming;
 pub mod structure;
 
+pub use artifact::{TemplateArtifact, ARTIFACT_FORMAT, ARTIFACT_VERSION};
 pub use chars::{default_special_chars, CharSet};
 pub use config::{
-    DatamaranConfig, EvaluationBackend, ExtractionBackend, GenerationBackend, MatchingBackend,
-    SearchStrategy,
+    DatamaranConfig, DatamaranConfigBuilder, EvaluationBackend, ExtractionBackend,
+    GenerationBackend, MatchingBackend, SearchStrategy,
 };
 pub use dataset::Dataset;
 pub use error::{BudgetKind, Error, Result};
@@ -110,11 +113,19 @@ pub use refine::{
 pub use relational::{to_denormalized, to_relational, Cell, RelationalOutput, RowIdSynth, Table};
 pub use scores::{NoisePenaltyScorer, NonFieldCoverageScorer, UntypedMdlScorer};
 pub use semtype::{annotate_result, annotate_table, SemanticType, TableAnnotation};
+pub use serve::{
+    merge_summaries, snapshot_from_artifact, ServeMetrics, ServeOptions, ServeSession,
+    SnapshotStore, TemplateSnapshot,
+};
 pub use span::{field_spans, tokenize_spans, LineIndex, SpanToken, SpanTokenKind};
+#[allow(deprecated)]
 pub use streaming::{
     extract_stream, extract_stream_sink, extract_stream_sink_guarded,
-    extract_stream_with_templates, extract_stream_with_templates_guarded, ErrorPolicy, OwnedRecord,
-    QuarantineEntry, QuarantineReason, QuarantineSink, StopReason, StreamBudgets, StreamOptions,
-    StreamRecord, StreamSummary, VecQuarantineSink, WindowUnmatched, WriteQuarantineSink,
+    extract_stream_with_templates, extract_stream_with_templates_guarded,
+};
+pub use streaming::{
+    ErrorPolicy, OwnedRecord, QuarantineEntry, QuarantineReason, QuarantineSink, StopReason,
+    StreamBudgets, StreamOptions, StreamRecord, StreamSession, StreamSummary, VecQuarantineSink,
+    WindowUnmatched, WriteQuarantineSink,
 };
 pub use structure::{Node, StructureTemplate};

@@ -167,14 +167,16 @@ impl Datamaran {
     /// `sink` — the out-of-core counterpart of [`extract`](Self::extract): structure is
     /// discovered on the stream head, then the whole stream is extracted window by window
     /// in `O(head + window)` memory.  See
-    /// [`extract_stream_sink`](crate::streaming::extract_stream_sink).
+    /// [`StreamSession`](crate::streaming::StreamSession).
     pub fn stream<R: std::io::BufRead, S: crate::export::RecordSink + ?Sized>(
         &self,
         reader: R,
         options: crate::streaming::StreamOptions,
         sink: &mut S,
     ) -> Result<crate::streaming::StreamSummary> {
-        crate::streaming::extract_stream_sink(self, reader, options, sink)
+        crate::streaming::StreamSession::new(self)
+            .options(options)
+            .run(reader, sink)
     }
 
     /// [`stream`](Self::stream) with a quarantine sink attached: under
@@ -187,7 +189,11 @@ impl Datamaran {
         sink: &mut S,
         quarantine: Option<&mut dyn crate::streaming::QuarantineSink>,
     ) -> Result<crate::streaming::StreamSummary> {
-        crate::streaming::extract_stream_sink_guarded(self, reader, options, sink, quarantine)
+        let mut session = crate::streaming::StreamSession::new(self).options(options);
+        if let Some(q) = quarantine {
+            session = session.quarantine(q);
+        }
+        session.run(reader, sink)
     }
 
     /// Runs the full pipeline with a caller-supplied regularity score function.

@@ -1,0 +1,838 @@
+//! The serving core of a resident ingest daemon: discover once, match forever, and
+//! hot-swap the template set when the stream drifts.
+//!
+//! Batch extraction ([`crate::streaming`]) reads a stream it owns from start to end.  A
+//! *service* is push-based and long-lived: lines arrive over sockets for days, the
+//! template set must be shared by many connections, and the data eventually drifts away
+//! from the templates that were discovered at deploy time.  This module supplies the three
+//! pieces that turn the batch engine into that service:
+//!
+//! * [`TemplateSnapshot`] — an immutable, compiled template set (the PR 8 fused
+//!   [`SpanLineMatcher`] plus its source templates) behind an `Arc`.  Matching takes
+//!   `&self`; per-session [`SpanScratch`] arenas carry all mutable state, so one snapshot
+//!   serves any number of threads.
+//! * [`SnapshotStore`] — the atomically swappable current snapshot.  Readers clone the
+//!   `Arc` out of a read lock (held for nanoseconds — never across a match), writers
+//!   install a new snapshot with [`swap`](SnapshotStore::swap).  Sessions already holding
+//!   the old `Arc` finish their window on it and pick up the new one at the next window
+//!   boundary: no torn reads, no blocking of the hot path.
+//! * [`ServeSession`] — the per-connection processor: buffers pushed lines, decides them
+//!   window by window with the same safe-limit carry-over rule as the batch loop, tracks
+//!   the per-window unmatched rate ([`WindowUnmatched`]), accumulates unmatched lines in a
+//!   bounded **residual buffer**, and — when the rate degrades past the configured
+//!   threshold — re-runs discovery on that residual and publishes the merged template set
+//!   as a new snapshot (*online inference*).
+//!
+//! The lifecycle hand-off in and out of this module is the [`TemplateArtifact`]: `discover
+//! --save-templates` writes one, [`snapshot_from_artifact`] turns it into the initial
+//! snapshot, and the serve path never runs discovery on the hot path again unless drift
+//! forces it.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::artifact::TemplateArtifact;
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use crate::export::{RecordSink, StreamReport};
+use crate::extract::{SpanLineMatcher, SpanScratch};
+use crate::json::JsonValue;
+use crate::parser::FieldCell;
+use crate::pipeline::Datamaran;
+use crate::streaming::{StreamRecord, StreamSummary, WindowUnmatched};
+use crate::structure::StructureTemplate;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Tuning of the online-inference loop.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Lines buffered per decision window: larger windows amortize matching, smaller ones
+    /// give a finer-grained drift signal.
+    pub window_lines: usize,
+    /// Unmatched-rate threshold (fraction in `(0, 1]`): a window whose rate reaches this
+    /// triggers a rediscovery attempt on the residual buffer.
+    pub drift_threshold: f64,
+    /// Minimum residual lines before a rediscovery attempt — discovery on a handful of
+    /// lines produces junk templates.
+    pub min_residual_lines: usize,
+    /// Byte cap of the residual buffer; when full, the oldest residual lines are dropped.
+    pub residual_bytes: usize,
+    /// Whether drift triggers rediscovery at all (`false` = monitor-only: the rate is
+    /// still tracked, the snapshot never changes).
+    pub rediscover: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            window_lines: 256,
+            drift_threshold: 0.5,
+            min_residual_lines: 64,
+            residual_bytes: 1024 * 1024,
+            rediscover: true,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Validates the tuning, returning [`Error::InvalidConfig`] for out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        if self.window_lines == 0 {
+            return Err(Error::InvalidConfig("window_lines must be >= 1".into()));
+        }
+        if !(self.drift_threshold > 0.0 && self.drift_threshold <= 1.0) {
+            return Err(Error::InvalidConfig(format!(
+                "drift_threshold must be in (0, 1], got {}",
+                self.drift_threshold
+            )));
+        }
+        if self.min_residual_lines == 0 {
+            return Err(Error::InvalidConfig(
+                "min_residual_lines must be >= 1".into(),
+            ));
+        }
+        if self.residual_bytes == 0 {
+            return Err(Error::InvalidConfig("residual_bytes must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the window size in lines.
+    pub fn with_window_lines(mut self, lines: usize) -> Self {
+        self.window_lines = lines;
+        self
+    }
+
+    /// Builder-style setter for the drift threshold.
+    pub fn with_drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = threshold;
+        self
+    }
+
+    /// Builder-style setter for the minimum residual size.
+    pub fn with_min_residual_lines(mut self, lines: usize) -> Self {
+        self.min_residual_lines = lines;
+        self
+    }
+
+    /// Builder-style setter for the rediscovery toggle.
+    pub fn with_rediscover(mut self, on: bool) -> Self {
+        self.rediscover = on;
+        self
+    }
+}
+
+/// One immutable, compiled template set.  Matching is `&self` (all mutable state lives in
+/// the caller's [`SpanScratch`]), so a snapshot behind an `Arc` serves any number of
+/// sessions and threads simultaneously.
+pub struct TemplateSnapshot {
+    version: u64,
+    templates: Vec<StructureTemplate>,
+    matcher: SpanLineMatcher,
+    max_line_span: usize,
+}
+
+impl TemplateSnapshot {
+    /// Compiles a snapshot from templates, using the engine's extraction configuration
+    /// (`max_line_span` bound, matching backend).  Empty sets are rejected.
+    pub fn compile(
+        version: u64,
+        templates: Vec<StructureTemplate>,
+        engine: &Datamaran,
+    ) -> Result<Self> {
+        if templates.is_empty() {
+            return Err(Error::NoStructureFound);
+        }
+        let max_line_span = engine.config().max_line_span;
+        let matcher = SpanLineMatcher::with_backend(
+            &templates,
+            max_line_span,
+            engine.config().matching_backend,
+        );
+        Ok(TemplateSnapshot {
+            version,
+            templates,
+            matcher,
+            max_line_span,
+        })
+    }
+
+    /// The snapshot's monotonically increasing version (1 = the initial snapshot).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The source templates, in match-priority order.
+    pub fn templates(&self) -> &[StructureTemplate] {
+        &self.templates
+    }
+
+    /// The compiled matcher.
+    pub fn matcher(&self) -> &SpanLineMatcher {
+        &self.matcher
+    }
+
+    /// The record-span bound the matcher was compiled under.
+    pub fn max_line_span(&self) -> usize {
+        self.max_line_span
+    }
+}
+
+/// Builds the initial snapshot (version 1) from a saved [`TemplateArtifact`] — the
+/// `discover --save-templates` → `serve --templates` hand-off.  The matcher is recompiled
+/// with the artifact's own `max_line_span` and backend, so serving behaves byte-identically
+/// to the discovering engine.
+pub fn snapshot_from_artifact(artifact: &TemplateArtifact) -> TemplateSnapshot {
+    TemplateSnapshot {
+        version: 1,
+        templates: artifact.templates.clone(),
+        matcher: artifact.matcher(),
+        max_line_span: artifact.max_line_span,
+    }
+}
+
+/// The atomically swappable current snapshot shared by every session of a daemon.
+///
+/// Readers take the read lock only long enough to clone the `Arc`; the write lock is held
+/// only for the pointer swap.  Neither is ever held across matching or discovery, so
+/// readers never block meaningfully and a swap is a single atomic publication point.
+pub struct SnapshotStore {
+    inner: RwLock<Arc<TemplateSnapshot>>,
+    next_version: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// Creates a store serving `initial`.
+    pub fn new(initial: TemplateSnapshot) -> Self {
+        let next = initial.version + 1;
+        SnapshotStore {
+            inner: RwLock::new(Arc::new(initial)),
+            next_version: AtomicU64::new(next),
+        }
+    }
+
+    /// The current snapshot (cheap: one `Arc` clone under a read lock).
+    pub fn current(&self) -> Arc<TemplateSnapshot> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The current snapshot's version.
+    pub fn version(&self) -> u64 {
+        self.current().version
+    }
+
+    /// Claims the next snapshot version (unique across concurrent swappers).
+    pub fn claim_version(&self) -> u64 {
+        self.next_version.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Atomically installs `next` as the current snapshot, returning the one it replaced.
+    /// Sessions already holding the old `Arc` finish their window on it; they pick up
+    /// `next` at their next window boundary.
+    pub fn swap(&self, next: Arc<TemplateSnapshot>) -> Arc<TemplateSnapshot> {
+        let mut slot = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        std::mem::replace(&mut *slot, next)
+    }
+}
+
+/// A point-in-time view of a session's serving counters (everything the `/metrics`
+/// endpoint and the end-of-connection report expose).
+#[derive(Clone, Debug)]
+pub struct ServeMetrics {
+    /// The streaming counters, window histories included — the same shape as a batch
+    /// [`StreamSummary`], so [`StreamReport`] serializes both.
+    pub summary: StreamSummary,
+    /// Version of the snapshot the session is currently matching with.
+    pub snapshot_version: u64,
+    /// Hot swaps this session performed (drift-triggered rediscoveries that published).
+    pub swaps: u64,
+    /// Rediscovery attempts that found no new structure (the residual keeps accumulating).
+    pub rediscover_failures: u64,
+    /// Lines currently in the residual buffer.
+    pub residual_lines: usize,
+    /// Bytes currently in the residual buffer.
+    pub residual_bytes: usize,
+    /// Residual lines dropped because the buffer was full.
+    pub residual_dropped: usize,
+}
+
+impl ServeMetrics {
+    /// Renders the metrics as one JSON document: a `stream` section sharing the
+    /// [`StreamReport`] schema byte-for-byte with the pipeline's JSON report, plus a
+    /// `serve` section with the snapshot/drift counters.
+    pub fn to_json(&self) -> String {
+        let report = StreamReport::new(&self.summary);
+        JsonValue::Object(vec![
+            ("stream".into(), report.to_json_value()),
+            (
+                "serve".into(),
+                JsonValue::Object(vec![
+                    (
+                        "snapshot_version".into(),
+                        JsonValue::Number(self.snapshot_version as f64),
+                    ),
+                    ("swaps".into(), JsonValue::Number(self.swaps as f64)),
+                    (
+                        "rediscover_failures".into(),
+                        JsonValue::Number(self.rediscover_failures as f64),
+                    ),
+                    (
+                        "residual_lines".into(),
+                        JsonValue::Number(self.residual_lines as f64),
+                    ),
+                    (
+                        "residual_bytes".into(),
+                        JsonValue::Number(self.residual_bytes as f64),
+                    ),
+                    (
+                        "residual_dropped".into(),
+                        JsonValue::Number(self.residual_dropped as f64),
+                    ),
+                ]),
+            ),
+        ])
+        .to_pretty()
+    }
+}
+
+/// Folds one session's finished counters into a daemon-wide aggregate (used by the
+/// daemon's `/metrics` endpoint across connections).  Scalar counters add, window
+/// histories concatenate, the peak takes the max, and the aggregate adopts the newer
+/// template set.
+pub fn merge_summaries(total: &mut StreamSummary, part: &StreamSummary) {
+    total.records += part.records;
+    total.noise_lines += part.noise_lines;
+    total.bytes_processed += part.bytes_processed;
+    total.lines_processed += part.lines_processed;
+    total.windows += part.windows;
+    total.peak_window_bytes = total.peak_window_bytes.max(part.peak_window_bytes);
+    total.sink_seconds += part.sink_seconds;
+    total.match_seconds += part.match_seconds;
+    total.quarantined_lines += part.quarantined_lines;
+    total.quarantined_bytes += part.quarantined_bytes;
+    total.invalid_utf8_lines += part.invalid_utf8_lines;
+    total.oversized_lines += part.oversized_lines;
+    total
+        .window_unmatched
+        .extend(part.window_unmatched.iter().copied());
+    total
+        .window_match_stats
+        .extend(part.window_match_stats.iter().copied());
+    if !part.templates.is_empty() {
+        total.templates = part.templates.clone();
+    }
+    if part.stopped_reason.is_some() {
+        total.stopped_reason = part.stopped_reason;
+    }
+}
+
+/// The per-connection serving processor: push lines in, records come out of the sink,
+/// drift comes out as hot swaps.
+///
+/// The session holds its own `Arc` of the current snapshot and refreshes it from the
+/// [`SnapshotStore`] at window boundaries — a swap published by any session (or an
+/// external writer) propagates to every session without interrupting in-flight windows.
+/// On every snapshot change the sink's [`begin`](RecordSink::begin) is re-invoked with the
+/// new template set (serving sinks must tolerate re-begin; the JSON Lines sink does, the
+/// CSV sink — whose column set is fixed at begin — does not and is not a serving sink).
+pub struct ServeSession<'a> {
+    engine: &'a Datamaran,
+    store: &'a SnapshotStore,
+    options: ServeOptions,
+    snapshot: Arc<TemplateSnapshot>,
+    scratch: SpanScratch,
+    cells: Vec<FieldCell>,
+    reps: Vec<u32>,
+    /// Undecided window text (every line newline-terminated).
+    buffer: String,
+    pending_lines: usize,
+    /// Unmatched lines accumulated for rediscovery (newline-terminated).
+    residual: String,
+    residual_lines: usize,
+    residual_dropped: usize,
+    summary: StreamSummary,
+    global_line: usize,
+    swaps: u64,
+    rediscover_failures: u64,
+    begun_version: Option<u64>,
+}
+
+impl<'a> ServeSession<'a> {
+    /// Starts a session against `store`, using `engine` for drift-triggered rediscovery.
+    pub fn new(
+        engine: &'a Datamaran,
+        store: &'a SnapshotStore,
+        options: ServeOptions,
+    ) -> Result<Self> {
+        options.validate()?;
+        let snapshot = store.current();
+        let summary = StreamSummary {
+            templates: snapshot.templates().to_vec(),
+            ..StreamSummary::default()
+        };
+        Ok(ServeSession {
+            engine,
+            store,
+            options,
+            snapshot,
+            scratch: SpanScratch::default(),
+            cells: Vec::new(),
+            reps: Vec::new(),
+            buffer: String::new(),
+            pending_lines: 0,
+            residual: String::new(),
+            residual_lines: 0,
+            residual_dropped: 0,
+            summary,
+            global_line: 0,
+            swaps: 0,
+            rediscover_failures: 0,
+            begun_version: None,
+        })
+    }
+
+    /// Pushes one line (with or without its terminator) into the session, processing a
+    /// window when enough lines are buffered.
+    pub fn push_line<S: RecordSink + ?Sized>(&mut self, line: &str, sink: &mut S) -> Result<()> {
+        self.buffer.push_str(line);
+        if !line.ends_with('\n') {
+            self.buffer.push('\n');
+        }
+        self.pending_lines += 1;
+        if self.pending_lines >= self.options.window_lines {
+            self.process_window(sink, false)?;
+        }
+        Ok(())
+    }
+
+    /// Decides everything currently buffered (end-of-input semantics for the carry-over
+    /// tail).  Call between bursts or before reading [`metrics`](Self::metrics) at a
+    /// quiescent point; [`finish`](Self::finish) calls it implicitly.
+    pub fn flush<S: RecordSink + ?Sized>(&mut self, sink: &mut S) -> Result<()> {
+        while !self.buffer.is_empty() {
+            self.process_window(sink, true)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the session and finishes the sink, returning the final metrics.
+    pub fn finish<S: RecordSink + ?Sized>(mut self, sink: &mut S) -> Result<ServeMetrics> {
+        self.flush(sink)?;
+        self.ensure_begun(sink)?;
+        sink.finish()?;
+        Ok(self.metrics())
+    }
+
+    /// A point-in-time copy of the session's counters.
+    pub fn metrics(&self) -> ServeMetrics {
+        ServeMetrics {
+            summary: self.summary.clone(),
+            snapshot_version: self.snapshot.version(),
+            swaps: self.swaps,
+            rediscover_failures: self.rediscover_failures,
+            residual_lines: self.residual_lines,
+            residual_bytes: self.residual.len(),
+            residual_dropped: self.residual_dropped,
+        }
+    }
+
+    /// The version of the snapshot the session is currently matching with.
+    pub fn snapshot_version(&self) -> u64 {
+        self.snapshot.version()
+    }
+
+    /// Adopts the store's current snapshot if it is newer, re-beginning the sink with the
+    /// new template set.
+    fn refresh_snapshot<S: RecordSink + ?Sized>(&mut self, sink: &mut S) -> Result<()> {
+        let current = self.store.current();
+        if current.version() != self.snapshot.version() {
+            self.snapshot = current;
+            self.summary.templates = self.snapshot.templates().to_vec();
+            sink.begin(self.snapshot.templates())?;
+            self.begun_version = Some(self.snapshot.version());
+        }
+        Ok(())
+    }
+
+    /// Invokes the sink's `begin` for the current snapshot if it has not seen it yet.
+    fn ensure_begun<S: RecordSink + ?Sized>(&mut self, sink: &mut S) -> Result<()> {
+        if self.begun_version != Some(self.snapshot.version()) {
+            sink.begin(self.snapshot.templates())?;
+            self.begun_version = Some(self.snapshot.version());
+        }
+        Ok(())
+    }
+
+    /// Decides one window of buffered lines: the batch loop's safe-limit rule, record
+    /// emission, residual accumulation, drift tracking, and — when triggered —
+    /// rediscovery and hot swap.
+    fn process_window<S: RecordSink + ?Sized>(&mut self, sink: &mut S, eof: bool) -> Result<()> {
+        self.refresh_snapshot(sink)?;
+        self.ensure_begun(sink)?;
+        let timer = std::time::Instant::now();
+        let stats_before = self.scratch.stats;
+        let dataset = Dataset::new(self.buffer.as_str());
+        let n = dataset.line_count();
+        if n == 0 {
+            self.buffer.clear();
+            self.pending_lines = 0;
+            return Ok(());
+        }
+        self.summary.windows += 1;
+        self.summary.peak_window_bytes = self
+            .summary
+            .peak_window_bytes
+            .max(self.buffer.capacity() + dataset.len());
+        let max_span = self.snapshot.max_line_span();
+        let safe_limit = if eof { n } else { n.saturating_sub(max_span) };
+
+        let mut line = 0usize;
+        let mut window_noise = 0usize;
+        while line < n {
+            self.cells.clear();
+            self.reps.clear();
+            let matched = self.snapshot.matcher().match_line_into(
+                &dataset,
+                line,
+                &mut self.cells,
+                &mut self.reps,
+                &mut self.scratch,
+            );
+            match matched {
+                Some(rec) => {
+                    if !eof && rec.line_span.1 > safe_limit {
+                        break;
+                    }
+                    let record = StreamRecord {
+                        template_index: rec.template_index as usize,
+                        line_span: (
+                            self.global_line + rec.line_span.0,
+                            self.global_line + rec.line_span.1,
+                        ),
+                        window: dataset.text(),
+                        cells: &self.cells,
+                        reps: &self.reps,
+                    };
+                    sink.record(&record)?;
+                    self.summary.records += 1;
+                    line = rec.line_span.1;
+                }
+                None => {
+                    if !eof && line >= safe_limit {
+                        break;
+                    }
+                    self.summary.noise_lines += 1;
+                    window_noise += 1;
+                    let (s, e) = dataset.line_span(line);
+                    self.push_residual(&dataset.text()[s..e]);
+                    line += 1;
+                }
+            }
+        }
+        self.summary.match_seconds += timer.elapsed().as_secs_f64();
+
+        let consumed_lines = line.min(n);
+        let consumed_bytes = if line >= n {
+            self.buffer.len()
+        } else {
+            dataset.line_start(line)
+        };
+        let window = WindowUnmatched {
+            lines: consumed_lines,
+            unmatched: window_noise,
+        };
+        self.summary.bytes_processed += consumed_bytes;
+        self.summary.lines_processed += consumed_lines;
+        self.summary.window_unmatched.push(window);
+        self.summary
+            .window_match_stats
+            .push(self.scratch.stats.since(&stats_before));
+        self.global_line += consumed_lines;
+        let tail = self.buffer.split_off(consumed_bytes);
+        self.buffer = tail;
+        self.pending_lines = n - consumed_lines;
+
+        // The drift trigger: this window's unmatched rate reached the threshold and the
+        // residual is large enough for discovery to be meaningful.
+        if self.options.rediscover
+            && window.lines > 0
+            && window.unmatched_rate() >= self.options.drift_threshold
+            && self.residual_lines >= self.options.min_residual_lines
+        {
+            self.try_rediscover(sink)?;
+        }
+        Ok(())
+    }
+
+    /// Appends one unmatched line to the residual buffer, dropping the oldest residual
+    /// lines when the byte cap would be exceeded.
+    fn push_residual(&mut self, line_text: &str) {
+        let cap = self.options.residual_bytes;
+        if line_text.len() > cap {
+            self.residual_dropped += 1;
+            return;
+        }
+        while self.residual.len() + line_text.len() > cap && !self.residual.is_empty() {
+            let first_end = self
+                .residual
+                .find('\n')
+                .map_or(self.residual.len(), |i| i + 1);
+            self.residual.drain(..first_end);
+            self.residual_lines = self.residual_lines.saturating_sub(1);
+            self.residual_dropped += 1;
+        }
+        self.residual.push_str(line_text);
+        if !line_text.ends_with('\n') {
+            self.residual.push('\n');
+        }
+        self.residual_lines += 1;
+    }
+
+    /// Runs discovery on the residual buffer; on success, publishes a new snapshot whose
+    /// template set is the current set **plus** the newly discovered templates (the old
+    /// format may still be interleaved with the new one), and clears the residual.  A
+    /// failed attempt (no structure in the residual, or nothing genuinely new) leaves the
+    /// snapshot and residual untouched and is counted.
+    fn try_rediscover<S: RecordSink + ?Sized>(&mut self, sink: &mut S) -> Result<()> {
+        let discovered = match self.engine.extract(&self.residual) {
+            Ok(result) => result
+                .templates()
+                .into_iter()
+                .cloned()
+                .collect::<Vec<StructureTemplate>>(),
+            Err(Error::NoStructureFound) | Err(Error::EmptyDataset) => {
+                self.rediscover_failures += 1;
+                return Ok(());
+            }
+            Err(other) => return Err(other),
+        };
+        let known: HashSet<String> = self
+            .snapshot
+            .templates()
+            .iter()
+            .map(StructureTemplate::canonical_string)
+            .collect();
+        let fresh: Vec<StructureTemplate> = discovered
+            .into_iter()
+            .filter(|t| !known.contains(&t.canonical_string()))
+            .collect();
+        if fresh.is_empty() {
+            self.rediscover_failures += 1;
+            return Ok(());
+        }
+        let mut merged = self.snapshot.templates().to_vec();
+        merged.extend(fresh);
+        let version = self.store.claim_version();
+        let next = Arc::new(TemplateSnapshot::compile(version, merged, self.engine)?);
+        self.store.swap(next);
+        self.swaps += 1;
+        self.residual.clear();
+        self.residual_lines = 0;
+        // Adopt the published snapshot immediately: the very next window should already
+        // match the drifted lines.
+        self.refresh_snapshot(sink)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::CountingSink;
+
+    fn kv_lines(prefix: &str, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| format!("{prefix}=h{};cpu={}\n", i % 9, i % 100))
+            .collect()
+    }
+
+    fn engine() -> Datamaran {
+        Datamaran::with_defaults()
+    }
+
+    fn snapshot_for(engine: &Datamaran, text: &str) -> TemplateSnapshot {
+        let result = engine.extract(text).unwrap();
+        let templates: Vec<StructureTemplate> = result.templates().into_iter().cloned().collect();
+        TemplateSnapshot::compile(1, templates, engine).unwrap()
+    }
+
+    #[test]
+    fn session_matches_a_steady_stream_with_zero_discovery() {
+        let engine = engine();
+        let lines = kv_lines("host", 400);
+        let text = lines.concat();
+        // Batch extraction is the ground truth the serving path must reproduce.
+        let batch = engine.extract(&text).unwrap();
+        let batch_records: usize = batch.structures.iter().map(|s| s.records.len()).sum();
+        let batch_noise = batch.noise_lines.len();
+        let snapshot = snapshot_for(&engine, &text);
+        let store = SnapshotStore::new(snapshot);
+        let mut session = ServeSession::new(
+            &engine,
+            &store,
+            ServeOptions::default().with_window_lines(64),
+        )
+        .unwrap();
+        let mut sink = CountingSink::default();
+        for line in &lines {
+            session.push_line(line, &mut sink).unwrap();
+        }
+        let metrics = session.finish(&mut sink).unwrap();
+        assert_eq!(metrics.summary.records, batch_records);
+        assert_eq!(metrics.summary.noise_lines, batch_noise);
+        assert_eq!(metrics.summary.lines_processed, 400);
+        assert_eq!(metrics.swaps, 0);
+        assert_eq!(metrics.snapshot_version, 1);
+        assert_eq!(sink.records, batch_records);
+        assert!(metrics.summary.windows > 1);
+    }
+
+    #[test]
+    fn drift_triggers_rediscovery_and_recovers_the_unmatched_rate() {
+        let engine = engine();
+        let format_a = kv_lines("host", 300);
+        let snapshot = snapshot_for(&engine, &format_a.concat());
+        let store = SnapshotStore::new(snapshot);
+        let options = ServeOptions::default()
+            .with_window_lines(64)
+            .with_drift_threshold(0.5)
+            .with_min_residual_lines(64);
+        let mut session = ServeSession::new(&engine, &store, options).unwrap();
+        let mut sink = CountingSink::default();
+        for line in &format_a {
+            session.push_line(line, &mut sink).unwrap();
+        }
+        // Inject drift: a structurally different format the snapshot cannot match.
+        let format_b: Vec<String> = (0..300)
+            .map(|i| format!("{} | svc{} | {} | OK\n", 1700000000 + i, i % 5, i * 3))
+            .collect();
+        for line in &format_b {
+            session.push_line(line, &mut sink).unwrap();
+        }
+        let metrics = session.finish(&mut sink).unwrap();
+        assert!(metrics.swaps >= 1, "drift must publish a new snapshot");
+        assert!(metrics.snapshot_version > 1);
+        assert_eq!(store.version(), metrics.snapshot_version);
+        // After the swap, format-B windows match again: the last window's unmatched rate
+        // must have recovered below the threshold.
+        let last = metrics.summary.window_unmatched.last().unwrap();
+        assert!(
+            last.unmatched_rate() < 0.5,
+            "unmatched rate did not recover: {last:?}"
+        );
+        // The merged set still contains the original templates.
+        let current = store.current();
+        assert!(current.templates().len() > 1);
+    }
+
+    #[test]
+    fn monitor_only_sessions_never_swap() {
+        let engine = engine();
+        let format_a = kv_lines("host", 200);
+        let snapshot = snapshot_for(&engine, &format_a.concat());
+        let store = SnapshotStore::new(snapshot);
+        let options = ServeOptions::default()
+            .with_window_lines(32)
+            .with_rediscover(false);
+        let mut session = ServeSession::new(&engine, &store, options).unwrap();
+        let mut sink = CountingSink::default();
+        for i in 0..200 {
+            session
+                .push_line(
+                    &format!("?? noise {} frame {}\n", i * 31 % 97, i),
+                    &mut sink,
+                )
+                .unwrap();
+        }
+        let metrics = session.finish(&mut sink).unwrap();
+        assert_eq!(metrics.swaps, 0);
+        assert_eq!(store.version(), 1);
+        assert!(metrics.summary.noise_lines > 0);
+        assert!(metrics.residual_lines > 0);
+    }
+
+    #[test]
+    fn residual_buffer_is_bounded() {
+        let engine = engine();
+        let format_a = kv_lines("host", 100);
+        let snapshot = snapshot_for(&engine, &format_a.concat());
+        let store = SnapshotStore::new(snapshot);
+        let options = ServeOptions {
+            window_lines: 16,
+            residual_bytes: 512,
+            rediscover: false,
+            ..ServeOptions::default()
+        };
+        let mut session = ServeSession::new(&engine, &store, options).unwrap();
+        let mut sink = CountingSink::default();
+        for i in 0..500 {
+            session
+                .push_line(&format!("!! unparseable payload {i} !!\n"), &mut sink)
+                .unwrap();
+        }
+        let metrics = session.finish(&mut sink).unwrap();
+        assert!(metrics.residual_bytes <= 512);
+        assert!(metrics.residual_dropped > 0);
+    }
+
+    #[test]
+    fn metrics_json_carries_stream_and_serve_sections() {
+        let engine = engine();
+        let lines = kv_lines("host", 120);
+        let snapshot = snapshot_for(&engine, &lines.concat());
+        let store = SnapshotStore::new(snapshot);
+        let mut session = ServeSession::new(&engine, &store, ServeOptions::default()).unwrap();
+        let mut sink = CountingSink::default();
+        for line in &lines {
+            session.push_line(line, &mut sink).unwrap();
+        }
+        let metrics = session.finish(&mut sink).unwrap();
+        let json = metrics.to_json();
+        let doc = JsonValue::parse(&json).unwrap();
+        let stream = doc.require("stream").unwrap();
+        assert_eq!(stream.require("records").unwrap().as_usize().unwrap(), 120);
+        let serve = doc.require("serve").unwrap();
+        assert_eq!(
+            serve
+                .require("snapshot_version")
+                .unwrap()
+                .as_usize()
+                .unwrap(),
+            1
+        );
+        assert_eq!(serve.require("swaps").unwrap().as_usize().unwrap(), 0);
+    }
+
+    #[test]
+    fn merge_summaries_adds_counters_and_concatenates_windows() {
+        let mut a = StreamSummary {
+            records: 10,
+            noise_lines: 1,
+            windows: 2,
+            peak_window_bytes: 100,
+            window_unmatched: vec![WindowUnmatched {
+                lines: 10,
+                unmatched: 1,
+            }],
+            ..StreamSummary::default()
+        };
+        let b = StreamSummary {
+            records: 5,
+            noise_lines: 2,
+            windows: 1,
+            peak_window_bytes: 300,
+            window_unmatched: vec![WindowUnmatched {
+                lines: 5,
+                unmatched: 2,
+            }],
+            ..StreamSummary::default()
+        };
+        merge_summaries(&mut a, &b);
+        assert_eq!(a.records, 15);
+        assert_eq!(a.noise_lines, 3);
+        assert_eq!(a.windows, 3);
+        assert_eq!(a.peak_window_bytes, 300);
+        assert_eq!(a.window_unmatched.len(), 2);
+    }
+}

@@ -6,14 +6,32 @@
 //! megabytes this is wasteful: once the structure templates are known, extraction only ever
 //! needs a window of at most `L` lines.
 //!
-//! [`extract_stream_sink`] implements that observation end to end:
+//! [`StreamSession`] implements that observation end to end:
 //!
 //! 1. a bounded *head* of the stream is buffered and run through the normal pipeline to
-//!    discover the structure templates;
+//!    discover the structure templates (skipped when the session is given
+//!    [known templates](StreamSession::templates) up front);
 //! 2. the rest of the stream is processed window by window: each window is parsed with the
 //!    discovered templates, every record that provably cannot be affected by unseen input
 //!    (i.e. ends more than `L` lines before the window's end) is pushed into the caller's
 //!    [`RecordSink`], and only the undecided tail is carried over to the next window.
+//!
+//! ```
+//! # use datamaran_core::{Datamaran, CountingSink, StreamOptions};
+//! # use datamaran_core::streaming::StreamSession;
+//! # fn main() -> datamaran_core::Result<()> {
+//! let engine = Datamaran::with_defaults();
+//! let mut sink = CountingSink::default();
+//! let log = "a=1;b=2\na=3;b=4\na=5;b=6\na=7;b=8\n";
+//! let summary = StreamSession::new(&engine)
+//!     .options(StreamOptions::default())
+//!     .run(std::io::Cursor::new(log), &mut sink)?;
+//! assert_eq!(summary.records, sink.records);
+//! # Ok(()) }
+//! ```
+//!
+//! The session is the single implementation: the historical `extract_stream*` free
+//! functions survive as thin deprecated wrappers around it.
 //!
 //! Records reach the sink as [`StreamRecord`]s — zero-copy views over the current window's
 //! text plus the recycled match arenas (flat field cells and array repetition counts, the
@@ -509,116 +527,223 @@ impl StreamSummary {
     }
 }
 
+/// The [`RecordSink`] adapter behind [`StreamSession::run_with`]: projects each zero-copy
+/// [`StreamRecord`] into an [`OwnedRecord`] and hands it to the closure.
+struct ClosureSink<F> {
+    f: F,
+    field_counts: Vec<usize>,
+}
+
+impl<F: FnMut(OwnedRecord)> RecordSink for ClosureSink<F> {
+    fn begin(&mut self, templates: &[StructureTemplate]) -> Result<()> {
+        self.field_counts = templates
+            .iter()
+            .map(StructureTemplate::field_count)
+            .collect();
+        Ok(())
+    }
+    fn record(&mut self, rec: &StreamRecord<'_>) -> Result<()> {
+        let n = self.field_counts[rec.template_index];
+        let mut columns: Vec<Vec<String>> = vec![Vec::new(); n];
+        for cell in rec.cells {
+            if cell.column < n {
+                columns[cell.column].push(rec.cell_text(cell).to_string());
+            }
+        }
+        (self.f)(OwnedRecord {
+            template_index: rec.template_index,
+            line_span: rec.line_span,
+            columns,
+        });
+        Ok(())
+    }
+    fn finish(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// One configured streaming-extraction run — **the** entry point of this module.
+///
+/// A session borrows an engine (whose [`DatamaranConfig`](crate::config::DatamaranConfig)
+/// supplies the discovery parameters, extraction/matching backends, and worker-thread
+/// budget), carries the window tuning, error policy, and resource budgets of a
+/// [`StreamOptions`], and optionally pins known templates (skipping head discovery) and a
+/// [`QuarantineSink`].  [`run`](Self::run) consumes the session and drives the single
+/// guarded window loop; every historical `extract_stream*` free function is now a thin
+/// deprecated wrapper over this type.
+///
+/// * no templates → head discovery on the first [`StreamOptions::head_bytes`];
+/// * [`templates`](Self::templates) → zero discovery on the hot path (discover once,
+///   stream many files — and the serving path of [`crate::serve`]);
+/// * [`quarantine`](Self::quarantine) → under [`ErrorPolicy::Quarantine`], every
+///   undecodable, oversized, or unmatched line is preserved byte-identical, in stream
+///   order, alongside the normal record flow.
+pub struct StreamSession<'e, 'q> {
+    engine: &'e Datamaran,
+    options: StreamOptions,
+    templates: Option<Vec<StructureTemplate>>,
+    quarantine: Option<&'q mut dyn QuarantineSink>,
+}
+
+impl<'e, 'q> StreamSession<'e, 'q> {
+    /// Starts a session on `engine` with default [`StreamOptions`].
+    pub fn new(engine: &'e Datamaran) -> Self {
+        StreamSession {
+            engine,
+            options: StreamOptions::default(),
+            templates: None,
+            quarantine: None,
+        }
+    }
+
+    /// Sets the window tuning, error policy, and resource budgets.
+    pub fn options(mut self, options: StreamOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Supplies **known** structure templates, skipping head discovery — for callers that
+    /// extract many files of the same format and for benchmarks isolating the windowed
+    /// extract-and-export path.  Record emission is identical to a discovering session
+    /// that found the same templates.
+    pub fn templates(mut self, templates: Vec<StructureTemplate>) -> Self {
+        self.templates = Some(templates);
+        self
+    }
+
+    /// Attaches a [`QuarantineSink`] receiving every diverted line byte-identically (only
+    /// [`ErrorPolicy::Quarantine`] diverts lines; under other policies the sink stays
+    /// silent).
+    pub fn quarantine(mut self, sink: &'q mut dyn QuarantineSink) -> Self {
+        self.quarantine = Some(sink);
+        self
+    }
+
+    /// Runs the session: reads `reader` to the end (or to a violated budget), pushing
+    /// every decided record into `sink` as a zero-copy [`StreamRecord`].  Memory stays
+    /// `O(head + window)` for any stream length.
+    ///
+    /// [`RecordSink::begin`] receives the discovered (or supplied) templates before the
+    /// first record; [`RecordSink::finish`] is always invoked on success, including
+    /// graceful budget stops (see [`StreamSummary::stopped_reason`]).
+    pub fn run<R: BufRead, S: RecordSink + ?Sized>(
+        self,
+        reader: R,
+        sink: &mut S,
+    ) -> Result<StreamSummary> {
+        let StreamSession {
+            engine,
+            options,
+            templates,
+            mut quarantine,
+        } = self;
+        // Phase 1: buffer the head — enough for discovery, or one window when the
+        // templates are already known.
+        let mut window_reader = WindowReader::new(reader);
+        let mut summary = StreamSummary::default();
+        let mut buffer = String::new();
+        let target = match &templates {
+            Some(_) => options.window_bytes.max(1),
+            None => options.head_bytes,
+        };
+        let eof =
+            window_reader.fill(&mut buffer, target, &options, &mut quarantine, &mut summary)?;
+        if buffer.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        let templates = match templates {
+            Some(templates) => templates,
+            None => {
+                let head_result = engine.extract(&buffer)?;
+                head_result.templates().into_iter().cloned().collect()
+            }
+        };
+        stream_windows(
+            engine,
+            window_reader,
+            options,
+            templates,
+            buffer,
+            eof,
+            sink,
+            quarantine,
+            summary,
+        )
+    }
+
+    /// Runs the session, invoking `f` with an owned copy of every record — the closure
+    /// convenience over [`run`](Self::run) (the push-based sink API avoids the per-record
+    /// `String` allocations).
+    pub fn run_with<R: BufRead, F: FnMut(OwnedRecord)>(
+        self,
+        reader: R,
+        f: F,
+    ) -> Result<StreamSummary> {
+        let mut adapter = ClosureSink {
+            f,
+            field_counts: Vec::new(),
+        };
+        self.run(reader, &mut adapter)
+    }
+}
+
 /// Runs streaming extraction over `reader`, invoking `sink` with an owned copy of every
-/// record.  Convenience wrapper over [`extract_stream_sink`] for callers that want plain
-/// closures; the push-based sink API avoids the per-record `String` allocations.
+/// record.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `StreamSession::new(engine).options(options).run_with(reader, sink)`"
+)]
 pub fn extract_stream<R: BufRead, F: FnMut(OwnedRecord)>(
     engine: &Datamaran,
     reader: R,
     options: StreamOptions,
     sink: F,
 ) -> Result<StreamSummary> {
-    struct ClosureSink<F> {
-        f: F,
-        field_counts: Vec<usize>,
-    }
-    impl<F: FnMut(OwnedRecord)> RecordSink for ClosureSink<F> {
-        fn begin(&mut self, templates: &[StructureTemplate]) -> Result<()> {
-            self.field_counts = templates
-                .iter()
-                .map(StructureTemplate::field_count)
-                .collect();
-            Ok(())
-        }
-        fn record(&mut self, rec: &StreamRecord<'_>) -> Result<()> {
-            let n = self.field_counts[rec.template_index];
-            let mut columns: Vec<Vec<String>> = vec![Vec::new(); n];
-            for cell in rec.cells {
-                if cell.column < n {
-                    columns[cell.column].push(rec.cell_text(cell).to_string());
-                }
-            }
-            (self.f)(OwnedRecord {
-                template_index: rec.template_index,
-                line_span: rec.line_span,
-                columns,
-            });
-            Ok(())
-        }
-        fn finish(&mut self) -> Result<()> {
-            Ok(())
-        }
-    }
-    let mut adapter = ClosureSink {
-        f: sink,
-        field_counts: Vec::new(),
-    };
-    extract_stream_sink(engine, reader, options, &mut adapter)
+    StreamSession::new(engine)
+        .options(options)
+        .run_with(reader, sink)
 }
 
 /// Runs streaming extraction over `reader`, pushing every record into `sink`.
-///
-/// Structure is discovered on the first [`StreamOptions::head_bytes`] of the stream with the
-/// supplied engine's configuration ([`RecordSink::begin`] receives the discovered
-/// templates); the whole stream is then extracted window by window and each record is pushed
-/// as a zero-copy [`StreamRecord`].  Memory stays `O(head + window)` for any stream length.
-///
-/// Equivalent to [`extract_stream_sink_guarded`] with no quarantine sink attached.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `StreamSession::new(engine).options(options).run(reader, sink)`"
+)]
 pub fn extract_stream_sink<R: BufRead, S: RecordSink + ?Sized>(
     engine: &Datamaran,
     reader: R,
     options: StreamOptions,
     sink: &mut S,
 ) -> Result<StreamSummary> {
-    extract_stream_sink_guarded(engine, reader, options, sink, None)
+    StreamSession::new(engine)
+        .options(options)
+        .run(reader, sink)
 }
 
-/// [`extract_stream_sink`] with an optional [`QuarantineSink`] attached: under
-/// [`ErrorPolicy::Quarantine`], every undecodable, oversized, or unmatched line is
-/// preserved byte-identical in `quarantine` (in stream order), alongside the normal record
-/// flow into `sink`.
+/// [`extract_stream_sink`] with an optional [`QuarantineSink`] attached.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `StreamSession::new(engine).options(options).quarantine(sink).run(..)`"
+)]
 pub fn extract_stream_sink_guarded<R: BufRead, S: RecordSink + ?Sized>(
     engine: &Datamaran,
     reader: R,
     options: StreamOptions,
     sink: &mut S,
-    mut quarantine: Option<&mut dyn QuarantineSink>,
+    quarantine: Option<&mut dyn QuarantineSink>,
 ) -> Result<StreamSummary> {
-    // Phase 1: buffer the head and discover structure on it.
-    let mut window_reader = WindowReader::new(reader);
-    let mut summary = StreamSummary::default();
-    let mut buffer = String::new();
-    let eof = window_reader.fill(
-        &mut buffer,
-        options.head_bytes,
-        &options,
-        &mut quarantine,
-        &mut summary,
-    )?;
-    if buffer.is_empty() {
-        return Err(Error::EmptyDataset);
+    let mut session = StreamSession::new(engine).options(options);
+    if let Some(q) = quarantine {
+        session = session.quarantine(q);
     }
-    let head_result = engine.extract(&buffer)?;
-    let templates: Vec<StructureTemplate> = head_result.templates().into_iter().cloned().collect();
-    drop(head_result);
-    stream_windows(
-        engine,
-        window_reader,
-        options,
-        templates,
-        buffer,
-        eof,
-        sink,
-        quarantine,
-        summary,
-    )
+    session.run(reader, sink)
 }
 
-/// Runs streaming extraction over `reader` with **known** structure templates, skipping
-/// head discovery — for callers that extract many files of the same format (discover once,
-/// stream each file) and for benchmarks that isolate the windowed extract-and-export path.
-/// Record emission is identical to [`extract_stream_sink`] when given the templates it
-/// would have discovered.
+/// Runs streaming extraction over `reader` with **known** structure templates.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `StreamSession::new(engine).options(options).templates(templates).run(..)`"
+)]
 pub fn extract_stream_with_templates<R: BufRead, S: RecordSink + ?Sized>(
     engine: &Datamaran,
     reader: R,
@@ -626,43 +751,32 @@ pub fn extract_stream_with_templates<R: BufRead, S: RecordSink + ?Sized>(
     templates: Vec<StructureTemplate>,
     sink: &mut S,
 ) -> Result<StreamSummary> {
-    extract_stream_with_templates_guarded(engine, reader, options, templates, sink, None)
+    StreamSession::new(engine)
+        .options(options)
+        .templates(templates)
+        .run(reader, sink)
 }
 
-/// [`extract_stream_with_templates`] with an optional [`QuarantineSink`] attached (see
-/// [`extract_stream_sink_guarded`]).
+/// [`extract_stream_with_templates`] with an optional [`QuarantineSink`] attached.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `StreamSession` with `.templates(..)` and `.quarantine(..)`"
+)]
 pub fn extract_stream_with_templates_guarded<R: BufRead, S: RecordSink + ?Sized>(
     engine: &Datamaran,
     reader: R,
     options: StreamOptions,
     templates: Vec<StructureTemplate>,
     sink: &mut S,
-    mut quarantine: Option<&mut dyn QuarantineSink>,
+    quarantine: Option<&mut dyn QuarantineSink>,
 ) -> Result<StreamSummary> {
-    let mut window_reader = WindowReader::new(reader);
-    let mut summary = StreamSummary::default();
-    let mut buffer = String::new();
-    let eof = window_reader.fill(
-        &mut buffer,
-        options.window_bytes.max(1),
-        &options,
-        &mut quarantine,
-        &mut summary,
-    )?;
-    if buffer.is_empty() {
-        return Err(Error::EmptyDataset);
+    let mut session = StreamSession::new(engine)
+        .options(options)
+        .templates(templates);
+    if let Some(q) = quarantine {
+        session = session.quarantine(q);
     }
-    stream_windows(
-        engine,
-        window_reader,
-        options,
-        templates,
-        buffer,
-        eof,
-        sink,
-        quarantine,
-        summary,
-    )
+    session.run(reader, sink)
 }
 
 /// Phase 2 of the streaming extractor: window-by-window extraction of an already-started
@@ -1099,17 +1213,14 @@ mod tests {
         let in_memory = engine.extract(&text).unwrap();
 
         let mut streamed = Vec::new();
-        let summary = extract_stream(
-            &engine,
-            Cursor::new(text.clone()),
-            StreamOptions {
+        let summary = StreamSession::new(&engine)
+            .options(StreamOptions {
                 head_bytes: 4 * 1024,
                 window_bytes: 2 * 1024,
                 ..StreamOptions::default()
-            },
-            |r| streamed.push(r),
-        )
-        .unwrap();
+            })
+            .run_with(Cursor::new(text.clone()), |r| streamed.push(r))
+            .unwrap();
 
         assert_eq!(summary.records, in_memory.record_count());
         assert_eq!(summary.noise_lines, in_memory.noise_lines.len());
@@ -1131,17 +1242,14 @@ mod tests {
 
         let mut streamed = Vec::new();
         // A tiny window forces many record-spanning window boundaries.
-        let summary = extract_stream(
-            &engine,
-            Cursor::new(text.clone()),
-            StreamOptions {
+        let summary = StreamSession::new(&engine)
+            .options(StreamOptions {
                 head_bytes: 2 * 1024,
                 window_bytes: 256,
                 ..StreamOptions::default()
-            },
-            |r| streamed.push(r),
-        )
-        .unwrap();
+            })
+            .run_with(Cursor::new(text.clone()), |r| streamed.push(r))
+            .unwrap();
 
         assert_eq!(summary.records, 300);
         assert_eq!(summary.noise_lines, 0);
@@ -1163,17 +1271,16 @@ mod tests {
         }
         let engine = Datamaran::with_defaults();
         let mut rows: Vec<Vec<String>> = Vec::new();
-        extract_stream(
-            &engine,
-            Cursor::new(text),
-            StreamOptions {
+        StreamSession::new(&engine)
+            .options(StreamOptions {
                 head_bytes: 512,
                 window_bytes: 128,
                 ..StreamOptions::default()
-            },
-            |r| rows.push(r.columns.iter().map(|c| c.join("|")).collect()),
-        )
-        .unwrap();
+            })
+            .run_with(Cursor::new(text), |r| {
+                rows.push(r.columns.iter().map(|c| c.join("|")).collect())
+            })
+            .unwrap();
         assert_eq!(rows.len(), 120);
         assert!(rows.iter().all(|r| !r.is_empty()));
         // Whatever granularity the discovered template has, the values of record 5 must come
@@ -1192,35 +1299,29 @@ mod tests {
             ..StreamOptions::default()
         };
         let mut span_records = Vec::new();
-        extract_stream(
-            &Datamaran::with_defaults(),
-            Cursor::new(text.clone()),
-            options,
-            |r| span_records.push(r),
-        )
-        .unwrap();
+        let span_engine = Datamaran::with_defaults();
+        StreamSession::new(&span_engine)
+            .options(options)
+            .run_with(Cursor::new(text.clone()), |r| span_records.push(r))
+            .unwrap();
         let legacy_engine = Datamaran::new(
             DatamaranConfig::default().with_extraction_backend(ExtractionBackend::Legacy),
         )
         .unwrap();
         let mut legacy_records = Vec::new();
-        extract_stream(&legacy_engine, Cursor::new(text), options, |r| {
-            legacy_records.push(r)
-        })
-        .unwrap();
+        StreamSession::new(&legacy_engine)
+            .options(options)
+            .run_with(Cursor::new(text), |r| legacy_records.push(r))
+            .unwrap();
         assert_eq!(span_records, legacy_records);
     }
 
     #[test]
     fn empty_stream_is_an_error() {
         let engine = Datamaran::with_defaults();
-        let err = extract_stream(
-            &engine,
-            Cursor::new(String::new()),
-            StreamOptions::default(),
-            |_| {},
-        )
-        .unwrap_err();
+        let err = StreamSession::new(&engine)
+            .run_with(Cursor::new(String::new()), |_| {})
+            .unwrap_err();
         assert_eq!(err, Error::EmptyDataset);
     }
 
@@ -1228,13 +1329,9 @@ mod tests {
     fn summary_reports_lines_and_templates() {
         let text = kv_log(100);
         let engine = Datamaran::with_defaults();
-        let summary = extract_stream(
-            &engine,
-            Cursor::new(text.clone()),
-            StreamOptions::default(),
-            |_| {},
-        )
-        .unwrap();
+        let summary = StreamSession::new(&engine)
+            .run_with(Cursor::new(text.clone()), |_| {})
+            .unwrap();
         assert!(!summary.templates.is_empty());
         assert_eq!(summary.lines_processed, text.lines().count());
         assert!(summary.peak_window_bytes >= text.len());
@@ -1258,10 +1355,10 @@ mod tests {
             ..StreamOptions::default()
         };
         let mut streamed = Vec::new();
-        let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |r| {
-            streamed.push(r)
-        })
-        .unwrap();
+        let summary = StreamSession::new(&engine)
+            .options(options)
+            .run_with(Cursor::new(text.clone()), |r| streamed.push(r))
+            .unwrap();
         assert_eq!(summary.records, 400);
         assert_eq!(summary.noise_lines, 0);
         assert_eq!(summary.bytes_processed, text.len());
@@ -1302,10 +1399,10 @@ mod tests {
             ..StreamOptions::default()
         };
         let mut streamed = Vec::new();
-        let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |r| {
-            streamed.push(r)
-        })
-        .unwrap();
+        let summary = StreamSession::new(&engine)
+            .options(options)
+            .run_with(Cursor::new(text.clone()), |r| streamed.push(r))
+            .unwrap();
         assert_eq!(summary.records, 240);
         assert_eq!(summary.noise_lines, 80);
         assert_eq!(summary.bytes_processed, text.len());
@@ -1329,10 +1426,10 @@ mod tests {
             ..StreamOptions::default()
         };
         let mut discovered = Vec::new();
-        let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |r| {
-            discovered.push(r)
-        })
-        .unwrap();
+        let summary = StreamSession::new(&engine)
+            .options(options)
+            .run_with(Cursor::new(text.clone()), |r| discovered.push(r))
+            .unwrap();
 
         struct Collect(Vec<(usize, (usize, usize), Vec<String>)>);
         impl crate::export::RecordSink for Collect {
@@ -1352,14 +1449,11 @@ mod tests {
             }
         }
         let mut sink = Collect(Vec::new());
-        let summary2 = extract_stream_with_templates(
-            &engine,
-            Cursor::new(text),
-            options,
-            summary.templates.clone(),
-            &mut sink,
-        )
-        .unwrap();
+        let summary2 = StreamSession::new(&engine)
+            .options(options)
+            .templates(summary.templates.clone())
+            .run(Cursor::new(text), &mut sink)
+            .unwrap();
         assert_eq!(summary2.records, summary.records);
         assert_eq!(summary2.noise_lines, summary.noise_lines);
         assert_eq!(summary2.lines_processed, summary.lines_processed);
@@ -1383,7 +1477,10 @@ mod tests {
             window_bytes: 8 * 1024,
             ..StreamOptions::default()
         };
-        let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |_| {}).unwrap();
+        let summary = StreamSession::new(&engine)
+            .options(options)
+            .run_with(Cursor::new(text.clone()), |_| {})
+            .unwrap();
         assert_eq!(summary.bytes_processed, text.len());
         assert!(
             summary.peak_window_bytes < text.len() / 4,
@@ -1422,7 +1519,10 @@ mod tests {
             ..StreamOptions::default()
         };
         // Default policy (skip): the stream completes, bad lines count as lossy + noise.
-        let summary = extract_stream(&engine, Cursor::new(bytes.clone()), options, |_| {}).unwrap();
+        let summary = StreamSession::new(&engine)
+            .options(options)
+            .run_with(Cursor::new(bytes.clone()), |_| {})
+            .unwrap();
         assert_eq!(summary.invalid_utf8_lines, bad);
         assert_eq!(summary.records, 400);
         assert!(summary.noise_lines >= bad);
@@ -1443,7 +1543,10 @@ mod tests {
             on_error: ErrorPolicy::Abort,
             ..StreamOptions::default()
         };
-        let err = extract_stream(&engine, Cursor::new(bytes), options, |_| {}).unwrap_err();
+        let err = StreamSession::new(&engine)
+            .options(options)
+            .run_with(Cursor::new(bytes), |_| {})
+            .unwrap_err();
         assert!(matches!(err, Error::Decode { line: 37, .. }), "{err:?}");
     }
 
@@ -1459,14 +1562,11 @@ mod tests {
         };
         let mut quarantine = VecQuarantineSink::default();
         let mut counting = crate::export::CountingSink::default();
-        let summary = extract_stream_sink_guarded(
-            &engine,
-            Cursor::new(bytes.clone()),
-            options,
-            &mut counting,
-            Some(&mut quarantine),
-        )
-        .unwrap();
+        let summary = StreamSession::new(&engine)
+            .options(options)
+            .quarantine(&mut quarantine)
+            .run(Cursor::new(bytes.clone()), &mut counting)
+            .unwrap();
         let corrupt: Vec<&QuarantineEntry> = quarantine
             .entries
             .iter()
@@ -1495,13 +1595,9 @@ mod tests {
         let text = "id=1;v=a\r\nid=2;v=b\r\nid=3;v=c".to_string();
         let engine = Datamaran::with_defaults();
         let mut seen = Vec::new();
-        let summary = extract_stream(
-            &engine,
-            Cursor::new(text.clone()),
-            StreamOptions::default(),
-            |r| seen.push(r),
-        )
-        .unwrap();
+        let summary = StreamSession::new(&engine)
+            .run_with(Cursor::new(text.clone()), |r| seen.push(r))
+            .unwrap();
         assert_eq!(summary.bytes_processed, text.len());
         assert_eq!(summary.lines_processed, 3);
         assert_eq!(summary.invalid_utf8_lines, 0);
@@ -1529,7 +1625,10 @@ mod tests {
         };
 
         // Skip: the line vanishes (never buffered), everything else extracts.
-        let summary = extract_stream(&engine, Cursor::new(bytes.clone()), base, |_| {}).unwrap();
+        let summary = StreamSession::new(&engine)
+            .options(base)
+            .run_with(Cursor::new(bytes.clone()), |_| {})
+            .unwrap();
         assert_eq!(summary.oversized_lines, 1);
         assert_eq!(summary.records, 200);
         assert_eq!(summary.quarantined_lines, 0);
@@ -1538,14 +1637,11 @@ mod tests {
         let mut quarantine = VecQuarantineSink::default();
         let mut counting = crate::export::CountingSink::default();
         let options = base.with_on_error(ErrorPolicy::Quarantine);
-        let summary = extract_stream_sink_guarded(
-            &engine,
-            Cursor::new(bytes.clone()),
-            options,
-            &mut counting,
-            Some(&mut quarantine),
-        )
-        .unwrap();
+        let summary = StreamSession::new(&engine)
+            .options(options)
+            .quarantine(&mut quarantine)
+            .run(Cursor::new(bytes.clone()), &mut counting)
+            .unwrap();
         assert_eq!(summary.oversized_lines, 1);
         let oversized: Vec<&QuarantineEntry> = quarantine
             .entries
@@ -1561,7 +1657,10 @@ mod tests {
 
         // Abort: structured budget error.
         let options = base.with_on_error(ErrorPolicy::Abort);
-        let err = extract_stream(&engine, Cursor::new(bytes), options, |_| {}).unwrap_err();
+        let err = StreamSession::new(&engine)
+            .options(options)
+            .run_with(Cursor::new(bytes), |_| {})
+            .unwrap_err();
         assert!(
             matches!(
                 err,
@@ -1588,7 +1687,10 @@ mod tests {
             },
             ..StreamOptions::default()
         };
-        let summary = extract_stream(&engine, Cursor::new(text.clone()), options, |_| {}).unwrap();
+        let summary = StreamSession::new(&engine)
+            .options(options)
+            .run_with(Cursor::new(text.clone()), |_| {})
+            .unwrap();
         assert_eq!(summary.stopped_reason, Some(StopReason::MatchSeconds));
         // Exactly one window was processed before the budget check fired, and the stream
         // was not consumed to the end.
@@ -1618,14 +1720,11 @@ mod tests {
         };
         let mut quarantine = VecQuarantineSink::default();
         let mut counting = crate::export::CountingSink::default();
-        let summary = extract_stream_sink_guarded(
-            &engine,
-            Cursor::new(text.clone()),
-            options,
-            &mut counting,
-            Some(&mut quarantine),
-        )
-        .unwrap();
+        let summary = StreamSession::new(&engine)
+            .options(options)
+            .quarantine(&mut quarantine)
+            .run(Cursor::new(text.clone()), &mut counting)
+            .unwrap();
         assert_eq!(summary.stopped_reason, Some(StopReason::QuarantineFraction));
         assert!(summary.bytes_processed < text.len());
         assert!(!quarantine.entries.is_empty());
@@ -1645,10 +1744,52 @@ mod tests {
             },
             ..StreamOptions::default()
         };
-        let summary = extract_stream(&engine, Cursor::new(text), options, |_| {}).unwrap();
+        let summary = StreamSession::new(&engine)
+            .options(options)
+            .run_with(Cursor::new(text), |_| {})
+            .unwrap();
         assert_eq!(summary.stopped_reason, Some(StopReason::WindowBytes));
         assert_eq!(summary.records, 0);
         assert_eq!(summary.windows, 0);
+    }
+
+    /// The deprecated free functions are thin wrappers over [`StreamSession`]: both
+    /// surfaces must produce identical records and summaries.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_stream_session() {
+        let text = kv_log(200);
+        let engine = Datamaran::with_defaults();
+        let options = StreamOptions {
+            head_bytes: 2 * 1024,
+            window_bytes: 512,
+            ..StreamOptions::default()
+        };
+        let mut via_session = Vec::new();
+        let s1 = StreamSession::new(&engine)
+            .options(options)
+            .run_with(Cursor::new(text.clone()), |r| via_session.push(r))
+            .unwrap();
+        let mut via_wrapper = Vec::new();
+        let s2 = extract_stream(&engine, Cursor::new(text.clone()), options, |r| {
+            via_wrapper.push(r)
+        })
+        .unwrap();
+        assert_eq!(via_session, via_wrapper);
+        assert_eq!(s1.records, s2.records);
+        assert_eq!(s1.templates, s2.templates);
+
+        let mut counting = crate::export::CountingSink::default();
+        let s3 = extract_stream_with_templates(
+            &engine,
+            Cursor::new(text),
+            options,
+            s1.templates.clone(),
+            &mut counting,
+        )
+        .unwrap();
+        assert_eq!(s3.records, s1.records);
+        assert_eq!(counting.records, s1.records);
     }
 
     #[test]

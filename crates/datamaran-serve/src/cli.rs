@@ -1,0 +1,240 @@
+//! Argument parsing and transport dispatch for the `datamaran-serve` binary.
+//!
+//! Exit codes follow the main CLI's convention: `0` success, `2` usage / configuration /
+//! artifact errors, `3` I/O and sink failures, `4` empty input, `5` budget, `6` decode,
+//! `1` anything else.
+
+use crate::{serve_http, serve_stdin, serve_unix, Daemon, FlushPolicy};
+use datamaran_core::artifact::TemplateArtifact;
+use datamaran_core::config::DatamaranConfig;
+use datamaran_core::error::Error;
+use datamaran_core::pipeline::Datamaran;
+use datamaran_core::serve::{snapshot_from_artifact, ServeOptions};
+use std::io::Write;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The daemon's `--help` text.
+pub const USAGE: &str = "\
+datamaran-serve — resident structure-extraction daemon
+
+USAGE:
+    datamaran-serve --templates FILE [TRANSPORT] [OPTIONS]
+
+The template artifact is produced by `datamaran discover --save-templates FILE`.
+Extracted rows are written as JSON Lines to --output (default: stdout).
+
+TRANSPORT (choose one; default --stdin):
+    --stdin             read log lines from standard input, print final metrics to stderr
+    --unix SOCKET       accept connections on a unix socket; each client streams lines,
+                        half-closes, and receives its metrics JSON back
+    --http ADDR         minimal HTTP endpoint on ADDR (e.g. 127.0.0.1:7171):
+                        GET /metrics, POST /ingest
+
+OPTIONS:
+    --output FILE           write extracted rows to FILE instead of stdout
+    --window-lines N        lines per decision window (default 256)
+    --drift-threshold X     unmatched-rate in (0,1] that triggers rediscovery (default 0.5)
+    --min-residual-lines N  unmatched lines required before rediscovery (default 64)
+    --no-rediscover         monitor drift only; never swap the template set
+    --flush-bytes N         flush the row writer every N buffered bytes (default 65536)
+    --flush-ms N            flush the row writer at least every N milliseconds (default 1000)
+    --help                  print this help
+";
+
+/// Exit code for a [`Error`] (same mapping as the main CLI).
+fn exit_code(e: &Error) -> u8 {
+    match e {
+        Error::InvalidConfig(_) | Error::Artifact(_) => 2,
+        Error::Io { .. } | Error::Sink { .. } => 3,
+        Error::EmptyDataset | Error::NoStructureFound => 4,
+        Error::BudgetExceeded { .. } => 5,
+        Error::Decode { .. } => 6,
+        _ => 1,
+    }
+}
+
+/// Which transport the daemon should run.
+enum Transport {
+    Stdin,
+    Unix(PathBuf),
+    Http(String),
+}
+
+/// Parsed command line.
+struct Args {
+    templates: PathBuf,
+    transport: Transport,
+    output: Option<PathBuf>,
+    options: ServeOptions,
+    flush: FlushPolicy,
+}
+
+/// Parses the argument vector; `Ok(None)` means `--help` was requested.
+fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
+    let mut templates = None;
+    let mut transport = Transport::Stdin;
+    let mut output = None;
+    let mut options = ServeOptions::default();
+    let mut flush = FlushPolicy::default();
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--templates" => templates = Some(PathBuf::from(value(&mut it, "--templates")?)),
+            "--stdin" => transport = Transport::Stdin,
+            "--unix" => transport = Transport::Unix(PathBuf::from(value(&mut it, "--unix")?)),
+            "--http" => transport = Transport::Http(value(&mut it, "--http")?),
+            "--output" => output = Some(PathBuf::from(value(&mut it, "--output")?)),
+            "--window-lines" => {
+                options.window_lines = parse_num(&value(&mut it, "--window-lines")?)?
+            }
+            "--drift-threshold" => {
+                let raw = value(&mut it, "--drift-threshold")?;
+                options.drift_threshold = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid --drift-threshold `{raw}`"))?;
+            }
+            "--min-residual-lines" => {
+                options.min_residual_lines = parse_num(&value(&mut it, "--min-residual-lines")?)?
+            }
+            "--no-rediscover" => options.rediscover = false,
+            "--flush-bytes" => {
+                flush.max_buffered_bytes = parse_num(&value(&mut it, "--flush-bytes")?)?
+            }
+            "--flush-ms" => {
+                flush.max_interval =
+                    Duration::from_millis(parse_num(&value(&mut it, "--flush-ms")?)? as u64)
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let templates = templates.ok_or("--templates FILE is required")?;
+    Ok(Some(Args {
+        templates,
+        transport,
+        output,
+        options,
+        flush,
+    }))
+}
+
+/// Parses a non-negative integer argument.
+fn parse_num(raw: &str) -> Result<usize, String> {
+    raw.parse::<usize>()
+        .map_err(|_| format!("invalid number `{raw}`"))
+}
+
+/// Runs the daemon; returns the process exit code.  Rows go to `out` (or `--output`),
+/// diagnostics and stdin-mode metrics go to stderr.
+pub fn run(args: &[String], out: &mut dyn Write) -> u8 {
+    let parsed = match parse_args(args) {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => {
+            let _ = out.write_all(USAGE.as_bytes());
+            return 0;
+        }
+        Err(message) => {
+            eprintln!("datamaran-serve: {message}");
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    };
+    match run_parsed(parsed, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("datamaran-serve: {e}");
+            exit_code(&e)
+        }
+    }
+}
+
+/// The fallible body of [`run`].
+fn run_parsed(args: Args, out: &mut dyn Write) -> Result<(), Error> {
+    // Strict configuration: malformed DATAMARAN_* environment surfaces here (exit 2)
+    // instead of being silently defaulted.
+    let config = DatamaranConfig::builder().build()?;
+    let engine = Datamaran::new(config)?;
+    args.options.validate()?;
+    let artifact = TemplateArtifact::load(&args.templates)?;
+    let snapshot = snapshot_from_artifact(&artifact);
+    let output: Box<dyn Write + Send> = match &args.output {
+        Some(path) => {
+            Box::new(std::fs::File::create(path).map_err(|e| Error::io_path(&e, path.as_path()))?)
+        }
+        // Rows interleave from many connections; the shared writer already buffers, so
+        // the unlocked handle per write is fine.
+        None => Box::new(std::io::stdout()),
+    };
+    let daemon = Daemon::new(engine, snapshot, args.options, output, args.flush)?;
+    match args.transport {
+        Transport::Stdin => {
+            let stdin = std::io::stdin();
+            let metrics = serve_stdin(&daemon, stdin.lock())?;
+            let _ = out.flush();
+            eprintln!("{}", metrics.to_json());
+            Ok(())
+        }
+        Transport::Unix(path) => {
+            // Runs until the process is killed.
+            let shutdown = Arc::new(AtomicBool::new(false));
+            serve_unix(Arc::new(daemon), &path, shutdown)
+        }
+        Transport::Http(addr) => {
+            let listener = TcpListener::bind(&addr).map_err(|e| Error::io(&e))?;
+            let shutdown = Arc::new(AtomicBool::new(false));
+            serve_http(Arc::new(daemon), listener, shutdown)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_prints_usage_and_succeeds() {
+        let mut out = Vec::new();
+        let code = run(&["--help".to_string()], &mut out);
+        assert_eq!(code, 0);
+        assert!(String::from_utf8(out).unwrap().contains("--templates"));
+    }
+
+    #[test]
+    fn missing_templates_is_a_usage_error() {
+        let mut out = Vec::new();
+        assert_eq!(run(&[], &mut out), 2);
+        assert_eq!(run(&["--bogus".to_string()], &mut out), 2);
+    }
+
+    #[test]
+    fn unreadable_artifact_maps_to_exit_3_and_garbage_to_2() {
+        let mut out = Vec::new();
+        let code = run(
+            &["--templates".to_string(), "/nonexistent/t.json".to_string()],
+            &mut out,
+        );
+        assert_eq!(code, 3);
+        let dir = std::env::temp_dir().join(format!("dmserve-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "not an artifact").unwrap();
+        let code = run(
+            &[
+                "--templates".to_string(),
+                bad.to_string_lossy().into_owned(),
+            ],
+            &mut out,
+        );
+        assert_eq!(code, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

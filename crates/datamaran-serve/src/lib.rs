@@ -1,0 +1,594 @@
+//! # datamaran-serve
+//!
+//! A resident ingest daemon over the [`datamaran_core::serve`] engine: log lines come in
+//! over **stdin**, a **unix socket**, or a minimal **HTTP** endpoint; extracted rows go
+//! out as JSON Lines through a shared, flush-bounded writer; and the template set — loaded
+//! once from a saved [`datamaran_core::artifact::TemplateArtifact`] — is hot-swapped
+//! automatically when the stream
+//! drifts (see [`ServeSession`] for the drift/rediscovery loop).
+//!
+//! The daemon is deliberately dependency-free: transports are hand-rolled on
+//! [`std::net::TcpListener`], [`std::os::unix::net::UnixListener`], and [`std::thread`].
+//! Every connection gets its own [`ServeSession`] (its own match scratch and drift
+//! window), all sessions share one [`SnapshotStore`] (a swap published by any session is
+//! picked up by every other at its next window boundary), and all rows funnel into one
+//! [`SharedWriter`] with line-atomic interleaving.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use datamaran_core::error::{Error, Result};
+use datamaran_core::export::{JsonLinesSink, RetryPolicy, RetryingSink};
+use datamaran_core::pipeline::Datamaran;
+use datamaran_core::serve::{
+    merge_summaries, ServeMetrics, ServeOptions, ServeSession, SnapshotStore, TemplateSnapshot,
+};
+use datamaran_core::streaming::StreamSummary;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+mod cli;
+pub use cli::{run, USAGE};
+
+/// When the shared output writer pushes its buffered rows downstream.
+#[derive(Clone, Copy, Debug)]
+pub struct FlushPolicy {
+    /// Flush once this many bytes are buffered.
+    pub max_buffered_bytes: usize,
+    /// Flush when this much time has passed since the last flush, even if the byte
+    /// threshold has not been reached (bounds how stale downstream readers can be).
+    pub max_interval: Duration,
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        FlushPolicy {
+            max_buffered_bytes: 64 * 1024,
+            max_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A writer that buffers and flushes by [`FlushPolicy`] thresholds.
+struct FlushingWriter<W: Write> {
+    inner: W,
+    policy: FlushPolicy,
+    buf: Vec<u8>,
+    last_flush: Instant,
+}
+
+impl<W: Write> FlushingWriter<W> {
+    fn new(inner: W, policy: FlushPolicy) -> Self {
+        FlushingWriter {
+            inner,
+            policy,
+            buf: Vec::new(),
+            last_flush: Instant::now(),
+        }
+    }
+}
+
+impl<W: Write> Write for FlushingWriter<W> {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(bytes);
+        if self.buf.len() >= self.policy.max_buffered_bytes
+            || self.last_flush.elapsed() >= self.policy.max_interval
+        {
+            self.flush()?;
+        }
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.inner.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        self.inner.flush()?;
+        self.last_flush = Instant::now();
+        Ok(())
+    }
+}
+
+/// The daemon's single output stream, shared by every connection: a mutex-guarded,
+/// flush-bounded writer.  Clones are handles to the same stream.
+#[derive(Clone)]
+pub struct SharedWriter {
+    inner: Arc<Mutex<FlushingWriter<Box<dyn Write + Send>>>>,
+}
+
+impl SharedWriter {
+    /// Wraps `out` with the given flush policy.
+    pub fn new(out: Box<dyn Write + Send>, policy: FlushPolicy) -> Self {
+        SharedWriter {
+            inner: Arc::new(Mutex::new(FlushingWriter::new(out, policy))),
+        }
+    }
+}
+
+impl Write for SharedWriter {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .write(bytes)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).flush()
+    }
+}
+
+/// Per-connection adapter in front of the [`SharedWriter`]: buffers row bytes locally and
+/// forwards only whole lines, each in a single locked write, so rows from concurrent
+/// connections never interleave mid-line.
+struct LineForwarder {
+    shared: SharedWriter,
+    buf: Vec<u8>,
+}
+
+impl LineForwarder {
+    fn new(shared: SharedWriter) -> Self {
+        LineForwarder {
+            shared,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl Write for LineForwarder {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(bytes);
+        if let Some(pos) = self.buf.iter().rposition(|b| *b == b'\n') {
+            self.shared.write_all(&self.buf[..=pos])?;
+            self.buf.drain(..=pos);
+        }
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.shared.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        self.shared.flush()
+    }
+}
+
+/// Daemon-wide counters folded in from finished connections.
+#[derive(Default)]
+struct DaemonState {
+    summary: StreamSummary,
+    swaps: u64,
+    rediscover_failures: u64,
+    residual_dropped: usize,
+    connections: u64,
+}
+
+/// The shared heart of the daemon: one engine, one [`SnapshotStore`], one output stream,
+/// and the aggregate counters.  Transports ([`serve_stdin`], [`serve_unix`],
+/// [`serve_http`]) hand each connection's reader to [`handle_stream`](Self::handle_stream).
+pub struct Daemon {
+    engine: Datamaran,
+    store: SnapshotStore,
+    options: ServeOptions,
+    retry: RetryPolicy,
+    writer: SharedWriter,
+    state: Mutex<DaemonState>,
+}
+
+impl Daemon {
+    /// Builds a daemon serving `snapshot`, writing rows to `output`.
+    pub fn new(
+        engine: Datamaran,
+        snapshot: TemplateSnapshot,
+        options: ServeOptions,
+        output: Box<dyn Write + Send>,
+        flush: FlushPolicy,
+    ) -> Result<Self> {
+        options.validate()?;
+        Ok(Daemon {
+            engine,
+            store: SnapshotStore::new(snapshot),
+            options,
+            retry: RetryPolicy::default(),
+            writer: SharedWriter::new(output, flush),
+            state: Mutex::new(DaemonState::default()),
+        })
+    }
+
+    /// The daemon's snapshot store (tests swap snapshots through this; sessions read it).
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// Runs one connection: a [`ServeSession`] over `reader`'s lines, rows to the shared
+    /// writer through a guarded (retrying) JSON Lines sink.  Returns the connection's
+    /// metrics after folding them into the daemon aggregate.  Invalid UTF-8 input is
+    /// decoded lossily and counted.
+    pub fn handle_stream<R: BufRead>(&self, mut reader: R) -> Result<ServeMetrics> {
+        let forwarder = LineForwarder::new(self.writer.clone());
+        let mut sink = RetryingSink::new(JsonLinesSink::new(forwarder), self.retry);
+        let mut session = ServeSession::new(&self.engine, &self.store, self.options)?;
+        let mut raw = Vec::new();
+        let mut invalid_utf8 = 0usize;
+        loop {
+            raw.clear();
+            let n = reader.read_until(b'\n', &mut raw)?;
+            if n == 0 {
+                break;
+            }
+            match std::str::from_utf8(&raw) {
+                Ok(line) => session.push_line(line, &mut sink)?,
+                Err(_) => {
+                    invalid_utf8 += 1;
+                    let line = String::from_utf8_lossy(&raw);
+                    session.push_line(&line, &mut sink)?;
+                }
+            }
+        }
+        // `finish` flushes the sink chain down through the shared writer.
+        let mut metrics = session.finish(&mut sink)?;
+        metrics.summary.invalid_utf8_lines += invalid_utf8;
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        merge_summaries(&mut state.summary, &metrics.summary);
+        state.swaps += metrics.swaps;
+        state.rediscover_failures += metrics.rediscover_failures;
+        state.residual_dropped += metrics.residual_dropped;
+        state.connections += 1;
+        Ok(metrics)
+    }
+
+    /// Daemon-wide aggregate metrics (all finished connections; the residual buffers are
+    /// per-connection and report as empty here).
+    pub fn metrics(&self) -> ServeMetrics {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        ServeMetrics {
+            summary: state.summary.clone(),
+            snapshot_version: self.store.version(),
+            swaps: state.swaps,
+            rediscover_failures: state.rediscover_failures,
+            residual_lines: 0,
+            residual_bytes: 0,
+            residual_dropped: state.residual_dropped,
+        }
+    }
+
+    /// The aggregate metrics as the shared `{"stream": ..., "serve": ...}` JSON document.
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+}
+
+/// Serves a single stream from `reader` (the stdin transport), returning its metrics.
+pub fn serve_stdin<R: BufRead>(daemon: &Daemon, reader: R) -> Result<ServeMetrics> {
+    daemon.handle_stream(reader)
+}
+
+/// Polling interval of the non-blocking accept loops (they check `shutdown` between
+/// polls).
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Serves connections on a unix socket at `path` until `shutdown` is set.  Protocol: the
+/// client streams log lines and half-closes its write side; the daemon replies with the
+/// connection's metrics JSON and closes.  Each connection runs on its own thread.
+pub fn serve_unix(daemon: Arc<Daemon>, path: &Path, shutdown: Arc<AtomicBool>) -> Result<()> {
+    if path.exists() {
+        std::fs::remove_file(path).map_err(|e| Error::io_path(&e, path))?;
+    }
+    let listener = UnixListener::bind(path).map_err(|e| Error::io_path(&e, path))?;
+    listener.set_nonblocking(true).map_err(|e| Error::io(&e))?;
+    let mut workers = Vec::new();
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = Arc::clone(&daemon);
+                workers.push(std::thread::spawn(move || {
+                    if stream.set_nonblocking(false).is_err() {
+                        return;
+                    }
+                    let Ok(reader_half) = stream.try_clone() else {
+                        return;
+                    };
+                    let mut stream = stream;
+                    match daemon.handle_stream(BufReader::new(reader_half)) {
+                        Ok(metrics) => {
+                            let body = metrics.to_json();
+                            let _ = stream.write_all(body.as_bytes());
+                            let _ = stream.write_all(b"\n");
+                        }
+                        Err(err) => {
+                            let _ = writeln!(stream, "{{\"error\": \"{err}\"}}");
+                        }
+                    }
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) => return Err(Error::io(&e)),
+        }
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    Ok(())
+}
+
+/// Serves a minimal HTTP endpoint on a pre-bound listener until `shutdown` is set:
+/// `GET /metrics` returns the daemon aggregate, `POST /ingest` extracts the request body
+/// as log lines and returns that request's metrics.  One thread per connection,
+/// `Connection: close` semantics.
+pub fn serve_http(
+    daemon: Arc<Daemon>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+) -> Result<()> {
+    listener.set_nonblocking(true).map_err(|e| Error::io(&e))?;
+    let mut workers = Vec::new();
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = Arc::clone(&daemon);
+                workers.push(std::thread::spawn(move || {
+                    if stream.set_nonblocking(false).is_err() {
+                        return;
+                    }
+                    let mut stream = stream;
+                    let response = match handle_http(&daemon, &mut stream) {
+                        Ok(response) => response,
+                        Err(err) => http_response(
+                            "500 Internal Server Error",
+                            &format!("{{\"error\": \"{err}\"}}\n"),
+                        ),
+                    };
+                    let _ = stream.write_all(response.as_bytes());
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) => return Err(Error::io(&e)),
+        }
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    Ok(())
+}
+
+/// Builds one `Connection: close` HTTP/1.1 response.
+fn http_response(status: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Parses one HTTP request off `stream` and routes it.
+fn handle_http<S: Read>(daemon: &Daemon, stream: &mut S) -> Result<String> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(value) = header
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            content_length = value;
+        }
+    }
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/metrics") => Ok(http_response("200 OK", &(daemon.metrics_json() + "\n"))),
+        ("POST", "/ingest") => {
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            let metrics = daemon.handle_stream(io::Cursor::new(body))?;
+            Ok(http_response("200 OK", &(metrics.to_json() + "\n")))
+        }
+        _ => Ok(http_response(
+            "404 Not Found",
+            "{\"error\": \"unknown endpoint (try GET /metrics or POST /ingest)\"}\n",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamaran_core::serve::TemplateSnapshot;
+    use datamaran_core::structure::StructureTemplate;
+    use std::io::Cursor;
+    use std::os::unix::net::UnixStream;
+
+    fn kv_text(n: usize) -> String {
+        (0..n)
+            .map(|i| format!("host=h{};cpu={}\n", i % 9, i % 100))
+            .collect()
+    }
+
+    fn daemon_for(text: &str) -> (Arc<Daemon>, Arc<Mutex<Vec<u8>>>) {
+        let engine = Datamaran::with_defaults();
+        let result = engine.extract(text).unwrap();
+        let templates: Vec<StructureTemplate> = result.templates().into_iter().cloned().collect();
+        let snapshot = TemplateSnapshot::compile(1, templates, &engine).unwrap();
+        let captured = Arc::new(Mutex::new(Vec::new()));
+        let out = CapturedWriter(Arc::clone(&captured));
+        let daemon = Daemon::new(
+            engine,
+            snapshot,
+            ServeOptions::default().with_window_lines(64),
+            Box::new(out),
+            FlushPolicy {
+                max_buffered_bytes: 1,
+                max_interval: Duration::from_millis(1),
+            },
+        )
+        .unwrap();
+        (Arc::new(daemon), captured)
+    }
+
+    struct CapturedWriter(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for CapturedWriter {
+        fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(bytes);
+            Ok(bytes.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stdin_transport_extracts_rows_and_reports_metrics() {
+        let text = kv_text(200);
+        let (daemon, captured) = daemon_for(&text);
+        let metrics = serve_stdin(&daemon, Cursor::new(text)).unwrap();
+        assert!(metrics.summary.records > 0);
+        assert_eq!(metrics.swaps, 0);
+        let rows = String::from_utf8(captured.lock().unwrap().clone()).unwrap();
+        assert_eq!(rows.lines().count(), metrics.summary.records);
+        assert!(rows.lines().all(|l| l.starts_with("{\"type\":")));
+        // The daemon aggregate saw the connection.
+        let aggregate = daemon.metrics();
+        assert_eq!(aggregate.summary.records, metrics.summary.records);
+    }
+
+    #[test]
+    fn unix_socket_round_trip_returns_connection_metrics() {
+        let text = kv_text(150);
+        let (daemon, _captured) = daemon_for(&text);
+        let dir = std::env::temp_dir().join(format!("dmserve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("ingest.sock");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let server = {
+            let daemon = Arc::clone(&daemon);
+            let sock = sock.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || serve_unix(daemon, &sock, shutdown))
+        };
+        // Wait for the socket to appear.
+        for _ in 0..200 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut client = UnixStream::connect(&sock).unwrap();
+        client.write_all(text.as_bytes()).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        client.read_to_string(&mut reply).unwrap();
+        shutdown.store(true, Ordering::Relaxed);
+        server.join().unwrap().unwrap();
+        let doc = datamaran_core::json::JsonValue::parse(reply.trim()).unwrap();
+        let records = doc
+            .require("stream")
+            .unwrap()
+            .require("records")
+            .unwrap()
+            .as_usize()
+            .unwrap();
+        assert!(records > 0);
+        assert_eq!(daemon.metrics().summary.records, records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn http_transport_serves_metrics_and_ingest() {
+        let text = kv_text(150);
+        let (daemon, _captured) = daemon_for(&text);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let server = {
+            let daemon = Arc::clone(&daemon);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || serve_http(daemon, listener, shutdown))
+        };
+        let post = format!(
+            "POST /ingest HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            text.len(),
+            text
+        );
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        client.write_all(post.as_bytes()).unwrap();
+        let mut reply = String::new();
+        client.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        let body = reply.split("\r\n\r\n").nth(1).unwrap();
+        let doc = datamaran_core::json::JsonValue::parse(body.trim()).unwrap();
+        assert!(
+            doc.require("stream")
+                .unwrap()
+                .require("records")
+                .unwrap()
+                .as_usize()
+                .unwrap()
+                > 0
+        );
+
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        client
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut reply = String::new();
+        client.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains("\"serve\""));
+
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        client
+            .write_all(b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut reply = String::new();
+        client.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+
+        shutdown.store(true, Ordering::Relaxed);
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shared_writer_interleaves_whole_lines_only() {
+        let captured = Arc::new(Mutex::new(Vec::new()));
+        let shared = SharedWriter::new(
+            Box::new(CapturedWriter(Arc::clone(&captured))),
+            FlushPolicy {
+                max_buffered_bytes: 1,
+                max_interval: Duration::from_millis(1),
+            },
+        );
+        let mut a = LineForwarder::new(shared.clone());
+        let mut b = LineForwarder::new(shared);
+        // Interleaved partial writes: complete lines must come out unbroken.
+        a.write_all(b"{\"a\":").unwrap();
+        b.write_all(b"{\"b\":").unwrap();
+        a.write_all(b"1}\n").unwrap();
+        b.write_all(b"2}\n").unwrap();
+        a.flush().unwrap();
+        b.flush().unwrap();
+        let out = String::from_utf8(captured.lock().unwrap().clone()).unwrap();
+        let mut lines: Vec<&str> = out.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec!["{\"a\":1}", "{\"b\":2}"]);
+    }
+}

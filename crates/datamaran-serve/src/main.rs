@@ -1,0 +1,8 @@
+//! Thin binary wrapper around [`datamaran_serve`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(datamaran_serve::run(&args, &mut std::io::stdout()))
+}

@@ -1,0 +1,155 @@
+//! End-to-end serve smoke test (run by the `serve-smoke` CI job via `-- --ignored`):
+//! start the daemon in-process on a unix socket, replay a LogHub-clone corpus stream with
+//! injected drift (the dataset switches mid-stream), and assert the unmatched rate
+//! recovers after the automatic rediscovery + hot swap.  The resulting metrics document
+//! is written to `SERVE_SMOKE_OUT` (default `target/SERVE_SMOKE.json`) and uploaded as a
+//! CI artifact.
+
+use datamaran_core::artifact::TemplateArtifact;
+use datamaran_core::json::JsonValue;
+use datamaran_core::pipeline::Datamaran;
+use datamaran_core::serve::{snapshot_from_artifact, ServeOptions};
+use datamaran_core::structure::StructureTemplate;
+use datamaran_serve::{serve_unix, Daemon, FlushPolicy};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Generates one LogHub-clone dataset by catalog name at the fast (divisor 8) scale.
+fn dataset(name: &str) -> logsynth::GeneratedDataset {
+    logsynth::loghub::specs(8)
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("dataset `{name}` not in the loghub catalog"))
+        .generate()
+}
+
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(bytes);
+        Ok(bytes.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+#[ignore = "serve smoke: slow end-to-end corpus replay, run by the serve-smoke CI job"]
+fn drifting_corpus_stream_recovers_after_hot_swap() {
+    let format_a = dataset("apache");
+    let format_b = dataset("zookeeper");
+    let engine = Datamaran::with_defaults();
+
+    // The discover → artifact → serve hand-off: discover on format A's head, save the
+    // artifact, load it back, and serve from the loaded copy (zero hot-path discovery).
+    let head: String = format_a
+        .text
+        .lines()
+        .take(1500)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let result = engine.extract(&head).expect("discovery on the stream head");
+    let templates: Vec<StructureTemplate> = result.templates().into_iter().cloned().collect();
+    let config = engine.config();
+    let artifact = TemplateArtifact::new(templates, config.max_line_span, config.matching_backend)
+        .expect("artifact from discovered templates");
+    let dir = std::env::temp_dir().join(format!("dmserve-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact_path = dir.join("templates.json");
+    artifact.save(&artifact_path).unwrap();
+    let artifact = TemplateArtifact::load(&artifact_path).unwrap();
+
+    let rows = Arc::new(Mutex::new(Vec::new()));
+    let daemon = Arc::new(
+        Daemon::new(
+            Datamaran::with_defaults(),
+            snapshot_from_artifact(&artifact),
+            ServeOptions::default()
+                .with_window_lines(256)
+                .with_drift_threshold(0.5)
+                .with_min_residual_lines(128),
+            Box::new(SharedBuf(Arc::clone(&rows))),
+            FlushPolicy::default(),
+        )
+        .unwrap(),
+    );
+
+    // Replay over the unix socket: format A, then a hard switch to format B.
+    let sock = dir.join("ingest.sock");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let server = {
+        let daemon = Arc::clone(&daemon);
+        let sock = sock.clone();
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || serve_unix(daemon, &sock, shutdown))
+    };
+    for _ in 0..400 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut client = UnixStream::connect(&sock).expect("connect to the daemon socket");
+    client.write_all(format_a.text.as_bytes()).unwrap();
+    client.write_all(format_b.text.as_bytes()).unwrap();
+    client.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    client.read_to_string(&mut reply).unwrap();
+    shutdown.store(true, Ordering::Relaxed);
+    server.join().unwrap().unwrap();
+
+    // Persist the metrics document for the CI artifact upload before asserting.
+    let out_path =
+        std::env::var("SERVE_SMOKE_OUT").unwrap_or_else(|_| "target/SERVE_SMOKE.json".to_string());
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&out_path, reply.trim()).unwrap();
+
+    let doc = JsonValue::parse(reply.trim()).expect("metrics reply is JSON");
+    let serve = doc.require("serve").unwrap();
+    let swaps = serve.require("swaps").unwrap().as_usize().unwrap();
+    assert!(swaps >= 1, "the dataset switch must trigger a hot swap");
+    assert!(
+        serve
+            .require("snapshot_version")
+            .unwrap()
+            .as_usize()
+            .unwrap()
+            > 1
+    );
+
+    // Per-window drift history: the stream must end recovered — the trailing windows'
+    // unmatched rate back under the trigger threshold after the swap.
+    let windows = doc
+        .require("stream")
+        .unwrap()
+        .require("window_unmatched")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert!(windows.len() >= 4, "expected several windows of history");
+    let rate = |w: &JsonValue| w.require("unmatched_rate").unwrap().as_f64().unwrap();
+    let peak = windows.iter().map(rate).fold(0.0f64, f64::max);
+    assert!(
+        peak >= 0.5,
+        "the injected drift never degraded the stream (peak rate {peak})"
+    );
+    let tail: Vec<f64> = windows.iter().rev().take(3).map(rate).collect();
+    let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
+    assert!(
+        tail_mean < 0.5,
+        "unmatched rate did not recover after the hot swap (tail windows {tail:?})"
+    );
+
+    // Rows flowed for both formats.
+    let rows = String::from_utf8(rows.lock().unwrap().clone()).unwrap();
+    assert!(rows.lines().count() > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

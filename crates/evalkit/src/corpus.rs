@@ -25,8 +25,8 @@
 
 use crate::view::ViewRecord;
 use datamaran_core::{
-    extract_stream_with_templates, CountingSink, Datamaran, DatamaranConfig, Error, JsonValue,
-    StreamOptions, StructureTemplate,
+    CountingSink, Datamaran, DatamaranConfig, Error, JsonValue, StreamOptions, StreamSession,
+    StructureTemplate,
 };
 use logsynth::GeneratedDataset;
 use std::collections::HashMap;
@@ -292,14 +292,11 @@ pub fn run_dataset(data: &GeneratedDataset, config: &DatamaranConfig) -> Dataset
             let mut passes = 0usize;
             loop {
                 let mut sink = CountingSink::default();
-                let summary = extract_stream_with_templates(
-                    &engine,
-                    Cursor::new(data.text.as_bytes()),
-                    StreamOptions::default(),
-                    templates.clone(),
-                    &mut sink,
-                )
-                .expect("streaming replay succeeds on in-memory text");
+                let summary = StreamSession::new(&engine)
+                    .options(StreamOptions::default())
+                    .templates(templates.clone())
+                    .run(Cursor::new(data.text.as_bytes()), &mut sink)
+                    .expect("streaming replay succeeds on in-memory text");
                 records = summary.records;
                 passes += 1;
                 if started.elapsed().as_secs_f64() >= MIN_TRIAL_SECS {

@@ -5,9 +5,7 @@
 //!
 //! Run with `cargo run --release --example streaming_large_file`.
 
-use datamaran::core::{
-    extract_stream, extract_stream_sink, CsvSink, Datamaran, JsonLinesSink, StreamOptions, Tee,
-};
+use datamaran::core::{CsvSink, Datamaran, JsonLinesSink, StreamOptions, StreamSession, Tee};
 use datamaran::logsynth::{corpus, DatasetSpec};
 use std::io::Cursor;
 
@@ -25,22 +23,19 @@ fn main() {
     let engine = Datamaran::with_defaults();
     let mut emitted = 0usize;
     let mut first_records = Vec::new();
-    let summary = extract_stream(
-        &engine,
-        Cursor::new(text),
-        StreamOptions {
+    let summary = StreamSession::new(&engine)
+        .options(StreamOptions {
             head_bytes: 128 * 1024,   // structure discovery buffer
             window_bytes: 256 * 1024, // bounded working set for the rest of the stream
             ..StreamOptions::default()
-        },
-        |record| {
+        })
+        .run_with(Cursor::new(text), |record| {
             if emitted < 3 {
                 first_records.push(record.clone());
             }
             emitted += 1;
-        },
-    )
-    .expect("streaming extraction succeeds");
+        })
+        .expect("streaming extraction succeeds");
 
     println!("\ndiscovered templates:");
     for (i, t) in summary.templates.iter().enumerate() {
@@ -72,17 +67,14 @@ fn main() {
         CsvSink::new(|_table: &str| Ok(Vec::<u8>::new())),
         JsonLinesSink::new(Vec::<u8>::new()),
     );
-    let export_summary = extract_stream_sink(
-        &engine,
-        Cursor::new(text),
-        StreamOptions {
+    let export_summary = StreamSession::new(&engine)
+        .options(StreamOptions {
             head_bytes: 128 * 1024,
             window_bytes: 256 * 1024,
             ..StreamOptions::default()
-        },
-        &mut sinks,
-    )
-    .expect("streaming export succeeds");
+        })
+        .run(Cursor::new(text), &mut sinks)
+        .expect("streaming export succeeds");
     let Tee(csv, jsonl) = sinks;
     let csv_bytes: usize = csv.into_writers().iter().map(|(_, b)| b.len()).sum();
     let jsonl_bytes = jsonl.into_writer().len();

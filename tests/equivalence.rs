@@ -9,8 +9,8 @@
 //! `cargo test -- --ignored` step.
 
 use datamaran::core::{
-    extract_stream, parse_dataset, parse_dataset_parallel, Datamaran, Dataset, Grammar,
-    ParallelOptions, StreamOptions,
+    parse_dataset, parse_dataset_parallel, Datamaran, Dataset, Grammar, ParallelOptions,
+    StreamOptions, StreamSession,
 };
 use datamaran::logsynth::{corpus, DatasetSpec, RecordTypeSpec};
 use std::io::Cursor;
@@ -113,17 +113,14 @@ fn streaming_extraction_matches_in_memory_counts() {
         let engine = Datamaran::with_defaults();
         let in_memory = engine.extract(&text).unwrap();
         let mut streamed = 0usize;
-        let summary = extract_stream(
-            &engine,
-            Cursor::new(text.clone()),
-            StreamOptions {
+        let summary = StreamSession::new(&engine)
+            .options(StreamOptions {
                 head_bytes: 16 * 1024,
                 window_bytes: 8 * 1024,
                 ..StreamOptions::default()
-            },
-            |_| streamed += 1,
-        )
-        .unwrap();
+            })
+            .run_with(Cursor::new(text.clone()), |_| streamed += 1)
+            .unwrap();
         // The streaming extractor discovers structure on a bounded head rather than a
         // stratified sample of the whole file, so on interleaved datasets it may find the
         // record types in a different order; what must hold is that it explains at least as

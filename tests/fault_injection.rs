@@ -9,13 +9,41 @@
 //! error policy.
 
 use datamaran::core::{
-    extract_stream_sink, extract_stream_sink_guarded, CountingSink, CsvSink, Datamaran, Error,
-    ErrorPolicy, FailingReader, FailingSink, FaultSchedule, JsonLinesSink, RecordingSleeper,
-    RetryPolicy, RetryingSink, StreamBudgets, StreamOptions, Tee, VecQuarantineSink,
+    CountingSink, CsvSink, Datamaran, Error, ErrorPolicy, FailingReader, FailingSink,
+    FaultSchedule, JsonLinesSink, QuarantineSink, RecordSink, RecordingSleeper, RetryPolicy,
+    RetryingSink, StreamBudgets, StreamOptions, StreamSession, StreamSummary, Tee,
+    VecQuarantineSink,
 };
 use proptest::prelude::*;
-use std::io::Cursor;
+use std::io::{BufRead, Cursor};
 use std::time::Duration;
+
+/// The suite predates [`StreamSession`]; this keeps every call site in the historical
+/// free-function shape while driving the current builder surface.
+fn extract_stream_sink_guarded<R: BufRead, S: RecordSink + ?Sized>(
+    engine: &Datamaran,
+    reader: R,
+    options: StreamOptions,
+    sink: &mut S,
+    quarantine: Option<&mut dyn QuarantineSink>,
+) -> Result<StreamSummary, Error> {
+    let mut session = StreamSession::new(engine).options(options);
+    if let Some(q) = quarantine {
+        session = session.quarantine(q);
+    }
+    session.run(reader, sink)
+}
+
+fn extract_stream_sink<R: BufRead, S: RecordSink + ?Sized>(
+    engine: &Datamaran,
+    reader: R,
+    options: StreamOptions,
+    sink: &mut S,
+) -> Result<StreamSummary, Error> {
+    StreamSession::new(engine)
+        .options(options)
+        .run(reader, sink)
+}
 
 /// A regular single-line log every fixture starts from.
 fn web_log(n: usize) -> String {

@@ -203,14 +203,11 @@ fn streaming_sink_bytes_are_backend_identical() {
             CsvSink::new(|_name: &str| Ok(Vec::<u8>::new())),
             JsonLinesSink::new(Vec::<u8>::new()),
         );
-        let summary = datamaran::core::extract_stream_with_templates(
-            &engine,
-            Cursor::new(text.clone()),
-            options,
-            templates.clone(),
-            &mut sink,
-        )
-        .expect("streaming succeeds");
+        let summary = datamaran::core::StreamSession::new(&engine)
+            .options(options)
+            .templates(templates.clone())
+            .run(Cursor::new(text.clone()), &mut sink)
+            .expect("streaming succeeds");
         let Tee(csv, jsonl) = sink;
         let csv_bytes: Vec<(String, Vec<u8>)> = csv.into_writers();
         (summary, csv_bytes, jsonl.into_writer())
@@ -271,15 +268,12 @@ fn guarded_fault_fixtures_are_backend_identical() {
             Datamaran::new(DatamaranConfig::default().with_matching_backend(backend)).unwrap();
         let mut sink = JsonLinesSink::new(Vec::<u8>::new());
         let mut quarantine = VecQuarantineSink::default();
-        let summary = datamaran::core::extract_stream_with_templates_guarded(
-            &engine,
-            Cursor::new(bytes.clone()),
-            options,
-            templates.clone(),
-            &mut sink,
-            Some(&mut quarantine),
-        )
-        .expect("guarded streaming succeeds");
+        let summary = datamaran::core::StreamSession::new(&engine)
+            .options(options)
+            .templates(templates.clone())
+            .quarantine(&mut quarantine)
+            .run(Cursor::new(bytes.clone()), &mut sink)
+            .expect("guarded streaming succeeds");
         (summary, sink.into_writer(), quarantine.entries)
     };
 

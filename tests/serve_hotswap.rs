@@ -1,0 +1,186 @@
+//! Serving-layer correctness: concurrent readers never observe a torn template snapshot
+//! while a writer hot-swaps the compiled set, and the versioned template artifact format
+//! round-trips arbitrary discovered template sets losslessly.
+
+use datamaran::core::{
+    reduce, CharSet, Datamaran, Dataset, MatchingBackend, RecordTemplate, SnapshotStore,
+    SpanScratch, StructureTemplate, TemplateArtifact, TemplateSnapshot,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Extracts the template set a corpus discovers, as both the templates and their
+/// canonical display strings (the identity the swap test checks against).
+fn discover(engine: &Datamaran, text: &str) -> (Vec<StructureTemplate>, Vec<String>) {
+    let result = engine.extract(text).expect("discovery succeeds");
+    let templates: Vec<StructureTemplate> = result.templates().into_iter().cloned().collect();
+    let canon = templates.iter().map(|t| t.to_string()).collect();
+    (templates, canon)
+}
+
+/// Readers continuously resolve the current snapshot and match a line against it while a
+/// writer hot-swaps between two compiled template sets as fast as it can.  Every observed
+/// snapshot must be internally consistent: its template set is exactly one of the two
+/// published sets (never a mix), and its compiled matcher matches the line that set was
+/// discovered from — a torn read (templates from one set, matcher from the other, or a
+/// half-published `Arc`) fails one of the two assertions.
+#[test]
+fn concurrent_readers_never_observe_a_torn_snapshot() {
+    let corpus_a: String = (0..200)
+        .map(|i| format!("host=h{};cpu={};mem={}\n", i % 12, i % 100, (i * 7) % 512))
+        .collect();
+    let corpus_b: String = (0..200)
+        .map(|i| {
+            format!(
+                "[{:02}:{:02}] srv{} GET /p{}\n",
+                i % 24,
+                i % 60,
+                i % 4,
+                i % 7
+            )
+        })
+        .collect();
+    let line_a = "host=h1;cpu=42;mem=128\n";
+    let line_b = "[12:30] srv2 GET /p3\n";
+
+    let engine = Datamaran::with_defaults();
+    let (templates_a, canon_a) = discover(&engine, &corpus_a);
+    let (templates_b, canon_b) = discover(&engine, &corpus_b);
+    assert_ne!(
+        canon_a, canon_b,
+        "the two formats must discover distinct sets"
+    );
+
+    let store = SnapshotStore::new(
+        TemplateSnapshot::compile(1, templates_a.clone(), &engine).expect("compile set A"),
+    );
+    let done = AtomicBool::new(false);
+    let observed = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let mut cells = Vec::new();
+                let mut reps = Vec::new();
+                let mut scratch = SpanScratch::default();
+                while !done.load(Ordering::Relaxed) {
+                    let snapshot = store.current();
+                    let canon: Vec<String> =
+                        snapshot.templates().iter().map(|t| t.to_string()).collect();
+                    let line = if canon == canon_a {
+                        line_a
+                    } else if canon == canon_b {
+                        line_b
+                    } else {
+                        panic!("torn snapshot v{}: templates {canon:?}", snapshot.version());
+                    };
+                    let dataset = Dataset::new(line);
+                    cells.clear();
+                    reps.clear();
+                    let matched = snapshot.matcher().match_line_into(
+                        &dataset,
+                        0,
+                        &mut cells,
+                        &mut reps,
+                        &mut scratch,
+                    );
+                    assert!(
+                        matched.is_some(),
+                        "snapshot v{} does not match its own format's line",
+                        snapshot.version()
+                    );
+                    observed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // The writer alternates the published set as fast as it can compile it.
+        for i in 0..60 {
+            let templates = if i % 2 == 0 {
+                templates_b.clone()
+            } else {
+                templates_a.clone()
+            };
+            let snapshot = TemplateSnapshot::compile(store.claim_version(), templates, &engine)
+                .expect("recompile during swap");
+            store.swap(std::sync::Arc::new(snapshot));
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    assert!(
+        observed.load(Ordering::Relaxed) > 0,
+        "readers never completed a single observation"
+    );
+    assert!(store.version() > 60, "swaps advanced the version counter");
+}
+
+/// Builds the [`StructureTemplate`] set discovery would produce for a batch of
+/// single-line record formats — per-format field values joined by one separator.
+fn templates_from(values_list: &[Vec<String>], sep: char) -> Vec<StructureTemplate> {
+    values_list
+        .iter()
+        .map(|values| {
+            let line = format!("{}\n", values.join(&sep.to_string()));
+            let charset = CharSet::from_chars([sep, '\n']);
+            reduce(&RecordTemplate::from_instantiated(&line, &charset))
+        })
+        .collect()
+}
+
+/// Strategy producing a separator character a template's charset can carry.
+fn separator() -> impl Strategy<Value = char> {
+    prop_oneof![Just(','), Just(';'), Just('|'), Just(':'), Just(' ')]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The artifact format is lossless: serialize → parse preserves every template's
+    /// canonical form, the matcher metadata, and the content checksum.
+    #[test]
+    fn artifact_json_round_trip_is_lossless(
+        values_list in prop::collection::vec(prop::collection::vec("[a-zA-Z0-9]{1,10}", 1..7), 1..6),
+        sep in separator(),
+        max_line_span in 1usize..16,
+        fused in any::<bool>(),
+    ) {
+        let backend = if fused { MatchingBackend::Fused } else { MatchingBackend::Trial };
+        let artifact = TemplateArtifact::new(templates_from(&values_list, sep), max_line_span, backend)
+            .expect("artifact from generated templates");
+        let parsed = TemplateArtifact::from_json(&artifact.to_json())
+            .expect("round trip through the wire format");
+        let canon = |a: &TemplateArtifact| -> Vec<String> {
+            a.templates.iter().map(|t| t.to_string()).collect()
+        };
+        prop_assert_eq!(canon(&parsed), canon(&artifact));
+        prop_assert_eq!(parsed.max_line_span, artifact.max_line_span);
+        prop_assert_eq!(parsed.matching_backend, artifact.matching_backend);
+        prop_assert_eq!(parsed.checksum(), artifact.checksum());
+    }
+
+    /// Tampering with the serialized body is caught by the checksum, and documents from a
+    /// future format version are rejected rather than misread.
+    #[test]
+    fn artifact_rejects_corruption_and_future_versions(
+        values_list in prop::collection::vec(prop::collection::vec("[a-zA-Z0-9]{1,10}", 1..7), 1..4),
+        sep in separator(),
+    ) {
+        let artifact = TemplateArtifact::new(templates_from(&values_list, sep), 8, MatchingBackend::Fused)
+            .expect("artifact from generated templates");
+        let json = artifact.to_json();
+
+        let forged = json.replacen("\"version\": 1", "\"version\": 999", 1);
+        prop_assert_ne!(&forged, &json);
+        prop_assert!(TemplateArtifact::from_json(&forged).is_err());
+
+        // Flip the checksum field: the body no longer hashes to it.
+        let checksum = format!("{:016x}", artifact.checksum());
+        let flipped: String = checksum
+            .chars()
+            .map(|c| if c == '0' { '1' } else { '0' })
+            .collect();
+        let corrupted = json.replacen(&checksum, &flipped, 1);
+        prop_assert_ne!(&corrupted, &json);
+        prop_assert!(TemplateArtifact::from_json(&corrupted).is_err());
+    }
+}

@@ -7,9 +7,9 @@
 //! quoting (`\r`, embedded quotes, commas).
 
 use datamaran::core::{
-    all_records_jsonl, extract_stream_sink, extract_stream_sink_guarded, table_to_csv,
-    CountingSink, CsvSink, Datamaran, ErrorPolicy, JsonLinesSink, RecordingSleeper, RetryPolicy,
-    RetryingSink, StreamOptions, Tee, VecQuarantineSink,
+    all_records_jsonl, table_to_csv, CountingSink, CsvSink, Datamaran, ErrorPolicy, JsonLinesSink,
+    RecordingSleeper, RetryPolicy, RetryingSink, StreamOptions, StreamSession, Tee,
+    VecQuarantineSink,
 };
 use std::io::Cursor;
 
@@ -28,7 +28,9 @@ fn assert_streaming_equivalence(name: &str, text: &str, options: StreamOptions) 
             CountingSink::default(),
         ),
     );
-    let summary = extract_stream_sink(&engine, Cursor::new(text.to_string()), options, &mut sink)
+    let summary = StreamSession::new(&engine)
+        .options(options)
+        .run(Cursor::new(text.to_string()), &mut sink)
         .expect("streaming extraction succeeds");
     let Tee(csv, Tee(jsonl, counter)) = sink;
 
@@ -84,14 +86,11 @@ fn assert_streaming_equivalence(name: &str, text: &str, options: StreamOptions) 
         RecordingSleeper::default(),
     );
     let mut quarantine = VecQuarantineSink::default();
-    let guarded_summary = extract_stream_sink_guarded(
-        &engine,
-        Cursor::new(text.to_string()),
-        options.with_on_error(ErrorPolicy::Quarantine),
-        &mut guarded,
-        Some(&mut quarantine),
-    )
-    .expect("guarded streaming succeeds");
+    let guarded_summary = StreamSession::new(&engine)
+        .options(options.with_on_error(ErrorPolicy::Quarantine))
+        .quarantine(&mut quarantine)
+        .run(Cursor::new(text.to_string()), &mut guarded)
+        .expect("guarded streaming succeeds");
     assert_eq!(
         guarded_summary.records, summary.records,
         "{name}: guarded records"
@@ -125,6 +124,60 @@ fn assert_streaming_equivalence(name: &str, text: &str, options: StreamOptions) 
         jsonl_bytes,
         "{name}: guarded JSON Lines bytes"
     );
+
+    // The deprecated free-function surface is a thin wrapper over [`StreamSession`]; its
+    // output must stay byte-identical to the session's until the wrappers are removed.
+    #[allow(deprecated)]
+    {
+        use datamaran::core::{extract_stream_sink, extract_stream_sink_guarded};
+        let mut legacy = Tee(
+            CsvSink::new(|_name: &str| Ok(Vec::<u8>::new())),
+            JsonLinesSink::new(Vec::<u8>::new()),
+        );
+        let legacy_summary =
+            extract_stream_sink(&engine, Cursor::new(text.to_string()), options, &mut legacy)
+                .expect("legacy streaming succeeds");
+        assert_eq!(
+            legacy_summary.records, summary.records,
+            "{name}: legacy records"
+        );
+        let Tee(legacy_csv, legacy_jsonl) = legacy;
+        assert_eq!(
+            legacy_csv.into_writers(),
+            plain_tables,
+            "{name}: legacy CSV bytes"
+        );
+        assert_eq!(
+            legacy_jsonl.into_writer(),
+            jsonl_bytes,
+            "{name}: legacy JSON Lines bytes"
+        );
+
+        let mut legacy_guarded = JsonLinesSink::new(Vec::<u8>::new());
+        let mut legacy_quarantine = VecQuarantineSink::default();
+        let legacy_guarded_summary = extract_stream_sink_guarded(
+            &engine,
+            Cursor::new(text.to_string()),
+            options.with_on_error(ErrorPolicy::Quarantine),
+            &mut legacy_guarded,
+            Some(&mut legacy_quarantine),
+        )
+        .expect("legacy guarded streaming succeeds");
+        assert_eq!(
+            legacy_guarded_summary.records, guarded_summary.records,
+            "{name}: legacy guarded records"
+        );
+        assert_eq!(
+            legacy_guarded.into_writer(),
+            jsonl_bytes,
+            "{name}: legacy guarded JSON Lines bytes"
+        );
+        assert_eq!(
+            legacy_quarantine.entries.len(),
+            quarantine.entries.len(),
+            "{name}: legacy quarantine entry count"
+        );
+    }
 }
 
 #[test]
@@ -331,9 +384,10 @@ fn parallel_window_extraction_is_byte_identical() {
             CsvSink::new(|_name: &str| Ok(Vec::<u8>::new())),
             JsonLinesSink::new(Vec::<u8>::new()),
         );
-        let summary =
-            extract_stream_sink(&engine, Cursor::new(text.to_string()), options, &mut sink)
-                .expect("streaming succeeds");
+        let summary = StreamSession::new(&engine)
+            .options(options)
+            .run(Cursor::new(text.to_string()), &mut sink)
+            .expect("streaming succeeds");
         let Tee(csv, jsonl) = sink;
         (
             csv.into_writers(),
