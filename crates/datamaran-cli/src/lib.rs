@@ -599,7 +599,7 @@ impl CliError {
     fn from_core(e: &Error) -> CliError {
         let code = match e {
             Error::InvalidConfig(_) | Error::Artifact(_) => 2,
-            Error::Io { .. } | Error::Sink { .. } => 3,
+            Error::Io { .. } | Error::Sink { .. } | Error::Journal(_) => 3,
             Error::EmptyDataset | Error::NoStructureFound => 4,
             Error::BudgetExceeded { .. } => 5,
             Error::Decode { .. } => 6,

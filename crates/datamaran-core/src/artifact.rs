@@ -218,10 +218,31 @@ impl TemplateArtifact {
         Ok(artifact)
     }
 
-    /// Writes the artifact document to `path`.
+    /// Writes the artifact document to `path` **atomically**: the JSON is staged to a
+    /// `.tmp` sibling, `fsync`'d, renamed over `path`, and the parent directory is
+    /// `fsync`'d — the same pattern the CSV exporter uses.  A crash at any moment leaves
+    /// either the previous artifact or the new one on disk, never a torn mixture (the
+    /// stale `.tmp` a crash may leave behind is overwritten by the next save).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         let path = path.as_ref();
-        std::fs::write(path, self.to_json()).map_err(|e| Error::io_path(&e, path))
+        let tmp = tmp_sibling(path);
+        let stage = || -> std::io::Result<()> {
+            {
+                let mut file = std::fs::File::create(&tmp)?;
+                std::io::Write::write_all(&mut file, self.to_json().as_bytes())?;
+                file.sync_all()?;
+            }
+            crate::journal::crash_point("compact.before-rename");
+            std::fs::rename(&tmp, path)?;
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                crate::journal::fsync_dir(dir)?;
+            }
+            Ok(())
+        };
+        stage().map_err(|e| {
+            std::fs::remove_file(&tmp).ok();
+            Error::io_path(&e, path)
+        })
     }
 
     /// Reads and verifies an artifact document from `path`.
@@ -239,6 +260,17 @@ impl TemplateArtifact {
     }
 }
 
+/// The staging sibling `save` writes before the atomic rename: `<file>.tmp` next to the
+/// destination, so the rename never crosses a filesystem boundary.
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// One FNV-1a 64 absorption step over `bytes`, continuing from `hash`.
@@ -252,7 +284,8 @@ fn fnv1a64(mut hash: u64, bytes: &[u8]) -> u64 {
 
 /// Encodes one template node: `"field"`, `{"literal": s}`, or
 /// `{"array": {"body": [...], "separator": c, "terminator": c}}`.
-fn node_to_json(node: &Node) -> JsonValue {
+/// Shared with [`crate::journal`], whose WAL entries use the same node encoding.
+pub(crate) fn node_to_json(node: &Node) -> JsonValue {
     match node {
         Node::Field => JsonValue::String("field".into()),
         Node::Literal(s) => {
@@ -280,7 +313,7 @@ fn node_to_json(node: &Node) -> JsonValue {
 }
 
 /// Decodes one template node written by [`node_to_json`].
-fn node_from_json(value: &JsonValue) -> Result<Node> {
+pub(crate) fn node_from_json(value: &JsonValue) -> Result<Node> {
     match value {
         JsonValue::String(s) if s == "field" => Ok(Node::Field),
         JsonValue::String(s) => Err(Error::Artifact(format!("unknown node kind `{s}`"))),
@@ -418,6 +451,38 @@ mod tests {
         assert_eq!(loaded, artifact);
         assert_eq!(loaded.max_line_span, 7);
         assert_eq!(loaded.matching_backend, MatchingBackend::Trial);
+    }
+
+    #[test]
+    fn save_is_staged_and_leaves_no_tmp_behind() {
+        let artifact =
+            TemplateArtifact::new(sample_templates(), 10, MatchingBackend::Fused).unwrap();
+        let dir = std::env::temp_dir().join(format!("dm-artifact-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("templates.json");
+        // Pre-existing destination: the rename must replace it wholesale.
+        std::fs::write(&path, "{ stale artifact").unwrap();
+        artifact.save(&path).unwrap();
+        assert_eq!(TemplateArtifact::load(&path).unwrap(), artifact);
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "staging file must not outlive the save"
+        );
+        // A stale .tmp from a hypothetical crash is simply overwritten by the next save.
+        std::fs::write(tmp_sibling(&path), "torn").unwrap();
+        artifact.save(&path).unwrap();
+        assert!(!tmp_sibling(&path).exists());
+        assert_eq!(TemplateArtifact::load(&path).unwrap(), artifact);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tmp_sibling_appends_to_the_file_name() {
+        assert_eq!(
+            tmp_sibling(Path::new("/a/b/templates.json")),
+            Path::new("/a/b/templates.json.tmp")
+        );
+        assert_eq!(tmp_sibling(Path::new("t.json")), Path::new("t.json.tmp"));
     }
 
     #[test]

@@ -89,6 +89,12 @@ pub enum Error {
     /// encoding).  Surfaced by [`crate::artifact`]; the CLI maps it to the same exit code
     /// as a bad configuration, since the fix is operator action, not a retry.
     Artifact(String),
+    /// The durable template journal could not be written or compacted (disk full,
+    /// permission, torn medium).  Surfaced by [`crate::journal`]; a journal failure
+    /// **degrades** the daemon (swaps keep serving in memory, readiness flips) rather
+    /// than crashing it, and the CLI maps it to the I/O exit code when it is fatal
+    /// (e.g. the journal cannot be opened at startup).
+    Journal(String),
 }
 
 impl Error {
@@ -183,6 +189,7 @@ impl fmt::Display for Error {
                 budget.name()
             ),
             Error::Artifact(msg) => write!(f, "template artifact error: {msg}"),
+            Error::Journal(msg) => write!(f, "template journal error: {msg}"),
         }
     }
 }

@@ -8,7 +8,11 @@
 //! * [`FailingReader`] — wraps any [`BufRead`] and injects I/O errors into the *input*
 //!   side according to a [`FaultSchedule`];
 //! * [`FailingSink`] — wraps any [`RecordSink`] and injects errors into the *output* side,
-//!   failing **before** delegating so the inner sink's durable state stays truthful.
+//!   failing **before** delegating so the inner sink's durable state stays truthful;
+//! * [`FailingJournalDir`] — hands out [`crate::journal::JournalMedia`]
+//!   instances with a byte budget, so journal appends run out of disk (and leave a real
+//!   **torn prefix** behind) at an exact byte `k` — the crash/chaos harness's storage
+//!   model.
 //!
 //! Transient faults surface as [`io::ErrorKind::TimedOut`] (which
 //! [`Error::is_transient`](crate::error::Error::is_transient) classifies as retryable);
@@ -18,9 +22,12 @@
 
 use crate::error::{Error, Result};
 use crate::export::RecordSink;
+use crate::journal::{JournalMedia, MemJournalMedia};
 use crate::streaming::StreamRecord;
 use crate::structure::StructureTemplate;
 use std::io::{self, BufRead, Read};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// When injected faults fire, as a function of the operation count and delivered bytes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -207,6 +214,113 @@ impl<S: RecordSink> RecordSink for FailingSink<S> {
     }
 }
 
+/// A "directory" on failing storage: every [`JournalMedia`] it hands out shares one byte
+/// budget, and an append that would exceed the budget writes only the bytes that fit —
+/// a **torn prefix** — before failing with a disk-full error.  Setting the budget to
+/// `magic + k` tears the first journal entry at exactly byte `k`; setting it to the
+/// current length makes every further append fail cleanly (classic disk-full).
+pub struct FailingJournalDir {
+    remaining: Arc<AtomicU64>,
+}
+
+impl FailingJournalDir {
+    /// A directory that accepts `budget_bytes` in total across all media it hands out.
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        FailingJournalDir {
+            remaining: Arc::new(AtomicU64::new(budget_bytes)),
+        }
+    }
+
+    /// Bytes the directory will still accept.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::Relaxed)
+    }
+
+    /// Grants `bytes` more budget (the operator freed disk space).
+    pub fn grow(&self, bytes: u64) {
+        self.remaining.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Opens a new in-memory journal medium charged against the shared budget.  The
+    /// returned handle exposes the raw bytes (including any torn prefix) via
+    /// [`BudgetedJournalMedia::bytes`].
+    pub fn open(&self) -> BudgetedJournalMedia {
+        BudgetedJournalMedia {
+            inner: MemJournalMedia::default(),
+            remaining: self.remaining.clone(),
+        }
+    }
+}
+
+/// A [`JournalMedia`] whose appends draw from a [`FailingJournalDir`] budget; the append
+/// that exhausts it leaves a torn prefix and returns a disk-full error.  Truncation
+/// refunds the freed bytes.
+pub struct BudgetedJournalMedia {
+    inner: MemJournalMedia,
+    remaining: Arc<AtomicU64>,
+}
+
+impl BudgetedJournalMedia {
+    /// The bytes on the medium, torn prefix included.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.inner.bytes()
+    }
+
+    /// A second handle onto the same bytes (give one to the journal, keep one to inspect).
+    pub fn handle(&self) -> BudgetedJournalMedia {
+        BudgetedJournalMedia {
+            inner: self.inner.clone(),
+            remaining: self.remaining.clone(),
+        }
+    }
+}
+
+impl JournalMedia for BudgetedJournalMedia {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let want = bytes.len() as u64;
+        // Claim what fits: a compare-exchange loop so concurrent media share the budget
+        // without double-spending.
+        let granted = loop {
+            let have = self.remaining.load(Ordering::Relaxed);
+            let grant = have.min(want);
+            if self
+                .remaining
+                .compare_exchange(have, have - grant, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                break grant;
+            }
+        };
+        if granted > 0 {
+            self.inner.append(&bytes[..granted as usize])?;
+        }
+        if granted < want {
+            return Err(io::Error::new(
+                io::ErrorKind::QuotaExceeded,
+                format!("injected disk full: {granted} of {want} bytes written (torn prefix)"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner.sync()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        let before = self.inner.len()?;
+        self.inner.truncate(len)?;
+        let after = self.inner.len()?;
+        self.remaining
+            .fetch_add(before.saturating_sub(after), Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        self.inner.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +392,36 @@ mod tests {
         assert!(sink.finish().unwrap_err().is_transient());
         assert!(sink.finish().unwrap_err().is_transient());
         sink.finish().unwrap();
+    }
+
+    #[test]
+    fn budgeted_media_tears_the_append_that_exhausts_the_budget() {
+        let dir = FailingJournalDir::with_budget(10);
+        let mut media = dir.open();
+        let inspect = media.handle();
+        media.append(b"abcdef").unwrap();
+        // 4 bytes of budget remain: a 6-byte append writes a 4-byte torn prefix and fails.
+        let err = media.append(b"ghijkl").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::QuotaExceeded);
+        assert_eq!(inspect.bytes(), b"abcdefghij");
+        assert_eq!(dir.remaining(), 0);
+        // Still out of budget: even one byte fails (nothing written).
+        assert!(media.append(b"z").is_err());
+        assert_eq!(inspect.bytes().len(), 10);
+    }
+
+    #[test]
+    fn budgeted_media_refunds_truncated_bytes_and_grows() {
+        let dir = FailingJournalDir::with_budget(8);
+        let mut media = dir.open();
+        media.append(b"12345678").unwrap();
+        assert_eq!(dir.remaining(), 0);
+        media.truncate(3).unwrap();
+        assert_eq!(dir.remaining(), 5);
+        media.append(b"abcde").unwrap();
+        assert_eq!(media.bytes(), b"123abcde");
+        dir.grow(2);
+        media.append(b"xy").unwrap();
+        assert_eq!(media.bytes(), b"123abcdexy");
     }
 }

@@ -56,6 +56,7 @@ pub mod fxhash;
 pub mod generation;
 pub mod grammar;
 pub mod intern;
+pub mod journal;
 pub mod json;
 pub mod mdl;
 pub mod parallel;
@@ -92,11 +93,16 @@ pub use extract::{
     CompiledTemplateSet, DeltaParseStats, FusedDfaCache, MatchStats, Op, SpanLineMatcher,
     SpanParse, SpanRecord, SpanScratch, TemplateDiff,
 };
-pub use fault::{FailingReader, FailingSink, FaultSchedule};
+pub use fault::{FailingJournalDir, FailingReader, FailingSink, FaultSchedule};
 pub use fieldtype::FieldType;
 pub use generation::{generate, Candidate, GenerationOutput};
 pub use grammar::Grammar;
 pub use intern::{TemplateId, TemplateInterner};
+pub use journal::{
+    recovered_snapshot, replay_journal, FsJournalMedia, JournalConfig, JournalMedia,
+    JournalPersistence, JournalReplay, MemJournalMedia, SwapDelta, TemplateJournal, TornTail,
+    CRASH_POINT_ENV, JOURNAL_MAGIC, MAX_ENTRY_BYTES,
+};
 pub use json::{JsonError, JsonValue};
 pub use mdl::{ColumnStats, CoverageScorer, MdlScorer, RegularityScorer, ScoreParts};
 pub use parallel::{parse_dataset_parallel, ParallelOptions};
@@ -114,8 +120,8 @@ pub use relational::{to_denormalized, to_relational, Cell, RelationalOutput, Row
 pub use scores::{NoisePenaltyScorer, NonFieldCoverageScorer, UntypedMdlScorer};
 pub use semtype::{annotate_result, annotate_table, SemanticType, TableAnnotation};
 pub use serve::{
-    merge_summaries, snapshot_from_artifact, ServeMetrics, ServeOptions, ServeSession,
-    SnapshotStore, TemplateSnapshot,
+    merge_summaries, snapshot_from_artifact, PersistenceStats, ServeMetrics, ServeOptions,
+    ServeSession, SnapshotStore, SwapPersistence, TemplateSnapshot,
 };
 pub use span::{field_spans, tokenize_spans, LineIndex, SpanToken, SpanTokenKind};
 #[allow(deprecated)]

@@ -42,7 +42,7 @@ use crate::streaming::{StreamRecord, StreamSummary, WindowUnmatched};
 use crate::structure::StructureTemplate;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Tuning of the online-inference loop.
 #[derive(Clone, Copy, Debug)]
@@ -177,6 +177,57 @@ impl TemplateSnapshot {
     pub fn max_line_span(&self) -> usize {
         self.max_line_span
     }
+
+    /// Compiles a snapshot directly from templates and matcher metadata — the restart
+    /// path ([`crate::journal::recovered_snapshot`]) and tests use this when no engine is
+    /// in scope.  Empty sets are rejected.
+    pub fn from_templates(
+        version: u64,
+        templates: Vec<StructureTemplate>,
+        max_line_span: usize,
+        backend: crate::config::MatchingBackend,
+    ) -> Result<Self> {
+        if templates.is_empty() {
+            return Err(Error::NoStructureFound);
+        }
+        let matcher = SpanLineMatcher::with_backend(&templates, max_line_span, backend);
+        Ok(TemplateSnapshot {
+            version,
+            templates,
+            matcher,
+            max_line_span,
+        })
+    }
+}
+
+/// Counters a [`SwapPersistence`] layer exposes for metrics and readiness probes.
+#[derive(Clone, Copy, Debug)]
+pub struct PersistenceStats {
+    /// Swap deltas durably appended to the journal.
+    pub appended: u64,
+    /// Compactions performed (journal folded into the artifact and reset).
+    pub compactions: u64,
+    /// Persist or compaction attempts that failed (the daemon degrades, it does not die).
+    pub failures: u64,
+    /// Whether the most recent persistence operation succeeded — the readiness signal.
+    pub healthy: bool,
+}
+
+/// Durability hook a [`SnapshotStore`] invokes around hot swaps.
+///
+/// The store calls [`persist_swap`](Self::persist_swap) **before** publishing the new
+/// snapshot (write-ahead semantics: the delta is durable before any session can observe
+/// the swap).  A persistence failure never blocks serving — the store records it, the
+/// swap still publishes in memory, and readiness degrades until the layer recovers.
+/// The filesystem implementation is [`crate::journal::JournalPersistence`].
+pub trait SwapPersistence: Send + Sync {
+    /// Makes the `old` → `new` template delta durable.  Called with write-ahead ordering;
+    /// must be idempotent under replay (restart folds deltas with canonical-string dedup).
+    fn persist_swap(&self, old: &TemplateSnapshot, new: &TemplateSnapshot) -> Result<()>;
+    /// Folds everything journaled so far into the primary artifact (clean-shutdown path).
+    fn compact(&self, current: &TemplateSnapshot) -> Result<()>;
+    /// Point-in-time counters.
+    fn stats(&self) -> PersistenceStats;
 }
 
 /// Builds the initial snapshot (version 1) from a saved [`TemplateArtifact`] — the
@@ -200,16 +251,34 @@ pub fn snapshot_from_artifact(artifact: &TemplateArtifact) -> TemplateSnapshot {
 pub struct SnapshotStore {
     inner: RwLock<Arc<TemplateSnapshot>>,
     next_version: AtomicU64,
+    persistence: Option<Arc<dyn SwapPersistence>>,
+    persist_failures: AtomicU64,
+    last_persist_error: Mutex<Option<String>>,
 }
 
 impl SnapshotStore {
-    /// Creates a store serving `initial`.
+    /// Creates a store serving `initial` with no durability layer (swaps live in memory
+    /// only — a restart falls back to the saved artifact).
     pub fn new(initial: TemplateSnapshot) -> Self {
         let next = initial.version + 1;
         SnapshotStore {
             inner: RwLock::new(Arc::new(initial)),
             next_version: AtomicU64::new(next),
+            persistence: None,
+            persist_failures: AtomicU64::new(0),
+            last_persist_error: Mutex::new(None),
         }
+    }
+
+    /// Creates a store whose swaps are made durable through `persistence` **before** they
+    /// publish (write-ahead: no session can observe a swap whose delta is not on disk).
+    pub fn with_persistence(
+        initial: TemplateSnapshot,
+        persistence: Arc<dyn SwapPersistence>,
+    ) -> Self {
+        let mut store = SnapshotStore::new(initial);
+        store.persistence = Some(persistence);
+        store
     }
 
     /// The current snapshot (cheap: one `Arc` clone under a read lock).
@@ -230,9 +299,68 @@ impl SnapshotStore {
     /// Atomically installs `next` as the current snapshot, returning the one it replaced.
     /// Sessions already holding the old `Arc` finish their window on it; they pick up
     /// `next` at their next window boundary.
+    ///
+    /// With a persistence layer attached, the swap's template delta is journaled (and
+    /// `fsync`'d) **first**; only then does the snapshot publish.  A persistence failure
+    /// is recorded and degrades readiness but never blocks the swap — serving correctness
+    /// beats durability of a delta that replay would reconstruct from the residual anyway.
     pub fn swap(&self, next: Arc<TemplateSnapshot>) -> Arc<TemplateSnapshot> {
+        if let Some(persistence) = &self.persistence {
+            let old = self.current();
+            if let Err(e) = persistence.persist_swap(&old, &next) {
+                self.persist_failures.fetch_add(1, Ordering::Relaxed);
+                *self
+                    .last_persist_error
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner()) = Some(e.to_string());
+            }
+        }
         let mut slot = self.inner.write().unwrap_or_else(|e| e.into_inner());
         std::mem::replace(&mut *slot, next)
+    }
+
+    /// Folds all journaled swaps into the primary artifact (clean-shutdown compaction).
+    /// A no-op without a persistence layer.
+    pub fn compact(&self) -> Result<()> {
+        match &self.persistence {
+            Some(persistence) => {
+                let current = self.current();
+                let result = persistence.compact(&current);
+                if let Err(e) = &result {
+                    self.persist_failures.fetch_add(1, Ordering::Relaxed);
+                    *self
+                        .last_persist_error
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner()) = Some(e.to_string());
+                }
+                result
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// `true` when the durability layer is absent or its last operation succeeded —
+    /// the `/readyz` journal-writable signal.
+    pub fn persistence_healthy(&self) -> bool {
+        self.persistence.as_ref().is_none_or(|p| p.stats().healthy)
+    }
+
+    /// The durability layer's counters, when one is attached.
+    pub fn persistence_stats(&self) -> Option<PersistenceStats> {
+        self.persistence.as_ref().map(|p| p.stats())
+    }
+
+    /// Swaps whose persist call failed (the swap still published in memory).
+    pub fn persist_failures(&self) -> u64 {
+        self.persist_failures.load(Ordering::Relaxed)
+    }
+
+    /// The most recent persistence failure message, if any.
+    pub fn last_persist_error(&self) -> Option<String> {
+        self.last_persist_error
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 }
 
@@ -262,6 +390,12 @@ impl ServeMetrics {
     /// [`StreamReport`] schema byte-for-byte with the pipeline's JSON report, plus a
     /// `serve` section with the snapshot/drift counters.
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_pretty()
+    }
+
+    /// The metrics document as a [`JsonValue`], for callers that append their own
+    /// sections (the daemon adds a `journal` section when a durability layer is attached).
+    pub fn to_json_value(&self) -> JsonValue {
         let report = StreamReport::new(&self.summary);
         JsonValue::Object(vec![
             ("stream".into(), report.to_json_value()),
@@ -292,7 +426,6 @@ impl ServeMetrics {
                 ]),
             ),
         ])
-        .to_pretty()
     }
 }
 
@@ -802,6 +935,115 @@ mod tests {
             1
         );
         assert_eq!(serve.require("swaps").unwrap().as_usize().unwrap(), 0);
+    }
+
+    #[test]
+    fn swap_persists_the_delta_before_publishing() {
+        use std::sync::atomic::AtomicBool;
+
+        // A persistence layer that records, at persist time, whether the store still
+        // serves the OLD snapshot — proving write-ahead ordering.
+        struct ProbePersistence {
+            store_version_at_persist: AtomicU64,
+            fail: AtomicBool,
+            persists: AtomicU64,
+            compacts: AtomicU64,
+        }
+        struct ProbeHandle {
+            inner: Arc<ProbePersistence>,
+            store: Arc<RwLock<Option<Arc<SnapshotStore>>>>,
+        }
+        impl SwapPersistence for ProbeHandle {
+            fn persist_swap(&self, _old: &TemplateSnapshot, _new: &TemplateSnapshot) -> Result<()> {
+                if let Some(store) = self.store.read().unwrap().as_ref() {
+                    self.inner
+                        .store_version_at_persist
+                        .store(store.version(), Ordering::Relaxed);
+                }
+                self.inner.persists.fetch_add(1, Ordering::Relaxed);
+                if self.inner.fail.load(Ordering::Relaxed) {
+                    return Err(Error::Journal("injected persist failure".into()));
+                }
+                Ok(())
+            }
+            fn compact(&self, _current: &TemplateSnapshot) -> Result<()> {
+                self.inner.compacts.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            fn stats(&self) -> PersistenceStats {
+                PersistenceStats {
+                    appended: self.inner.persists.load(Ordering::Relaxed),
+                    compactions: self.inner.compacts.load(Ordering::Relaxed),
+                    failures: 0,
+                    healthy: !self.inner.fail.load(Ordering::Relaxed),
+                }
+            }
+        }
+
+        let engine = engine();
+        let snapshot = snapshot_for(&engine, &kv_lines("host", 100).concat());
+        let probe = Arc::new(ProbePersistence {
+            store_version_at_persist: AtomicU64::new(0),
+            fail: AtomicBool::new(false),
+            persists: AtomicU64::new(0),
+            compacts: AtomicU64::new(0),
+        });
+        let store_slot: Arc<RwLock<Option<Arc<SnapshotStore>>>> = Arc::new(RwLock::new(None));
+        let handle = ProbeHandle {
+            inner: probe.clone(),
+            store: store_slot.clone(),
+        };
+        let store = Arc::new(SnapshotStore::with_persistence(snapshot, Arc::new(handle)));
+        *store_slot.write().unwrap() = Some(store.clone());
+
+        let next = TemplateSnapshot::compile(
+            store.claim_version(),
+            store.current().templates().to_vec(),
+            &engine,
+        )
+        .unwrap();
+        let next_version = next.version();
+        store.swap(Arc::new(next));
+        // At persist time the store still served version 1 — the delta was durable
+        // before the publication.
+        assert_eq!(probe.store_version_at_persist.load(Ordering::Relaxed), 1);
+        assert_eq!(store.version(), next_version);
+        assert_eq!(store.persist_failures(), 0);
+        assert!(store.persistence_healthy());
+
+        // A failing persist degrades (recorded, readiness down) but the swap publishes.
+        probe.fail.store(true, Ordering::Relaxed);
+        let next = TemplateSnapshot::compile(
+            store.claim_version(),
+            store.current().templates().to_vec(),
+            &engine,
+        )
+        .unwrap();
+        let failed_version = next.version();
+        store.swap(Arc::new(next));
+        assert_eq!(store.version(), failed_version, "swap must publish anyway");
+        assert_eq!(store.persist_failures(), 1);
+        assert!(!store.persistence_healthy());
+        assert!(store
+            .last_persist_error()
+            .unwrap()
+            .contains("injected persist failure"));
+
+        probe.fail.store(false, Ordering::Relaxed);
+        store.compact().unwrap();
+        assert_eq!(probe.compacts.load(Ordering::Relaxed), 1);
+        assert_eq!(store.persistence_stats().unwrap().compactions, 1);
+    }
+
+    #[test]
+    fn stores_without_persistence_are_always_healthy() {
+        let engine = engine();
+        let snapshot = snapshot_for(&engine, &kv_lines("host", 50).concat());
+        let store = SnapshotStore::new(snapshot);
+        assert!(store.persistence_healthy());
+        assert!(store.persistence_stats().is_none());
+        store.compact().unwrap();
+        assert_eq!(store.persist_failures(), 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use datamaran_core::error::{Error, Result};
 use datamaran_core::export::{JsonLinesSink, RetryPolicy, RetryingSink};
+use datamaran_core::json::JsonValue;
 use datamaran_core::pipeline::Datamaran;
 use datamaran_core::serve::{
     merge_summaries, ServeMetrics, ServeOptions, ServeSession, SnapshotStore, TemplateSnapshot,
@@ -29,12 +30,75 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 mod cli;
-pub use cli::{run, USAGE};
+pub use cli::{run, run_with_shutdown, USAGE};
+
+/// Socket-facing lifecycle knobs shared by the unix and HTTP transports.
+#[derive(Clone, Copy, Debug)]
+pub struct TransportOptions {
+    /// Polling interval of the non-blocking accept loop (it checks the shutdown flag
+    /// between polls; also the reap cadence while draining).
+    pub accept_poll: Duration,
+    /// How long a shutting-down daemon waits for in-flight connections to complete
+    /// before abandoning them.
+    pub drain_timeout: Duration,
+    /// Per-connection read timeout (slow-loris defense); `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Concurrent-connection cap; further clients are refused with an error reply.
+    pub max_connections: usize,
+}
+
+impl Default for TransportOptions {
+    fn default() -> Self {
+        TransportOptions {
+            accept_poll: Duration::from_millis(25),
+            drain_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(30)),
+            max_connections: 256,
+        }
+    }
+}
+
+impl TransportOptions {
+    /// Validates the knobs, returning [`Error::InvalidConfig`] for out-of-range values.
+    pub fn validate(&self) -> Result<()> {
+        if self.accept_poll.is_zero() {
+            return Err(Error::InvalidConfig("accept_poll must be > 0".into()));
+        }
+        if self.max_connections == 0 {
+            return Err(Error::InvalidConfig("max_connections must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the accept-loop poll interval.
+    pub fn with_accept_poll(mut self, poll: Duration) -> Self {
+        self.accept_poll = poll;
+        self
+    }
+
+    /// Builder-style setter for the drain timeout.
+    pub fn with_drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
+
+    /// Builder-style setter for the per-connection read timeout.
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Builder-style setter for the connection cap.
+    pub fn with_max_connections(mut self, cap: usize) -> Self {
+        self.max_connections = cap;
+        self
+    }
+}
 
 /// When the shared output writer pushes its buffered rows downstream.
 #[derive(Clone, Copy, Debug)]
@@ -181,10 +245,13 @@ pub struct Daemon {
     retry: RetryPolicy,
     writer: SharedWriter,
     state: Mutex<DaemonState>,
+    draining: AtomicBool,
+    active: AtomicUsize,
 }
 
 impl Daemon {
-    /// Builds a daemon serving `snapshot`, writing rows to `output`.
+    /// Builds a daemon serving `snapshot`, writing rows to `output` (in-memory snapshot
+    /// store — hot swaps do not survive a restart; see [`with_store`](Self::with_store)).
     pub fn new(
         engine: Datamaran,
         snapshot: TemplateSnapshot,
@@ -192,14 +259,30 @@ impl Daemon {
         output: Box<dyn Write + Send>,
         flush: FlushPolicy,
     ) -> Result<Self> {
+        Self::with_store(engine, SnapshotStore::new(snapshot), options, output, flush)
+    }
+
+    /// Builds a daemon over a caller-constructed [`SnapshotStore`] — the crash-safe
+    /// configuration passes a store built with
+    /// [`SnapshotStore::with_persistence`] so every hot swap is journaled before it
+    /// publishes.
+    pub fn with_store(
+        engine: Datamaran,
+        store: SnapshotStore,
+        options: ServeOptions,
+        output: Box<dyn Write + Send>,
+        flush: FlushPolicy,
+    ) -> Result<Self> {
         options.validate()?;
         Ok(Daemon {
             engine,
-            store: SnapshotStore::new(snapshot),
+            store,
             options,
             retry: RetryPolicy::default(),
             writer: SharedWriter::new(output, flush),
             state: Mutex::new(DaemonState::default()),
+            draining: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
         })
     }
 
@@ -208,17 +291,65 @@ impl Daemon {
         &self.store
     }
 
+    /// Flips the daemon into draining: `/readyz` goes unready so load balancers stop
+    /// routing, while in-flight connections keep being served.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the daemon is draining.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// The readiness signal: not draining, and the durability layer (when attached) is
+    /// writable.  Liveness is unconditional — a degraded daemon still serves.
+    pub fn ready(&self) -> bool {
+        !self.draining() && self.store.persistence_healthy()
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the shared output stream (drain step: buffered rows reach the sink).
+    pub fn flush_output(&self) -> Result<()> {
+        self.writer.clone().flush().map_err(|e| Error::io(&e))
+    }
+
+    /// Folds all journaled swaps into the primary artifact (clean-shutdown compaction).
+    /// A no-op when no durability layer is attached.
+    pub fn compact(&self) -> Result<()> {
+        self.store.compact()
+    }
+
     /// Runs one connection: a [`ServeSession`] over `reader`'s lines, rows to the shared
     /// writer through a guarded (retrying) JSON Lines sink.  Returns the connection's
     /// metrics after folding them into the daemon aggregate.  Invalid UTF-8 input is
     /// decoded lossily and counted.
-    pub fn handle_stream<R: BufRead>(&self, mut reader: R) -> Result<ServeMetrics> {
+    pub fn handle_stream<R: BufRead>(&self, reader: R) -> Result<ServeMetrics> {
+        self.handle_stream_with_shutdown(reader, None)
+    }
+
+    /// [`handle_stream`](Self::handle_stream) with an optional shutdown flag checked
+    /// between lines: when it flips, the connection stops reading, decides what it has
+    /// buffered, and finishes cleanly — the drain path for the stdin transport (whose
+    /// blocking read only returns once a line arrives; see the signal notes in `main`).
+    pub fn handle_stream_with_shutdown<R: BufRead>(
+        &self,
+        mut reader: R,
+        shutdown: Option<&AtomicBool>,
+    ) -> Result<ServeMetrics> {
         let forwarder = LineForwarder::new(self.writer.clone());
         let mut sink = RetryingSink::new(JsonLinesSink::new(forwarder), self.retry);
         let mut session = ServeSession::new(&self.engine, &self.store, self.options)?;
         let mut raw = Vec::new();
         let mut invalid_utf8 = 0usize;
         loop {
+            if shutdown.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                break;
+            }
             raw.clear();
             let n = reader.read_until(b'\n', &mut raw)?;
             if n == 0 {
@@ -260,9 +391,53 @@ impl Daemon {
         }
     }
 
-    /// The aggregate metrics as the shared `{"stream": ..., "serve": ...}` JSON document.
+    /// The aggregate metrics as the shared `{"stream": ..., "serve": ...}` JSON document,
+    /// plus a `journal` section (appends, compactions, failures, health) when a
+    /// durability layer is attached to the snapshot store.
     pub fn metrics_json(&self) -> String {
-        self.metrics().to_json()
+        let mut doc = self.metrics().to_json_value();
+        if let (JsonValue::Object(fields), Some(stats)) = (&mut doc, self.store.persistence_stats())
+        {
+            fields.push((
+                "journal".into(),
+                JsonValue::Object(vec![
+                    ("appended".into(), JsonValue::Number(stats.appended as f64)),
+                    (
+                        "compactions".into(),
+                        JsonValue::Number(stats.compactions as f64),
+                    ),
+                    ("failures".into(), JsonValue::Number(stats.failures as f64)),
+                    ("healthy".into(), JsonValue::Bool(stats.healthy)),
+                ]),
+            ));
+        }
+        doc.to_pretty()
+    }
+}
+
+/// Decrements the daemon's active-connection count when a connection ends, however it
+/// ends (panic included).
+struct ConnectionGuard {
+    daemon: Arc<Daemon>,
+}
+
+impl ConnectionGuard {
+    /// Claims a connection slot; `None` when the daemon is at its cap.
+    fn try_acquire(daemon: &Arc<Daemon>, cap: usize) -> Option<Self> {
+        let prev = daemon.active.fetch_add(1, Ordering::SeqCst);
+        if prev >= cap {
+            daemon.active.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(ConnectionGuard {
+            daemon: Arc::clone(daemon),
+        })
+    }
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.daemon.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -271,14 +446,56 @@ pub fn serve_stdin<R: BufRead>(daemon: &Daemon, reader: R) -> Result<ServeMetric
     daemon.handle_stream(reader)
 }
 
-/// Polling interval of the non-blocking accept loops (they check `shutdown` between
-/// polls).
-const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// [`serve_stdin`] with a shutdown flag: when it flips (SIGTERM/SIGINT), the stream stops
+/// reading at the next line boundary, decides what it has buffered, and finishes cleanly.
+pub fn serve_stdin_with<R: BufRead>(
+    daemon: &Daemon,
+    reader: R,
+    shutdown: &AtomicBool,
+) -> Result<ServeMetrics> {
+    daemon.handle_stream_with_shutdown(reader, Some(shutdown))
+}
+
+/// Waits for in-flight connection threads to finish, up to the drain timeout; returns the
+/// number of stragglers abandoned (their threads keep running detached, but the process
+/// is about to exit and their rows were already line-forwarded as they were produced).
+fn drain_workers(
+    mut workers: Vec<std::thread::JoinHandle<()>>,
+    drain_timeout: Duration,
+    poll: Duration,
+) -> usize {
+    let deadline = Instant::now() + drain_timeout;
+    loop {
+        workers.retain(|w| !w.is_finished());
+        if workers.is_empty() {
+            return 0;
+        }
+        if Instant::now() >= deadline {
+            return workers.len();
+        }
+        std::thread::sleep(poll.min(Duration::from_millis(25)));
+    }
+}
+
+/// Serves connections on a unix socket at `path` until `shutdown` is set, with default
+/// [`TransportOptions`].  See [`serve_unix_with`].
+pub fn serve_unix(daemon: Arc<Daemon>, path: &Path, shutdown: Arc<AtomicBool>) -> Result<()> {
+    serve_unix_with(daemon, path, shutdown, TransportOptions::default())
+}
 
 /// Serves connections on a unix socket at `path` until `shutdown` is set.  Protocol: the
 /// client streams log lines and half-closes its write side; the daemon replies with the
-/// connection's metrics JSON and closes.  Each connection runs on its own thread.
-pub fn serve_unix(daemon: Arc<Daemon>, path: &Path, shutdown: Arc<AtomicBool>) -> Result<()> {
+/// connection's metrics JSON and closes.  Each connection runs on its own thread, under
+/// the transport's read timeout and connection cap; clients over the cap get an error
+/// reply.  When `shutdown` flips, the listener stops accepting and in-flight connections
+/// are drained up to [`TransportOptions::drain_timeout`].
+pub fn serve_unix_with(
+    daemon: Arc<Daemon>,
+    path: &Path,
+    shutdown: Arc<AtomicBool>,
+    transport: TransportOptions,
+) -> Result<()> {
+    transport.validate()?;
     if path.exists() {
         std::fs::remove_file(path).map_err(|e| Error::io_path(&e, path))?;
     }
@@ -288,11 +505,21 @@ pub fn serve_unix(daemon: Arc<Daemon>, path: &Path, shutdown: Arc<AtomicBool>) -
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
+                workers.retain(|w: &std::thread::JoinHandle<()>| !w.is_finished());
+                let Some(guard) = ConnectionGuard::try_acquire(&daemon, transport.max_connections)
+                else {
+                    let mut stream = stream;
+                    let _ = stream.set_nonblocking(false);
+                    let _ = writeln!(stream, "{{\"error\": \"connection limit reached\"}}");
+                    continue;
+                };
                 let daemon = Arc::clone(&daemon);
                 workers.push(std::thread::spawn(move || {
+                    let _guard = guard;
                     if stream.set_nonblocking(false).is_err() {
                         return;
                     }
+                    let _ = stream.set_read_timeout(transport.read_timeout);
                     let Ok(reader_half) = stream.try_clone() else {
                         return;
                     };
@@ -309,35 +536,70 @@ pub fn serve_unix(daemon: Arc<Daemon>, path: &Path, shutdown: Arc<AtomicBool>) -
                     }
                 }));
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(transport.accept_poll)
+            }
             Err(e) => return Err(Error::io(&e)),
         }
     }
-    for worker in workers {
-        let _ = worker.join();
+    daemon.begin_drain();
+    let abandoned = drain_workers(workers, transport.drain_timeout, transport.accept_poll);
+    if abandoned > 0 {
+        eprintln!("datamaran-serve: drain timeout: abandoned {abandoned} in-flight connection(s)");
     }
     Ok(())
 }
 
-/// Serves a minimal HTTP endpoint on a pre-bound listener until `shutdown` is set:
-/// `GET /metrics` returns the daemon aggregate, `POST /ingest` extracts the request body
-/// as log lines and returns that request's metrics.  One thread per connection,
-/// `Connection: close` semantics.
+/// Serves the HTTP endpoint until `shutdown` is set, with default [`TransportOptions`].
+/// See [`serve_http_with`].
 pub fn serve_http(
     daemon: Arc<Daemon>,
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
 ) -> Result<()> {
+    serve_http_with(daemon, listener, shutdown, TransportOptions::default())
+}
+
+/// Serves a minimal HTTP endpoint on a pre-bound listener until `shutdown` is set:
+/// `GET /metrics` returns the daemon aggregate, `POST /ingest` extracts the request body
+/// as log lines and returns that request's metrics, `GET /healthz` is unconditional
+/// liveness, and `GET /readyz` reports readiness (not draining, journal writable).  One
+/// thread per connection, `Connection: close` semantics, per-connection read timeout and
+/// connection cap (clients over the cap get `503`).  When `shutdown` flips, the listener
+/// stops accepting and in-flight requests drain up to [`TransportOptions::drain_timeout`].
+pub fn serve_http_with(
+    daemon: Arc<Daemon>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    transport: TransportOptions,
+) -> Result<()> {
+    transport.validate()?;
     listener.set_nonblocking(true).map_err(|e| Error::io(&e))?;
     let mut workers = Vec::new();
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
+                workers.retain(|w: &std::thread::JoinHandle<()>| !w.is_finished());
+                let Some(guard) = ConnectionGuard::try_acquire(&daemon, transport.max_connections)
+                else {
+                    let mut stream = stream;
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.write_all(
+                        http_response(
+                            "503 Service Unavailable",
+                            "{\"error\": \"connection limit reached\"}\n",
+                        )
+                        .as_bytes(),
+                    );
+                    continue;
+                };
                 let daemon = Arc::clone(&daemon);
                 workers.push(std::thread::spawn(move || {
+                    let _guard = guard;
                     if stream.set_nonblocking(false).is_err() {
                         return;
                     }
+                    let _ = stream.set_read_timeout(transport.read_timeout);
                     let mut stream = stream;
                     let response = match handle_http(&daemon, &mut stream) {
                         Ok(response) => response,
@@ -349,12 +611,16 @@ pub fn serve_http(
                     let _ = stream.write_all(response.as_bytes());
                 }));
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(transport.accept_poll)
+            }
             Err(e) => return Err(Error::io(&e)),
         }
     }
-    for worker in workers {
-        let _ = worker.join();
+    daemon.begin_drain();
+    let abandoned = drain_workers(workers, transport.drain_timeout, transport.accept_poll);
+    if abandoned > 0 {
+        eprintln!("datamaran-serve: drain timeout: abandoned {abandoned} in-flight connection(s)");
     }
     Ok(())
 }
@@ -396,6 +662,29 @@ fn handle_http<S: Read>(daemon: &Daemon, stream: &mut S) -> Result<String> {
     }
     match (method.as_str(), path.as_str()) {
         ("GET", "/metrics") => Ok(http_response("200 OK", &(daemon.metrics_json() + "\n"))),
+        ("GET", "/healthz") => Ok(http_response("200 OK", "{\"alive\": true}\n")),
+        ("GET", "/readyz") => {
+            let ready = daemon.ready();
+            let body = JsonValue::Object(vec![
+                ("ready".into(), JsonValue::Bool(ready)),
+                ("draining".into(), JsonValue::Bool(daemon.draining())),
+                (
+                    "journal_healthy".into(),
+                    JsonValue::Bool(daemon.store().persistence_healthy()),
+                ),
+                (
+                    "snapshot_version".into(),
+                    JsonValue::Number(daemon.store().version() as f64),
+                ),
+            ])
+            .to_pretty();
+            let status = if ready {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            Ok(http_response(status, &(body + "\n")))
+        }
         ("POST", "/ingest") => {
             let mut body = vec![0u8; content_length];
             reader.read_exact(&mut body)?;
@@ -404,7 +693,7 @@ fn handle_http<S: Read>(daemon: &Daemon, stream: &mut S) -> Result<String> {
         }
         _ => Ok(http_response(
             "404 Not Found",
-            "{\"error\": \"unknown endpoint (try GET /metrics or POST /ingest)\"}\n",
+            "{\"error\": \"unknown endpoint (try GET /metrics, GET /healthz, GET /readyz, or POST /ingest)\"}\n",
         )),
     }
 }
@@ -565,6 +854,171 @@ mod tests {
 
         shutdown.store(true, Ordering::Relaxed);
         server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_flag_stops_a_stream_at_the_next_line_boundary() {
+        let text = kv_text(100);
+        let (daemon, _captured) = daemon_for(&text);
+        // Flag already set: the stream reads nothing, finishes cleanly, reports zero.
+        let shutdown = AtomicBool::new(true);
+        let metrics = serve_stdin_with(&daemon, Cursor::new(text), &shutdown).unwrap();
+        assert_eq!(metrics.summary.lines_processed, 0);
+    }
+
+    #[test]
+    fn health_and_readiness_probes_respond() {
+        let text = kv_text(120);
+        let (daemon, _captured) = daemon_for(&text);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let server = {
+            let daemon = Arc::clone(&daemon);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || serve_http(daemon, listener, shutdown))
+        };
+        let probe = |path: &str| -> String {
+            let mut client = std::net::TcpStream::connect(addr).unwrap();
+            client
+                .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut reply = String::new();
+            client.read_to_string(&mut reply).unwrap();
+            reply
+        };
+        let health = probe("/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.contains("\"alive\": true"));
+        let ready = probe("/readyz");
+        assert!(ready.starts_with("HTTP/1.1 200"), "{ready}");
+        assert!(ready.contains("\"ready\": true"));
+        assert!(ready.contains("\"journal_healthy\": true"));
+
+        // Draining flips readiness to 503 while liveness stays 200.
+        daemon.begin_drain();
+        let ready = probe("/readyz");
+        assert!(ready.starts_with("HTTP/1.1 503"), "{ready}");
+        assert!(ready.contains("\"draining\": true"));
+        assert!(probe("/healthz").starts_with("HTTP/1.1 200"));
+
+        shutdown.store(true, Ordering::Relaxed);
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn connection_cap_refuses_excess_clients() {
+        let text = kv_text(120);
+        let (daemon, _captured) = daemon_for(&text);
+        let dir = std::env::temp_dir().join(format!("dmserve-cap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("ingest.sock");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let transport = TransportOptions::default()
+            .with_max_connections(1)
+            .with_accept_poll(Duration::from_millis(5));
+        let server = {
+            let daemon = Arc::clone(&daemon);
+            let sock = sock.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || serve_unix_with(daemon, &sock, shutdown, transport))
+        };
+        for _ in 0..200 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // First client holds its slot open (write side not closed yet).
+        let mut held = UnixStream::connect(&sock).unwrap();
+        held.write_all(b"host=h1;cpu=2\n").unwrap();
+        // Wait until the daemon has actually accepted it.
+        for _ in 0..200 {
+            if daemon.active_connections() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(daemon.active_connections(), 1);
+        // Second client is over the cap: error reply, closed.
+        let mut refused = UnixStream::connect(&sock).unwrap();
+        let mut reply = String::new();
+        refused.read_to_string(&mut reply).unwrap();
+        assert!(reply.contains("connection limit reached"), "{reply}");
+        // The held client completes normally.
+        held.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        held.read_to_string(&mut reply).unwrap();
+        assert!(reply.contains("\"stream\""), "{reply}");
+        shutdown.store(true, Ordering::Relaxed);
+        server.join().unwrap().unwrap();
+        assert_eq!(daemon.active_connections(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_drains_an_in_flight_connection_to_completion() {
+        let text = kv_text(120);
+        let (daemon, _captured) = daemon_for(&text);
+        let dir = std::env::temp_dir().join(format!("dmserve-drain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("ingest.sock");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let transport = TransportOptions::default()
+            .with_accept_poll(Duration::from_millis(5))
+            .with_drain_timeout(Duration::from_secs(10));
+        let server = {
+            let daemon = Arc::clone(&daemon);
+            let sock = sock.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || serve_unix_with(daemon, &sock, shutdown, transport))
+        };
+        for _ in 0..200 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Open a connection and send half the stream...
+        let mut client = UnixStream::connect(&sock).unwrap();
+        client.write_all(text.as_bytes()).unwrap();
+        for _ in 0..200 {
+            if daemon.active_connections() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // ...then request shutdown while it is still in flight.
+        shutdown.store(true, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(30));
+        // The in-flight stream still completes and gets its metrics reply.
+        client.write_all(text.as_bytes()).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        client.read_to_string(&mut reply).unwrap();
+        assert!(reply.contains("\"stream\""), "drained reply: {reply}");
+        server.join().unwrap().unwrap();
+        assert!(daemon.draining());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transport_options_validate_and_build() {
+        assert!(TransportOptions::default().validate().is_ok());
+        assert!(TransportOptions::default()
+            .with_accept_poll(Duration::ZERO)
+            .validate()
+            .is_err());
+        assert!(TransportOptions::default()
+            .with_max_connections(0)
+            .validate()
+            .is_err());
+        let t = TransportOptions::default()
+            .with_drain_timeout(Duration::from_millis(1))
+            .with_read_timeout(None)
+            .with_max_connections(7);
+        assert_eq!(t.max_connections, 7);
+        assert!(t.read_timeout.is_none());
     }
 
     #[test]

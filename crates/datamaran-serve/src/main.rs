@@ -1,8 +1,54 @@
-//! Thin binary wrapper around [`datamaran_serve`].
+//! Binary wrapper around [`datamaran_serve`] that wires POSIX signals into the daemon's
+//! graceful-shutdown path.
+//!
+//! SIGTERM and SIGINT set a shared shutdown flag (the handler does exactly one atomic
+//! store — async-signal-safe).  The daemon then stops accepting, drains in-flight
+//! connections up to `--drain-timeout-ms`, flushes the row writer, compacts the template
+//! journal into the artifact, and exits `0`.  Signal registration is the only `unsafe`
+//! in the workspace, and it lives here because the library crates `forbid(unsafe_code)`.
+//!
+//! Note on the stdin transport: `signal(2)` installs BSD semantics (`SA_RESTART`), so a
+//! blocking stdin read resumes after the handler runs — the flag is honored at the next
+//! line boundary or EOF, not mid-read.  Socket transports poll the flag every
+//! `--accept-poll-ms` and react promptly.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Initialized before any handler is registered, so the handler's read path is a plain
+/// atomic load — no locking, no allocation.
+static SHUTDOWN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" fn on_signal(_signum: i32) {
+    if let Some(flag) = SHUTDOWN.get() {
+        flag.store(true, Ordering::SeqCst);
+    }
+}
 
 fn main() -> ExitCode {
+    let shutdown = SHUTDOWN
+        .get_or_init(|| Arc::new(AtomicBool::new(false)))
+        .clone();
+    // SAFETY: `on_signal` is async-signal-safe (one atomic store on an already-initialized
+    // OnceLock) and registration happens before any thread is spawned.
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
-    ExitCode::from(datamaran_serve::run(&args, &mut std::io::stdout()))
+    ExitCode::from(datamaran_serve::run_with_shutdown(
+        &args,
+        &mut std::io::stdout(),
+        shutdown,
+    ))
 }

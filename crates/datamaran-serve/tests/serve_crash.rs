@@ -1,0 +1,378 @@
+//! Crash/chaos harness for the crash-safe serving path.
+//!
+//! Each scenario spawns the real `datamaran-serve` binary with the
+//! `DATAMARAN_CRASH_POINT` environment variable naming an injected crash point
+//! ([`datamaran_core::journal`]), drives a drift-triggered hot swap over stdin until the
+//! process **aborts** (no unwinding, no destructors — a faithful `kill -9` mid-swap),
+//! restarts it against the same artifact + journal, and asserts the crash-safety
+//! contract:
+//!
+//! * a swap whose delta was durably journaled **before** the kill is served verbatim
+//!   after restart (the drifted format keeps matching);
+//! * a swap killed **before** its append — or mid-append, leaving a torn tail — degrades
+//!   to the last durable state with a logged reason, never a panic and never a phantom
+//!   template;
+//! * the artifact file loads after every crash (atomic save: no torn artifact is ever
+//!   visible), and the restarted daemon always exits `0`.
+//!
+//! The fast test covers the two interesting extremes; the `#[ignore]` tests sweep every
+//! crash point and exercise the SIGTERM drain sequence, and run in the `serve-smoke` CI
+//! job.
+
+use datamaran_core::artifact::TemplateArtifact;
+use datamaran_core::journal::{replay_journal, JOURNAL_MAGIC};
+use datamaran_core::json::JsonValue;
+use datamaran_core::pipeline::Datamaran;
+use datamaran_core::structure::StructureTemplate;
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Corpus A: the format the artifact is discovered on.
+fn corpus_a(n: usize) -> String {
+    (0..n)
+        .map(|i| format!("host=h{};cpu={}\n", i % 9, i % 100))
+        .collect()
+}
+
+/// Corpus B: a structurally different format corpus-A templates cannot match — feeding
+/// it drives the unmatched rate past the drift threshold and triggers a hot swap.
+fn corpus_b(n: usize) -> String {
+    (0..n)
+        .map(|i| format!("{} | svc{} | {} | OK\n", 1_700_000_000 + i, i % 5, i * 3))
+        .collect()
+}
+
+/// Discovers corpus A and saves the artifact + empty journal paths in a fresh temp dir.
+/// `SERVE_CRASH_DIR` overrides the temp root so CI can upload the artifact + journal of
+/// a failed scenario (successful scenarios clean up after themselves).
+fn seed_artifact(tag: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let root = std::env::var_os("SERVE_CRASH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let dir = root.join(format!("dmserve-crash-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let engine = Datamaran::with_defaults();
+    let result = engine.extract(&corpus_a(300)).expect("discover corpus A");
+    let templates: Vec<StructureTemplate> = result.templates().into_iter().cloned().collect();
+    let config = engine.config();
+    let artifact =
+        TemplateArtifact::new(templates, config.max_line_span, config.matching_backend).unwrap();
+    let artifact_path = dir.join("templates.json");
+    let journal_path = dir.join("templates.journal");
+    artifact.save(&artifact_path).unwrap();
+    (dir, artifact_path, journal_path)
+}
+
+/// Spawns the daemon binary on the stdin transport against `artifact` + `journal`.
+fn spawn_daemon(
+    artifact: &Path,
+    journal: &Path,
+    crash_point: Option<&str>,
+    extra: &[&str],
+) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_datamaran-serve"));
+    cmd.arg("--templates")
+        .arg(artifact)
+        .arg("--journal")
+        .arg(journal)
+        .arg("--stdin")
+        .args(["--window-lines", "64"])
+        .args(["--min-residual-lines", "64"])
+        .args(["--drift-threshold", "0.5"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    match crash_point {
+        Some(point) => cmd.env("DATAMARAN_CRASH_POINT", point),
+        None => cmd.env_remove("DATAMARAN_CRASH_POINT"),
+    };
+    cmd.spawn().expect("spawn datamaran-serve")
+}
+
+/// Writes `text` to the child's stdin, tolerating the broken pipe an aborting child
+/// leaves behind, then closes stdin and collects the child.
+fn feed_and_wait(mut child: Child, chunks: &[&str]) -> (std::process::ExitStatus, String) {
+    {
+        let mut stdin = child.stdin.take().expect("child stdin");
+        for chunk in chunks {
+            if stdin.write_all(chunk.as_bytes()).is_err() {
+                break; // the child aborted mid-stream — exactly the scenario under test
+            }
+        }
+    }
+    let output = child.wait_with_output().expect("collect child");
+    (
+        output.status,
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+/// Extracts the (pretty-printed) metrics JSON document from a stderr capture that may
+/// also carry diagnostic lines before it.
+fn metrics_from_stderr(stderr: &str) -> JsonValue {
+    let start = if stderr.starts_with('{') {
+        0
+    } else {
+        stderr
+            .find("\n{")
+            .map(|i| i + 1)
+            .unwrap_or_else(|| panic!("no metrics JSON on stderr:\n{stderr}"))
+    };
+    let end = stderr.rfind('}').expect("metrics JSON terminator");
+    JsonValue::parse(&stderr[start..=end])
+        .unwrap_or_else(|e| panic!("unparsable metrics JSON ({e:?}):\n{stderr}"))
+}
+
+/// Records extracted according to a metrics document.
+fn records(doc: &JsonValue) -> usize {
+    doc.require("stream")
+        .unwrap()
+        .require("records")
+        .unwrap()
+        .as_usize()
+        .unwrap()
+}
+
+fn canonical_set(templates: &[StructureTemplate]) -> BTreeSet<String> {
+    templates
+        .iter()
+        .map(StructureTemplate::canonical_string)
+        .collect()
+}
+
+/// Runs one full crash cycle: kill the daemon at `point` mid-swap, restart without the
+/// crash point, feed only the drifted corpus, and return the restart's record count
+/// (plus every invariant common to all crash points).
+fn crash_cycle(tag: &str, point: &str, extra_first_run: &[&str]) -> usize {
+    let (dir, artifact_path, journal_path) = seed_artifact(tag);
+    let baseline = TemplateArtifact::load(&artifact_path).unwrap();
+
+    // First run: feed A (matches), then B (drift → rediscovery → hot swap → crash).
+    let child = spawn_daemon(&artifact_path, &journal_path, Some(point), extra_first_run);
+    let (status, stderr) = feed_and_wait(child, &[&corpus_a(300), &corpus_b(300)]);
+    assert!(
+        !status.success(),
+        "crash point `{point}` must abort the daemon (stderr:\n{stderr})"
+    );
+    assert!(
+        stderr.contains(&format!("injected crash at point `{point}`")),
+        "crash point `{point}` never fired (stderr:\n{stderr})"
+    );
+
+    // Invariant: whatever the kill tore, the artifact still loads (atomic save) and its
+    // template set is a superset of the seed — crashes never lose already-durable state.
+    let after_crash = TemplateArtifact::load(&artifact_path)
+        .unwrap_or_else(|e| panic!("artifact torn by crash at `{point}`: {e}"));
+    assert!(
+        canonical_set(&after_crash.templates).is_superset(&canonical_set(&baseline.templates)),
+        "crash at `{point}` lost artifact templates"
+    );
+
+    // Invariant: the journal replays without error — the valid prefix is served, any torn
+    // tail is detected, never trusted.
+    let journal_bytes = std::fs::read(&journal_path).unwrap_or_default();
+    let replay = replay_journal(&journal_bytes);
+    for delta in &replay.deltas {
+        assert!(
+            !delta.added.is_empty(),
+            "phantom empty delta after `{point}`"
+        );
+    }
+
+    // Restart (no crash injection, no rediscovery): what it serves for corpus B is
+    // exactly what was durable at kill time.
+    let child = spawn_daemon(&artifact_path, &journal_path, None, &["--no-rediscover"]);
+    let (status, stderr) = feed_and_wait(child, &[&corpus_b(300)]);
+    assert!(
+        status.success(),
+        "restart after `{point}` must degrade gracefully and exit 0, got {status} (stderr:\n{stderr})"
+    );
+    assert!(
+        !stderr.contains("panic"),
+        "restart after `{point}` panicked:\n{stderr}"
+    );
+    let metrics = metrics_from_stderr(&stderr);
+    let restart_records = records(&metrics);
+
+    std::fs::remove_dir_all(&dir).ok();
+    restart_records
+}
+
+#[test]
+fn killed_after_durable_append_serves_the_learned_template_on_restart() {
+    let restart_records = crash_cycle("after-persist", "swap.after-persist", &[]);
+    assert!(
+        restart_records > 200,
+        "the journaled swap must survive the kill: corpus B matched only {restart_records} records"
+    );
+}
+
+#[test]
+fn killed_before_append_degrades_to_the_artifact_without_panic() {
+    let restart_records = crash_cycle("before-persist", "swap.before-persist", &[]);
+    assert_eq!(
+        restart_records, 0,
+        "nothing was durable at kill time — restart must serve the artifact set only \
+         (a phantom template matched corpus B)"
+    );
+}
+
+#[test]
+#[ignore = "serve crash sweep: every injected crash point, run by the serve-smoke CI job"]
+fn every_crash_point_preserves_durable_state_and_never_panics() {
+    // (point, compaction cadence, whether the delta is durable when the kill lands)
+    let scenarios: &[(&str, &[&str], bool)] = &[
+        ("swap.before-persist", &[], false),
+        ("journal.torn-append", &[], false),
+        ("swap.after-persist", &[], true),
+        ("compact.before-rename", &["--compact-every", "1"], true),
+        ("compact.after-save", &["--compact-every", "1"], true),
+    ];
+    for (point, extra, durable) in scenarios {
+        let restart_records = crash_cycle(&point.replace('.', "-"), point, extra);
+        if *durable {
+            assert!(
+                restart_records > 200,
+                "`{point}`: durable swap lost (corpus B matched {restart_records})"
+            );
+        } else {
+            assert_eq!(
+                restart_records, 0,
+                "`{point}`: phantom template served after a kill before durability"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "serve crash: torn-tail recovery details, run by the serve-smoke CI job"]
+fn torn_append_tail_is_truncated_and_logged_on_restart() {
+    let (dir, artifact_path, journal_path) = seed_artifact("torn-tail");
+    let child = spawn_daemon(
+        &artifact_path,
+        &journal_path,
+        Some("journal.torn-append"),
+        &[],
+    );
+    let (status, _stderr) = feed_and_wait(child, &[&corpus_a(300), &corpus_b(300)]);
+    assert!(!status.success());
+    // The kill left half a frame behind the magic.
+    let bytes = std::fs::read(&journal_path).unwrap();
+    assert!(
+        bytes.len() > JOURNAL_MAGIC.len(),
+        "no torn tail was written"
+    );
+    let replay = replay_journal(&bytes);
+    assert!(replay.torn.is_some(), "the torn tail must be detected");
+    assert!(replay.deltas.is_empty());
+
+    // Restart: the torn tail is truncated with a logged reason, and the daemon exits 0.
+    let child = spawn_daemon(&artifact_path, &journal_path, None, &["--no-rediscover"]);
+    let (status, stderr) = feed_and_wait(child, &[&corpus_a(60)]);
+    assert!(status.success(), "restart must exit 0 (stderr:\n{stderr})");
+    assert!(
+        stderr.contains("torn journal tail"),
+        "the degradation reason must be logged:\n{stderr}"
+    );
+    let bytes = std::fs::read(&journal_path).unwrap();
+    assert_eq!(bytes, JOURNAL_MAGIC, "the torn tail must be truncated away");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+#[ignore = "serve drain: SIGTERM lifecycle over the unix transport, run by the serve-smoke CI job"]
+fn sigterm_drains_in_flight_connection_compacts_journal_and_exits_zero() {
+    use std::os::unix::net::UnixStream;
+
+    let (dir, artifact_path, journal_path) = seed_artifact("sigterm");
+    let baseline = TemplateArtifact::load(&artifact_path).unwrap();
+    let sock = dir.join("ingest.sock");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_datamaran-serve"));
+    cmd.arg("--templates")
+        .arg(&artifact_path)
+        .arg("--journal")
+        .arg(&journal_path)
+        .arg("--unix")
+        .arg(&sock)
+        .args(["--window-lines", "64"])
+        .args(["--min-residual-lines", "64"])
+        .args(["--accept-poll-ms", "5"])
+        .args(["--drain-timeout-ms", "10000"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .env_remove("DATAMARAN_CRASH_POINT");
+    let child = cmd.spawn().expect("spawn daemon");
+    for _ in 0..400 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Open a connection and stream corpus A, then give the accept loop time to hand the
+    // connection to a worker: a connection still sitting in the listener backlog when
+    // SIGTERM lands is legitimately refused ("stop accepting"), and this scenario is
+    // about the *accepted*, in-flight one.
+    let mut client = UnixStream::connect(&sock).expect("connect");
+    client.write_all(corpus_a(300).as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // SIGTERM while the connection is in flight.
+    let kill = Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The in-flight connection still completes: the worker keeps reading the drifted
+    // corpus B *after* the signal (learning a template that must survive shutdown),
+    // then the half-close earns the metrics reply.
+    client.write_all(corpus_b(300).as_bytes()).unwrap();
+    client.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    client.read_to_string(&mut reply).unwrap();
+    let doc = JsonValue::parse(reply.trim()).expect("drained connection still gets metrics");
+    let swaps = doc
+        .require("serve")
+        .unwrap()
+        .require("swaps")
+        .unwrap()
+        .as_usize()
+        .unwrap();
+    assert!(swaps >= 1, "the drifted stream must have hot-swapped");
+
+    // The daemon exits 0 after draining.
+    let output = child.wait_with_output().expect("daemon exit");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "SIGTERM must exit 0, got {} (stderr:\n{stderr})",
+        output.status
+    );
+
+    // Clean shutdown compacted: journal reset to bare magic, learned templates folded
+    // into the (atomically re-saved) artifact.
+    let journal_bytes = std::fs::read(&journal_path).unwrap();
+    assert_eq!(
+        journal_bytes, JOURNAL_MAGIC,
+        "shutdown compaction must reset the journal"
+    );
+    let compacted = TemplateArtifact::load(&artifact_path).unwrap();
+    assert!(
+        canonical_set(&compacted.templates).is_superset(&canonical_set(&baseline.templates)),
+        "compaction lost seed templates"
+    );
+    assert!(
+        compacted.templates.len() > baseline.templates.len(),
+        "the learned template must be compacted into the artifact"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,167 @@
+//! Property-based tests over the durable template journal (ISSUE 10): a write-ahead log
+//! torn at **any** byte offset — by a crash or by the disk filling mid-append — must
+//! replay to an exact prefix of the committed swaps.  Never an error, never a phantom
+//! delta, never a reordering.
+
+use datamaran::core::{
+    recovered_snapshot, reduce, replay_journal, CharSet, FailingJournalDir, MemJournalMedia,
+    RecordTemplate, StructureTemplate, SwapDelta, TemplateArtifact, TemplateJournal, JOURNAL_MAGIC,
+};
+use proptest::prelude::*;
+
+const SEPS: [char; 4] = [',', ';', '|', ':'];
+
+/// A real reduced template whose canonical string varies with the template code —
+/// `code % 4` picks the separator, `code / 4` the field count — enough distinct shapes
+/// to make every journaled delta observable after replay.
+fn template(code: usize) -> StructureTemplate {
+    let sep = SEPS[code % SEPS.len()];
+    let fields = (code / SEPS.len()) % 5 + 1;
+    let line = format!("{}\n", vec!["x7"; fields].join(&sep.to_string()));
+    let charset = CharSet::from_chars([sep, '\n']);
+    reduce(&RecordTemplate::from_instantiated(&line, &charset))
+}
+
+/// Builds the committed swap sequence from generated template codes.  Versions start at
+/// 2: version 1 is the artifact the journal rides next to.
+fn build_deltas(specs: &[Vec<usize>]) -> Vec<SwapDelta> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| SwapDelta {
+            version: (i + 2) as u64,
+            added: spec.iter().map(|&code| template(code)).collect(),
+        })
+        .collect()
+}
+
+/// Generated swap sequences: 1..=4 swaps, each adding 1..=2 templates.
+fn delta_specs() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0usize..20, 1..3), 1..5)
+}
+
+/// Appends every delta to a fresh in-memory journal and returns the full byte stream.
+fn journal_bytes(deltas: &[SwapDelta]) -> Vec<u8> {
+    let media = MemJournalMedia::default();
+    let mut journal = TemplateJournal::fresh(Box::new(media.clone())).unwrap();
+    for delta in deltas {
+        journal.append(delta).unwrap();
+    }
+    media.bytes()
+}
+
+fn assert_prefix(replayed: &[SwapDelta], committed: &[SwapDelta], context: &str) {
+    assert!(
+        replayed.len() <= committed.len(),
+        "{context}: replay produced {} deltas from {} committed (phantom entries)",
+        replayed.len(),
+        committed.len()
+    );
+    for (got, want) in replayed.iter().zip(committed) {
+        assert_eq!(got, want, "{context}: replay reordered or altered a delta");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Truncating the WAL at **every** byte offset replays to an exact prefix of the
+    /// committed swaps — the crash-consistency contract, exhaustively per stream.
+    #[test]
+    fn truncation_at_every_offset_replays_a_prefix(specs in delta_specs()) {
+        let committed = build_deltas(&specs);
+        let bytes = journal_bytes(&committed);
+        let full = replay_journal(&bytes);
+        prop_assert!(full.torn.is_none());
+        prop_assert_eq!(full.deltas.len(), committed.len());
+        for cut in 0..=bytes.len() {
+            let replay = replay_journal(&bytes[..cut]);
+            assert_prefix(&replay.deltas, &committed, &format!("cut at byte {cut}"));
+            // The valid prefix never extends past the truncation point, and recovery
+            // truncating to it must be idempotent.
+            assert!(replay.valid_len <= cut, "cut at byte {cut}: valid_len overruns");
+            let again = replay_journal(&bytes[..replay.valid_len]);
+            assert_eq!(again.deltas.len(), replay.deltas.len());
+            assert!(again.torn.is_none(), "cut at byte {cut}: truncated journal still torn");
+            // Anything short of the full stream is detected as torn (except exactly at
+            // an entry boundary, where the journal is simply shorter).
+            if cut < bytes.len() && replay.valid_len < cut {
+                assert!(replay.torn.is_some(), "cut at byte {cut}: torn tail not flagged");
+            }
+        }
+    }
+
+    /// The disk filling up mid-append (a torn frame at an arbitrary byte) loses only the
+    /// append in flight: every append that returned `Ok` survives replay verbatim.
+    #[test]
+    fn disk_full_mid_append_keeps_every_acknowledged_swap(
+        specs in delta_specs(),
+        budget in 0u64..2048,
+    ) {
+        let committed = build_deltas(&specs);
+        let dir = FailingJournalDir::with_budget(budget);
+        let media = dir.open();
+        let handle = media.handle();
+        let mut acknowledged: Vec<SwapDelta> = Vec::new();
+        match TemplateJournal::fresh(Box::new(media)) {
+            Err(_) => {
+                // The magic itself did not fit: nothing was ever acknowledged.
+                prop_assert!(budget < JOURNAL_MAGIC.len() as u64);
+            }
+            Ok(mut journal) => {
+                for delta in &committed {
+                    match journal.append(delta) {
+                        Ok(()) => acknowledged.push(delta.clone()),
+                        Err(_) => break, // disk full: this append was never acknowledged
+                    }
+                }
+            }
+        }
+        let replay = replay_journal(&handle.bytes());
+        prop_assert_eq!(
+            replay.deltas.len(),
+            acknowledged.len(),
+            "every acknowledged swap must replay; none beyond"
+        );
+        assert_prefix(&replay.deltas, &acknowledged, "after disk-full");
+
+        // Folding the replayed deltas into an artifact never fails and never invents a
+        // template that was not either seeded or acknowledged.
+        let seed = template(8);
+        let artifact = TemplateArtifact::new(vec![seed.clone()], 10, Default::default()).unwrap();
+        let snapshot = recovered_snapshot(&artifact, &replay.deltas).unwrap();
+        let allowed: std::collections::BTreeSet<String> = std::iter::once(&seed)
+            .chain(acknowledged.iter().flat_map(|d| d.added.iter()))
+            .map(StructureTemplate::canonical_string)
+            .collect();
+        for t in snapshot.templates() {
+            prop_assert!(allowed.contains(&t.canonical_string()), "phantom template recovered");
+        }
+    }
+}
+
+/// Deterministic spot check alongside the properties: a byte flipped inside a frame's
+/// checksum region stops replay at that frame without touching earlier entries.
+#[test]
+fn corrupt_checksum_stops_replay_at_the_bad_frame() {
+    let committed = build_deltas(&[vec![4], vec![9]]);
+    let mut bytes = journal_bytes(&committed);
+    let first = replay_journal(&bytes);
+    assert_eq!(first.deltas.len(), 2);
+    // Flip a byte inside the second frame's payload.
+    let second_start = {
+        let one = journal_bytes(&committed[..1]);
+        one.len()
+    };
+    let target = second_start + 13; // past the 12-byte frame header, inside the payload
+    bytes[target] ^= 0x40;
+    let replay = replay_journal(&bytes);
+    assert_eq!(
+        replay.deltas.len(),
+        1,
+        "replay must stop at the corrupt frame"
+    );
+    assert_eq!(replay.deltas[0], committed[0]);
+    assert!(replay.torn.is_some());
+    assert_eq!(replay.valid_len, second_start);
+}
